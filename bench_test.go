@@ -1,0 +1,131 @@
+// Benchmark harness: one testing.B benchmark per table/figure of the
+// paper. Each benchmark runs the corresponding experiment at a reduced
+// per-simulation budget and reports the generated rows via b.Log, plus
+// simulated-instruction throughput, so
+//
+//	go test -bench=. -benchmem
+//
+// regenerates every series the paper plots. For publication-scale numbers
+// use cmd/moppaper with a larger -insts budget.
+package macroop_test
+
+import (
+	"testing"
+
+	"macroop"
+)
+
+// benchInsts is the per-simulation instruction budget used in benchmarks:
+// small enough to keep the full suite to minutes, large enough for the
+// relative results to stabilize.
+const benchInsts = 120_000
+
+func runExperiment(b *testing.B, f func(*macroop.Experiments) (*macroop.Table, error)) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		r := macroop.NewExperiments(benchInsts)
+		tab, err := f(r)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.Log("\n" + tab.String())
+		}
+	}
+}
+
+func BenchmarkTable2(b *testing.B) {
+	runExperiment(b, func(r *macroop.Experiments) (*macroop.Table, error) { return r.Table2() })
+}
+
+func BenchmarkFigure6(b *testing.B) {
+	runExperiment(b, func(r *macroop.Experiments) (*macroop.Table, error) { return r.Figure6() })
+}
+
+func BenchmarkFigure7(b *testing.B) {
+	runExperiment(b, func(r *macroop.Experiments) (*macroop.Table, error) { return r.Figure7() })
+}
+
+func BenchmarkFigure13(b *testing.B) {
+	runExperiment(b, func(r *macroop.Experiments) (*macroop.Table, error) { return r.Figure13() })
+}
+
+func BenchmarkFigure14(b *testing.B) {
+	runExperiment(b, func(r *macroop.Experiments) (*macroop.Table, error) { return r.Figure14() })
+}
+
+func BenchmarkFigure15(b *testing.B) {
+	runExperiment(b, func(r *macroop.Experiments) (*macroop.Table, error) { return r.Figure15() })
+}
+
+func BenchmarkFigure16(b *testing.B) {
+	runExperiment(b, func(r *macroop.Experiments) (*macroop.Table, error) { return r.Figure16() })
+}
+
+func BenchmarkDetectionDelayAblation(b *testing.B) {
+	runExperiment(b, func(r *macroop.Experiments) (*macroop.Table, error) { return r.DetectionDelay() })
+}
+
+func BenchmarkLastArrivingAblation(b *testing.B) {
+	runExperiment(b, func(r *macroop.Experiments) (*macroop.Table, error) { return r.LastArriving() })
+}
+
+func BenchmarkIndependentMOPAblation(b *testing.B) {
+	runExperiment(b, func(r *macroop.Experiments) (*macroop.Table, error) { return r.IndependentMOPs() })
+}
+
+// BenchmarkSimulatorThroughput measures raw simulation speed (simulated
+// instructions per second) for each scheduler model on one benchmark.
+func BenchmarkSimulatorThroughput(b *testing.B) {
+	prog, err := macroop.GenerateBenchmark("gzip")
+	if err != nil {
+		b.Fatal(err)
+	}
+	models := []struct {
+		name string
+		m    macroop.Machine
+	}{
+		{"base", macroop.DefaultMachine().WithSched(macroop.SchedBase)},
+		{"twocycle", macroop.DefaultMachine().WithSched(macroop.SchedTwoCycle)},
+		{"mop", macroop.DefaultMachine().WithMOP(macroop.DefaultMOPConfig())},
+		{"selectfree", macroop.DefaultMachine().WithSched(macroop.SchedSelectFreeScoreboard)},
+	}
+	for _, mc := range models {
+		b.Run(mc.name, func(b *testing.B) {
+			var insts int64
+			for i := 0; i < b.N; i++ {
+				res, err := macroop.Simulate(mc.m, prog, 100_000)
+				if err != nil {
+					b.Fatal(err)
+				}
+				insts += res.Committed
+			}
+			b.ReportMetric(float64(insts)/b.Elapsed().Seconds(), "simInsts/s")
+		})
+	}
+}
+
+// BenchmarkWorkloadGeneration measures program synthesis cost.
+func BenchmarkWorkloadGeneration(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := macroop.GenerateBenchmark("gcc"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkMOPSizeExtension(b *testing.B) {
+	runExperiment(b, func(r *macroop.Experiments) (*macroop.Table, error) { return r.MOPSize() })
+}
+
+func BenchmarkHeuristicCoverage(b *testing.B) {
+	runExperiment(b, func(r *macroop.Experiments) (*macroop.Table, error) { return r.HeuristicCoverage() })
+}
+
+func BenchmarkQueueSweep(b *testing.B) {
+	runExperiment(b, func(r *macroop.Experiments) (*macroop.Table, error) { return r.QueueSweep("gap") })
+}
+
+func BenchmarkWidthSweep(b *testing.B) {
+	runExperiment(b, func(r *macroop.Experiments) (*macroop.Table, error) { return r.WidthSweep("gap") })
+}

@@ -1,0 +1,87 @@
+// Command mopasm assembles a program from a text file and runs it on the
+// simulated machine, optionally printing a pipeline timeline. It is the
+// quickest way to study how a specific instruction sequence schedules
+// under the different wakeup/select models.
+//
+// Usage:
+//
+//	mopasm -sched mop -trace 40 kernel.s
+//	mopasm -disasm kernel.s
+//
+// See internal/program's assembler documentation for the syntax.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"macroop/internal/config"
+	"macroop/internal/core"
+	"macroop/internal/program"
+)
+
+func main() {
+	var (
+		sched  = flag.String("sched", "base", "scheduler: base, 2cycle, mop, sf-squash, sf-scoreboard")
+		iq     = flag.Int("iq", 32, "issue queue entries (0 = unrestricted)")
+		insts  = flag.Int64("insts", 100_000, "committed instructions to simulate")
+		trace  = flag.Int("trace", 0, "print a pipeline timeline for the first N instructions")
+		disasm = flag.Bool("disasm", false, "print the assembled program and exit")
+	)
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fatalf("usage: mopasm [flags] <file.s>")
+	}
+	src, err := os.ReadFile(flag.Arg(0))
+	if err != nil {
+		fatalf("%v", err)
+	}
+	prog, err := program.Assemble(flag.Arg(0), string(src))
+	if err != nil {
+		fatalf("assemble: %v", err)
+	}
+	if *disasm {
+		fmt.Print(prog.Disassemble())
+		return
+	}
+
+	m := config.Default().WithIQ(*iq)
+	switch *sched {
+	case "base":
+		m = m.WithSched(config.SchedBase)
+	case "2cycle":
+		m = m.WithSched(config.SchedTwoCycle)
+	case "mop":
+		m = m.WithMOP(config.DefaultMOP())
+	case "sf-squash":
+		m = m.WithSched(config.SchedSelectFreeSquashDep)
+	case "sf-scoreboard":
+		m = m.WithSched(config.SchedSelectFreeScoreboard)
+	default:
+		fatalf("unknown scheduler %q", *sched)
+	}
+
+	c, err := core.New(m, prog)
+	if err != nil {
+		fatalf("configure: %v", err)
+	}
+	var tl *core.Timeline
+	if *trace > 0 {
+		tl = core.NewTimeline(*trace)
+		c.SetTracer(tl)
+	}
+	res, err := c.Run(*insts)
+	if err != nil {
+		fatalf("simulate: %v", err)
+	}
+	if tl != nil {
+		fmt.Println(tl)
+	}
+	fmt.Print(res)
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "mopasm: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -1,0 +1,50 @@
+// Command mopchar runs the machine-independent MOP characterizations of
+// the paper's Section 4: dependence edge distance (Figure 6) and
+// groupability into 2x/8x MOPs (Figure 7).
+//
+// Usage:
+//
+//	mopchar -insts 2000000            # all benchmarks, both figures
+//	mopchar -bench gap -fig 6
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"macroop/internal/experiments"
+)
+
+func main() {
+	var (
+		bench = flag.String("bench", "", "single benchmark (default: all)")
+		fig   = flag.Int("fig", 0, "figure to run: 6, 7, or 0 for both")
+		insts = flag.Int64("insts", 2_000_000, "committed instructions per benchmark")
+	)
+	flag.Parse()
+
+	r := experiments.NewRunner(*insts)
+	if *bench != "" {
+		r.Benchmarks = []string{*bench}
+	}
+	if *fig == 0 || *fig == 6 {
+		t, err := r.Figure6()
+		if err != nil {
+			fatalf("figure 6: %v", err)
+		}
+		fmt.Println(t)
+	}
+	if *fig == 0 || *fig == 7 {
+		t, err := r.Figure7()
+		if err != nil {
+			fatalf("figure 7: %v", err)
+		}
+		fmt.Println(t)
+	}
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "mopchar: "+format+"\n", args...)
+	os.Exit(1)
+}

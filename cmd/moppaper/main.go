@@ -1,0 +1,76 @@
+// Command moppaper regenerates every table and figure of the paper's
+// evaluation, in order, printing each as a text table. This is the
+// one-shot reproduction harness behind EXPERIMENTS.md.
+//
+// Usage:
+//
+//	moppaper -insts 1000000            # full suite (takes a few minutes)
+//	moppaper -only fig14,fig16
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"macroop/internal/experiments"
+	"macroop/internal/stats"
+)
+
+func main() {
+	var (
+		insts = flag.Int64("insts", 1_000_000, "committed instructions per simulation")
+		only  = flag.String("only", "", "comma-separated subset: table1,table2,fig6,fig7,fig13,fig14,fig15,fig16,delay,lastarrive,indep,mopsize,heuristic,qsweep,wsweep")
+		bench = flag.String("bench", "", "comma-separated benchmark subset (default: all 12)")
+	)
+	flag.Parse()
+
+	r := experiments.NewRunner(*insts)
+	if *bench != "" {
+		r.Benchmarks = strings.Split(*bench, ",")
+	}
+	want := map[string]bool{}
+	for _, k := range strings.Split(*only, ",") {
+		if k = strings.TrimSpace(k); k != "" {
+			want[k] = true
+		}
+	}
+	sel := func(k string) bool { return len(want) == 0 || want[k] }
+
+	type exp struct {
+		key string
+		run func() (*stats.Table, error)
+	}
+	suite := []exp{
+		{"table1", func() (*stats.Table, error) { return experiments.Table1(), nil }},
+		{"table2", r.Table2},
+		{"fig6", r.Figure6},
+		{"fig7", r.Figure7},
+		{"fig13", r.Figure13},
+		{"fig14", r.Figure14},
+		{"fig15", r.Figure15},
+		{"fig16", r.Figure16},
+		{"delay", r.DetectionDelay},
+		{"lastarrive", r.LastArriving},
+		{"indep", r.IndependentMOPs},
+		{"mopsize", r.MOPSize},
+		{"heuristic", r.HeuristicCoverage},
+		{"qsweep", func() (*stats.Table, error) { return r.QueueSweep("gap") }},
+		{"wsweep", func() (*stats.Table, error) { return r.WidthSweep("gap") }},
+	}
+	for _, e := range suite {
+		if !sel(e.key) {
+			continue
+		}
+		start := time.Now()
+		t, err := e.run()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "moppaper: %s: %v\n", e.key, err)
+			os.Exit(1)
+		}
+		fmt.Println(t)
+		fmt.Printf("(%s in %.1fs)\n\n", e.key, time.Since(start).Seconds())
+	}
+}

@@ -1,0 +1,96 @@
+// Command mopsim runs one benchmark under one scheduler configuration and
+// prints detailed timing results.
+//
+// Usage:
+//
+//	mopsim -bench gzip -sched mop -wakeup wired-or -iq 32 -insts 1000000
+//
+// Schedulers: base, 2cycle, mop, sf-squash, sf-scoreboard.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"macroop/internal/config"
+	"macroop/internal/core"
+	"macroop/internal/workload"
+)
+
+func main() {
+	var (
+		bench    = flag.String("bench", "gzip", "benchmark name ("+strings.Join(workload.Names(), ", ")+")")
+		sched    = flag.String("sched", "base", "scheduler: base, 2cycle, mop, sf-squash, sf-scoreboard")
+		wakeup   = flag.String("wakeup", "wired-or", "MOP wakeup style: 2src, wired-or")
+		iq       = flag.Int("iq", 32, "issue queue entries (0 = unrestricted)")
+		stages   = flag.Int("stages", 1, "extra MOP formation stages (0..2)")
+		delay    = flag.Int("detect-delay", 3, "MOP detection delay in cycles")
+		insts    = flag.Int64("insts", 1_000_000, "committed instructions to simulate")
+		noIndep  = flag.Bool("no-indep", false, "disable independent MOP grouping")
+		trace    = flag.Int("trace", 0, "print a pipeline timeline for the first N instructions")
+		noFilter = flag.Bool("no-filter", false, "disable the last-arriving operand filter")
+	)
+	flag.Parse()
+
+	m := config.Default().WithIQ(*iq)
+	switch *sched {
+	case "base":
+		m = m.WithSched(config.SchedBase)
+	case "2cycle":
+		m = m.WithSched(config.SchedTwoCycle)
+	case "mop":
+		mc := config.DefaultMOP()
+		mc.ExtraFormationStages = *stages
+		mc.DetectionDelay = *delay
+		mc.GroupIndependent = !*noIndep
+		mc.LastArrivingFilter = !*noFilter
+		switch *wakeup {
+		case "2src":
+			mc.Wakeup = config.WakeupCAM2Src
+		case "wired-or":
+			mc.Wakeup = config.WakeupWiredOR
+		default:
+			fatalf("unknown wakeup style %q", *wakeup)
+		}
+		m = m.WithMOP(mc)
+	case "sf-squash":
+		m = m.WithSched(config.SchedSelectFreeSquashDep)
+	case "sf-scoreboard":
+		m = m.WithSched(config.SchedSelectFreeScoreboard)
+	default:
+		fatalf("unknown scheduler %q", *sched)
+	}
+
+	prof, err := workload.ByName(*bench)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	prog, err := workload.Generate(prof)
+	if err != nil {
+		fatalf("generate: %v", err)
+	}
+	c, err := core.New(m, prog)
+	if err != nil {
+		fatalf("configure: %v", err)
+	}
+	var tl *core.Timeline
+	if *trace > 0 {
+		tl = core.NewTimeline(*trace)
+		c.SetTracer(tl)
+	}
+	res, err := c.Run(*insts)
+	if err != nil {
+		fatalf("simulate: %v", err)
+	}
+	if tl != nil {
+		fmt.Println(tl)
+	}
+	fmt.Print(res)
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "mopsim: "+format+"\n", args...)
+	os.Exit(1)
+}

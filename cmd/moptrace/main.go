@@ -1,0 +1,105 @@
+// Command moptrace records and replays dynamic instruction traces,
+// enabling trace-driven simulation (bring your own workloads) and exact
+// repeatability across machines.
+//
+// Record a benchmark's committed stream:
+//
+//	moptrace -record gap.trace -bench gap -insts 500000
+//
+// Replay it through any scheduler:
+//
+//	moptrace -replay gap.trace -sched mop
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"macroop/internal/config"
+	"macroop/internal/core"
+	"macroop/internal/functional"
+	"macroop/internal/tracefile"
+	"macroop/internal/workload"
+)
+
+func main() {
+	var (
+		record = flag.String("record", "", "record the benchmark's stream to this file")
+		replay = flag.String("replay", "", "replay a trace file through the timing core")
+		bench  = flag.String("bench", "gzip", "benchmark to record")
+		sched  = flag.String("sched", "base", "scheduler for -replay: base, 2cycle, mop, sf-squash, sf-scoreboard")
+		iq     = flag.Int("iq", 32, "issue queue entries (0 = unrestricted)")
+		insts  = flag.Int64("insts", 500_000, "instructions to record / replay")
+	)
+	flag.Parse()
+
+	switch {
+	case *record != "":
+		prof, err := workload.ByName(*bench)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		prog, err := workload.Generate(prof)
+		if err != nil {
+			fatalf("generate: %v", err)
+		}
+		f, err := os.Create(*record)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		defer f.Close()
+		w := tracefile.NewWriter(f)
+		e := functional.NewExecutor(prog)
+		var d functional.DynInst
+		for i := int64(0); i < *insts; i++ {
+			if err := e.Step(&d); err != nil {
+				break
+			}
+			w.Record(&d)
+		}
+		if err := w.Flush(); err != nil {
+			fatalf("write: %v", err)
+		}
+		fmt.Printf("recorded %d instructions of %s to %s\n", w.Count(), *bench, *record)
+
+	case *replay != "":
+		f, err := os.Open(*replay)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		defer f.Close()
+		m := config.Default().WithIQ(*iq)
+		switch *sched {
+		case "base":
+			m = m.WithSched(config.SchedBase)
+		case "2cycle":
+			m = m.WithSched(config.SchedTwoCycle)
+		case "mop":
+			m = m.WithMOP(config.DefaultMOP())
+		case "sf-squash":
+			m = m.WithSched(config.SchedSelectFreeSquashDep)
+		case "sf-scoreboard":
+			m = m.WithSched(config.SchedSelectFreeScoreboard)
+		default:
+			fatalf("unknown scheduler %q", *sched)
+		}
+		c, err := core.NewFromSource(m, *replay, tracefile.NewReader(f))
+		if err != nil {
+			fatalf("configure: %v", err)
+		}
+		res, err := c.Run(*insts)
+		if err != nil {
+			fatalf("simulate: %v", err)
+		}
+		fmt.Print(res)
+
+	default:
+		fatalf("need -record or -replay; see -h")
+	}
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "moptrace: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -1,0 +1,66 @@
+package macroop_test
+
+import (
+	"fmt"
+
+	"macroop"
+)
+
+// ExampleSimulate runs the paper's worked Figure 5 snippet under base and
+// macro-op scheduling and reports the fused fraction.
+func ExampleSimulate() {
+	prog, err := macroop.Assemble("fig5", `
+	        movi r7, 100000
+	top:    addi r1, r1, 1      ; 1: add r1
+	        ld   r4, 0(r1)      ; 2: lw r4, 0(r1)
+	        sub  r5, r1, r1     ; 3: sub r5 <- r1
+	        beq  r5, r0, top    ; 4: bez r5 (taken while r5 == 0)
+	        halt
+	`)
+	if err != nil {
+		panic(err)
+	}
+	mop, err := macroop.Simulate(macroop.DefaultMachine().WithMOP(macroop.DefaultMOPConfig()), prog, 100_000)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("about half the instructions fused: %v\n", mop.GroupedFrac() > 0.4)
+	// Output:
+	// about half the instructions fused: true
+}
+
+// ExampleCharacterize reproduces a slice of the paper's Figure 6 analysis
+// for one benchmark.
+func ExampleCharacterize() {
+	prog, _ := macroop.GenerateBenchmark("gap")
+	acc := macroop.NewEdgeDistance()
+	_ = macroop.Characterize(prog, 100_000, acc.Push)
+	acc.Flush()
+	withTail := acc.Dist1to3 + acc.Dist4to7 + acc.Dist8plus
+	within8 := float64(acc.Dist1to3+acc.Dist4to7) / float64(withTail)
+	fmt.Printf("gap pairs within 8 instructions: %v\n", within8 > 0.85)
+	// Output:
+	// gap pairs within 8 instructions: true
+}
+
+// ExampleNewTimeline shows pipeline tracing of a dependent pair.
+func ExampleNewTimeline() {
+	prog, _ := macroop.Assemble("pair", `
+	        movi r7, 1000
+	top:    addi r1, r1, 1
+	        add  r2, r1, r1
+	        addi r7, r7, -1
+	        bne  r7, r0, top
+	        halt
+	`)
+	tl := macroop.NewTimeline(50)
+	mc := macroop.DefaultMOPConfig()
+	mc.ExtraFormationStages = 0
+	res, _ := macroop.SimulateTraced(macroop.UnrestrictedMachine().WithMOP(mc), prog, 2_000, tl)
+	// In steady state the fused pair issues back to back: the add (tail)
+	// is sequenced one cycle after its addi (head).
+	head, tail := tl.IssueCycle(45), tl.IssueCycle(46)
+	fmt.Printf("fused pair spacing: %d cycle(s), IPC > 1: %v\n", tail-head, res.IPC > 1)
+	// Output:
+	// fused pair spacing: 1 cycle(s), IPC > 1: true
+}

@@ -1,0 +1,17 @@
+; Compare-and-branch kernel: the classic macro-op fusion idiom.
+; Try:
+;   go run ./cmd/mopasm -sched 2cycle -trace 24 examples/kernels/cmpbranch.s
+;   go run ./cmd/mopasm -sched mop    -trace 24 examples/kernels/cmpbranch.s
+; and watch the slt/bne pair issue back to back under macro-op scheduling.
+
+        movi r7, 1000000        ; loop counter
+        movi r9, 0x8000         ; data pointer
+top:    addi r1, r1, 1          ; induction chain (MOP head candidate)
+        add  r2, r1, r1         ; dependent (its tail)
+        ld   r4, 0(r9)          ; independent load
+        slt  r5, r0, r2         ; compare (head)
+        bne  r5, r0, skip       ; branch  (tail: cmp+branch fusion)
+        addi r6, r6, 1
+skip:   addi r7, r7, -1
+        bne  r7, r0, top
+        halt

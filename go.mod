@@ -1,0 +1,3 @@
+module macroop
+
+go 1.22

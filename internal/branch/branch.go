@@ -1,0 +1,251 @@
+// Package branch implements the branch prediction hardware from Table 1 of
+// the paper: a combined predictor (4k-entry bimodal and 4k-entry gshare
+// with a 4k-entry selector), a 1k-entry 4-way BTB, and a 16-entry return
+// address stack.
+//
+// The predictor answers two questions at fetch time: the direction of a
+// conditional branch, and the target of a taken control instruction. The
+// core uses a wrong answer to model the ≥14-cycle misprediction-recovery
+// pipeline refill.
+package branch
+
+import "macroop/internal/program"
+
+// Config sizes the predictor structures. Counts must be powers of two.
+type Config struct {
+	BimodalEntries  int
+	GshareEntries   int
+	SelectorEntries int
+	HistoryBits     int
+	BTBEntries      int
+	BTBAssoc        int
+	RASEntries      int
+}
+
+// DefaultConfig returns Table 1's predictor configuration.
+func DefaultConfig() Config {
+	return Config{
+		BimodalEntries:  4096,
+		GshareEntries:   4096,
+		SelectorEntries: 4096,
+		HistoryBits:     12,
+		BTBEntries:      1024,
+		BTBAssoc:        4,
+		RASEntries:      16,
+	}
+}
+
+// counter2 is a saturating 2-bit counter: 0,1 predict not-taken; 2,3 taken.
+type counter2 uint8
+
+func (c counter2) taken() bool { return c >= 2 }
+
+func (c counter2) update(taken bool) counter2 {
+	if taken {
+		if c < 3 {
+			return c + 1
+		}
+		return c
+	}
+	if c > 0 {
+		return c - 1
+	}
+	return c
+}
+
+type btbEntry struct {
+	tag    uint64
+	target int
+	valid  bool
+	lru    uint64
+}
+
+// Predictor is the combined direction predictor + BTB + RAS.
+type Predictor struct {
+	cfg      Config
+	bimodal  []counter2
+	gshare   []counter2
+	selector []counter2 // ≥2: use gshare, <2: use bimodal
+	history  uint64
+	histMask uint64
+
+	btb      [][]btbEntry
+	btbStamp uint64
+
+	ras    []int
+	rasTop int // number of valid entries (grows/wraps)
+
+	// statistics
+	condSeen, condHit     int64
+	targetSeen, targetHit int64
+	rasSeen, rasHit       int64
+}
+
+// New builds a predictor; all tables start in the weakly-not-taken state.
+func New(cfg Config) *Predictor {
+	for _, n := range []int{cfg.BimodalEntries, cfg.GshareEntries, cfg.SelectorEntries, cfg.BTBEntries} {
+		if n <= 0 || n&(n-1) != 0 {
+			panic("branch: table sizes must be positive powers of two")
+		}
+	}
+	numSets := cfg.BTBEntries / cfg.BTBAssoc
+	btb := make([][]btbEntry, numSets)
+	backing := make([]btbEntry, cfg.BTBEntries)
+	for i := range btb {
+		btb[i] = backing[i*cfg.BTBAssoc : (i+1)*cfg.BTBAssoc : (i+1)*cfg.BTBAssoc]
+	}
+	p := &Predictor{
+		cfg:      cfg,
+		bimodal:  make([]counter2, cfg.BimodalEntries),
+		gshare:   make([]counter2, cfg.GshareEntries),
+		selector: make([]counter2, cfg.SelectorEntries),
+		histMask: (1 << uint(cfg.HistoryBits)) - 1,
+		btb:      btb,
+		ras:      make([]int, cfg.RASEntries),
+		rasTop:   0,
+	}
+	// Start selector biased toward bimodal and counters weakly taken for
+	// loop-style code; matches common simulator initialization.
+	for i := range p.selector {
+		p.selector[i] = 1
+	}
+	return p
+}
+
+func (p *Predictor) bimodalIdx(pc int) int {
+	return pc & (p.cfg.BimodalEntries - 1)
+}
+
+func (p *Predictor) gshareIdx(pc int) int {
+	return (pc ^ int(p.history&p.histMask)) & (p.cfg.GshareEntries - 1)
+}
+
+func (p *Predictor) selectorIdx(pc int) int {
+	return pc & (p.cfg.SelectorEntries - 1)
+}
+
+// PredictDirection returns the predicted direction for the conditional
+// branch at pc. It does not update any state.
+func (p *Predictor) PredictDirection(pc int) bool {
+	if p.selector[p.selectorIdx(pc)].taken() {
+		return p.gshare[p.gshareIdx(pc)].taken()
+	}
+	return p.bimodal[p.bimodalIdx(pc)].taken()
+}
+
+// UpdateDirection trains the direction tables with the resolved outcome.
+// Per the standard combining-predictor update rule, the selector moves
+// toward the component that was correct when they disagree.
+func (p *Predictor) UpdateDirection(pc int, taken bool) {
+	p.condSeen++
+	bi, gi, si := p.bimodalIdx(pc), p.gshareIdx(pc), p.selectorIdx(pc)
+	bPred, gPred := p.bimodal[bi].taken(), p.gshare[gi].taken()
+	pred := bPred
+	if p.selector[si].taken() {
+		pred = gPred
+	}
+	if pred == taken {
+		p.condHit++
+	}
+	if bPred != gPred {
+		p.selector[si] = p.selector[si].update(gPred == taken)
+	}
+	p.bimodal[bi] = p.bimodal[bi].update(taken)
+	p.gshare[gi] = p.gshare[gi].update(taken)
+	p.history = ((p.history << 1) | boolBit(taken)) & p.histMask
+}
+
+func boolBit(b bool) uint64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// LookupTarget consults the BTB for the taken target of the control
+// instruction at pc. ok is false on a BTB miss.
+func (p *Predictor) LookupTarget(pc int) (target int, ok bool) {
+	addr := program.ByteAddr(pc)
+	setIdx := int(addr) & (len(p.btb) - 1)
+	set := p.btb[setIdx]
+	for i := range set {
+		if set[i].valid && set[i].tag == addr {
+			p.btbStamp++
+			set[i].lru = p.btbStamp
+			return set[i].target, true
+		}
+	}
+	return 0, false
+}
+
+// UpdateTarget installs or refreshes the taken target for pc in the BTB.
+func (p *Predictor) UpdateTarget(pc, target int) {
+	addr := program.ByteAddr(pc)
+	setIdx := int(addr) & (len(p.btb) - 1)
+	set := p.btb[setIdx]
+	p.btbStamp++
+	for i := range set {
+		if set[i].valid && set[i].tag == addr {
+			set[i].target = target
+			set[i].lru = p.btbStamp
+			return
+		}
+	}
+	victim := 0
+	for i := 1; i < len(set); i++ {
+		if !set[i].valid {
+			victim = i
+			break
+		}
+		if set[i].lru < set[victim].lru {
+			victim = i
+		}
+	}
+	set[victim] = btbEntry{tag: addr, target: target, valid: true, lru: p.btbStamp}
+}
+
+// PushRAS records a call's return address (for JAL).
+func (p *Predictor) PushRAS(returnPC int) {
+	p.ras[p.rasTop%len(p.ras)] = returnPC
+	p.rasTop++
+}
+
+// PopRAS predicts the target of a return (JR). ok is false when the stack
+// is empty.
+func (p *Predictor) PopRAS() (target int, ok bool) {
+	if p.rasTop == 0 {
+		return 0, false
+	}
+	p.rasTop--
+	return p.ras[p.rasTop%len(p.ras)], true
+}
+
+// RecordTargetOutcome tracks target prediction accuracy statistics for a
+// control instruction whose target was predicted as predTarget.
+func (p *Predictor) RecordTargetOutcome(isReturn bool, predTarget, actual int) {
+	if isReturn {
+		p.rasSeen++
+		if predTarget == actual {
+			p.rasHit++
+		}
+		return
+	}
+	p.targetSeen++
+	if predTarget == actual {
+		p.targetHit++
+	}
+}
+
+// DirAccuracy returns conditional direction prediction accuracy.
+func (p *Predictor) DirAccuracy() float64 {
+	if p.condSeen == 0 {
+		return 0
+	}
+	return float64(p.condHit) / float64(p.condSeen)
+}
+
+// Stats returns raw counters: conditional (seen, correct), target
+// (seen, correct), RAS (seen, correct).
+func (p *Predictor) Stats() (condSeen, condHit, tgtSeen, tgtHit, rasSeen, rasHit int64) {
+	return p.condSeen, p.condHit, p.targetSeen, p.targetHit, p.rasSeen, p.rasHit
+}

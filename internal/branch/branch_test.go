@@ -1,0 +1,177 @@
+package branch
+
+import (
+	"testing"
+)
+
+func TestBimodalLearnsBias(t *testing.T) {
+	p := New(DefaultConfig())
+	const pc = 100
+	for i := 0; i < 10; i++ {
+		p.UpdateDirection(pc, true)
+	}
+	if !p.PredictDirection(pc) {
+		t.Fatal("always-taken branch predicted not-taken after training")
+	}
+	for i := 0; i < 10; i++ {
+		p.UpdateDirection(pc, false)
+	}
+	if p.PredictDirection(pc) {
+		t.Fatal("retrained branch still predicted taken")
+	}
+}
+
+func TestGshareLearnsAlternation(t *testing.T) {
+	// A strictly alternating branch defeats bimodal but is captured by
+	// gshare+selector within a short warmup.
+	p := New(DefaultConfig())
+	const pc = 200
+	taken := false
+	correct, total := 0, 0
+	for i := 0; i < 2000; i++ {
+		pred := p.PredictDirection(pc)
+		if i > 500 {
+			total++
+			if pred == taken {
+				correct++
+			}
+		}
+		p.UpdateDirection(pc, taken)
+		taken = !taken
+	}
+	if acc := float64(correct) / float64(total); acc < 0.95 {
+		t.Fatalf("alternating branch accuracy %.2f, want > 0.95", acc)
+	}
+}
+
+func TestLoopPatternAccuracy(t *testing.T) {
+	// Taken 7 of 8 (loop back-edge): accuracy should be high.
+	p := New(DefaultConfig())
+	const pc = 52
+	correct, total := 0, 0
+	for i := 0; i < 4000; i++ {
+		taken := i%8 != 7
+		pred := p.PredictDirection(pc)
+		if i > 1000 {
+			total++
+			if pred == taken {
+				correct++
+			}
+		}
+		p.UpdateDirection(pc, taken)
+	}
+	if acc := float64(correct) / float64(total); acc < 0.85 {
+		t.Fatalf("loop pattern accuracy %.2f", acc)
+	}
+}
+
+func TestDirAccuracyCounter(t *testing.T) {
+	p := New(DefaultConfig())
+	for i := 0; i < 100; i++ {
+		p.UpdateDirection(7, true)
+	}
+	if p.DirAccuracy() < 0.9 {
+		t.Fatalf("accuracy %v for a constant branch", p.DirAccuracy())
+	}
+	condSeen, _, _, _, _, _ := p.Stats()
+	if condSeen != 100 {
+		t.Fatalf("condSeen = %d", condSeen)
+	}
+}
+
+func TestBTBStoresAndEvicts(t *testing.T) {
+	p := New(DefaultConfig())
+	if _, ok := p.LookupTarget(10); ok {
+		t.Fatal("cold BTB hit")
+	}
+	p.UpdateTarget(10, 500)
+	if tgt, ok := p.LookupTarget(10); !ok || tgt != 500 {
+		t.Fatalf("BTB lookup = %d,%v", tgt, ok)
+	}
+	p.UpdateTarget(10, 600) // refresh with a new target
+	if tgt, _ := p.LookupTarget(10); tgt != 600 {
+		t.Fatalf("BTB update kept stale target %d", tgt)
+	}
+	// Fill one set beyond associativity; the oldest entry is evicted.
+	// With 1024 entries 4-way, sets = 256; byte-address set index stride
+	// is 256 (PCs 256/4=64 apart in instruction indices).
+	cfg := DefaultConfig()
+	base := 10
+	for i := 1; i <= cfg.BTBAssoc; i++ {
+		p.UpdateTarget(base+i*(cfg.BTBEntries/cfg.BTBAssoc), i)
+	}
+	if _, ok := p.LookupTarget(base); ok {
+		t.Fatal("LRU BTB entry not evicted")
+	}
+}
+
+func TestRASPushPop(t *testing.T) {
+	p := New(DefaultConfig())
+	if _, ok := p.PopRAS(); ok {
+		t.Fatal("empty RAS popped")
+	}
+	p.PushRAS(11)
+	p.PushRAS(22)
+	if tgt, ok := p.PopRAS(); !ok || tgt != 22 {
+		t.Fatalf("pop = %d,%v", tgt, ok)
+	}
+	if tgt, ok := p.PopRAS(); !ok || tgt != 11 {
+		t.Fatalf("pop = %d,%v", tgt, ok)
+	}
+	if _, ok := p.PopRAS(); ok {
+		t.Fatal("drained RAS popped")
+	}
+}
+
+func TestRASWrapsAtCapacity(t *testing.T) {
+	cfg := DefaultConfig()
+	p := New(cfg)
+	for i := 0; i < cfg.RASEntries+4; i++ {
+		p.PushRAS(i)
+	}
+	// The newest entries survive; the oldest were overwritten.
+	for i := cfg.RASEntries + 3; i >= 4; i-- {
+		tgt, ok := p.PopRAS()
+		if !ok || tgt != i {
+			t.Fatalf("pop %d = %d,%v", i, tgt, ok)
+		}
+	}
+}
+
+func TestRecordTargetOutcome(t *testing.T) {
+	p := New(DefaultConfig())
+	p.RecordTargetOutcome(true, 5, 5)
+	p.RecordTargetOutcome(true, 5, 6)
+	p.RecordTargetOutcome(false, 1, 1)
+	_, _, tgtSeen, tgtHit, rasSeen, rasHit := p.Stats()
+	if rasSeen != 2 || rasHit != 1 || tgtSeen != 1 || tgtHit != 1 {
+		t.Fatalf("stats: tgt %d/%d ras %d/%d", tgtHit, tgtSeen, rasHit, rasSeen)
+	}
+}
+
+func TestBadConfigPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("non-power-of-two table did not panic")
+		}
+	}()
+	cfg := DefaultConfig()
+	cfg.BimodalEntries = 1000
+	New(cfg)
+}
+
+func TestCounterSaturation(t *testing.T) {
+	c := counter2(0)
+	for i := 0; i < 10; i++ {
+		c = c.update(true)
+	}
+	if c != 3 {
+		t.Fatalf("counter did not saturate high: %d", c)
+	}
+	for i := 0; i < 10; i++ {
+		c = c.update(false)
+	}
+	if c != 0 {
+		t.Fatalf("counter did not saturate low: %d", c)
+	}
+}

@@ -1,0 +1,100 @@
+package branch
+
+import (
+	"testing"
+
+	"macroop/internal/rng"
+)
+
+// refCombined is a from-first-principles reference of the combined
+// predictor update rule used to cross-check the production predictor.
+type refCombined struct {
+	bimodal, gshare, selector []uint8
+	history, histMask         uint64
+}
+
+func newRefCombined(cfg Config) *refCombined {
+	r := &refCombined{
+		bimodal:  make([]uint8, cfg.BimodalEntries),
+		gshare:   make([]uint8, cfg.GshareEntries),
+		selector: make([]uint8, cfg.SelectorEntries),
+		histMask: (1 << uint(cfg.HistoryBits)) - 1,
+	}
+	for i := range r.selector {
+		r.selector[i] = 1
+	}
+	return r
+}
+
+func bump(c uint8, up bool) uint8 {
+	if up {
+		if c < 3 {
+			return c + 1
+		}
+		return c
+	}
+	if c > 0 {
+		return c - 1
+	}
+	return c
+}
+
+func (r *refCombined) predict(pc int) bool {
+	bi := pc & (len(r.bimodal) - 1)
+	gi := (pc ^ int(r.history&r.histMask)) & (len(r.gshare) - 1)
+	si := pc & (len(r.selector) - 1)
+	if r.selector[si] >= 2 {
+		return r.gshare[gi] >= 2
+	}
+	return r.bimodal[bi] >= 2
+}
+
+func (r *refCombined) update(pc int, taken bool) {
+	bi := pc & (len(r.bimodal) - 1)
+	gi := (pc ^ int(r.history&r.histMask)) & (len(r.gshare) - 1)
+	si := pc & (len(r.selector) - 1)
+	bp, gp := r.bimodal[bi] >= 2, r.gshare[gi] >= 2
+	if bp != gp {
+		r.selector[si] = bump(r.selector[si], gp == taken)
+	}
+	r.bimodal[bi] = bump(r.bimodal[bi], taken)
+	r.gshare[gi] = bump(r.gshare[gi], taken)
+	bit := uint64(0)
+	if taken {
+		bit = 1
+	}
+	r.history = ((r.history << 1) | bit) & r.histMask
+}
+
+// TestPredictorMatchesReference replays a random branch workload through
+// both implementations; every prediction must agree.
+func TestPredictorMatchesReference(t *testing.T) {
+	cfg := DefaultConfig()
+	p := New(cfg)
+	ref := newRefCombined(cfg)
+	r := rng.New(2026)
+	pcs := make([]int, 40)
+	patterns := make([]uint64, len(pcs))
+	for i := range pcs {
+		pcs[i] = r.Intn(1 << 14)
+		patterns[i] = r.Uint64()
+	}
+	for step := 0; step < 200000; step++ {
+		i := r.Intn(len(pcs))
+		pc := pcs[i]
+		var taken bool
+		switch i % 3 {
+		case 0: // biased
+			taken = r.Bool(0.8)
+		case 1: // periodic
+			taken = (step>>uint(i%4))&1 == 0
+		case 2: // from a fixed pattern word
+			taken = (patterns[i]>>(uint(step)%64))&1 == 1
+		}
+		if got, want := p.PredictDirection(pc), ref.predict(pc); got != want {
+			t.Fatalf("step %d pc %d: predict %v, reference %v", step, pc, got, want)
+		}
+		p.UpdateDirection(pc, taken)
+		ref.update(pc, taken)
+	}
+}

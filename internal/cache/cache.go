@@ -1,0 +1,203 @@
+// Package cache implements the memory hierarchy from Table 1 of the paper:
+// set-associative, LRU-replacement first-level instruction and data caches,
+// a unified second-level cache, and a fixed-latency main memory.
+//
+// The model is access-latency oriented: Access returns the number of cycles
+// until the requested data is available, updating tag state along the way.
+// Bandwidth contention on the two general memory ports is modeled in the
+// core (issue-time port arbitration), not here; miss-status handling
+// registers are modeled as unlimited, matching sim-outorder's behaviour.
+package cache
+
+import "fmt"
+
+// Config describes one cache level.
+type Config struct {
+	Name      string
+	SizeBytes int
+	Assoc     int
+	LineBytes int
+	Latency   int // hit latency in cycles
+}
+
+// Validate checks geometric well-formedness.
+func (c Config) Validate() error {
+	switch {
+	case c.SizeBytes <= 0 || c.Assoc <= 0 || c.LineBytes <= 0:
+		return fmt.Errorf("cache %s: non-positive geometry", c.Name)
+	case c.SizeBytes%(c.Assoc*c.LineBytes) != 0:
+		return fmt.Errorf("cache %s: size %d not divisible by assoc*line (%d*%d)", c.Name, c.SizeBytes, c.Assoc, c.LineBytes)
+	case c.Latency <= 0:
+		return fmt.Errorf("cache %s: non-positive latency", c.Name)
+	case (c.LineBytes & (c.LineBytes - 1)) != 0:
+		return fmt.Errorf("cache %s: line size %d not a power of two", c.Name, c.LineBytes)
+	}
+	numSets := c.SizeBytes / (c.Assoc * c.LineBytes)
+	if numSets&(numSets-1) != 0 {
+		return fmt.Errorf("cache %s: set count %d not a power of two", c.Name, numSets)
+	}
+	return nil
+}
+
+type line struct {
+	tag   uint64
+	valid bool
+	lru   uint64 // last-touch stamp
+}
+
+// Cache is one set-associative cache level with true-LRU replacement.
+type Cache struct {
+	cfg      Config
+	sets     [][]line
+	setShift uint
+	setMask  uint64
+	stamp    uint64
+
+	// statistics
+	accesses int64
+	misses   int64
+}
+
+// New builds a cache from its config. It panics on invalid geometry —
+// configs come from code, not user input.
+func New(cfg Config) *Cache {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	numSets := cfg.SizeBytes / (cfg.Assoc * cfg.LineBytes)
+	sets := make([][]line, numSets)
+	backing := make([]line, numSets*cfg.Assoc)
+	for i := range sets {
+		sets[i] = backing[i*cfg.Assoc : (i+1)*cfg.Assoc : (i+1)*cfg.Assoc]
+	}
+	shift := uint(0)
+	for 1<<shift < cfg.LineBytes {
+		shift++
+	}
+	return &Cache{cfg: cfg, sets: sets, setShift: shift, setMask: uint64(numSets - 1)}
+}
+
+// Config returns the cache geometry.
+func (c *Cache) Config() Config { return c.cfg }
+
+func (c *Cache) set(addr uint64) ([]line, uint64) {
+	blk := addr >> c.setShift
+	return c.sets[blk&c.setMask], blk
+}
+
+// Lookup probes the cache without filling: it reports a hit and updates
+// LRU state on hit, but does not allocate on miss.
+func (c *Cache) Lookup(addr uint64) bool {
+	set, tag := c.set(addr)
+	for i := range set {
+		if set[i].valid && set[i].tag == tag {
+			c.stamp++
+			set[i].lru = c.stamp
+			return true
+		}
+	}
+	return false
+}
+
+// Touch probes and, on miss, fills the line (LRU victim). It returns
+// whether the access hit. This is the fundamental tag-array operation;
+// latency composition across levels lives in Hierarchy.
+func (c *Cache) Touch(addr uint64) bool {
+	c.accesses++
+	set, tag := c.set(addr)
+	c.stamp++
+	for i := range set {
+		if set[i].valid && set[i].tag == tag {
+			set[i].lru = c.stamp
+			return true
+		}
+	}
+	c.misses++
+	victim := 0
+	for i := 1; i < len(set); i++ {
+		if !set[i].valid {
+			victim = i
+			break
+		}
+		if set[i].lru < set[victim].lru {
+			victim = i
+		}
+	}
+	set[victim] = line{tag: tag, valid: true, lru: c.stamp}
+	return false
+}
+
+// Accesses returns the number of Touch calls.
+func (c *Cache) Accesses() int64 { return c.accesses }
+
+// Misses returns the number of Touch misses.
+func (c *Cache) Misses() int64 { return c.misses }
+
+// MissRate returns misses/accesses (0 if never accessed).
+func (c *Cache) MissRate() float64 {
+	if c.accesses == 0 {
+		return 0
+	}
+	return float64(c.misses) / float64(c.accesses)
+}
+
+// HierarchyConfig is the full memory system (Table 1 defaults in
+// internal/config).
+type HierarchyConfig struct {
+	IL1, DL1, L2 Config
+	MemLatency   int // main memory access latency in cycles
+}
+
+// Hierarchy composes IL1/DL1 over a unified L2 over main memory.
+type Hierarchy struct {
+	il1, dl1, l2 *Cache
+	memLatency   int
+}
+
+// NewHierarchy builds the three-level hierarchy.
+func NewHierarchy(cfg HierarchyConfig) *Hierarchy {
+	return &Hierarchy{
+		il1:        New(cfg.IL1),
+		dl1:        New(cfg.DL1),
+		l2:         New(cfg.L2),
+		memLatency: cfg.MemLatency,
+	}
+}
+
+// IL1 returns the instruction cache.
+func (h *Hierarchy) IL1() *Cache { return h.il1 }
+
+// DL1 returns the data cache.
+func (h *Hierarchy) DL1() *Cache { return h.dl1 }
+
+// L2 returns the unified second-level cache.
+func (h *Hierarchy) L2() *Cache { return h.l2 }
+
+// access composes the latency of an L1 access through the hierarchy:
+// L1 hit → L1 latency; L1 miss, L2 hit → L1+L2; L2 miss → L1+L2+memory.
+func (h *Hierarchy) access(l1 *Cache, addr uint64) (latency int, l1Hit bool) {
+	if l1.Touch(addr) {
+		return l1.cfg.Latency, true
+	}
+	if h.l2.Touch(addr) {
+		return l1.cfg.Latency + h.l2.cfg.Latency, false
+	}
+	return l1.cfg.Latency + h.l2.cfg.Latency + h.memLatency, false
+}
+
+// Fetch models an instruction fetch of the line containing addr,
+// returning the access latency in cycles and whether IL1 hit.
+func (h *Hierarchy) Fetch(addr uint64) (latency int, hit bool) {
+	return h.access(h.il1, addr)
+}
+
+// Data models a data access (load or store address probe), returning the
+// access latency in cycles and whether DL1 hit.
+func (h *Hierarchy) Data(addr uint64) (latency int, hit bool) {
+	return h.access(h.dl1, addr)
+}
+
+// LoadAssumedLatency is the scheduler-visible latency assumed for loads:
+// the common-case DL1 hit (Section 2.1 — instructions dependent on loads
+// are scheduled assuming the cache-hit latency).
+func (h *Hierarchy) LoadAssumedLatency() int { return h.dl1.cfg.Latency }

@@ -1,0 +1,172 @@
+package cache
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func cfg(size, assoc, line, lat int) Config {
+	return Config{Name: "t", SizeBytes: size, Assoc: assoc, LineBytes: line, Latency: lat}
+}
+
+func TestConfigValidation(t *testing.T) {
+	good := []Config{
+		cfg(16*1024, 2, 64, 2),
+		cfg(256*1024, 4, 128, 8),
+		cfg(1024, 1, 64, 1),
+	}
+	for _, c := range good {
+		if err := c.Validate(); err != nil {
+			t.Errorf("%+v rejected: %v", c, err)
+		}
+	}
+	bad := []Config{
+		cfg(0, 2, 64, 2),        // zero size
+		cfg(1000, 2, 64, 2),     // not divisible
+		cfg(16*1024, 2, 63, 2),  // non-power-of-two line
+		cfg(16*1024, 2, 64, 0),  // zero latency
+		cfg(24*1024, 2, 64, 2),  // non-power-of-two sets (192)
+		cfg(16*1024, -1, 64, 2), // negative assoc
+	}
+	for _, c := range bad {
+		if err := c.Validate(); err == nil {
+			t.Errorf("%+v accepted", c)
+		}
+	}
+}
+
+func TestColdMissThenHit(t *testing.T) {
+	c := New(cfg(1024, 2, 64, 1))
+	if c.Touch(0) {
+		t.Fatal("cold access hit")
+	}
+	if !c.Touch(0) {
+		t.Fatal("second access missed")
+	}
+	if !c.Touch(63) {
+		t.Fatal("same-line access missed")
+	}
+	if c.Touch(64) {
+		t.Fatal("next line hit cold")
+	}
+	if c.Accesses() != 4 || c.Misses() != 2 {
+		t.Fatalf("accesses=%d misses=%d", c.Accesses(), c.Misses())
+	}
+	if c.MissRate() != 0.5 {
+		t.Fatalf("miss rate %v", c.MissRate())
+	}
+}
+
+func TestLRUReplacement(t *testing.T) {
+	// 2-way, 64B lines, 2 sets (256B total): set stride is 128B.
+	c := New(cfg(256, 2, 64, 1))
+	const s = 128 // addresses 0, 128, 256... map to set 0
+	c.Touch(0 * s)
+	c.Touch(2 * s)
+	c.Touch(0 * s) // refresh line 0: LRU victim is now 2*s
+	c.Touch(4 * s) // evicts 2*s
+	if !c.Touch(0 * s) {
+		t.Fatal("LRU evicted the recently used line")
+	}
+	if c.Touch(2 * s) {
+		t.Fatal("victim line still present")
+	}
+}
+
+func TestLookupDoesNotFill(t *testing.T) {
+	c := New(cfg(1024, 2, 64, 1))
+	if c.Lookup(0) {
+		t.Fatal("lookup hit cold")
+	}
+	if c.Touch(0) {
+		t.Fatal("lookup must not have filled")
+	}
+	if !c.Lookup(0) {
+		t.Fatal("lookup missed after fill")
+	}
+}
+
+func TestFullyUsedSets(t *testing.T) {
+	// Property: a working set equal to the cache size with line-aligned
+	// sequential access has only compulsory misses on the second pass.
+	c := New(cfg(4096, 4, 64, 1))
+	for a := uint64(0); a < 4096; a += 64 {
+		c.Touch(a)
+	}
+	for a := uint64(0); a < 4096; a += 64 {
+		if !c.Touch(a) {
+			t.Fatalf("resident line %d missed", a)
+		}
+	}
+}
+
+func TestSetMappingQuick(t *testing.T) {
+	c := New(cfg(16*1024, 4, 64, 2))
+	// Property: touching an address makes every address on the same line
+	// hit, and does not disturb validity accounting.
+	if err := quick.Check(func(base uint64, off uint8) bool {
+		line := base &^ 63
+		c.Touch(line)
+		return c.Touch(line + uint64(off)%64)
+	}, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func hier() *Hierarchy {
+	return NewHierarchy(HierarchyConfig{
+		IL1:        cfg(16*1024, 2, 64, 2),
+		DL1:        cfg(16*1024, 4, 64, 2),
+		L2:         cfg(256*1024, 4, 128, 8),
+		MemLatency: 100,
+	})
+}
+
+func TestHierarchyLatencies(t *testing.T) {
+	h := hier()
+	// Cold: L1 miss + L2 miss -> 2 + 8 + 100.
+	lat, hit := h.Data(0)
+	if hit || lat != 110 {
+		t.Fatalf("cold access: hit=%v lat=%d, want miss 110", hit, lat)
+	}
+	// Now resident everywhere: L1 hit.
+	lat, hit = h.Data(0)
+	if !hit || lat != 2 {
+		t.Fatalf("warm access: hit=%v lat=%d, want hit 2", hit, lat)
+	}
+	// Evict from DL1 only: touch enough conflicting lines. DL1 is 16KB
+	// 4-way 64B: set stride 4KB. Touch 4 more lines in set 0.
+	for i := uint64(1); i <= 4; i++ {
+		h.Data(i * 4096)
+	}
+	lat, hit = h.Data(0)
+	if hit || lat != 10 {
+		t.Fatalf("L2 hit path: hit=%v lat=%d, want miss 10", hit, lat)
+	}
+}
+
+func TestHierarchySeparateL1s(t *testing.T) {
+	h := hier()
+	h.Fetch(0)
+	// The same address misses in DL1: the L1s are separate, but L2 is
+	// unified so the second access costs 2+8.
+	lat, hit := h.Data(0)
+	if hit || lat != 10 {
+		t.Fatalf("unified L2 path: hit=%v lat=%d, want miss 10", hit, lat)
+	}
+}
+
+func TestLoadAssumedLatency(t *testing.T) {
+	if got := hier().LoadAssumedLatency(); got != 2 {
+		t.Fatalf("assumed load latency %d, want DL1 hit 2", got)
+	}
+}
+
+func TestInvalidGeometryPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("New with invalid geometry did not panic")
+		}
+	}()
+	New(cfg(1000, 3, 60, 0))
+}

@@ -1,0 +1,77 @@
+package cache
+
+import (
+	"testing"
+
+	"macroop/internal/rng"
+)
+
+// refCache is a deliberately naive reference implementation of a
+// set-associative LRU cache: per-set ordered slices, linear search.
+type refCache struct {
+	lineBytes uint64
+	numSets   uint64
+	assoc     int
+	sets      map[uint64][]uint64 // setIdx -> tags, MRU first
+}
+
+func newRef(cfg Config) *refCache {
+	return &refCache{
+		lineBytes: uint64(cfg.LineBytes),
+		numSets:   uint64(cfg.SizeBytes / (cfg.Assoc * cfg.LineBytes)),
+		assoc:     cfg.Assoc,
+		sets:      make(map[uint64][]uint64),
+	}
+}
+
+func (r *refCache) touch(addr uint64) bool {
+	blk := addr / r.lineBytes
+	set := blk % r.numSets
+	tags := r.sets[set]
+	for i, tg := range tags {
+		if tg == blk {
+			// move to MRU
+			copy(tags[1:i+1], tags[:i])
+			tags[0] = blk
+			return true
+		}
+	}
+	tags = append([]uint64{blk}, tags...)
+	if len(tags) > r.assoc {
+		tags = tags[:r.assoc]
+	}
+	r.sets[set] = tags
+	return false
+}
+
+// TestCacheMatchesReference drives random and strided address streams
+// through the production cache and the reference model; hit/miss must
+// agree on every access.
+func TestCacheMatchesReference(t *testing.T) {
+	cfgs := []Config{
+		{Name: "a", SizeBytes: 1024, Assoc: 2, LineBytes: 64, Latency: 1},
+		{Name: "b", SizeBytes: 16 * 1024, Assoc: 4, LineBytes: 64, Latency: 2},
+		{Name: "c", SizeBytes: 4096, Assoc: 1, LineBytes: 128, Latency: 1},
+	}
+	r := rng.New(99)
+	for _, cfg := range cfgs {
+		c := New(cfg)
+		ref := newRef(cfg)
+		for i := 0; i < 200000; i++ {
+			var addr uint64
+			switch r.Intn(3) {
+			case 0: // uniform over 4x the cache
+				addr = r.Uint64() % uint64(4*cfg.SizeBytes)
+			case 1: // strided
+				addr = uint64(i) * 72 % uint64(8*cfg.SizeBytes)
+			case 2: // hot set
+				addr = uint64(r.Intn(cfg.Assoc+2)) * uint64(cfg.SizeBytes/cfg.Assoc)
+			}
+			got := c.Touch(addr)
+			want := ref.touch(addr)
+			if got != want {
+				t.Fatalf("%s: access %d addr %x: got hit=%v, reference %v", cfg.Name, i, addr, got, want)
+			}
+		}
+	}
+}

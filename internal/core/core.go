@@ -1,0 +1,471 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"macroop/internal/branch"
+	"macroop/internal/cache"
+	"macroop/internal/config"
+	"macroop/internal/functional"
+	"macroop/internal/isa"
+	"macroop/internal/mop"
+	"macroop/internal/program"
+	"macroop/internal/sched"
+)
+
+const ringSize = 256 // recently fetched uops kept for MOP formation checks
+
+// Core is one simulated processor running one program (or a recorded
+// trace; see NewFromSource).
+type Core struct {
+	cfg  config.Machine
+	name string
+	src  functional.Source
+	pred *branch.Predictor
+	mem  *cache.Hierarchy
+	sch  *sched.Scheduler
+	det  *mop.Detector
+	ptab *mop.PointerTable
+
+	cycle int64
+
+	// Fetch state.
+	nextStreamIdx int64
+	fetchDone     bool  // functional stream exhausted
+	stallUntil    int64 // IL1-miss stall
+	stallBranch   *uop  // mispredicted branch blocking fetch
+	pendingDyn    *functional.DynInst
+
+	ring [ringSize]*uop // fetched uops by streamIdx%ringSize
+
+	// Front-end delay line: fetched uops awaiting queue insertion.
+	feQueue []*uop
+
+	// Rename state: architectural register -> producing entry/op.
+	rename [isa.NumRegs]prodRef
+
+	// MOP formation state.
+	pendingHeads []*uop
+
+	// ROB.
+	rob      []*uop
+	robHead  int
+	robCount int
+
+	tracer Tracer
+
+	res Result
+}
+
+// New builds a core for the given machine configuration and program.
+func New(cfg config.Machine, prog *program.Program) (*Core, error) {
+	if err := prog.Validate(); err != nil {
+		return nil, err
+	}
+	return NewFromSource(cfg, prog.Name, functional.NewExecutor(prog))
+}
+
+// NewFromSource builds a core driven by an arbitrary dynamic instruction
+// source — the functional executor for execution-driven runs, or a
+// tracefile.Reader for trace-driven ones.
+func NewFromSource(cfg config.Machine, name string, src functional.Source) (*Core, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	var fu [isa.NumClasses]int
+	for c := range fu {
+		fu[c] = cfg.FUCount(c)
+	}
+	c := &Core{
+		cfg:  cfg,
+		name: name,
+		src:  src,
+		pred: branch.New(cfg.Branch),
+		mem:  cache.NewHierarchy(cfg.Mem),
+		rob:  make([]*uop, cfg.ROBEntries),
+	}
+	c.sch = sched.New(sched.Config{
+		Model:         cfg.Sched,
+		Width:         cfg.Width,
+		IQEntries:     cfg.IQEntries,
+		FU:            fu,
+		ReplayPenalty: cfg.ReplayPenalty,
+	})
+	if cfg.Sched == config.SchedMOP {
+		c.ptab = mop.NewPointerTable()
+		c.det = mop.NewDetector(cfg.MOP, c.ptab)
+	}
+	c.res.Benchmark = name
+	return c, nil
+}
+
+// Run simulates until maxInsts instructions commit (or the program ends)
+// and returns the results. maxCycles bounds runaway simulations (0 means
+// 1000x maxInsts).
+func (c *Core) Run(maxInsts int64) (*Result, error) {
+	maxCycles := maxInsts * 1000
+	if maxCycles <= 0 {
+		maxCycles = 1 << 40
+	}
+	for c.res.Committed < maxInsts {
+		if c.fetchDone && c.robCount == 0 && len(c.feQueue) == 0 {
+			break // program ended and pipeline drained
+		}
+		c.step()
+		if c.cycle > maxCycles {
+			return nil, fmt.Errorf("core: %s exceeded %d cycles for %d insts (deadlock?)",
+				c.name, maxCycles, maxInsts)
+		}
+	}
+	c.finishStats()
+	return &c.res, nil
+}
+
+// step advances one clock cycle.
+func (c *Core) step() {
+	c.commit()
+	c.issue()
+	c.insert()
+	c.fetch()
+	c.cycle++
+}
+
+// ---------------------------------------------------------------------
+// Issue (scheduling) stage: drive the scheduler and apply per-grant
+// consequences (cache probes for loads, branch resolution bookkeeping).
+
+func (c *Core) issue() {
+	grants := c.sch.Tick(c.cycle)
+	for _, g := range grants {
+		u, ok := g.Entry.UserData.([]*uop)
+		if !ok || g.OpIdx >= len(u) {
+			continue
+		}
+		uo := u[g.OpIdx]
+		if uo == nil {
+			continue
+		}
+		c.res.OpsIssued++
+		c.trace(uo, StageIssue, g.Cycle)
+		if uo.isLoad() {
+			// Probe the data hierarchy on the first grant only (issue
+			// order is deterministic); if the load replays, its data
+			// still arrives when the original access completes.
+			agen := int64(uo.op().Latency())
+			if !uo.memProbed {
+				if !c.sch.OperandsValid(g.Entry) {
+					// Invalidly issued (operands not really ready): the
+					// address is not computable, so no cache access
+					// happens; this grant will be rescinded and the load
+					// reissued.
+					continue
+				}
+				lat, hit := c.mem.Data(uo.d.MemAddr)
+				if !hit {
+					c.res.DL1Misses++
+				}
+				uo.memProbed = true
+				uo.memFillAt = g.Cycle + agen + int64(lat)
+			}
+			actual := maxI64(g.Cycle+agen+int64(c.loadAssumed()), uo.memFillAt)
+			discover := g.Cycle + int64(c.cfg.ExecOffset) + 1
+			c.sch.SetLoadResult(g.Entry, g.OpIdx, actual, discover)
+		}
+	}
+}
+
+// ---------------------------------------------------------------------
+// Fetch stage.
+
+func (c *Core) fetch() {
+	if c.fetchDone {
+		return
+	}
+	// Mispredicted branch: fetch resumes after it finally resolves.
+	if b := c.stallBranch; b != nil {
+		if b.entry == nil || !b.entry.Final() {
+			return
+		}
+		resolve := b.entry.Grant() + int64(c.cfg.ExecOffset) + int64(b.opIdx)
+		// (chain members execute opIdx cycles after the MOP issues)
+		resume := maxI64(resolve+1, b.fetchCycle+int64(c.cfg.MinBranchPenalty))
+		if c.cycle < resume {
+			return
+		}
+		c.stallBranch = nil
+	}
+	if c.cycle < c.stallUntil {
+		return
+	}
+
+	var curLine uint64
+	haveLine := false
+	for n := 0; n < c.cfg.Width && len(c.feQueue) < c.cfg.FetchBufEntries; n++ {
+		d := c.peekDyn()
+		if d == nil {
+			c.fetchDone = true
+			return
+		}
+		// Instruction cache: one line access per group; crossing into a
+		// new line probes again, and a miss cuts the group.
+		line := program.ByteAddr(d.PC) / uint64(c.cfg.Mem.IL1.LineBytes)
+		if !haveLine || line != curLine {
+			lat, hit := c.mem.Fetch(program.ByteAddr(d.PC))
+			if !hit {
+				c.res.IL1Misses++
+				c.stallUntil = c.cycle + int64(lat-c.cfg.Mem.IL1.Latency)
+				if n == 0 {
+					return // group starts next cycle, after the fill
+				}
+				break
+			}
+			curLine, haveLine = line, true
+		}
+
+		u := c.takeDyn()
+		u.fetchCycle = c.cycle
+		c.trace(u, StageFetch, c.cycle)
+		u.insertAt = c.cycle + int64(c.cfg.FrontLatency)
+		if c.cfg.Sched == config.SchedMOP {
+			u.insertAt += int64(c.cfg.MOP.ExtraFormationStages)
+		}
+		c.ring[u.streamIdx%ringSize] = u
+		c.feQueue = append(c.feQueue, u)
+		c.res.Fetched++
+
+		if u.isBranch() {
+			if c.predictBranch(u) {
+				break // taken (or mispredicted): group ends
+			}
+		}
+	}
+}
+
+// predictBranch runs fetch-time prediction for u, updates predictor state,
+// and reports whether the fetch group must end (redirect or mispredict).
+func (c *Core) predictBranch(u *uop) bool {
+	op := u.op()
+	d := &u.d
+	switch {
+	case op.IsCondBranch():
+		pred := c.pred.PredictDirection(d.PC)
+		c.pred.UpdateDirection(d.PC, d.Taken)
+		if pred != d.Taken {
+			u.mispredicted = true
+			c.res.BranchMispredicts++
+			c.stallBranch = u
+			return true
+		}
+		if d.Taken {
+			c.pred.UpdateTarget(d.PC, d.NextPC)
+		}
+		return d.Taken
+	case op.IsDirectJump():
+		// Direct targets are available from predecode; JAL pushes the RAS.
+		if op == isa.JAL {
+			c.pred.PushRAS(d.PC + 1)
+		}
+		c.pred.UpdateTarget(d.PC, d.NextPC)
+		return true
+	case op.IsIndirect():
+		target, ok := c.pred.PopRAS()
+		c.pred.RecordTargetOutcome(true, target, d.NextPC)
+		if !ok || target != d.NextPC {
+			u.mispredicted = true
+			c.res.BranchMispredicts++
+			c.stallBranch = u
+		}
+		return true
+	}
+	return false
+}
+
+// peekDyn returns the next fused dynamic instruction without consuming it.
+func (c *Core) peekDyn() *functional.DynInst {
+	if c.pendingDyn != nil {
+		return c.pendingDyn
+	}
+	var d functional.DynInst
+	if err := c.src.Step(&d); err != nil {
+		if errors.Is(err, functional.ErrHalted) {
+			return nil
+		}
+		panic(fmt.Sprintf("core: instruction source fault in %s: %v", c.name, err))
+	}
+	c.pendingDyn = &d
+	return c.pendingDyn
+}
+
+// takeDyn consumes the next fused dynamic instruction as a uop, merging a
+// following STD into its STA.
+func (c *Core) takeDyn() *uop {
+	d := c.peekDyn()
+	c.pendingDyn = nil
+	u := &uop{d: *d, streamIdx: c.nextStreamIdx, dataReg: isa.NoReg}
+	c.nextStreamIdx++
+	if d.Inst.Op == isa.STA {
+		std := c.peekDyn()
+		if std == nil || std.Inst.Op != isa.STD {
+			panic("core: STA without STD in stream")
+		}
+		u.dataReg = std.Inst.Src1
+		c.pendingDyn = nil
+	}
+	return u
+}
+
+// ---------------------------------------------------------------------
+// Queue-insert stage (rename + MOP formation + issue queue insertion).
+
+func (c *Core) insert() {
+	inserted := 0
+	var group []*uop
+	for len(c.feQueue) > 0 && inserted < c.cfg.Width {
+		u := c.feQueue[0]
+		if u.insertAt > c.cycle {
+			break
+		}
+		if c.robCount >= c.cfg.ROBEntries {
+			break
+		}
+		// A claimed tail shares its head's entry; everything else needs a
+		// fresh one.
+		needsEntry := u.claimedBy == nil
+		if needsEntry && !c.sch.HasSpace(1) {
+			break
+		}
+		c.feQueue = c.feQueue[1:]
+		c.renameAndInsert(u)
+		c.robPush(u)
+		group = append(group, u)
+		inserted++
+	}
+	if len(group) > 0 {
+		c.afterInsertGroup(group)
+	}
+}
+
+// robPush appends to the ROB ring.
+func (c *Core) robPush(u *uop) {
+	c.rob[(c.robHead+c.robCount)%len(c.rob)] = u
+	c.robCount++
+	u.inserted = true
+}
+
+// srcSpecs builds the scheduler source list for u's register operands,
+// excluding x (the intra-MOP producer) when attaching a tail.
+func (c *Core) srcSpecs(u *uop, exclude *sched.Entry) ([]sched.SrcSpec, []prodRef) {
+	var specs []sched.SrcSpec
+	var prods []prodRef
+	add := func(r isa.Reg) {
+		if r == isa.NoReg || r == isa.R0 {
+			return
+		}
+		p := c.rename[r]
+		if p.entry == exclude && exclude != nil {
+			return // satisfied inside the MOP; no tag broadcast needed
+		}
+		specs = append(specs, sched.SrcSpec{Prod: p.entry, ProdOp: p.opIdx})
+		prods = append(prods, p)
+	}
+	add(u.d.Inst.Src1)
+	add(u.d.Inst.Src2)
+	return specs, prods
+}
+
+func (c *Core) loadAssumed() int { return c.mem.LoadAssumedLatency() }
+
+func (c *Core) finishStats() {
+	c.res.Cycles = c.cycle
+	if c.cycle > 0 {
+		c.res.IPC = float64(c.res.Committed) / float64(c.cycle)
+	}
+	c.res.SchedStats = c.sch.Stats()
+	if c.det != nil {
+		c.res.DetectStats = c.det.Stats()
+	}
+	condSeen, condHit, _, _, rasSeen, rasHit := c.pred.Stats()
+	c.res.CondBranches, c.res.CondCorrect = condSeen, condHit
+	c.res.Returns, c.res.ReturnsCorrect = rasSeen, rasHit
+	c.res.IL1MissRate = c.mem.IL1().MissRate()
+	c.res.DL1MissRate = c.mem.DL1().MissRate()
+	c.res.L2MissRate = c.mem.L2().MissRate()
+	if c.ptab != nil {
+		c.res.PointerInstalls = c.ptab.Installs()
+		c.res.PointerDeletes = c.ptab.Deletes()
+	}
+}
+
+// ---------------------------------------------------------------------
+// Commit stage.
+
+func (c *Core) commit() {
+	for n := 0; n < c.cfg.Width && c.robCount > 0; n++ {
+		u := c.rob[c.robHead]
+		if !c.committable(u) {
+			return
+		}
+		c.retire(u)
+		c.rob[c.robHead] = nil
+		c.robHead = (c.robHead + 1) % len(c.rob)
+		c.robCount--
+	}
+}
+
+// committable reports whether the ROB head has fully completed.
+func (c *Core) committable(u *uop) bool {
+	if u.entry == nil || !u.entry.Final() {
+		return false
+	}
+	done := u.entry.ActualReady(u.opIdx) + int64(c.cfg.ExecOffset)
+	if u.isStore() && u.dataProd.entry != nil {
+		p := u.dataProd
+		if !p.entry.Final() {
+			return false
+		}
+		dataDone := p.entry.ActualReady(p.opIdx) + int64(c.cfg.ExecOffset)
+		done = maxI64(done, dataDone)
+	}
+	return c.cycle >= done
+}
+
+// retire commits one instruction: stores write the data cache, MOP
+// statistics and the last-arriving filter run here.
+func (c *Core) retire(u *uop) {
+	u.committed = true
+	c.trace(u, StageCommit, c.cycle)
+	c.res.Committed++
+	if u.isStore() {
+		// Stores write memory at commit (Section 2.1); the tag fill keeps
+		// the data cache warm for later loads.
+		c.mem.DL1().Touch(u.d.MemAddr)
+	}
+	c.accountMOP(u)
+	if u.mopHead && c.cfg.Sched == config.SchedMOP && c.cfg.MOP.LastArrivingFilter {
+		c.lastArrivingFilter(u)
+	}
+	// Sever producer references so the retired window does not pin the
+	// whole dependence history in memory (the scheduler severs its own
+	// edges at finality; these are the core's rename-time records).
+	u.headProds = nil
+	u.tailProds = nil
+	u.dataProd = prodRef{}
+	u.claimedBy = nil
+	if u.entry != nil && u.opIdx == u.entry.NumOps()-1 {
+		// Last member of the entry to commit: no more grants can arrive,
+		// so the payload back-pointers can go too.
+		u.entry.UserData = nil
+	}
+	u.members = nil
+	// u.entry stays: the fetch stage may still consult a committed
+	// branch's entry for resolution timing; final entries are leaf
+	// objects once their edges and payload are severed.
+}
+
+func maxI64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,132 @@
+package core
+
+import (
+	"testing"
+
+	"macroop/internal/config"
+	"macroop/internal/isa"
+	"macroop/internal/program"
+)
+
+// TestCallReturnPredictedByRAS checks that call/return pairs predict well
+// (the RAS supplies return targets), so a call-heavy loop loses little.
+func TestCallReturnPredictedByRAS(t *testing.T) {
+	b := program.NewBuilder("calls")
+	b.MovI(7, 1<<40)
+	b.Label("top")
+	b.Call("f1")
+	b.Call("f2")
+	b.OpImm(isa.ADDI, 7, 7, -1)
+	b.Branch(isa.BNE, 7, isa.R0, "top")
+	b.Halt()
+	b.Label("f1")
+	b.OpImm(isa.ADDI, 8, 8, 1)
+	b.Ret()
+	b.Label("f2")
+	b.OpImm(isa.ADDI, 9, 9, 1)
+	b.Ret()
+	res := runProg(t, config.Default(), b.MustBuild(), 40000)
+	if rate := float64(res.ReturnsCorrect) / float64(res.Returns); rate < 0.99 {
+		t.Fatalf("RAS accuracy %.3f on nested-free call/return", rate)
+	}
+	if res.IPC < 1.0 {
+		t.Fatalf("call-heavy loop IPC %.3f", res.IPC)
+	}
+}
+
+// TestRASOverflowMispredicts drives calls deeper than the 16-entry RAS;
+// returns beyond the stack depth must mispredict.
+func TestRASOverflowMispredicts(t *testing.T) {
+	// 20 nested calls: f0 calls f1 calls f2 ... f19; the return chain
+	// underflows the 16-entry RAS for the outermost 4 frames.
+	b := program.NewBuilder("deep")
+	b.MovI(7, 1<<40)
+	b.MovI(29, 0x40000) // stack base for saving RA
+	b.Label("top")
+	b.Call(fnName(0))
+	b.OpImm(isa.ADDI, 7, 7, -1)
+	b.Branch(isa.BNE, 7, isa.R0, "top")
+	b.Halt()
+	const depth = 20
+	for i := 0; i < depth; i++ {
+		b.Label(fnName(i))
+		// Save RA to memory, call deeper, restore, return.
+		b.Store(isa.RA, 29, int64(i)*8)
+		if i+1 < depth {
+			b.Call(fnName(i + 1))
+		}
+		b.Load(isa.RA, 29, int64(i)*8)
+		b.Ret()
+	}
+	res := runProg(t, config.Default(), b.MustBuild(), 40000)
+	if res.Returns == 0 {
+		t.Fatal("no returns recorded")
+	}
+	missRate := 1 - float64(res.ReturnsCorrect)/float64(res.Returns)
+	if missRate < 0.1 {
+		t.Fatalf("return miss rate %.3f; deep nesting should overflow the 16-entry RAS", missRate)
+	}
+}
+
+func fnName(i int) string {
+	return "fn" + string(rune('a'+i/10)) + string(rune('0'+i%10))
+}
+
+// TestCodeFootprintIL1 checks that a loop body larger than the 16KB IL1
+// runs slower (streaming instruction fetch) than a resident one.
+func TestCodeFootprintIL1(t *testing.T) {
+	mk := func(bodyInsts int) *program.Program {
+		b := program.NewBuilder("code")
+		b.MovI(7, 1<<40)
+		b.Label("top")
+		for i := 0; i < bodyInsts; i++ {
+			b.OpImm(isa.ADDI, isa.Reg(8+i%16), isa.Reg(8+i%16), 1)
+		}
+		b.OpImm(isa.ADDI, 7, 7, -1)
+		b.Branch(isa.BNE, 7, isa.R0, "top")
+		b.Halt()
+		return b.MustBuild()
+	}
+	small := runProg(t, config.Default(), mk(1000), 60000) // 4KB body: resident
+	big := runProg(t, config.Default(), mk(12000), 60000)  // 48KB body: streams
+	if big.IL1MissRate < 10*small.IL1MissRate {
+		t.Fatalf("IL1 miss rates: big %.4f small %.4f", big.IL1MissRate, small.IL1MissRate)
+	}
+	if big.IPC > 0.9*small.IPC {
+		t.Fatalf("instruction streaming not visible: %.3f vs %.3f", big.IPC, small.IPC)
+	}
+}
+
+// TestIQOccupancyNeverExceedsLimit runs with a tiny queue and checks the
+// scheduler's own occupancy accounting stayed within bounds.
+func TestIQOccupancyNeverExceedsLimit(t *testing.T) {
+	p := loopProgram("occ", func(b *program2) {
+		for i := 0; i < 10; i++ {
+			b.OpImm(isa.ADDI, 8, 8, 1)
+		}
+		b.Load(9, 5, 0)
+		b.OpImm(isa.ADDI, 10, 9, 1)
+	})
+	for _, iq := range []int{4, 8, 16} {
+		res := runProg(t, config.Default().WithIQ(iq), p, 20000)
+		if res.SchedStats.MaxOccupancy > iq {
+			t.Fatalf("IQ=%d: occupancy reached %d", iq, res.SchedStats.MaxOccupancy)
+		}
+	}
+}
+
+// TestMOPOccupancyAdvantage confirms the mechanism behind Figure 15: at
+// the same queue size the MOP machine tracks more original instructions.
+func TestMOPOccupancyAdvantage(t *testing.T) {
+	p := loopProgram("adv", func(b *program2) {
+		for i := 0; i < 12; i++ {
+			b.OpImm(isa.ADDI, 8, 8, 1) // perfectly fusable chain
+		}
+	})
+	base := runProg(t, config.Default().WithIQ(8).WithSched(config.SchedBase), p, 30000)
+	mop := runProg(t, config.Default().WithIQ(8).WithMOP(config.DefaultMOP()), p, 30000)
+	if mop.SchedStats.OpsInserted <= mop.SchedStats.EntriesInserted {
+		t.Fatal("MOP machine did not pack multiple ops per entry")
+	}
+	_ = base
+}

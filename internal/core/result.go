@@ -1,0 +1,114 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"macroop/internal/mop"
+	"macroop/internal/sched"
+)
+
+// Result reports one simulation run.
+type Result struct {
+	Benchmark string
+	Cycles    int64
+	Committed int64 // committed instructions (a fused store counts once)
+	IPC       float64
+
+	Fetched   int64
+	OpsIssued int64
+
+	// Branch prediction.
+	BranchMispredicts int64
+	CondBranches      int64
+	CondCorrect       int64
+	Returns           int64
+	ReturnsCorrect    int64
+
+	// Memory system.
+	IL1Misses   int64
+	DL1Misses   int64
+	IL1MissRate float64
+	DL1MissRate float64
+	L2MissRate  float64
+
+	// Macro-op formation (Figure 13 categories, counted at commit).
+	NotCandidate       int64
+	CandNotGrouped     int64
+	ValueGenGrouped    int64
+	NonValueGenGrouped int64
+	IndepGrouped       int64
+
+	MOPsFormed      int64
+	DepMOPsFormed   int64
+	IndepMOPsFormed int64
+	MOPsDemoted     int64
+	FormCtrlMiss    int64 // formation rejected: control flow differed from pointer
+	FormCycleAborts int64 // chained formation aborted: would create a dependence cycle
+	FormMissedScope int64 // formation rejected: tail outside the insertion window
+	FilterDeletes   int64 // last-arriving filter pointer deletions
+	PointerInstalls int64
+	PointerDeletes  int64
+
+	SchedStats  sched.Stats
+	DetectStats mop.DetectStats
+}
+
+// GroupedInsts returns the number of committed instructions that were
+// part of any MOP.
+func (r *Result) GroupedInsts() int64 {
+	return r.ValueGenGrouped + r.NonValueGenGrouped + r.IndepGrouped
+}
+
+// GroupedFrac returns the fraction of committed instructions grouped into
+// MOPs (the headline of Figure 13).
+func (r *Result) GroupedFrac() float64 {
+	if r.Committed == 0 {
+		return 0
+	}
+	return float64(r.GroupedInsts()) / float64(r.Committed)
+}
+
+// InsertReduction returns the relative reduction in scheduler insertions
+// from MOP grouping (entries vs original instructions; the paper reports
+// an average 16.2%).
+func (r *Result) InsertReduction() float64 {
+	ops := r.SchedStats.OpsInserted
+	if ops == 0 {
+		return 0
+	}
+	return 1 - float64(r.SchedStats.EntriesInserted)/float64(ops)
+}
+
+// BranchMispredictRate returns mispredictions per committed instruction.
+func (r *Result) BranchMispredictRate() float64 {
+	if r.Committed == 0 {
+		return 0
+	}
+	return float64(r.BranchMispredicts) / float64(r.Committed)
+}
+
+// String renders a human-readable summary.
+func (r *Result) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s: IPC %.3f (%d insts / %d cycles)\n", r.Benchmark, r.IPC, r.Committed, r.Cycles)
+	fmt.Fprintf(&b, "  branches: %d mispredicts (cond acc %.1f%%)\n",
+		r.BranchMispredicts, 100*safeDiv(r.CondCorrect, r.CondBranches))
+	fmt.Fprintf(&b, "  caches: IL1 %.2f%% DL1 %.2f%% L2 %.2f%% miss\n",
+		100*r.IL1MissRate, 100*r.DL1MissRate, 100*r.L2MissRate)
+	fmt.Fprintf(&b, "  sched: %d entries / %d ops inserted, %d grants, %d replays\n",
+		r.SchedStats.EntriesInserted, r.SchedStats.OpsInserted, r.SchedStats.Grants, r.SchedStats.Replays)
+	if r.MOPsFormed > 0 {
+		fmt.Fprintf(&b, "  MOPs: %d formed (%d dep, %d indep), %d demoted; %.1f%% insts grouped, insert reduction %.1f%%\n",
+			r.MOPsFormed, r.DepMOPsFormed, r.IndepMOPsFormed, r.MOPsDemoted,
+			100*r.GroupedFrac(), 100*r.InsertReduction())
+	}
+	return b.String()
+}
+
+func safeDiv(a, b int64) float64 {
+	if b == 0 {
+		return 0
+	}
+	return float64(a) / float64(b)
+}

@@ -1,0 +1,441 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (Section 6) plus the ablations discussed in the text. Each
+// experiment returns a stats.Table whose rows mirror the series the paper
+// plots; EXPERIMENTS.md records paper-vs-measured for each.
+package experiments
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"macroop/internal/config"
+	"macroop/internal/core"
+	"macroop/internal/functional"
+	"macroop/internal/mop"
+	"macroop/internal/program"
+	"macroop/internal/stats"
+	"macroop/internal/workload"
+)
+
+// Runner executes simulations for the experiment suite, caching generated
+// programs and running independent simulations in parallel.
+type Runner struct {
+	// MaxInsts is the committed-instruction budget per simulation.
+	MaxInsts int64
+	// Benchmarks to include; nil means the full 12-benchmark suite.
+	Benchmarks []string
+
+	mu    sync.Mutex
+	progs map[string]*program.Program
+}
+
+// NewRunner returns a Runner simulating maxInsts per benchmark per config.
+func NewRunner(maxInsts int64) *Runner {
+	return &Runner{MaxInsts: maxInsts, progs: make(map[string]*program.Program)}
+}
+
+func (r *Runner) benchmarks() []string {
+	if len(r.Benchmarks) > 0 {
+		return r.Benchmarks
+	}
+	return workload.Names()
+}
+
+// Program returns (generating on first use) the benchmark program.
+func (r *Runner) Program(name string) (*program.Program, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if p, ok := r.progs[name]; ok {
+		return p, nil
+	}
+	prof, err := workload.ByName(name)
+	if err != nil {
+		return nil, err
+	}
+	p, err := workload.Generate(prof)
+	if err != nil {
+		return nil, err
+	}
+	r.progs[name] = p
+	return p, nil
+}
+
+// Run simulates one benchmark under one machine configuration.
+func (r *Runner) Run(bench string, m config.Machine) (*core.Result, error) {
+	p, err := r.Program(bench)
+	if err != nil {
+		return nil, err
+	}
+	c, err := core.New(m, p)
+	if err != nil {
+		return nil, err
+	}
+	return c.Run(r.MaxInsts)
+}
+
+// job is one (benchmark, config) simulation.
+type job struct {
+	bench string
+	cfg   string
+	m     config.Machine
+}
+
+// RunMatrix simulates every benchmark under every named configuration,
+// in parallel, returning results[bench][cfgName].
+func (r *Runner) RunMatrix(cfgs map[string]config.Machine) (map[string]map[string]*core.Result, error) {
+	var jobs []job
+	for _, b := range r.benchmarks() {
+		for name, m := range cfgs {
+			jobs = append(jobs, job{bench: b, cfg: name, m: m})
+		}
+	}
+	results := make(map[string]map[string]*core.Result)
+	for _, b := range r.benchmarks() {
+		results[b] = make(map[string]*core.Result)
+	}
+
+	var mu sync.Mutex
+	var firstErr error
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, runtime.NumCPU())
+	for _, j := range jobs {
+		wg.Add(1)
+		go func(j job) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			res, err := r.Run(j.bench, j.m)
+			mu.Lock()
+			defer mu.Unlock()
+			if err != nil {
+				if firstErr == nil {
+					firstErr = fmt.Errorf("%s/%s: %w", j.bench, j.cfg, err)
+				}
+				return
+			}
+			results[j.bench][j.cfg] = res
+		}(j)
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	return results, nil
+}
+
+// characterize streams maxInsts committed instructions of a benchmark
+// through the given per-instruction sink.
+func (r *Runner) characterize(bench string, sink func(*functional.DynInst)) error {
+	p, err := r.Program(bench)
+	if err != nil {
+		return err
+	}
+	e := functional.NewExecutor(p)
+	var d functional.DynInst
+	for n := int64(0); n < r.MaxInsts; n++ {
+		if err := e.Step(&d); err != nil {
+			break // halted: characterize what we have
+		}
+		sink(&d)
+	}
+	return nil
+}
+
+// ---------------------------------------------------------------------
+// Table 1: machine configuration (static).
+
+// Table1 renders the simulated machine configuration.
+func Table1() *stats.Table {
+	m := config.Default()
+	t := stats.NewTable("Table 1: machine configuration", "parameter", "configuration")
+	t.AddRow("out-of-order", fmt.Sprintf("%d-wide fetch/issue/commit, %d-entry ROB, %d-entry issue queue (0=unrestricted), selective replay (%d-cycle penalty)",
+		m.Width, m.ROBEntries, m.IQEntries, m.ReplayPenalty))
+	t.AddRow("functional units", fmt.Sprintf("%d int ALU (1), %d int MUL/DIV (3/20), %d FP ALU (2), %d FP MUL/DIV (4/24), %d memory ports",
+		m.IntALUs, m.IntMuls, m.FPALUs, m.FPMuls, m.MemPorts))
+	t.AddRow("branch prediction", fmt.Sprintf("bimodal %dk + gshare %dk with %dk selector, %d RAS, %dk-entry %d-way BTB, >=%d-cycle misprediction recovery",
+		m.Branch.BimodalEntries/1024, m.Branch.GshareEntries/1024, m.Branch.SelectorEntries/1024,
+		m.Branch.RASEntries, m.Branch.BTBEntries/1024, m.Branch.BTBAssoc, m.MinBranchPenalty))
+	t.AddRow("memory system", fmt.Sprintf("%dKB %d-way %dB IL1 (%d), %dKB %d-way %dB DL1 (%d), %dKB %d-way %dB L2 (%d), memory (%d)",
+		m.Mem.IL1.SizeBytes/1024, m.Mem.IL1.Assoc, m.Mem.IL1.LineBytes, m.Mem.IL1.Latency,
+		m.Mem.DL1.SizeBytes/1024, m.Mem.DL1.Assoc, m.Mem.DL1.LineBytes, m.Mem.DL1.Latency,
+		m.Mem.L2.SizeBytes/1024, m.Mem.L2.Assoc, m.Mem.L2.LineBytes, m.Mem.L2.Latency,
+		m.Mem.MemLatency))
+	return t
+}
+
+// ---------------------------------------------------------------------
+// Table 2: benchmarks and base IPCs (32-entry / unrestricted issue queue).
+
+// Table2 runs the base scheduler under both queue configurations.
+func (r *Runner) Table2() (*stats.Table, error) {
+	res, err := r.RunMatrix(map[string]config.Machine{
+		"iq32":  config.Default().WithSched(config.SchedBase),
+		"unres": config.Unrestricted().WithSched(config.SchedBase),
+	})
+	if err != nil {
+		return nil, err
+	}
+	t := stats.NewTable("Table 2: benchmarks and base IPC",
+		"benchmark", "insts", "IPC (32-entry)", "IPC (unrestricted)")
+	for _, b := range r.benchmarks() {
+		t.AddRow(b, res[b]["iq32"].Committed, res[b]["iq32"].IPC, res[b]["unres"].IPC)
+	}
+	return t, nil
+}
+
+// ---------------------------------------------------------------------
+// Figure 6: dependence edge distance characterization.
+
+// Figure6 classifies every potential MOP head by the distance to its
+// nearest potential tail.
+func (r *Runner) Figure6() (*stats.Table, error) {
+	t := stats.NewTable("Figure 6: dependence edge distance between candidate pairs (% of value-generating candidates)",
+		"benchmark", "%total insts", "1~3", "4~7", "8+", "not-candidate", "dead")
+	for _, b := range r.benchmarks() {
+		acc := mop.NewEdgeDistance()
+		if err := r.characterize(b, acc.Push); err != nil {
+			return nil, err
+		}
+		acc.Flush()
+		h := acc.Heads
+		t.AddRow(b,
+			stats.Pct(acc.Heads, acc.TotalInsts),
+			stats.Pct(acc.Dist1to3, h), stats.Pct(acc.Dist4to7, h), stats.Pct(acc.Dist8plus, h),
+			stats.Pct(acc.NotCandidate, h), stats.Pct(acc.Dead, h))
+	}
+	return t, nil
+}
+
+// ---------------------------------------------------------------------
+// Figure 7: groupable instructions for 2x and 8x MOPs.
+
+// Figure7 measures idealized grouping coverage within the 8-instruction
+// scope for both MOP size limits.
+func (r *Runner) Figure7() (*stats.Table, error) {
+	t := stats.NewTable("Figure 7: instructions groupable into MOPs (% of total instructions)",
+		"benchmark", "cfg", "MOP-valuegen", "MOP-nonvaluegen", "cand-not-grouped", "not-candidate", "valuegen-cands", "avg-insts/8x-MOP")
+	for _, b := range r.benchmarks() {
+		g2 := mop.NewGrouping(2)
+		g8 := mop.NewGrouping(8)
+		if err := r.characterize(b, func(d *functional.DynInst) {
+			g2.Push(d)
+			g8.Push(d)
+		}); err != nil {
+			return nil, err
+		}
+		g2.Flush()
+		g8.Flush()
+		for _, g := range []*mop.Grouping{g2, g8} {
+			t.AddRow(b, fmt.Sprintf("%dx", g.MaxSize),
+				stats.Pct(g.MOPValueGen, g.TotalInsts),
+				stats.Pct(g.MOPNonValueGen, g.TotalInsts),
+				stats.Pct(g.CandNotGrouped, g.TotalInsts),
+				stats.Pct(g.NotCandidate, g.TotalInsts),
+				stats.Pct(g.ValueGenCands, g.TotalInsts),
+				g.AvgGroupSize())
+		}
+	}
+	return t, nil
+}
+
+// mopMachine builds a macro-op machine with the given wakeup style, queue
+// size (0 = unrestricted) and extra formation stages.
+func mopMachine(w config.WakeupStyle, iq, extraStages int) config.Machine {
+	m := config.Default().WithIQ(iq)
+	mc := config.DefaultMOP()
+	mc.Wakeup = w
+	mc.ExtraFormationStages = extraStages
+	return m.WithMOP(mc)
+}
+
+// ---------------------------------------------------------------------
+// Figure 13: grouped instructions under real pipeline constraints.
+
+// Figure13 reports the committed-instruction grouping breakdown for
+// CAM-2src and wired-OR macro-op scheduling.
+func (r *Runner) Figure13() (*stats.Table, error) {
+	res, err := r.RunMatrix(map[string]config.Machine{
+		"2-src":    mopMachine(config.WakeupCAM2Src, 32, 1),
+		"wired-OR": mopMachine(config.WakeupWiredOR, 32, 1),
+	})
+	if err != nil {
+		return nil, err
+	}
+	t := stats.NewTable("Figure 13: grouped instructions in macro-op scheduling (% of committed instructions)",
+		"benchmark", "wakeup", "MOP-valuegen", "MOP-nonvaluegen", "independent-MOP", "cand-not-grouped", "not-candidate", "insert-reduction%")
+	for _, b := range r.benchmarks() {
+		for _, cfgName := range []string{"2-src", "wired-OR"} {
+			x := res[b][cfgName]
+			t.AddRow(b, cfgName,
+				stats.Pct(x.ValueGenGrouped, x.Committed),
+				stats.Pct(x.NonValueGenGrouped, x.Committed),
+				stats.Pct(x.IndepGrouped, x.Committed),
+				stats.Pct(x.CandNotGrouped, x.Committed),
+				stats.Pct(x.NotCandidate, x.Committed),
+				100*x.InsertReduction())
+		}
+	}
+	return t, nil
+}
+
+// ---------------------------------------------------------------------
+// Figure 14: vanilla macro-op scheduling performance (unrestricted queue,
+// no extra formation stage), normalized to base scheduling.
+
+// Figure14 compares 2-cycle and macro-op scheduling without queue
+// contention.
+func (r *Runner) Figure14() (*stats.Table, error) {
+	res, err := r.RunMatrix(map[string]config.Machine{
+		"base":        config.Unrestricted().WithSched(config.SchedBase),
+		"2-cycle":     config.Unrestricted().WithSched(config.SchedTwoCycle),
+		"MOP-2src":    mopMachine(config.WakeupCAM2Src, 0, 0),
+		"MOP-wiredOR": mopMachine(config.WakeupWiredOR, 0, 0),
+	})
+	if err != nil {
+		return nil, err
+	}
+	t := stats.NewTable("Figure 14: vanilla macro-op scheduling (unrestricted IQ / 128 ROB, no extra stage), IPC normalized to base",
+		"benchmark", "base-IPC", "2-cycle", "MOP-2src", "MOP-wiredOR")
+	for _, b := range r.benchmarks() {
+		base := res[b]["base"].IPC
+		t.AddRow(b, base,
+			norm(res[b]["2-cycle"].IPC, base),
+			norm(res[b]["MOP-2src"].IPC, base),
+			norm(res[b]["MOP-wiredOR"].IPC, base))
+	}
+	return t, nil
+}
+
+// ---------------------------------------------------------------------
+// Figure 15: macro-op scheduling under issue queue contention (32-entry),
+// with 0/1/2 extra MOP formation stages.
+
+// Figure15 compares the schedulers under a 32-entry issue queue.
+func (r *Runner) Figure15() (*stats.Table, error) {
+	cfgs := map[string]config.Machine{
+		"base":    config.Default().WithSched(config.SchedBase),
+		"2-cycle": config.Default().WithSched(config.SchedTwoCycle),
+	}
+	for _, w := range []config.WakeupStyle{config.WakeupCAM2Src, config.WakeupWiredOR} {
+		for stages := 0; stages <= 2; stages++ {
+			cfgs[fmt.Sprintf("MOP-%s+%d", w, stages)] = mopMachine(w, 32, stages)
+		}
+	}
+	res, err := r.RunMatrix(cfgs)
+	if err != nil {
+		return nil, err
+	}
+	t := stats.NewTable("Figure 15: macro-op scheduling under issue queue contention (32-entry IQ / 128 ROB), IPC normalized to base",
+		"benchmark", "base-IPC", "2-cycle",
+		"MOP-2src+0", "MOP-2src+1", "MOP-2src+2",
+		"MOP-wiredOR+0", "MOP-wiredOR+1", "MOP-wiredOR+2")
+	for _, b := range r.benchmarks() {
+		base := res[b]["base"].IPC
+		t.AddRow(b, base,
+			norm(res[b]["2-cycle"].IPC, base),
+			norm(res[b]["MOP-2-src+0"].IPC, base),
+			norm(res[b]["MOP-2-src+1"].IPC, base),
+			norm(res[b]["MOP-2-src+2"].IPC, base),
+			norm(res[b]["MOP-wired-OR+0"].IPC, base),
+			norm(res[b]["MOP-wired-OR+1"].IPC, base),
+			norm(res[b]["MOP-wired-OR+2"].IPC, base))
+	}
+	return t, nil
+}
+
+// ---------------------------------------------------------------------
+// Figure 16: pipelined scheduling logic comparison (select-free vs MOP).
+
+// Figure16 compares select-free scheduling against macro-op scheduling
+// under the 32-entry issue queue.
+func (r *Runner) Figure16() (*stats.Table, error) {
+	res, err := r.RunMatrix(map[string]config.Machine{
+		"base":        config.Default().WithSched(config.SchedBase),
+		"squash-dep":  config.Default().WithSched(config.SchedSelectFreeSquashDep),
+		"scoreboard":  config.Default().WithSched(config.SchedSelectFreeScoreboard),
+		"MOP-wiredOR": mopMachine(config.WakeupWiredOR, 32, 1),
+	})
+	if err != nil {
+		return nil, err
+	}
+	t := stats.NewTable("Figure 16: pipelined scheduling logic comparison (32-entry IQ), IPC normalized to base",
+		"benchmark", "base-IPC", "select-free-squash-dep", "select-free-scoreboard", "MOP-wiredOR")
+	for _, b := range r.benchmarks() {
+		base := res[b]["base"].IPC
+		t.AddRow(b, base,
+			norm(res[b]["squash-dep"].IPC, base),
+			norm(res[b]["scoreboard"].IPC, base),
+			norm(res[b]["MOP-wiredOR"].IPC, base))
+	}
+	return t, nil
+}
+
+// ---------------------------------------------------------------------
+// Ablations from the text.
+
+// DetectionDelay reproduces Section 6.2's observation that even a
+// 100-cycle MOP detection delay costs almost nothing, because pointers
+// stored with the instruction cache are reused.
+func (r *Runner) DetectionDelay() (*stats.Table, error) {
+	fast := mopMachine(config.WakeupWiredOR, 32, 1)
+	slow := fast
+	slow.MOP.DetectionDelay = 100
+	res, err := r.RunMatrix(map[string]config.Machine{"delay3": fast, "delay100": slow})
+	if err != nil {
+		return nil, err
+	}
+	t := stats.NewTable("Ablation: MOP detection delay 3 vs 100 cycles (MOP-wiredOR, 32-entry IQ)",
+		"benchmark", "IPC (3-cycle)", "IPC (100-cycle)", "slowdown%")
+	for _, b := range r.benchmarks() {
+		f, s := res[b]["delay3"].IPC, res[b]["delay100"].IPC
+		t.AddRow(b, f, s, 100*(1-s/f))
+	}
+	return t, nil
+}
+
+// LastArriving reproduces Section 5.4.2's filter: deleting MOP pointers
+// whose tail operand arrives last.
+func (r *Runner) LastArriving() (*stats.Table, error) {
+	on := mopMachine(config.WakeupCAM2Src, 32, 1)
+	off := on
+	off.MOP.LastArrivingFilter = false
+	res, err := r.RunMatrix(map[string]config.Machine{"filter-on": on, "filter-off": off})
+	if err != nil {
+		return nil, err
+	}
+	t := stats.NewTable("Ablation: last-arriving-operand filter (MOP-2src, 32-entry IQ)",
+		"benchmark", "IPC (on)", "IPC (off)", "gain%", "pointer-deletes")
+	for _, b := range r.benchmarks() {
+		onR, offR := res[b]["filter-on"], res[b]["filter-off"]
+		t.AddRow(b, onR.IPC, offR.IPC, 100*(onR.IPC/offR.IPC-1), onR.FilterDeletes)
+	}
+	return t, nil
+}
+
+// IndependentMOPs reproduces Section 5.4.1: grouping independent pairs
+// trades serialization against queue-contention relief.
+func (r *Runner) IndependentMOPs() (*stats.Table, error) {
+	on := mopMachine(config.WakeupWiredOR, 32, 1)
+	off := on
+	off.MOP.GroupIndependent = false
+	res, err := r.RunMatrix(map[string]config.Machine{"indep-on": on, "indep-off": off})
+	if err != nil {
+		return nil, err
+	}
+	t := stats.NewTable("Ablation: independent MOPs on/off (MOP-wiredOR, 32-entry IQ)",
+		"benchmark", "IPC (on)", "IPC (off)", "gain%", "grouped% (on)", "grouped% (off)")
+	for _, b := range r.benchmarks() {
+		onR, offR := res[b]["indep-on"], res[b]["indep-off"]
+		t.AddRow(b, onR.IPC, offR.IPC, 100*(onR.IPC/offR.IPC-1),
+			100*onR.GroupedFrac(), 100*offR.GroupedFrac())
+	}
+	return t, nil
+}
+
+func norm(x, base float64) float64 {
+	if base == 0 {
+		return 0
+	}
+	return x / base
+}

@@ -1,0 +1,41 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestAllExperimentsSmall runs every experiment at a tiny scale to verify
+// wiring: every table must have the expected number of rows and no empty
+// cells.
+func TestAllExperimentsSmall(t *testing.T) {
+	r := NewRunner(4000)
+	r.Benchmarks = []string{"gzip", "vortex"}
+	checks := []struct {
+		name string
+		rows int
+		run  func() (interface{ String() string }, error)
+	}{
+		{"Table2", 2, func() (interface{ String() string }, error) { return r.Table2() }},
+		{"Figure6", 2, func() (interface{ String() string }, error) { return r.Figure6() }},
+		{"Figure7", 4, func() (interface{ String() string }, error) { return r.Figure7() }},
+		{"Figure13", 4, func() (interface{ String() string }, error) { return r.Figure13() }},
+		{"Figure14", 2, func() (interface{ String() string }, error) { return r.Figure14() }},
+		{"Figure15", 2, func() (interface{ String() string }, error) { return r.Figure15() }},
+		{"Figure16", 2, func() (interface{ String() string }, error) { return r.Figure16() }},
+		{"DetectionDelay", 2, func() (interface{ String() string }, error) { return r.DetectionDelay() }},
+		{"LastArriving", 2, func() (interface{ String() string }, error) { return r.LastArriving() }},
+		{"IndependentMOPs", 2, func() (interface{ String() string }, error) { return r.IndependentMOPs() }},
+	}
+	for _, c := range checks {
+		tab, err := c.run()
+		if err != nil {
+			t.Fatalf("%s: %v", c.name, err)
+		}
+		out := tab.String()
+		if strings.Contains(out, "0.000  0.000") {
+			t.Errorf("%s: suspicious zero cells:\n%s", c.name, out)
+		}
+		t.Logf("%s:\n%s", c.name, out)
+	}
+}

@@ -1,0 +1,252 @@
+// Package functional implements the architectural (functional) execution
+// model: it runs a program to completion and produces the dynamic
+// instruction stream — including branch outcomes, computed targets, and
+// data memory addresses — that drives the timing simulator.
+//
+// This mirrors the structure of execution-driven simulators such as the
+// SimpleScalar derivative used in the paper: a functional front provides
+// architecturally-correct results; the timing model decides *when* things
+// happen but never *what* the values are.
+package functional
+
+import (
+	"errors"
+	"fmt"
+
+	"macroop/internal/isa"
+	"macroop/internal/program"
+)
+
+// DynInst is one dynamically executed instruction on the committed
+// (correct) path.
+type DynInst struct {
+	Seq     int64 // dynamic sequence number, starting at 0
+	PC      int   // static instruction index
+	Inst    isa.Instruction
+	MemAddr uint64 // effective address for LD / STA (byte address)
+	Taken   bool   // control: was the branch/jump taken
+	NextPC  int    // index of the next dynamic instruction's PC
+}
+
+// IsControl reports whether this dynamic instruction may redirect fetch.
+func (d *DynInst) IsControl() bool { return d.Inst.Op.IsControl() && d.Inst.Op != isa.HALT }
+
+// Memory is a sparse 64-bit word-addressable memory backed by fixed-size
+// pages, avoiding per-word map overhead on large footprints.
+type Memory struct {
+	pages map[uint64]*[pageWords]uint64
+}
+
+const (
+	pageShift = 12 // 4096 words = 32KB pages
+	pageWords = 1 << pageShift
+	pageMask  = pageWords - 1
+)
+
+// NewMemory returns an empty memory.
+func NewMemory() *Memory {
+	return &Memory{pages: make(map[uint64]*[pageWords]uint64)}
+}
+
+// Read returns the 64-bit word at the (8-byte-aligned) byte address.
+func (m *Memory) Read(addr uint64) uint64 {
+	w := addr >> 3
+	page := m.pages[w>>pageShift]
+	if page == nil {
+		return 0
+	}
+	return page[w&pageMask]
+}
+
+// Write stores a 64-bit word at the (8-byte-aligned) byte address.
+func (m *Memory) Write(addr, value uint64) {
+	w := addr >> 3
+	idx := w >> pageShift
+	page := m.pages[idx]
+	if page == nil {
+		page = new([pageWords]uint64)
+		m.pages[idx] = page
+	}
+	page[w&pageMask] = value
+}
+
+// Executor runs a program functionally, one instruction per Step call.
+type Executor struct {
+	prog *program.Program
+	regs [isa.NumRegs]uint64
+	mem  *Memory
+	pc   int
+	seq  int64
+	done bool
+
+	// pendingStoreAddr carries the STA effective address to the paired STD.
+	pendingStoreAddr uint64
+	pendingStore     bool
+}
+
+// ErrHalted is returned by Step after the program has executed HALT.
+var ErrHalted = errors.New("functional: program halted")
+
+// NewExecutor creates an executor with registers zeroed and memory seeded
+// from the program's initial image.
+func NewExecutor(p *program.Program) *Executor {
+	e := &Executor{prog: p, mem: NewMemory()}
+	for addr, v := range p.Mem {
+		e.mem.Write(addr, v)
+	}
+	return e
+}
+
+// Reg returns the current architectural value of r.
+func (e *Executor) Reg(r isa.Reg) uint64 {
+	if !r.Valid() {
+		return 0
+	}
+	return e.regs[r]
+}
+
+// Mem returns the memory model (useful for post-mortem assertions).
+func (e *Executor) Mem() *Memory { return e.mem }
+
+// PC returns the next program counter.
+func (e *Executor) PC() int { return e.pc }
+
+// Halted reports whether the program has executed HALT.
+func (e *Executor) Halted() bool { return e.done }
+
+func (e *Executor) setReg(r isa.Reg, v uint64) {
+	if r.Valid() && r != isa.R0 {
+		e.regs[r] = v
+	}
+}
+
+// Step executes the next instruction and fills d with its dynamic record.
+// It returns ErrHalted once the program has finished, and a descriptive
+// error on architectural faults (PC out of range).
+func (e *Executor) Step(d *DynInst) error {
+	if e.done {
+		return ErrHalted
+	}
+	if e.pc < 0 || e.pc >= len(e.prog.Insts) {
+		return fmt.Errorf("functional: PC %d out of range (program %q, %d insts)", e.pc, e.prog.Name, len(e.prog.Insts))
+	}
+	in := e.prog.Insts[e.pc]
+	*d = DynInst{Seq: e.seq, PC: e.pc, Inst: in, NextPC: e.pc + 1}
+	e.seq++
+
+	s1, s2 := e.Reg(in.Src1), e.Reg(in.Src2)
+	switch in.Op {
+	case isa.ADD:
+		e.setReg(in.Dest, s1+s2)
+	case isa.ADDI:
+		e.setReg(in.Dest, s1+uint64(in.Imm))
+	case isa.SUB:
+		e.setReg(in.Dest, s1-s2)
+	case isa.AND:
+		e.setReg(in.Dest, s1&s2)
+	case isa.OR:
+		e.setReg(in.Dest, s1|s2)
+	case isa.XOR:
+		e.setReg(in.Dest, s1^s2)
+	case isa.SLL:
+		e.setReg(in.Dest, s1<<(s2&63))
+	case isa.SRL:
+		e.setReg(in.Dest, s1>>(s2&63))
+	case isa.SLT:
+		if int64(s1) < int64(s2) {
+			e.setReg(in.Dest, 1)
+		} else {
+			e.setReg(in.Dest, 0)
+		}
+	case isa.SEQ:
+		if s1 == s2 {
+			e.setReg(in.Dest, 1)
+		} else {
+			e.setReg(in.Dest, 0)
+		}
+	case isa.LUI:
+		e.setReg(in.Dest, uint64(in.Imm)<<16)
+	case isa.MOVI:
+		e.setReg(in.Dest, uint64(in.Imm))
+	case isa.MUL:
+		e.setReg(in.Dest, s1*s2)
+	case isa.DIV:
+		if s2 == 0 {
+			e.setReg(in.Dest, ^uint64(0)) // architecturally defined: all ones
+		} else {
+			e.setReg(in.Dest, s1/s2)
+		}
+	case isa.FADD:
+		e.setReg(in.Dest, s1+s2) // integer surrogate; CINT workloads don't depend on FP semantics
+	case isa.FMUL:
+		e.setReg(in.Dest, s1*s2)
+	case isa.FDIV:
+		if s2 == 0 {
+			e.setReg(in.Dest, ^uint64(0))
+		} else {
+			e.setReg(in.Dest, s1/s2)
+		}
+	case isa.LD:
+		addr := (s1 + uint64(in.Imm)) &^ uint64(7)
+		d.MemAddr = addr
+		e.setReg(in.Dest, e.mem.Read(addr))
+	case isa.STA:
+		addr := (s1 + uint64(in.Imm)) &^ uint64(7)
+		d.MemAddr = addr
+		e.pendingStoreAddr = addr
+		e.pendingStore = true
+	case isa.STD:
+		if !e.pendingStore {
+			return fmt.Errorf("functional: STD at PC %d without preceding STA", e.pc)
+		}
+		d.MemAddr = e.pendingStoreAddr
+		e.mem.Write(e.pendingStoreAddr, s1)
+		e.pendingStore = false
+	case isa.BEQ:
+		d.Taken = s1 == s2
+	case isa.BNE:
+		d.Taken = s1 != s2
+	case isa.BLT:
+		d.Taken = int64(s1) < int64(s2)
+	case isa.BGE:
+		d.Taken = int64(s1) >= int64(s2)
+	case isa.JMP:
+		d.Taken = true
+	case isa.JAL:
+		e.setReg(in.Dest, uint64(e.pc+1))
+		d.Taken = true
+	case isa.JR:
+		d.Taken = true
+		d.NextPC = int(s1)
+	case isa.HALT:
+		e.done = true
+		return ErrHalted
+	default:
+		return fmt.Errorf("functional: unimplemented opcode %s at PC %d", in.Op, e.pc)
+	}
+
+	if d.Taken && in.Op != isa.JR {
+		d.NextPC = int(in.Imm)
+	}
+	e.pc = d.NextPC
+	return nil
+}
+
+// Run executes up to maxInsts instructions (or to HALT if maxInsts <= 0)
+// and returns the dynamic stream. Most callers should prefer the streaming
+// Step interface; Run is convenient in tests and characterization tools.
+func Run(p *program.Program, maxInsts int64) ([]DynInst, error) {
+	e := NewExecutor(p)
+	var out []DynInst
+	var d DynInst
+	for maxInsts <= 0 || int64(len(out)) < maxInsts {
+		if err := e.Step(&d); err != nil {
+			if errors.Is(err, ErrHalted) {
+				break
+			}
+			return out, err
+		}
+		out = append(out, d)
+	}
+	return out, nil
+}

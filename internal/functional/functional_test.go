@@ -1,0 +1,301 @@
+package functional
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+
+	"macroop/internal/isa"
+	"macroop/internal/program"
+	"macroop/internal/rng"
+)
+
+func run(t *testing.T, b *program.Builder, max int64) ([]DynInst, *Executor) {
+	t.Helper()
+	p, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := NewExecutor(p)
+	var out []DynInst
+	var d DynInst
+	for int64(len(out)) < max {
+		if err := e.Step(&d); err != nil {
+			if errors.Is(err, ErrHalted) {
+				break
+			}
+			t.Fatal(err)
+		}
+		out = append(out, d)
+	}
+	return out, e
+}
+
+func TestALUSemantics(t *testing.T) {
+	b := program.NewBuilder("alu")
+	b.MovI(1, 6)
+	b.MovI(2, 3)
+	b.Op3(isa.ADD, 3, 1, 2)  // 9
+	b.Op3(isa.SUB, 4, 1, 2)  // 3
+	b.Op3(isa.MUL, 5, 1, 2)  // 18
+	b.Op3(isa.DIV, 6, 1, 2)  // 2
+	b.Op3(isa.AND, 7, 1, 2)  // 2
+	b.Op3(isa.OR, 8, 1, 2)   // 7
+	b.Op3(isa.XOR, 9, 1, 2)  // 5
+	b.Op3(isa.SLL, 10, 1, 2) // 48
+	b.Op3(isa.SRL, 11, 1, 2) // 0
+	b.Op3(isa.SLT, 12, 2, 1) // 1
+	b.Op3(isa.SEQ, 13, 1, 1) // 1
+	b.Halt()
+	_, e := run(t, b, 100)
+	want := map[isa.Reg]uint64{3: 9, 4: 3, 5: 18, 6: 2, 7: 2, 8: 7, 9: 5, 10: 48, 11: 0, 12: 1, 13: 1}
+	for r, v := range want {
+		if got := e.Reg(r); got != v {
+			t.Errorf("r%d = %d, want %d", r, got, v)
+		}
+	}
+}
+
+func TestDivByZero(t *testing.T) {
+	b := program.NewBuilder("div0")
+	b.MovI(1, 5)
+	b.Op3(isa.DIV, 2, 1, isa.R0)
+	b.Halt()
+	_, e := run(t, b, 10)
+	if e.Reg(2) != ^uint64(0) {
+		t.Fatalf("div by zero = %d, want all-ones", e.Reg(2))
+	}
+}
+
+func TestR0AlwaysZero(t *testing.T) {
+	b := program.NewBuilder("r0")
+	b.MovI(isa.R0, 42)
+	b.Op3(isa.ADD, 1, isa.R0, isa.R0)
+	b.Halt()
+	_, e := run(t, b, 10)
+	if e.Reg(isa.R0) != 0 || e.Reg(1) != 0 {
+		t.Fatal("R0 was written")
+	}
+}
+
+func TestBranchesAndRecords(t *testing.T) {
+	b := program.NewBuilder("br")
+	b.MovI(1, 2)
+	b.Label("loop")
+	b.OpImm(isa.ADDI, 1, 1, -1)
+	b.Branch(isa.BNE, 1, isa.R0, "loop")
+	b.Halt()
+	tr, _ := run(t, b, 100)
+	// movi, addi, bne(taken), addi, bne(not-taken)
+	if len(tr) != 5 {
+		t.Fatalf("trace length %d, want 5", len(tr))
+	}
+	if !tr[2].Taken || tr[2].NextPC != 1 {
+		t.Errorf("first BNE: taken=%v next=%d", tr[2].Taken, tr[2].NextPC)
+	}
+	if tr[4].Taken {
+		t.Error("second BNE must fall through")
+	}
+}
+
+func TestLoadStoreRoundTrip(t *testing.T) {
+	b := program.NewBuilder("mem")
+	b.MovI(1, 0x1000)
+	b.MovI(2, 77)
+	b.Store(2, 1, 16)
+	b.Load(3, 1, 16)
+	b.Halt()
+	tr, e := run(t, b, 10)
+	if e.Reg(3) != 77 {
+		t.Fatalf("loaded %d, want 77", e.Reg(3))
+	}
+	// STA and LD record the effective address.
+	if tr[2].MemAddr != 0x1010 || tr[4].MemAddr != 0x1010 {
+		t.Fatalf("addresses: sta=%x ld=%x", tr[2].MemAddr, tr[4].MemAddr)
+	}
+}
+
+func TestInitialMemoryImage(t *testing.T) {
+	b := program.NewBuilder("img")
+	b.InitMem(0x2000, 123)
+	b.MovI(1, 0x2000)
+	b.Load(2, 1, 0)
+	b.Halt()
+	_, e := run(t, b, 10)
+	if e.Reg(2) != 123 {
+		t.Fatalf("initial image read %d, want 123", e.Reg(2))
+	}
+}
+
+func TestCallReturn(t *testing.T) {
+	b := program.NewBuilder("call")
+	b.MovI(1, 0)
+	b.Call("fn")
+	b.OpImm(isa.ADDI, 1, 1, 100)
+	b.Halt()
+	b.Label("fn")
+	b.OpImm(isa.ADDI, 1, 1, 10)
+	b.Ret()
+	tr, e := run(t, b, 20)
+	if e.Reg(1) != 110 {
+		t.Fatalf("r1 = %d, want 110 (call then fallthrough)", e.Reg(1))
+	}
+	// JAL must record taken + target; JR must return to the instruction
+	// after the call.
+	if !tr[1].Taken || tr[1].NextPC != 4 {
+		t.Errorf("JAL: %+v", tr[1])
+	}
+	if !tr[3].Taken || tr[3].NextPC != 2 {
+		t.Errorf("JR: %+v", tr[3])
+	}
+}
+
+func TestHaltAndErrHalted(t *testing.T) {
+	b := program.NewBuilder("h")
+	b.Halt()
+	p := b.MustBuild()
+	e := NewExecutor(p)
+	var d DynInst
+	if err := e.Step(&d); !errors.Is(err, ErrHalted) {
+		t.Fatalf("want ErrHalted, got %v", err)
+	}
+	if !e.Halted() {
+		t.Fatal("executor not halted")
+	}
+	if err := e.Step(&d); !errors.Is(err, ErrHalted) {
+		t.Fatal("second Step after halt must keep returning ErrHalted")
+	}
+}
+
+func TestSequenceNumbers(t *testing.T) {
+	b := program.NewBuilder("seq")
+	b.MovI(1, 1)
+	b.MovI(2, 2)
+	b.Halt()
+	tr, _ := run(t, b, 10)
+	for i, d := range tr {
+		if d.Seq != int64(i) {
+			t.Fatalf("seq[%d] = %d", i, d.Seq)
+		}
+	}
+}
+
+func TestMemorySparsePages(t *testing.T) {
+	m := NewMemory()
+	// Distant addresses land on distinct pages.
+	m.Write(0, 1)
+	m.Write(1<<30, 2)
+	m.Write(1<<40, 3)
+	if m.Read(0) != 1 || m.Read(1<<30) != 2 || m.Read(1<<40) != 3 {
+		t.Fatal("sparse paging broken")
+	}
+	if m.Read(1<<20) != 0 {
+		t.Fatal("untouched memory must read zero")
+	}
+}
+
+func TestMemoryQuick(t *testing.T) {
+	m := NewMemory()
+	shadow := map[uint64]uint64{}
+	if err := quick.Check(func(addr, val uint64) bool {
+		a := addr &^ 7
+		m.Write(a, val)
+		shadow[a] = val
+		return m.Read(a) == shadow[a]
+	}, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRandomProgramsNeverFault generates random straight-line ALU/memory
+// programs and checks the executor never faults and the trace matches the
+// instruction count.
+func TestRandomProgramsNeverFault(t *testing.T) {
+	r := rng.New(2024)
+	for trial := 0; trial < 50; trial++ {
+		b := program.NewBuilder("rand")
+		b.MovI(1, int64(r.Uint64()%1000))
+		b.MovI(2, 0x4000)
+		n := 20 + r.Intn(80)
+		for i := 0; i < n; i++ {
+			dst := isa.Reg(3 + r.Intn(20))
+			s1 := isa.Reg(1 + r.Intn(22))
+			s2 := isa.Reg(1 + r.Intn(22))
+			switch r.Intn(5) {
+			case 0:
+				b.Op3(isa.ADD, dst, s1, s2)
+			case 1:
+				b.Op3(isa.XOR, dst, s1, s2)
+			case 2:
+				b.OpImm(isa.ADDI, dst, s1, int64(r.Intn(100)))
+			case 3:
+				b.Load(dst, 2, int64(r.Intn(64))*8)
+			case 4:
+				b.Store(s1, 2, int64(r.Intn(64))*8)
+			}
+		}
+		b.Halt()
+		tr, _ := run(t, b, 10000)
+		// n ALU/mem items, stores emit 2 records, plus 2 movi.
+		if len(tr) < n+2 {
+			t.Fatalf("trial %d: trace too short: %d < %d", trial, len(tr), n+2)
+		}
+	}
+}
+
+func TestRunHelper(t *testing.T) {
+	b := program.NewBuilder("run")
+	b.MovI(1, 3)
+	b.Label("l")
+	b.OpImm(isa.ADDI, 1, 1, -1)
+	b.Branch(isa.BNE, 1, isa.R0, "l")
+	b.Halt()
+	p := b.MustBuild()
+	tr, err := Run(p, 4)
+	if err != nil || len(tr) != 4 {
+		t.Fatalf("bounded Run: %d insts, err %v", len(tr), err)
+	}
+	tr, err = Run(p, 0)
+	if err != nil || len(tr) != 7 {
+		t.Fatalf("unbounded Run: %d insts, err %v", len(tr), err)
+	}
+}
+
+func TestPCOutOfRangeFault(t *testing.T) {
+	b := program.NewBuilder("jrfault")
+	b.MovI(1, 999)
+	b.Emit(isa.Instruction{Op: isa.JR, Src1: 1})
+	b.Halt()
+	p := b.MustBuild()
+	e := NewExecutor(p)
+	var d DynInst
+	var err error
+	for i := 0; i < 5 && err == nil; i++ {
+		err = e.Step(&d)
+	}
+	if err == nil || errors.Is(err, ErrHalted) {
+		t.Fatalf("expected PC fault, got %v", err)
+	}
+}
+
+func TestFPAndShiftSurrogates(t *testing.T) {
+	b := program.NewBuilder("fp")
+	b.MovI(1, 12)
+	b.MovI(2, 3)
+	b.Op3(isa.FADD, 3, 1, 2) // 15 (integer surrogate)
+	b.Op3(isa.FMUL, 4, 1, 2) // 36
+	b.Op3(isa.FDIV, 5, 1, 2) // 4
+	b.Op3(isa.FDIV, 6, 1, isa.R0)
+	b.Emit(isa.Instruction{Op: isa.LUI, Dest: 7, Src1: isa.NoReg, Src2: isa.NoReg, Imm: 2})
+	b.Halt()
+	_, e := run(t, b, 20)
+	if e.Reg(3) != 15 || e.Reg(4) != 36 || e.Reg(5) != 4 {
+		t.Fatalf("fp surrogates: %d %d %d", e.Reg(3), e.Reg(4), e.Reg(5))
+	}
+	if e.Reg(6) != ^uint64(0) {
+		t.Fatal("fdiv by zero not all-ones")
+	}
+	if e.Reg(7) != 2<<16 {
+		t.Fatalf("lui = %d", e.Reg(7))
+	}
+}

@@ -1,0 +1,12 @@
+package functional
+
+// Source supplies the dynamic instruction stream consumed by the timing
+// core: the functional Executor is the usual implementation; a trace
+// reader (internal/tracefile) replays recorded streams.
+type Source interface {
+	// Step fills d with the next dynamic instruction, returning ErrHalted
+	// at end of stream.
+	Step(d *DynInst) error
+}
+
+var _ Source = (*Executor)(nil)

@@ -1,0 +1,282 @@
+// Package isa defines the instruction set architecture simulated by this
+// repository: a small RISC-style, Alpha-flavoured integer ISA with 32
+// architectural registers, split store micro-ops (address generation +
+// store data, as in the paper's Pentium-4-like base machine), and the
+// latency classes from Table 1 of the paper (single-cycle integer ALU,
+// 3/20-cycle integer multiply/divide, 2/4/24-cycle FP, memory ports).
+//
+// The package also encodes the paper's instruction taxonomy for macro-op
+// scheduling (Section 4.1): which operations are MOP candidates
+// (single-cycle ALU, store address generation, control) and which of those
+// are value-generating (produce a register that dependent instructions can
+// consume).
+package isa
+
+import "fmt"
+
+// Reg is an architectural register identifier. R0 is hardwired to zero,
+// writes to it are discarded (as in Alpha's r31; we put it at index 0 for
+// convenience). NoReg marks an absent operand.
+type Reg uint8
+
+// Register constants.
+const (
+	R0    Reg = 0  // always zero
+	SP    Reg = 30 // conventional stack pointer (no special semantics)
+	RA    Reg = 31 // conventional return-address register
+	NoReg Reg = 255
+)
+
+// NumRegs is the number of architectural integer registers.
+const NumRegs = 32
+
+// Valid reports whether r names an actual architectural register.
+func (r Reg) Valid() bool { return r < NumRegs }
+
+// String renders the register in assembly syntax.
+func (r Reg) String() string {
+	if r == NoReg {
+		return "--"
+	}
+	return fmt.Sprintf("r%d", uint8(r))
+}
+
+// Op is an operation code.
+type Op uint8
+
+// Operation codes. The set is intentionally small but covers every latency
+// class and control-flow shape the paper's evaluation depends on.
+const (
+	// Single-cycle integer ALU (MOP candidates, value-generating).
+	ADD Op = iota
+	ADDI
+	SUB
+	AND
+	OR
+	XOR
+	SLL
+	SRL
+	SLT  // set-less-than
+	SEQ  // set-equal
+	LUI  // load upper immediate (no register sources)
+	MOVI // move immediate (no register sources)
+	// Multi-cycle integer (not MOP candidates).
+	MUL // 3-cycle
+	DIV // 20-cycle
+	// Memory (not MOP candidates; loads have non-deterministic latency).
+	LD  // load 64-bit
+	STA // store address generation (MOP candidate, non-value-generating)
+	STD // store data (writes memory at commit; not scheduled as ALU op)
+	// Control (MOP candidates, non-value-generating except JAL).
+	BEQ // branch if src1 == src2
+	BNE // branch if src1 != src2
+	BLT // branch if src1 < src2 (signed)
+	BGE // branch if src1 >= src2 (signed)
+	JMP // unconditional direct jump
+	JAL // jump and link (writes RA) — value-generating control
+	JR  // indirect jump through register (return)
+	// Floating point (modeled for completeness; CINT workloads barely use
+	// them, mirroring the paper's integer-only evaluation).
+	FADD // 2-cycle
+	FMUL // 4-cycle
+	FDIV // 24-cycle
+	// HALT terminates the program.
+	HALT
+
+	numOps
+)
+
+// NumOps is the number of defined opcodes.
+const NumOps = int(numOps)
+
+var opNames = [...]string{
+	ADD: "add", ADDI: "addi", SUB: "sub", AND: "and", OR: "or", XOR: "xor",
+	SLL: "sll", SRL: "srl", SLT: "slt", SEQ: "seq", LUI: "lui", MOVI: "movi",
+	MUL: "mul", DIV: "div",
+	LD: "ld", STA: "sta", STD: "std",
+	BEQ: "beq", BNE: "bne", BLT: "blt", BGE: "bge",
+	JMP: "jmp", JAL: "jal", JR: "jr",
+	FADD: "fadd", FMUL: "fmul", FDIV: "fdiv",
+	HALT: "halt",
+}
+
+// String returns the mnemonic.
+func (o Op) String() string {
+	if int(o) < len(opNames) && opNames[o] != "" {
+		return opNames[o]
+	}
+	return fmt.Sprintf("op(%d)", uint8(o))
+}
+
+// Class groups opcodes by the functional unit they occupy (Table 1).
+type Class uint8
+
+// Functional-unit classes.
+const (
+	ClassIntALU Class = iota // 4 units, 1-cycle
+	ClassIntMul              // 2 units, 3/20-cycle
+	ClassFP                  // 2 units, 2-cycle FP ALU
+	ClassFPMul               // 2 units, 4/24-cycle
+	ClassMem                 // 2 general memory ports
+	ClassNone                // STD, HALT — consume no issue resources
+	NumClasses
+)
+
+type opInfo struct {
+	class    Class
+	latency  int  // execution latency in cycles (loads: address generation)
+	control  bool // redirects or may redirect the PC
+	memory   bool // accesses data memory
+	load     bool
+	store    bool
+	valueGen bool // writes a general register visible to consumers
+	cand     bool // MOP candidate (single-cycle op per Section 4.1)
+}
+
+var opTable = [numOps]opInfo{
+	ADD:  {class: ClassIntALU, latency: 1, valueGen: true, cand: true},
+	ADDI: {class: ClassIntALU, latency: 1, valueGen: true, cand: true},
+	SUB:  {class: ClassIntALU, latency: 1, valueGen: true, cand: true},
+	AND:  {class: ClassIntALU, latency: 1, valueGen: true, cand: true},
+	OR:   {class: ClassIntALU, latency: 1, valueGen: true, cand: true},
+	XOR:  {class: ClassIntALU, latency: 1, valueGen: true, cand: true},
+	SLL:  {class: ClassIntALU, latency: 1, valueGen: true, cand: true},
+	SRL:  {class: ClassIntALU, latency: 1, valueGen: true, cand: true},
+	SLT:  {class: ClassIntALU, latency: 1, valueGen: true, cand: true},
+	SEQ:  {class: ClassIntALU, latency: 1, valueGen: true, cand: true},
+	LUI:  {class: ClassIntALU, latency: 1, valueGen: true, cand: true},
+	MOVI: {class: ClassIntALU, latency: 1, valueGen: true, cand: true},
+	MUL:  {class: ClassIntMul, latency: 3, valueGen: true},
+	DIV:  {class: ClassIntMul, latency: 20, valueGen: true},
+	LD:   {class: ClassMem, latency: 1, memory: true, load: true, valueGen: true},
+	STA:  {class: ClassMem, latency: 1, memory: true, store: true, cand: true},
+	STD:  {class: ClassNone, latency: 0, memory: true, store: true},
+	BEQ:  {class: ClassIntALU, latency: 1, control: true, cand: true},
+	BNE:  {class: ClassIntALU, latency: 1, control: true, cand: true},
+	BLT:  {class: ClassIntALU, latency: 1, control: true, cand: true},
+	BGE:  {class: ClassIntALU, latency: 1, control: true, cand: true},
+	JMP:  {class: ClassIntALU, latency: 1, control: true, cand: true},
+	JAL:  {class: ClassIntALU, latency: 1, control: true, valueGen: true, cand: true},
+	JR:   {class: ClassIntALU, latency: 1, control: true, cand: true},
+	FADD: {class: ClassFP, latency: 2, valueGen: true},
+	FMUL: {class: ClassFPMul, latency: 4, valueGen: true},
+	FDIV: {class: ClassFPMul, latency: 24, valueGen: true},
+	HALT: {class: ClassNone, latency: 0, control: true},
+}
+
+// Class returns the functional-unit class of the opcode.
+func (o Op) FUClass() Class { return opTable[o].class }
+
+// Latency returns the fixed execution latency of the opcode in cycles.
+// For loads this is the address-generation latency; the memory hierarchy
+// adds the (variable) access time on top.
+func (o Op) Latency() int { return opTable[o].latency }
+
+// IsControl reports whether the opcode can redirect control flow.
+func (o Op) IsControl() bool { return opTable[o].control }
+
+// IsCondBranch reports whether the opcode is a conditional direct branch.
+func (o Op) IsCondBranch() bool {
+	switch o {
+	case BEQ, BNE, BLT, BGE:
+		return true
+	}
+	return false
+}
+
+// IsDirectJump reports whether the opcode is an unconditional direct jump.
+func (o Op) IsDirectJump() bool { return o == JMP || o == JAL }
+
+// IsIndirect reports whether the opcode is an indirect jump.
+func (o Op) IsIndirect() bool { return o == JR }
+
+// IsMem reports whether the opcode touches data memory.
+func (o Op) IsMem() bool { return opTable[o].memory }
+
+// IsLoad reports whether the opcode is a load.
+func (o Op) IsLoad() bool { return opTable[o].load }
+
+// IsStore reports whether the opcode is the address or data half of a store.
+func (o Op) IsStore() bool { return opTable[o].store }
+
+// IsValueGen reports whether the opcode produces a register value that
+// dependent instructions can consume (Section 4.1's "value-generating").
+func (o Op) IsValueGen() bool { return opTable[o].valueGen }
+
+// IsMOPCandidate reports whether the opcode is a macro-op candidate:
+// a single-cycle operation (integer ALU, store address generation, or
+// control) per Section 4.1 of the paper.
+func (o Op) IsMOPCandidate() bool { return opTable[o].cand }
+
+// IsValueGenCandidate reports whether the opcode is a value-generating MOP
+// candidate, i.e. a potential MOP head.
+func (o Op) IsValueGenCandidate() bool { return opTable[o].cand && opTable[o].valueGen }
+
+// Instruction is one static instruction. Imm doubles as the branch target
+// (an absolute instruction index within the program) for control ops and
+// as the literal for immediate ALU and memory ops.
+type Instruction struct {
+	Op   Op
+	Dest Reg // NoReg when the op writes no register
+	Src1 Reg // NoReg when absent
+	Src2 Reg // NoReg when absent
+	Imm  int64
+}
+
+// Sources appends the valid source registers of the instruction to dst and
+// returns it; R0 is included (it is a real, always-ready operand).
+func (in Instruction) Sources(dst []Reg) []Reg {
+	if in.Src1 != NoReg {
+		dst = append(dst, in.Src1)
+	}
+	if in.Src2 != NoReg {
+		dst = append(dst, in.Src2)
+	}
+	return dst
+}
+
+// NumSources returns the number of register source operands.
+func (in Instruction) NumSources() int {
+	n := 0
+	if in.Src1 != NoReg {
+		n++
+	}
+	if in.Src2 != NoReg {
+		n++
+	}
+	return n
+}
+
+// WritesReg reports whether the instruction architecturally writes Dest.
+// Writes to R0 are discarded and treated as not writing.
+func (in Instruction) WritesReg() bool {
+	return in.Op.IsValueGen() && in.Dest != NoReg && in.Dest != R0
+}
+
+// String renders the instruction in a readable assembly-like form.
+func (in Instruction) String() string {
+	switch {
+	case in.Op == HALT:
+		return "halt"
+	case in.Op.IsCondBranch():
+		return fmt.Sprintf("%-5s %s, %s, @%d", in.Op, in.Src1, in.Src2, in.Imm)
+	case in.Op == JMP:
+		return fmt.Sprintf("%-5s @%d", in.Op, in.Imm)
+	case in.Op == JAL:
+		return fmt.Sprintf("%-5s %s, @%d", in.Op, in.Dest, in.Imm)
+	case in.Op == JR:
+		return fmt.Sprintf("%-5s (%s)", in.Op, in.Src1)
+	case in.Op == LD:
+		return fmt.Sprintf("%-5s %s, %d(%s)", in.Op, in.Dest, in.Imm, in.Src1)
+	case in.Op == STA:
+		return fmt.Sprintf("%-5s %d(%s)", in.Op, in.Imm, in.Src1)
+	case in.Op == STD:
+		return fmt.Sprintf("%-5s %s", in.Op, in.Src1)
+	case in.Op == MOVI || in.Op == LUI:
+		return fmt.Sprintf("%-5s %s, %d", in.Op, in.Dest, in.Imm)
+	case in.Src2 == NoReg:
+		return fmt.Sprintf("%-5s %s, %s, %d", in.Op, in.Dest, in.Src1, in.Imm)
+	default:
+		return fmt.Sprintf("%-5s %s, %s, %s", in.Op, in.Dest, in.Src1, in.Src2)
+	}
+}

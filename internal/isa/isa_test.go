@@ -1,0 +1,167 @@
+package isa
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestCandidateTaxonomy(t *testing.T) {
+	// Section 4.1: MOP candidates are single-cycle ALU, store address
+	// generation, and control instructions.
+	for op := Op(0); op < Op(NumOps); op++ {
+		switch {
+		case op == STD || op == HALT:
+			if op.IsMOPCandidate() {
+				t.Errorf("%v must not be a MOP candidate", op)
+			}
+		case op == LD || op == MUL || op == DIV || op == FADD || op == FMUL || op == FDIV:
+			if op.IsMOPCandidate() {
+				t.Errorf("multi-cycle %v must not be a MOP candidate", op)
+			}
+		case op.IsControl() || op == STA:
+			if !op.IsMOPCandidate() {
+				t.Errorf("%v must be a MOP candidate", op)
+			}
+		default: // single-cycle ALU
+			if !op.IsMOPCandidate() {
+				t.Errorf("single-cycle %v must be a MOP candidate", op)
+			}
+			if op.Latency() != 1 {
+				t.Errorf("ALU %v latency %d, want 1", op, op.Latency())
+			}
+		}
+	}
+}
+
+func TestValueGenCandidates(t *testing.T) {
+	// Potential MOP heads generate register values AND are candidates.
+	cases := map[Op]bool{
+		ADD: true, ADDI: true, SLT: true, MOVI: true, JAL: true,
+		LD: false /* value-gen but not a candidate */, MUL: false,
+		STA: false, BEQ: false, JMP: false, STD: false,
+	}
+	for op, want := range cases {
+		if got := op.IsValueGenCandidate(); got != want {
+			t.Errorf("%v IsValueGenCandidate = %v, want %v", op, got, want)
+		}
+	}
+}
+
+func TestLatencies(t *testing.T) {
+	// Table 1 latencies.
+	want := map[Op]int{ADD: 1, MUL: 3, DIV: 20, FADD: 2, FMUL: 4, FDIV: 24, LD: 1, STA: 1}
+	for op, lat := range want {
+		if op.Latency() != lat {
+			t.Errorf("%v latency %d, want %d", op, op.Latency(), lat)
+		}
+	}
+}
+
+func TestFUClasses(t *testing.T) {
+	cases := map[Op]Class{
+		ADD: ClassIntALU, SLT: ClassIntALU, BEQ: ClassIntALU, JMP: ClassIntALU,
+		MUL: ClassIntMul, DIV: ClassIntMul,
+		FADD: ClassFP, FMUL: ClassFPMul, FDIV: ClassFPMul,
+		LD: ClassMem, STA: ClassMem,
+		STD: ClassNone, HALT: ClassNone,
+	}
+	for op, want := range cases {
+		if got := op.FUClass(); got != want {
+			t.Errorf("%v class %v, want %v", op, got, want)
+		}
+	}
+}
+
+func TestControlPredicates(t *testing.T) {
+	if !BEQ.IsCondBranch() || !BGE.IsCondBranch() || JMP.IsCondBranch() {
+		t.Error("conditional branch classification wrong")
+	}
+	if !JMP.IsDirectJump() || !JAL.IsDirectJump() || JR.IsDirectJump() {
+		t.Error("direct jump classification wrong")
+	}
+	if !JR.IsIndirect() || JMP.IsIndirect() {
+		t.Error("indirect classification wrong")
+	}
+	for _, op := range []Op{BEQ, BNE, BLT, BGE, JMP, JAL, JR, HALT} {
+		if !op.IsControl() {
+			t.Errorf("%v must be control", op)
+		}
+	}
+}
+
+func TestMemPredicates(t *testing.T) {
+	if !LD.IsLoad() || LD.IsStore() || !LD.IsMem() {
+		t.Error("LD classification wrong")
+	}
+	if !STA.IsStore() || STA.IsLoad() || !STD.IsStore() {
+		t.Error("store classification wrong")
+	}
+	if ADD.IsMem() {
+		t.Error("ADD must not be memory")
+	}
+}
+
+func TestInstructionSources(t *testing.T) {
+	in := Instruction{Op: ADD, Dest: 3, Src1: 1, Src2: 2}
+	if n := in.NumSources(); n != 2 {
+		t.Fatalf("NumSources = %d", n)
+	}
+	in2 := Instruction{Op: ADDI, Dest: 3, Src1: 1, Src2: NoReg}
+	if n := in2.NumSources(); n != 1 {
+		t.Fatalf("imm NumSources = %d", n)
+	}
+	srcs := in.Sources(nil)
+	if len(srcs) != 2 || srcs[0] != 1 || srcs[1] != 2 {
+		t.Fatalf("Sources = %v", srcs)
+	}
+}
+
+func TestWritesReg(t *testing.T) {
+	if !(Instruction{Op: ADD, Dest: 5, Src1: 1, Src2: 2}).WritesReg() {
+		t.Error("ADD r5 must write")
+	}
+	if (Instruction{Op: ADD, Dest: R0, Src1: 1, Src2: 2}).WritesReg() {
+		t.Error("writes to R0 are discarded")
+	}
+	if (Instruction{Op: STA, Dest: NoReg, Src1: 1}).WritesReg() {
+		t.Error("STA writes no register")
+	}
+	if (Instruction{Op: BEQ, Dest: NoReg, Src1: 1, Src2: 2}).WritesReg() {
+		t.Error("BEQ writes no register")
+	}
+}
+
+func TestRegString(t *testing.T) {
+	if R0.String() != "r0" || NoReg.String() != "--" || Reg(17).String() != "r17" {
+		t.Error("register rendering wrong")
+	}
+	if !Reg(31).Valid() || Reg(32).Valid() || NoReg.Valid() {
+		t.Error("register validity wrong")
+	}
+}
+
+func TestInstructionString(t *testing.T) {
+	cases := []struct {
+		in   Instruction
+		want string
+	}{
+		{Instruction{Op: ADD, Dest: 3, Src1: 1, Src2: 2}, "add"},
+		{Instruction{Op: LD, Dest: 4, Src1: 5, Imm: 16}, "16(r5)"},
+		{Instruction{Op: BEQ, Src1: 1, Src2: 2, Imm: 99}, "@99"},
+		{Instruction{Op: HALT}, "halt"},
+		{Instruction{Op: MOVI, Dest: 7, Imm: -3}, "-3"},
+	}
+	for _, c := range cases {
+		if s := c.in.String(); !strings.Contains(s, c.want) {
+			t.Errorf("%v rendered as %q, want substring %q", c.in.Op, s, c.want)
+		}
+	}
+}
+
+func TestEveryOpHasName(t *testing.T) {
+	for op := Op(0); op < Op(NumOps); op++ {
+		if strings.HasPrefix(op.String(), "op(") {
+			t.Errorf("opcode %d has no mnemonic", op)
+		}
+	}
+}

@@ -1,0 +1,273 @@
+package mop
+
+import (
+	"macroop/internal/functional"
+	"macroop/internal/isa"
+)
+
+// EdgeDistanceHorizon bounds the forward scan when classifying dependence
+// edge distance; values beyond it count as dynamically dead. It matches
+// the 128-entry ROB of Table 1: a consumer farther away could not coexist
+// in the window anyway.
+const EdgeDistanceHorizon = 128
+
+// EdgeDistance accumulates Figure 6: for every value-generating MOP
+// candidate (potential MOP head) in the committed stream, the distance in
+// instructions to the nearest potential MOP tail (dependent single-cycle
+// instruction), or the reason none exists.
+type EdgeDistance struct {
+	TotalInsts int64
+	Heads      int64 // value-generating candidate instructions
+	Dist1to3   int64
+	Dist4to7   int64
+	Dist8plus  int64
+	// NotCandidate: the value has dependent instructions, but none of them
+	// is a MOP candidate.
+	NotCandidate int64
+	// Dead: no instruction reads the value before it is overwritten
+	// (within the horizon).
+	Dead int64
+
+	ring []charInst
+	pos  int64
+}
+
+type charInst struct {
+	op   isa.Op
+	dest isa.Reg
+	src1 isa.Reg
+	src2 isa.Reg
+	// extraRead is the store-data register of a fused STA+STD pair: it is
+	// a real value consumer but not a groupable (address-generation)
+	// dependence, mirroring the paper's split-store machine where only
+	// the address-generation half is a MOP candidate.
+	extraRead isa.Reg
+	cand      bool
+	valueGen  bool
+	grouped   bool // used by the grouping characterization only
+}
+
+func toCharInst(d *functional.DynInst) charInst {
+	c := charInst{
+		op:        d.Inst.Op,
+		dest:      isa.NoReg,
+		src1:      d.Inst.Src1,
+		src2:      d.Inst.Src2,
+		extraRead: isa.NoReg,
+	}
+	if d.Inst.WritesReg() {
+		c.dest = d.Inst.Dest
+	}
+	c.cand = d.Inst.Op.IsMOPCandidate()
+	c.valueGen = d.Inst.Op.IsValueGenCandidate()
+	return c
+}
+
+// readsTail reports whether the instruction consumes r through a
+// groupable (scheduler-visible) source operand.
+func (c *charInst) readsTail(r isa.Reg) bool {
+	return r != isa.NoReg && r != isa.R0 && (c.src1 == r || c.src2 == r)
+}
+
+// readsAny reports whether the instruction consumes r at all, including
+// through a fused store-data operand.
+func (c *charInst) readsAny(r isa.Reg) bool {
+	return c.readsTail(r) || (r != isa.NoReg && r != isa.R0 && c.extraRead == r)
+}
+
+// NewEdgeDistance returns an empty Figure 6 accumulator.
+func NewEdgeDistance() *EdgeDistance {
+	return &EdgeDistance{ring: make([]charInst, 0, EdgeDistanceHorizon+1)}
+}
+
+// Push feeds the next committed instruction. An STD record is fused into
+// the immediately preceding STA (the pair counts as one store, as in the
+// paper's Alpha accounting): its data register becomes an extraRead.
+func (e *EdgeDistance) Push(d *functional.DynInst) {
+	if d.Inst.Op == isa.STD {
+		if n := len(e.ring); n > 0 && e.ring[n-1].op == isa.STA {
+			e.ring[n-1].extraRead = d.Inst.Src1
+		}
+		return
+	}
+	e.ring = append(e.ring, toCharInst(d))
+	if len(e.ring) > EdgeDistanceHorizon {
+		e.classify(0)
+		e.ring = e.ring[1:]
+	}
+}
+
+// Flush classifies the buffered tail of the stream; call once at the end.
+func (e *EdgeDistance) Flush() {
+	for len(e.ring) > 0 {
+		e.classify(0)
+		e.ring = e.ring[1:]
+	}
+}
+
+func (e *EdgeDistance) classify(i int) {
+	e.TotalInsts++
+	h := &e.ring[i]
+	if !h.valueGen || h.dest == isa.NoReg {
+		return
+	}
+	e.Heads++
+	sawReader := false
+	for j := i + 1; j < len(e.ring); j++ {
+		c := &e.ring[j]
+		if c.cand && c.readsTail(h.dest) {
+			switch d := j - i; {
+			case d <= 3:
+				e.Dist1to3++
+			case d <= 7:
+				e.Dist4to7++
+			default:
+				e.Dist8plus++
+			}
+			return
+		}
+		if c.readsAny(h.dest) {
+			sawReader = true
+		}
+		if c.dest == h.dest {
+			break // value overwritten; no later consumer can exist
+		}
+	}
+	if sawReader {
+		e.NotCandidate++
+	} else {
+		e.Dead++
+	}
+}
+
+// Grouping accumulates Figure 7: idealized greedy MOP grouping over an
+// 8-instruction program-order scope, for a configurable maximum MOP size
+// (2 for "2x MOP", 8 for "8x MOP"). It is machine-independent: no fetch
+// groups, detection latency or heuristic restrictions apply.
+type Grouping struct {
+	MaxSize int
+
+	TotalInsts     int64
+	NotCandidate   int64
+	CandNotGrouped int64
+	MOPValueGen    int64
+	MOPNonValueGen int64
+	Groups         int64
+	GroupedInsts   int64
+	ValueGenCands  int64 // the dotted line in Figure 7
+
+	ring []charInst
+}
+
+// GroupScope is the paper's MOP formation scope in instructions.
+const GroupScope = 8
+
+// NewGrouping returns a Figure 7 accumulator for the given maximum MOP
+// size (>= 2).
+func NewGrouping(maxSize int) *Grouping {
+	if maxSize < 2 {
+		maxSize = 2
+	}
+	return &Grouping{MaxSize: maxSize, ring: make([]charInst, 0, GroupScope)}
+}
+
+// Push feeds the next committed instruction; STD records fuse into the
+// preceding STA as in EdgeDistance.Push.
+func (g *Grouping) Push(d *functional.DynInst) {
+	if d.Inst.Op == isa.STD {
+		if n := len(g.ring); n > 0 && g.ring[n-1].op == isa.STA {
+			g.ring[n-1].extraRead = d.Inst.Src1
+		}
+		return
+	}
+	g.ring = append(g.ring, toCharInst(d))
+	if len(g.ring) == GroupScope {
+		g.retire()
+	}
+}
+
+// Flush drains the buffered tail; call once at the end of the stream.
+func (g *Grouping) Flush() {
+	for len(g.ring) > 0 {
+		g.retire()
+	}
+}
+
+// retire forms groups headed by the oldest buffered instruction, then
+// accounts and evicts it.
+func (g *Grouping) retire() {
+	h := &g.ring[0]
+	if h.valueGen && h.cand && !h.grouped {
+		g.tryGroup()
+	}
+	g.TotalInsts++
+	switch {
+	case !h.cand:
+		g.NotCandidate++
+	case h.grouped && h.valueGen:
+		g.MOPValueGen++
+	case h.grouped:
+		g.MOPNonValueGen++
+	default:
+		g.CandNotGrouped++
+	}
+	if h.valueGen && h.cand {
+		g.ValueGenCands++
+	}
+	g.ring = g.ring[1:]
+}
+
+// tryGroup greedily builds one dependence-chain group headed by ring[0]:
+// members must be ungrouped candidates within the scope, each directly
+// dependent on some value-generating member already in the group.
+func (g *Grouping) tryGroup() {
+	members := []int{0}
+	for j := 1; j < len(g.ring) && len(members) < g.MaxSize; j++ {
+		c := &g.ring[j]
+		if !c.cand || c.grouped {
+			continue
+		}
+		if g.directlyDependsOnMember(j, members) {
+			members = append(members, j)
+		}
+	}
+	if len(members) < 2 {
+		return
+	}
+	for _, m := range members {
+		g.ring[m].grouped = true
+	}
+	g.Groups++
+	g.GroupedInsts += int64(len(members))
+}
+
+// directlyDependsOnMember reports whether ring[j] directly consumes the
+// value produced by some group member (the member must still be the last
+// writer of that register before j).
+func (g *Grouping) directlyDependsOnMember(j int, members []int) bool {
+	for _, m := range members {
+		p := &g.ring[m]
+		if p.dest == isa.NoReg || !g.ring[j].readsTail(p.dest) {
+			continue
+		}
+		overwritten := false
+		for k := m + 1; k < j; k++ {
+			if g.ring[k].dest == p.dest {
+				overwritten = true
+				break
+			}
+		}
+		if !overwritten {
+			return true
+		}
+	}
+	return false
+}
+
+// AvgGroupSize returns the mean number of instructions per formed group.
+func (g *Grouping) AvgGroupSize() float64 {
+	if g.Groups == 0 {
+		return 0
+	}
+	return float64(g.GroupedInsts) / float64(g.Groups)
+}

@@ -1,0 +1,205 @@
+package mop
+
+import (
+	"testing"
+
+	"macroop/internal/isa"
+)
+
+func TestEdgeDistanceBuckets(t *testing.T) {
+	var s streamBuilder
+	// head at 0, candidate consumer at distance 2 -> bucket 1~3.
+	s.alu(1)    // 0
+	s.alu(20)   // 1
+	s.alu(2, 1) // 2
+	// head at 3, candidate consumer at distance 5 -> bucket 4~7.
+	s.alu(3) // 3
+	for i := 0; i < 4; i++ {
+		s.alu(isa.Reg(21 + i))
+	}
+	s.alu(4, 3) // 8
+	// head at 9, candidate consumer at distance 9 -> bucket 8+.
+	s.alu(5) // 9
+	for i := 0; i < 8; i++ {
+		s.alu(isa.Reg(25)) // keep rewriting an unrelated register
+	}
+	s.alu(6, 5) // 18
+	acc := NewEdgeDistance()
+	for _, d := range s.insts {
+		acc.Push(d)
+	}
+	acc.Flush()
+	if acc.Dist1to3 != 1 || acc.Dist4to7 != 1 || acc.Dist8plus != 1 {
+		t.Fatalf("buckets: %d/%d/%d", acc.Dist1to3, acc.Dist4to7, acc.Dist8plus)
+	}
+}
+
+func TestEdgeDistanceDead(t *testing.T) {
+	var s streamBuilder
+	s.alu(1)    // 0: no reader before overwrite -> dead
+	s.alu(1)    // 1: overwrites r1; also itself a head
+	s.alu(2, 1) // 2: consumer of 1
+	acc := NewEdgeDistance()
+	for _, d := range s.insts {
+		acc.Push(d)
+	}
+	acc.Flush()
+	// Inst 0 (overwritten unread) and inst 2 (never read) are both dead.
+	if acc.Dead != 2 {
+		t.Fatalf("dead = %d, want 2", acc.Dead)
+	}
+	if acc.Dist1to3 != 1 {
+		t.Fatalf("inst 1 should have a 1~3 consumer")
+	}
+}
+
+func TestEdgeDistanceNotCandidateConsumer(t *testing.T) {
+	var s streamBuilder
+	s.alu(1)                              // 0: only reader is a load
+	s.add(isa.LD, 9, 1, isa.NoReg, false) // 1: non-candidate reader
+	s.alu(1)                              // 2: overwrite r1 (and dead itself)
+	acc := NewEdgeDistance()
+	for _, d := range s.insts {
+		acc.Push(d)
+	}
+	acc.Flush()
+	if acc.NotCandidate != 1 {
+		t.Fatalf("not-candidate = %d, want 1", acc.NotCandidate)
+	}
+}
+
+func TestEdgeDistanceStoreFusion(t *testing.T) {
+	// A value consumed only by store DATA is a reader but not a groupable
+	// tail; the STD itself must not count as an instruction.
+	var s streamBuilder
+	s.alu(1)                                       // 0: head
+	s.add(isa.STA, isa.NoReg, 2, isa.NoReg, false) // 1: agen reads r2
+	s.add(isa.STD, isa.NoReg, 1, isa.NoReg, false) // (fused; reads r1 as data)
+	s.alu(1)                                       // 2: overwrite
+	acc := NewEdgeDistance()
+	for _, d := range s.insts {
+		acc.Push(d)
+	}
+	acc.Flush()
+	if acc.TotalInsts != 3 {
+		t.Fatalf("total %d, want 3 (STD fused away)", acc.TotalInsts)
+	}
+	if acc.NotCandidate != 1 {
+		t.Fatalf("store-data-only consumer should classify head as not-candidate: %+v", *acc)
+	}
+}
+
+func TestEdgeDistanceStoreAsTail(t *testing.T) {
+	// A store AGEN reading the head's value IS a potential tail.
+	var s streamBuilder
+	s.alu(1)                                       // 0: head
+	s.add(isa.STA, isa.NoReg, 1, isa.NoReg, false) // 1: agen reads r1
+	s.add(isa.STD, isa.NoReg, 2, isa.NoReg, false)
+	acc := NewEdgeDistance()
+	for _, d := range s.insts {
+		acc.Push(d)
+	}
+	acc.Flush()
+	if acc.Dist1to3 != 1 {
+		t.Fatalf("store agen not counted as tail: %+v", *acc)
+	}
+}
+
+func TestGrouping2x(t *testing.T) {
+	var s streamBuilder
+	s.alu(1)    // 0: head
+	s.alu(2, 1) // 1: tail
+	s.alu(3, 2) // 2: would chain, but 2x forbids
+	s.alu(9)    // 3: dead candidate
+	g := NewGrouping(2)
+	for _, d := range s.insts {
+		g.Push(d)
+	}
+	g.Flush()
+	if g.Groups != 1 || g.GroupedInsts != 2 {
+		t.Fatalf("groups=%d insts=%d", g.Groups, g.GroupedInsts)
+	}
+	if g.MOPValueGen != 2 {
+		t.Fatalf("both grouped insts are value-generating: %d", g.MOPValueGen)
+	}
+	if g.CandNotGrouped != 2 {
+		t.Fatalf("cand-not-grouped = %d", g.CandNotGrouped)
+	}
+}
+
+func TestGrouping8xChains(t *testing.T) {
+	var s streamBuilder
+	s.alu(1) // 0
+	for i := 1; i <= 5; i++ {
+		s.alu(isa.Reg(i+1), isa.Reg(i)) // chain of 6 within scope 8
+	}
+	s.alu(20) // filler
+	s.alu(21)
+	g := NewGrouping(8)
+	for _, d := range s.insts {
+		g.Push(d)
+	}
+	g.Flush()
+	if g.Groups != 1 || g.GroupedInsts != 6 {
+		t.Fatalf("8x chain: groups=%d insts=%d", g.Groups, g.GroupedInsts)
+	}
+	if g.AvgGroupSize() != 6 {
+		t.Fatalf("avg size %v", g.AvgGroupSize())
+	}
+}
+
+func TestGroupingRespectsScope(t *testing.T) {
+	var s streamBuilder
+	s.alu(1) // 0
+	for i := 0; i < 8; i++ {
+		s.alu(isa.Reg(20 + i))
+	}
+	s.alu(2, 1) // 9: beyond the 8-instruction scope of head 0
+	g := NewGrouping(2)
+	for _, d := range s.insts {
+		g.Push(d)
+	}
+	g.Flush()
+	// head 0 finds nothing; but 9 reads r1 which head 0 produced — the
+	// pair (0,9) must NOT form. Other pairs may exist among fillers (none
+	// share registers), so exactly zero groups.
+	if g.Groups != 0 {
+		t.Fatalf("group formed beyond scope: %d", g.Groups)
+	}
+}
+
+func TestGroupingStoreTail(t *testing.T) {
+	var s streamBuilder
+	s.alu(1)                                       // 0
+	s.add(isa.STA, isa.NoReg, 1, isa.NoReg, false) // 1: agen tail
+	s.add(isa.STD, isa.NoReg, 9, isa.NoReg, false)
+	g := NewGrouping(2)
+	for _, d := range s.insts {
+		g.Push(d)
+	}
+	g.Flush()
+	if g.Groups != 1 || g.MOPNonValueGen != 1 || g.MOPValueGen != 1 {
+		t.Fatalf("store-agen tail grouping: %+v", *g)
+	}
+	if g.TotalInsts != 2 {
+		t.Fatalf("total %d, want 2", g.TotalInsts)
+	}
+}
+
+func TestGroupingValueGenCandLine(t *testing.T) {
+	var s streamBuilder
+	s.alu(1)
+	s.add(isa.LD, 2, 1, isa.NoReg, false)
+	s.add(isa.BEQ, isa.NoReg, 1, 2, false)
+	g := NewGrouping(2)
+	for _, d := range s.insts {
+		g.Push(d)
+	}
+	g.Flush()
+	if g.ValueGenCands != 1 {
+		t.Fatalf("value-gen candidates = %d, want 1 (only the ALU)", g.ValueGenCands)
+	}
+	if g.NotCandidate != 1 {
+		t.Fatalf("load must be not-candidate: %d", g.NotCandidate)
+	}
+}

@@ -1,0 +1,410 @@
+package mop
+
+import (
+	"macroop/internal/config"
+	"macroop/internal/functional"
+	"macroop/internal/isa"
+)
+
+// DetectStats counts detection outcomes for reporting.
+type DetectStats struct {
+	DependentPairs   int64 // dependent MOP pointers generated
+	IndependentPairs int64 // independent MOP pointers generated (Section 5.4.1)
+	CycleRejects     int64 // pairs rejected by the cycle heuristic ("2" across marks)
+	ControlRejects   int64 // pairs rejected by control-flow pointer rules
+	CAMRejects       int64 // pairs rejected by the 2-source-comparator limit
+	ConflictLosses   int64 // heads that lost the priority-decoder conflict
+}
+
+// slot is one instruction being examined in the detection window.
+type slot struct {
+	pc       int
+	op       isa.Op
+	dest     isa.Reg // NoReg if the instruction writes no register
+	srcs     [2]isa.Reg
+	nsrc     int // distinct non-R0 source registers
+	taken    bool
+	inval    bool // not a MOP candidate
+	valueGen bool
+	head     bool
+	tail     bool
+}
+
+func newSlot(d *functional.DynInst) slot {
+	s := slot{pc: d.PC, op: d.Inst.Op, dest: isa.NoReg, taken: d.Taken}
+	if d.Inst.WritesReg() {
+		s.dest = d.Inst.Dest
+	}
+	for _, r := range []isa.Reg{d.Inst.Src1, d.Inst.Src2} {
+		if r == isa.NoReg || r == isa.R0 {
+			continue
+		}
+		dup := false
+		for k := 0; k < s.nsrc; k++ {
+			if s.srcs[k] == r {
+				dup = true
+			}
+		}
+		if !dup {
+			s.srcs[s.nsrc] = r
+			s.nsrc++
+		}
+	}
+	s.inval = !d.Inst.Op.IsMOPCandidate()
+	s.valueGen = d.Inst.Op.IsValueGenCandidate()
+	return s
+}
+
+// Detector implements the MOP detection logic of Section 5.1.2: it
+// observes the renamed instruction stream one rename group at a time,
+// maintains a sliding window of ScopeGroups groups (the paper's 2-cycle,
+// 8-instruction scope), and installs MOP pointers into a PointerTable.
+//
+// Detection is located off the critical path; its latency is modelled by
+// PointerTable visibility (config.MOPConfig.DetectionDelay).
+type Detector struct {
+	cfg   config.MOPConfig
+	table *PointerTable
+	stats DetectStats
+
+	groups [][]slot // oldest first, at most cfg.ScopeGroups
+}
+
+// NewDetector creates a detector installing into the given table.
+func NewDetector(cfg config.MOPConfig, table *PointerTable) *Detector {
+	return &Detector{cfg: cfg, table: table}
+}
+
+// Stats returns the accumulated detection statistics.
+func (d *Detector) Stats() DetectStats { return d.stats }
+
+// Observe feeds one rename group (program order) into the detector at the
+// given cycle and runs a detection step over the current window.
+func (d *Detector) Observe(cycle int64, group []*functional.DynInst) {
+	if len(group) == 0 {
+		return
+	}
+	if len(d.groups) == d.cfg.ScopeGroups {
+		d.groups = d.groups[1:]
+	}
+	slots := make([]slot, len(group))
+	for i, di := range group {
+		slots[i] = newSlot(di)
+	}
+	d.groups = append(d.groups, slots)
+	d.step(cycle)
+}
+
+// Reset clears the window (e.g. across a fetch redirect, when the
+// instructions straddling the window are no longer consecutive).
+func (d *Detector) Reset() { d.groups = d.groups[:0] }
+
+// window flattens the current groups into a single program-order slice of
+// slot pointers.
+func (d *Detector) window() []*slot {
+	var w []*slot
+	for gi := range d.groups {
+		for si := range d.groups[gi] {
+			w = append(w, &d.groups[gi][si])
+		}
+	}
+	return w
+}
+
+// depMatrix computes direct register dependences within the window:
+// dep[j] holds, for each row j, the column index of the producer of each
+// of j's sources (or -1 when the producer is outside the window).
+func depMatrix(w []*slot) [][2]int {
+	dep := make([][2]int, len(w))
+	lastWriter := map[isa.Reg]int{}
+	for j, s := range w {
+		dep[j] = [2]int{-1, -1}
+		for k := 0; k < s.nsrc; k++ {
+			if p, ok := lastWriter[s.srcs[k]]; ok {
+				dep[j][k] = p
+			}
+		}
+		if s.dest != isa.NoReg {
+			lastWriter[s.dest] = j
+		}
+	}
+	return dep
+}
+
+// dependsOn reports whether row j directly depends on column i.
+func dependsOn(dep [][2]int, j, i int) bool {
+	return dep[j][0] == i || dep[j][1] == i
+}
+
+// step runs one detection pass over the window: dependent pairs first,
+// then independent pairs (Section 5.4.1).
+func (d *Detector) step(cycle int64) {
+	w := d.window()
+	if len(w) < 2 {
+		return
+	}
+	dep := depMatrix(w)
+
+	// Dependent-pair detection: each eligible head column scans its rows
+	// top to bottom and requests the first selectable tail.
+	want := make([]int, len(w)) // head index -> chosen tail index, -1 none
+	for i := range want {
+		want[i] = -1
+	}
+	for i, h := range w {
+		if !d.headEligible(h) {
+			continue
+		}
+		seenMark := false
+		for j := i + 1; j < len(w); j++ {
+			t := w[j]
+			if !dependsOn(dep, j, i) {
+				continue
+			}
+			// Row j carries a dependence mark for column i. The mark value
+			// is the consumer's source-operand count: "1" is selectable
+			// anywhere; "2" only as the first mark in the column (the
+			// hardware encoding of the Section 5.1.1 cycle heuristic).
+			selectable := t.nsrc == 1 || !seenMark
+			seenMark = true
+			if !d.tailEligible(t) {
+				continue
+			}
+			if !selectable && !d.cfg.PreciseCycleDetection {
+				d.stats.CycleRejects++
+				continue
+			}
+			if d.cfg.PreciseCycleDetection && d.inducesCycle(w, dep, i, j) {
+				d.stats.CycleRejects++
+				continue
+			}
+			if j-i > MaxOffset {
+				break
+			}
+			if _, ok := controlClass(w, i, j); !ok {
+				d.stats.ControlRejects++
+				continue
+			}
+			if d.cfg.Wakeup == config.WakeupCAM2Src && unionSources(h, t) > 2 {
+				d.stats.CAMRejects++
+				continue
+			}
+			if d.table.Blacklisted(h.pc, t.pc) {
+				continue
+			}
+			want[i] = j
+			break
+		}
+	}
+
+	// Priority decoder: oldest head first. A selected tail is marked so
+	// it is not examined again (Figure 9) — it neither serves a second
+	// head nor starts its own pair in the same step (unless the chained
+	// extension is enabled).
+	claimedTail := make([]bool, len(w))
+	for i := 0; i < len(w); i++ {
+		j := want[i]
+		if j < 0 {
+			continue
+		}
+		if claimedTail[i] && d.cfg.MaxMOPSize <= 2 {
+			continue // this instruction just became a tail
+		}
+		if claimedTail[j] {
+			d.stats.ConflictLosses++
+			continue
+		}
+		claimedTail[j] = true
+		h, t := w[i], w[j]
+		h.head, t.tail = true, true
+		ctrl, _ := controlClass(w, i, j)
+		d.table.Install(h.pc, t.pc, Pointer{Control: ctrl, Offset: uint8(j - i)}, cycle+int64(d.cfg.DetectionDelay))
+		d.stats.DependentPairs++
+	}
+
+	if d.cfg.GroupIndependent {
+		d.pairIndependent(w, dep, cycle)
+	}
+}
+
+func (d *Detector) headEligible(s *slot) bool {
+	if s.inval || s.head || !s.valueGen {
+		return false
+	}
+	// A tail may start another pair only in the chained-MOP extension.
+	if s.tail && d.cfg.MaxMOPSize <= 2 {
+		return false
+	}
+	return true
+}
+
+func (d *Detector) tailEligible(s *slot) bool {
+	return !s.inval && !s.head && !s.tail
+}
+
+// unionSources counts the distinct non-R0 source registers a MOP of h and
+// t would expose to the wakeup array: the head's sources plus the tail's
+// sources minus the intra-MOP edge (Section 5.2.2).
+func unionSources(h, t *slot) int {
+	var regs []isa.Reg
+	add := func(r isa.Reg) {
+		for _, x := range regs {
+			if x == r {
+				return
+			}
+		}
+		regs = append(regs, r)
+	}
+	for k := 0; k < h.nsrc; k++ {
+		add(h.srcs[k])
+	}
+	for k := 0; k < t.nsrc; k++ {
+		if t.srcs[k] == h.dest {
+			continue // satisfied inside the MOP; no tag needed
+		}
+		add(t.srcs[k])
+	}
+	return len(regs)
+}
+
+// controlClass classifies the control flow between head i and tail j
+// (window positions) per Section 5.1.3: returns the control bit and
+// whether a pointer may be generated at all. An intervening indirect
+// jump, or multiple control instructions with any taken, forbid grouping.
+func controlClass(w []*slot, i, j int) (controlBit, ok bool) {
+	nControl, nTaken := 0, 0
+	for k := i; k < j; k++ {
+		s := w[k]
+		if !s.op.IsControl() {
+			continue
+		}
+		if s.op.IsIndirect() {
+			return false, false
+		}
+		nControl++
+		if s.taken {
+			nTaken++
+		}
+	}
+	switch {
+	case nTaken == 0:
+		return false, true
+	case nTaken == 1 && nControl == 1:
+		return true, true
+	default:
+		return false, false
+	}
+}
+
+// inducesCycle is the precise alternative to the heuristic: grouping head
+// i with tail j deadlocks iff some window instruction x strictly between
+// them lies on a dependence path i →+ x →+ j once already-formed pairs in
+// the window are treated as merged nodes.
+func (d *Detector) inducesCycle(w []*slot, dep [][2]int, i, j int) bool {
+	n := len(w)
+	// adjacency including merged pairs: edges both ways between a formed
+	// head/tail pair approximate the atomic issue coupling.
+	adj := make([][]int, n)
+	for r := 0; r < n; r++ {
+		for k := 0; k < 2; k++ {
+			if p := dep[r][k]; p >= 0 {
+				adj[p] = append(adj[p], r)
+			}
+		}
+	}
+	// reachable-from-i search that may not pass through j.
+	seen := make([]bool, n)
+	var stack []int
+	for _, c := range adj[i] {
+		if c != j {
+			stack = append(stack, c)
+		}
+	}
+	for len(stack) > 0 {
+		x := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if seen[x] {
+			continue
+		}
+		seen[x] = true
+		for _, c := range adj[x] {
+			if c == j {
+				return true // i →+ x →+ j through x ≠ j
+			}
+			stack = append(stack, c)
+		}
+	}
+	return false
+}
+
+// pairIndependent groups leftover candidate pairs with identical (or
+// empty) source dependences, per Section 5.4.1. Both instructions must
+// read the same values, so shared source registers must have the same
+// in-window producer and must not be rewritten between the two.
+func (d *Detector) pairIndependent(w []*slot, dep [][2]int, cycle int64) {
+	for i := 0; i < len(w); i++ {
+		h := w[i]
+		if h.inval || h.head || h.tail {
+			continue
+		}
+		for j := i + 1; j < len(w) && j-i <= MaxOffset; j++ {
+			t := w[j]
+			if t.inval || t.head || t.tail {
+				continue
+			}
+			if !sameSources(w, dep, i, j) {
+				continue
+			}
+			if dependsOn(dep, j, i) {
+				continue // actually dependent; handled above
+			}
+			ctrl, ok := controlClass(w, i, j)
+			if !ok {
+				continue
+			}
+			if d.table.Blacklisted(h.pc, t.pc) {
+				continue
+			}
+			h.head, t.tail = true, true
+			d.table.Install(h.pc, t.pc, Pointer{Control: ctrl, Offset: uint8(j - i)}, cycle+int64(d.cfg.DetectionDelay))
+			d.stats.IndependentPairs++
+			break
+		}
+	}
+}
+
+// sameSources reports whether window rows i and j have identical source
+// register sets reading identical values: for every shared register the
+// last writer before i and before j must be the same instruction (so no
+// instruction in [i, j) rewrites it).
+func sameSources(w []*slot, dep [][2]int, i, j int) bool {
+	_ = dep
+	a, b := w[i], w[j]
+	if a.nsrc != b.nsrc {
+		return false
+	}
+	lastWriterBefore := func(r isa.Reg, row int) int {
+		for x := row - 1; x >= 0; x-- {
+			if w[x].dest == r {
+				return x
+			}
+		}
+		return -1
+	}
+	for k := 0; k < b.nsrc; k++ {
+		r := b.srcs[k]
+		found := false
+		for m := 0; m < a.nsrc; m++ {
+			if a.srcs[m] == r {
+				found = true
+			}
+		}
+		if !found {
+			return false
+		}
+		if lastWriterBefore(r, i) != lastWriterBefore(r, j) {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,146 @@
+package mop
+
+import (
+	"testing"
+
+	"macroop/internal/config"
+	"macroop/internal/functional"
+	"macroop/internal/isa"
+	"macroop/internal/rng"
+)
+
+// randomStream builds a random candidate/non-candidate instruction stream
+// with realistic register reuse.
+func randomStream(r *rng.RNG, n int) []*functional.DynInst {
+	var s streamBuilder
+	for i := 0; i < n; i++ {
+		dest := isa.Reg(8 + r.Intn(12))
+		s1 := isa.Reg(8 + r.Intn(12))
+		s2 := isa.Reg(8 + r.Intn(12))
+		switch r.Intn(10) {
+		case 0:
+			s.add(isa.LD, dest, s1, isa.NoReg, false)
+		case 1:
+			s.add(isa.MUL, dest, s1, s2, false)
+		case 2:
+			s.add(isa.BEQ, isa.NoReg, s1, s2, r.Bool(0.3))
+		case 3:
+			s.add(isa.JMP, isa.NoReg, isa.NoReg, isa.NoReg, true)
+		case 4:
+			s.add(isa.ADDI, dest, s1, isa.NoReg, false)
+		default:
+			s.add(isa.ADD, dest, s1, s2, false)
+		}
+	}
+	return s.insts
+}
+
+// TestDetectorInvariants drives random streams through the detector under
+// every configuration and checks structural invariants of the pointers it
+// generates:
+//
+//  1. offsets are within the 3-bit field (1..7);
+//  2. the head is a value-generating candidate or an independent-MOP head
+//     (always a candidate);
+//  3. the designated tail is a MOP candidate;
+//  4. under CAM-2src, the pair's external source union is at most 2.
+func TestDetectorInvariants(t *testing.T) {
+	r := rng.New(31337)
+	for trial := 0; trial < 30; trial++ {
+		stream := randomStream(r, 400)
+		byPC := map[int]*functional.DynInst{}
+		for _, d := range stream {
+			byPC[d.PC] = d
+		}
+		for _, cfg := range []config.MOPConfig{wiredOR(), cam2(), func() config.MOPConfig {
+			c := wiredOR()
+			c.PreciseCycleDetection = true
+			return c
+		}()} {
+			tbl, _ := detectAll(cfg, stream)
+			for _, d := range stream {
+				ptr, tailPC, ok := tbl.Lookup(d.PC, 1<<40)
+				if !ok {
+					continue
+				}
+				if ptr.Offset < 1 || ptr.Offset > MaxOffset {
+					t.Fatalf("trial %d: offset %d out of field range", trial, ptr.Offset)
+				}
+				head := byPC[d.PC]
+				tail := byPC[tailPC]
+				if tail == nil {
+					t.Fatalf("trial %d: pointer to unknown tail PC %d", trial, tailPC)
+				}
+				if !head.Inst.Op.IsMOPCandidate() {
+					t.Fatalf("trial %d: non-candidate head %v", trial, head.Inst.Op)
+				}
+				if !tail.Inst.Op.IsMOPCandidate() {
+					t.Fatalf("trial %d: non-candidate tail %v", trial, tail.Inst.Op)
+				}
+				if tailPC != head.PC+int(ptr.Offset) {
+					// PCs equal stream positions in these fixtures.
+					t.Fatalf("trial %d: offset %d does not reach tail (%d -> %d)",
+						trial, ptr.Offset, head.PC, tailPC)
+				}
+				if cfg.Wakeup == config.WakeupCAM2Src {
+					if n := unionRegs(head, tail); n > 2 {
+						t.Fatalf("trial %d: CAM pair with %d-source union", trial, n)
+					}
+				}
+			}
+		}
+	}
+}
+
+// unionRegs recomputes the external source union of a pair.
+func unionRegs(head, tail *functional.DynInst) int {
+	set := map[isa.Reg]bool{}
+	add := func(r isa.Reg) {
+		if r != isa.NoReg && r != isa.R0 {
+			set[r] = true
+		}
+	}
+	add(head.Inst.Src1)
+	add(head.Inst.Src2)
+	for _, r := range []isa.Reg{tail.Inst.Src1, tail.Inst.Src2} {
+		if head.Inst.WritesReg() && r == head.Inst.Dest {
+			continue
+		}
+		add(r)
+	}
+	return len(set)
+}
+
+// TestDetectorDeterminism: the same stream yields the same pointer table.
+func TestDetectorDeterminism(t *testing.T) {
+	r := rng.New(7)
+	stream := randomStream(r, 300)
+	t1, _ := detectAll(wiredOR(), stream)
+	t2, _ := detectAll(wiredOR(), stream)
+	for _, d := range stream {
+		p1, tp1, ok1 := t1.Lookup(d.PC, 1<<40)
+		p2, tp2, ok2 := t2.Lookup(d.PC, 1<<40)
+		if ok1 != ok2 || p1 != p2 || tp1 != tp2 {
+			t.Fatalf("pc %d: nondeterministic detection", d.PC)
+		}
+	}
+}
+
+// TestPreciseNeverBelowHeuristic: precise cycle detection can only admit
+// more pairs than the conservative heuristic, never fewer (on streams
+// without the independent-MOP path interfering).
+func TestPreciseNeverBelowHeuristic(t *testing.T) {
+	r := rng.New(99)
+	for trial := 0; trial < 20; trial++ {
+		stream := randomStream(r, 400)
+		heur := wiredORDepOnly()
+		prec := wiredORDepOnly()
+		prec.PreciseCycleDetection = true
+		_, dh := detectAll(heur, stream)
+		_, dp := detectAll(prec, stream)
+		if dp.Stats().DependentPairs < dh.Stats().DependentPairs {
+			t.Fatalf("trial %d: precise %d < heuristic %d pairs", trial,
+				dp.Stats().DependentPairs, dh.Stats().DependentPairs)
+		}
+	}
+}

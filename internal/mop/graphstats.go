@@ -1,0 +1,165 @@
+package mop
+
+import (
+	"macroop/internal/functional"
+	"macroop/internal/isa"
+	"macroop/internal/stats"
+)
+
+// GraphStats characterizes the dataflow shape of a committed instruction
+// stream: value fan-out, window-local ILP (how deep the dependence graph
+// of each fixed-size window is), and the single-cycle chain-run length.
+// These are the properties that determine how much a pipelined (2-cycle)
+// scheduler loses and macro-op scheduling recovers, and they back the
+// workload-calibration claims in DESIGN.md.
+type GraphStats struct {
+	// FanOut histograms the number of consumers per produced value
+	// (buckets 0, 1, 2, 3+; 0 = dynamically dead).
+	FanOut *stats.Histogram
+	// WindowDepth histograms the dependence-graph depth of consecutive
+	// WindowSize-instruction windows; depth/size ~ 1 means serial code.
+	WindowDepth *stats.Histogram
+	// ChainRun histograms maximal runs of single-cycle ops each depending
+	// on the previous run member (the paper's fusable chains).
+	ChainRun *stats.Histogram
+
+	WindowSize int
+
+	ring    []gsInst
+	pos     int64
+	curRun  int
+	runDest isa.Reg
+}
+
+type gsInst struct {
+	dest      isa.Reg
+	src1      isa.Reg
+	src2      isa.Reg
+	consumers int
+	oneCycle  bool
+}
+
+// NewGraphStats returns an accumulator using the given window size.
+func NewGraphStats(windowSize int) *GraphStats {
+	if windowSize < 4 {
+		windowSize = 4
+	}
+	return &GraphStats{
+		FanOut:      stats.NewHistogram(0, 1, 2),
+		WindowDepth: stats.NewHistogram(2, 4, 8, 16, 32),
+		ChainRun:    stats.NewHistogram(1, 2, 4, 8),
+		WindowSize:  windowSize,
+	}
+}
+
+// Push feeds one committed instruction (STDs fold into their STA as
+// elsewhere: the data register read counts toward fan-out).
+func (g *GraphStats) Push(d *functional.DynInst) {
+	if d.Inst.Op == isa.STD {
+		g.creditConsumer(d.Inst.Src1)
+		return
+	}
+	in := gsInst{dest: isa.NoReg, src1: d.Inst.Src1, src2: d.Inst.Src2,
+		oneCycle: d.Inst.Op.IsMOPCandidate()}
+	if d.Inst.WritesReg() {
+		in.dest = d.Inst.Dest
+	}
+	g.creditConsumer(in.src1)
+	g.creditConsumer(in.src2)
+	g.trackChain(&in)
+	g.ring = append(g.ring, in)
+	g.pos++
+	if len(g.ring) == g.WindowSize {
+		g.flushWindow()
+	}
+}
+
+// creditConsumer increments the fan-out of the most recent producer of r
+// still in the ring.
+func (g *GraphStats) creditConsumer(r isa.Reg) {
+	if r == isa.NoReg || r == isa.R0 {
+		return
+	}
+	for i := len(g.ring) - 1; i >= 0; i-- {
+		if g.ring[i].dest == r {
+			g.ring[i].consumers++
+			return
+		}
+	}
+}
+
+// trackChain extends or ends the current single-cycle dependent run.
+func (g *GraphStats) trackChain(in *gsInst) {
+	extends := in.oneCycle && g.curRun > 0 && g.runDest != isa.NoReg &&
+		(in.src1 == g.runDest || in.src2 == g.runDest)
+	switch {
+	case extends:
+		g.curRun++
+	case in.oneCycle && in.dest != isa.NoReg:
+		if g.curRun > 0 {
+			g.ChainRun.Observe(int64(g.curRun))
+		}
+		g.curRun = 1
+	default:
+		if g.curRun > 0 {
+			g.ChainRun.Observe(int64(g.curRun))
+		}
+		g.curRun = 0
+	}
+	if in.dest != isa.NoReg {
+		g.runDest = in.dest
+	}
+}
+
+// flushWindow computes the dependence depth of the buffered window and
+// accounts fan-outs of its producers.
+func (g *GraphStats) flushWindow() {
+	depth := make([]int, len(g.ring))
+	lastWriter := map[isa.Reg]int{}
+	maxDepth := 0
+	for i, in := range g.ring {
+		d := 1
+		for _, r := range []isa.Reg{in.src1, in.src2} {
+			if r == isa.NoReg || r == isa.R0 {
+				continue
+			}
+			if p, ok := lastWriter[r]; ok && depth[p]+1 > d {
+				d = depth[p] + 1
+			}
+		}
+		depth[i] = d
+		if d > maxDepth {
+			maxDepth = d
+		}
+		if in.dest != isa.NoReg {
+			lastWriter[in.dest] = i
+		}
+	}
+	g.WindowDepth.Observe(int64(maxDepth))
+	for _, in := range g.ring {
+		if in.dest != isa.NoReg {
+			g.FanOut.Observe(int64(in.consumers))
+		}
+	}
+	g.ring = g.ring[:0]
+}
+
+// Flush drains the remaining partial window; call at end of stream.
+func (g *GraphStats) Flush() {
+	if len(g.ring) > 0 {
+		g.flushWindow()
+	}
+	if g.curRun > 0 {
+		g.ChainRun.Observe(int64(g.curRun))
+		g.curRun = 0
+	}
+}
+
+// SerialFraction estimates how serial the code is: mean window depth
+// divided by window size (1.0 = fully serial, ~0 = fully parallel).
+func (g *GraphStats) SerialFraction() float64 {
+	if g.WindowDepth.Total() == 0 {
+		return 0
+	}
+	return g.WindowDepth.Mean() / float64(g.WindowSize)
+}

@@ -1,0 +1,118 @@
+package mop
+
+import (
+	"testing"
+
+	"macroop/internal/functional"
+	"macroop/internal/isa"
+	"macroop/internal/workload"
+)
+
+func TestGraphStatsSerialChain(t *testing.T) {
+	var s streamBuilder
+	for i := 0; i < 64; i++ {
+		s.alu(8, 8) // fully serial accumulator
+	}
+	g := NewGraphStats(16)
+	for _, d := range s.insts {
+		g.Push(d)
+	}
+	g.Flush()
+	if f := g.SerialFraction(); f < 0.95 {
+		t.Fatalf("serial chain fraction %.2f, want ~1", f)
+	}
+	// Every value (except the last in flight) has exactly one consumer.
+	if g.FanOut.Fraction(1) < 0.9 {
+		t.Fatalf("fan-out-1 fraction %.2f", g.FanOut.Fraction(1))
+	}
+	// One long chain run observed.
+	if g.ChainRun.Mean() < 30 {
+		t.Fatalf("chain run mean %.1f, want long runs", g.ChainRun.Mean())
+	}
+}
+
+func TestGraphStatsParallelStream(t *testing.T) {
+	var s streamBuilder
+	for i := 0; i < 64; i++ {
+		s.alu(isa.Reg(8 + i%16)) // no dependences at all
+	}
+	g := NewGraphStats(16)
+	for _, d := range s.insts {
+		g.Push(d)
+	}
+	g.Flush()
+	if f := g.SerialFraction(); f > 0.15 {
+		t.Fatalf("independent stream serial fraction %.2f, want ~1/16", f)
+	}
+	// All values dead (fan-out 0) since nothing reads them before rewrite.
+	if g.FanOut.Fraction(0) < 0.9 {
+		t.Fatalf("dead fraction %.2f", g.FanOut.Fraction(0))
+	}
+}
+
+func TestGraphStatsFanOutCounts(t *testing.T) {
+	var s streamBuilder
+	s.alu(1) // 0: consumed by three readers
+	s.alu(20, 1)
+	s.alu(21, 1)
+	s.alu(22, 1)
+	g := NewGraphStats(4)
+	for _, d := range s.insts {
+		g.Push(d)
+	}
+	g.Flush()
+	// Producer 0 lands in the 3+ overflow bucket.
+	if g.FanOut.Bucket(3) != 1 {
+		t.Fatalf("fan-out buckets: %d %d %d %d",
+			g.FanOut.Bucket(0), g.FanOut.Bucket(1), g.FanOut.Bucket(2), g.FanOut.Bucket(3))
+	}
+}
+
+func TestGraphStatsStoreDataCountsAsConsumer(t *testing.T) {
+	var s streamBuilder
+	s.alu(1)
+	s.add(isa.STA, isa.NoReg, 2, isa.NoReg, false)
+	s.add(isa.STD, isa.NoReg, 1, isa.NoReg, false) // reads r1 as data
+	s.alu(9)
+	g := NewGraphStats(4)
+	for _, d := range s.insts {
+		g.Push(d)
+	}
+	g.Flush()
+	if g.FanOut.Bucket(1) < 1 {
+		t.Fatal("store data read not credited as a consumer")
+	}
+}
+
+// TestGraphStatsWorkloadShapes ties the analyzer back to the calibrated
+// workloads: gap must be markedly more serial than vortex.
+func TestGraphStatsWorkloadShapes(t *testing.T) {
+	serial := func(name string) float64 {
+		g := NewGraphStats(16)
+		streamBench(t, name, 80000, g.Push)
+		g.Flush()
+		return g.SerialFraction()
+	}
+	gap := serial("gap")
+	vortex := serial("vortex")
+	if gap <= vortex {
+		t.Fatalf("gap serial %.3f <= vortex %.3f; calibration shape violated", gap, vortex)
+	}
+}
+
+// streamBench feeds n committed instructions of a benchmark to sink.
+func streamBench(t *testing.T, name string, n int64, sink func(*functional.DynInst)) {
+	t.Helper()
+	prof, err := workload.ByName(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := functional.NewExecutor(workload.MustGenerate(prof))
+	var d functional.DynInst
+	for i := int64(0); i < n; i++ {
+		if err := e.Step(&d); err != nil {
+			t.Fatal(err)
+		}
+		sink(&d)
+	}
+}

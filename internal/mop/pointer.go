@@ -1,0 +1,112 @@
+// Package mop implements macro-op (MOP) detection, MOP pointers, and the
+// machine-independent groupability characterizations of Sections 4 and 5
+// of the paper.
+//
+// MOP detection (Section 5.1) examines the renamed instruction stream with
+// a triangle dependence matrix over a two-group (8-instruction) scope,
+// applies the conservative cycle-detection heuristic via "1"/"2" source
+// count marks, resolves conflicts with a priority decoder, and emits
+// 4-bit MOP pointers (1 control bit + 3-bit offset) that are stored
+// alongside the instruction cache and consumed by MOP formation in the
+// pipeline front end (internal/core).
+package mop
+
+// Pointer is the 4-bit MOP pointer of Section 5.1.3: a forward pointer
+// from the MOP head to its tail. Control records whether the path from
+// head to tail included exactly one taken direct control instruction at
+// detection time; Offset is the dynamic instruction distance (1..7).
+type Pointer struct {
+	Control bool
+	Offset  uint8
+}
+
+// MaxOffset is the largest distance representable by the 3-bit offset
+// field: it covers the paper's 8-instruction scope.
+const MaxOffset = 7
+
+type tableEntry struct {
+	ptr       Pointer
+	tailPC    int
+	visibleAt int64 // detection-delay modelling: usable from this cycle on
+	valid     bool
+}
+
+// PointerTable stores MOP pointers keyed by the head's static PC. It
+// models the paper's arrangement where pointers live in the first-level
+// instruction cache and are fetched along with instructions: entries
+// become visible only after the configured detection delay, and the
+// last-arriving-operand filter (Section 5.4.2) can delete an entry while
+// blacklisting the pair so detection picks an alternative tail.
+type PointerTable struct {
+	entries   map[int]tableEntry
+	blacklist map[int]map[int]bool // headPC -> banned tailPCs
+
+	installs int64
+	deletes  int64
+}
+
+// NewPointerTable returns an empty table.
+func NewPointerTable() *PointerTable {
+	return &PointerTable{
+		entries:   make(map[int]tableEntry),
+		blacklist: make(map[int]map[int]bool),
+	}
+}
+
+// Blacklisted reports whether the head→tail pair was banned by the
+// last-arriving filter.
+func (t *PointerTable) Blacklisted(headPC, tailPC int) bool {
+	return t.blacklist[headPC][tailPC]
+}
+
+// Install records a pointer for headPC, visible from cycle visibleAt.
+// Blacklisted pairs are ignored. Each instruction has exactly one pointer
+// (Section 5.1.3), so a new pair overwrites the old one.
+func (t *PointerTable) Install(headPC, tailPC int, ptr Pointer, visibleAt int64) {
+	if ptr.Offset == 0 || ptr.Offset > MaxOffset {
+		return
+	}
+	if t.Blacklisted(headPC, tailPC) {
+		return
+	}
+	if old, ok := t.entries[headPC]; ok && old.valid && old.tailPC == tailPC && old.visibleAt <= visibleAt {
+		return // already installed earlier; keep the earlier visibility
+	}
+	t.entries[headPC] = tableEntry{ptr: ptr, tailPC: tailPC, visibleAt: visibleAt, valid: true}
+	t.installs++
+}
+
+// Lookup returns the pointer for headPC if one is installed and already
+// visible at the given cycle.
+func (t *PointerTable) Lookup(headPC int, now int64) (Pointer, int, bool) {
+	e, ok := t.entries[headPC]
+	if !ok || !e.valid || now < e.visibleAt {
+		return Pointer{}, 0, false
+	}
+	return e.ptr, e.tailPC, true
+}
+
+// Delete implements the last-arriving filter's zero-pointer write: it
+// removes the pointer for headPC and bans the pair so that subsequent
+// detection searches for an alternative tail (Section 5.4.2).
+func (t *PointerTable) Delete(headPC, tailPC int) {
+	if e, ok := t.entries[headPC]; ok && e.valid && e.tailPC == tailPC {
+		delete(t.entries, headPC)
+		t.deletes++
+	}
+	set := t.blacklist[headPC]
+	if set == nil {
+		set = make(map[int]bool)
+		t.blacklist[headPC] = set
+	}
+	set[tailPC] = true
+}
+
+// Len returns the number of currently valid pointers.
+func (t *PointerTable) Len() int { return len(t.entries) }
+
+// Installs returns the cumulative number of pointer installations.
+func (t *PointerTable) Installs() int64 { return t.installs }
+
+// Deletes returns the cumulative number of filter deletions.
+func (t *PointerTable) Deletes() int64 { return t.deletes }

@@ -1,0 +1,325 @@
+// Assembler: a small text syntax for writing simulator programs by hand.
+// It accepts the mnemonics of isa.Op with register operands r0..r31,
+// labels, absolute @N targets (so Disassemble output round-trips), store
+// pseudo-instructions, comments (';' or '#'), and .mem directives for the
+// initial memory image:
+//
+//	        movi  r1, 100          ; immediate
+//	loop:   addi  r1, r1, -1
+//	        ld    r4, 8(r2)        ; load
+//	        st    r4, 16(r2)       ; store pseudo-op -> sta + std
+//	        bne   r1, r0, loop
+//	        jal   fn
+//	        halt
+//	fn:     jr    (r31)
+//	.mem 0x2000 42
+package program
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"macroop/internal/isa"
+)
+
+// Assemble parses assembly text into a validated Program.
+func Assemble(name, text string) (*Program, error) {
+	a := &assembler{b: NewBuilder(name)}
+	for i, raw := range strings.Split(text, "\n") {
+		if err := a.line(raw); err != nil {
+			return nil, fmt.Errorf("line %d: %w", i+1, err)
+		}
+	}
+	return a.b.Build()
+}
+
+// MustAssemble panics on error; for fixtures and tests.
+func MustAssemble(name, text string) *Program {
+	p, err := Assemble(name, text)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+type assembler struct {
+	b *Builder
+}
+
+var asmOps = func() map[string]isa.Op {
+	m := make(map[string]isa.Op)
+	for op := isa.Op(0); op < isa.Op(isa.NumOps); op++ {
+		m[op.String()] = op
+	}
+	return m
+}()
+
+func (a *assembler) line(raw string) error {
+	// Strip comments.
+	if i := strings.IndexAny(raw, ";#"); i >= 0 {
+		raw = raw[:i]
+	}
+	s := strings.TrimSpace(raw)
+	if s == "" {
+		return nil
+	}
+	// Directives.
+	if strings.HasPrefix(s, ".mem") {
+		return a.memDirective(s)
+	}
+	// Leading labels (possibly several).
+	for {
+		i := strings.Index(s, ":")
+		if i < 0 {
+			break
+		}
+		label := strings.TrimSpace(s[:i])
+		if label == "" || strings.ContainsAny(label, " \t,()") {
+			return fmt.Errorf("malformed label %q", label)
+		}
+		a.b.Label(label)
+		s = strings.TrimSpace(s[i+1:])
+	}
+	if s == "" {
+		return nil
+	}
+	return a.instruction(s)
+}
+
+func (a *assembler) memDirective(s string) error {
+	fields := strings.Fields(s)
+	if len(fields) != 3 {
+		return fmt.Errorf(".mem wants address and value, got %q", s)
+	}
+	addr, err := strconv.ParseUint(fields[1], 0, 64)
+	if err != nil {
+		return fmt.Errorf(".mem address: %w", err)
+	}
+	val, err := strconv.ParseUint(fields[2], 0, 64)
+	if err != nil {
+		return fmt.Errorf(".mem value: %w", err)
+	}
+	a.b.InitMem(addr, val)
+	return nil
+}
+
+func (a *assembler) instruction(s string) error {
+	mnemonic := s
+	rest := ""
+	if i := strings.IndexAny(s, " \t"); i >= 0 {
+		mnemonic, rest = s[:i], strings.TrimSpace(s[i+1:])
+	}
+	mnemonic = strings.ToLower(mnemonic)
+	args := splitArgs(rest)
+
+	// Pseudo-instruction: st value, off(base) -> sta + std.
+	if mnemonic == "st" {
+		if len(args) != 2 {
+			return fmt.Errorf("st wants 2 operands")
+		}
+		val, err := parseReg(args[0])
+		if err != nil {
+			return err
+		}
+		off, base, err := parseMemOperand(args[1])
+		if err != nil {
+			return err
+		}
+		a.b.Store(val, base, off)
+		return nil
+	}
+
+	op, ok := asmOps[mnemonic]
+	if !ok {
+		return fmt.Errorf("unknown mnemonic %q", mnemonic)
+	}
+	switch {
+	case op == isa.HALT:
+		a.b.Halt()
+		return nil
+	case op == isa.JR:
+		if len(args) != 1 {
+			return fmt.Errorf("jr wants 1 operand")
+		}
+		r, err := parseReg(strings.Trim(args[0], "()"))
+		if err != nil {
+			return err
+		}
+		a.b.Emit(isa.Instruction{Op: isa.JR, Dest: isa.NoReg, Src1: r, Src2: isa.NoReg})
+		return nil
+	case op == isa.JMP:
+		if len(args) != 1 {
+			return fmt.Errorf("jmp wants 1 operand")
+		}
+		return a.control(op, isa.NoReg, isa.NoReg, isa.NoReg, args[0])
+	case op == isa.JAL:
+		switch len(args) {
+		case 1:
+			return a.control(op, isa.RA, isa.NoReg, isa.NoReg, args[0])
+		case 2:
+			d, err := parseReg(args[0])
+			if err != nil {
+				return err
+			}
+			return a.control(op, d, isa.NoReg, isa.NoReg, args[1])
+		}
+		return fmt.Errorf("jal wants 1 or 2 operands")
+	case op.IsCondBranch():
+		if len(args) != 3 {
+			return fmt.Errorf("%s wants 3 operands", mnemonic)
+		}
+		s1, err := parseReg(args[0])
+		if err != nil {
+			return err
+		}
+		s2, err := parseReg(args[1])
+		if err != nil {
+			return err
+		}
+		return a.control(op, isa.NoReg, s1, s2, args[2])
+	case op == isa.LD:
+		if len(args) != 2 {
+			return fmt.Errorf("ld wants 2 operands")
+		}
+		d, err := parseReg(args[0])
+		if err != nil {
+			return err
+		}
+		off, base, err := parseMemOperand(args[1])
+		if err != nil {
+			return err
+		}
+		a.b.Load(d, base, off)
+		return nil
+	case op == isa.STA:
+		if len(args) != 1 {
+			return fmt.Errorf("sta wants 1 operand")
+		}
+		off, base, err := parseMemOperand(args[0])
+		if err != nil {
+			return err
+		}
+		a.b.Emit(isa.Instruction{Op: isa.STA, Dest: isa.NoReg, Src1: base, Src2: isa.NoReg, Imm: off})
+		return nil
+	case op == isa.STD:
+		if len(args) != 1 {
+			return fmt.Errorf("std wants 1 operand")
+		}
+		r, err := parseReg(args[0])
+		if err != nil {
+			return err
+		}
+		a.b.Emit(isa.Instruction{Op: isa.STD, Dest: isa.NoReg, Src1: r, Src2: isa.NoReg})
+		return nil
+	case op == isa.MOVI || op == isa.LUI:
+		if len(args) != 2 {
+			return fmt.Errorf("%s wants 2 operands", mnemonic)
+		}
+		d, err := parseReg(args[0])
+		if err != nil {
+			return err
+		}
+		imm, err := parseImm(args[1])
+		if err != nil {
+			return err
+		}
+		a.b.Emit(isa.Instruction{Op: op, Dest: d, Src1: isa.NoReg, Src2: isa.NoReg, Imm: imm})
+		return nil
+	default: // register ALU forms: op rd, rs1, rs2|imm
+		if len(args) != 3 {
+			return fmt.Errorf("%s wants 3 operands", mnemonic)
+		}
+		d, err := parseReg(args[0])
+		if err != nil {
+			return err
+		}
+		s1, err := parseReg(args[1])
+		if err != nil {
+			return err
+		}
+		if s2, err := parseReg(args[2]); err == nil {
+			a.b.Op3(op, d, s1, s2)
+			return nil
+		}
+		imm, err := parseImm(args[2])
+		if err != nil {
+			return fmt.Errorf("%s: third operand %q is neither register nor immediate", mnemonic, args[2])
+		}
+		if op != isa.ADDI && op != isa.ADD {
+			return fmt.Errorf("%s does not take an immediate", mnemonic)
+		}
+		a.b.OpImm(isa.ADDI, d, s1, imm)
+		return nil
+	}
+}
+
+// control emits a PC-changing instruction whose target is a label or @N.
+func (a *assembler) control(op isa.Op, dest, s1, s2 isa.Reg, target string) error {
+	if strings.HasPrefix(target, "@") {
+		n, err := strconv.ParseInt(target[1:], 10, 64)
+		if err != nil {
+			return fmt.Errorf("absolute target %q: %w", target, err)
+		}
+		a.b.Emit(isa.Instruction{Op: op, Dest: dest, Src1: s1, Src2: s2, Imm: n})
+		return nil
+	}
+	switch op {
+	case isa.JMP:
+		a.b.Jump(target)
+	case isa.JAL:
+		if dest == isa.RA {
+			a.b.Call(target)
+		} else {
+			a.b.fixups = append(a.b.fixups, fixup{inst: len(a.b.insts), label: target})
+			a.b.Emit(isa.Instruction{Op: isa.JAL, Dest: dest, Src1: isa.NoReg, Src2: isa.NoReg})
+		}
+	default:
+		a.b.Branch(op, s1, s2, target)
+	}
+	return nil
+}
+
+func splitArgs(s string) []string {
+	if strings.TrimSpace(s) == "" {
+		return nil
+	}
+	parts := strings.Split(s, ",")
+	for i := range parts {
+		parts[i] = strings.TrimSpace(parts[i])
+	}
+	return parts
+}
+
+func parseReg(s string) (isa.Reg, error) {
+	s = strings.TrimSpace(strings.ToLower(s))
+	if !strings.HasPrefix(s, "r") {
+		return isa.NoReg, fmt.Errorf("not a register: %q", s)
+	}
+	n, err := strconv.Atoi(s[1:])
+	if err != nil || n < 0 || n >= isa.NumRegs {
+		return isa.NoReg, fmt.Errorf("bad register %q", s)
+	}
+	return isa.Reg(n), nil
+}
+
+func parseImm(s string) (int64, error) {
+	return strconv.ParseInt(strings.TrimSpace(s), 0, 64)
+}
+
+// parseMemOperand parses "off(rN)" or "(rN)".
+func parseMemOperand(s string) (off int64, base isa.Reg, err error) {
+	s = strings.TrimSpace(s)
+	i := strings.Index(s, "(")
+	if i < 0 || !strings.HasSuffix(s, ")") {
+		return 0, isa.NoReg, fmt.Errorf("malformed memory operand %q", s)
+	}
+	if i > 0 {
+		off, err = parseImm(s[:i])
+		if err != nil {
+			return 0, isa.NoReg, fmt.Errorf("memory offset in %q: %w", s, err)
+		}
+	}
+	base, err = parseReg(s[i+1 : len(s)-1])
+	return off, base, err
+}

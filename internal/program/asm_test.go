@@ -1,0 +1,168 @@
+package program_test
+
+import (
+	"strings"
+	"testing"
+
+	"macroop/internal/functional"
+	"macroop/internal/isa"
+	. "macroop/internal/program"
+)
+
+func TestAssembleBasicProgram(t *testing.T) {
+	p, err := Assemble("t", `
+		; counting loop
+		        movi r1, 3
+		loop:   addi r1, r1, -1
+		        bne  r1, r0, loop
+		        halt
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Len() != 4 {
+		t.Fatalf("insts: %d", p.Len())
+	}
+	if p.Insts[2].Op != isa.BNE || p.Insts[2].Imm != 1 {
+		t.Fatalf("branch: %v", p.Insts[2])
+	}
+}
+
+func TestAssembleExecutes(t *testing.T) {
+	p := MustAssemble("t", `
+		        movi r1, 10
+		        movi r2, 0
+		loop:   add  r2, r2, r1
+		        addi r1, r1, -1
+		        bne  r1, r0, loop
+		        halt
+	`)
+	tr, err := functional.Run(p, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tr) == 0 {
+		t.Fatal("no instructions executed")
+	}
+	e := functional.NewExecutor(p)
+	var d functional.DynInst
+	for e.Step(&d) == nil {
+	}
+	if got := e.Reg(2); got != 55 {
+		t.Fatalf("sum = %d, want 55", got)
+	}
+}
+
+func TestAssembleMemoryForms(t *testing.T) {
+	p := MustAssemble("t", `
+		.mem 0x2000 99
+		        movi r1, 0x2000
+		        ld   r2, 0(r1)
+		        st   r2, 8(r1)
+		        ld   r3, 8(r1)
+		        halt
+	`)
+	e := functional.NewExecutor(p)
+	var d functional.DynInst
+	for e.Step(&d) == nil {
+	}
+	if e.Reg(3) != 99 {
+		t.Fatalf("round trip = %d", e.Reg(3))
+	}
+	// st expands to sta+std.
+	if p.Insts[2].Op != isa.STA || p.Insts[3].Op != isa.STD {
+		t.Fatalf("st expansion: %v %v", p.Insts[2].Op, p.Insts[3].Op)
+	}
+}
+
+func TestAssembleCallAndReturn(t *testing.T) {
+	p := MustAssemble("t", `
+		        jal  fn
+		        halt
+		fn:     movi r9, 1
+		        jr   (r31)
+	`)
+	if p.Insts[0].Op != isa.JAL || p.Insts[0].Dest != isa.RA || p.Insts[0].Imm != 2 {
+		t.Fatalf("jal: %v", p.Insts[0])
+	}
+	if p.Insts[3].Op != isa.JR || p.Insts[3].Src1 != isa.RA {
+		t.Fatalf("jr: %v", p.Insts[3])
+	}
+}
+
+func TestAssembleAbsoluteTargets(t *testing.T) {
+	p := MustAssemble("t", `
+		        movi r1, 1
+		        jmp  @3
+		        movi r2, 2
+		        halt
+	`)
+	if p.Insts[1].Imm != 3 {
+		t.Fatalf("absolute target: %v", p.Insts[1])
+	}
+}
+
+func TestAssembleErrors(t *testing.T) {
+	cases := []struct {
+		src  string
+		want string
+	}{
+		{"frob r1, r2, r3\nhalt", "unknown mnemonic"},
+		{"add r1, r2\nhalt", "wants 3 operands"},
+		{"ld r1, r2\nhalt", "malformed memory operand"},
+		{"movi r99, 1\nhalt", "bad register"},
+		{"beq r1, r2, nowhere\nhalt", "nowhere"},
+		{"add r1, r2, x5\nhalt", "neither register nor immediate"},
+		{"sub r1, r2, 5\nhalt", "does not take an immediate"},
+		{".mem zzz 1\nhalt", ".mem address"},
+		{"bad label: movi r1, 1\nhalt", "malformed label"},
+	}
+	for _, c := range cases {
+		if _, err := Assemble("t", c.src); err == nil || !strings.Contains(err.Error(), c.want) {
+			t.Errorf("%q: err = %v, want %q", c.src, err, c.want)
+		}
+	}
+}
+
+func TestAssembleCommentsAndBlankLines(t *testing.T) {
+	p := MustAssemble("t", `
+		# full-line comment
+
+		        movi r1, 1 ; trailing
+		        halt       # trailing hash
+	`)
+	if p.Len() != 2 {
+		t.Fatalf("insts: %d", p.Len())
+	}
+}
+
+func TestDisassembleRoundTrip(t *testing.T) {
+	// Programs rendered by Disassemble (with @N targets) reassemble into
+	// the same instruction stream.
+	orig := MustAssemble("t", `
+		        movi r1, 4
+		loop:   addi r1, r1, -1
+		        ld   r2, 16(r1)
+		        st   r2, 24(r1)
+		        bne  r1, r0, loop
+		        jmp  end
+		end:    halt
+	`)
+	var src strings.Builder
+	for _, in := range orig.Insts {
+		src.WriteString(in.String())
+		src.WriteByte('\n')
+	}
+	re, err := Assemble("t2", src.String())
+	if err != nil {
+		t.Fatalf("reassemble: %v\nsource:\n%s", err, src.String())
+	}
+	if re.Len() != orig.Len() {
+		t.Fatalf("length changed: %d -> %d", orig.Len(), re.Len())
+	}
+	for i := range orig.Insts {
+		if orig.Insts[i] != re.Insts[i] {
+			t.Fatalf("inst %d: %v -> %v", i, orig.Insts[i], re.Insts[i])
+		}
+	}
+}

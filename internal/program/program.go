@@ -1,0 +1,221 @@
+// Package program defines the static program representation executed by
+// the simulator, plus a small builder DSL used by the synthetic workload
+// generator and by tests to construct programs with labels and forward
+// branch references.
+//
+// A program is a flat sequence of instructions. The program counter is an
+// instruction index; for cache-geometry purposes each instruction occupies
+// InstBytes bytes, so the byte address of instruction i is i*InstBytes.
+// Programs may also carry an initial data-memory image (used, for example,
+// by the pointer-chasing mcf-like workload).
+package program
+
+import (
+	"fmt"
+	"strings"
+
+	"macroop/internal/isa"
+)
+
+// InstBytes is the architectural size of one instruction in bytes.
+const InstBytes = 4
+
+// Program is a static program plus its initial data-memory image.
+type Program struct {
+	Name  string
+	Insts []isa.Instruction
+	// Mem is the initial data memory image: 8-byte-aligned word address
+	// (byte address with low 3 bits zero) to 64-bit value.
+	Mem map[uint64]uint64
+}
+
+// ByteAddr returns the byte address of the instruction at index pc.
+func ByteAddr(pc int) uint64 { return uint64(pc) * InstBytes }
+
+// Len returns the number of static instructions.
+func (p *Program) Len() int { return len(p.Insts) }
+
+// Validate checks structural well-formedness: branch targets in range,
+// register identifiers valid, every STA immediately followed by its STD,
+// and a reachable HALT present. It returns the first problem found.
+func (p *Program) Validate() error {
+	if len(p.Insts) == 0 {
+		return fmt.Errorf("program %q: empty", p.Name)
+	}
+	hasHalt := false
+	for i, in := range p.Insts {
+		if int(in.Op) >= isa.NumOps {
+			return fmt.Errorf("inst %d: invalid opcode %d", i, in.Op)
+		}
+		for _, r := range []isa.Reg{in.Dest, in.Src1, in.Src2} {
+			if r != isa.NoReg && !r.Valid() {
+				return fmt.Errorf("inst %d (%s): invalid register %d", i, in, uint8(r))
+			}
+		}
+		switch {
+		case in.Op == isa.HALT:
+			hasHalt = true
+		case in.Op.IsCondBranch() || in.Op.IsDirectJump():
+			if in.Imm < 0 || in.Imm >= int64(len(p.Insts)) {
+				return fmt.Errorf("inst %d (%s): branch target %d out of range", i, in, in.Imm)
+			}
+		case in.Op == isa.STA:
+			if i+1 >= len(p.Insts) || p.Insts[i+1].Op != isa.STD {
+				return fmt.Errorf("inst %d: STA not followed by STD", i)
+			}
+		case in.Op == isa.STD:
+			if i == 0 || p.Insts[i-1].Op != isa.STA {
+				return fmt.Errorf("inst %d: STD not preceded by STA", i)
+			}
+		}
+	}
+	if !hasHalt {
+		return fmt.Errorf("program %q: no HALT instruction", p.Name)
+	}
+	return nil
+}
+
+// Disassemble renders the whole program, one instruction per line with
+// its index, suitable for debugging and golden tests.
+func (p *Program) Disassemble() string {
+	var b strings.Builder
+	for i, in := range p.Insts {
+		fmt.Fprintf(&b, "%4d: %s\n", i, in)
+	}
+	return b.String()
+}
+
+// Builder incrementally constructs a Program, resolving label references
+// (including forward references) at Build time.
+type Builder struct {
+	name   string
+	insts  []isa.Instruction
+	mem    map[uint64]uint64
+	labels map[string]int
+	fixups []fixup // instructions whose Imm must be patched to a label
+	errs   []error
+}
+
+type fixup struct {
+	inst  int
+	label string
+}
+
+// NewBuilder returns an empty builder for a program with the given name.
+func NewBuilder(name string) *Builder {
+	return &Builder{
+		name:   name,
+		mem:    make(map[uint64]uint64),
+		labels: make(map[string]int),
+	}
+}
+
+// Len returns the number of instructions emitted so far; the next emitted
+// instruction will have this index.
+func (b *Builder) Len() int { return len(b.insts) }
+
+// Label defines a label at the current position. Defining the same label
+// twice is an error reported by Build.
+func (b *Builder) Label(name string) *Builder {
+	if _, dup := b.labels[name]; dup {
+		b.errs = append(b.errs, fmt.Errorf("label %q defined twice", name))
+		return b
+	}
+	b.labels[name] = len(b.insts)
+	return b
+}
+
+// Emit appends a raw instruction.
+func (b *Builder) Emit(in isa.Instruction) *Builder {
+	b.insts = append(b.insts, in)
+	return b
+}
+
+// Op3 emits a three-register ALU operation.
+func (b *Builder) Op3(op isa.Op, dest, src1, src2 isa.Reg) *Builder {
+	return b.Emit(isa.Instruction{Op: op, Dest: dest, Src1: src1, Src2: src2})
+}
+
+// OpImm emits a register-immediate ALU operation.
+func (b *Builder) OpImm(op isa.Op, dest, src1 isa.Reg, imm int64) *Builder {
+	return b.Emit(isa.Instruction{Op: op, Dest: dest, Src1: src1, Src2: isa.NoReg, Imm: imm})
+}
+
+// MovI emits an immediate load into dest.
+func (b *Builder) MovI(dest isa.Reg, imm int64) *Builder {
+	return b.Emit(isa.Instruction{Op: isa.MOVI, Dest: dest, Src1: isa.NoReg, Src2: isa.NoReg, Imm: imm})
+}
+
+// Load emits ld dest, imm(base).
+func (b *Builder) Load(dest, base isa.Reg, imm int64) *Builder {
+	return b.Emit(isa.Instruction{Op: isa.LD, Dest: dest, Src1: base, Src2: isa.NoReg, Imm: imm})
+}
+
+// Store emits the STA/STD pair for "store value to imm(base)".
+func (b *Builder) Store(value, base isa.Reg, imm int64) *Builder {
+	b.Emit(isa.Instruction{Op: isa.STA, Dest: isa.NoReg, Src1: base, Src2: isa.NoReg, Imm: imm})
+	return b.Emit(isa.Instruction{Op: isa.STD, Dest: isa.NoReg, Src1: value, Src2: isa.NoReg})
+}
+
+// Branch emits a conditional branch to the given label.
+func (b *Builder) Branch(op isa.Op, src1, src2 isa.Reg, label string) *Builder {
+	b.fixups = append(b.fixups, fixup{inst: len(b.insts), label: label})
+	return b.Emit(isa.Instruction{Op: op, Dest: isa.NoReg, Src1: src1, Src2: src2})
+}
+
+// Jump emits an unconditional direct jump to the given label.
+func (b *Builder) Jump(label string) *Builder {
+	b.fixups = append(b.fixups, fixup{inst: len(b.insts), label: label})
+	return b.Emit(isa.Instruction{Op: isa.JMP, Dest: isa.NoReg, Src1: isa.NoReg, Src2: isa.NoReg})
+}
+
+// Call emits jal RA, label.
+func (b *Builder) Call(label string) *Builder {
+	b.fixups = append(b.fixups, fixup{inst: len(b.insts), label: label})
+	return b.Emit(isa.Instruction{Op: isa.JAL, Dest: isa.RA, Src1: isa.NoReg, Src2: isa.NoReg})
+}
+
+// Ret emits jr (RA).
+func (b *Builder) Ret() *Builder {
+	return b.Emit(isa.Instruction{Op: isa.JR, Dest: isa.NoReg, Src1: isa.RA, Src2: isa.NoReg})
+}
+
+// Halt emits the program terminator.
+func (b *Builder) Halt() *Builder {
+	return b.Emit(isa.Instruction{Op: isa.HALT, Dest: isa.NoReg, Src1: isa.NoReg, Src2: isa.NoReg})
+}
+
+// InitMem seeds one 64-bit word of the initial memory image. The address
+// is rounded down to 8-byte alignment.
+func (b *Builder) InitMem(addr, value uint64) *Builder {
+	b.mem[addr&^uint64(7)] = value
+	return b
+}
+
+// Build resolves labels and returns the validated program.
+func (b *Builder) Build() (*Program, error) {
+	if len(b.errs) > 0 {
+		return nil, b.errs[0]
+	}
+	for _, f := range b.fixups {
+		target, ok := b.labels[f.label]
+		if !ok {
+			return nil, fmt.Errorf("undefined label %q", f.label)
+		}
+		b.insts[f.inst].Imm = int64(target)
+	}
+	p := &Program{Name: b.name, Insts: b.insts, Mem: b.mem}
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+// MustBuild is Build that panics on error; for tests and fixed fixtures.
+func (b *Builder) MustBuild() *Program {
+	p, err := b.Build()
+	if err != nil {
+		panic(err)
+	}
+	return p
+}

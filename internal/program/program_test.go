@@ -1,0 +1,160 @@
+package program
+
+import (
+	"strings"
+	"testing"
+
+	"macroop/internal/isa"
+)
+
+func TestBuilderForwardAndBackwardLabels(t *testing.T) {
+	b := NewBuilder("t")
+	b.MovI(1, 10)
+	b.Label("loop")
+	b.OpImm(isa.ADDI, 1, 1, -1)
+	b.Branch(isa.BNE, 1, isa.R0, "loop") // backward
+	b.Jump("end")                        // forward
+	b.MovI(2, 99)
+	b.Label("end")
+	b.Halt()
+	p, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Insts[2].Imm != 1 {
+		t.Errorf("backward branch target = %d, want 1", p.Insts[2].Imm)
+	}
+	if p.Insts[3].Imm != 5 {
+		t.Errorf("forward jump target = %d, want 5", p.Insts[3].Imm)
+	}
+}
+
+func TestBuilderUndefinedLabel(t *testing.T) {
+	b := NewBuilder("t")
+	b.Jump("nowhere")
+	b.Halt()
+	if _, err := b.Build(); err == nil || !strings.Contains(err.Error(), "nowhere") {
+		t.Fatalf("expected undefined-label error, got %v", err)
+	}
+}
+
+func TestBuilderDuplicateLabel(t *testing.T) {
+	b := NewBuilder("t")
+	b.Label("x").MovI(1, 1).Label("x").Halt()
+	if _, err := b.Build(); err == nil || !strings.Contains(err.Error(), "twice") {
+		t.Fatalf("expected duplicate-label error, got %v", err)
+	}
+}
+
+func TestValidateEmptyProgram(t *testing.T) {
+	p := &Program{Name: "empty"}
+	if err := p.Validate(); err == nil {
+		t.Fatal("empty program must not validate")
+	}
+}
+
+func TestValidateMissingHalt(t *testing.T) {
+	p := &Program{Name: "nohalt", Insts: []isa.Instruction{{Op: isa.ADD, Dest: 1, Src1: 2, Src2: 3}}}
+	if err := p.Validate(); err == nil || !strings.Contains(err.Error(), "HALT") {
+		t.Fatalf("expected missing-HALT error, got %v", err)
+	}
+}
+
+func TestValidateBranchOutOfRange(t *testing.T) {
+	p := &Program{Name: "oob", Insts: []isa.Instruction{
+		{Op: isa.BEQ, Src1: 1, Src2: 2, Imm: 99},
+		{Op: isa.HALT},
+	}}
+	if err := p.Validate(); err == nil || !strings.Contains(err.Error(), "out of range") {
+		t.Fatalf("expected target error, got %v", err)
+	}
+}
+
+func TestValidateStorePairing(t *testing.T) {
+	bad := &Program{Name: "lonelysta", Insts: []isa.Instruction{
+		{Op: isa.STA, Src1: 1, Imm: 8},
+		{Op: isa.ADD, Dest: 2, Src1: 1, Src2: 1},
+		{Op: isa.HALT},
+	}}
+	if err := bad.Validate(); err == nil || !strings.Contains(err.Error(), "STA") {
+		t.Fatalf("expected STA pairing error, got %v", err)
+	}
+	bad2 := &Program{Name: "lonelystd", Insts: []isa.Instruction{
+		{Op: isa.STD, Src1: 1},
+		{Op: isa.HALT},
+	}}
+	if err := bad2.Validate(); err == nil || !strings.Contains(err.Error(), "STD") {
+		t.Fatalf("expected STD pairing error, got %v", err)
+	}
+	good := NewBuilder("pair")
+	good.MovI(1, 8)
+	good.Store(1, 1, 0)
+	good.Halt()
+	if _, err := good.Build(); err != nil {
+		t.Fatalf("valid store pair rejected: %v", err)
+	}
+}
+
+func TestValidateInvalidRegister(t *testing.T) {
+	p := &Program{Name: "badreg", Insts: []isa.Instruction{
+		{Op: isa.ADD, Dest: 40, Src1: 1, Src2: 2},
+		{Op: isa.HALT},
+	}}
+	if err := p.Validate(); err == nil || !strings.Contains(err.Error(), "register") {
+		t.Fatalf("expected register error, got %v", err)
+	}
+}
+
+func TestInitMemAlignment(t *testing.T) {
+	b := NewBuilder("mem")
+	b.InitMem(13, 0xdead) // unaligned: rounds down to 8
+	b.Halt()
+	p := b.MustBuild()
+	if p.Mem[8] != 0xdead {
+		t.Fatalf("InitMem did not align: %v", p.Mem)
+	}
+}
+
+func TestDisassemble(t *testing.T) {
+	b := NewBuilder("dis")
+	b.MovI(1, 5)
+	b.OpImm(isa.ADDI, 2, 1, 1)
+	b.Halt()
+	text := b.MustBuild().Disassemble()
+	for _, want := range []string{"movi", "addi", "halt", "0:", "2:"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("disassembly missing %q:\n%s", want, text)
+		}
+	}
+}
+
+func TestByteAddr(t *testing.T) {
+	if ByteAddr(0) != 0 || ByteAddr(3) != 12 {
+		t.Fatal("ByteAddr wrong")
+	}
+}
+
+func TestCallRet(t *testing.T) {
+	b := NewBuilder("call")
+	b.Call("fn")
+	b.Halt()
+	b.Label("fn")
+	b.MovI(1, 1)
+	b.Ret()
+	p := b.MustBuild()
+	if p.Insts[0].Op != isa.JAL || p.Insts[0].Imm != 2 {
+		t.Fatalf("call emitted %v", p.Insts[0])
+	}
+	if p.Insts[3].Op != isa.JR || p.Insts[3].Src1 != isa.RA {
+		t.Fatalf("ret emitted %v", p.Insts[3])
+	}
+}
+
+func TestMustBuildPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustBuild did not panic on invalid program")
+		}
+	}()
+	NewBuilder("bad").Jump("missing").MustBuild()
+}

@@ -1,0 +1,104 @@
+// Package rng provides a small, deterministic pseudo-random number
+// generator used throughout the simulator. Determinism matters: every
+// experiment in the paper-reproduction harness must be exactly
+// reproducible from a seed, independent of Go runtime or map iteration
+// order, so we do not use math/rand's global state.
+//
+// The generator is xoshiro256** seeded via splitmix64, a combination with
+// good statistical quality and a tiny, allocation-free implementation.
+package rng
+
+// RNG is a deterministic xoshiro256** generator. The zero value is not
+// usable; construct with New.
+type RNG struct {
+	s [4]uint64
+}
+
+// New returns a generator seeded from the given seed using splitmix64,
+// which guarantees a well-mixed non-zero internal state for any seed.
+func New(seed uint64) *RNG {
+	r := &RNG{}
+	sm := seed
+	for i := range r.s {
+		sm += 0x9e3779b97f4a7c15
+		z := sm
+		z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+		z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+		r.s[i] = z ^ (z >> 31)
+	}
+	return r
+}
+
+func rotl(x uint64, k uint) uint64 { return (x << k) | (x >> (64 - k)) }
+
+// Uint64 returns the next 64 random bits.
+func (r *RNG) Uint64() uint64 {
+	result := rotl(r.s[1]*5, 7) * 9
+	t := r.s[1] << 17
+	r.s[2] ^= r.s[0]
+	r.s[3] ^= r.s[1]
+	r.s[1] ^= r.s[2]
+	r.s[0] ^= r.s[3]
+	r.s[2] ^= t
+	r.s[3] = rotl(r.s[3], 45)
+	return result
+}
+
+// Intn returns a uniform integer in [0, n). It panics if n <= 0.
+func (r *RNG) Intn(n int) int {
+	if n <= 0 {
+		panic("rng: Intn with non-positive n")
+	}
+	return int(r.Uint64() % uint64(n))
+}
+
+// Float64 returns a uniform float64 in [0, 1).
+func (r *RNG) Float64() float64 {
+	return float64(r.Uint64()>>11) / (1 << 53)
+}
+
+// Bool returns true with probability p.
+func (r *RNG) Bool(p float64) bool {
+	return r.Float64() < p
+}
+
+// Geometric samples from a geometric-like distribution with the given mean
+// (>= 1), returning a value in [1, max]. It is used for dependence-distance
+// sampling in workload generation.
+func (r *RNG) Geometric(mean float64, max int) int {
+	if mean < 1 {
+		mean = 1
+	}
+	p := 1 / mean
+	d := 1
+	for d < max && !r.Bool(p) {
+		d++
+	}
+	return d
+}
+
+// Pick returns an index in [0, len(weights)) with probability proportional
+// to weights[i]. Weights must be non-negative with a positive sum.
+func (r *RNG) Pick(weights []float64) int {
+	var sum float64
+	for _, w := range weights {
+		sum += w
+	}
+	if sum <= 0 {
+		panic("rng: Pick with non-positive weight sum")
+	}
+	x := r.Float64() * sum
+	for i, w := range weights {
+		x -= w
+		if x < 0 {
+			return i
+		}
+	}
+	return len(weights) - 1
+}
+
+// Fork returns a new generator deterministically derived from this one,
+// so independent subsystems can draw without perturbing each other.
+func (r *RNG) Fork() *RNG {
+	return New(r.Uint64())
+}

@@ -1,0 +1,180 @@
+package rng
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestDeterminism(t *testing.T) {
+	a, b := New(12345), New(12345)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("same seed diverged at draw %d", i)
+		}
+	}
+}
+
+func TestSeedsDiffer(t *testing.T) {
+	a, b := New(1), New(2)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Fatalf("different seeds produced %d identical draws", same)
+	}
+}
+
+func TestZeroSeedUsable(t *testing.T) {
+	r := New(0)
+	if r.Uint64() == 0 && r.Uint64() == 0 && r.Uint64() == 0 {
+		t.Fatal("zero seed produced a degenerate stream")
+	}
+}
+
+func TestIntnRange(t *testing.T) {
+	if err := quick.Check(func(seed uint64, n uint16) bool {
+		bound := int(n%1000) + 1
+		r := New(seed)
+		for i := 0; i < 50; i++ {
+			v := r.Intn(bound)
+			if v < 0 || v >= bound {
+				return false
+			}
+		}
+		return true
+	}, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIntnPanicsOnNonPositive(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Intn(0) did not panic")
+		}
+	}()
+	New(1).Intn(0)
+}
+
+func TestFloat64Range(t *testing.T) {
+	r := New(7)
+	for i := 0; i < 10000; i++ {
+		f := r.Float64()
+		if f < 0 || f >= 1 {
+			t.Fatalf("Float64 out of range: %v", f)
+		}
+	}
+}
+
+func TestFloat64Mean(t *testing.T) {
+	r := New(99)
+	sum := 0.0
+	const n = 200000
+	for i := 0; i < n; i++ {
+		sum += r.Float64()
+	}
+	if mean := sum / n; math.Abs(mean-0.5) > 0.01 {
+		t.Fatalf("Float64 mean %v, want ~0.5", mean)
+	}
+}
+
+func TestBoolBias(t *testing.T) {
+	r := New(3)
+	const n = 100000
+	for _, p := range []float64{0.1, 0.5, 0.9} {
+		hits := 0
+		for i := 0; i < n; i++ {
+			if r.Bool(p) {
+				hits++
+			}
+		}
+		if got := float64(hits) / n; math.Abs(got-p) > 0.02 {
+			t.Fatalf("Bool(%v) rate %v", p, got)
+		}
+	}
+}
+
+func TestGeometricMeanAndBounds(t *testing.T) {
+	r := New(5)
+	const n = 100000
+	sum, maxSeen := 0, 0
+	for i := 0; i < n; i++ {
+		d := r.Geometric(3.0, 32)
+		if d < 1 || d > 32 {
+			t.Fatalf("Geometric out of bounds: %d", d)
+		}
+		sum += d
+		if d > maxSeen {
+			maxSeen = d
+		}
+	}
+	mean := float64(sum) / n
+	if mean < 2.4 || mean > 3.3 {
+		t.Fatalf("Geometric mean %v, want ~3 (capped)", mean)
+	}
+	if maxSeen < 10 {
+		t.Fatalf("Geometric tail too thin: max %d", maxSeen)
+	}
+}
+
+func TestGeometricDegenerateMean(t *testing.T) {
+	r := New(8)
+	for i := 0; i < 100; i++ {
+		if d := r.Geometric(0.1, 8); d != 1 {
+			// mean < 1 clamps to 1, which makes p = 1: always 1.
+			t.Fatalf("Geometric(0.1) = %d, want 1", d)
+		}
+	}
+}
+
+func TestPickProportions(t *testing.T) {
+	r := New(11)
+	weights := []float64{1, 3, 6}
+	counts := make([]int, 3)
+	const n = 300000
+	for i := 0; i < n; i++ {
+		counts[r.Pick(weights)]++
+	}
+	for i, w := range weights {
+		want := w / 10
+		got := float64(counts[i]) / n
+		if math.Abs(got-want) > 0.01 {
+			t.Fatalf("Pick bucket %d rate %v, want %v", i, got, want)
+		}
+	}
+}
+
+func TestPickZeroWeightNeverChosen(t *testing.T) {
+	r := New(13)
+	for i := 0; i < 10000; i++ {
+		if r.Pick([]float64{0, 1, 0}) != 1 {
+			t.Fatal("Pick chose a zero-weight bucket")
+		}
+	}
+}
+
+func TestPickPanicsOnZeroSum(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Pick with zero-sum weights did not panic")
+		}
+	}()
+	New(1).Pick([]float64{0, 0})
+}
+
+func TestForkIndependence(t *testing.T) {
+	a := New(21)
+	f := a.Fork()
+	// The fork must be deterministic given the parent state...
+	b := New(21)
+	g := b.Fork()
+	for i := 0; i < 100; i++ {
+		if f.Uint64() != g.Uint64() {
+			t.Fatal("forks of identical parents diverged")
+		}
+	}
+}

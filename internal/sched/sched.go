@@ -1,0 +1,884 @@
+// Package sched implements the instruction scheduling logic of the paper:
+// the wakeup and select loop, in five variants (Section 6.2):
+//
+//   - base: ideally pipelined scheduling, equivalent to atomic 1-cycle
+//     wakeup+select — a dependent of a producer issued at cycle g with
+//     latency L may be selected at g+L;
+//   - 2-cycle: pipelined wakeup|select — dependents selectable at
+//     g+max(L,2), putting a bubble after every single-cycle producer;
+//   - macro-op: built on 2-cycle scheduling; an issue queue entry may hold
+//     two fused single-cycle instructions (a MOP) that issue as a unit —
+//     the head at g, the tail at g+1 — and broadcast a single tag that
+//     makes all consumers selectable at g+2 (so tail consumers run
+//     back-to-back, Figure 5);
+//   - select-free (squash-dep / scoreboard): speculative wakeup at request
+//     time per Brown et al. [8]; collision victims either squash their
+//     speculatively woken dependents (ideal) or let them issue and replay
+//     as pileup victims detected by a register-file scoreboard.
+//
+// The scheduler also owns speculative-scheduling replay: loads are assumed
+// to hit the DL1, and dependents issued inside a load's miss shadow are
+// selectively invalidated and reissued after the miss resolves (the base
+// machine's "selective replay, 2-cycle penalty" of Table 1).
+//
+// The package is timing-only: the core (internal/core) decides what the
+// instructions are and what memory does; the scheduler decides when each
+// queue entry issues.
+package sched
+
+import (
+	"fmt"
+
+	"macroop/internal/config"
+	"macroop/internal/isa"
+)
+
+const never = int64(1) << 62
+
+// MaxMOPOps is the largest number of original instructions one issue
+// queue entry can hold. The paper evaluates pairs (2) and characterizes
+// groups up to its 8-instruction scope (Figure 7); chained MOPs are its
+// "future work" extension (Section 4.3), supported here up to 8
+// (wired-OR wakeup only).
+const MaxMOPOps = 8
+
+// Config parameterizes a Scheduler.
+type Config struct {
+	Model config.SchedModel
+	// Width is the issue width (grants per cycle).
+	Width int
+	// IQEntries bounds occupied entries; 0 means unrestricted.
+	IQEntries int
+	// FU[class] is the number of functional units of each isa.Class.
+	FU [isa.NumClasses]int
+	// ReplayPenalty is the extra delay before an invalidated entry may
+	// reissue (Table 1: 2 cycles).
+	ReplayPenalty int
+	// ScoreboardDelay is the latency from an invalid select-free issue to
+	// its detection by the register-file scoreboard.
+	ScoreboardDelay int
+}
+
+// OpInfo describes one original instruction inside an entry.
+type OpInfo struct {
+	Seq     int64
+	FU      isa.Class
+	Latency int // scheduler-assumed result latency (loads: agen+DL1 hit)
+	IsLoad  bool
+}
+
+// State is the lifecycle of an entry.
+type State uint8
+
+// Entry states.
+const (
+	StateWaiting State = iota
+	StateIssued
+	StateFinal
+)
+
+type srcEdge struct {
+	prod    *Entry
+	prodOp  int
+	assumed int   // assumed producer result latency for this operand
+	wake    int64 // scheduler-visible ready cycle (never = unknown)
+	final   bool
+	actual  int64 // actual operand availability once known
+}
+
+type consRef struct {
+	entry  *Entry
+	srcIdx int
+}
+
+// Entry is one issue queue entry: a single instruction, or a macro-op of
+// two instructions sharing the entry (Section 3.1).
+type Entry struct {
+	id     int64
+	age    int64
+	ops    [MaxMOPOps]OpInfo
+	numOps int
+	isMOP  bool
+	// pendingTail marks a MOP head waiting for its tail to be inserted
+	// (Section 5.2.3); the entry does not request selection until then.
+	pendingTail bool
+
+	srcs      []srcEdge
+	consumers []consRef
+
+	state          State
+	grant          int64 // cycle op0 was granted (most recent)
+	earliestSelect int64
+	everRequested  bool
+	firstReq       int64 // select-free: cycle of first selection request
+
+	// actualReady[i] is when op i's result is actually available to a
+	// consumer issuing at that cycle or later. For non-loads it follows
+	// from the grant; for loads the core sets it via SetLoadResult.
+	actualReady [MaxMOPOps]int64
+	// loadDiscover[i] is when a load op's assumed/actual mismatch becomes
+	// known (address generated, cache probed).
+	loadDiscover [MaxMOPOps]int64
+	loadResolved [MaxMOPOps]bool
+
+	replays int
+
+	// UserData carries the core's per-entry payload (opaque here).
+	UserData any
+}
+
+// ID returns the entry's unique id.
+func (e *Entry) ID() int64 { return e.id }
+
+// State returns the entry lifecycle state.
+func (e *Entry) GetState() State { return e.state }
+
+// Grant returns the most recent grant cycle of the entry's first op.
+func (e *Entry) Grant() int64 { return e.grant }
+
+// IsMOP reports whether the entry holds a fused pair.
+func (e *Entry) IsMOP() bool { return e.isMOP }
+
+// NumOps returns how many original instructions the entry holds.
+func (e *Entry) NumOps() int { return e.numOps }
+
+// Op returns the i-th op's info.
+func (e *Entry) Op(i int) OpInfo { return e.ops[i] }
+
+// Final reports whether the entry's scheduling is settled: it issued with
+// valid operands and can no longer be replayed.
+func (e *Entry) Final() bool { return e.state == StateFinal }
+
+// PendingTail reports whether the entry still awaits its MOP tail.
+func (e *Entry) PendingTail() bool { return e.pendingTail }
+
+// ActualReady returns when op i's result is actually available.
+func (e *Entry) ActualReady(i int) int64 { return e.actualReady[i] }
+
+// DependsOn reports whether e transitively depends on target through
+// unresolved source edges. MOP formation uses it to refuse chain links
+// that would close a dependence cycle through the merged entry (the
+// paper's pair heuristic is sound for pairs, but chained MOPs need the
+// transitive check). The search is bounded by the in-flight window, since
+// final edges are severed.
+func (e *Entry) DependsOn(target *Entry) bool {
+	if e == target {
+		return true
+	}
+	seen := map[*Entry]bool{}
+	var walk func(x *Entry) bool
+	walk = func(x *Entry) bool {
+		if x == target {
+			return true
+		}
+		if seen[x] {
+			return false
+		}
+		seen[x] = true
+		for i := range x.srcs {
+			if p := x.srcs[i].prod; p != nil && walk(p) {
+				return true
+			}
+		}
+		return false
+	}
+	return walk(e)
+}
+
+// Grant is one op issue event reported by Tick.
+type Grant struct {
+	Entry *Entry
+	OpIdx int
+	Cycle int64
+}
+
+// Stats counts scheduler events.
+type Stats struct {
+	EntriesInserted int64
+	OpsInserted     int64
+	MOPsInserted    int64
+	Grants          int64
+	Replays         int64 // load-shadow selective replays (invalid issues)
+	CollisionVict   int64 // select-free: requested but not granted at first request
+	PileupVict      int64 // select-free scoreboard: invalid issues replayed
+	MaxOccupancy    int
+}
+
+// Scheduler is the wakeup/select engine.
+type Scheduler struct {
+	cfg   Config
+	stats Stats
+
+	now     int64
+	nextID  int64
+	nextAge int64
+
+	active   []*Entry // inserted and not yet final
+	occupied int
+
+	// Grants to emit for MOP tails in upcoming cycles (a MOP of N ops
+	// sequences over N cycles), plus the issue-slot and functional-unit
+	// resources they reserve, keyed by cycle.
+	futureGrants map[int64][]Grant
+	futureFU     map[int64][isa.NumClasses]int
+
+	// deferred events, keyed by cycle.
+	loadEvents map[int64][]*Entry // load miss discoveries
+	sbEvents   map[int64][]*Entry // scoreboard detections of invalid issues
+}
+
+// New creates a scheduler.
+func New(cfg Config) *Scheduler {
+	if cfg.Width <= 0 {
+		panic("sched: non-positive width")
+	}
+	if cfg.ScoreboardDelay <= 0 {
+		cfg.ScoreboardDelay = 2
+	}
+	return &Scheduler{
+		cfg:          cfg,
+		loadEvents:   make(map[int64][]*Entry),
+		sbEvents:     make(map[int64][]*Entry),
+		futureGrants: make(map[int64][]Grant),
+		futureFU:     make(map[int64][isa.NumClasses]int),
+	}
+}
+
+// Stats returns accumulated counters.
+func (s *Scheduler) Stats() Stats { return s.stats }
+
+// Occupied returns the number of issue queue entries currently in use.
+func (s *Scheduler) Occupied() int { return s.occupied }
+
+// HasSpace reports whether n more entries can be inserted.
+func (s *Scheduler) HasSpace(n int) bool {
+	return s.cfg.IQEntries == 0 || s.occupied+n <= s.cfg.IQEntries
+}
+
+// SrcSpec declares one source operand at insertion: the producing entry
+// (nil if the value is already available) and which of its ops produces it.
+type SrcSpec struct {
+	Prod   *Entry
+	ProdOp int
+}
+
+// Insert creates a new entry with one op and the given sources and adds it
+// to the queue at the current cycle. If pendingTail is set the entry is a
+// MOP head whose tail will arrive via AttachTail (or be cancelled via
+// CancelTail).
+func (s *Scheduler) Insert(op OpInfo, srcs []SrcSpec, pendingTail bool) *Entry {
+	e := &Entry{
+		id:             s.nextID,
+		age:            s.nextAge,
+		numOps:         1,
+		pendingTail:    pendingTail,
+		earliestSelect: s.now + 1,
+		grant:          -1,
+		firstReq:       -1,
+	}
+	e.ops[0] = op
+	for i := range e.actualReady {
+		e.actualReady[i] = never
+	}
+	s.nextID++
+	s.nextAge++
+	s.addSources(e, srcs)
+	s.active = append(s.active, e)
+	s.occupied++
+	if s.occupied > s.stats.MaxOccupancy {
+		s.stats.MaxOccupancy = s.occupied
+	}
+	s.stats.EntriesInserted++
+	s.stats.OpsInserted++
+	return e
+}
+
+// AttachTail completes a two-instruction MOP: the tail op and its extra
+// sources join the head's entry and the pending bit clears. Sources
+// already satisfied inside the MOP (tail depending on head) must not be
+// passed here.
+func (s *Scheduler) AttachTail(e *Entry, op OpInfo, srcs []SrcSpec) {
+	s.AttachOp(e, op, srcs, true)
+}
+
+// AttachOp appends one more original instruction to a pending MOP entry
+// (the chained-MOP extension sequences up to MaxMOPOps instructions
+// through one entry). When last is true the pending bit clears and the
+// MOP becomes schedulable.
+func (s *Scheduler) AttachOp(e *Entry, op OpInfo, srcs []SrcSpec, last bool) {
+	if !e.pendingTail {
+		panic("sched: AttachOp on a non-pending entry")
+	}
+	if e.numOps >= MaxMOPOps {
+		panic("sched: MOP op overflow")
+	}
+	e.ops[e.numOps] = op
+	e.numOps++
+	e.isMOP = true
+	if last {
+		e.pendingTail = false
+	}
+	s.addSources(e, srcs)
+	s.stats.OpsInserted++
+	if last {
+		s.stats.MOPsInserted++
+	}
+}
+
+// CancelTail demotes a pending MOP head to an ordinary single-instruction
+// entry (insertion-policy miss or squashed tail, Sections 5.2.3/5.3.2).
+func (s *Scheduler) CancelTail(e *Entry) {
+	e.pendingTail = false
+}
+
+func (s *Scheduler) addSources(e *Entry, srcs []SrcSpec) {
+	for _, sp := range srcs {
+		edge := srcEdge{prod: sp.Prod, prodOp: sp.ProdOp, wake: never, actual: never}
+		if sp.Prod == nil {
+			edge.final = true
+			edge.wake = 0
+			edge.actual = 0
+			e.srcs = append(e.srcs, edge)
+			continue
+		}
+		p := sp.Prod
+		edge.assumed = s.edgeAssumed(p, sp.ProdOp)
+		switch {
+		case p.state == StateFinal:
+			edge.final = true
+			edge.actual = p.actualReady[sp.ProdOp]
+			// Model timing still applies: a consumer may not see the tag
+			// earlier than the pipelined wakeup delivers it.
+			edge.wake = maxI64(s.wakeFromGrant(p, edge.assumed), edge.actual)
+			edge.prod = nil // final producers are not referenced again
+		case p.state == StateIssued:
+			edge.wake = s.wakeFromGrant(p, edge.assumed)
+			if p.ops[sp.ProdOp].IsLoad && p.loadResolved[sp.ProdOp] {
+				edge.wake = maxI64(edge.wake, p.actualReady[sp.ProdOp])
+			}
+		default:
+			// Waiting: woken later by the producer's grant. In scoreboard
+			// select-free mode the stale speculative broadcast is still
+			// visible (the consumer may pile up and replay); in squash-dep
+			// mode an unissued producer's speculation has been squashed,
+			// so the consumer waits for the grant-time rebroadcast.
+			if s.cfg.Model == config.SchedSelectFreeScoreboard && p.firstReq >= 0 {
+				edge.wake = p.firstReq + int64(edge.assumed)
+			}
+		}
+		e.srcs = append(e.srcs, edge)
+		if p.state != StateFinal {
+			// Final producers never broadcast again; registering with
+			// them would only accrete an unbounded consumer list.
+			p.consumers = append(p.consumers, consRef{entry: e, srcIdx: len(e.srcs) - 1})
+		}
+	}
+}
+
+// edgeAssumed is the producer-op result latency assumed by the wakeup
+// logic for consumer scheduling.
+func (s *Scheduler) edgeAssumed(p *Entry, opIdx int) int {
+	return p.ops[opIdx].Latency
+}
+
+func (s *Scheduler) selectFree() bool {
+	return s.cfg.Model == config.SchedSelectFreeSquashDep || s.cfg.Model == config.SchedSelectFreeScoreboard
+}
+
+// wakeFromGrant computes when a consumer becomes selectable given its
+// producer entry was granted at p.grant, per the scheduling model.
+func (s *Scheduler) wakeFromGrant(p *Entry, assumed int) int64 {
+	g := p.grant
+	switch s.cfg.Model {
+	case config.SchedBase:
+		return g + int64(assumed)
+	case config.SchedTwoCycle:
+		return g + int64(max(assumed, 2))
+	case config.SchedMOP:
+		if p.isMOP {
+			// One tag broadcast for the whole MOP: every consumer is
+			// selectable numOps cycles after the head issues (two for the
+			// paper's pairs, Figure 5; N for chained MOPs).
+			return g + int64(p.numOps)
+		}
+		return g + int64(max(assumed, 2))
+	case config.SchedSelectFreeSquashDep:
+		// Re-broadcast after a squash costs one cycle relative to the
+		// speculative wakeup; the non-collision path never calls this.
+		return g + int64(assumed)
+	case config.SchedSelectFreeScoreboard:
+		return g + int64(assumed)
+	}
+	panic(fmt.Sprintf("sched: unknown model %v", s.cfg.Model))
+}
+
+// SetLoadResult informs the scheduler of a load op's actual data
+// availability and the cycle at which a mismatch with the assumed hit
+// latency becomes known (address generated, cache probed). Call after
+// each grant of a load op.
+func (s *Scheduler) SetLoadResult(e *Entry, opIdx int, actualReady, discover int64) {
+	e.actualReady[opIdx] = actualReady
+	e.loadDiscover[opIdx] = discover
+	e.loadResolved[opIdx] = true
+	assumedReady := e.grant + int64(e.ops[opIdx].Latency)
+	if e.isMOP {
+		panic("sched: loads cannot be part of a MOP")
+	}
+	if actualReady > assumedReady {
+		s.loadEvents[discover] = append(s.loadEvents[discover], e)
+	}
+}
+
+// Tick advances one cycle: applies deferred replay/squash events, performs
+// wakeup and select per the model, and returns the ops granted this cycle
+// in issue order.
+func (s *Scheduler) Tick(now int64) []Grant {
+	s.now = now
+
+	// MOP ops sequencing from earlier grants occupy slots first ("the
+	// selection logic does not select another instruction through the
+	// same issue slot in which a MOP is being sequenced").
+	grants := append([]Grant(nil), s.futureGrants[now]...)
+	widthLeft := s.cfg.Width - len(grants)
+	fuUsed := s.futureFU[now]
+	delete(s.futureGrants, now)
+	delete(s.futureFU, now)
+
+	// Load-miss discoveries: selectively invalidate shadow issues.
+	if evs := s.loadEvents[now]; len(evs) > 0 {
+		for _, e := range evs {
+			s.fixupLoadMiss(e)
+		}
+		delete(s.loadEvents, now)
+	}
+	// Scoreboard detections of invalid select-free issues.
+	if evs := s.sbEvents[now]; len(evs) > 0 {
+		for _, e := range evs {
+			s.scoreboardCheck(e)
+		}
+		delete(s.sbEvents, now)
+	}
+
+	// Wakeup phase: in select-free mode, entries broadcast at request
+	// time, before knowing whether selection succeeds.
+	requesters := s.collectRequesters()
+	if s.selectFree() {
+		for _, e := range requesters {
+			if e.firstReq < 0 {
+				e.firstReq = now
+				s.broadcastSpeculative(e)
+			}
+		}
+	}
+
+	// Select phase: oldest first, bounded by width and functional units.
+	for _, e := range requesters {
+		if widthLeft <= 0 {
+			break
+		}
+		fu0 := e.ops[0].FU
+		if !s.fuAvailable(fu0, fuUsed) {
+			continue
+		}
+		if e.numOps > 1 && !s.mopResourcesFree(e, now) {
+			continue
+		}
+		// Grant.
+		widthLeft--
+		if fu0 != isa.ClassNone {
+			fuUsed[fu0]++
+		}
+		s.grantEntry(e, now, &grants)
+	}
+
+	// Select-free collision victims: requested this cycle, not granted.
+	if s.selectFree() {
+		for _, e := range requesters {
+			if e.state != StateIssued && e.firstReq == now {
+				s.stats.CollisionVict++
+				if s.cfg.Model == config.SchedSelectFreeSquashDep {
+					s.squashDependents(e)
+				}
+			}
+		}
+	}
+
+	s.finalize(now)
+	return grants
+}
+
+func (s *Scheduler) fuAvailable(c isa.Class, used [isa.NumClasses]int) bool {
+	if c == isa.ClassNone {
+		return true
+	}
+	return used[c] < s.cfg.FU[c]
+}
+
+// mopResourcesFree reports whether the issue slots and functional units a
+// MOP's later ops will occupy in upcoming cycles are still available.
+func (s *Scheduler) mopResourcesFree(e *Entry, now int64) bool {
+	for k := 1; k < e.numOps; k++ {
+		cyc := now + int64(k)
+		if len(s.futureGrants[cyc]) >= s.cfg.Width {
+			return false
+		}
+		c := e.ops[k].FU
+		if c != isa.ClassNone && s.futureFU[cyc][c] >= s.cfg.FU[c] {
+			return false
+		}
+	}
+	return true
+}
+
+// collectRequesters returns schedulable entries in age order.
+func (s *Scheduler) collectRequesters() []*Entry {
+	var req []*Entry
+	for _, e := range s.active {
+		if e.state != StateWaiting || e.pendingTail {
+			continue
+		}
+		if e.earliestSelect > s.now {
+			continue
+		}
+		ready := true
+		for i := range e.srcs {
+			if e.srcs[i].wake > s.now {
+				ready = false
+				break
+			}
+		}
+		if ready {
+			req = append(req, e)
+		}
+	}
+	// active is maintained in age order (append-only); no sort needed.
+	return req
+}
+
+func (s *Scheduler) grantEntry(e *Entry, now int64, grants *[]Grant) {
+	e.state = StateIssued
+	e.grant = now
+	e.everRequested = true
+	s.stats.Grants++
+	*grants = append(*grants, Grant{Entry: e, OpIdx: 0, Cycle: now})
+	// Non-load results become actually available grant+latency later;
+	// loads are patched by SetLoadResult.
+	if !e.ops[0].IsLoad {
+		e.actualReady[0] = now + int64(e.ops[0].Latency)
+	}
+	for k := 1; k < e.numOps; k++ {
+		// Sequence later ops in following cycles through the same slot.
+		cyc := now + int64(k)
+		s.futureGrants[cyc] = append(s.futureGrants[cyc], Grant{Entry: e, OpIdx: k, Cycle: cyc})
+		if c := e.ops[k].FU; c != isa.ClassNone {
+			fu := s.futureFU[cyc]
+			fu[c]++
+			s.futureFU[cyc] = fu
+		}
+		e.actualReady[k] = cyc + int64(e.ops[k].Latency)
+	}
+	// Conventional wakeup: broadcast from the grant.
+	if !s.selectFree() {
+		s.wakeConsumers(e)
+	} else {
+		// A collision victim that is finally granted re-broadcasts; in
+		// squash-dep mode its squashed dependents wake from this grant.
+		if e.firstReq >= 0 && e.firstReq < now {
+			s.rebroadcast(e)
+		}
+		// Scoreboard mode checks operand validity a fixed delay later.
+		if s.cfg.Model == config.SchedSelectFreeScoreboard {
+			s.sbEvents[now+int64(s.cfg.ScoreboardDelay)] = append(s.sbEvents[now+int64(s.cfg.ScoreboardDelay)], e)
+		}
+	}
+}
+
+// wakeConsumers sets consumer wake times from this entry's grant.
+func (s *Scheduler) wakeConsumers(e *Entry) {
+	for _, c := range e.consumers {
+		edge := &c.entry.srcs[c.srcIdx]
+		if edge.final {
+			continue
+		}
+		edge.wake = s.wakeFromGrant(e, edge.assumed)
+	}
+}
+
+// broadcastSpeculative wakes consumers at request time (select-free).
+func (s *Scheduler) broadcastSpeculative(e *Entry) {
+	for _, c := range e.consumers {
+		edge := &c.entry.srcs[c.srcIdx]
+		if edge.final {
+			continue
+		}
+		edge.wake = e.firstReq + int64(edge.assumed)
+	}
+}
+
+// squashDependents clears the speculative wakeups of a collision victim's
+// consumers (squash-dep: detected in the select stage, so none of them
+// has issued yet). They re-wake from the victim's eventual grant, one
+// cycle late (re-broadcast).
+func (s *Scheduler) squashDependents(e *Entry) {
+	for _, c := range e.consumers {
+		edge := &c.entry.srcs[c.srcIdx]
+		if edge.final {
+			continue
+		}
+		edge.wake = never
+	}
+}
+
+// rebroadcast wakes consumers after a granted collision victim.
+func (s *Scheduler) rebroadcast(e *Entry) {
+	penalty := int64(0)
+	if s.cfg.Model == config.SchedSelectFreeSquashDep {
+		penalty = 1 // squashed dependents pay one re-broadcast cycle
+	}
+	for _, c := range e.consumers {
+		edge := &c.entry.srcs[c.srcIdx]
+		if edge.final {
+			continue
+		}
+		w := e.grant + int64(edge.assumed) + penalty
+		if s.cfg.Model == config.SchedSelectFreeScoreboard && edge.wake < w && c.entry.state == StateIssued {
+			// Pileup victim keeps its stale wake; the scoreboard will
+			// catch it at its own check.
+			continue
+		}
+		edge.wake = w
+	}
+}
+
+// scoreboardCheck verifies an issued select-free entry's operands were
+// actually ready at issue; otherwise it becomes a pileup victim: it is
+// invalidated, reissues later, and its own speculative wakeups stand
+// until their consumers fail their own checks (the pileup cascade).
+func (s *Scheduler) scoreboardCheck(e *Entry) {
+	if e.state != StateIssued {
+		return
+	}
+	if s.operandsValidAt(e, e.grant) {
+		return
+	}
+	s.stats.PileupVict++
+	s.invalidate(e, s.now)
+	// Re-arm the operand ready state: the replayed instruction waits for
+	// real broadcasts instead of its stale speculative wakeups (otherwise
+	// it would spin reissuing against a still-unready producer).
+	for i := range e.srcs {
+		edge := &e.srcs[i]
+		if edge.final {
+			continue
+		}
+		p := edge.prod
+		switch p.state {
+		case StateIssued:
+			edge.wake = s.wakeFromGrant(p, edge.assumed)
+			if p.ops[edge.prodOp].IsLoad && p.loadResolved[edge.prodOp] {
+				edge.wake = maxI64(edge.wake, p.actualReady[edge.prodOp])
+			}
+		case StateWaiting:
+			edge.wake = never
+		}
+	}
+}
+
+// OperandsValid reports whether every source operand of e was actually
+// available at its grant cycle — i.e. whether this issue will stand. The
+// core uses it to decide whether a load's address is really computable
+// yet (an invalidly issued load must not probe the cache: that would be
+// an illegal prefetch with data it cannot have).
+func (s *Scheduler) OperandsValid(e *Entry) bool {
+	return e.state == StateIssued && s.operandsValidAt(e, e.grant)
+}
+
+// operandsValidAt reports whether every source operand of e was actually
+// available at cycle g.
+func (s *Scheduler) operandsValidAt(e *Entry, g int64) bool {
+	for i := range e.srcs {
+		edge := &e.srcs[i]
+		if edge.final {
+			if edge.actual > g {
+				return false
+			}
+			continue
+		}
+		p := edge.prod
+		switch p.state {
+		case StateWaiting:
+			return false
+		default:
+			ar := p.actualReady[edge.prodOp]
+			if ar == never || ar > g {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// fixupLoadMiss handles a discovered load miss: consumers woken with the
+// assumed hit latency are re-pointed at the actual data-return cycle, and
+// any that already issued inside the shadow are selectively invalidated
+// and replayed (transitively).
+func (s *Scheduler) fixupLoadMiss(e *Entry) {
+	actual := e.actualReady[0]
+	for _, c := range e.consumers {
+		edge := &c.entry.srcs[c.srcIdx]
+		if edge.final {
+			continue
+		}
+		if c.entry.state == StateIssued && c.entry.grant < actual {
+			s.invalidate(c.entry, s.now)
+		}
+		if edge.wake < actual {
+			edge.wake = actual
+		}
+	}
+}
+
+// invalidate replays an issued entry: it returns to waiting, may not be
+// selected again until now+ReplayPenalty, and anything it woke (or that
+// issued off its rescinded grant) is recursively fixed.
+func (s *Scheduler) invalidate(e *Entry, now int64) {
+	if e.state != StateIssued {
+		return
+	}
+	e.state = StateWaiting
+	e.replays++
+	s.stats.Replays++
+	if e.replays > 10000 {
+		panic(fmt.Sprintf("sched: entry %d replayed %d times (livelock)", e.id, e.replays))
+	}
+	e.earliestSelect = now + int64(s.cfg.ReplayPenalty)
+	if s.selectFree() {
+		// The entry will re-request and re-broadcast.
+		e.firstReq = -1
+	}
+	grantWas := e.grant
+	e.grant = -1
+	for i := range e.actualReady {
+		e.actualReady[i] = never
+		e.loadResolved[i] = false
+	}
+	// Rescind wakeups derived from the cancelled grant.
+	for _, c := range e.consumers {
+		edge := &c.entry.srcs[c.srcIdx]
+		if edge.final {
+			continue
+		}
+		if s.cfg.Model == config.SchedSelectFreeScoreboard {
+			// Pileup semantics: stale wakeups stand; dependents issue
+			// wrongly and get caught by their own scoreboard check.
+			continue
+		}
+		edge.wake = never
+		if c.entry.state == StateIssued && c.entry.grant >= grantWas {
+			s.invalidate(c.entry, now)
+		}
+	}
+}
+
+// finalize settles entries whose scheduling can no longer change: issued,
+// all operands final and valid, loads resolved. Final entries release
+// their issue queue slot and pin their consumers' edges.
+func (s *Scheduler) finalize(now int64) {
+	changed := true
+	for changed {
+		changed = false
+		kept := s.active[:0]
+		for _, e := range s.active {
+			if s.tryFinalize(e, now) {
+				changed = true
+				s.occupied--
+				continue
+			}
+			kept = append(kept, e)
+		}
+		s.active = kept
+	}
+}
+
+func (s *Scheduler) tryFinalize(e *Entry, now int64) bool {
+	if e.state != StateIssued {
+		return false
+	}
+	for i := range e.srcs {
+		edge := &e.srcs[i]
+		if !edge.final {
+			return false
+		}
+		if edge.actual > e.grant {
+			// Issued before an operand was actually ready and not yet
+			// invalidated: this happens only transiently within a cycle
+			// (e.g. scoreboard pileups pending detection); not final.
+			return false
+		}
+	}
+	for i := 0; i < e.numOps; i++ {
+		if e.ops[i].IsLoad && !e.loadResolved[i] {
+			return false
+		}
+		// A load's miss shadow must have passed before its result can be
+		// considered settled for consumers.
+		if e.ops[i].IsLoad && e.loadDiscover[i] > now {
+			return false
+		}
+	}
+	e.state = StateFinal
+	for _, c := range e.consumers {
+		edge := &c.entry.srcs[c.srcIdx]
+		if edge.final {
+			continue
+		}
+		edge.final = true
+		edge.prod = nil // sever the graph so ancestors become collectable
+		edge.actual = e.actualReady[edge.prodOp]
+		if edge.wake < edge.actual {
+			if c.entry.state == StateIssued && c.entry.grant < edge.actual {
+				// Safety net; replay fixups should already have caught it.
+				s.invalidate(c.entry, now)
+			}
+			edge.wake = edge.actual
+		}
+	}
+	e.consumers = nil
+	// This entry's own operand edges are final and never consulted again:
+	// drop them entirely (a rename-table or payload reference to a final
+	// entry must not pin the dependence history in memory).
+	e.srcs = nil
+	return true
+}
+
+func maxI64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// DebugActive exposes the live entry list for diagnostics and tests.
+func (s *Scheduler) DebugActive() []*Entry { return s.active }
+
+// DebugRefs lists the entries this entry references directly (diagnostic).
+func (e *Entry) DebugRefs() (out []*Entry, kinds []string) {
+	for i := range e.srcs {
+		if p := e.srcs[i].prod; p != nil {
+			out = append(out, p)
+			kinds = append(kinds, "src")
+		}
+	}
+	for _, c := range e.consumers {
+		out = append(out, c.entry)
+		kinds = append(kinds, "cons")
+	}
+	return out, kinds
+}

@@ -1,0 +1,186 @@
+// Package stats provides the counters, histograms and table formatting
+// used by the simulator and by the paper-reproduction harness.
+package stats
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Counters is an ordered named-counter set. Order of first increment is
+// preserved so reports are stable and deterministic.
+type Counters struct {
+	names  []string
+	values map[string]int64
+}
+
+// NewCounters returns an empty counter set.
+func NewCounters() *Counters {
+	return &Counters{values: make(map[string]int64)}
+}
+
+// Add increments the named counter by n, creating it on first use.
+func (c *Counters) Add(name string, n int64) {
+	if _, ok := c.values[name]; !ok {
+		c.names = append(c.names, name)
+	}
+	c.values[name] += n
+}
+
+// Inc increments the named counter by one.
+func (c *Counters) Inc(name string) { c.Add(name, 1) }
+
+// Get returns the value of the named counter (zero if never incremented).
+func (c *Counters) Get(name string) int64 { return c.values[name] }
+
+// Names returns the counter names in first-increment order.
+func (c *Counters) Names() []string {
+	out := make([]string, len(c.names))
+	copy(out, c.names)
+	return out
+}
+
+// String renders all counters, one per line.
+func (c *Counters) String() string {
+	var b strings.Builder
+	for _, n := range c.names {
+		fmt.Fprintf(&b, "%-32s %12d\n", n, c.values[n])
+	}
+	return b.String()
+}
+
+// Histogram is an integer-valued histogram with explicit bucket upper
+// bounds; values above the last bound land in an overflow bucket.
+type Histogram struct {
+	bounds []int64 // inclusive upper bounds, ascending
+	counts []int64 // len(bounds)+1, last is overflow
+	total  int64
+	sum    int64
+}
+
+// NewHistogram creates a histogram with the given inclusive upper bounds,
+// which must be strictly ascending.
+func NewHistogram(bounds ...int64) *Histogram {
+	for i := 1; i < len(bounds); i++ {
+		if bounds[i] <= bounds[i-1] {
+			panic("stats: histogram bounds must be strictly ascending")
+		}
+	}
+	return &Histogram{bounds: bounds, counts: make([]int64, len(bounds)+1)}
+}
+
+// Observe records one sample.
+func (h *Histogram) Observe(v int64) {
+	h.total++
+	h.sum += v
+	i := sort.Search(len(h.bounds), func(i int) bool { return v <= h.bounds[i] })
+	h.counts[i]++
+}
+
+// Total returns the number of samples.
+func (h *Histogram) Total() int64 { return h.total }
+
+// Mean returns the sample mean (0 for an empty histogram).
+func (h *Histogram) Mean() float64 {
+	if h.total == 0 {
+		return 0
+	}
+	return float64(h.sum) / float64(h.total)
+}
+
+// Bucket returns the count of the i-th bucket; i == len(bounds) is the
+// overflow bucket.
+func (h *Histogram) Bucket(i int) int64 { return h.counts[i] }
+
+// Fraction returns the fraction of samples in bucket i.
+func (h *Histogram) Fraction(i int) float64 {
+	if h.total == 0 {
+		return 0
+	}
+	return float64(h.counts[i]) / float64(h.total)
+}
+
+// Table accumulates rows and renders a fixed-width text table, used to
+// print the paper's figures as row series.
+type Table struct {
+	Title   string
+	Headers []string
+	rows    [][]string
+}
+
+// NewTable creates a table with a title and column headers.
+func NewTable(title string, headers ...string) *Table {
+	return &Table{Title: title, Headers: headers}
+}
+
+// AddRow appends a row; cells are rendered with %v.
+func (t *Table) AddRow(cells ...any) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case float64:
+			row[i] = fmt.Sprintf("%.3f", v)
+		default:
+			row[i] = fmt.Sprint(c)
+		}
+	}
+	t.rows = append(t.rows, row)
+}
+
+// NumRows returns the number of data rows added so far.
+func (t *Table) NumRows() int { return len(t.rows) }
+
+// Row returns the i-th row's cells.
+func (t *Table) Row(i int) []string { return t.rows[i] }
+
+// String renders the table.
+func (t *Table) String() string {
+	widths := make([]int, len(t.Headers))
+	for i, h := range t.Headers {
+		widths[i] = len(h)
+	}
+	for _, r := range t.rows {
+		for i, c := range r {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var b strings.Builder
+	if t.Title != "" {
+		fmt.Fprintf(&b, "== %s ==\n", t.Title)
+	}
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], c)
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.Headers)
+	for i, w := range widths {
+		if i > 0 {
+			b.WriteString("  ")
+		}
+		b.WriteString(strings.Repeat("-", w))
+	}
+	b.WriteByte('\n')
+	for _, r := range t.rows {
+		writeRow(r)
+	}
+	return b.String()
+}
+
+// Ratio returns a/b, or 0 when b is zero; a convenience for rate metrics.
+func Ratio(a, b int64) float64 {
+	if b == 0 {
+		return 0
+	}
+	return float64(a) / float64(b)
+}
+
+// Pct returns 100*a/b, or 0 when b is zero.
+func Pct(a, b int64) float64 { return 100 * Ratio(a, b) }

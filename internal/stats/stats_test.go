@@ -1,0 +1,88 @@
+package stats
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestCountersOrderAndValues(t *testing.T) {
+	c := NewCounters()
+	c.Inc("b")
+	c.Add("a", 5)
+	c.Inc("b")
+	if c.Get("b") != 2 || c.Get("a") != 5 || c.Get("zzz") != 0 {
+		t.Fatal("counter values wrong")
+	}
+	names := c.Names()
+	if len(names) != 2 || names[0] != "b" || names[1] != "a" {
+		t.Fatalf("first-increment order lost: %v", names)
+	}
+	if !strings.Contains(c.String(), "b") {
+		t.Fatal("String missing counter")
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	h := NewHistogram(3, 7)
+	for _, v := range []int64{1, 2, 3, 4, 7, 8, 100} {
+		h.Observe(v)
+	}
+	if h.Total() != 7 {
+		t.Fatalf("total %d", h.Total())
+	}
+	if h.Bucket(0) != 3 || h.Bucket(1) != 2 || h.Bucket(2) != 2 {
+		t.Fatalf("buckets: %d %d %d", h.Bucket(0), h.Bucket(1), h.Bucket(2))
+	}
+	if h.Fraction(0) < 0.42 || h.Fraction(0) > 0.43 {
+		t.Fatalf("fraction %v", h.Fraction(0))
+	}
+	if h.Mean() != 125.0/7 {
+		t.Fatalf("mean %v", h.Mean())
+	}
+}
+
+func TestHistogramEmpty(t *testing.T) {
+	h := NewHistogram(1)
+	if h.Mean() != 0 || h.Fraction(0) != 0 {
+		t.Fatal("empty histogram not zero")
+	}
+}
+
+func TestHistogramBadBoundsPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("descending bounds accepted")
+		}
+	}()
+	NewHistogram(5, 3)
+}
+
+func TestTableRendering(t *testing.T) {
+	tb := NewTable("demo", "name", "ipc")
+	tb.AddRow("gzip", 1.234567)
+	tb.AddRow("a-very-long-benchmark-name", 2)
+	out := tb.String()
+	if !strings.Contains(out, "== demo ==") {
+		t.Error("missing title")
+	}
+	if !strings.Contains(out, "1.235") {
+		t.Errorf("float not formatted to 3 places:\n%s", out)
+	}
+	if tb.NumRows() != 2 || tb.Row(0)[0] != "gzip" {
+		t.Error("row accessors wrong")
+	}
+	// Column alignment: header and separator as wide as the longest cell.
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 5 {
+		t.Fatalf("line count %d", len(lines))
+	}
+}
+
+func TestRatioPct(t *testing.T) {
+	if Ratio(1, 2) != 0.5 || Ratio(1, 0) != 0 {
+		t.Fatal("Ratio wrong")
+	}
+	if Pct(1, 4) != 25 || Pct(3, 0) != 0 {
+		t.Fatal("Pct wrong")
+	}
+}

@@ -1,0 +1,433 @@
+package workload
+
+import (
+	"fmt"
+
+	"macroop/internal/isa"
+	"macroop/internal/program"
+	"macroop/internal/rng"
+)
+
+// Register conventions used by generated programs. Pool registers hold
+// flowing data values; the low registers hold long-lived constants and
+// state so the generator can control dependence structure precisely.
+const (
+	regLCG       = isa.Reg(1) // linear congruential generator state
+	regShift     = isa.Reg(2) // shift amount extracting noise bits
+	regThresh    = isa.Reg(3) // noisy-branch threshold
+	regMask      = isa.Reg(4) // footprint mask
+	regBase      = isa.Reg(5) // stride data region base
+	regChase     = isa.Reg(6) // pointer-chase cursor
+	regCount     = isa.Reg(7) // outer loop counter
+	poolLo       = isa.Reg(8)
+	poolHi       = isa.Reg(18) // pool = r8..r18 inclusive
+	chainLo      = isa.Reg(19) // r19..r22: serial accumulator chains
+	maxChainRegs = 4
+	regChase2    = isa.Reg(23) // extra chase cursors give mcf-like codes
+	regChase3    = isa.Reg(24) // memory-level parallelism between chains
+	regLCGMul    = isa.Reg(25)
+	regRoll      = isa.Reg(26) // rolling data offset
+	regBrTmp1    = isa.Reg(27)
+	regBrTmp2    = isa.Reg(28)
+	regStride    = isa.Reg(29)
+	strideBase   = uint64(1) << 26
+	chaseBase    = uint64(1) << 27
+	chaseGranule = 128  // bytes between chase pointers (one per L2 line)
+	localWindow  = 4096 // byte window of spatial locality around regRoll
+)
+
+// generator carries the mutable state of one program synthesis.
+type generator struct {
+	p   Profile
+	r   *rng.RNG
+	b   *program.Builder
+	pos int64 // emitted (non-STD) instruction count
+
+	poolNext isa.Reg
+	// recent value-generating writes: parallel slices of emission position
+	// and destination register, newest last, bounded ring. recentUsed
+	// tracks whether a value has found a consumer yet; unconsumed values
+	// are preferred so most produced values are eventually read (low
+	// dynamically-dead fraction, as in real compiled code).
+	recentPos  []int64
+	recentReg  []isa.Reg
+	recentUsed []bool
+	lastWrite  map[isa.Reg]int64
+
+	labelSeq int
+	funcs    []string // labels of generated leaf functions
+}
+
+// Generate synthesizes the benchmark program for the profile. The program
+// loops effectively forever (2^40 iterations); the simulator bounds runs
+// by instruction count.
+func Generate(p Profile) (*program.Program, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	g := &generator{
+		p:         p,
+		r:         rng.New(p.Seed),
+		b:         program.NewBuilder(p.Name),
+		poolNext:  poolLo,
+		lastWrite: make(map[isa.Reg]int64),
+	}
+	g.emitInit()
+	g.b.Label("loop_top")
+	for blk := 0; blk < p.Blocks; blk++ {
+		g.emitBlock(blk)
+	}
+	g.emit(isa.Instruction{Op: isa.ADDI, Dest: regCount, Src1: regCount, Imm: -1})
+	g.branchTo(isa.BNE, regCount, isa.R0, "loop_top")
+	g.b.Halt()
+	g.emitFunctions()
+	if p.PointerChase {
+		g.initChaseMemory()
+	}
+	return g.b.Build()
+}
+
+// MustGenerate panics on error; profiles are code, not user input.
+func MustGenerate(p Profile) *program.Program {
+	prog, err := Generate(p)
+	if err != nil {
+		panic(err)
+	}
+	return prog
+}
+
+// emit appends one instruction, tracking position and producer state.
+func (g *generator) emit(in isa.Instruction) {
+	g.b.Emit(in)
+	if in.Op != isa.STD {
+		g.pos++
+	}
+	if in.WritesReg() {
+		g.notePool(in.Dest)
+	}
+}
+
+func (g *generator) notePool(dest isa.Reg) {
+	g.recentPos = append(g.recentPos, g.pos-1)
+	g.recentReg = append(g.recentReg, dest)
+	g.recentUsed = append(g.recentUsed, false)
+	if len(g.recentPos) > 64 {
+		g.recentPos = g.recentPos[1:]
+		g.recentReg = g.recentReg[1:]
+		g.recentUsed = g.recentUsed[1:]
+	}
+	g.lastWrite[dest] = g.pos - 1
+}
+
+func (g *generator) branchTo(op isa.Op, s1, s2 isa.Reg, label string) {
+	g.b.Branch(op, s1, s2, label)
+	g.pos++
+}
+
+func (g *generator) nextLabel(prefix string) string {
+	g.labelSeq++
+	return fmt.Sprintf("%s_%d", prefix, g.labelSeq)
+}
+
+// nextPoolReg rotates destinations through the pool, giving values a
+// lifetime of ~pool-size value-generating instructions.
+func (g *generator) nextPoolReg() isa.Reg {
+	r := g.poolNext
+	g.poolNext++
+	if g.poolNext > poolHi {
+		g.poolNext = poolLo
+	}
+	return r
+}
+
+// sourceAt picks a source register whose producing instruction lies
+// approximately dist instructions back and is still that register's last
+// writer (so the dependence edge really has that distance). Falls back to
+// the most recent producer.
+func (g *generator) sourceAt(dist int) isa.Reg {
+	if len(g.recentPos) == 0 {
+		return g.randomPool()
+	}
+	target := g.pos - int64(dist)
+	bestIdx, bestCost := -1, int64(1)<<62
+	for i := len(g.recentPos) - 1; i >= 0; i-- {
+		reg := g.recentReg[i]
+		if g.lastWrite[reg] != g.recentPos[i] {
+			continue // overwritten since; edge would bind to the newer writer
+		}
+		cost := g.recentPos[i] - target
+		if cost < 0 {
+			cost = -cost
+		}
+		if g.recentUsed[i] {
+			cost += 3 // prefer giving unconsumed values their first reader
+		}
+		if cost < bestCost {
+			bestCost, bestIdx = cost, i
+		}
+	}
+	if bestIdx < 0 {
+		return g.randomPool()
+	}
+	g.recentUsed[bestIdx] = true
+	return g.recentReg[bestIdx]
+}
+
+func (g *generator) randomPool() isa.Reg {
+	return poolLo + isa.Reg(g.r.Intn(int(poolHi-poolLo)+1))
+}
+
+// depDistance samples one dependence distance per the profile.
+func (g *generator) depDistance() int {
+	if g.r.Bool(g.p.LongDepFrac) {
+		return 8 + g.r.Intn(25) // uniform [8, 32]
+	}
+	return g.r.Geometric(g.p.DepMean, 32)
+}
+
+func (g *generator) emitInit() {
+	b := g.b
+	b.MovI(regLCG, int64(g.p.Seed|1))
+	b.MovI(regShift, 45)
+	footprint := int64(1) << g.p.FootprintLog2
+	if g.p.Noise == NoiseChase {
+		// Noisy branches compare (chase pointer >> 7) against a threshold
+		// inside the chase region.
+		entries := footprint / chaseGranule
+		b.MovI(regThresh, int64(chaseBase>>7)+int64(g.p.NoisyBias*float64(entries)))
+		b.MovI(regShift, 7)
+	} else {
+		// Threshold over the top 19 bits of the LCG state.
+		b.MovI(regThresh, int64(g.p.NoisyBias*float64(1<<19)))
+	}
+	b.MovI(regMask, (footprint-1)&^7)
+	b.MovI(regBase, int64(strideBase))
+	b.MovI(regChase, int64(chaseBase))
+	if g.p.PointerChase {
+		// Secondary cursors start a third and two-thirds of the way
+		// around the pointer ring (filled in by initChaseMemory).
+		entries := footprint / chaseGranule
+		b.MovI(regChase2, int64(chaseBase)+(entries/3)*chaseGranule)
+		b.MovI(regChase3, int64(chaseBase)+(2*entries/3)*chaseGranule)
+	}
+	b.MovI(regCount, 1<<40)
+	b.MovI(regLCGMul, 0x5851f42d4c957f2d)
+	b.MovI(regRoll, 0)
+	b.MovI(regStride, g.p.StrideBytes)
+	for r := poolLo; r <= poolHi; r++ {
+		b.MovI(r, int64(uint64(r)*0x9e3779b97f4a7c15))
+	}
+	g.pos = int64(b.Len())
+}
+
+// emitBlock generates one basic block of the loop body.
+func (g *generator) emitBlock(blk int) {
+	// Per-block bookkeeping: advance the LCG and roll the data pointer.
+	g.emit(isa.Instruction{Op: isa.MUL, Dest: regLCG, Src1: regLCG, Src2: regLCGMul})
+	g.emit(isa.Instruction{Op: isa.ADDI, Dest: regLCG, Src1: regLCG, Imm: 0x2545})
+	g.emit(isa.Instruction{Op: isa.ADD, Dest: regRoll, Src1: regRoll, Src2: regStride})
+	g.emit(isa.Instruction{Op: isa.AND, Dest: regRoll, Src1: regRoll, Src2: regMask})
+
+	weights := []float64{
+		1 - g.p.FracLoad - g.p.FracStore - g.p.FracBranch - g.p.FracMul - g.p.FracDiv - g.p.FracFP,
+		g.p.FracLoad, g.p.FracStore, g.p.FracBranch, g.p.FracMul, g.p.FracDiv, g.p.FracFP,
+	}
+	for n := 0; n < g.p.BlockLen; {
+		switch g.r.Pick(weights) {
+		case 0:
+			g.emitALU()
+			n++
+		case 1:
+			g.emitLoad()
+			n++
+		case 2:
+			g.emitStore()
+			n++
+		case 3:
+			n += g.emitBranch()
+		case 4:
+			g.emitMulDiv(isa.MUL)
+			n++
+		case 5:
+			g.emitMulDiv(isa.DIV)
+			n++
+		case 6:
+			g.emitFP()
+			n++
+		}
+	}
+	if g.r.Bool(g.p.CallFrac) {
+		g.emitCall(blk)
+	}
+}
+
+var aluOps = []isa.Op{isa.ADD, isa.SUB, isa.AND, isa.OR, isa.XOR, isa.SLT, isa.ADD, isa.ADD, isa.SUB, isa.XOR}
+
+func (g *generator) emitALU() {
+	if g.p.ChainRegs > 0 && g.r.Bool(g.p.ChainFrac) {
+		g.emitChainLink()
+		return
+	}
+	op := aluOps[g.r.Intn(len(aluOps))]
+	dest := g.nextPoolReg()
+	src1 := g.sourceAt(g.depDistance())
+	// A slice of ALU operations are immediate-form (single source), which
+	// keeps a realistic share of 1-source candidates in the stream.
+	if g.r.Bool(0.3) {
+		g.emit(isa.Instruction{Op: isa.ADDI, Dest: dest, Src1: src1, Imm: int64(g.r.Intn(256)) - 128})
+		return
+	}
+	src2 := g.sourceAt(g.depDistance())
+	// Occasionally mix in LCG entropy so pool values keep evolving.
+	if g.r.Bool(0.08) {
+		src2 = regLCG
+	}
+	g.emit(isa.Instruction{Op: op, Dest: dest, Src1: src1, Src2: src2})
+}
+
+// emitChainLink extends one of the serial accumulator chains: the
+// destination is also a source, so successive links form a dependence
+// chain whose throughput is bounded by the scheduling loop latency.
+func (g *generator) emitChainLink() {
+	n := g.p.ChainRegs
+	if n > maxChainRegs {
+		n = maxChainRegs
+	}
+	cr := chainLo + isa.Reg(g.r.Intn(n))
+	if g.r.Bool(0.5) {
+		g.emit(isa.Instruction{Op: isa.ADDI, Dest: cr, Src1: cr, Imm: int64(g.r.Intn(64)) + 1})
+		return
+	}
+	ops := [...]isa.Op{isa.ADD, isa.SUB, isa.XOR, isa.OR}
+	op := ops[g.r.Intn(len(ops))]
+	g.emit(isa.Instruction{Op: op, Dest: cr, Src1: cr, Src2: g.sourceAt(g.depDistance())})
+}
+
+func (g *generator) emitLoad() {
+	if g.p.PointerChase && g.r.Bool(g.p.ChaseFrac) {
+		// Rotate between independent chase cursors: the chains are
+		// mutually independent, so their misses overlap (mcf exhibits
+		// memory-level parallelism across arcs).
+		cur := [...]isa.Reg{regChase, regChase2, regChase3}[g.r.Intn(3)]
+		g.emit(isa.Instruction{Op: isa.LD, Dest: cur, Src1: cur, Imm: 0})
+		return
+	}
+	dest := g.nextPoolReg()
+	delta := int64(g.r.Intn(localWindow/8)) * 8
+	g.emit(isa.Instruction{Op: isa.LD, Dest: dest, Src1: regRoll, Imm: int64(strideBase) + delta})
+}
+
+func (g *generator) emitStore() {
+	delta := int64(g.r.Intn(localWindow/8)) * 8
+	data := g.sourceAt(g.depDistance())
+	g.emit(isa.Instruction{Op: isa.STA, Dest: isa.NoReg, Src1: regRoll, Imm: int64(strideBase) + delta})
+	g.emit(isa.Instruction{Op: isa.STD, Dest: isa.NoReg, Src1: data})
+}
+
+// emitBranch emits one branch construct and its skip body, returning the
+// number of (non-STD) instructions it contributed.
+func (g *generator) emitBranch() int {
+	skip := g.nextLabel("skip")
+	start := g.pos
+	switch {
+	case g.r.Bool(g.p.NoisyBranchFrac):
+		// Data-dependent branch: extract noise bits, compare against the
+		// threshold, branch. The SRL/SLT feeders are themselves prime MOP
+		// material (compare-branch pairs).
+		noiseSrc := regLCG
+		if g.p.Noise == NoiseChase {
+			noiseSrc = regChase
+		}
+		g.emit(isa.Instruction{Op: isa.SRL, Dest: regBrTmp1, Src1: noiseSrc, Src2: regShift})
+		g.emit(isa.Instruction{Op: isa.SLT, Dest: regBrTmp2, Src1: regBrTmp1, Src2: regThresh})
+		g.branchTo(isa.BNE, regBrTmp2, isa.R0, skip)
+	case g.r.Bool(0.3):
+		g.b.Jump(skip) // always taken direct jump
+		g.pos++
+	default:
+		g.branchTo(isa.BNE, isa.R0, isa.R0, skip) // never taken
+	}
+	// The skipped (fall-through) body follows the profile's own
+	// ALU/load/store proportions so it does not skew the mix.
+	alu := 1 - g.p.FracLoad - g.p.FracStore - g.p.FracBranch - g.p.FracMul - g.p.FracDiv - g.p.FracFP
+	for k, n := 0, 1+g.r.Intn(4); k < n; k++ {
+		switch g.r.Pick([]float64{alu, g.p.FracLoad, g.p.FracStore}) {
+		case 0:
+			g.emitALU()
+		case 1:
+			g.emitLoad()
+		case 2:
+			g.emitStore()
+		}
+	}
+	g.b.Label(skip)
+	return int(g.pos - start)
+}
+
+func (g *generator) emitMulDiv(op isa.Op) {
+	dest := g.nextPoolReg()
+	g.emit(isa.Instruction{Op: op, Dest: dest, Src1: g.sourceAt(g.depDistance()), Src2: g.sourceAt(g.depDistance())})
+}
+
+func (g *generator) emitFP() {
+	op := isa.FADD
+	switch g.r.Intn(5) {
+	case 3:
+		op = isa.FMUL
+	case 4:
+		op = isa.FDIV
+	}
+	dest := g.nextPoolReg()
+	g.emit(isa.Instruction{Op: op, Dest: dest, Src1: g.sourceAt(g.depDistance()), Src2: g.sourceAt(g.depDistance())})
+}
+
+// emitCall calls one of a small set of shared leaf functions (generated
+// lazily); calls exercise JAL/JR and the return address stack.
+func (g *generator) emitCall(blk int) {
+	const numFuncs = 4
+	for len(g.funcs) < numFuncs {
+		g.funcs = append(g.funcs, g.nextLabel("fn"))
+	}
+	g.b.Call(g.funcs[blk%numFuncs])
+	g.pos++
+}
+
+// emitFunctions generates the leaf function bodies after the main loop.
+func (g *generator) emitFunctions() {
+	for _, label := range g.funcs {
+		g.b.Label(label)
+		for k, n := 0, 8+g.r.Intn(8); k < n; k++ {
+			g.emitALU()
+		}
+		g.b.Ret()
+		g.pos++
+	}
+}
+
+// initChaseMemory lays a shuffled pointer ring over the chase region:
+// one pointer per chaseGranule bytes, visiting every entry exactly once
+// per lap, defeating spatial locality (Sattolo's algorithm).
+func (g *generator) initChaseMemory() {
+	entries := int((uint64(1) << g.p.FootprintLog2) / chaseGranule)
+	perm := make([]int, entries)
+	for i := range perm {
+		perm[i] = i
+	}
+	cr := rng.New(g.p.Seed ^ 0xc4a5e)
+	for i := entries - 1; i > 0; i-- {
+		j := cr.Intn(i)
+		perm[i], perm[j] = perm[j], perm[i]
+	}
+	// The chase register starts at chaseBase (set in emitInit), so rotate
+	// the ring to begin there: perm[0] must be entry 0.
+	for i, v := range perm {
+		if v == 0 {
+			perm[0], perm[i] = perm[i], perm[0]
+			break
+		}
+	}
+	addr := func(i int) uint64 { return chaseBase + uint64(perm[i])*chaseGranule }
+	for i := 0; i < entries; i++ {
+		g.b.InitMem(addr(i), addr((i+1)%entries))
+	}
+}

@@ -1,0 +1,246 @@
+// Package workload synthesizes the 12 SPEC CINT2000-like benchmark
+// programs used by the reproduction. The paper evaluates Alpha SPEC
+// binaries we cannot run; instead, each benchmark is replaced by a
+// deterministic synthetic program whose *scheduling-relevant* properties
+// are calibrated to the per-benchmark characterization the paper itself
+// reports:
+//
+//   - the fraction of value-generating single-cycle candidates
+//     (the "% total insts" line of Figure 6),
+//   - the dependence edge distance distribution (Figure 6's buckets —
+//     gap shortest, vortex longest),
+//   - branch predictability and data-memory behaviour (Table 2's base
+//     IPC ordering: eon/gap/gzip high, gcc/parser low, mcf memory-bound).
+//
+// Programs are real programs: loops, forward branches, calls/returns,
+// loads/stores with controlled footprints, executed by the functional
+// model; nothing is replayed from canned statistics.
+package workload
+
+import "fmt"
+
+// NoiseSource selects what data feeds the unpredictable branches.
+type NoiseSource int
+
+// Noise sources.
+const (
+	// NoiseLCG drives noisy branches from an in-register linear
+	// congruential generator (compute-bound noise).
+	NoiseLCG NoiseSource = iota
+	// NoiseChase drives noisy branches from pointer-chase load results,
+	// making mispredictions resolve late behind cache misses (mcf-like).
+	NoiseChase
+)
+
+// Profile parameterizes one synthetic benchmark.
+type Profile struct {
+	Name string
+	Seed uint64
+
+	// Instruction mix. Fractions of the emitted (non-STD) instruction
+	// stream; the ALU share is the remainder to 1. A store contributes
+	// one unit (its STA; the STD rides along uncounted, as the paper
+	// counts stores once).
+	FracLoad   float64
+	FracStore  float64
+	FracBranch float64
+	FracMul    float64
+	FracDiv    float64
+	FracFP     float64
+
+	// ChainFrac is the fraction of ALU operations that extend one of
+	// ChainRegs serial accumulator chains (dest == source register, like
+	// induction variables and pointer updates). Chains set the dependent
+	// critical path that pipelined 2-cycle scheduling stretches; few
+	// chains (low ChainRegs) means little ILP to hide the bubbles (the
+	// "window filled with chains of dependent instructions" behaviour the
+	// paper describes for gap).
+	ChainFrac float64
+	ChainRegs int
+
+	// DepMean is the mean of the geometric distribution from which ALU
+	// source dependence distances are drawn (in dynamic instructions).
+	DepMean float64
+	// LongDepFrac is the probability an ALU source instead takes a long
+	// (uniform in [8, 32]) dependence, fattening the 8+ tail of Figure 6.
+	LongDepFrac float64
+
+	// NoisyBranchFrac is the fraction of conditional branches that are
+	// data-dependent (hard to predict); the rest follow fixed patterns.
+	NoisyBranchFrac float64
+	// NoisyBias is the taken-probability of noisy branches.
+	NoisyBias float64
+	// Noise selects the data source of noisy branches.
+	Noise NoiseSource
+
+	// FootprintLog2 is the data working-set size, 1<<FootprintLog2 bytes.
+	FootprintLog2 uint
+	// StrideBytes advances the rolling data pointer each block.
+	StrideBytes int64
+	// PointerChase enables an mcf-style dependent-load ring over the
+	// footprint; ChaseFrac is the fraction of loads that chase.
+	PointerChase bool
+	ChaseFrac    float64
+
+	// Program shape: Blocks basic blocks of roughly BlockLen instructions
+	// form the loop body (static code footprint = I-cache behaviour).
+	Blocks   int
+	BlockLen int
+	// CallFrac is the fraction of blocks that end by calling one of the
+	// shared leaf functions (exercises JAL/JR and the RAS).
+	CallFrac float64
+}
+
+// Validate sanity-checks the profile.
+func (p Profile) Validate() error {
+	sum := p.FracLoad + p.FracStore + p.FracBranch + p.FracMul + p.FracDiv + p.FracFP
+	if sum >= 1 {
+		return fmt.Errorf("workload %s: non-ALU mix %.2f leaves no ALU share", p.Name, sum)
+	}
+	if p.DepMean < 1 {
+		return fmt.Errorf("workload %s: DepMean must be >= 1", p.Name)
+	}
+	if p.Blocks < 1 || p.BlockLen < 8 {
+		return fmt.Errorf("workload %s: degenerate program shape", p.Name)
+	}
+	if p.FootprintLog2 < 12 || p.FootprintLog2 > 28 {
+		return fmt.Errorf("workload %s: footprint out of range", p.Name)
+	}
+	return nil
+}
+
+// Profiles returns the 12 benchmark profiles in the paper's order:
+// bzip, crafty, eon, gap, gcc, gzip, mcf, parser, perl, twolf, vortex, vpr.
+func Profiles() []Profile {
+	return []Profile{
+		{
+			Name: "bzip", Seed: 0xb21b,
+			FracLoad: 0.31, FracStore: 0.12, FracBranch: 0.12, FracMul: 0.04,
+			ChainFrac: 0.40, ChainRegs: 1,
+			DepMean: 2.0, LongDepFrac: 0.10,
+			NoisyBranchFrac: 0.33, NoisyBias: 0.40,
+			FootprintLog2: 17, StrideBytes: 264,
+			Blocks: 24, BlockLen: 40,
+		},
+		{
+			Name: "crafty", Seed: 0xc4af,
+			FracLoad: 0.31, FracStore: 0.12, FracBranch: 0.14, FracMul: 0.05,
+			ChainFrac: 0.45, ChainRegs: 1,
+			DepMean: 2.4, LongDepFrac: 0.12,
+			NoisyBranchFrac: 0.30, NoisyBias: 0.45,
+			FootprintLog2: 15, StrideBytes: 136,
+			Blocks: 40, BlockLen: 45, CallFrac: 0.3,
+		},
+		{
+			Name: "eon", Seed: 0xe0e0,
+			FracLoad: 0.32, FracStore: 0.16, FracBranch: 0.10, FracMul: 0.03, FracFP: 0.22,
+			ChainFrac: 0.20, ChainRegs: 3,
+			DepMean: 3.2, LongDepFrac: 0.22,
+			NoisyBranchFrac: 0.06, NoisyBias: 0.30,
+			FootprintLog2: 14, StrideBytes: 72,
+			Blocks: 30, BlockLen: 50, CallFrac: 0.4,
+		},
+		{
+			Name: "gap", Seed: 0x9a9,
+			FracLoad: 0.29, FracStore: 0.11, FracBranch: 0.13, FracMul: 0.04,
+			ChainFrac: 0.42, ChainRegs: 1,
+			DepMean: 1.45, LongDepFrac: 0.03,
+			NoisyBranchFrac: 0.08, NoisyBias: 0.35,
+			FootprintLog2: 16, StrideBytes: 200,
+			Blocks: 28, BlockLen: 45,
+		},
+		{
+			Name: "gcc", Seed: 0x9cc,
+			FracLoad: 0.35, FracStore: 0.18, FracBranch: 0.17, FracMul: 0.06,
+			ChainFrac: 0.55, ChainRegs: 1,
+			DepMean: 2.6, LongDepFrac: 0.14,
+			NoisyBranchFrac: 0.15, NoisyBias: 0.40,
+			FootprintLog2: 17, StrideBytes: 328,
+			Blocks: 45, BlockLen: 80, CallFrac: 0.3,
+		},
+		{
+			Name: "gzip", Seed: 0x921f,
+			FracLoad: 0.24, FracStore: 0.11, FracBranch: 0.13, FracMul: 0.01,
+			ChainFrac: 0.33, ChainRegs: 1,
+			DepMean: 1.8, LongDepFrac: 0.06,
+			NoisyBranchFrac: 0.18, NoisyBias: 0.45,
+			FootprintLog2: 15, StrideBytes: 96,
+			Blocks: 20, BlockLen: 40,
+		},
+		{
+			Name: "mcf", Seed: 0x3cf,
+			FracLoad: 0.40, FracStore: 0.10, FracBranch: 0.16, FracMul: 0.06,
+			ChainFrac: 0.30, ChainRegs: 2,
+			DepMean: 1.9, LongDepFrac: 0.08,
+			NoisyBranchFrac: 0.25, NoisyBias: 0.45, Noise: NoiseChase,
+			FootprintLog2: 24, StrideBytes: 1032,
+			PointerChase: true, ChaseFrac: 0.16,
+			Blocks: 16, BlockLen: 40,
+		},
+		{
+			Name: "parser", Seed: 0xa45e,
+			FracLoad: 0.32, FracStore: 0.13, FracBranch: 0.16, FracMul: 0.04,
+			ChainFrac: 0.72, ChainRegs: 1,
+			DepMean: 1.8, LongDepFrac: 0.07,
+			NoisyBranchFrac: 0.32, NoisyBias: 0.45,
+			FootprintLog2: 17, StrideBytes: 520,
+			Blocks: 60, BlockLen: 50, CallFrac: 0.2,
+		},
+		{
+			Name: "perl", Seed: 0xbe41,
+			FracLoad: 0.33, FracStore: 0.14, FracBranch: 0.15, FracMul: 0.04,
+			ChainFrac: 0.45, ChainRegs: 1,
+			DepMean: 2.2, LongDepFrac: 0.11,
+			NoisyBranchFrac: 0.28, NoisyBias: 0.42,
+			FootprintLog2: 16, StrideBytes: 264,
+			Blocks: 42, BlockLen: 60, CallFrac: 0.4,
+		},
+		{
+			Name: "twolf", Seed: 0x201f,
+			FracLoad: 0.27, FracStore: 0.11, FracBranch: 0.13, FracMul: 0.05,
+			ChainFrac: 0.55, ChainRegs: 1,
+			DepMean: 1.8, LongDepFrac: 0.07,
+			NoisyBranchFrac: 0.26, NoisyBias: 0.45,
+			FootprintLog2: 18, StrideBytes: 776,
+			Blocks: 30, BlockLen: 45,
+		},
+		{
+			Name: "vortex", Seed: 0x7042,
+			FracLoad: 0.36, FracStore: 0.19, FracBranch: 0.12, FracMul: 0.05,
+			ChainFrac: 0.10, ChainRegs: 4,
+			DepMean: 5.5, LongDepFrac: 0.30,
+			NoisyBranchFrac: 0.10, NoisyBias: 0.35,
+			FootprintLog2: 17, StrideBytes: 392,
+			Blocks: 46, BlockLen: 55, CallFrac: 0.3,
+		},
+		{
+			Name: "vpr", Seed: 0x7b4,
+			FracLoad: 0.31, FracStore: 0.14, FracBranch: 0.13, FracMul: 0.05,
+			ChainFrac: 0.62, ChainRegs: 1,
+			DepMean: 1.9, LongDepFrac: 0.08,
+			NoisyBranchFrac: 0.20, NoisyBias: 0.42,
+			FootprintLog2: 18, StrideBytes: 648,
+			Blocks: 30, BlockLen: 45,
+		},
+	}
+}
+
+// ByName returns the profile with the given name.
+func ByName(name string) (Profile, error) {
+	for _, p := range Profiles() {
+		if p.Name == name {
+			return p, nil
+		}
+	}
+	return Profile{}, fmt.Errorf("workload: unknown benchmark %q", name)
+}
+
+// Names returns the benchmark names in the paper's order.
+func Names() []string {
+	ps := Profiles()
+	out := make([]string, len(ps))
+	for i, p := range ps {
+		out[i] = p.Name
+	}
+	return out
+}

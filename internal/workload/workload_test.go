@@ -1,0 +1,196 @@
+package workload
+
+import (
+	"testing"
+
+	"macroop/internal/functional"
+	"macroop/internal/mop"
+)
+
+func TestAllProfilesValidateAndBuild(t *testing.T) {
+	for _, p := range Profiles() {
+		if err := p.Validate(); err != nil {
+			t.Errorf("%s: %v", p.Name, err)
+		}
+		prog, err := Generate(p)
+		if err != nil {
+			t.Fatalf("%s: %v", p.Name, err)
+		}
+		if err := prog.Validate(); err != nil {
+			t.Fatalf("%s: generated program invalid: %v", p.Name, err)
+		}
+	}
+}
+
+func TestGenerationDeterministic(t *testing.T) {
+	p, _ := ByName("gzip")
+	a := MustGenerate(p)
+	b := MustGenerate(p)
+	if a.Len() != b.Len() {
+		t.Fatal("lengths differ across generations")
+	}
+	for i := range a.Insts {
+		if a.Insts[i] != b.Insts[i] {
+			t.Fatalf("instruction %d differs", i)
+		}
+	}
+}
+
+func TestByNameAndNames(t *testing.T) {
+	names := Names()
+	if len(names) != 12 || names[0] != "bzip" || names[11] != "vpr" {
+		t.Fatalf("names: %v", names)
+	}
+	if _, err := ByName("gcc"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ByName("nosuch"); err == nil {
+		t.Fatal("unknown benchmark accepted")
+	}
+}
+
+func TestValidateRejections(t *testing.T) {
+	p, _ := ByName("gzip")
+	p.FracLoad = 0.9
+	p.FracStore = 0.3
+	if err := p.Validate(); err == nil {
+		t.Error("over-full mix accepted")
+	}
+	p, _ = ByName("gzip")
+	p.DepMean = 0.2
+	if err := p.Validate(); err == nil {
+		t.Error("sub-1 DepMean accepted")
+	}
+	p, _ = ByName("gzip")
+	p.FootprintLog2 = 40
+	if err := p.Validate(); err == nil {
+		t.Error("giant footprint accepted")
+	}
+	p, _ = ByName("gzip")
+	p.BlockLen = 2
+	if err := p.Validate(); err == nil {
+		t.Error("degenerate block accepted")
+	}
+}
+
+// characterizeProfile runs the Figure 6 accumulator over n committed
+// instructions of a benchmark.
+func characterizeProfile(t *testing.T, name string, n int64) *mop.EdgeDistance {
+	t.Helper()
+	p, err := ByName(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := functional.NewExecutor(MustGenerate(p))
+	acc := mop.NewEdgeDistance()
+	var d functional.DynInst
+	for i := int64(0); i < n; i++ {
+		if err := e.Step(&d); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		acc.Push(&d)
+	}
+	acc.Flush()
+	return acc
+}
+
+// TestCalibrationCandidateFractions guards the workload calibration: the
+// fraction of value-generating candidates must stay close to the paper's
+// Figure 6 "%total insts" line for each benchmark.
+func TestCalibrationCandidateFractions(t *testing.T) {
+	paper := map[string]float64{
+		"bzip": 49.2, "crafty": 50.9, "eon": 27.8, "gap": 48.7,
+		"gcc": 37.4, "gzip": 56.3, "mcf": 40.2, "parser": 47.5,
+		"perl": 42.7, "twolf": 47.7, "vortex": 37.6, "vpr": 44.7,
+	}
+	const tolerance = 6.0 // percentage points
+	for name, want := range paper {
+		acc := characterizeProfile(t, name, 150000)
+		got := 100 * float64(acc.Heads) / float64(acc.TotalInsts)
+		if got < want-tolerance || got > want+tolerance {
+			t.Errorf("%s: value-gen candidates %.1f%%, paper %.1f%%", name, got, want)
+		}
+	}
+}
+
+// TestCalibrationEdgeDistanceOrdering guards the qualitative shape the
+// paper relies on: gap has the shortest dependence edges, vortex the
+// longest.
+func TestCalibrationEdgeDistanceOrdering(t *testing.T) {
+	within8 := func(name string) float64 {
+		acc := characterizeProfile(t, name, 150000)
+		withTail := acc.Dist1to3 + acc.Dist4to7 + acc.Dist8plus
+		if withTail == 0 {
+			t.Fatalf("%s: no tails found", name)
+		}
+		return float64(acc.Dist1to3+acc.Dist4to7) / float64(withTail)
+	}
+	gap := within8("gap")
+	vortex := within8("vortex")
+	gzip := within8("gzip")
+	if gap < 0.85 {
+		t.Errorf("gap: only %.2f of pairs within 8 insts (paper: 87%%)", gap)
+	}
+	if vortex > 0.80 {
+		t.Errorf("vortex: %.2f of pairs within 8 insts, should be the longest-edge benchmark", vortex)
+	}
+	if gap <= vortex || gzip <= vortex {
+		t.Errorf("ordering violated: gap %.2f gzip %.2f vortex %.2f", gap, gzip, vortex)
+	}
+}
+
+func TestPointerChaseRingClosed(t *testing.T) {
+	p, _ := ByName("mcf")
+	prog := MustGenerate(p)
+	// Follow the pointer ring from chaseBase; it must be a closed cycle
+	// over all entries with no zero pointers.
+	entries := (1 << p.FootprintLog2) / chaseGranule
+	addr := uint64(chaseBase)
+	seen := map[uint64]bool{}
+	for i := 0; i < entries; i++ {
+		if seen[addr] {
+			t.Fatalf("ring revisits %x after %d hops (want %d)", addr, i, entries)
+		}
+		seen[addr] = true
+		next, ok := prog.Mem[addr]
+		if !ok || next == 0 {
+			t.Fatalf("broken ring at %x (hop %d)", addr, i)
+		}
+		addr = next
+	}
+	if addr != chaseBase {
+		t.Fatalf("ring does not close: ended at %x", addr)
+	}
+}
+
+func TestChaseCursorsStartOnRing(t *testing.T) {
+	p, _ := ByName("mcf")
+	prog := MustGenerate(p)
+	entries := uint64(1<<p.FootprintLog2) / chaseGranule
+	for _, start := range []uint64{
+		chaseBase,
+		chaseBase + (entries/3)*chaseGranule,
+		chaseBase + (2*entries/3)*chaseGranule,
+	} {
+		if _, ok := prog.Mem[start]; !ok {
+			t.Errorf("cursor start %x not on the ring", start)
+		}
+	}
+}
+
+func TestStoresAlwaysPaired(t *testing.T) {
+	for _, p := range Profiles()[:4] {
+		prog := MustGenerate(p)
+		tr, err := functional.Run(prog, 50000)
+		if err != nil {
+			t.Fatalf("%s: %v", p.Name, err)
+		}
+		for i, d := range tr {
+			if d.Inst.Op.String() == "sta" {
+				if i+1 >= len(tr) || tr[i+1].Inst.Op.String() != "std" {
+					t.Fatalf("%s: STA at %d not followed by STD", p.Name, i)
+				}
+			}
+		}
+	}
+}

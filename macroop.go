@@ -1,0 +1,226 @@
+// Package macroop is a cycle-level reproduction of "Macro-op Scheduling:
+// Relaxing Scheduling Loop Constraints" (Kim & Lipasti, MICRO-36, 2003).
+//
+// It provides, from scratch and on the standard library only:
+//
+//   - a 13-stage, 4-wide out-of-order processor timing model with
+//     speculative scheduling and selective replay (the paper's base
+//     machine, Table 1);
+//   - five instruction schedulers: base (atomic-equivalent), pipelined
+//     2-cycle, macro-op scheduling on CAM-2src and wired-OR wakeup
+//     arrays, and select-free scheduling (squash-dep and scoreboard);
+//   - macro-op detection (dependence matrix, cycle heuristic, MOP
+//     pointers, last-arriving filter) and formation (pending-bit
+//     insertion, dependence translation);
+//   - branch prediction (combined bimodal/gshare + BTB + RAS) and a
+//     three-level memory hierarchy;
+//   - twelve synthetic SPEC CINT2000-like benchmarks calibrated to the
+//     characterization the paper reports;
+//   - an experiment harness regenerating every table and figure of the
+//     paper's evaluation.
+//
+// # Quick start
+//
+//	prog, _ := macroop.GenerateBenchmark("gzip")
+//	res, _ := macroop.Simulate(macroop.DefaultMachine().WithSched(macroop.SchedMOP), prog, 1_000_000)
+//	fmt.Println(res)
+//
+// See examples/ for runnable programs and DESIGN.md for the system map.
+package macroop
+
+import (
+	"macroop/internal/config"
+	"macroop/internal/core"
+	"macroop/internal/experiments"
+	"macroop/internal/functional"
+	"macroop/internal/isa"
+	"macroop/internal/mop"
+	"macroop/internal/program"
+	"macroop/internal/stats"
+	"macroop/internal/workload"
+)
+
+// Machine is the full machine configuration (Table 1 of the paper).
+type Machine = config.Machine
+
+// SchedModel selects the scheduling logic variant.
+type SchedModel = config.SchedModel
+
+// Scheduler models (Section 6.2 of the paper).
+const (
+	SchedBase                 = config.SchedBase
+	SchedTwoCycle             = config.SchedTwoCycle
+	SchedMOP                  = config.SchedMOP
+	SchedSelectFreeSquashDep  = config.SchedSelectFreeSquashDep
+	SchedSelectFreeScoreboard = config.SchedSelectFreeScoreboard
+)
+
+// WakeupStyle selects the wakeup array style for macro-op scheduling.
+type WakeupStyle = config.WakeupStyle
+
+// Wakeup styles (Section 2.2).
+const (
+	WakeupCAM2Src = config.WakeupCAM2Src
+	WakeupWiredOR = config.WakeupWiredOR
+)
+
+// MOPConfig parameterizes macro-op detection and formation.
+type MOPConfig = config.MOPConfig
+
+// Program is a static program plus its initial memory image.
+type Program = program.Program
+
+// ProgramBuilder constructs custom programs with labels and branches.
+type ProgramBuilder = program.Builder
+
+// Result is one simulation's output.
+type Result = core.Result
+
+// Experiments drives the paper-reproduction harness.
+type Experiments = experiments.Runner
+
+// Table is the text-table type the harness reports with.
+type Table = stats.Table
+
+// BenchmarkProfile parameterizes one synthetic benchmark.
+type BenchmarkProfile = workload.Profile
+
+// DynInst is one dynamically executed instruction (for characterization
+// sinks and custom analyses).
+type DynInst = functional.DynInst
+
+// EdgeDistance accumulates the Figure 6 characterization.
+type EdgeDistance = mop.EdgeDistance
+
+// Grouping accumulates the Figure 7 characterization.
+type Grouping = mop.Grouping
+
+// DefaultMachine returns Table 1's machine (32-entry issue queue, base
+// scheduler).
+func DefaultMachine() Machine { return config.Default() }
+
+// UnrestrictedMachine returns the machine with an unrestricted issue
+// queue (ROB-bounded window).
+func UnrestrictedMachine() Machine { return config.Unrestricted() }
+
+// DefaultMOPConfig returns the paper's main macro-op configuration:
+// wired-OR wakeup, 2x MOPs over an 8-instruction scope, 1 extra formation
+// stage, 3-cycle detection delay, independent MOPs, last-arriving filter.
+func DefaultMOPConfig() MOPConfig { return config.DefaultMOP() }
+
+// Benchmarks returns the 12 benchmark names in the paper's order.
+func Benchmarks() []string { return workload.Names() }
+
+// BenchmarkProfiles returns the 12 calibrated benchmark profiles.
+func BenchmarkProfiles() []BenchmarkProfile { return workload.Profiles() }
+
+// GenerateBenchmark synthesizes the named SPEC-like benchmark program.
+func GenerateBenchmark(name string) (*Program, error) {
+	p, err := workload.ByName(name)
+	if err != nil {
+		return nil, err
+	}
+	return workload.Generate(p)
+}
+
+// GenerateProfile synthesizes a program from a custom profile.
+func GenerateProfile(p BenchmarkProfile) (*Program, error) {
+	return workload.Generate(p)
+}
+
+// NewProgram starts a custom program builder.
+func NewProgram(name string) *ProgramBuilder { return program.NewBuilder(name) }
+
+// Assemble parses assembly text into a program (see internal/program's
+// assembler syntax: mnemonics, labels, @N targets, st pseudo-op, .mem).
+func Assemble(name, text string) (*Program, error) { return program.Assemble(name, text) }
+
+// Timeline is a pipeline tracer recording fetch/insert/issue/commit
+// cycles per instruction; attach with SimulateTraced.
+type Timeline = core.Timeline
+
+// NewTimeline returns a Timeline recording the first limit instructions.
+func NewTimeline(limit int) *Timeline { return core.NewTimeline(limit) }
+
+// SimulateTraced runs like Simulate with a pipeline tracer attached.
+func SimulateTraced(m Machine, p *Program, maxInsts int64, tl *Timeline) (*Result, error) {
+	c, err := core.New(m, p)
+	if err != nil {
+		return nil, err
+	}
+	c.SetTracer(tl)
+	return c.Run(maxInsts)
+}
+
+// Simulate runs the program on the machine until maxInsts instructions
+// commit (or the program halts) and returns timing results.
+func Simulate(m Machine, p *Program, maxInsts int64) (*Result, error) {
+	c, err := core.New(m, p)
+	if err != nil {
+		return nil, err
+	}
+	return c.Run(maxInsts)
+}
+
+// Characterize streams up to maxInsts committed instructions of the
+// program through sink (machine-independent analyses, Figures 6 and 7).
+func Characterize(p *Program, maxInsts int64, sink func(*DynInst)) error {
+	e := functional.NewExecutor(p)
+	var d functional.DynInst
+	for n := int64(0); n < maxInsts; n++ {
+		if err := e.Step(&d); err != nil {
+			return nil // halted
+		}
+		sink(&d)
+	}
+	return nil
+}
+
+// NewEdgeDistance returns a Figure 6 accumulator.
+func NewEdgeDistance() *EdgeDistance { return mop.NewEdgeDistance() }
+
+// NewGrouping returns a Figure 7 accumulator for the given MOP size.
+func NewGrouping(maxSize int) *Grouping { return mop.NewGrouping(maxSize) }
+
+// NewExperiments returns the paper-reproduction harness with the given
+// per-simulation instruction budget.
+func NewExperiments(maxInsts int64) *Experiments {
+	return experiments.NewRunner(maxInsts)
+}
+
+// MachineTable renders Table 1.
+func MachineTable() *Table { return experiments.Table1() }
+
+// Reg is an architectural register identifier for the builder DSL.
+type Reg = isa.Reg
+
+// Op is an instruction opcode for the builder DSL.
+type Op = isa.Op
+
+// Instruction is one static instruction for the builder DSL.
+type Instruction = isa.Instruction
+
+// R0 is the hardwired zero register.
+const R0 = isa.R0
+
+// Opcodes for the builder DSL (single-cycle ALU ops are MOP candidates).
+const (
+	OpAdd  = isa.ADD
+	OpAddI = isa.ADDI
+	OpSub  = isa.SUB
+	OpAnd  = isa.AND
+	OpOr   = isa.OR
+	OpXor  = isa.XOR
+	OpSll  = isa.SLL
+	OpSrl  = isa.SRL
+	OpSlt  = isa.SLT
+	OpSeq  = isa.SEQ
+	OpMovI = isa.MOVI
+	OpMul  = isa.MUL
+	OpDiv  = isa.DIV
+	OpLoad = isa.LD
+	OpBeq  = isa.BEQ
+	OpBne  = isa.BNE
+	OpBlt  = isa.BLT
+	OpBge  = isa.BGE
+)

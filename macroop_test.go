@@ -1,0 +1,140 @@
+package macroop_test
+
+import (
+	"strings"
+	"testing"
+
+	"macroop"
+)
+
+func TestPublicAPIQuickstart(t *testing.T) {
+	prog, err := macroop.GenerateBenchmark("gzip")
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, err := macroop.Simulate(macroop.DefaultMachine(), prog, 20000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mop, err := macroop.Simulate(macroop.DefaultMachine().WithMOP(macroop.DefaultMOPConfig()), prog, 20000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if base.IPC <= 0 || mop.IPC <= 0 {
+		t.Fatal("no progress")
+	}
+	if mop.GroupedFrac() < 0.2 {
+		t.Fatalf("MOP grouping %.2f", mop.GroupedFrac())
+	}
+	if !strings.Contains(base.String(), "gzip") {
+		t.Fatal("result rendering broken")
+	}
+}
+
+func TestPublicAPIBenchmarkList(t *testing.T) {
+	names := macroop.Benchmarks()
+	if len(names) != 12 {
+		t.Fatalf("benchmarks: %v", names)
+	}
+	if len(macroop.BenchmarkProfiles()) != 12 {
+		t.Fatal("profiles list wrong")
+	}
+	if _, err := macroop.GenerateBenchmark("nosuch"); err == nil {
+		t.Fatal("unknown benchmark accepted")
+	}
+}
+
+func TestPublicAPIBuilder(t *testing.T) {
+	b := macroop.NewProgram("mini")
+	b.MovI(7, 100)
+	b.Label("top")
+	b.OpImm(macroop.OpAddI, 8, 8, 1)
+	b.OpImm(macroop.OpAddI, 7, 7, -1)
+	b.Branch(macroop.OpBne, 7, macroop.R0, "top")
+	b.Halt()
+	prog, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := macroop.Simulate(macroop.UnrestrictedMachine(), prog, 1000000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Committed != 1+3*100 {
+		t.Fatalf("committed %d", res.Committed)
+	}
+}
+
+func TestPublicAPICharacterize(t *testing.T) {
+	prog, _ := macroop.GenerateBenchmark("gap")
+	ed := macroop.NewEdgeDistance()
+	g := macroop.NewGrouping(2)
+	if err := macroop.Characterize(prog, 30000, func(d *macroop.DynInst) {
+		ed.Push(d)
+		g.Push(d)
+	}); err != nil {
+		t.Fatal(err)
+	}
+	ed.Flush()
+	g.Flush()
+	if ed.Heads == 0 || g.GroupedInsts == 0 {
+		t.Fatal("characterization empty")
+	}
+}
+
+func TestPublicAPIExperiments(t *testing.T) {
+	r := macroop.NewExperiments(3000)
+	r.Benchmarks = []string{"gzip"}
+	tab, err := r.Figure14()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tab.NumRows() != 1 {
+		t.Fatalf("rows: %d", tab.NumRows())
+	}
+	if macroop.MachineTable().NumRows() == 0 {
+		t.Fatal("machine table empty")
+	}
+}
+
+func TestPublicAPICustomProfile(t *testing.T) {
+	p := macroop.BenchmarkProfile{
+		Name: "custom", Seed: 7,
+		FracLoad: 0.2, FracStore: 0.1, FracBranch: 0.1,
+		ChainFrac: 0.3, ChainRegs: 1,
+		DepMean: 2, FootprintLog2: 16, StrideBytes: 128,
+		Blocks: 8, BlockLen: 30,
+	}
+	prog, err := macroop.GenerateProfile(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := macroop.Simulate(macroop.DefaultMachine(), prog, 5000); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPublicAPIAssembleAndTrace(t *testing.T) {
+	prog, err := macroop.Assemble("k", `
+	        movi r7, 50
+	top:    addi r1, r1, 1
+	        add  r2, r1, r1
+	        addi r7, r7, -1
+	        bne  r7, r0, top
+	        halt
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tl := macroop.NewTimeline(20)
+	res, err := macroop.SimulateTraced(macroop.DefaultMachine().WithMOP(macroop.DefaultMOPConfig()), prog, 100000, tl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Committed == 0 || tl.IssueCycle(1) < 0 {
+		t.Fatal("trace or run empty")
+	}
+	if !strings.Contains(tl.String(), "addi") {
+		t.Fatal("timeline missing instructions")
+	}
+}
