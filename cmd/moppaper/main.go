@@ -24,10 +24,12 @@ func main() {
 		insts = flag.Int64("insts", 1_000_000, "committed instructions per simulation")
 		only  = flag.String("only", "", "comma-separated subset: table1,table2,fig6,fig7,fig13,fig14,fig15,fig16,delay,lastarrive,indep,mopsize,heuristic,qsweep,wsweep")
 		bench = flag.String("bench", "", "comma-separated benchmark subset (default: all 12)")
+		check = flag.Bool("check", false, "attach the lockstep differential oracle to every simulation (slower; any divergence aborts)")
 	)
 	flag.Parse()
 
 	r := experiments.NewRunner(*insts)
+	r.Check = *check
 	if *bench != "" {
 		r.Benchmarks = strings.Split(*bench, ",")
 	}

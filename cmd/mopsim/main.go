@@ -4,6 +4,8 @@
 // Usage:
 //
 //	mopsim -bench gzip -sched mop -wakeup wired-or -iq 32 -insts 1000000
+//	mopsim -bench gzip -sched mop -check              # lockstep verification
+//	mopsim -bench gzip -check -inject-fault 5000      # prove the oracle bites
 //
 // Schedulers: base, 2cycle, mop, sf-squash, sf-scoreboard.
 package main
@@ -14,8 +16,10 @@ import (
 	"os"
 	"strings"
 
+	"macroop/internal/checker"
 	"macroop/internal/config"
 	"macroop/internal/core"
+	"macroop/internal/functional"
 	"macroop/internal/workload"
 )
 
@@ -31,6 +35,8 @@ func main() {
 		noIndep  = flag.Bool("no-indep", false, "disable independent MOP grouping")
 		trace    = flag.Int("trace", 0, "print a pipeline timeline for the first N instructions")
 		noFilter = flag.Bool("no-filter", false, "disable the last-arriving operand filter")
+		check    = flag.Bool("check", false, "attach the lockstep differential oracle (cross-checks every commit against the functional model)")
+		inject   = flag.Int64("inject-fault", -1, "corrupt the dynamic instruction at/after this sequence number (with -check: demonstrates divergence detection)")
 	)
 	flag.Parse()
 
@@ -71,7 +77,11 @@ func main() {
 	if err != nil {
 		fatalf("generate: %v", err)
 	}
-	c, err := core.New(m, prog)
+	var src functional.Source = functional.NewExecutor(prog)
+	if *inject >= 0 {
+		src = &checker.CorruptSource{Src: src, At: *inject}
+	}
+	c, err := core.NewFromSource(m, prog.Name, src)
 	if err != nil {
 		fatalf("configure: %v", err)
 	}
@@ -79,6 +89,11 @@ func main() {
 	if *trace > 0 {
 		tl = core.NewTimeline(*trace)
 		c.SetTracer(tl)
+	}
+	var k *checker.Checker
+	if *check {
+		k = checker.New(prog, m.IQEntries, *insts)
+		c.SetHooks(k)
 	}
 	res, err := c.Run(*insts)
 	if err != nil {
@@ -88,6 +103,10 @@ func main() {
 		fmt.Println(tl)
 	}
 	fmt.Print(res)
+	if k != nil {
+		s := k.Summary()
+		fmt.Printf("  check: ok, %d commits cross-checked, checksum %016x\n", s.Commits, s.Checksum)
+	}
 }
 
 func fatalf(format string, args ...any) {

@@ -1,0 +1,320 @@
+// Package checker implements a lockstep differential oracle for the
+// timing core: it re-executes the program on an independent functional
+// model and, at every commit the core reports through the core.Hooks
+// interface, cross-checks the architectural work (PC, opcode, operands,
+// memory effective address, branch outcome and target, destination and
+// store values) plus pipeline invariants:
+//
+//   - committed sequence numbers are strictly increasing (no instruction
+//     commits twice, none is skipped out of order);
+//   - every committed instruction was issued, its scheduler entry is
+//     final (all speculative-scheduling replays resolved), and its
+//     result was architecturally available before the commit cycle —
+//     replayed uops therefore re-executed before committing;
+//   - macro-op members commit exactly as formed: same entry, in op
+//     order, in program order, with no member missing or duplicated;
+//   - issue queue occupancy never exceeds its configured capacity.
+//
+// The checker also folds every committed architectural effect into a
+// running FNV-1a checksum. Two runs that commit the same architectural
+// work — e.g. MOP scheduling on vs off — produce identical checksums even
+// though their timing differs, which is what the golden-result harness
+// (golden.go) and the property tests record and compare.
+//
+// Attach a checker with core.SetHooks; it is timing-passive and costs
+// one extra functional execution of the committed stream.
+package checker
+
+import (
+	"fmt"
+
+	"macroop/internal/core"
+	"macroop/internal/functional"
+	"macroop/internal/isa"
+	"macroop/internal/program"
+)
+
+// Checker is a core.Hooks implementation performing lockstep differential
+// checking against a reference functional execution of the same program.
+type Checker struct {
+	name string
+	ref  *functional.Executor
+
+	sum      uint64 // FNV-1a over committed architectural effects
+	sumLimit int64  // commits folded into sum (0 = all); see New
+	commits  int64
+	lastSeq  int64
+	lastCyc  int64
+
+	iqCap int
+
+	// lastIssue[entryID<<4|opIdx] is the most recent grant cycle for an
+	// in-flight op; entries are deleted as their ops commit, so the map
+	// stays bounded by the instruction window.
+	lastIssue map[int64]int64
+	// mop[entryID] is the member sequence list reported by OnMOPFormed,
+	// deleted when the entry's last op commits.
+	mop map[int64][]int64
+	// mopNext[entryID] is the next expected OpIdx for a multi-op entry.
+	mopNext map[int64]int
+}
+
+var _ core.Hooks = (*Checker)(nil)
+
+const (
+	fnvOffset = 14695981039346656037
+	fnvPrime  = 1099511628211
+)
+
+// New builds a checker for one simulation of prog. iqEntries is the
+// machine's issue queue capacity (0 = unrestricted, disabling the
+// occupancy invariant). sumLimit bounds how many commits fold into the
+// checksum (0 = all): because the core may overshoot its instruction
+// budget by up to one commit group, callers comparing checksums across
+// machine configurations pass the common budget here so both runs
+// checksum the same prefix.
+func New(prog *program.Program, iqEntries int, sumLimit int64) *Checker {
+	return &Checker{
+		name:      prog.Name,
+		ref:       functional.NewExecutor(prog),
+		sum:       fnvOffset,
+		sumLimit:  sumLimit,
+		lastSeq:   -1,
+		lastCyc:   -1,
+		iqCap:     iqEntries,
+		lastIssue: make(map[int64]int64),
+		mop:       make(map[int64][]int64),
+		mopNext:   make(map[int64]int),
+	}
+}
+
+// Summary is the distilled outcome of a checked run.
+type Summary struct {
+	Benchmark string
+	Commits   int64  // commits cross-checked
+	Checksum  uint64 // FNV-1a over the first min(Commits, limit) commits
+}
+
+// Summary returns the check outcome so far.
+func (k *Checker) Summary() Summary {
+	return Summary{Benchmark: k.name, Commits: k.commits, Checksum: k.sum}
+}
+
+// Checksum returns the architectural-effect checksum so far.
+func (k *Checker) Checksum() uint64 { return k.sum }
+
+// Commits returns how many commits were cross-checked so far.
+func (k *Checker) Commits() int64 { return k.commits }
+
+func (k *Checker) errorf(format string, args ...any) error {
+	return fmt.Errorf("checker: %s: commit %d: "+format,
+		append([]any{k.name, k.commits}, args...)...)
+}
+
+// mix folds 64-bit words into the running FNV-1a checksum.
+func (k *Checker) mix(vs ...uint64) {
+	h := k.sum
+	for _, v := range vs {
+		for i := 0; i < 8; i++ {
+			h ^= (v >> (8 * i)) & 0xff
+			h *= fnvPrime
+		}
+	}
+	k.sum = h
+}
+
+// OnIssue implements core.Hooks: it records the grant so the commit-side
+// invariant "committed ops were issued, and issued no later than they
+// committed" has something to check against.
+func (k *Checker) OnIssue(ev *core.IssueEvent) error {
+	k.lastIssue[ev.EntryID<<4|int64(ev.OpIdx)] = ev.Cycle
+	return nil
+}
+
+// OnMOPFormed implements core.Hooks: it records the closed macro-op's
+// membership for commit-side atomicity checking.
+func (k *Checker) OnMOPFormed(entryID int64, seqs []int64) error {
+	if len(seqs) < 2 {
+		return fmt.Errorf("checker: %s: entry %d formed a MOP with %d member(s)",
+			k.name, entryID, len(seqs))
+	}
+	for i := 1; i < len(seqs); i++ {
+		if seqs[i] <= seqs[i-1] {
+			return fmt.Errorf("checker: %s: entry %d MOP members out of program order: %v",
+				k.name, entryID, seqs)
+		}
+	}
+	k.mop[entryID] = append([]int64(nil), seqs...)
+	return nil
+}
+
+// OnCycle implements core.Hooks: issue queue occupancy must respect the
+// configured capacity.
+func (k *Checker) OnCycle(cycle int64, iqOccupied int) error {
+	if k.iqCap > 0 && iqOccupied > k.iqCap {
+		return fmt.Errorf("checker: %s: cycle %d: issue queue occupancy %d exceeds capacity %d",
+			k.name, cycle, iqOccupied, k.iqCap)
+	}
+	return nil
+}
+
+// OnCommit implements core.Hooks: the differential cross-check proper.
+func (k *Checker) OnCommit(ev *core.CommitEvent) error {
+	d := ev.Dyn
+
+	// Commit-order invariants.
+	if d.Seq <= k.lastSeq {
+		return k.errorf("sequence %d commits at or before already-committed %d (double or out-of-order commit)", d.Seq, k.lastSeq)
+	}
+	if ev.Cycle < k.lastCyc {
+		return k.errorf("commit cycle went backwards: %d after %d", ev.Cycle, k.lastCyc)
+	}
+
+	// Scheduling invariants: the op issued, no later than it commits, and
+	// its entry settled with the result available before now.
+	key := ev.EntryID<<4 | int64(ev.OpIdx)
+	issued, ok := k.lastIssue[key]
+	if !ok {
+		return k.errorf("seq %d (entry %d op %d) commits without ever issuing", d.Seq, ev.EntryID, ev.OpIdx)
+	}
+	delete(k.lastIssue, key)
+	if issued > ev.Cycle {
+		return k.errorf("seq %d issued at cycle %d after its commit cycle %d", d.Seq, issued, ev.Cycle)
+	}
+	if !ev.EntryFinal {
+		return k.errorf("seq %d commits while its scheduler entry %d is not final (replay outstanding)", d.Seq, ev.EntryID)
+	}
+	if ev.Cycle < ev.ReadyAt {
+		return k.errorf("seq %d commits at cycle %d before its result is ready at %d", d.Seq, ev.Cycle, ev.ReadyAt)
+	}
+
+	// MOP atomicity: members commit exactly as formed, in op order.
+	if ev.NumOps > 1 {
+		seqs, ok := k.mop[ev.EntryID]
+		if !ok {
+			return k.errorf("seq %d commits from multi-op entry %d that never reported formation", d.Seq, ev.EntryID)
+		}
+		next := k.mopNext[ev.EntryID]
+		if ev.OpIdx != next {
+			return k.errorf("entry %d commits op %d before op %d (MOP not committing in op order)", ev.EntryID, ev.OpIdx, next)
+		}
+		if len(seqs) != ev.NumOps {
+			return k.errorf("entry %d formed with %d members but commits with %d ops", ev.EntryID, len(seqs), ev.NumOps)
+		}
+		if seqs[ev.OpIdx] != d.Seq {
+			return k.errorf("entry %d op %d commits seq %d, formed as seq %d", ev.EntryID, ev.OpIdx, d.Seq, seqs[ev.OpIdx])
+		}
+		if ev.OpIdx == ev.NumOps-1 {
+			delete(k.mop, ev.EntryID)
+			delete(k.mopNext, ev.EntryID)
+		} else {
+			k.mopNext[ev.EntryID] = next + 1
+		}
+	}
+
+	// Differential cross-check against the reference functional model.
+	var ref functional.DynInst
+	if err := k.ref.Step(&ref); err != nil {
+		return k.errorf("reference model cannot execute seq %d: %v", d.Seq, err)
+	}
+	if err := k.compare(&ref, d); err != nil {
+		return err
+	}
+
+	// Destination value from the reference architectural state.
+	var destVal uint64
+	if ref.Inst.WritesReg() {
+		destVal = k.ref.Reg(ref.Inst.Dest)
+	}
+
+	// A fused store commits as one uop but is two reference steps; the
+	// merged STD supplies the store data.
+	var storeVal uint64
+	if ref.Inst.Op == isa.STA {
+		var std functional.DynInst
+		if err := k.ref.Step(&std); err != nil {
+			return k.errorf("reference model cannot execute STD for store seq %d: %v", d.Seq, err)
+		}
+		if std.Inst.Op != isa.STD {
+			return k.errorf("store seq %d not followed by STD in reference stream (got %s)", d.Seq, std.Inst.Op)
+		}
+		if std.MemAddr != ref.MemAddr {
+			return k.errorf("store seq %d: STD address %#x != STA address %#x", d.Seq, std.MemAddr, ref.MemAddr)
+		}
+		if ev.DataReg != std.Inst.Src1 {
+			return k.errorf("store seq %d commits data register %s, reference says %s", d.Seq, ev.DataReg, std.Inst.Src1)
+		}
+		storeVal = k.ref.Mem().Read(ref.MemAddr)
+	}
+
+	if k.sumLimit <= 0 || k.commits < k.sumLimit {
+		k.mix(uint64(d.Seq), uint64(int64(d.PC)), uint64(d.Inst.Op),
+			uint64(d.Inst.Dest), destVal, d.MemAddr, boolWord(d.Taken),
+			uint64(int64(d.NextPC)), storeVal)
+	}
+	k.lastSeq = d.Seq
+	k.lastCyc = ev.Cycle
+	k.commits++
+	return nil
+}
+
+// compare checks the committed dynamic instruction against the reference
+// model's independently computed one.
+func (k *Checker) compare(ref, got *functional.DynInst) error {
+	switch {
+	case ref.Seq != got.Seq:
+		return k.errorf("sequence diverged: core commits seq %d, reference executes seq %d", got.Seq, ref.Seq)
+	case ref.PC != got.PC:
+		return k.errorf("seq %d: PC diverged: core %d, reference %d", got.Seq, got.PC, ref.PC)
+	case ref.Inst != got.Inst:
+		return k.errorf("seq %d: instruction diverged: core commits %s, reference executes %s", got.Seq, got.Inst, ref.Inst)
+	case ref.MemAddr != got.MemAddr:
+		return k.errorf("seq %d (%s): memory address diverged: core %#x, reference %#x", got.Seq, got.Inst, got.MemAddr, ref.MemAddr)
+	case ref.Taken != got.Taken:
+		return k.errorf("seq %d (%s): branch outcome diverged: core taken=%v, reference taken=%v", got.Seq, got.Inst, got.Taken, ref.Taken)
+	case ref.NextPC != got.NextPC:
+		return k.errorf("seq %d (%s): next PC diverged: core %d, reference %d", got.Seq, got.Inst, got.NextPC, ref.NextPC)
+	}
+	return nil
+}
+
+func boolWord(b bool) uint64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// CorruptSource wraps a dynamic instruction source and corrupts exactly
+// one instruction at or after sequence At: loads and store-address ops
+// get their effective address flipped; other register writers get their
+// immediate perturbed. Control instructions and STDs are skipped so the
+// corruption stays on the committed path. It exists to prove the oracle
+// is not vacuous — a core driven through a CorruptSource commits wrong
+// architectural work that an attached Checker must detect.
+type CorruptSource struct {
+	Src functional.Source
+	At  int64
+
+	done bool
+}
+
+// Step implements functional.Source.
+func (s *CorruptSource) Step(d *functional.DynInst) error {
+	if err := s.Src.Step(d); err != nil {
+		return err
+	}
+	if s.done || d.Seq < s.At || d.Inst.Op.IsControl() || d.Inst.Op == isa.STD {
+		return nil
+	}
+	switch {
+	case d.Inst.Op == isa.LD || d.Inst.Op == isa.STA:
+		d.MemAddr ^= 8 // wrong word: the committed value is now wrong
+	case d.Inst.WritesReg():
+		d.Inst.Imm++ // wrong operand: the committed result is now wrong
+	default:
+		return nil
+	}
+	s.done = true
+	return nil
+}

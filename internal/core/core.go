@@ -53,7 +53,9 @@ type Core struct {
 	robHead  int
 	robCount int
 
-	tracer Tracer
+	tracer  Tracer
+	hooks   Hooks
+	hookErr error
 
 	res Result
 }
@@ -113,6 +115,9 @@ func (c *Core) Run(maxInsts int64) (*Result, error) {
 			break // program ended and pipeline drained
 		}
 		c.step()
+		if c.hookErr != nil {
+			return nil, c.hookErr
+		}
 		if c.cycle > maxCycles {
 			return nil, fmt.Errorf("core: %s exceeded %d cycles for %d insts (deadlock?)",
 				c.name, maxCycles, maxInsts)
@@ -128,6 +133,7 @@ func (c *Core) step() {
 	c.issue()
 	c.insert()
 	c.fetch()
+	c.hookCycle()
 	c.cycle++
 }
 
@@ -148,6 +154,7 @@ func (c *Core) issue() {
 		}
 		c.res.OpsIssued++
 		c.trace(uo, StageIssue, g.Cycle)
+		c.hookIssue(uo, g.Cycle)
 		if uo.isLoad() {
 			// Probe the data hierarchy on the first grant only (issue
 			// order is deterministic); if the load replays, its data
@@ -418,16 +425,22 @@ func (c *Core) committable(u *uop) bool {
 	if u.entry == nil || !u.entry.Final() {
 		return false
 	}
+	if u.isStore() && u.dataProd.entry != nil && !u.dataProd.entry.Final() {
+		return false
+	}
+	return c.cycle >= c.commitReadyAt(u)
+}
+
+// commitReadyAt returns the earliest cycle u may commit: its own result's
+// availability, and for a fused store also the store-data producer's. The
+// entry (and data producer, if any) must already be final.
+func (c *Core) commitReadyAt(u *uop) int64 {
 	done := u.entry.ActualReady(u.opIdx) + int64(c.cfg.ExecOffset)
 	if u.isStore() && u.dataProd.entry != nil {
 		p := u.dataProd
-		if !p.entry.Final() {
-			return false
-		}
-		dataDone := p.entry.ActualReady(p.opIdx) + int64(c.cfg.ExecOffset)
-		done = maxI64(done, dataDone)
+		done = maxI64(done, p.entry.ActualReady(p.opIdx)+int64(c.cfg.ExecOffset))
 	}
-	return c.cycle >= done
+	return done
 }
 
 // retire commits one instruction: stores write the data cache, MOP
@@ -435,6 +448,7 @@ func (c *Core) committable(u *uop) bool {
 func (c *Core) retire(u *uop) {
 	u.committed = true
 	c.trace(u, StageCommit, c.cycle)
+	c.hookCommit(u)
 	c.res.Committed++
 	if u.isStore() {
 		// Stores write memory at commit (Section 2.1); the tag fill keeps

@@ -46,6 +46,7 @@ func (c *Core) renameAndInsert(u *uop) {
 		c.finishRename(u)
 		if last {
 			c.removePendingHead(h)
+			c.hookMOPFormed(h)
 			c.res.MOPsFormed++
 			if u.mopDep {
 				c.res.DepMOPsFormed++
@@ -238,6 +239,10 @@ func (c *Core) demote(h *uop) {
 	if h.attachedOps == 0 {
 		h.mopHead = false
 		h.mopDep = false
+	} else {
+		// The entry proceeds as a smaller multi-op group: report it so
+		// commit-side atomicity checks know its final membership.
+		c.hookMOPFormed(h)
 	}
 	// Unclaim chain members still waiting in the ring.
 	for i := int64(0); i < ringSize; i++ {

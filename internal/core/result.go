@@ -80,6 +80,16 @@ func (r *Result) InsertReduction() float64 {
 	return 1 - float64(r.SchedStats.EntriesInserted)/float64(ops)
 }
 
+// ReplayRate returns speculative-scheduling replays (invalid issues in a
+// load's miss shadow) per committed instruction; one of the golden-file
+// key stats.
+func (r *Result) ReplayRate() float64 {
+	if r.Committed == 0 {
+		return 0
+	}
+	return float64(r.SchedStats.Replays) / float64(r.Committed)
+}
+
 // BranchMispredictRate returns mispredictions per committed instruction.
 func (r *Result) BranchMispredictRate() float64 {
 	if r.Committed == 0 {

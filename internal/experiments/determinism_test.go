@@ -1,0 +1,55 @@
+package experiments
+
+import (
+	"testing"
+
+	"macroop/internal/program"
+)
+
+// TestRunMatrixDeterministic guards the parallel worker pool against
+// iteration-order and shared-state races: two independent runners (each
+// generating its programs from scratch, in parallel, through the
+// per-benchmark once/future path) must render byte-identical tables.
+func TestRunMatrixDeterministic(t *testing.T) {
+	render := func() string {
+		r := NewRunner(10_000)
+		r.Benchmarks = []string{"gzip", "mcf", "vortex"}
+		tbl, err := r.Figure16()
+		if err != nil {
+			t.Fatalf("Figure16: %v", err)
+		}
+		return tbl.String()
+	}
+	first := render()
+	second := render()
+	if first != second {
+		t.Errorf("two RunMatrix invocations rendered different tables:\n--- first\n%s\n--- second\n%s", first, second)
+	}
+}
+
+// TestProgramGenerationShared: concurrent Program calls for the same
+// benchmark must share one generation and return the same program.
+func TestProgramGenerationShared(t *testing.T) {
+	r := NewRunner(1_000)
+	const n = 8
+	progs := make([]*program.Program, n)
+	done := make(chan int, n)
+	for i := 0; i < n; i++ {
+		go func(i int) {
+			p, err := r.Program("gzip")
+			if err != nil {
+				t.Errorf("Program: %v", err)
+			}
+			progs[i] = p
+			done <- i
+		}(i)
+	}
+	for i := 0; i < n; i++ {
+		<-done
+	}
+	for i := 1; i < n; i++ {
+		if progs[i] != progs[0] {
+			t.Fatalf("concurrent Program calls returned distinct programs")
+		}
+	}
+}

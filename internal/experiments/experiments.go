@@ -9,6 +9,7 @@ import (
 	"runtime"
 	"sync"
 
+	"macroop/internal/checker"
 	"macroop/internal/config"
 	"macroop/internal/core"
 	"macroop/internal/functional"
@@ -25,14 +26,28 @@ type Runner struct {
 	MaxInsts int64
 	// Benchmarks to include; nil means the full 12-benchmark suite.
 	Benchmarks []string
+	// Check attaches the lockstep differential oracle (internal/checker)
+	// to every simulation: any timing-core divergence from the functional
+	// model, or pipeline invariant violation, fails the run.
+	Check bool
 
 	mu    sync.Mutex
-	progs map[string]*program.Program
+	progs map[string]*progFuture
+}
+
+// progFuture is a per-benchmark generation slot: the runner's lock only
+// guards map access, so first-touch generation of different benchmarks
+// proceeds in parallel, while concurrent requests for the same benchmark
+// share one generation.
+type progFuture struct {
+	once sync.Once
+	p    *program.Program
+	err  error
 }
 
 // NewRunner returns a Runner simulating maxInsts per benchmark per config.
 func NewRunner(maxInsts int64) *Runner {
-	return &Runner{MaxInsts: maxInsts, progs: make(map[string]*program.Program)}
+	return &Runner{MaxInsts: maxInsts, progs: make(map[string]*progFuture)}
 }
 
 func (r *Runner) benchmarks() []string {
@@ -45,20 +60,21 @@ func (r *Runner) benchmarks() []string {
 // Program returns (generating on first use) the benchmark program.
 func (r *Runner) Program(name string) (*program.Program, error) {
 	r.mu.Lock()
-	defer r.mu.Unlock()
-	if p, ok := r.progs[name]; ok {
-		return p, nil
+	f := r.progs[name]
+	if f == nil {
+		f = &progFuture{}
+		r.progs[name] = f
 	}
-	prof, err := workload.ByName(name)
-	if err != nil {
-		return nil, err
-	}
-	p, err := workload.Generate(prof)
-	if err != nil {
-		return nil, err
-	}
-	r.progs[name] = p
-	return p, nil
+	r.mu.Unlock()
+	f.once.Do(func() {
+		prof, err := workload.ByName(name)
+		if err != nil {
+			f.err = err
+			return
+		}
+		f.p, f.err = workload.Generate(prof)
+	})
+	return f.p, f.err
 }
 
 // Run simulates one benchmark under one machine configuration.
@@ -70,6 +86,9 @@ func (r *Runner) Run(bench string, m config.Machine) (*core.Result, error) {
 	c, err := core.New(m, p)
 	if err != nil {
 		return nil, err
+	}
+	if r.Check {
+		c.SetHooks(checker.New(p, m.IQEntries, r.MaxInsts))
 	}
 	return c.Run(r.MaxInsts)
 }

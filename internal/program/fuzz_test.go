@@ -1,0 +1,70 @@
+package program
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzAssemble hardens the assembler's error paths: malformed mnemonics,
+// huge immediates, truncated lines, bogus labels and directives must all
+// come back as errors, never as panics — and anything it does accept must
+// be a valid program that disassembles and re-assembles.
+func FuzzAssemble(f *testing.F) {
+	seeds := []string{
+		"movi r1, 100\nhalt\n",
+		"loop: addi r1, r1, -1\nbne r1, r0, loop\nhalt",
+		"ld r4, 8(r2)\nst r4, 16(r2)\nhalt",
+		"jal fn\nhalt\nfn: jr (r31)",
+		".mem 0x2000 42\nhalt",
+		"addi r1, r1, 99999999999999999999999\nhalt", // immediate overflow
+		"bogus r1, r2, r3",                           // unknown mnemonic
+		"addi r1, r1",                                // truncated operand list
+		"add r99, r1, r2\nhalt",                      // register out of range
+		"beq r1, r0, nowhere\nhalt",                  // undefined label
+		": halt",                                     // empty label
+		".mem 0x10",                                  // truncated directive
+		"jmp @9223372036854775807\nhalt",             // absolute target overflow
+		"st r1\nhalt",
+		"movi r1, 0x", // half-written hex literal
+		"a:b:c: halt",
+		"\tLD R4, -8(R2)\nHALT", // case and sign handling
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, text string) {
+		p, err := Assemble("fuzz", text)
+		if err != nil {
+			return // rejecting is fine; panicking is not
+		}
+		if p == nil {
+			t.Fatal("Assemble returned nil program without error")
+		}
+		if verr := p.Validate(); verr != nil {
+			t.Fatalf("accepted program fails validation: %v\ninput:\n%s", verr, text)
+		}
+		// Accepted programs must round-trip through the disassembler.
+		if _, rerr := Assemble("roundtrip", p.Disassemble()); rerr != nil {
+			t.Fatalf("disassembly does not re-assemble: %v\ninput:\n%s\ndisasm:\n%s",
+				rerr, text, p.Disassemble())
+		}
+	})
+}
+
+// TestAssembleRejectsWithoutPanic pins a few pathological inputs that a
+// fuzzer would find immediately, so they stay covered in plain test runs.
+func TestAssembleRejectsWithoutPanic(t *testing.T) {
+	for _, text := range []string{
+		"addi r1, r1, 99999999999999999999999",
+		"bogus",
+		"ld r4, (",
+		"st r4,",
+		".mem zzz 1",
+		"jal",
+		strings.Repeat("x", 1<<16),
+	} {
+		if _, err := Assemble("bad", text); err == nil {
+			t.Errorf("Assemble accepted %q", text)
+		}
+	}
+}

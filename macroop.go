@@ -29,6 +29,7 @@
 package macroop
 
 import (
+	"macroop/internal/checker"
 	"macroop/internal/config"
 	"macroop/internal/core"
 	"macroop/internal/experiments"
@@ -160,6 +161,21 @@ func Simulate(m Machine, p *Program, maxInsts int64) (*Result, error) {
 		return nil, err
 	}
 	return c.Run(maxInsts)
+}
+
+// CheckSummary is the outcome of a checked simulation: how many commits
+// the lockstep differential oracle cross-checked and the architectural
+// checksum over them (identical across scheduler configurations for the
+// same program and instruction budget).
+type CheckSummary = checker.Summary
+
+// SimulateChecked runs like Simulate with a lockstep differential oracle
+// attached: at every commit, the timing core's architectural work is
+// cross-checked against an independent functional execution, and pipeline
+// invariants (commit order, replay resolution, MOP atomicity, issue queue
+// occupancy) are verified. Any divergence aborts the run with an error.
+func SimulateChecked(m Machine, p *Program, maxInsts int64) (*Result, CheckSummary, error) {
+	return checker.CheckedRun(m, p, maxInsts, maxInsts)
 }
 
 // Characterize streams up to maxInsts committed instructions of the

@@ -1,0 +1,52 @@
+package macroop_test
+
+import (
+	"testing"
+
+	"macroop"
+)
+
+// TestPropertyMOPPreservesArchState is the paper's ground rule as an
+// executable property: macro-op scheduling relaxes *when* instructions
+// issue, never *what* they compute. For every benchmark, a run with MOP
+// scheduling and one without must commit identical architectural state —
+// the lockstep checker's checksums agree — even though the timing
+// (cycle counts) differs.
+func TestPropertyMOPPreservesArchState(t *testing.T) {
+	const insts = 50_000
+	benches := macroop.Benchmarks()
+	if testing.Short() {
+		benches = benches[:3]
+	}
+	for _, bench := range benches {
+		bench := bench
+		t.Run(bench, func(t *testing.T) {
+			t.Parallel()
+			prog, err := macroop.GenerateBenchmark(bench)
+			if err != nil {
+				t.Fatalf("generate: %v", err)
+			}
+			base := macroop.DefaultMachine().WithSched(macroop.SchedBase)
+			mop := macroop.DefaultMachine().WithMOP(macroop.DefaultMOPConfig())
+
+			resBase, sumBase, err := macroop.SimulateChecked(base, prog, insts)
+			if err != nil {
+				t.Fatalf("base run: %v", err)
+			}
+			resMOP, sumMOP, err := macroop.SimulateChecked(mop, prog, insts)
+			if err != nil {
+				t.Fatalf("MOP run: %v", err)
+			}
+			if sumBase.Checksum != sumMOP.Checksum {
+				t.Errorf("architectural state diverged: base checksum %016x, MOP checksum %016x",
+					sumBase.Checksum, sumMOP.Checksum)
+			}
+			if resMOP.MOPsFormed == 0 {
+				t.Error("MOP run formed no macro-ops; property is vacuous")
+			}
+			if resBase.Cycles == resMOP.Cycles {
+				t.Logf("note: base and MOP runs took identical cycle counts (%d)", resBase.Cycles)
+			}
+		})
+	}
+}
