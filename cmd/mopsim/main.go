@@ -6,19 +6,24 @@
 //	mopsim -bench gzip -sched mop -wakeup wired-or -iq 32 -insts 1000000
 //	mopsim -bench gzip -sched mop -check              # lockstep verification
 //	mopsim -bench gzip -check -inject-fault 5000      # prove the oracle bites
+//	mopsim -bench gzip -timeout 30s                   # wall-clock bound
+//	mopsim -bench gzip -insts 20000 -faults all       # fault-injection campaign
 //
 // Schedulers: base, 2cycle, mop, sf-squash, sf-scoreboard.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
 	"strings"
+	"time"
 
 	"macroop/internal/checker"
 	"macroop/internal/config"
 	"macroop/internal/core"
+	"macroop/internal/fault"
 	"macroop/internal/functional"
 	"macroop/internal/workload"
 )
@@ -37,10 +42,18 @@ func main() {
 		noFilter = flag.Bool("no-filter", false, "disable the last-arriving operand filter")
 		check    = flag.Bool("check", false, "attach the lockstep differential oracle (cross-checks every commit against the functional model)")
 		inject   = flag.Int64("inject-fault", -1, "corrupt the dynamic instruction at/after this sequence number (with -check: demonstrates divergence detection)")
+		timeout  = flag.Duration("timeout", 0, "wall-clock limit for the simulation (0 = none); expiry aborts with a typed cancellation error")
+		watchdog = flag.Int("watchdog-cycles", 0, "forward-progress watchdog window in cycles (0 = default, negative = disabled)")
+		faults   = flag.String("faults", "", "run a fault-injection campaign on the selected benchmark instead of one simulation: \"all\" or a comma-separated subset of "+strings.Join(faultNames(), ", "))
 	)
 	flag.Parse()
 
-	m := config.Default().WithIQ(*iq)
+	if *faults != "" {
+		runCampaign(*bench, *faults, *insts, *watchdog)
+		return
+	}
+
+	m := config.Default().WithIQ(*iq).WithWatchdog(*watchdog)
 	switch *sched {
 	case "base":
 		m = m.WithSched(config.SchedBase)
@@ -95,7 +108,13 @@ func main() {
 		k = checker.New(prog, m.IQEntries, *insts)
 		c.SetHooks(k)
 	}
-	res, err := c.Run(*insts)
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+	res, err := c.RunContext(ctx, *insts)
 	if err != nil {
 		fatalf("simulate: %v", err)
 	}
@@ -106,6 +125,47 @@ func main() {
 	if k != nil {
 		s := k.Summary()
 		fmt.Printf("  check: ok, %d commits cross-checked, checksum %016x\n", s.Commits, s.Checksum)
+	}
+}
+
+func faultNames() []string {
+	ks := fault.Kinds()
+	names := make([]string, len(ks))
+	for i, k := range ks {
+		names[i] = k.String()
+	}
+	return names
+}
+
+// runCampaign injects the selected fault kinds into the benchmark under
+// every scheduler model and reports which verification layer caught each.
+// Exits nonzero if any fired fault escaped detection.
+func runCampaign(bench, kinds string, insts int64, watchdog int) {
+	cfg := fault.DefaultCampaign()
+	cfg.Benchmarks = []string{bench}
+	cfg.MaxInsts = insts
+	if watchdog != 0 {
+		cfg.WatchdogCycles = watchdog
+	}
+	if kinds != "all" {
+		cfg.Faults = nil
+		for _, s := range strings.Split(kinds, ",") {
+			k, err := fault.ParseKind(strings.TrimSpace(s))
+			if err != nil {
+				fatalf("%v", err)
+			}
+			cfg.Faults = append(cfg.Faults, k)
+		}
+	}
+	start := time.Now()
+	res, err := fault.RunCampaign(cfg)
+	if err != nil {
+		fatalf("campaign: %v", err)
+	}
+	fmt.Print(res)
+	fmt.Printf("(%d cells in %.1fs)\n", len(res.Outcomes), time.Since(start).Seconds())
+	if esc := res.Escapes(); len(esc) > 0 {
+		fatalf("%d fault(s) escaped detection", len(esc))
 	}
 }
 

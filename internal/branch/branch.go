@@ -9,7 +9,11 @@
 // pipeline refill.
 package branch
 
-import "macroop/internal/program"
+import (
+	"fmt"
+
+	"macroop/internal/program"
+)
 
 // Config sizes the predictor structures. Counts must be powers of two.
 type Config struct {
@@ -20,6 +24,33 @@ type Config struct {
 	BTBEntries      int
 	BTBAssoc        int
 	RASEntries      int
+}
+
+// Validate checks structural well-formedness, so New cannot fail on a
+// validated configuration.
+func (c Config) Validate() error {
+	for _, t := range []struct {
+		name string
+		n    int
+	}{
+		{"bimodal", c.BimodalEntries},
+		{"gshare", c.GshareEntries},
+		{"selector", c.SelectorEntries},
+		{"BTB", c.BTBEntries},
+	} {
+		if t.n <= 0 || t.n&(t.n-1) != 0 {
+			return fmt.Errorf("branch: %s table size %d not a positive power of two", t.name, t.n)
+		}
+	}
+	switch {
+	case c.BTBAssoc <= 0 || c.BTBEntries%c.BTBAssoc != 0:
+		return fmt.Errorf("branch: BTB associativity %d does not divide %d entries", c.BTBAssoc, c.BTBEntries)
+	case c.RASEntries <= 0:
+		return fmt.Errorf("branch: non-positive RAS size %d", c.RASEntries)
+	case c.HistoryBits <= 0 || c.HistoryBits > 63:
+		return fmt.Errorf("branch: history bits %d out of range", c.HistoryBits)
+	}
+	return nil
 }
 
 // DefaultConfig returns Table 1's predictor configuration.
@@ -82,11 +113,10 @@ type Predictor struct {
 }
 
 // New builds a predictor; all tables start in the weakly-not-taken state.
-func New(cfg Config) *Predictor {
-	for _, n := range []int{cfg.BimodalEntries, cfg.GshareEntries, cfg.SelectorEntries, cfg.BTBEntries} {
-		if n <= 0 || n&(n-1) != 0 {
-			panic("branch: table sizes must be positive powers of two")
-		}
+// The configuration must be valid (Config.Validate).
+func New(cfg Config) (*Predictor, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
 	}
 	numSets := cfg.BTBEntries / cfg.BTBAssoc
 	btb := make([][]btbEntry, numSets)
@@ -109,7 +139,7 @@ func New(cfg Config) *Predictor {
 	for i := range p.selector {
 		p.selector[i] = 1
 	}
-	return p
+	return p, nil
 }
 
 func (p *Predictor) bimodalIdx(pc int) int {

@@ -4,8 +4,17 @@ import (
 	"testing"
 )
 
+func mustNew(t *testing.T, cfg Config) *Predictor {
+	t.Helper()
+	p, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
 func TestBimodalLearnsBias(t *testing.T) {
-	p := New(DefaultConfig())
+	p := mustNew(t, DefaultConfig())
 	const pc = 100
 	for i := 0; i < 10; i++ {
 		p.UpdateDirection(pc, true)
@@ -24,7 +33,7 @@ func TestBimodalLearnsBias(t *testing.T) {
 func TestGshareLearnsAlternation(t *testing.T) {
 	// A strictly alternating branch defeats bimodal but is captured by
 	// gshare+selector within a short warmup.
-	p := New(DefaultConfig())
+	p := mustNew(t, DefaultConfig())
 	const pc = 200
 	taken := false
 	correct, total := 0, 0
@@ -46,7 +55,7 @@ func TestGshareLearnsAlternation(t *testing.T) {
 
 func TestLoopPatternAccuracy(t *testing.T) {
 	// Taken 7 of 8 (loop back-edge): accuracy should be high.
-	p := New(DefaultConfig())
+	p := mustNew(t, DefaultConfig())
 	const pc = 52
 	correct, total := 0, 0
 	for i := 0; i < 4000; i++ {
@@ -66,7 +75,7 @@ func TestLoopPatternAccuracy(t *testing.T) {
 }
 
 func TestDirAccuracyCounter(t *testing.T) {
-	p := New(DefaultConfig())
+	p := mustNew(t, DefaultConfig())
 	for i := 0; i < 100; i++ {
 		p.UpdateDirection(7, true)
 	}
@@ -80,7 +89,7 @@ func TestDirAccuracyCounter(t *testing.T) {
 }
 
 func TestBTBStoresAndEvicts(t *testing.T) {
-	p := New(DefaultConfig())
+	p := mustNew(t, DefaultConfig())
 	if _, ok := p.LookupTarget(10); ok {
 		t.Fatal("cold BTB hit")
 	}
@@ -106,7 +115,7 @@ func TestBTBStoresAndEvicts(t *testing.T) {
 }
 
 func TestRASPushPop(t *testing.T) {
-	p := New(DefaultConfig())
+	p := mustNew(t, DefaultConfig())
 	if _, ok := p.PopRAS(); ok {
 		t.Fatal("empty RAS popped")
 	}
@@ -125,7 +134,7 @@ func TestRASPushPop(t *testing.T) {
 
 func TestRASWrapsAtCapacity(t *testing.T) {
 	cfg := DefaultConfig()
-	p := New(cfg)
+	p := mustNew(t, cfg)
 	for i := 0; i < cfg.RASEntries+4; i++ {
 		p.PushRAS(i)
 	}
@@ -139,7 +148,7 @@ func TestRASWrapsAtCapacity(t *testing.T) {
 }
 
 func TestRecordTargetOutcome(t *testing.T) {
-	p := New(DefaultConfig())
+	p := mustNew(t, DefaultConfig())
 	p.RecordTargetOutcome(true, 5, 5)
 	p.RecordTargetOutcome(true, 5, 6)
 	p.RecordTargetOutcome(false, 1, 1)
@@ -149,15 +158,20 @@ func TestRecordTargetOutcome(t *testing.T) {
 	}
 }
 
-func TestBadConfigPanics(t *testing.T) {
-	defer func() {
-		if recover() == nil {
-			t.Fatal("non-power-of-two table did not panic")
+func TestBadConfigRejected(t *testing.T) {
+	for _, mod := range []func(*Config){
+		func(c *Config) { c.BimodalEntries = 1000 }, // not a power of two
+		func(c *Config) { c.GshareEntries = 0 },
+		func(c *Config) { c.BTBAssoc = 3 }, // does not divide 1024
+		func(c *Config) { c.RASEntries = 0 },
+		func(c *Config) { c.HistoryBits = 64 },
+	} {
+		cfg := DefaultConfig()
+		mod(&cfg)
+		if p, err := New(cfg); err == nil || p != nil {
+			t.Fatalf("invalid config %+v accepted", cfg)
 		}
-	}()
-	cfg := DefaultConfig()
-	cfg.BimodalEntries = 1000
-	New(cfg)
+	}
 }
 
 func TestCounterSaturation(t *testing.T) {

@@ -70,7 +70,7 @@ func (r *refCombined) update(pc int, taken bool) {
 // both implementations; every prediction must agree.
 func TestPredictorMatchesReference(t *testing.T) {
 	cfg := DefaultConfig()
-	p := New(cfg)
+	p := mustNew(t, cfg)
 	ref := newRefCombined(cfg)
 	r := rng.New(2026)
 	pcs := make([]int, 40)

@@ -58,11 +58,10 @@ type Cache struct {
 	misses   int64
 }
 
-// New builds a cache from its config. It panics on invalid geometry —
-// configs come from code, not user input.
-func New(cfg Config) *Cache {
+// New builds a cache from its config, rejecting invalid geometry.
+func New(cfg Config) (*Cache, error) {
 	if err := cfg.Validate(); err != nil {
-		panic(err)
+		return nil, err
 	}
 	numSets := cfg.SizeBytes / (cfg.Assoc * cfg.LineBytes)
 	sets := make([][]line, numSets)
@@ -74,7 +73,7 @@ func New(cfg Config) *Cache {
 	for 1<<shift < cfg.LineBytes {
 		shift++
 	}
-	return &Cache{cfg: cfg, sets: sets, setShift: shift, setMask: uint64(numSets - 1)}
+	return &Cache{cfg: cfg, sets: sets, setShift: shift, setMask: uint64(numSets - 1)}, nil
 }
 
 // Config returns the cache geometry.
@@ -154,14 +153,22 @@ type Hierarchy struct {
 	memLatency   int
 }
 
-// NewHierarchy builds the three-level hierarchy.
-func NewHierarchy(cfg HierarchyConfig) *Hierarchy {
-	return &Hierarchy{
-		il1:        New(cfg.IL1),
-		dl1:        New(cfg.DL1),
-		l2:         New(cfg.L2),
-		memLatency: cfg.MemLatency,
+// NewHierarchy builds the three-level hierarchy, rejecting invalid
+// geometry in any level.
+func NewHierarchy(cfg HierarchyConfig) (*Hierarchy, error) {
+	il1, err := New(cfg.IL1)
+	if err != nil {
+		return nil, err
 	}
+	dl1, err := New(cfg.DL1)
+	if err != nil {
+		return nil, err
+	}
+	l2, err := New(cfg.L2)
+	if err != nil {
+		return nil, err
+	}
+	return &Hierarchy{il1: il1, dl1: dl1, l2: l2, memLatency: cfg.MemLatency}, nil
 }
 
 // IL1 returns the instruction cache.

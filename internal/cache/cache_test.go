@@ -9,6 +9,15 @@ func cfg(size, assoc, line, lat int) Config {
 	return Config{Name: "t", SizeBytes: size, Assoc: assoc, LineBytes: line, Latency: lat}
 }
 
+func mustNew(t *testing.T, c Config) *Cache {
+	t.Helper()
+	cc, err := New(c)
+	if err != nil {
+		t.Fatalf("New(%+v): %v", c, err)
+	}
+	return cc
+}
+
 func TestConfigValidation(t *testing.T) {
 	good := []Config{
 		cfg(16*1024, 2, 64, 2),
@@ -36,7 +45,7 @@ func TestConfigValidation(t *testing.T) {
 }
 
 func TestColdMissThenHit(t *testing.T) {
-	c := New(cfg(1024, 2, 64, 1))
+	c := mustNew(t, cfg(1024, 2, 64, 1))
 	if c.Touch(0) {
 		t.Fatal("cold access hit")
 	}
@@ -59,7 +68,7 @@ func TestColdMissThenHit(t *testing.T) {
 
 func TestLRUReplacement(t *testing.T) {
 	// 2-way, 64B lines, 2 sets (256B total): set stride is 128B.
-	c := New(cfg(256, 2, 64, 1))
+	c := mustNew(t, cfg(256, 2, 64, 1))
 	const s = 128 // addresses 0, 128, 256... map to set 0
 	c.Touch(0 * s)
 	c.Touch(2 * s)
@@ -74,7 +83,7 @@ func TestLRUReplacement(t *testing.T) {
 }
 
 func TestLookupDoesNotFill(t *testing.T) {
-	c := New(cfg(1024, 2, 64, 1))
+	c := mustNew(t, cfg(1024, 2, 64, 1))
 	if c.Lookup(0) {
 		t.Fatal("lookup hit cold")
 	}
@@ -89,7 +98,7 @@ func TestLookupDoesNotFill(t *testing.T) {
 func TestFullyUsedSets(t *testing.T) {
 	// Property: a working set equal to the cache size with line-aligned
 	// sequential access has only compulsory misses on the second pass.
-	c := New(cfg(4096, 4, 64, 1))
+	c := mustNew(t, cfg(4096, 4, 64, 1))
 	for a := uint64(0); a < 4096; a += 64 {
 		c.Touch(a)
 	}
@@ -101,7 +110,7 @@ func TestFullyUsedSets(t *testing.T) {
 }
 
 func TestSetMappingQuick(t *testing.T) {
-	c := New(cfg(16*1024, 4, 64, 2))
+	c := mustNew(t, cfg(16*1024, 4, 64, 2))
 	// Property: touching an address makes every address on the same line
 	// hit, and does not disturb validity accounting.
 	if err := quick.Check(func(base uint64, off uint8) bool {
@@ -113,17 +122,22 @@ func TestSetMappingQuick(t *testing.T) {
 	}
 }
 
-func hier() *Hierarchy {
-	return NewHierarchy(HierarchyConfig{
+func hier(t *testing.T) *Hierarchy {
+	t.Helper()
+	h, err := NewHierarchy(HierarchyConfig{
 		IL1:        cfg(16*1024, 2, 64, 2),
 		DL1:        cfg(16*1024, 4, 64, 2),
 		L2:         cfg(256*1024, 4, 128, 8),
 		MemLatency: 100,
 	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return h
 }
 
 func TestHierarchyLatencies(t *testing.T) {
-	h := hier()
+	h := hier(t)
 	// Cold: L1 miss + L2 miss -> 2 + 8 + 100.
 	lat, hit := h.Data(0)
 	if hit || lat != 110 {
@@ -146,7 +160,7 @@ func TestHierarchyLatencies(t *testing.T) {
 }
 
 func TestHierarchySeparateL1s(t *testing.T) {
-	h := hier()
+	h := hier(t)
 	h.Fetch(0)
 	// The same address misses in DL1: the L1s are separate, but L2 is
 	// unified so the second access costs 2+8.
@@ -157,16 +171,18 @@ func TestHierarchySeparateL1s(t *testing.T) {
 }
 
 func TestLoadAssumedLatency(t *testing.T) {
-	if got := hier().LoadAssumedLatency(); got != 2 {
+	if got := hier(t).LoadAssumedLatency(); got != 2 {
 		t.Fatalf("assumed load latency %d, want DL1 hit 2", got)
 	}
 }
 
-func TestInvalidGeometryPanics(t *testing.T) {
-	defer func() {
-		if recover() == nil {
-			t.Fatal("New with invalid geometry did not panic")
-		}
-	}()
-	New(cfg(1000, 3, 60, 0))
+func TestInvalidGeometryRejected(t *testing.T) {
+	if c, err := New(cfg(1000, 3, 60, 0)); err == nil || c != nil {
+		t.Fatalf("New with invalid geometry returned %v, %v", c, err)
+	}
+	if h, err := NewHierarchy(HierarchyConfig{
+		IL1: cfg(1000, 3, 60, 0), DL1: cfg(1024, 2, 64, 1), L2: cfg(4096, 4, 64, 8),
+	}); err == nil || h != nil {
+		t.Fatalf("NewHierarchy with invalid IL1 returned %v, %v", h, err)
+	}
 }

@@ -55,7 +55,7 @@ func TestCacheMatchesReference(t *testing.T) {
 	}
 	r := rng.New(99)
 	for _, cfg := range cfgs {
-		c := New(cfg)
+		c := mustNew(t, cfg)
 		ref := newRef(cfg)
 		for i := 0; i < 200000; i++ {
 			var addr uint64

@@ -26,12 +26,11 @@
 package checker
 
 import (
-	"fmt"
-
 	"macroop/internal/core"
 	"macroop/internal/functional"
 	"macroop/internal/isa"
 	"macroop/internal/program"
+	"macroop/internal/simerr"
 )
 
 // Checker is a core.Hooks implementation performing lockstep differential
@@ -106,9 +105,16 @@ func (k *Checker) Checksum() uint64 { return k.sum }
 // Commits returns how many commits were cross-checked so far.
 func (k *Checker) Commits() int64 { return k.commits }
 
+// errorf reports an invariant violation or divergence as a typed
+// *simerr.Error classified under ErrCheckFailed, carrying the benchmark
+// and how many commits had been cross-checked when the check tripped.
 func (k *Checker) errorf(format string, args ...any) error {
-	return fmt.Errorf("checker: %s: commit %d: "+format,
-		append([]any{k.name, k.commits}, args...)...)
+	ctx := simerr.Context{Benchmark: k.name, Committed: k.commits}
+	if k.lastCyc > 0 {
+		ctx.Cycle = k.lastCyc
+	}
+	return simerr.New(simerr.KindCheckFailed, ctx, "commit %d: "+format,
+		append([]any{k.commits}, args...)...)
 }
 
 // mix folds 64-bit words into the running FNV-1a checksum.
@@ -135,13 +141,13 @@ func (k *Checker) OnIssue(ev *core.IssueEvent) error {
 // membership for commit-side atomicity checking.
 func (k *Checker) OnMOPFormed(entryID int64, seqs []int64) error {
 	if len(seqs) < 2 {
-		return fmt.Errorf("checker: %s: entry %d formed a MOP with %d member(s)",
-			k.name, entryID, len(seqs))
+		return simerr.New(simerr.KindCheckFailed, simerr.Context{Benchmark: k.name},
+			"entry %d formed a MOP with %d member(s)", entryID, len(seqs))
 	}
 	for i := 1; i < len(seqs); i++ {
 		if seqs[i] <= seqs[i-1] {
-			return fmt.Errorf("checker: %s: entry %d MOP members out of program order: %v",
-				k.name, entryID, seqs)
+			return simerr.New(simerr.KindCheckFailed, simerr.Context{Benchmark: k.name},
+				"entry %d MOP members out of program order: %v", entryID, seqs)
 		}
 	}
 	k.mop[entryID] = append([]int64(nil), seqs...)
@@ -152,8 +158,9 @@ func (k *Checker) OnMOPFormed(entryID int64, seqs []int64) error {
 // configured capacity.
 func (k *Checker) OnCycle(cycle int64, iqOccupied int) error {
 	if k.iqCap > 0 && iqOccupied > k.iqCap {
-		return fmt.Errorf("checker: %s: cycle %d: issue queue occupancy %d exceeds capacity %d",
-			k.name, cycle, iqOccupied, k.iqCap)
+		return simerr.New(simerr.KindCheckFailed,
+			simerr.Context{Benchmark: k.name, Cycle: cycle, Committed: k.commits},
+			"issue queue occupancy %d exceeds capacity %d", iqOccupied, k.iqCap)
 	}
 	return nil
 }

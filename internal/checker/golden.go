@@ -2,6 +2,7 @@ package checker
 
 import (
 	"bufio"
+	"context"
 	"fmt"
 	"sort"
 	"strings"
@@ -50,13 +51,20 @@ func RecordOf(sum Summary, res *core.Result) Record {
 // commits folded into the checksum (normally the maxInsts budget, so
 // checksums compare equal across machine configurations).
 func CheckedRun(m config.Machine, prog *program.Program, maxInsts, sumLimit int64) (*core.Result, Summary, error) {
+	return CheckedRunContext(context.Background(), m, prog, maxInsts, sumLimit)
+}
+
+// CheckedRunContext is CheckedRun honouring ctx cancellation: the
+// simulation stops with a typed cancellation error within one poll window
+// of ctx expiring.
+func CheckedRunContext(ctx context.Context, m config.Machine, prog *program.Program, maxInsts, sumLimit int64) (*core.Result, Summary, error) {
 	c, err := core.New(m, prog)
 	if err != nil {
 		return nil, Summary{}, err
 	}
 	k := New(prog, m.IQEntries, sumLimit)
 	c.SetHooks(k)
-	res, err := c.Run(maxInsts)
+	res, err := c.RunContext(ctx, maxInsts)
 	if err != nil {
 		return nil, Summary{}, err
 	}

@@ -143,6 +143,16 @@ type Machine struct {
 	// (Table 1: at least 14 cycles).
 	MinBranchPenalty int
 
+	// WatchdogCycles is the forward-progress watchdog window: if no
+	// instruction commits for this many consecutive cycles, the run
+	// aborts with a typed deadlock error and a pipeline state dump.
+	// 0 means DefaultWatchdogCycles; negative disables the watchdog.
+	WatchdogCycles int
+	// ReplayStormLimit is the per-entry scheduling-replay count above
+	// which the scheduler reports a livelock (0 = the scheduler's
+	// built-in default of 10000).
+	ReplayStormLimit int
+
 	Sched SchedModel
 	MOP   MOPConfig
 
@@ -217,7 +227,35 @@ func (m Machine) Validate() error {
 			return fmt.Errorf("config: %w", err)
 		}
 	}
+	if err := m.Branch.Validate(); err != nil {
+		return fmt.Errorf("config: %w", err)
+	}
 	return nil
+}
+
+// DefaultWatchdogCycles is the no-commit window used when WatchdogCycles
+// is zero. The longest legitimate commit gap is one full-ROB drain of
+// serialized memory-latency misses (≈128 × ~110 cycles); the default
+// keeps comfortably above it.
+const DefaultWatchdogCycles = 50_000
+
+// EffectiveWatchdog resolves the watchdog window: the configured value,
+// the default when 0, or 0 (disabled) when negative.
+func (m Machine) EffectiveWatchdog() int64 {
+	switch {
+	case m.WatchdogCycles < 0:
+		return 0
+	case m.WatchdogCycles == 0:
+		return DefaultWatchdogCycles
+	}
+	return int64(m.WatchdogCycles)
+}
+
+// WithWatchdog returns a copy with the given watchdog window
+// (0 = default, negative = disabled).
+func (m Machine) WithWatchdog(cycles int) Machine {
+	m.WatchdogCycles = cycles
+	return m
 }
 
 // FUCount returns the number of functional units of the given class.

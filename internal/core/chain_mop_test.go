@@ -6,6 +6,7 @@ import (
 	"macroop/internal/config"
 	"macroop/internal/isa"
 	"macroop/internal/workload"
+	"macroop/internal/workload/workloadtest"
 )
 
 // TestChainedMOPSerialChain checks the future-work extension: with
@@ -46,7 +47,7 @@ func TestChainedMOPSerialChain(t *testing.T) {
 // reduction.
 func TestChainedMOPOnBenchmark(t *testing.T) {
 	prof, _ := workload.ByName("gap")
-	prog := workload.MustGenerate(prof)
+	prog := workloadtest.Generate(t, prof)
 	var prevRed float64
 	for _, size := range []int{2, 3, 4} {
 		mc := config.DefaultMOP()

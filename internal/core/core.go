@@ -1,8 +1,11 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
+	"runtime/debug"
+	"strings"
 
 	"macroop/internal/branch"
 	"macroop/internal/cache"
@@ -12,6 +15,7 @@ import (
 	"macroop/internal/mop"
 	"macroop/internal/program"
 	"macroop/internal/sched"
+	"macroop/internal/simerr"
 )
 
 const ringSize = 256 // recently fetched uops kept for MOP formation checks
@@ -56,6 +60,7 @@ type Core struct {
 	tracer  Tracer
 	hooks   Hooks
 	hookErr error
+	srcErr  error // instruction-source fault (malformed stream, I/O error)
 
 	res Result
 }
@@ -79,12 +84,20 @@ func NewFromSource(cfg config.Machine, name string, src functional.Source) (*Cor
 	for c := range fu {
 		fu[c] = cfg.FUCount(c)
 	}
+	pred, err := branch.New(cfg.Branch)
+	if err != nil {
+		return nil, err
+	}
+	mem, err := cache.NewHierarchy(cfg.Mem)
+	if err != nil {
+		return nil, err
+	}
 	c := &Core{
 		cfg:  cfg,
 		name: name,
 		src:  src,
-		pred: branch.New(cfg.Branch),
-		mem:  cache.NewHierarchy(cfg.Mem),
+		pred: pred,
+		mem:  mem,
 		rob:  make([]*uop, cfg.ROBEntries),
 	}
 	c.sch = sched.New(sched.Config{
@@ -93,6 +106,7 @@ func NewFromSource(cfg config.Machine, name string, src functional.Source) (*Cor
 		IQEntries:     cfg.IQEntries,
 		FU:            fu,
 		ReplayPenalty: cfg.ReplayPenalty,
+		ReplayLimit:   cfg.ReplayStormLimit,
 	})
 	if cfg.Sched == config.SchedMOP {
 		c.ptab = mop.NewPointerTable()
@@ -103,29 +117,147 @@ func NewFromSource(cfg config.Machine, name string, src functional.Source) (*Cor
 }
 
 // Run simulates until maxInsts instructions commit (or the program ends)
-// and returns the results. maxCycles bounds runaway simulations (0 means
-// 1000x maxInsts).
+// and returns the results.
 func (c *Core) Run(maxInsts int64) (*Result, error) {
+	return c.RunContext(context.Background(), maxInsts)
+}
+
+// ctxPollCycles is how often RunContext polls the context for
+// cancellation. 1024 cycles keeps the check off the per-cycle hot path
+// while bounding the response latency to well under a millisecond of
+// wall time.
+const ctxPollCycles = 1024
+
+// RunContext simulates until maxInsts instructions commit, the program
+// ends, ctx is cancelled, or the machine stops making forward progress.
+//
+// Every abnormal outcome is a typed error from internal/simerr:
+//
+//   - ErrCancelled when ctx is cancelled (checked every ctxPollCycles);
+//   - ErrDeadlock when no instruction commits within the watchdog window
+//     (config.Machine.WatchdogCycles), with a pipeline state dump;
+//   - ErrLivelock when a scheduler entry exceeds the replay-storm limit;
+//   - ErrCheckFailed when an attached verification hook rejects a commit;
+//   - ErrInternal for residual panics, recovered here so a simulator bug
+//     in one run cannot take down the whole process.
+func (c *Core) RunContext(ctx context.Context, maxInsts int64) (res *Result, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			if ie, ok := r.(*simerr.InternalError); ok {
+				// Typed panic from a subsystem: keep its context if set,
+				// fill ours in where missing.
+				if ie.Ctx == (simerr.Context{}) {
+					ie.Ctx = c.errCtx()
+				} else {
+					c.fillCtx(&ie.Ctx)
+				}
+				res, err = nil, ie
+				return
+			}
+			res, err = nil, simerr.Internal(c.errCtx(), r, string(debug.Stack()))
+		}
+	}()
 	maxCycles := maxInsts * 1000
 	if maxCycles <= 0 {
 		maxCycles = 1 << 40
 	}
+	watchdog := c.cfg.EffectiveWatchdog()
+	lastCommitCycle := c.cycle
+	lastCommitted := c.res.Committed
+	nextPoll := c.cycle + ctxPollCycles
 	for c.res.Committed < maxInsts {
 		if c.fetchDone && c.robCount == 0 && len(c.feQueue) == 0 {
 			break // program ended and pipeline drained
 		}
 		c.step()
+		if c.srcErr != nil {
+			return nil, c.srcErr
+		}
 		if c.hookErr != nil {
 			return nil, c.hookErr
 		}
+		if serr := c.sch.Err(); serr != nil {
+			if e, ok := serr.(*simerr.Error); ok {
+				c.fillCtx(&e.Ctx)
+			}
+			return nil, serr
+		}
+		if c.res.Committed > lastCommitted {
+			lastCommitted = c.res.Committed
+			lastCommitCycle = c.cycle
+		} else if watchdog > 0 && c.cycle-lastCommitCycle > watchdog {
+			return nil, simerr.Deadlock(c.errCtx(), c.stateDump(),
+				"no commit for %d cycles (watchdog window %d)",
+				c.cycle-lastCommitCycle, watchdog)
+		}
+		if c.cycle >= nextPoll {
+			nextPoll = c.cycle + ctxPollCycles
+			if cerr := ctx.Err(); cerr != nil {
+				return nil, simerr.Cancelled(c.errCtx(), cerr)
+			}
+		}
 		if c.cycle > maxCycles {
-			return nil, fmt.Errorf("core: %s exceeded %d cycles for %d insts (deadlock?)",
-				c.name, maxCycles, maxInsts)
+			return nil, simerr.Deadlock(c.errCtx(), c.stateDump(),
+				"exceeded cycle budget %d for %d insts", maxCycles, maxInsts)
 		}
 	}
 	c.finishStats()
 	return &c.res, nil
 }
+
+// errCtx captures the machine's position for error reports.
+func (c *Core) errCtx() simerr.Context {
+	return simerr.Context{
+		Benchmark: c.name,
+		Sched:     c.cfg.Sched.String(),
+		Cycle:     c.cycle,
+		Committed: c.res.Committed,
+	}
+}
+
+// fillCtx completes an error context produced by a subsystem that only
+// knows the cycle (e.g. the scheduler) with the run's identity.
+func (c *Core) fillCtx(ctx *simerr.Context) {
+	if ctx.Benchmark == "" {
+		ctx.Benchmark = c.name
+	}
+	if ctx.Sched == "" {
+		ctx.Sched = c.cfg.Sched.String()
+	}
+	if ctx.Cycle == 0 {
+		ctx.Cycle = c.cycle
+	}
+	if ctx.Committed == 0 {
+		ctx.Committed = c.res.Committed
+	}
+}
+
+// stateDump renders the pipeline state for deadlock diagnostics: ROB and
+// issue-queue occupancy, the age of the stuck ROB head, replay counts,
+// and the oldest unissued scheduler entries.
+func (c *Core) stateDump() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "cycle %d: ROB %d/%d, IQ %d occupied, fetch buffer %d, fetchDone=%v\n",
+		c.cycle, c.robCount, c.cfg.ROBEntries, c.sch.Occupied(), len(c.feQueue), c.fetchDone)
+	st := c.sch.Stats()
+	fmt.Fprintf(&b, "sched: %d grants, %d replays\n", st.Grants, st.Replays)
+	if c.robCount > 0 {
+		u := c.rob[c.robHead]
+		fmt.Fprintf(&b, "ROB head: seq %d pc %d op %v, fetched cycle %d (age %d)",
+			u.streamIdx, u.d.PC, u.d.Inst.Op, u.fetchCycle, c.cycle-u.fetchCycle)
+		if u.entry != nil {
+			fmt.Fprintf(&b, ", entry %d final=%v", u.entry.ID(), u.entry.Final())
+		}
+		b.WriteByte('\n')
+	}
+	b.WriteString(c.sch.DumpActive(8))
+	return b.String()
+}
+
+// Scheduler exposes the core's scheduler for diagnostic and
+// fault-injection use (internal/fault). Mutating it mid-run changes
+// simulated timing.
+func (c *Core) Scheduler() *sched.Scheduler { return c.sch }
 
 // step advances one clock cycle.
 func (c *Core) step() {
@@ -298,7 +430,13 @@ func (c *Core) peekDyn() *functional.DynInst {
 		if errors.Is(err, functional.ErrHalted) {
 			return nil
 		}
-		panic(fmt.Sprintf("core: instruction source fault in %s: %v", c.name, err))
+		if c.srcErr == nil {
+			e := simerr.New(simerr.KindInternal, c.errCtx(),
+				"instruction source fault at stream index %d: %v", c.nextStreamIdx, err)
+			e.Err = err
+			c.srcErr = e
+		}
+		return nil
 	}
 	c.pendingDyn = &d
 	return c.pendingDyn
@@ -314,7 +452,11 @@ func (c *Core) takeDyn() *uop {
 	if d.Inst.Op == isa.STA {
 		std := c.peekDyn()
 		if std == nil || std.Inst.Op != isa.STD {
-			panic("core: STA without STD in stream")
+			if c.srcErr == nil {
+				c.srcErr = simerr.New(simerr.KindInternal, c.errCtx(),
+					"STA at pc %d (stream index %d) not followed by STD", d.PC, u.streamIdx)
+			}
+			return u
 		}
 		u.dataReg = std.Inst.Src1
 		c.pendingDyn = nil

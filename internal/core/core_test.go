@@ -7,6 +7,7 @@ import (
 	"macroop/internal/isa"
 	"macroop/internal/program"
 	"macroop/internal/workload"
+	"macroop/internal/workload/workloadtest"
 )
 
 // loopProgram builds a loop whose body is produced by fill, running
@@ -39,7 +40,7 @@ func runProg(t *testing.T, m config.Machine, p *program.Program, n int64) *Resul
 
 func TestDeterminism(t *testing.T) {
 	prof, _ := workload.ByName("gzip")
-	prog := workload.MustGenerate(prof)
+	prog := workloadtest.Generate(t, prof)
 	m := config.Default().WithMOP(config.DefaultMOP())
 	a := runProg(t, m, prog, 50000)
 	b := runProg(t, m, prog, 50000)
@@ -243,7 +244,7 @@ func TestAllModelsAllBenchmarksSmall(t *testing.T) {
 		config.SchedSelectFreeSquashDep, config.SchedSelectFreeScoreboard,
 	}
 	for _, prof := range workload.Profiles() {
-		prog := workload.MustGenerate(prof)
+		prog := workloadtest.Generate(t, prof)
 		var baseIPC float64
 		for _, m := range models {
 			res := runProg(t, config.Default().WithSched(m), prog, 8000)
@@ -268,7 +269,7 @@ func TestAllModelsAllBenchmarksSmall(t *testing.T) {
 
 func TestIQSmallerIsSlower(t *testing.T) {
 	prof, _ := workload.ByName("gap")
-	prog := workload.MustGenerate(prof)
+	prog := workloadtest.Generate(t, prof)
 	small := runProg(t, config.Default().WithIQ(8), prog, 40000)
 	big := runProg(t, config.Default().WithIQ(64), prog, 40000)
 	if small.IPC >= big.IPC {
@@ -281,7 +282,7 @@ func TestMOPEffectiveWindow(t *testing.T) {
 	// (two instructions per entry = bigger effective window), the paper's
 	// Figure 15 headline.
 	prof, _ := workload.ByName("gap")
-	prog := workload.MustGenerate(prof)
+	prog := workloadtest.Generate(t, prof)
 	base := runProg(t, config.Default().WithIQ(12).WithSched(config.SchedBase), prog, 60000)
 	mop := runProg(t, config.Default().WithIQ(12).WithMOP(config.DefaultMOP()), prog, 60000)
 	if mop.IPC <= base.IPC {
@@ -303,7 +304,7 @@ func TestProgramEndsDrainPipeline(t *testing.T) {
 
 func TestInvalidConfigRejected(t *testing.T) {
 	prof, _ := workload.ByName("gzip")
-	prog := workload.MustGenerate(prof)
+	prog := workloadtest.Generate(t, prof)
 	m := config.Default()
 	m.Width = 0
 	if _, err := New(m, prog); err == nil {
@@ -313,7 +314,7 @@ func TestInvalidConfigRejected(t *testing.T) {
 
 func TestExtraFormationStagesCost(t *testing.T) {
 	prof, _ := workload.ByName("parser")
-	prog := workload.MustGenerate(prof)
+	prog := workloadtest.Generate(t, prof)
 	mk := func(stages int) float64 {
 		mc := config.DefaultMOP()
 		mc.ExtraFormationStages = stages

@@ -7,6 +7,7 @@ import (
 	"macroop/internal/config"
 	"macroop/internal/sched"
 	"macroop/internal/workload"
+	"macroop/internal/workload/workloadtest"
 )
 
 // TestBoundedRetention guards against dependence-graph memory leaks: after
@@ -15,7 +16,7 @@ import (
 // instruction count (regression test for the consumer-list accretion bug).
 func TestBoundedRetention(t *testing.T) {
 	p, _ := workload.ByName("bzip")
-	prog := workload.MustGenerate(p)
+	prog := workloadtest.Generate(t, p)
 	for _, m := range []config.Machine{
 		config.Default(),
 		config.Default().WithMOP(config.DefaultMOP()),
@@ -37,7 +38,7 @@ func TestBoundedRetention(t *testing.T) {
 // TestRetainedHeapBounded is the byte-level version of the same guard.
 func TestRetainedHeapBounded(t *testing.T) {
 	p, _ := workload.ByName("gzip")
-	prog := workload.MustGenerate(p)
+	prog := workloadtest.Generate(t, p)
 	c, _ := New(config.Default(), prog)
 	if _, err := c.Run(400000); err != nil {
 		t.Fatal(err)

@@ -5,9 +5,14 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"runtime"
+	"runtime/debug"
+	"sort"
+	"strings"
 	"sync"
+	"time"
 
 	"macroop/internal/checker"
 	"macroop/internal/config"
@@ -15,6 +20,7 @@ import (
 	"macroop/internal/functional"
 	"macroop/internal/mop"
 	"macroop/internal/program"
+	"macroop/internal/simerr"
 	"macroop/internal/stats"
 	"macroop/internal/workload"
 )
@@ -30,6 +36,10 @@ type Runner struct {
 	// to every simulation: any timing-core divergence from the functional
 	// model, or pipeline invariant violation, fails the run.
 	Check bool
+	// CellTimeout bounds each matrix cell's wall-clock time (0 = none).
+	// A cell that exceeds it fails with simerr.ErrCancelled instead of
+	// hanging the whole sweep.
+	CellTimeout time.Duration
 
 	mu    sync.Mutex
 	progs map[string]*progFuture
@@ -100,8 +110,75 @@ type job struct {
 	m     config.Machine
 }
 
-// RunMatrix simulates every benchmark under every named configuration,
-// in parallel, returning results[bench][cfgName].
+// CellError is one failed matrix cell: which benchmark under which
+// configuration, how many attempts were made, and the final typed error.
+type CellError struct {
+	Bench, Cfg string
+	Attempts   int
+	Err        error
+}
+
+// Error implements the error interface.
+func (e *CellError) Error() string {
+	return fmt.Sprintf("%s/%s (after %d attempt(s)): %v", e.Bench, e.Cfg, e.Attempts, e.Err)
+}
+
+// Unwrap exposes the underlying failure for errors.Is classification.
+func (e *CellError) Unwrap() error { return e.Err }
+
+// MatrixError aggregates every failed cell of a RunMatrix sweep. The
+// sweep's result map is still fully populated (failed cells hold
+// zero-valued placeholder results), so callers can render what succeeded
+// and report the rest.
+type MatrixError struct {
+	Cells []*CellError
+}
+
+// Error implements the error interface.
+func (e *MatrixError) Error() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "experiments: %d cell(s) failed:", len(e.Cells))
+	for _, c := range e.Cells {
+		b.WriteString("\n  ")
+		b.WriteString(c.Error())
+	}
+	return b.String()
+}
+
+// runCell executes one matrix cell with panic isolation: any panic that
+// escapes the cell (outside core.RunContext's own recover boundary)
+// becomes a typed *simerr.InternalError instead of killing the sweep.
+func (r *Runner) runCell(ctx context.Context, j job) (res *core.Result, err error) {
+	defer func() {
+		if rec := recover(); rec != nil {
+			res, err = nil, simerr.Internal(
+				simerr.Context{Benchmark: j.bench, Sched: j.m.Sched.String()},
+				rec, string(debug.Stack()))
+		}
+	}()
+	p, err := r.Program(j.bench)
+	if err != nil {
+		return nil, err
+	}
+	c, err := core.New(j.m, p)
+	if err != nil {
+		return nil, err
+	}
+	if r.Check {
+		c.SetHooks(checker.New(p, j.m.IQEntries, r.MaxInsts))
+	}
+	return c.RunContext(ctx, r.MaxInsts)
+}
+
+// RunMatrix simulates every benchmark under every named configuration in
+// parallel, returning results[bench][cfgName].
+//
+// The sweep is resilient: each cell gets its own timeout (CellTimeout),
+// panics are isolated to their cell, and a failed cell is retried once
+// before being recorded. If any cells still fail, the returned map is
+// nevertheless complete — failed cells hold placeholder results with only
+// the benchmark name set — and the error is a *MatrixError listing every
+// failure, so callers can render partial tables and report the rest.
 func (r *Runner) RunMatrix(cfgs map[string]config.Machine) (map[string]map[string]*core.Result, error) {
 	var jobs []job
 	for _, b := range r.benchmarks() {
@@ -115,7 +192,7 @@ func (r *Runner) RunMatrix(cfgs map[string]config.Machine) (map[string]map[strin
 	}
 
 	var mu sync.Mutex
-	var firstErr error
+	var failed []*CellError
 	var wg sync.WaitGroup
 	sem := make(chan struct{}, runtime.NumCPU())
 	for _, j := range jobs {
@@ -124,23 +201,52 @@ func (r *Runner) RunMatrix(cfgs map[string]config.Machine) (map[string]map[strin
 			defer wg.Done()
 			sem <- struct{}{}
 			defer func() { <-sem }()
-			res, err := r.Run(j.bench, j.m)
+			res, attempts, err := r.runCellWithRetry(j)
 			mu.Lock()
 			defer mu.Unlock()
 			if err != nil {
-				if firstErr == nil {
-					firstErr = fmt.Errorf("%s/%s: %w", j.bench, j.cfg, err)
-				}
-				return
+				failed = append(failed, &CellError{Bench: j.bench, Cfg: j.cfg, Attempts: attempts, Err: err})
+				res = &core.Result{Benchmark: j.bench} // placeholder: renders as zeros
 			}
 			results[j.bench][j.cfg] = res
 		}(j)
 	}
 	wg.Wait()
-	if firstErr != nil {
-		return nil, firstErr
+	if len(failed) > 0 {
+		sort.Slice(failed, func(i, k int) bool {
+			if failed[i].Bench != failed[k].Bench {
+				return failed[i].Bench < failed[k].Bench
+			}
+			return failed[i].Cfg < failed[k].Cfg
+		})
+		return results, &MatrixError{Cells: failed}
 	}
 	return results, nil
+}
+
+// runCellWithRetry runs a cell under the per-cell timeout, retrying once
+// on failure (simulations are deterministic, but a retry distinguishes a
+// timeout on a loaded machine from a real hang and double-checks any
+// internal fault before it is reported).
+func (r *Runner) runCellWithRetry(j job) (*core.Result, int, error) {
+	run := func() (*core.Result, error) {
+		ctx := context.Background()
+		if r.CellTimeout > 0 {
+			var cancel context.CancelFunc
+			ctx, cancel = context.WithTimeout(ctx, r.CellTimeout)
+			defer cancel()
+		}
+		return r.runCell(ctx, j)
+	}
+	res, err := run()
+	if err == nil {
+		return res, 1, nil
+	}
+	res, err2 := run()
+	if err2 == nil {
+		return res, 2, nil
+	}
+	return nil, 2, err2
 }
 
 // characterize streams maxInsts committed instructions of a benchmark
@@ -192,7 +298,7 @@ func (r *Runner) Table2() (*stats.Table, error) {
 		"iq32":  config.Default().WithSched(config.SchedBase),
 		"unres": config.Unrestricted().WithSched(config.SchedBase),
 	})
-	if err != nil {
+	if res == nil {
 		return nil, err
 	}
 	t := stats.NewTable("Table 2: benchmarks and base IPC",
@@ -200,7 +306,7 @@ func (r *Runner) Table2() (*stats.Table, error) {
 	for _, b := range r.benchmarks() {
 		t.AddRow(b, res[b]["iq32"].Committed, res[b]["iq32"].IPC, res[b]["unres"].IPC)
 	}
-	return t, nil
+	return t, err
 }
 
 // ---------------------------------------------------------------------
@@ -278,7 +384,7 @@ func (r *Runner) Figure13() (*stats.Table, error) {
 		"2-src":    mopMachine(config.WakeupCAM2Src, 32, 1),
 		"wired-OR": mopMachine(config.WakeupWiredOR, 32, 1),
 	})
-	if err != nil {
+	if res == nil {
 		return nil, err
 	}
 	t := stats.NewTable("Figure 13: grouped instructions in macro-op scheduling (% of committed instructions)",
@@ -295,7 +401,7 @@ func (r *Runner) Figure13() (*stats.Table, error) {
 				100*x.InsertReduction())
 		}
 	}
-	return t, nil
+	return t, err
 }
 
 // ---------------------------------------------------------------------
@@ -311,7 +417,7 @@ func (r *Runner) Figure14() (*stats.Table, error) {
 		"MOP-2src":    mopMachine(config.WakeupCAM2Src, 0, 0),
 		"MOP-wiredOR": mopMachine(config.WakeupWiredOR, 0, 0),
 	})
-	if err != nil {
+	if res == nil {
 		return nil, err
 	}
 	t := stats.NewTable("Figure 14: vanilla macro-op scheduling (unrestricted IQ / 128 ROB, no extra stage), IPC normalized to base",
@@ -323,7 +429,7 @@ func (r *Runner) Figure14() (*stats.Table, error) {
 			norm(res[b]["MOP-2src"].IPC, base),
 			norm(res[b]["MOP-wiredOR"].IPC, base))
 	}
-	return t, nil
+	return t, err
 }
 
 // ---------------------------------------------------------------------
@@ -342,7 +448,7 @@ func (r *Runner) Figure15() (*stats.Table, error) {
 		}
 	}
 	res, err := r.RunMatrix(cfgs)
-	if err != nil {
+	if res == nil {
 		return nil, err
 	}
 	t := stats.NewTable("Figure 15: macro-op scheduling under issue queue contention (32-entry IQ / 128 ROB), IPC normalized to base",
@@ -360,7 +466,7 @@ func (r *Runner) Figure15() (*stats.Table, error) {
 			norm(res[b]["MOP-wired-OR+1"].IPC, base),
 			norm(res[b]["MOP-wired-OR+2"].IPC, base))
 	}
-	return t, nil
+	return t, err
 }
 
 // ---------------------------------------------------------------------
@@ -375,7 +481,7 @@ func (r *Runner) Figure16() (*stats.Table, error) {
 		"scoreboard":  config.Default().WithSched(config.SchedSelectFreeScoreboard),
 		"MOP-wiredOR": mopMachine(config.WakeupWiredOR, 32, 1),
 	})
-	if err != nil {
+	if res == nil {
 		return nil, err
 	}
 	t := stats.NewTable("Figure 16: pipelined scheduling logic comparison (32-entry IQ), IPC normalized to base",
@@ -387,7 +493,7 @@ func (r *Runner) Figure16() (*stats.Table, error) {
 			norm(res[b]["scoreboard"].IPC, base),
 			norm(res[b]["MOP-wiredOR"].IPC, base))
 	}
-	return t, nil
+	return t, err
 }
 
 // ---------------------------------------------------------------------
@@ -401,16 +507,16 @@ func (r *Runner) DetectionDelay() (*stats.Table, error) {
 	slow := fast
 	slow.MOP.DetectionDelay = 100
 	res, err := r.RunMatrix(map[string]config.Machine{"delay3": fast, "delay100": slow})
-	if err != nil {
+	if res == nil {
 		return nil, err
 	}
 	t := stats.NewTable("Ablation: MOP detection delay 3 vs 100 cycles (MOP-wiredOR, 32-entry IQ)",
 		"benchmark", "IPC (3-cycle)", "IPC (100-cycle)", "slowdown%")
 	for _, b := range r.benchmarks() {
 		f, s := res[b]["delay3"].IPC, res[b]["delay100"].IPC
-		t.AddRow(b, f, s, 100*(1-s/f))
+		t.AddRow(b, f, s, 100*(1-norm(s, f)))
 	}
-	return t, nil
+	return t, err
 }
 
 // LastArriving reproduces Section 5.4.2's filter: deleting MOP pointers
@@ -420,16 +526,16 @@ func (r *Runner) LastArriving() (*stats.Table, error) {
 	off := on
 	off.MOP.LastArrivingFilter = false
 	res, err := r.RunMatrix(map[string]config.Machine{"filter-on": on, "filter-off": off})
-	if err != nil {
+	if res == nil {
 		return nil, err
 	}
 	t := stats.NewTable("Ablation: last-arriving-operand filter (MOP-2src, 32-entry IQ)",
 		"benchmark", "IPC (on)", "IPC (off)", "gain%", "pointer-deletes")
 	for _, b := range r.benchmarks() {
 		onR, offR := res[b]["filter-on"], res[b]["filter-off"]
-		t.AddRow(b, onR.IPC, offR.IPC, 100*(onR.IPC/offR.IPC-1), onR.FilterDeletes)
+		t.AddRow(b, onR.IPC, offR.IPC, gainPct(onR.IPC, offR.IPC), onR.FilterDeletes)
 	}
-	return t, nil
+	return t, err
 }
 
 // IndependentMOPs reproduces Section 5.4.1: grouping independent pairs
@@ -439,17 +545,17 @@ func (r *Runner) IndependentMOPs() (*stats.Table, error) {
 	off := on
 	off.MOP.GroupIndependent = false
 	res, err := r.RunMatrix(map[string]config.Machine{"indep-on": on, "indep-off": off})
-	if err != nil {
+	if res == nil {
 		return nil, err
 	}
 	t := stats.NewTable("Ablation: independent MOPs on/off (MOP-wiredOR, 32-entry IQ)",
 		"benchmark", "IPC (on)", "IPC (off)", "gain%", "grouped% (on)", "grouped% (off)")
 	for _, b := range r.benchmarks() {
 		onR, offR := res[b]["indep-on"], res[b]["indep-off"]
-		t.AddRow(b, onR.IPC, offR.IPC, 100*(onR.IPC/offR.IPC-1),
+		t.AddRow(b, onR.IPC, offR.IPC, gainPct(onR.IPC, offR.IPC),
 			100*onR.GroupedFrac(), 100*offR.GroupedFrac())
 	}
-	return t, nil
+	return t, err
 }
 
 func norm(x, base float64) float64 {
@@ -457,4 +563,11 @@ func norm(x, base float64) float64 {
 		return 0
 	}
 	return x / base
+}
+
+func gainPct(x, base float64) float64 {
+	if base == 0 {
+		return 0
+	}
+	return 100 * (x/base - 1)
 }

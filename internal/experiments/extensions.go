@@ -22,7 +22,7 @@ func (r *Runner) MOPSize() (*stats.Table, error) {
 		cfgs[fmt.Sprintf("mop%d", size)] = config.Default().WithMOP(mc)
 	}
 	res, err := r.RunMatrix(cfgs)
-	if err != nil {
+	if res == nil {
 		return nil, err
 	}
 	t := stats.NewTable("Extension: chained MOP size (wired-OR, 32-entry IQ), IPC normalized to base",
@@ -38,7 +38,7 @@ func (r *Runner) MOPSize() (*stats.Table, error) {
 			100*res[b]["mop3"].InsertReduction(),
 			100*res[b]["mop4"].InsertReduction())
 	}
-	return t, nil
+	return t, err
 }
 
 // HeuristicCoverage quantifies Section 5.1.1's claim that the
@@ -96,7 +96,7 @@ func (r *Runner) QueueSweep(bench string) (*stats.Table, error) {
 	r.Benchmarks = []string{bench}
 	res, err := r.RunMatrix(cfgs)
 	r.Benchmarks = saved
-	if err != nil {
+	if res == nil {
 		return nil, err
 	}
 	t := stats.NewTable(fmt.Sprintf("Extension: issue queue sweep on %s (IPC)", bench),
@@ -106,7 +106,7 @@ func (r *Runner) QueueSweep(bench string) (*stats.Table, error) {
 		m := res[bench][fmt.Sprintf("mop%d", iq)].IPC
 		t.AddRow(iq, b, res[bench][fmt.Sprintf("2cyc%d", iq)].IPC, m, norm(m, b))
 	}
-	return t, nil
+	return t, err
 }
 
 // WidthSweep varies the machine width (with proportionally scaled
@@ -137,7 +137,7 @@ func (r *Runner) WidthSweep(bench string) (*stats.Table, error) {
 	r.Benchmarks = []string{bench}
 	res, err := r.RunMatrix(cfgs)
 	r.Benchmarks = saved
-	if err != nil {
+	if res == nil {
 		return nil, err
 	}
 	t := stats.NewTable(fmt.Sprintf("Extension: machine width sweep on %s (IPC, normalized in parentheses-free columns)", bench),
@@ -148,7 +148,7 @@ func (r *Runner) WidthSweep(bench string) (*stats.Table, error) {
 		m := res[bench][fmt.Sprintf("mop%d", w)].IPC
 		t.AddRow(w, b, c2, m, norm(c2, b), norm(m, b))
 	}
-	return t, nil
+	return t, err
 }
 
 func max(a, b int) int {

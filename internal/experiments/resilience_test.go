@@ -1,0 +1,68 @@
+package experiments
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"macroop/internal/config"
+	"macroop/internal/simerr"
+)
+
+// TestRunMatrixPartialResults: a sweep with one broken benchmark still
+// returns a fully populated result map (placeholder for the failed cell)
+// plus a MatrixError naming exactly the failed cells.
+func TestRunMatrixPartialResults(t *testing.T) {
+	r := NewRunner(2000)
+	r.Benchmarks = []string{"gzip", "no-such-bench"}
+	res, err := r.RunMatrix(map[string]config.Machine{
+		"base": config.Default().WithSched(config.SchedBase),
+	})
+	var me *MatrixError
+	if !errors.As(err, &me) {
+		t.Fatalf("want *MatrixError, got %v", err)
+	}
+	if len(me.Cells) != 1 {
+		t.Fatalf("want 1 failed cell, got %d: %v", len(me.Cells), me)
+	}
+	c := me.Cells[0]
+	if c.Bench != "no-such-bench" || c.Cfg != "base" || c.Attempts != 2 {
+		t.Errorf("failed cell = %+v, want no-such-bench/base after 2 attempts", c)
+	}
+	// The healthy cell ran; the broken cell holds a non-nil placeholder.
+	if got := res["gzip"]["base"]; got == nil || got.Committed == 0 {
+		t.Errorf("healthy cell missing or empty: %+v", got)
+	}
+	if got := res["no-such-bench"]["base"]; got == nil || got.Committed != 0 {
+		t.Errorf("failed cell should hold a zero placeholder, got %+v", got)
+	}
+	// Tables over the same runner render the healthy rows and surface the
+	// failures instead of aborting.
+	tab, terr := r.Table2()
+	if tab == nil {
+		t.Fatalf("Table2 returned no table: %v", terr)
+	}
+	if !errors.As(terr, &me) {
+		t.Errorf("Table2 error = %v, want *MatrixError", terr)
+	}
+}
+
+// TestRunMatrixCellTimeout: a microscopic per-cell budget cancels every
+// cell with a typed cancellation error rather than hanging or crashing.
+func TestRunMatrixCellTimeout(t *testing.T) {
+	r := NewRunner(200_000)
+	r.Benchmarks = []string{"gzip"}
+	r.CellTimeout = time.Microsecond
+	_, err := r.RunMatrix(map[string]config.Machine{
+		"base": config.Default().WithSched(config.SchedBase),
+	})
+	var me *MatrixError
+	if !errors.As(err, &me) {
+		t.Fatalf("want *MatrixError, got %v", err)
+	}
+	for _, c := range me.Cells {
+		if !errors.Is(c.Err, simerr.ErrCancelled) {
+			t.Errorf("cell %s/%s failed with %v, want ErrCancelled", c.Bench, c.Cfg, c.Err)
+		}
+	}
+}

@@ -1,0 +1,176 @@
+package fault
+
+import (
+	"fmt"
+	"strings"
+
+	"macroop/internal/checker"
+	"macroop/internal/config"
+	"macroop/internal/core"
+	"macroop/internal/program"
+	"macroop/internal/simerr"
+	"macroop/internal/workload"
+)
+
+// CampaignConfig parameterizes a fault-injection campaign: the cross
+// product of benchmarks, scheduler models and fault kinds, each run once
+// with a single injected fault.
+type CampaignConfig struct {
+	// Benchmarks are workload names (workload.ByName).
+	Benchmarks []string
+	// Scheds are the scheduler models to cover.
+	Scheds []config.SchedModel
+	// Faults are the kinds to inject (default: all).
+	Faults []Kind
+	// MaxInsts is the per-cell instruction budget.
+	MaxInsts int64
+	// TriggerCommits is how many commits pass cleanly before injection.
+	TriggerCommits int64
+	// WatchdogCycles is the forward-progress window for each cell; keep it
+	// small (a few thousand cycles) so starvation faults are flagged fast.
+	WatchdogCycles int
+}
+
+// DefaultCampaign returns the configuration the repository's own
+// verification uses: three benchmarks with distinct memory behaviour
+// (ALU-heavy gzip, pointer-chasing mcf, branchy twolf), all five
+// scheduler models, all fault kinds, a 20k-instruction budget and a
+// 3000-cycle watchdog.
+func DefaultCampaign() CampaignConfig {
+	return CampaignConfig{
+		Benchmarks: []string{"gzip", "mcf", "twolf"},
+		Scheds: []config.SchedModel{
+			config.SchedBase,
+			config.SchedTwoCycle,
+			config.SchedMOP,
+			config.SchedSelectFreeSquashDep,
+			config.SchedSelectFreeScoreboard,
+		},
+		Faults:         Kinds(),
+		MaxInsts:       20_000,
+		TriggerCommits: 500,
+		WatchdogCycles: 3000,
+	}
+}
+
+// Outcome is one campaign cell's result.
+type Outcome struct {
+	Bench string
+	Sched config.SchedModel
+	Fault Kind
+	// Fired is whether the fault was actually injected (a LostReplay cell
+	// with no replay after the trigger, for instance, never fires).
+	Fired bool
+	// Detected is whether the run surfaced a typed error.
+	Detected bool
+	// DetectedBy classifies the detector when Detected (KindCheckFailed =
+	// lockstep checker, KindDeadlock/KindLivelock = watchdog/scheduler).
+	DetectedBy simerr.Kind
+	Err        error
+}
+
+func (o Outcome) String() string {
+	state := "UNDETECTED"
+	switch {
+	case !o.Fired:
+		state = "not-fired"
+	case o.Detected:
+		state = "detected by " + o.DetectedBy.String()
+	}
+	return fmt.Sprintf("%-8s %-24s %-20s %s", o.Bench, o.Sched, o.Fault, state)
+}
+
+// CampaignResult aggregates a campaign's outcomes.
+type CampaignResult struct {
+	Outcomes []Outcome
+}
+
+// Escapes returns the cells where a fault fired and was NOT detected —
+// the verification layer's misses. An empty slice is the pass condition.
+func (r *CampaignResult) Escapes() []Outcome {
+	var out []Outcome
+	for _, o := range r.Outcomes {
+		if o.Fired && !o.Detected {
+			out = append(out, o)
+		}
+	}
+	return out
+}
+
+// Unfired returns the cells whose fault never injected (inconclusive).
+func (r *CampaignResult) Unfired() []Outcome {
+	var out []Outcome
+	for _, o := range r.Outcomes {
+		if !o.Fired {
+			out = append(out, o)
+		}
+	}
+	return out
+}
+
+// String renders the per-cell table plus a summary line.
+func (r *CampaignResult) String() string {
+	var b strings.Builder
+	for _, o := range r.Outcomes {
+		b.WriteString(o.String())
+		b.WriteByte('\n')
+	}
+	fmt.Fprintf(&b, "%d cells: %d detected, %d escaped, %d not fired\n",
+		len(r.Outcomes), len(r.Outcomes)-len(r.Escapes())-len(r.Unfired()),
+		len(r.Escapes()), len(r.Unfired()))
+	return b.String()
+}
+
+// RunCampaign executes the full cross product. The returned error covers
+// only campaign setup (unknown benchmark, generation failure); detection
+// misses are data, reported in the result for the caller to assert on.
+func RunCampaign(cfg CampaignConfig) (*CampaignResult, error) {
+	if len(cfg.Faults) == 0 {
+		cfg.Faults = Kinds()
+	}
+	progs := make(map[string]*program.Program, len(cfg.Benchmarks))
+	for _, name := range cfg.Benchmarks {
+		prof, err := workload.ByName(name)
+		if err != nil {
+			return nil, err
+		}
+		prog, err := workload.Generate(prof)
+		if err != nil {
+			return nil, err
+		}
+		progs[name] = prog
+	}
+	res := &CampaignResult{}
+	for _, bench := range cfg.Benchmarks {
+		for _, sm := range cfg.Scheds {
+			for _, fk := range cfg.Faults {
+				o := runCell(cfg, progs[bench], bench, sm, fk)
+				res.Outcomes = append(res.Outcomes, o)
+			}
+		}
+	}
+	return res, nil
+}
+
+// runCell runs one benchmark × scheduler × fault combination with the
+// production checker attached behind the injector.
+func runCell(cfg CampaignConfig, prog *program.Program, bench string, sm config.SchedModel, fk Kind) Outcome {
+	o := Outcome{Bench: bench, Sched: sm, Fault: fk}
+	m := config.Default().WithSched(sm).WithWatchdog(cfg.WatchdogCycles)
+	c, err := core.New(m, prog)
+	if err != nil {
+		o.Err = err
+		return o
+	}
+	chk := checker.New(prog, m.IQEntries, cfg.MaxInsts)
+	inj := NewInjector(fk, chk, c.Scheduler(), cfg.TriggerCommits, sm == config.SchedMOP)
+	c.SetHooks(inj)
+	_, err = c.Run(cfg.MaxInsts)
+	o.Fired = inj.Fired()
+	o.Err = err
+	if err != nil {
+		o.Detected = true
+		o.DetectedBy, _ = simerr.KindOf(err)
+	}
+	return o
+}

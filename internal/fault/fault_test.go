@@ -1,0 +1,184 @@
+package fault
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"macroop/internal/checker"
+	"macroop/internal/config"
+	"macroop/internal/core"
+	"macroop/internal/simerr"
+	"macroop/internal/workload"
+	"macroop/internal/workload/workloadtest"
+)
+
+func TestKindStringsRoundTrip(t *testing.T) {
+	for _, k := range Kinds() {
+		got, err := ParseKind(k.String())
+		if err != nil || got != k {
+			t.Errorf("ParseKind(%q) = %v, %v", k.String(), got, err)
+		}
+	}
+	if _, err := ParseKind("no-such-fault"); err == nil {
+		t.Error("unknown fault name accepted")
+	}
+}
+
+func TestMachineSurfaceClassification(t *testing.T) {
+	want := map[Kind]bool{
+		DroppedWakeup:    true,
+		LostReplay:       true,
+		CorruptedDestTag: false,
+		SwappedMOPPair:   false,
+		PrematureCommit:  false,
+		SkippedCommit:    false,
+	}
+	for k, w := range want {
+		if k.MachineSurface() != w {
+			t.Errorf("%v.MachineSurface() = %v, want %v", k, !w, w)
+		}
+	}
+}
+
+// runOneCell injects one fault into one benchmark/scheduler run and
+// returns the run error and whether the fault fired.
+func runOneCell(t *testing.T, bench string, sm config.SchedModel, fk Kind) (error, bool) {
+	t.Helper()
+	prog := workloadtest.ByName(t, bench)
+	m := config.Default().WithSched(sm).WithWatchdog(3000)
+	c, err := core.New(m, prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	chk := checker.New(prog, m.IQEntries, 20_000)
+	inj := NewInjector(fk, chk, c.Scheduler(), 500, sm == config.SchedMOP)
+	c.SetHooks(inj)
+	_, err = c.Run(20_000)
+	return err, inj.Fired()
+}
+
+// TestFaultRouting verifies each fault kind lands on its designed
+// detector: machine faults on the watchdog, event faults on the checker.
+func TestFaultRouting(t *testing.T) {
+	cases := []struct {
+		fk       Kind
+		sentinel error
+	}{
+		{DroppedWakeup, simerr.ErrDeadlock},
+		{LostReplay, simerr.ErrDeadlock},
+		{CorruptedDestTag, simerr.ErrCheckFailed},
+		{SwappedMOPPair, simerr.ErrCheckFailed},
+		{PrematureCommit, simerr.ErrCheckFailed},
+		{SkippedCommit, simerr.ErrCheckFailed},
+	}
+	for _, c := range cases {
+		err, fired := runOneCell(t, "gzip", config.SchedMOP, c.fk)
+		if !fired {
+			t.Errorf("%v: fault never fired", c.fk)
+			continue
+		}
+		if !errors.Is(err, c.sentinel) {
+			t.Errorf("%v: error %v does not match expected detector %v", c.fk, err, c.sentinel)
+		}
+	}
+}
+
+// TestDeadlockDumpHasPipelineState: a starvation fault's deadlock error
+// must carry a usable diagnostic dump.
+func TestDeadlockDumpHasPipelineState(t *testing.T) {
+	err, fired := runOneCell(t, "gzip", config.SchedBase, DroppedWakeup)
+	if !fired || !errors.Is(err, simerr.ErrDeadlock) {
+		t.Fatalf("fired=%v err=%v", fired, err)
+	}
+	dump := simerr.DumpOf(err)
+	for _, want := range []string{"ROB", "IQ", "entry"} {
+		if !strings.Contains(dump, want) {
+			t.Errorf("deadlock dump missing %q:\n%s", want, dump)
+		}
+	}
+}
+
+// TestCleanRunStaysClean: the injector with a never-reached trigger must
+// be fully transparent — the checked run succeeds.
+func TestCleanRunStaysClean(t *testing.T) {
+	prog := workloadtest.ByName(t, "gzip")
+	m := config.Default()
+	c, err := core.New(m, prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	chk := checker.New(prog, m.IQEntries, 10_000)
+	inj := NewInjector(SkippedCommit, chk, c.Scheduler(), 1<<40, false)
+	c.SetHooks(inj)
+	if _, err := c.Run(10_000); err != nil {
+		t.Fatalf("transparent injector broke a clean run: %v", err)
+	}
+	if inj.Fired() {
+		t.Error("fault fired below trigger")
+	}
+}
+
+// TestCampaignFullDetection is the headline guarantee of ISSUE 2: every
+// injected fault across ≥3 benchmarks × all 5 scheduler models × all 6
+// fault kinds is flagged by the checker or the watchdog as a typed
+// error — 100% detection, no escapes, no crashes.
+func TestCampaignFullDetection(t *testing.T) {
+	if testing.Short() {
+		t.Skip("campaign is 90 simulations")
+	}
+	cfg := DefaultCampaign()
+	if len(cfg.Benchmarks) < 3 || len(cfg.Scheds) != 5 || len(cfg.Faults) != 6 {
+		t.Fatalf("campaign shape too small: %+v", cfg)
+	}
+	res, err := RunCampaign(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := len(cfg.Benchmarks) * len(cfg.Scheds) * len(cfg.Faults); len(res.Outcomes) != n {
+		t.Fatalf("ran %d cells, want %d", len(res.Outcomes), n)
+	}
+	for _, o := range res.Unfired() {
+		t.Errorf("fault never fired: %s", o)
+	}
+	for _, o := range res.Escapes() {
+		t.Errorf("ESCAPE: %s (err=%v)", o, o.Err)
+	}
+	// Every outcome must be a typed simulation error, never a bare one.
+	for _, o := range res.Outcomes {
+		if o.Err == nil {
+			continue
+		}
+		if _, ok := simerr.KindOf(o.Err); !ok {
+			t.Errorf("%s: untyped error %v", o, o.Err)
+		}
+	}
+	// Machine faults must be caught by forward-progress machinery, event
+	// faults by the differential checker.
+	for _, o := range res.Outcomes {
+		if !o.Detected {
+			continue
+		}
+		if o.Fault.MachineSurface() {
+			if o.DetectedBy != simerr.KindDeadlock && o.DetectedBy != simerr.KindLivelock {
+				t.Errorf("%s: machine fault detected by %v", o, o.DetectedBy)
+			}
+		} else if o.DetectedBy != simerr.KindCheckFailed {
+			t.Errorf("%s: event fault detected by %v", o, o.DetectedBy)
+		}
+	}
+	t.Logf("campaign:\n%s", res)
+}
+
+// TestCampaignUnknownBenchmark: setup failures surface as errors, not
+// panics or empty results.
+func TestCampaignUnknownBenchmark(t *testing.T) {
+	cfg := DefaultCampaign()
+	cfg.Benchmarks = []string{"no-such-benchmark"}
+	if _, err := RunCampaign(cfg); err == nil {
+		t.Fatal("unknown benchmark accepted")
+	}
+	if _, err := workload.ByName("no-such-benchmark"); err == nil {
+		t.Fatal("workload.ByName inconsistent with campaign validation")
+	}
+}

@@ -6,6 +6,7 @@ import (
 	"macroop/internal/functional"
 	"macroop/internal/isa"
 	"macroop/internal/workload"
+	"macroop/internal/workload/workloadtest"
 )
 
 func TestGraphStatsSerialChain(t *testing.T) {
@@ -107,7 +108,7 @@ func streamBench(t *testing.T, name string, n int64, sink func(*functional.DynIn
 	if err != nil {
 		t.Fatal(err)
 	}
-	e := functional.NewExecutor(workload.MustGenerate(prof))
+	e := functional.NewExecutor(workloadtest.Generate(t, prof))
 	var d functional.DynInst
 	for i := int64(0); i < n; i++ {
 		if err := e.Step(&d); err != nil {

@@ -8,6 +8,8 @@
 // good statistical quality and a tiny, allocation-free implementation.
 package rng
 
+import "macroop/internal/simerr"
+
 // RNG is a deterministic xoshiro256** generator. The zero value is not
 // usable; construct with New.
 type RNG struct {
@@ -47,7 +49,7 @@ func (r *RNG) Uint64() uint64 {
 // Intn returns a uniform integer in [0, n). It panics if n <= 0.
 func (r *RNG) Intn(n int) int {
 	if n <= 0 {
-		panic("rng: Intn with non-positive n")
+		panic(simerr.Internalf(simerr.Context{}, "rng: Intn with non-positive n %d", n))
 	}
 	return int(r.Uint64() % uint64(n))
 }
@@ -85,7 +87,7 @@ func (r *RNG) Pick(weights []float64) int {
 		sum += w
 	}
 	if sum <= 0 {
-		panic("rng: Pick with non-positive weight sum")
+		panic(simerr.Internalf(simerr.Context{}, "rng: Pick with non-positive weight sum %v", sum))
 	}
 	x := r.Float64() * sum
 	for i, w := range weights {

@@ -28,9 +28,11 @@ package sched
 
 import (
 	"fmt"
+	"strings"
 
 	"macroop/internal/config"
 	"macroop/internal/isa"
+	"macroop/internal/simerr"
 )
 
 const never = int64(1) << 62
@@ -57,7 +59,17 @@ type Config struct {
 	// ScoreboardDelay is the latency from an invalid select-free issue to
 	// its detection by the register-file scoreboard.
 	ScoreboardDelay int
+	// ReplayLimit is the per-entry replay count above which the scheduler
+	// declares a livelock (replay storm) through Err instead of replaying
+	// further; 0 means DefaultReplayLimit.
+	ReplayLimit int
 }
+
+// DefaultReplayLimit is the per-entry replay-storm threshold used when
+// Config.ReplayLimit is zero. A legitimate entry replays once per
+// overlapping load-miss shadow, so triple digits already indicates a
+// wakeup loss; the default keeps a wide safety margin.
+const DefaultReplayLimit = 10000
 
 // OpInfo describes one original instruction inside an entry.
 type OpInfo struct {
@@ -84,6 +96,11 @@ type srcEdge struct {
 	wake    int64 // scheduler-visible ready cycle (never = unknown)
 	final   bool
 	actual  int64 // actual operand availability once known
+	// deaf marks a fault-injected edge whose wakeup broadcasts are lost
+	// (internal/fault's dropped-wakeup fault): no wake path may ever set
+	// its wake time again, so the consumer starves and the watchdog must
+	// catch it.
+	deaf bool
 }
 
 type consRef struct {
@@ -225,12 +242,25 @@ type Scheduler struct {
 	// deferred events, keyed by cycle.
 	loadEvents map[int64][]*Entry // load miss discoveries
 	sbEvents   map[int64][]*Entry // scoreboard detections of invalid issues
+
+	// err latches the first fatal scheduling failure (replay-storm
+	// livelock); the core polls it every cycle via Err.
+	err error
+
+	// Fault-injection state (internal/fault): suppressReplay arms the
+	// lost-replay fault, suppressed is the entry whose invalidations are
+	// silently dropped once the fault fires.
+	suppressReplay bool
+	suppressed     *Entry
 }
 
 // New creates a scheduler.
 func New(cfg Config) *Scheduler {
 	if cfg.Width <= 0 {
-		panic("sched: non-positive width")
+		// Unreachable through config.Machine.Validate; kept as a typed
+		// panic so direct misuse still surfaces as an *InternalError at
+		// the core's recover boundary instead of crashing the process.
+		panic(simerr.Internalf(simerr.Context{}, "sched: non-positive width %d", cfg.Width))
 	}
 	if cfg.ScoreboardDelay <= 0 {
 		cfg.ScoreboardDelay = 2
@@ -246,6 +276,11 @@ func New(cfg Config) *Scheduler {
 
 // Stats returns accumulated counters.
 func (s *Scheduler) Stats() Stats { return s.stats }
+
+// Err returns the first fatal scheduling failure (a replay-storm
+// livelock), or nil. The core polls it once per cycle and aborts the run
+// with the typed error instead of the scheduler crashing the process.
+func (s *Scheduler) Err() error { return s.err }
 
 // Occupied returns the number of issue queue entries currently in use.
 func (s *Scheduler) Occupied() int { return s.occupied }
@@ -307,10 +342,10 @@ func (s *Scheduler) AttachTail(e *Entry, op OpInfo, srcs []SrcSpec) {
 // MOP becomes schedulable.
 func (s *Scheduler) AttachOp(e *Entry, op OpInfo, srcs []SrcSpec, last bool) {
 	if !e.pendingTail {
-		panic("sched: AttachOp on a non-pending entry")
+		panic(simerr.Internalf(simerr.Context{Cycle: s.now}, "sched: AttachOp on non-pending entry %d", e.id))
 	}
 	if e.numOps >= MaxMOPOps {
-		panic("sched: MOP op overflow")
+		panic(simerr.Internalf(simerr.Context{Cycle: s.now}, "sched: MOP op overflow on entry %d", e.id))
 	}
 	e.ops[e.numOps] = op
 	e.numOps++
@@ -409,7 +444,7 @@ func (s *Scheduler) wakeFromGrant(p *Entry, assumed int) int64 {
 	case config.SchedSelectFreeScoreboard:
 		return g + int64(assumed)
 	}
-	panic(fmt.Sprintf("sched: unknown model %v", s.cfg.Model))
+	panic(simerr.Internalf(simerr.Context{Cycle: s.now}, "sched: unknown model %v", s.cfg.Model))
 }
 
 // SetLoadResult informs the scheduler of a load op's actual data
@@ -422,7 +457,7 @@ func (s *Scheduler) SetLoadResult(e *Entry, opIdx int, actualReady, discover int
 	e.loadResolved[opIdx] = true
 	assumedReady := e.grant + int64(e.ops[opIdx].Latency)
 	if e.isMOP {
-		panic("sched: loads cannot be part of a MOP")
+		panic(simerr.Internalf(simerr.Context{Cycle: s.now}, "sched: load in MOP entry %d", e.id))
 	}
 	if actualReady > assumedReady {
 		s.loadEvents[discover] = append(s.loadEvents[discover], e)
@@ -597,7 +632,7 @@ func (s *Scheduler) grantEntry(e *Entry, now int64, grants *[]Grant) {
 func (s *Scheduler) wakeConsumers(e *Entry) {
 	for _, c := range e.consumers {
 		edge := &c.entry.srcs[c.srcIdx]
-		if edge.final {
+		if edge.final || edge.deaf {
 			continue
 		}
 		edge.wake = s.wakeFromGrant(e, edge.assumed)
@@ -608,7 +643,7 @@ func (s *Scheduler) wakeConsumers(e *Entry) {
 func (s *Scheduler) broadcastSpeculative(e *Entry) {
 	for _, c := range e.consumers {
 		edge := &c.entry.srcs[c.srcIdx]
-		if edge.final {
+		if edge.final || edge.deaf {
 			continue
 		}
 		edge.wake = e.firstReq + int64(edge.assumed)
@@ -637,7 +672,7 @@ func (s *Scheduler) rebroadcast(e *Entry) {
 	}
 	for _, c := range e.consumers {
 		edge := &c.entry.srcs[c.srcIdx]
-		if edge.final {
+		if edge.final || edge.deaf {
 			continue
 		}
 		w := e.grant + int64(edge.assumed) + penalty
@@ -668,7 +703,7 @@ func (s *Scheduler) scoreboardCheck(e *Entry) {
 	// it would spin reissuing against a still-unready producer).
 	for i := range e.srcs {
 		edge := &e.srcs[i]
-		if edge.final {
+		if edge.final || edge.deaf {
 			continue
 		}
 		p := edge.prod
@@ -726,7 +761,7 @@ func (s *Scheduler) fixupLoadMiss(e *Entry) {
 	actual := e.actualReady[0]
 	for _, c := range e.consumers {
 		edge := &c.entry.srcs[c.srcIdx]
-		if edge.final {
+		if edge.final || edge.deaf {
 			continue
 		}
 		if c.entry.state == StateIssued && c.entry.grant < actual {
@@ -745,11 +780,27 @@ func (s *Scheduler) invalidate(e *Entry, now int64) {
 	if e.state != StateIssued {
 		return
 	}
+	if e == s.suppressed {
+		return // fault injection: this entry's replays are lost
+	}
+	if s.suppressReplay {
+		// Fault injection arms here: the first invalidation after arming
+		// is dropped, and the entry never replays again — the machine
+		// must end up stuck and the watchdog must report it.
+		s.suppressReplay = false
+		s.suppressed = e
+		return
+	}
 	e.state = StateWaiting
 	e.replays++
 	s.stats.Replays++
-	if e.replays > 10000 {
-		panic(fmt.Sprintf("sched: entry %d replayed %d times (livelock)", e.id, e.replays))
+	limit := s.cfg.ReplayLimit
+	if limit <= 0 {
+		limit = DefaultReplayLimit
+	}
+	if e.replays > limit && s.err == nil {
+		s.err = simerr.Livelock(simerr.Context{Cycle: now}, s.dumpEntry(e),
+			"entry %d replayed %d times (limit %d)", e.id, e.replays, limit)
 	}
 	e.earliestSelect = now + int64(s.cfg.ReplayPenalty)
 	if s.selectFree() {
@@ -835,6 +886,9 @@ func (s *Scheduler) tryFinalize(e *Entry, now int64) bool {
 		edge.final = true
 		edge.prod = nil // sever the graph so ancestors become collectable
 		edge.actual = e.actualReady[edge.prodOp]
+		if edge.deaf {
+			continue // dropped wakeup: the finality broadcast is lost too
+		}
 		if edge.wake < edge.actual {
 			if c.entry.state == StateIssued && c.entry.grant < edge.actual {
 				// Safety net; replay fixups should already have caught it.
@@ -867,6 +921,105 @@ func max(a, b int) int {
 
 // DebugActive exposes the live entry list for diagnostics and tests.
 func (s *Scheduler) DebugActive() []*Entry { return s.active }
+
+// String names the entry state.
+func (st State) String() string {
+	switch st {
+	case StateWaiting:
+		return "waiting"
+	case StateIssued:
+		return "issued"
+	case StateFinal:
+		return "final"
+	}
+	return fmt.Sprintf("state(%d)", int(st))
+}
+
+// dumpEntry renders one entry's scheduling state for diagnostics.
+func (s *Scheduler) dumpEntry(e *Entry) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "entry %d: state=%v replays=%d grant=%d ops=%d", e.id, e.state, e.replays, e.grant, e.numOps)
+	if e.isMOP {
+		b.WriteString(" (MOP)")
+	}
+	if e.pendingTail {
+		b.WriteString(" (pending tail)")
+	}
+	for i := 0; i < e.numOps; i++ {
+		fmt.Fprintf(&b, " seq=%d", e.ops[i].Seq)
+	}
+	for i := range e.srcs {
+		edge := &e.srcs[i]
+		fmt.Fprintf(&b, "\n  src %d: wake=%s actual=%s final=%v deaf=%v",
+			i, cycleStr(edge.wake), cycleStr(edge.actual), edge.final, edge.deaf)
+	}
+	return b.String()
+}
+
+func cycleStr(c int64) string {
+	if c >= never {
+		return "never"
+	}
+	return fmt.Sprintf("%d", c)
+}
+
+// DumpActive renders up to limit non-final active entries, oldest first —
+// the scheduler half of the watchdog's diagnostic state dump.
+func (s *Scheduler) DumpActive(limit int) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "scheduler: %d occupied, %d replays total, %d grants\n",
+		s.occupied, s.stats.Replays, s.stats.Grants)
+	n := 0
+	for _, e := range s.active {
+		if n >= limit {
+			fmt.Fprintf(&b, "... %d more active entries elided\n", len(s.active)-n)
+			break
+		}
+		b.WriteString(s.dumpEntry(e))
+		b.WriteByte('\n')
+		n++
+	}
+	return b.String()
+}
+
+// ---------------------------------------------------------------------
+// Fault-injection surface (internal/fault). These methods deliberately
+// corrupt scheduler state to prove the watchdog catches the corruption;
+// nothing in the simulator proper calls them.
+
+// FaultDeafen injects a dropped-wakeup fault: the first waiting entry
+// with a not-yet-delivered source wakeup has that edge's broadcasts
+// permanently lost, so the entry starves in the queue and the pipeline
+// eventually stops committing. Returns whether a victim edge was found
+// (retry next cycle otherwise).
+func (s *Scheduler) FaultDeafen() bool {
+	for _, e := range s.active {
+		if e.state != StateWaiting {
+			continue
+		}
+		for i := range e.srcs {
+			edge := &e.srcs[i]
+			if edge.final || edge.deaf || edge.prod == nil || edge.wake <= s.now {
+				continue
+			}
+			edge.deaf = true
+			edge.wake = never
+			return true
+		}
+	}
+	return false
+}
+
+// FaultSuppressReplay arms the lost-replay fault: the next invalidation
+// the scheduler would perform is silently dropped, and the victim entry
+// never replays again — it stays issued with operands that were not
+// actually ready, can never finalize, and blocks commit until the
+// watchdog reports the stall.
+func (s *Scheduler) FaultSuppressReplay() { s.suppressReplay = true }
+
+// FaultReplaySuppressed reports whether the armed lost-replay fault has
+// fired (an invalidation has been dropped).
+func (s *Scheduler) FaultReplaySuppressed() bool { return s.suppressed != nil }
 
 // DebugRefs lists the entries this entry references directly (diagnostic).
 func (e *Entry) DebugRefs() (out []*Entry, kinds []string) {

@@ -1,0 +1,266 @@
+// Package simerr defines the simulator's typed failure model. Every
+// abnormal outcome of a simulation — a scheduler livelock, a pipeline
+// that stops making forward progress, a differential-check divergence, a
+// cancelled run, or an internal invariant violation — is reported as a
+// structured error carrying enough context (benchmark, scheduler model,
+// cycle, committed count) to reproduce and triage it, and classifiable
+// with errors.Is against the package's sentinel values.
+//
+// The package sits below every simulator layer (core, sched, checker,
+// fault, experiments) and imports none of them, so any layer can type its
+// failures without dependency cycles.
+package simerr
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+)
+
+// Kind classifies a simulation failure.
+type Kind int
+
+// Failure kinds.
+const (
+	// KindInternal is an invariant violation or recovered panic inside
+	// the simulator — a bug, not a property of the simulated machine.
+	KindInternal Kind = iota
+	// KindDeadlock is a forward-progress failure: no instruction
+	// committed for the watchdog window.
+	KindDeadlock
+	// KindLivelock is a replay storm: an issue queue entry replayed more
+	// times than the configured threshold.
+	KindLivelock
+	// KindCheckFailed is a lockstep differential-oracle divergence or
+	// pipeline invariant violation (internal/checker).
+	KindCheckFailed
+	// KindCancelled is a context cancellation or deadline expiry.
+	KindCancelled
+)
+
+// String names the kind.
+func (k Kind) String() string {
+	switch k {
+	case KindInternal:
+		return "internal"
+	case KindDeadlock:
+		return "deadlock"
+	case KindLivelock:
+		return "livelock"
+	case KindCheckFailed:
+		return "check-failed"
+	case KindCancelled:
+		return "cancelled"
+	}
+	return fmt.Sprintf("kind(%d)", int(k))
+}
+
+// Sentinel errors for errors.Is classification. A *Error or
+// *InternalError matches the sentinel of its kind.
+var (
+	ErrInternal    = errors.New("simerr: internal fault")
+	ErrDeadlock    = errors.New("simerr: deadlock (no forward progress)")
+	ErrLivelock    = errors.New("simerr: livelock (replay storm)")
+	ErrCheckFailed = errors.New("simerr: differential check failed")
+	ErrCancelled   = errors.New("simerr: simulation cancelled")
+)
+
+func (k Kind) sentinel() error {
+	switch k {
+	case KindDeadlock:
+		return ErrDeadlock
+	case KindLivelock:
+		return ErrLivelock
+	case KindCheckFailed:
+		return ErrCheckFailed
+	case KindCancelled:
+		return ErrCancelled
+	}
+	return ErrInternal
+}
+
+// Context identifies the failing simulation: which benchmark, under which
+// scheduler model, how far it got. Zero fields render as absent.
+type Context struct {
+	Benchmark string
+	Sched     string // scheduler model name (config.SchedModel.String())
+	Cycle     int64
+	Committed int64
+}
+
+// String renders the context compactly ("gzip/macro-op cycle 1234, 567
+// committed"); empty contexts render empty.
+func (c Context) String() string {
+	var b strings.Builder
+	switch {
+	case c.Benchmark != "" && c.Sched != "":
+		fmt.Fprintf(&b, "%s/%s", c.Benchmark, c.Sched)
+	case c.Benchmark != "":
+		b.WriteString(c.Benchmark)
+	case c.Sched != "":
+		b.WriteString(c.Sched)
+	}
+	if c.Cycle > 0 || c.Committed > 0 {
+		if b.Len() > 0 {
+			b.WriteByte(' ')
+		}
+		fmt.Fprintf(&b, "cycle %d, %d committed", c.Cycle, c.Committed)
+	}
+	return b.String()
+}
+
+// Error is a structured, classifiable simulation failure.
+type Error struct {
+	Kind Kind
+	Ctx  Context
+	// Msg is the human-readable description of what went wrong.
+	Msg string
+	// Dump is an optional multi-line diagnostic state dump (the watchdog
+	// attaches pipeline state here). It is not part of Error() — retrieve
+	// it with DumpOf or a type assertion.
+	Dump string
+	// Err is the optional underlying cause (e.g. ctx.Err() for
+	// cancellations); it participates in errors.Is/As via Unwrap.
+	Err error
+}
+
+// Error implements the error interface.
+func (e *Error) Error() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "sim: %s", e.Kind)
+	if s := e.Ctx.String(); s != "" {
+		fmt.Fprintf(&b, ": %s", s)
+	}
+	if e.Msg != "" {
+		fmt.Fprintf(&b, ": %s", e.Msg)
+	}
+	if e.Err != nil {
+		fmt.Fprintf(&b, ": %v", e.Err)
+	}
+	return b.String()
+}
+
+// Is matches the sentinel of the error's kind.
+func (e *Error) Is(target error) bool { return target == e.Kind.sentinel() }
+
+// Unwrap exposes the underlying cause (nil if none).
+func (e *Error) Unwrap() error { return e.Err }
+
+// New builds a structured failure of the given kind.
+func New(kind Kind, ctx Context, format string, args ...any) *Error {
+	return &Error{Kind: kind, Ctx: ctx, Msg: fmt.Sprintf(format, args...)}
+}
+
+// Deadlock reports a forward-progress failure with a diagnostic dump.
+func Deadlock(ctx Context, dump, format string, args ...any) *Error {
+	e := New(KindDeadlock, ctx, format, args...)
+	e.Dump = dump
+	return e
+}
+
+// Livelock reports a replay storm with a diagnostic dump.
+func Livelock(ctx Context, dump, format string, args ...any) *Error {
+	e := New(KindLivelock, ctx, format, args...)
+	e.Dump = dump
+	return e
+}
+
+// CheckFailed reports a differential-oracle divergence.
+func CheckFailed(ctx Context, format string, args ...any) *Error {
+	return New(KindCheckFailed, ctx, format, args...)
+}
+
+// Cancelled reports a context cancellation, wrapping cause (normally
+// ctx.Err()) so errors.Is(err, context.Canceled) keeps working.
+func Cancelled(ctx Context, cause error) *Error {
+	return &Error{Kind: KindCancelled, Ctx: ctx, Msg: "stopped by context", Err: cause}
+}
+
+// DumpOf extracts the diagnostic state dump attached to err, if any.
+func DumpOf(err error) string {
+	var e *Error
+	if errors.As(err, &e) {
+		return e.Dump
+	}
+	return ""
+}
+
+// KindOf classifies err: the Kind of the wrapped *Error or
+// *InternalError, or (KindInternal, false) when err carries no typed
+// simulation failure.
+func KindOf(err error) (Kind, bool) {
+	var e *Error
+	if errors.As(err, &e) {
+		return e.Kind, true
+	}
+	var ie *InternalError
+	if errors.As(err, &ie) {
+		return KindInternal, true
+	}
+	return KindInternal, false
+}
+
+// InternalError is a simulator invariant violation or a recovered panic:
+// a bug in the simulator itself, carrying a stable repro fingerprint so
+// duplicate reports can be folded together.
+type InternalError struct {
+	Ctx Context
+	// Value is the recovered panic value, or the violation description
+	// for directly constructed internal errors.
+	Value any
+	// Stack is the goroutine stack captured at recovery ("" when the
+	// error was constructed directly rather than recovered).
+	Stack string
+	// Fingerprint is a short stable hash over the benchmark, scheduler
+	// model and failure message — the repro identity of the fault.
+	Fingerprint string
+}
+
+// Error implements the error interface.
+func (e *InternalError) Error() string {
+	var b strings.Builder
+	b.WriteString("sim: internal fault")
+	if s := e.Ctx.String(); s != "" {
+		fmt.Fprintf(&b, ": %s", s)
+	}
+	fmt.Fprintf(&b, ": %v [fingerprint %s]", e.Value, e.Fingerprint)
+	return b.String()
+}
+
+// Is matches ErrInternal.
+func (e *InternalError) Is(target error) bool { return target == ErrInternal }
+
+// Internal builds an *InternalError from a violation or recovered panic
+// value, computing the repro fingerprint.
+func Internal(ctx Context, value any, stack string) *InternalError {
+	return &InternalError{
+		Ctx:         ctx,
+		Value:       value,
+		Stack:       stack,
+		Fingerprint: Fingerprint(ctx.Benchmark, ctx.Sched, fmt.Sprint(value)),
+	}
+}
+
+// Internalf builds an *InternalError from a formatted violation message.
+func Internalf(ctx Context, format string, args ...any) *InternalError {
+	return Internal(ctx, fmt.Sprintf(format, args...), "")
+}
+
+// Fingerprint hashes the given parts into a short stable hex identity
+// (FNV-1a over the NUL-joined parts).
+func Fingerprint(parts ...string) string {
+	const (
+		offset = 14695981039346656037
+		prime  = 1099511628211
+	)
+	h := uint64(offset)
+	for _, p := range parts {
+		for i := 0; i < len(p); i++ {
+			h ^= uint64(p[i])
+			h *= prime
+		}
+		h ^= 0
+		h *= prime
+	}
+	return fmt.Sprintf("%016x", h)
+}

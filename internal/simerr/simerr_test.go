@@ -1,0 +1,109 @@
+package simerr
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"testing"
+)
+
+func TestSentinelClassification(t *testing.T) {
+	cases := []struct {
+		err      error
+		sentinel error
+	}{
+		{New(KindDeadlock, Context{}, "stuck"), ErrDeadlock},
+		{New(KindLivelock, Context{}, "storm"), ErrLivelock},
+		{New(KindCheckFailed, Context{}, "diverged"), ErrCheckFailed},
+		{New(KindCancelled, Context{}, "bye"), ErrCancelled},
+		{New(KindInternal, Context{}, "bug"), ErrInternal},
+		{Internal(Context{}, "boom", ""), ErrInternal},
+	}
+	sentinels := []error{ErrDeadlock, ErrLivelock, ErrCheckFailed, ErrCancelled, ErrInternal}
+	for _, c := range cases {
+		if !errors.Is(c.err, c.sentinel) {
+			t.Errorf("%v should match %v", c.err, c.sentinel)
+		}
+		for _, s := range sentinels {
+			if s != c.sentinel && errors.Is(c.err, s) {
+				t.Errorf("%v must not match %v", c.err, s)
+			}
+		}
+	}
+}
+
+func TestCancelledWrapsCause(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	err := Cancelled(Context{Benchmark: "gzip"}, ctx.Err())
+	if !errors.Is(err, ErrCancelled) {
+		t.Error("not classified as cancelled")
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Error("context.Canceled cause lost")
+	}
+}
+
+func TestErrorMessageCarriesContext(t *testing.T) {
+	err := New(KindDeadlock, Context{Benchmark: "mcf", Sched: "macro-op", Cycle: 1234, Committed: 56}, "no commit for %d cycles", 500)
+	msg := err.Error()
+	for _, want := range []string{"deadlock", "mcf/macro-op", "cycle 1234", "56 committed", "no commit for 500 cycles"} {
+		if !strings.Contains(msg, want) {
+			t.Errorf("message %q missing %q", msg, want)
+		}
+	}
+}
+
+func TestDumpTravels(t *testing.T) {
+	err := Deadlock(Context{}, "IQ: 32 occupied\nROB: head seq 9", "stalled")
+	if got := DumpOf(err); !strings.Contains(got, "ROB: head seq 9") {
+		t.Errorf("dump lost: %q", got)
+	}
+	// Dump also survives wrapping.
+	wrapped := errors.Join(errors.New("outer"), err)
+	if got := DumpOf(wrapped); !strings.Contains(got, "IQ: 32 occupied") {
+		t.Errorf("dump lost through wrap: %q", got)
+	}
+	if DumpOf(errors.New("plain")) != "" {
+		t.Error("plain errors must have no dump")
+	}
+}
+
+func TestKindOf(t *testing.T) {
+	if k, ok := KindOf(New(KindLivelock, Context{}, "x")); !ok || k != KindLivelock {
+		t.Errorf("got %v %v", k, ok)
+	}
+	if k, ok := KindOf(Internalf(Context{}, "bug %d", 7)); !ok || k != KindInternal {
+		t.Errorf("got %v %v", k, ok)
+	}
+	if _, ok := KindOf(errors.New("plain")); ok {
+		t.Error("plain error must not classify")
+	}
+}
+
+func TestFingerprintStableAndDistinct(t *testing.T) {
+	a := Fingerprint("gzip", "base", "boom")
+	b := Fingerprint("gzip", "base", "boom")
+	c := Fingerprint("gzip", "base", "bust")
+	if a != b {
+		t.Errorf("fingerprint unstable: %s vs %s", a, b)
+	}
+	if a == c {
+		t.Error("distinct faults share a fingerprint")
+	}
+	if len(a) != 16 {
+		t.Errorf("fingerprint length %d", len(a))
+	}
+	// Part boundaries matter: ("ab","c") != ("a","bc").
+	if Fingerprint("ab", "c") == Fingerprint("a", "bc") {
+		t.Error("part boundaries ignored")
+	}
+}
+
+func TestInternalErrorFingerprintIgnoresCycle(t *testing.T) {
+	e1 := Internal(Context{Benchmark: "gcc", Sched: "base", Cycle: 10}, "same bug", "")
+	e2 := Internal(Context{Benchmark: "gcc", Sched: "base", Cycle: 99}, "same bug", "")
+	if e1.Fingerprint != e2.Fingerprint {
+		t.Error("fingerprint should fold duplicates across cycles")
+	}
+}

@@ -6,6 +6,8 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+
+	"macroop/internal/simerr"
 )
 
 // Counters is an ordered named-counter set. Order of first increment is
@@ -64,7 +66,8 @@ type Histogram struct {
 func NewHistogram(bounds ...int64) *Histogram {
 	for i := 1; i < len(bounds); i++ {
 		if bounds[i] <= bounds[i-1] {
-			panic("stats: histogram bounds must be strictly ascending")
+			panic(simerr.Internalf(simerr.Context{},
+				"stats: histogram bounds must be strictly ascending (bound %d: %d <= %d)", i, bounds[i], bounds[i-1]))
 		}
 	}
 	return &Histogram{bounds: bounds, counts: make([]int64, len(bounds)+1)}

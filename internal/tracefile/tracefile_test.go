@@ -10,6 +10,7 @@ import (
 	"macroop/internal/core"
 	"macroop/internal/functional"
 	"macroop/internal/workload"
+	"macroop/internal/workload/workloadtest"
 )
 
 // record captures the first n committed instructions of a benchmark.
@@ -19,7 +20,7 @@ func record(t *testing.T, bench string, n int64) *bytes.Buffer {
 	if err != nil {
 		t.Fatal(err)
 	}
-	prog := workload.MustGenerate(prof)
+	prog := workloadtest.Generate(t, prof)
 	var buf bytes.Buffer
 	w := NewWriter(&buf)
 	e := functional.NewExecutor(prog)
@@ -42,7 +43,7 @@ func TestRoundTrip(t *testing.T) {
 
 	// Re-execute and compare against the replay record by record.
 	prof, _ := workload.ByName("gzip")
-	prog := workload.MustGenerate(prof)
+	prog := workloadtest.Generate(t, prof)
 	e := functional.NewExecutor(prog)
 	r := NewReader(strings.NewReader(text))
 	var want, got functional.DynInst
@@ -71,7 +72,7 @@ func TestTraceDrivenMatchesExecutionDriven(t *testing.T) {
 	buf := record(t, "gap", n+n/2) // slack: STD records fuse into their STA at decode
 
 	prof, _ := workload.ByName("gap")
-	prog := workload.MustGenerate(prof)
+	prog := workloadtest.Generate(t, prof)
 	for _, m := range []config.Machine{
 		config.Default(),
 		config.Default().WithMOP(config.DefaultMOP()),

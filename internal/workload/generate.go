@@ -2,10 +2,12 @@ package workload
 
 import (
 	"fmt"
+	"runtime/debug"
 
 	"macroop/internal/isa"
 	"macroop/internal/program"
 	"macroop/internal/rng"
+	"macroop/internal/simerr"
 )
 
 // Register conventions used by generated programs. Pool registers hold
@@ -61,10 +63,19 @@ type generator struct {
 // Generate synthesizes the benchmark program for the profile. The program
 // loops effectively forever (2^40 iterations); the simulator bounds runs
 // by instruction count.
-func Generate(p Profile) (*program.Program, error) {
+//
+// Any panic during synthesis (e.g. a degenerate profile slipping past
+// Validate into the samplers) is recovered and reported as a typed
+// *simerr.InternalError rather than crashing the caller.
+func Generate(p Profile) (prog *program.Program, err error) {
 	if err := p.Validate(); err != nil {
 		return nil, err
 	}
+	defer func() {
+		if r := recover(); r != nil {
+			prog, err = nil, simerr.Internal(simerr.Context{Benchmark: p.Name}, r, string(debug.Stack()))
+		}
+	}()
 	g := &generator{
 		p:         p,
 		r:         rng.New(p.Seed),
@@ -85,15 +96,6 @@ func Generate(p Profile) (*program.Program, error) {
 		g.initChaseMemory()
 	}
 	return g.b.Build()
-}
-
-// MustGenerate panics on error; profiles are code, not user input.
-func MustGenerate(p Profile) *program.Program {
-	prog, err := Generate(p)
-	if err != nil {
-		panic(err)
-	}
-	return prog
 }
 
 // emit appends one instruction, tracking position and producer state.

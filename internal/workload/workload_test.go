@@ -5,7 +5,17 @@ import (
 
 	"macroop/internal/functional"
 	"macroop/internal/mop"
+	"macroop/internal/program"
 )
+
+func mustGenerate(t *testing.T, p Profile) *program.Program {
+	t.Helper()
+	prog, err := Generate(p)
+	if err != nil {
+		t.Fatalf("generate %s: %v", p.Name, err)
+	}
+	return prog
+}
 
 func TestAllProfilesValidateAndBuild(t *testing.T) {
 	for _, p := range Profiles() {
@@ -24,8 +34,8 @@ func TestAllProfilesValidateAndBuild(t *testing.T) {
 
 func TestGenerationDeterministic(t *testing.T) {
 	p, _ := ByName("gzip")
-	a := MustGenerate(p)
-	b := MustGenerate(p)
+	a := mustGenerate(t, p)
+	b := mustGenerate(t, p)
 	if a.Len() != b.Len() {
 		t.Fatal("lengths differ across generations")
 	}
@@ -81,7 +91,7 @@ func characterizeProfile(t *testing.T, name string, n int64) *mop.EdgeDistance {
 	if err != nil {
 		t.Fatal(err)
 	}
-	e := functional.NewExecutor(MustGenerate(p))
+	e := functional.NewExecutor(mustGenerate(t, p))
 	acc := mop.NewEdgeDistance()
 	var d functional.DynInst
 	for i := int64(0); i < n; i++ {
@@ -141,7 +151,7 @@ func TestCalibrationEdgeDistanceOrdering(t *testing.T) {
 
 func TestPointerChaseRingClosed(t *testing.T) {
 	p, _ := ByName("mcf")
-	prog := MustGenerate(p)
+	prog := mustGenerate(t, p)
 	// Follow the pointer ring from chaseBase; it must be a closed cycle
 	// over all entries with no zero pointers.
 	entries := (1 << p.FootprintLog2) / chaseGranule
@@ -165,7 +175,7 @@ func TestPointerChaseRingClosed(t *testing.T) {
 
 func TestChaseCursorsStartOnRing(t *testing.T) {
 	p, _ := ByName("mcf")
-	prog := MustGenerate(p)
+	prog := mustGenerate(t, p)
 	entries := uint64(1<<p.FootprintLog2) / chaseGranule
 	for _, start := range []uint64{
 		chaseBase,
@@ -180,7 +190,7 @@ func TestChaseCursorsStartOnRing(t *testing.T) {
 
 func TestStoresAlwaysPaired(t *testing.T) {
 	for _, p := range Profiles()[:4] {
-		prog := MustGenerate(p)
+		prog := mustGenerate(t, p)
 		tr, err := functional.Run(prog, 50000)
 		if err != nil {
 			t.Fatalf("%s: %v", p.Name, err)

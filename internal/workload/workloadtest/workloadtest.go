@@ -1,0 +1,33 @@
+// Package workloadtest provides test helpers around workload generation.
+// It exists so that tests in other packages can synthesize benchmark
+// programs without the library exposing a panicking constructor.
+package workloadtest
+
+import (
+	"testing"
+
+	"macroop/internal/program"
+	"macroop/internal/workload"
+)
+
+// Generate synthesizes the benchmark program for the profile, failing the
+// test immediately on error.
+func Generate(tb testing.TB, p workload.Profile) *program.Program {
+	tb.Helper()
+	prog, err := workload.Generate(p)
+	if err != nil {
+		tb.Fatalf("generate %s: %v", p.Name, err)
+	}
+	return prog
+}
+
+// ByName resolves a named profile and synthesizes its program, failing the
+// test on either step.
+func ByName(tb testing.TB, name string) *program.Program {
+	tb.Helper()
+	prof, err := workload.ByName(name)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return Generate(tb, prof)
+}

@@ -29,6 +29,8 @@
 package macroop
 
 import (
+	"context"
+
 	"macroop/internal/checker"
 	"macroop/internal/config"
 	"macroop/internal/core"
@@ -37,9 +39,36 @@ import (
 	"macroop/internal/isa"
 	"macroop/internal/mop"
 	"macroop/internal/program"
+	"macroop/internal/simerr"
 	"macroop/internal/stats"
 	"macroop/internal/workload"
 )
+
+// Typed simulation failures. Every error a Simulate* function returns
+// from a running simulation matches exactly one of these sentinels under
+// errors.Is, so callers can distinguish a stuck machine from a failed
+// differential check from their own cancellation.
+var (
+	// ErrDeadlock: the forward-progress watchdog saw no commit for a full
+	// window (Machine.WatchdogCycles), or the cycle budget was exhausted.
+	ErrDeadlock = simerr.ErrDeadlock
+	// ErrLivelock: one scheduler entry replayed more times than
+	// Machine.ReplayStormLimit allows.
+	ErrLivelock = simerr.ErrLivelock
+	// ErrCheckFailed: the lockstep differential oracle detected a
+	// divergence or pipeline invariant violation (SimulateChecked).
+	ErrCheckFailed = simerr.ErrCheckFailed
+	// ErrCancelled: the caller's context expired (SimulateContext).
+	ErrCancelled = simerr.ErrCancelled
+	// ErrInternal: a simulator bug, recovered and reported with a repro
+	// fingerprint instead of crashing the process.
+	ErrInternal = simerr.ErrInternal
+)
+
+// ErrorDump returns the diagnostic state dump attached to a simulation
+// error (pipeline occupancy, ROB head age, active scheduler entries for
+// ErrDeadlock/ErrLivelock), or "" if the error carries none.
+func ErrorDump(err error) string { return simerr.DumpOf(err) }
 
 // Machine is the full machine configuration (Table 1 of the paper).
 type Machine = config.Machine
@@ -145,22 +174,38 @@ func NewTimeline(limit int) *Timeline { return core.NewTimeline(limit) }
 
 // SimulateTraced runs like Simulate with a pipeline tracer attached.
 func SimulateTraced(m Machine, p *Program, maxInsts int64, tl *Timeline) (*Result, error) {
+	return SimulateTracedContext(context.Background(), m, p, maxInsts, tl)
+}
+
+// SimulateTracedContext is SimulateTraced honouring ctx cancellation.
+func SimulateTracedContext(ctx context.Context, m Machine, p *Program, maxInsts int64, tl *Timeline) (*Result, error) {
 	c, err := core.New(m, p)
 	if err != nil {
 		return nil, err
 	}
 	c.SetTracer(tl)
-	return c.Run(maxInsts)
+	return c.RunContext(ctx, maxInsts)
 }
 
 // Simulate runs the program on the machine until maxInsts instructions
 // commit (or the program halts) and returns timing results.
 func Simulate(m Machine, p *Program, maxInsts int64) (*Result, error) {
+	return SimulateContext(context.Background(), m, p, maxInsts)
+}
+
+// SimulateContext is Simulate honouring ctx: cancellation or deadline
+// expiry stops the simulation within one poll window (a thousand or so
+// simulated cycles) with an error matching simulation-cancelled. The run
+// is also protected by the machine's forward-progress watchdog
+// (Machine.WatchdogCycles; 0 selects the default window, negative
+// disables), which aborts a stuck pipeline with a diagnostic deadlock
+// error instead of spinning forever.
+func SimulateContext(ctx context.Context, m Machine, p *Program, maxInsts int64) (*Result, error) {
 	c, err := core.New(m, p)
 	if err != nil {
 		return nil, err
 	}
-	return c.Run(maxInsts)
+	return c.RunContext(ctx, maxInsts)
 }
 
 // CheckSummary is the outcome of a checked simulation: how many commits
@@ -176,6 +221,11 @@ type CheckSummary = checker.Summary
 // occupancy) are verified. Any divergence aborts the run with an error.
 func SimulateChecked(m Machine, p *Program, maxInsts int64) (*Result, CheckSummary, error) {
 	return checker.CheckedRun(m, p, maxInsts, maxInsts)
+}
+
+// SimulateCheckedContext is SimulateChecked honouring ctx cancellation.
+func SimulateCheckedContext(ctx context.Context, m Machine, p *Program, maxInsts int64) (*Result, CheckSummary, error) {
+	return checker.CheckedRunContext(ctx, m, p, maxInsts, maxInsts)
 }
 
 // Characterize streams up to maxInsts committed instructions of the

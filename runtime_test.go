@@ -1,0 +1,111 @@
+package macroop_test
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"macroop"
+	"macroop/internal/simerr"
+)
+
+// TestSimulateContextCancellation: a cancelled context stops the
+// simulation within one poll window instead of running out the full
+// instruction budget.
+func TestSimulateContextCancellation(t *testing.T) {
+	prog, err := macroop.GenerateBenchmark("gzip")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err = macroop.SimulateContext(ctx, macroop.DefaultMachine(), prog, 1<<40)
+	if !errors.Is(err, macroop.ErrCancelled) {
+		t.Fatalf("want ErrCancelled, got %v", err)
+	}
+	var se *simerr.Error
+	if !errors.As(err, &se) {
+		t.Fatalf("cancellation error is not a *simerr.Error: %v", err)
+	}
+	if se.Ctx.Cycle > 2048 {
+		t.Errorf("cancelled at cycle %d; want within one poll window of the pre-cancelled context", se.Ctx.Cycle)
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Errorf("cancellation cause not preserved: %v", err)
+	}
+}
+
+// TestWatchdogFlagsStalledPipeline: a watchdog window shorter than the
+// pipeline fill latency reports a deadlock with a diagnostic dump — the
+// machine never gets to its first commit inside the window.
+func TestWatchdogFlagsStalledPipeline(t *testing.T) {
+	prog, err := macroop.GenerateBenchmark("gzip")
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := macroop.DefaultMachine()
+	m.WatchdogCycles = 10
+	_, err = macroop.Simulate(m, prog, 10_000)
+	if !errors.Is(err, macroop.ErrDeadlock) {
+		t.Fatalf("want ErrDeadlock, got %v", err)
+	}
+	if dump := macroop.ErrorDump(err); dump == "" {
+		t.Error("deadlock error carries no diagnostic dump")
+	}
+}
+
+// TestWatchdogDisabled: a negative window turns the watchdog off and the
+// same run completes.
+func TestWatchdogDisabled(t *testing.T) {
+	prog, err := macroop.GenerateBenchmark("gzip")
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := macroop.DefaultMachine()
+	m.WatchdogCycles = -1
+	res, err := macroop.Simulate(m, prog, 10_000)
+	if err != nil || res.Committed == 0 {
+		t.Fatalf("res=%+v err=%v", res, err)
+	}
+}
+
+// TestReplayStormLivelock: an absurdly low replay-storm threshold turns
+// ordinary replays into a typed livelock report. The scoreboard
+// select-free model is used because its pileup victims replay the same
+// entry repeatedly, which is exactly the storm shape the guard bounds.
+func TestReplayStormLivelock(t *testing.T) {
+	prog, err := macroop.GenerateBenchmark("gzip")
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := macroop.DefaultMachine().WithSched(macroop.SchedSelectFreeScoreboard)
+	m.ReplayStormLimit = 1
+	_, err = macroop.Simulate(m, prog, 200_000)
+	if !errors.Is(err, macroop.ErrLivelock) {
+		t.Fatalf("want ErrLivelock, got %v", err)
+	}
+	if dump := macroop.ErrorDump(err); dump == "" {
+		t.Error("livelock error carries no entry dump")
+	}
+}
+
+// TestSimulateCheckedContext: the checked variant both verifies commits
+// and honours cancellation.
+func TestSimulateCheckedContext(t *testing.T) {
+	prog, err := macroop.GenerateBenchmark("gzip")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, sum, err := macroop.SimulateCheckedContext(context.Background(), macroop.DefaultMachine(), prog, 5_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Committed == 0 || sum.Commits == 0 {
+		t.Fatalf("empty checked run: res=%+v sum=%+v", res, sum)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, _, err := macroop.SimulateCheckedContext(ctx, macroop.DefaultMachine(), prog, 1<<40); !errors.Is(err, macroop.ErrCancelled) {
+		t.Fatalf("want ErrCancelled, got %v", err)
+	}
+}
