@@ -6,6 +6,8 @@
 //
 //	moppaper -insts 1000000            # full suite (takes a few minutes)
 //	moppaper -only fig14,fig16
+//	moppaper -journal paper.journal    # crash-safe: re-run resumes the sweep
+//	moppaper -journal paper.journal -from-journal   # render without simulating
 package main
 
 import (
@@ -16,22 +18,38 @@ import (
 	"time"
 
 	"macroop/internal/experiments"
+	"macroop/internal/journal"
 	"macroop/internal/stats"
 )
 
 func main() {
 	var (
-		insts = flag.Int64("insts", 1_000_000, "committed instructions per simulation")
-		only  = flag.String("only", "", "comma-separated subset: table1,table2,fig6,fig7,fig13,fig14,fig15,fig16,delay,lastarrive,indep,mopsize,heuristic,qsweep,wsweep")
+		insts   = flag.Int64("insts", 1_000_000, "committed instructions per simulation")
+		only    = flag.String("only", "", "comma-separated subset: table1,table2,fig6,fig7,fig13,fig14,fig15,fig16,delay,lastarrive,indep,mopsize,heuristic,qsweep,wsweep")
 		bench   = flag.String("bench", "", "comma-separated benchmark subset (default: all 12)")
 		check   = flag.Bool("check", false, "attach the lockstep differential oracle to every simulation (slower; any divergence fails that cell)")
 		timeout = flag.Duration("cell-timeout", 0, "wall-clock limit per simulation cell (0 = none); a timed-out cell renders as zeros and is reported")
+		jpath   = flag.String("journal", "", "write-ahead journal: every finished cell is durably recorded as it completes, and a re-run over the same journal skips recorded cells (crash-safe resume)")
+		fromJ   = flag.Bool("from-journal", false, "render from the journal without simulating; cells the sweep never completed render as zeros and are reported as missing")
 	)
 	flag.Parse()
 
 	r := experiments.NewRunner(*insts)
 	r.Check = *check
 	r.CellTimeout = *timeout
+	if *jpath != "" {
+		j, err := journal.Open(*jpath)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "moppaper: journal: %v\n", err)
+			os.Exit(1)
+		}
+		defer j.Close()
+		r.Journal = j
+		r.JournalOnly = *fromJ
+	} else if *fromJ {
+		fmt.Fprintln(os.Stderr, "moppaper: -from-journal requires -journal")
+		os.Exit(1)
+	}
 	if *bench != "" {
 		r.Benchmarks = strings.Split(*bench, ",")
 	}

@@ -8,6 +8,10 @@
 //	mopsim -bench gzip -check -inject-fault 5000      # prove the oracle bites
 //	mopsim -bench gzip -timeout 30s                   # wall-clock bound
 //	mopsim -bench gzip -insts 20000 -faults all       # fault-injection campaign
+//	mopsim -faults all -journal c.journal             # crash-safe campaign
+//	mopsim -faults all -journal c.journal -resume     # continue after a crash
+//	mopsim -faults all -shrink                        # minimize detections to repros/
+//	mopsim -repro repros/gzip-base-dropped-wakeup.json  # replay a bundle
 //
 // Schedulers: base, 2cycle, mop, sf-squash, sf-scoreboard.
 package main
@@ -17,6 +21,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"strings"
 	"time"
 
@@ -25,6 +30,8 @@ import (
 	"macroop/internal/core"
 	"macroop/internal/fault"
 	"macroop/internal/functional"
+	"macroop/internal/journal"
+	"macroop/internal/shrink"
 	"macroop/internal/workload"
 )
 
@@ -45,12 +52,25 @@ func main() {
 		timeout  = flag.Duration("timeout", 0, "wall-clock limit for the simulation (0 = none); expiry aborts with a typed cancellation error")
 		watchdog = flag.Int("watchdog-cycles", 0, "forward-progress watchdog window in cycles (0 = default, negative = disabled)")
 		faults   = flag.String("faults", "", "run a fault-injection campaign on the selected benchmark instead of one simulation: \"all\" or a comma-separated subset of "+strings.Join(faultNames(), ", "))
+		jpath    = flag.String("journal", "", "write-ahead journal for the campaign (-faults): completed cells are durably recorded as they finish, and a re-run with -resume skips them")
+		resume   = flag.Bool("resume", false, "continue a previous campaign from the -journal file (without this flag an existing non-empty journal is refused)")
+		repro    = flag.String("repro", "", "replay a repro bundle (JSON, written by -shrink) and verify it still fails exactly as recorded; all other flags are ignored")
+		doShrink = flag.Bool("shrink", false, "minimize failures into replayable repro bundles: every detected campaign cell (with -faults), or the single failing run otherwise")
+		shrOut   = flag.String("shrink-out", "", "where -shrink writes bundles (default repro.json, or the repros/ directory for a campaign)")
 	)
 	flag.Parse()
 
-	if *faults != "" {
-		runCampaign(*bench, *faults, *insts, *watchdog)
+	if *repro != "" {
+		replayBundle(*repro)
 		return
+	}
+
+	if *faults != "" {
+		runCampaign(*bench, *faults, *insts, *watchdog, openJournal(*jpath, *resume), *doShrink, *shrOut)
+		return
+	}
+	if *jpath != "" {
+		fatalf("-journal only applies to campaign mode (-faults); sweep journaling lives in moppaper -journal")
 	}
 
 	m := config.Default().WithIQ(*iq).WithWatchdog(*watchdog)
@@ -116,6 +136,19 @@ func main() {
 	}
 	res, err := c.RunContext(ctx, *insts)
 	if err != nil {
+		if *doShrink {
+			out := *shrOut
+			if out == "" {
+				out = "repro.json"
+			}
+			b := shrink.New(*bench, m, *insts)
+			b.Check = *check
+			if *inject >= 0 {
+				at := *inject
+				b.CorruptAt = &at
+			}
+			shrinkTo(b, out)
+		}
 		fatalf("simulate: %v", err)
 	}
 	if tl != nil {
@@ -137,13 +170,63 @@ func faultNames() []string {
 	return names
 }
 
+// openJournal opens (or creates) a campaign journal. Continuing into an
+// existing non-empty journal changes behaviour — already-recorded cells
+// are skipped — so that requires the explicit -resume opt-in.
+func openJournal(path string, resume bool) *journal.Journal {
+	if path == "" {
+		return nil
+	}
+	j, err := journal.Open(path)
+	if err != nil {
+		fatalf("journal: %v", err)
+	}
+	if j.Len() > 0 && !resume {
+		fatalf("journal %s already holds %d record(s); pass -resume to continue it, or remove the file to start over", path, j.Len())
+	}
+	return j
+}
+
+// replayBundle replays a shrunken repro bundle and verifies it fails
+// exactly as recorded.
+func replayBundle(path string) {
+	b, err := shrink.Load(path)
+	if err != nil {
+		fatalf("repro: %v", err)
+	}
+	if err := b.Verify(); err != nil {
+		fatalf("repro %s: %v", path, err)
+	}
+	fmt.Printf("repro %s: %s/%s reproduced %s (fingerprint %s, %d insts)\n",
+		path, b.Benchmark, b.Machine.Sched, b.ExpectKind, b.ExpectFingerprint, b.MaxInsts)
+}
+
+// shrinkTo minimizes a failing configuration and writes the bundle.
+func shrinkTo(b *shrink.Bundle, out string) {
+	min, err := shrink.Minimize(b)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "mopsim: shrink: %v\n", err)
+		return
+	}
+	if err := min.Save(out); err != nil {
+		fmt.Fprintf(os.Stderr, "mopsim: shrink: %v\n", err)
+		return
+	}
+	fmt.Fprintf(os.Stderr, "mopsim: wrote %s (%s, maxInsts %d -> %d)\n",
+		out, min.ExpectKind, min.OriginalMaxInsts, min.MaxInsts)
+}
+
 // runCampaign injects the selected fault kinds into the benchmark under
 // every scheduler model and reports which verification layer caught each.
 // Exits nonzero if any fired fault escaped detection.
-func runCampaign(bench, kinds string, insts int64, watchdog int) {
+func runCampaign(bench, kinds string, insts int64, watchdog int, j *journal.Journal, doShrink bool, shrOut string) {
 	cfg := fault.DefaultCampaign()
 	cfg.Benchmarks = []string{bench}
 	cfg.MaxInsts = insts
+	cfg.Journal = j
+	if j != nil {
+		defer j.Close()
+	}
 	if watchdog != 0 {
 		cfg.WatchdogCycles = watchdog
 	}
@@ -163,7 +246,24 @@ func runCampaign(bench, kinds string, insts int64, watchdog int) {
 		fatalf("campaign: %v", err)
 	}
 	fmt.Print(res)
-	fmt.Printf("(%d cells in %.1fs)\n", len(res.Outcomes), time.Since(start).Seconds())
+	fmt.Printf("(%d cells in %.1fs, %d simulated here)\n", len(res.Outcomes), time.Since(start).Seconds(), res.Executed)
+	if doShrink {
+		dir := shrOut
+		if dir == "" {
+			dir = "repros"
+		}
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			fatalf("shrink: %v", err)
+		}
+		for _, o := range res.Outcomes {
+			if !o.Fired || !o.Detected {
+				continue
+			}
+			b := shrink.New(o.Bench, config.Default().WithSched(o.Sched).WithWatchdog(cfg.WatchdogCycles), cfg.MaxInsts)
+			b.Fault = &shrink.FaultSpec{Kind: o.Fault.String(), TriggerCommits: cfg.TriggerCommits}
+			shrinkTo(b, filepath.Join(dir, fmt.Sprintf("%s-%s-%s.json", o.Bench, o.Sched, o.Fault)))
+		}
+	}
 	if esc := res.Escapes(); len(esc) > 0 {
 		fatalf("%d fault(s) escaped detection", len(esc))
 	}

@@ -1,0 +1,339 @@
+// Command mopsoak is the crash-consistency soak harness behind the
+// nightly CI job. It proves, end to end and with real SIGKILLs, that the
+// write-ahead journal makes sweeps and fault campaigns resumable:
+//
+//  1. matrix phase — it computes a reference experiment matrix
+//     in-process, then repeatedly re-executes itself as a child process
+//     running the same sweep against a journal, kill -9s the child at a
+//     random point, and finally resumes the sweep from whatever the
+//     journal holds (including a possibly torn final record). The
+//     resumed matrix must be byte-identical to the uninterrupted
+//     reference, and must re-simulate only the cells the kills left
+//     unfinished.
+//  2. campaign phase — the same treatment for a randomized fault
+//     campaign (random benchmark, fault subset, and trigger point,
+//     derived from the seed). Resumed verdicts must match an
+//     uninterrupted campaign, no fired fault may escape detection, and a
+//     couple of detections are minimized into repro bundles (uploaded as
+//     CI artifacts).
+//
+// Usage:
+//
+//	mopsoak                      # random seed, journals in a temp dir
+//	mopsoak -seed 42 -kills 5 -bundles repros
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"time"
+
+	"macroop/internal/config"
+	"macroop/internal/experiments"
+	"macroop/internal/fault"
+	"macroop/internal/journal"
+	"macroop/internal/shrink"
+	"macroop/internal/simerr"
+)
+
+func main() {
+	var (
+		seed    = flag.Int64("seed", 0, "randomness seed for kill timing and the campaign shape (0 = time-derived; printed so a run can be replayed)")
+		kills   = flag.Int("kills", 3, "kill -9 rounds per phase before the final resume")
+		bundles = flag.String("bundles", "repros", "directory for shrunken repro bundles of campaign detections")
+		work    = flag.String("work", "", "directory for the journals (default: a temp dir, removed afterwards)")
+
+		childMatrix   = flag.String("child-matrix", "", "internal: run the soak matrix sweep against this journal and exit")
+		childCampaign = flag.String("child-campaign", "", "internal: run the soak fault campaign against this journal and exit")
+	)
+	flag.Parse()
+	if *childMatrix != "" {
+		childRunMatrix(*childMatrix)
+		return
+	}
+	if *childCampaign != "" {
+		childRunCampaign(*childCampaign, *seed)
+		return
+	}
+
+	if *seed == 0 {
+		*seed = time.Now().UnixNano()
+	}
+	fmt.Printf("mopsoak: seed %d\n", *seed)
+	rng := rand.New(rand.NewSource(*seed))
+
+	dir := *work
+	if dir == "" {
+		d, err := os.MkdirTemp("", "mopsoak")
+		if err != nil {
+			fatalf("%v", err)
+		}
+		defer os.RemoveAll(d)
+		dir = d
+	}
+
+	ok := soakMatrix(rng, dir, *kills)
+	if !soakCampaign(rng, dir, *kills, *bundles, *seed) {
+		ok = false
+	}
+	if !ok {
+		os.Exit(1)
+	}
+	fmt.Println("mopsoak: PASS")
+}
+
+// ---------------------------------------------------------------------
+// Shared sweep/campaign shapes. Parent and child must agree exactly:
+// the journal cell keys fingerprint these parameters.
+
+func matrixRunner() *experiments.Runner {
+	r := experiments.NewRunner(20_000)
+	r.Benchmarks = []string{"gzip", "mcf", "twolf"}
+	r.Concurrency = 1 // serial cells so kills land between, not after, cells
+	return r
+}
+
+func matrixCfgs() map[string]config.Machine {
+	return map[string]config.Machine{
+		"base":    config.Default().WithSched(config.SchedBase),
+		"2-cycle": config.Default().WithSched(config.SchedTwoCycle),
+		"mop":     config.Default().WithSched(config.SchedMOP),
+	}
+}
+
+// campaignFor derives the randomized campaign shape from the seed, so the
+// parent (reference + resume) and the killed children all run the same
+// campaign without shipping the config across the process boundary.
+func campaignFor(seed int64) fault.CampaignConfig {
+	rng := rand.New(rand.NewSource(seed))
+	kinds := fault.Kinds()
+	rng.Shuffle(len(kinds), func(i, j int) { kinds[i], kinds[j] = kinds[j], kinds[i] })
+	cfg := fault.DefaultCampaign()
+	cfg.Benchmarks = []string{[]string{"gzip", "mcf", "twolf"}[rng.Intn(3)]}
+	cfg.Faults = kinds[:2+rng.Intn(len(kinds)-1)]
+	cfg.TriggerCommits = int64(100 + rng.Intn(900))
+	return cfg
+}
+
+// ---------------------------------------------------------------------
+// Child modes: run the work against the journal and exit. The parent
+// SIGKILLs this process at a random point — there is no cleanup path, by
+// design.
+
+func childRunMatrix(jpath string) {
+	j, err := journal.Open(jpath)
+	if err != nil {
+		fatalf("child: %v", err)
+	}
+	r := matrixRunner()
+	r.Journal = j
+	if _, err := r.RunMatrix(matrixCfgs()); err != nil {
+		fatalf("child: %v", err)
+	}
+}
+
+func childRunCampaign(jpath string, seed int64) {
+	j, err := journal.Open(jpath)
+	if err != nil {
+		fatalf("child: %v", err)
+	}
+	cfg := campaignFor(seed)
+	cfg.Journal = j
+	if _, err := fault.RunCampaign(cfg); err != nil {
+		fatalf("child: %v", err)
+	}
+}
+
+// killRounds re-executes this binary with the given child args, SIGKILLs
+// it after a random delay, and reports how many journal records survived.
+// Stops early once a child finishes the whole job before its kill.
+func killRounds(rng *rand.Rand, rounds int, jpath string, childArgs ...string) {
+	self, err := os.Executable()
+	if err != nil {
+		fatalf("%v", err)
+	}
+	for round := 1; round <= rounds; round++ {
+		cmd := exec.Command(self, childArgs...)
+		cmd.Stdout, cmd.Stderr = os.Stdout, os.Stderr
+		if err := cmd.Start(); err != nil {
+			fatalf("%v", err)
+		}
+		delay := time.Duration(20+rng.Intn(300)) * time.Millisecond
+		done := make(chan error, 1)
+		go func() { done <- cmd.Wait() }()
+		select {
+		case err := <-done:
+			fmt.Printf("mopsoak: round %d: child finished before the kill (%v)\n", round, err)
+			return
+		case <-time.After(delay):
+			_ = cmd.Process.Kill()
+			<-done
+			fmt.Printf("mopsoak: round %d: killed child after %v (%d records journaled)\n",
+				round, delay, countRecords(jpath))
+		}
+	}
+}
+
+// countRecords reads the journal without opening it for append (the child
+// may have just been killed mid-write; Load tolerates the torn tail).
+func countRecords(jpath string) int {
+	recs, err := journal.Load(jpath)
+	if err != nil {
+		return 0
+	}
+	keys := map[string]bool{}
+	for _, r := range recs {
+		keys[r.Key] = true
+	}
+	return len(keys)
+}
+
+func soakMatrix(rng *rand.Rand, dir string, kills int) bool {
+	fmt.Println("mopsoak: matrix phase: reference sweep...")
+	ref, err := matrixRunner().RunMatrix(matrixCfgs())
+	if err != nil {
+		fatalf("reference sweep: %v", err)
+	}
+	want, err := json.Marshal(ref)
+	if err != nil {
+		fatalf("%v", err)
+	}
+
+	jpath := filepath.Join(dir, "matrix.journal")
+	killRounds(rng, kills, jpath, "-child-matrix", jpath)
+
+	j, err := journal.Open(jpath)
+	if err != nil {
+		fatalf("reopen journal: %v", err)
+	}
+	defer j.Close()
+	before := j.Len()
+	r := matrixRunner()
+	r.Journal = j
+	got, err := r.RunMatrix(matrixCfgs())
+	if err != nil {
+		fmt.Printf("mopsoak: FAIL: resumed sweep: %v\n", err)
+		return false
+	}
+	gotJSON, err := json.Marshal(got)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	if !bytes.Equal(gotJSON, want) {
+		fmt.Printf("mopsoak: FAIL: resumed matrix differs from uninterrupted reference\n got %s\nwant %s\n", gotJSON, want)
+		return false
+	}
+	total := len(matrixRunner().Benchmarks) * len(matrixCfgs())
+	if int(r.ExecutedCells()) != total-before {
+		fmt.Printf("mopsoak: FAIL: resume executed %d cells, want %d (had %d of %d journaled)\n",
+			r.ExecutedCells(), total-before, before, total)
+		return false
+	}
+	fmt.Printf("mopsoak: matrix phase OK: %d cells journaled across kills, %d resumed, matrix byte-identical\n",
+		before, r.ExecutedCells())
+	return true
+}
+
+func soakCampaign(rng *rand.Rand, dir string, kills int, bundleDir string, seed int64) bool {
+	cfg := campaignFor(seed)
+	fmt.Printf("mopsoak: campaign phase: bench=%s faults=%v trigger=%d\n",
+		cfg.Benchmarks[0], cfg.Faults, cfg.TriggerCommits)
+	ref, err := fault.RunCampaign(cfg)
+	if err != nil {
+		fatalf("reference campaign: %v", err)
+	}
+
+	jpath := filepath.Join(dir, "campaign.journal")
+	killRounds(rng, kills, jpath, "-child-campaign", jpath, "-seed", fmt.Sprint(seed))
+
+	j, err := journal.Open(jpath)
+	if err != nil {
+		fatalf("reopen journal: %v", err)
+	}
+	defer j.Close()
+	before := j.Len()
+	resumedCfg := campaignFor(seed)
+	resumedCfg.Journal = j
+	res, err := fault.RunCampaign(resumedCfg)
+	if err != nil {
+		fmt.Printf("mopsoak: FAIL: resumed campaign: %v\n", err)
+		return false
+	}
+	ok := true
+	if res.Executed != len(ref.Outcomes)-before {
+		fmt.Printf("mopsoak: FAIL: resume executed %d cells, want %d\n", res.Executed, len(ref.Outcomes)-before)
+		ok = false
+	}
+	if len(res.Outcomes) != len(ref.Outcomes) {
+		fmt.Printf("mopsoak: FAIL: resumed campaign has %d outcomes, want %d\n", len(res.Outcomes), len(ref.Outcomes))
+		return false
+	}
+	for i := range ref.Outcomes {
+		if g, w := outcomeFacts(res.Outcomes[i]), outcomeFacts(ref.Outcomes[i]); g != w {
+			fmt.Printf("mopsoak: FAIL: outcome %d diverged after resume:\n got %s\nwant %s\n", i, g, w)
+			ok = false
+		}
+	}
+	if esc := res.Escapes(); len(esc) > 0 {
+		fmt.Printf("mopsoak: FAIL: %d fault(s) escaped detection:\n%v\n", len(esc), esc)
+		ok = false
+	}
+
+	// Minimize a couple of detections into artifacts.
+	shrunk := 0
+	for _, o := range res.Outcomes {
+		if shrunk >= 2 || !o.Fired || !o.Detected {
+			continue
+		}
+		if err := os.MkdirAll(bundleDir, 0o755); err != nil {
+			fatalf("%v", err)
+		}
+		b := shrink.New(o.Bench, config.Default().WithSched(o.Sched).WithWatchdog(cfg.WatchdogCycles), cfg.MaxInsts)
+		b.Fault = &shrink.FaultSpec{Kind: o.Fault.String(), TriggerCommits: cfg.TriggerCommits}
+		min, err := shrink.Minimize(b)
+		if err != nil {
+			fmt.Printf("mopsoak: FAIL: shrink %s/%s/%s: %v\n", o.Bench, o.Sched, o.Fault, err)
+			ok = false
+			continue
+		}
+		out := filepath.Join(bundleDir, fmt.Sprintf("%s-%s-%s.json", o.Bench, o.Sched, o.Fault))
+		if err := min.Save(out); err != nil {
+			fatalf("%v", err)
+		}
+		if err := min.Verify(); err != nil {
+			fmt.Printf("mopsoak: FAIL: bundle %s does not verify: %v\n", out, err)
+			ok = false
+			continue
+		}
+		fmt.Printf("mopsoak: wrote %s (%s, maxInsts %d -> %d)\n", out, min.ExpectKind, min.OriginalMaxInsts, min.MaxInsts)
+		shrunk++
+	}
+	if ok {
+		fmt.Printf("mopsoak: campaign phase OK: %d cells journaled across kills, %d resumed, verdicts identical\n",
+			before, res.Executed)
+	}
+	return ok
+}
+
+// outcomeFacts flattens an Outcome into its comparable verdict: resumed
+// outcomes carry reconstituted errors, so comparison goes through kind
+// and fingerprint rather than error identity.
+func outcomeFacts(o fault.Outcome) string {
+	fp := ""
+	if o.Err != nil {
+		fp = simerr.FingerprintOf(o.Err)
+	}
+	return fmt.Sprintf("%s/%s/%s fired=%v detected=%v by=%s fp=%s",
+		o.Bench, o.Sched, o.Fault, o.Fired, o.Detected, o.DetectedBy, fp)
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "mopsoak: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -26,6 +26,8 @@
 package checker
 
 import (
+	"fmt"
+
 	"macroop/internal/core"
 	"macroop/internal/functional"
 	"macroop/internal/isa"
@@ -33,11 +35,81 @@ import (
 	"macroop/internal/simerr"
 )
 
+// Invariant is a bitmask selecting which of the checker's invariant
+// groups are active. The default is InvAll; the repro minimizer
+// (internal/shrink) strips groups that are not needed to reproduce a
+// given check failure, so a minimized bundle names the one invariant
+// that actually bites.
+type Invariant uint
+
+// Invariant groups.
+const (
+	// InvCommitOrder: committed sequence numbers strictly increase and
+	// commit cycles never go backwards.
+	InvCommitOrder Invariant = 1 << iota
+	// InvScheduling: every committed op issued, no later than it commits,
+	// with its entry final and its result ready.
+	InvScheduling
+	// InvMOPAtomicity: macro-op members commit exactly as formed.
+	InvMOPAtomicity
+	// InvOccupancy: issue queue occupancy respects capacity.
+	InvOccupancy
+	// InvDifferential: lockstep cross-check against the reference
+	// functional model (and the architectural checksum, which needs it).
+	InvDifferential
+
+	// InvAll enables every invariant group.
+	InvAll = InvCommitOrder | InvScheduling | InvMOPAtomicity | InvOccupancy | InvDifferential
+)
+
+// invariantNames orders the stable names used by repro bundles.
+var invariantNames = []struct {
+	bit  Invariant
+	name string
+}{
+	{InvCommitOrder, "commit-order"},
+	{InvScheduling, "scheduling"},
+	{InvMOPAtomicity, "mop-atomicity"},
+	{InvOccupancy, "occupancy"},
+	{InvDifferential, "differential"},
+}
+
+// Names renders the active invariant groups as their stable names.
+func (v Invariant) Names() []string {
+	var out []string
+	for _, in := range invariantNames {
+		if v&in.bit != 0 {
+			out = append(out, in.name)
+		}
+	}
+	return out
+}
+
+// ParseInvariants resolves stable invariant names back into a mask.
+func ParseInvariants(names []string) (Invariant, error) {
+	var v Invariant
+	for _, name := range names {
+		found := false
+		for _, in := range invariantNames {
+			if in.name == name {
+				v |= in.bit
+				found = true
+				break
+			}
+		}
+		if !found {
+			return 0, fmt.Errorf("checker: unknown invariant %q", name)
+		}
+	}
+	return v, nil
+}
+
 // Checker is a core.Hooks implementation performing lockstep differential
 // checking against a reference functional execution of the same program.
 type Checker struct {
 	name string
 	ref  *functional.Executor
+	inv  Invariant
 
 	sum      uint64 // FNV-1a over committed architectural effects
 	sumLimit int64  // commits folded into sum (0 = all); see New
@@ -76,6 +148,7 @@ func New(prog *program.Program, iqEntries int, sumLimit int64) *Checker {
 	return &Checker{
 		name:      prog.Name,
 		ref:       functional.NewExecutor(prog),
+		inv:       InvAll,
 		sum:       fnvOffset,
 		sumLimit:  sumLimit,
 		lastSeq:   -1,
@@ -86,6 +159,14 @@ func New(prog *program.Program, iqEntries int, sumLimit int64) *Checker {
 		mopNext:   make(map[int64]int),
 	}
 }
+
+// SetInvariants restricts the checker to the given invariant groups.
+// Disabling InvDifferential also disables the architectural checksum
+// (it is computed from the reference model's state).
+func (k *Checker) SetInvariants(v Invariant) { k.inv = v }
+
+// Invariants returns the active invariant groups.
+func (k *Checker) Invariants() Invariant { return k.inv }
 
 // Summary is the distilled outcome of a checked run.
 type Summary struct {
@@ -140,6 +221,9 @@ func (k *Checker) OnIssue(ev *core.IssueEvent) error {
 // OnMOPFormed implements core.Hooks: it records the closed macro-op's
 // membership for commit-side atomicity checking.
 func (k *Checker) OnMOPFormed(entryID int64, seqs []int64) error {
+	if k.inv&InvMOPAtomicity == 0 {
+		return nil
+	}
 	if len(seqs) < 2 {
 		return simerr.New(simerr.KindCheckFailed, simerr.Context{Benchmark: k.name},
 			"entry %d formed a MOP with %d member(s)", entryID, len(seqs))
@@ -157,6 +241,9 @@ func (k *Checker) OnMOPFormed(entryID int64, seqs []int64) error {
 // OnCycle implements core.Hooks: issue queue occupancy must respect the
 // configured capacity.
 func (k *Checker) OnCycle(cycle int64, iqOccupied int) error {
+	if k.inv&InvOccupancy == 0 {
+		return nil
+	}
 	if k.iqCap > 0 && iqOccupied > k.iqCap {
 		return simerr.New(simerr.KindCheckFailed,
 			simerr.Context{Benchmark: k.name, Cycle: cycle, Committed: k.commits},
@@ -170,33 +257,39 @@ func (k *Checker) OnCommit(ev *core.CommitEvent) error {
 	d := ev.Dyn
 
 	// Commit-order invariants.
-	if d.Seq <= k.lastSeq {
-		return k.errorf("sequence %d commits at or before already-committed %d (double or out-of-order commit)", d.Seq, k.lastSeq)
-	}
-	if ev.Cycle < k.lastCyc {
-		return k.errorf("commit cycle went backwards: %d after %d", ev.Cycle, k.lastCyc)
+	if k.inv&InvCommitOrder != 0 {
+		if d.Seq <= k.lastSeq {
+			return k.errorf("sequence %d commits at or before already-committed %d (double or out-of-order commit)", d.Seq, k.lastSeq)
+		}
+		if ev.Cycle < k.lastCyc {
+			return k.errorf("commit cycle went backwards: %d after %d", ev.Cycle, k.lastCyc)
+		}
 	}
 
 	// Scheduling invariants: the op issued, no later than it commits, and
-	// its entry settled with the result available before now.
+	// its entry settled with the result available before now. The issue
+	// record is consumed regardless so the map stays window-bounded with
+	// the group disabled.
 	key := ev.EntryID<<4 | int64(ev.OpIdx)
 	issued, ok := k.lastIssue[key]
-	if !ok {
-		return k.errorf("seq %d (entry %d op %d) commits without ever issuing", d.Seq, ev.EntryID, ev.OpIdx)
-	}
 	delete(k.lastIssue, key)
-	if issued > ev.Cycle {
-		return k.errorf("seq %d issued at cycle %d after its commit cycle %d", d.Seq, issued, ev.Cycle)
-	}
-	if !ev.EntryFinal {
-		return k.errorf("seq %d commits while its scheduler entry %d is not final (replay outstanding)", d.Seq, ev.EntryID)
-	}
-	if ev.Cycle < ev.ReadyAt {
-		return k.errorf("seq %d commits at cycle %d before its result is ready at %d", d.Seq, ev.Cycle, ev.ReadyAt)
+	if k.inv&InvScheduling != 0 {
+		if !ok {
+			return k.errorf("seq %d (entry %d op %d) commits without ever issuing", d.Seq, ev.EntryID, ev.OpIdx)
+		}
+		if issued > ev.Cycle {
+			return k.errorf("seq %d issued at cycle %d after its commit cycle %d", d.Seq, issued, ev.Cycle)
+		}
+		if !ev.EntryFinal {
+			return k.errorf("seq %d commits while its scheduler entry %d is not final (replay outstanding)", d.Seq, ev.EntryID)
+		}
+		if ev.Cycle < ev.ReadyAt {
+			return k.errorf("seq %d commits at cycle %d before its result is ready at %d", d.Seq, ev.Cycle, ev.ReadyAt)
+		}
 	}
 
 	// MOP atomicity: members commit exactly as formed, in op order.
-	if ev.NumOps > 1 {
+	if k.inv&InvMOPAtomicity != 0 && ev.NumOps > 1 {
 		seqs, ok := k.mop[ev.EntryID]
 		if !ok {
 			return k.errorf("seq %d commits from multi-op entry %d that never reported formation", d.Seq, ev.EntryID)
@@ -219,45 +312,49 @@ func (k *Checker) OnCommit(ev *core.CommitEvent) error {
 		}
 	}
 
-	// Differential cross-check against the reference functional model.
-	var ref functional.DynInst
-	if err := k.ref.Step(&ref); err != nil {
-		return k.errorf("reference model cannot execute seq %d: %v", d.Seq, err)
-	}
-	if err := k.compare(&ref, d); err != nil {
-		return err
-	}
+	// Differential cross-check against the reference functional model
+	// (and the architectural checksum, which is built from the reference
+	// state and so rides on the same invariant group).
+	if k.inv&InvDifferential != 0 {
+		var ref functional.DynInst
+		if err := k.ref.Step(&ref); err != nil {
+			return k.errorf("reference model cannot execute seq %d: %v", d.Seq, err)
+		}
+		if err := k.compare(&ref, d); err != nil {
+			return err
+		}
 
-	// Destination value from the reference architectural state.
-	var destVal uint64
-	if ref.Inst.WritesReg() {
-		destVal = k.ref.Reg(ref.Inst.Dest)
-	}
+		// Destination value from the reference architectural state.
+		var destVal uint64
+		if ref.Inst.WritesReg() {
+			destVal = k.ref.Reg(ref.Inst.Dest)
+		}
 
-	// A fused store commits as one uop but is two reference steps; the
-	// merged STD supplies the store data.
-	var storeVal uint64
-	if ref.Inst.Op == isa.STA {
-		var std functional.DynInst
-		if err := k.ref.Step(&std); err != nil {
-			return k.errorf("reference model cannot execute STD for store seq %d: %v", d.Seq, err)
+		// A fused store commits as one uop but is two reference steps; the
+		// merged STD supplies the store data.
+		var storeVal uint64
+		if ref.Inst.Op == isa.STA {
+			var std functional.DynInst
+			if err := k.ref.Step(&std); err != nil {
+				return k.errorf("reference model cannot execute STD for store seq %d: %v", d.Seq, err)
+			}
+			if std.Inst.Op != isa.STD {
+				return k.errorf("store seq %d not followed by STD in reference stream (got %s)", d.Seq, std.Inst.Op)
+			}
+			if std.MemAddr != ref.MemAddr {
+				return k.errorf("store seq %d: STD address %#x != STA address %#x", d.Seq, std.MemAddr, ref.MemAddr)
+			}
+			if ev.DataReg != std.Inst.Src1 {
+				return k.errorf("store seq %d commits data register %s, reference says %s", d.Seq, ev.DataReg, std.Inst.Src1)
+			}
+			storeVal = k.ref.Mem().Read(ref.MemAddr)
 		}
-		if std.Inst.Op != isa.STD {
-			return k.errorf("store seq %d not followed by STD in reference stream (got %s)", d.Seq, std.Inst.Op)
-		}
-		if std.MemAddr != ref.MemAddr {
-			return k.errorf("store seq %d: STD address %#x != STA address %#x", d.Seq, std.MemAddr, ref.MemAddr)
-		}
-		if ev.DataReg != std.Inst.Src1 {
-			return k.errorf("store seq %d commits data register %s, reference says %s", d.Seq, ev.DataReg, std.Inst.Src1)
-		}
-		storeVal = k.ref.Mem().Read(ref.MemAddr)
-	}
 
-	if k.sumLimit <= 0 || k.commits < k.sumLimit {
-		k.mix(uint64(d.Seq), uint64(int64(d.PC)), uint64(d.Inst.Op),
-			uint64(d.Inst.Dest), destVal, d.MemAddr, boolWord(d.Taken),
-			uint64(int64(d.NextPC)), storeVal)
+		if k.sumLimit <= 0 || k.commits < k.sumLimit {
+			k.mix(uint64(d.Seq), uint64(int64(d.PC)), uint64(d.Inst.Op),
+				uint64(d.Inst.Dest), destVal, d.MemAddr, boolWord(d.Taken),
+				uint64(int64(d.NextPC)), storeVal)
+		}
 	}
 	k.lastSeq = d.Seq
 	k.lastCyc = ev.Cycle

@@ -1,0 +1,58 @@
+package checker
+
+import (
+	"errors"
+	"testing"
+
+	"macroop/internal/config"
+	"macroop/internal/core"
+	"macroop/internal/functional"
+	"macroop/internal/simerr"
+	"macroop/internal/workload"
+)
+
+// TestInvariantNamesRoundTrip: every mask subset survives Names/Parse.
+func TestInvariantNamesRoundTrip(t *testing.T) {
+	for v := Invariant(0); v <= InvAll; v++ {
+		got, err := ParseInvariants(v.Names())
+		if err != nil || got != v {
+			t.Fatalf("mask %b: round trip = %b, %v", v, got, err)
+		}
+	}
+	if _, err := ParseInvariants([]string{"bogus"}); err == nil {
+		t.Error("ParseInvariants accepted an unknown name")
+	}
+}
+
+// TestDisabledInvariantTolerates: a divergence that only the differential
+// group can see is caught with InvAll and ignored once that group is
+// stripped — the knob the repro minimizer turns.
+func TestDisabledInvariantTolerates(t *testing.T) {
+	prof, err := workload.ByName("gzip")
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog, err := workload.Generate(prof)
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func(inv Invariant) error {
+		m := config.Default()
+		src := &CorruptSource{Src: functional.NewExecutor(prog), At: 500}
+		c, err := core.NewFromSource(m, prog.Name, src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		k := New(prog, m.IQEntries, 5000)
+		k.SetInvariants(inv)
+		c.SetHooks(k)
+		_, err = c.Run(5000)
+		return err
+	}
+	if err := run(InvAll); !errors.Is(err, simerr.ErrCheckFailed) {
+		t.Fatalf("full mask missed the corruption: %v", err)
+	}
+	if err := run(InvAll &^ InvDifferential); err != nil {
+		t.Fatalf("with differential stripped the run should tolerate the corruption, got %v", err)
+	}
+}

@@ -157,6 +157,12 @@ func (c *Core) RunContext(ctx context.Context, maxInsts int64) (res *Result, err
 			res, err = nil, simerr.Internal(c.errCtx(), r, string(debug.Stack()))
 		}
 	}()
+	// An already-expired context stops the run before cycle 0 — without
+	// this, a cancelled sweep cell would still burn a full poll window
+	// (ctxPollCycles cycles) before noticing.
+	if cerr := ctx.Err(); cerr != nil {
+		return nil, simerr.Cancelled(c.errCtx(), cerr)
+	}
 	maxCycles := maxInsts * 1000
 	if maxCycles <= 0 {
 		maxCycles = 1 << 40

@@ -15,6 +15,13 @@ type Result struct {
 	Committed int64 // committed instructions (a fused store counts once)
 	IPC       float64
 
+	// ReproFingerprint is empty for a run that completed. Sweep harnesses
+	// set it on the zero-valued placeholder result of a permanently
+	// failed cell to the failing error's repro fingerprint
+	// (simerr.FingerprintOf), so a rendered partial table still names the
+	// failure identity of every dead cell.
+	ReproFingerprint string `json:",omitempty"`
+
 	Fetched   int64
 	OpsIssued int64
 

@@ -12,12 +12,14 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"macroop/internal/checker"
 	"macroop/internal/config"
 	"macroop/internal/core"
 	"macroop/internal/functional"
+	"macroop/internal/journal"
 	"macroop/internal/mop"
 	"macroop/internal/program"
 	"macroop/internal/simerr"
@@ -41,9 +43,40 @@ type Runner struct {
 	// hanging the whole sweep.
 	CellTimeout time.Duration
 
+	// Journal, when set, makes every sweep write-ahead and resumable:
+	// each cell's outcome (success, or permanent failure after retries)
+	// is durably appended as it completes, and a later sweep over the
+	// same journal skips those cells, reusing the recorded outcomes.
+	// Cells interrupted by sweep cancellation are never journaled, so a
+	// crash or kill mid-sweep re-runs exactly the incomplete cells.
+	Journal *journal.Journal
+	// JournalOnly renders from the journal without simulating: cells
+	// present in the journal reconstitute as usual, absent ones become
+	// placeholder results reported as ErrMissingCell. This is how a
+	// partially-complete sweep is rendered (moppaper -from-journal).
+	JournalOnly bool
+
+	// RetryAttempts is the per-cell attempt budget before the cell is
+	// recorded as permanently failed (0 = default 2: simulations are
+	// deterministic, but one retry distinguishes a timeout on a loaded
+	// machine from a real hang and double-checks any internal fault).
+	RetryAttempts int
+	// RetryBackoff is the delay before the first retry, doubling per
+	// further attempt (0 = default 100ms, negative = none).
+	RetryBackoff time.Duration
+	// Concurrency caps how many cells simulate at once (0 = NumCPU).
+	Concurrency int
+
 	mu    sync.Mutex
 	progs map[string]*progFuture
+
+	executed atomic.Int64
 }
+
+// ExecutedCells reports how many matrix cells this runner actually
+// simulated (journal-skipped cells are not counted) — the observable that
+// resume tests and the soak harness assert on.
+func (r *Runner) ExecutedCells() int64 { return r.executed.Load() }
 
 // progFuture is a per-benchmark generation slot: the runner's lock only
 // guards map access, so first-touch generation of different benchmarks
@@ -171,15 +204,30 @@ func (r *Runner) runCell(ctx context.Context, j job) (res *core.Result, err erro
 }
 
 // RunMatrix simulates every benchmark under every named configuration in
-// parallel, returning results[bench][cfgName].
+// parallel, returning results[bench][cfgName]. See RunMatrixContext.
+func (r *Runner) RunMatrix(cfgs map[string]config.Machine) (map[string]map[string]*core.Result, error) {
+	return r.RunMatrixContext(context.Background(), cfgs)
+}
+
+// RunMatrixContext simulates every benchmark under every named
+// configuration in parallel, returning results[bench][cfgName].
 //
 // The sweep is resilient: each cell gets its own timeout (CellTimeout),
-// panics are isolated to their cell, and a failed cell is retried once
-// before being recorded. If any cells still fail, the returned map is
-// nevertheless complete — failed cells hold placeholder results with only
-// the benchmark name set — and the error is a *MatrixError listing every
-// failure, so callers can render partial tables and report the rest.
-func (r *Runner) RunMatrix(cfgs map[string]config.Machine) (map[string]map[string]*core.Result, error) {
+// panics are isolated to their cell, and a failed cell is retried with
+// backoff (RetryAttempts/RetryBackoff) before being recorded. If any
+// cells still fail, the returned map is nevertheless complete — failed
+// cells hold placeholder results carrying only the benchmark name and
+// the last error's repro fingerprint — and the error is a *MatrixError
+// listing every failure, so callers can render partial tables and report
+// the rest.
+//
+// With a Journal attached the sweep is also crash-consistent: every
+// completed cell (success or permanent failure) is durably journaled as
+// it finishes, cells already journaled are skipped, and cells cut short
+// by ctx cancellation are left unjournaled so a resumed sweep re-runs
+// exactly them. Cancelling ctx returns the partial matrix with the
+// unfinished cells reported as cancelled.
+func (r *Runner) RunMatrixContext(ctx context.Context, cfgs map[string]config.Machine) (map[string]map[string]*core.Result, error) {
 	var jobs []job
 	for _, b := range r.benchmarks() {
 		for name, m := range cfgs {
@@ -191,22 +239,67 @@ func (r *Runner) RunMatrix(cfgs map[string]config.Machine) (map[string]map[strin
 		results[b] = make(map[string]*core.Result)
 	}
 
-	var mu sync.Mutex
 	var failed []*CellError
-	var wg sync.WaitGroup
-	sem := make(chan struct{}, runtime.NumCPU())
+	var todo []job
 	for _, j := range jobs {
+		switch rec, ok := r.journaledCell(j); {
+		case ok:
+			res, cerr := reconstitute(rec, j)
+			if cerr != nil {
+				failed = append(failed, cerr)
+			}
+			results[j.bench][j.cfg] = res
+		case r.JournalOnly:
+			failed = append(failed, &CellError{Bench: j.bench, Cfg: j.cfg, Err: ErrMissingCell})
+			results[j.bench][j.cfg] = &core.Result{Benchmark: j.bench}
+		default:
+			todo = append(todo, j)
+		}
+	}
+
+	workers := r.Concurrency
+	if workers <= 0 {
+		workers = runtime.NumCPU()
+	}
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, workers)
+	for _, j := range todo {
 		wg.Add(1)
 		go func(j job) {
 			defer wg.Done()
 			sem <- struct{}{}
 			defer func() { <-sem }()
-			res, attempts, err := r.runCellWithRetry(j)
+			res, attempts, err := r.runCellWithRetry(ctx, j)
+			var jerr error
+			if err == nil {
+				jerr = r.journalCell(j, &cellRecord{Bench: j.bench, Cfg: j.cfg, Attempts: attempts, Result: res})
+			} else if ctx.Err() == nil {
+				// Permanent failure: retries exhausted while the sweep
+				// itself was still live. Journal it so resume reports it
+				// instead of re-running it.
+				jerr = r.journalCell(j, &cellRecord{
+					Bench: j.bench, Cfg: j.cfg, Attempts: attempts,
+					Failed:      true,
+					ErrKind:     kindName(err),
+					ErrMsg:      err.Error(),
+					Fingerprint: simerr.FingerprintOf(err),
+				})
+			}
+			// (cells cut short by sweep cancellation stay unjournaled)
 			mu.Lock()
 			defer mu.Unlock()
 			if err != nil {
 				failed = append(failed, &CellError{Bench: j.bench, Cfg: j.cfg, Attempts: attempts, Err: err})
-				res = &core.Result{Benchmark: j.bench} // placeholder: renders as zeros
+				// Placeholder: renders as zeros, but names the failure.
+				res = &core.Result{Benchmark: j.bench}
+				if ctx.Err() == nil {
+					res.ReproFingerprint = simerr.FingerprintOf(err)
+				}
+			}
+			if jerr != nil {
+				failed = append(failed, &CellError{Bench: j.bench, Cfg: j.cfg, Attempts: attempts,
+					Err: fmt.Errorf("journal append: %w", jerr)})
 			}
 			results[j.bench][j.cfg] = res
 		}(j)
@@ -224,29 +317,57 @@ func (r *Runner) RunMatrix(cfgs map[string]config.Machine) (map[string]map[strin
 	return results, nil
 }
 
-// runCellWithRetry runs a cell under the per-cell timeout, retrying once
-// on failure (simulations are deterministic, but a retry distinguishes a
-// timeout on a loaded machine from a real hang and double-checks any
-// internal fault before it is reported).
-func (r *Runner) runCellWithRetry(j job) (*core.Result, int, error) {
+// kindName classifies err for the journal; untyped setup errors (unknown
+// benchmark, generation failure) record as internal.
+func kindName(err error) string {
+	k, _ := simerr.KindOf(err)
+	return k.String()
+}
+
+// runCellWithRetry runs a cell under the per-cell timeout, retrying with
+// exponential backoff until the attempt budget is exhausted. Sweep
+// cancellation stops the retry loop immediately: an interrupted cell is
+// not a permanent failure.
+func (r *Runner) runCellWithRetry(ctx context.Context, j job) (*core.Result, int, error) {
+	r.executed.Add(1)
+	attempts := r.RetryAttempts
+	if attempts <= 0 {
+		attempts = 2
+	}
+	backoff := r.RetryBackoff
+	if backoff == 0 {
+		backoff = 100 * time.Millisecond
+	}
 	run := func() (*core.Result, error) {
-		ctx := context.Background()
+		cctx := ctx
 		if r.CellTimeout > 0 {
 			var cancel context.CancelFunc
-			ctx, cancel = context.WithTimeout(ctx, r.CellTimeout)
+			cctx, cancel = context.WithTimeout(ctx, r.CellTimeout)
 			defer cancel()
 		}
-		return r.runCell(ctx, j)
+		return r.runCell(cctx, j)
 	}
-	res, err := run()
-	if err == nil {
-		return res, 1, nil
+	var err error
+	for a := 1; a <= attempts; a++ {
+		var res *core.Result
+		res, err = run()
+		if err == nil {
+			return res, a, nil
+		}
+		if ctx.Err() != nil || a == attempts {
+			return nil, a, err
+		}
+		if backoff > 0 {
+			t := time.NewTimer(backoff << (a - 1))
+			select {
+			case <-t.C:
+			case <-ctx.Done():
+				t.Stop()
+				return nil, a, err
+			}
+		}
 	}
-	res, err2 := run()
-	if err2 == nil {
-		return res, 2, nil
-	}
-	return nil, 2, err2
+	return nil, attempts, err
 }
 
 // characterize streams maxInsts committed instructions of a benchmark

@@ -1,0 +1,98 @@
+package experiments
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+
+	"macroop/internal/core"
+	"macroop/internal/simerr"
+)
+
+// ErrMissingCell marks a matrix cell that a journal-only render could not
+// find in the journal: the sweep never completed it (or was never run).
+var ErrMissingCell = errors.New("experiments: cell not present in journal")
+
+// cellRecord is the journaled outcome of one matrix cell. Exactly one of
+// Result (completed) or Failed (permanently failed after retries) is set;
+// cells interrupted by sweep cancellation are never journaled, which is
+// what makes them re-run on resume.
+type cellRecord struct {
+	Bench    string
+	Cfg      string
+	Attempts int
+	Result   *core.Result `json:",omitempty"`
+
+	Failed      bool   `json:",omitempty"`
+	ErrKind     string `json:",omitempty"` // simerr.Kind name
+	ErrMsg      string `json:",omitempty"` // rendered error text
+	Fingerprint string `json:",omitempty"` // simerr.FingerprintOf the last error
+}
+
+// cellKey identifies one matrix cell across runs: benchmark, configuration
+// name, and a fingerprint over the full machine configuration plus the
+// runner parameters that change what the cell computes. A journal entry is
+// reused only when all of it matches, so editing a configuration (or the
+// instruction budget) invalidates stale cells instead of resuming into
+// wrong results.
+func (r *Runner) cellKey(j job) string {
+	cfgJSON, err := json.Marshal(j.m)
+	if err != nil {
+		// config.Machine is a plain value struct; Marshal cannot fail on
+		// it. Guard anyway so a future field type cannot corrupt resume.
+		cfgJSON = []byte(fmt.Sprintf("%+v", j.m))
+	}
+	h := simerr.Fingerprint(string(cfgJSON), fmt.Sprint(r.MaxInsts), fmt.Sprint(r.Check))
+	return "cell|" + j.bench + "|" + j.cfg + "|" + h
+}
+
+// journaledCell looks up a durable outcome for the cell; a record that
+// does not decode is treated as absent (the cell re-runs).
+func (r *Runner) journaledCell(j job) (*cellRecord, bool) {
+	if r.Journal == nil {
+		return nil, false
+	}
+	data, ok := r.Journal.Get(r.cellKey(j))
+	if !ok {
+		return nil, false
+	}
+	var rec cellRecord
+	if err := json.Unmarshal(data, &rec); err != nil {
+		return nil, false
+	}
+	return &rec, true
+}
+
+// journalCell durably records a cell outcome; with no journal attached it
+// is a no-op. Append errors surface as the sweep's journal health: the
+// cell's in-memory result is still used, but resume will re-run it.
+func (r *Runner) journalCell(j job, rec *cellRecord) error {
+	if r.Journal == nil {
+		return nil
+	}
+	data, err := json.Marshal(rec)
+	if err != nil {
+		return err
+	}
+	return r.Journal.Append(r.cellKey(j), data)
+}
+
+// reconstitute converts a journaled record back into the sweep's
+// in-memory shape: a live result for completed cells, or a placeholder
+// plus a typed, classifiable CellError for permanently failed ones.
+func reconstitute(rec *cellRecord, j job) (*core.Result, *CellError) {
+	if !rec.Failed && rec.Result != nil {
+		return rec.Result, nil
+	}
+	kind := simerr.KindInternal
+	if k, err := simerr.ParseKind(rec.ErrKind); err == nil {
+		kind = k
+	}
+	ph := &core.Result{Benchmark: j.bench, ReproFingerprint: rec.Fingerprint}
+	return ph, &CellError{
+		Bench:    j.bench,
+		Cfg:      j.cfg,
+		Attempts: rec.Attempts,
+		Err:      simerr.Journaled(kind, rec.ErrMsg, rec.Fingerprint),
+	}
+}

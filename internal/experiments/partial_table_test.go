@@ -1,0 +1,116 @@
+package experiments
+
+import (
+	"encoding/json"
+	"errors"
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"macroop/internal/config"
+	"macroop/internal/core"
+	"macroop/internal/journal"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// TestPartialTableFromJournalGolden renders Table 2 in journal-only mode
+// from a journal holding a mix of completed, permanently-failed, and
+// missing cells — the moppaper -from-journal path — and locks the exact
+// rendering (zero placeholders plus a failure listing) with a golden file.
+func TestPartialTableFromJournalGolden(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "partial.journal")
+	j, err := journal.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j.Close()
+
+	iq32 := config.Default().WithSched(config.SchedBase)
+	unres := config.Unrestricted().WithSched(config.SchedBase)
+
+	// The writer and the renderer must agree on MaxInsts/Check: both are
+	// part of the cell key.
+	w := NewRunner(2000)
+	w.Journal = j
+	put := func(bench, cfg string, m config.Machine, rec *cellRecord) {
+		t.Helper()
+		if err := w.journalCell(job{bench: bench, cfg: cfg, m: m}, rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// gzip: both cells completed.
+	put("gzip", "iq32", iq32, &cellRecord{Bench: "gzip", Cfg: "iq32", Attempts: 1,
+		Result: &core.Result{Benchmark: "gzip", Committed: 2000, Cycles: 1000, IPC: 2}})
+	put("gzip", "unres", unres, &cellRecord{Bench: "gzip", Cfg: "unres", Attempts: 1,
+		Result: &core.Result{Benchmark: "gzip", Committed: 2000, Cycles: 800, IPC: 2.5}})
+	// mcf: the 32-entry cell failed permanently; the unrestricted one was
+	// never reached. twolf: entirely missing.
+	put("mcf", "iq32", iq32, &cellRecord{Bench: "mcf", Cfg: "iq32", Attempts: 2,
+		Failed:      true,
+		ErrKind:     "deadlock",
+		ErrMsg:      "mcf [base]: deadlock: no commit in 3000 cycles (cycle 4242, 512 committed)",
+		Fingerprint: "00000000deadbeef"})
+
+	r := NewRunner(2000)
+	r.Benchmarks = []string{"gzip", "mcf", "twolf"}
+	r.Journal = j
+	r.JournalOnly = true
+	tab, terr := r.Table2()
+	if tab == nil {
+		t.Fatalf("Table2 returned no table: %v", terr)
+	}
+	var me *MatrixError
+	if !errors.As(terr, &me) {
+		t.Fatalf("Table2 error = %v, want *MatrixError", terr)
+	}
+	if n := r.ExecutedCells(); n != 0 {
+		t.Fatalf("journal-only render executed %d cells, want 0", n)
+	}
+
+	var b strings.Builder
+	b.WriteString(tab.String())
+	b.WriteString("\n-- incomplete cells --\n")
+	b.WriteString(me.Error())
+	b.WriteString("\n")
+	got := b.String()
+
+	golden := filepath.Join("testdata", "partial_table2.golden")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("read golden (run with -update to regenerate): %v", err)
+	}
+	if got != string(want) {
+		t.Errorf("partial table rendering drifted from golden:\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+
+	// The failed cell's placeholder carries the journaled fingerprint, and
+	// missing cells classify as ErrMissingCell.
+	res, rerr := r.RunMatrix(map[string]config.Machine{"iq32": iq32, "unres": unres})
+	if !errors.As(rerr, &me) {
+		t.Fatalf("RunMatrix error = %v, want *MatrixError", rerr)
+	}
+	if fp := res["mcf"]["iq32"].ReproFingerprint; fp != "00000000deadbeef" {
+		t.Errorf("failed cell fingerprint = %q, want 00000000deadbeef", fp)
+	}
+	missing := 0
+	for _, c := range me.Cells {
+		if errors.Is(c.Err, ErrMissingCell) {
+			missing++
+		}
+	}
+	if missing != 3 {
+		data, _ := json.Marshal(me.Cells)
+		t.Errorf("want 3 ErrMissingCell cells (mcf/unres, twolf/*), got %d: %s", missing, data)
+	}
+}

@@ -36,6 +36,17 @@ func TestRunMatrixPartialResults(t *testing.T) {
 	if got := res["no-such-bench"]["base"]; got == nil || got.Committed != 0 {
 		t.Errorf("failed cell should hold a zero placeholder, got %+v", got)
 	}
+	// A cell that exhausted its retries records the last error's repro
+	// fingerprint in its placeholder, so a rendered partial table still
+	// names the failure identity, not just zeros.
+	if got := res["no-such-bench"]["base"]; got.ReproFingerprint == "" {
+		t.Error("exhausted cell's placeholder carries no repro fingerprint")
+	} else if want := simerr.FingerprintOf(c.Err); got.ReproFingerprint != want {
+		t.Errorf("placeholder fingerprint %s, want FingerprintOf(last error) %s", got.ReproFingerprint, want)
+	}
+	if got := res["gzip"]["base"]; got.ReproFingerprint != "" {
+		t.Errorf("healthy cell unexpectedly carries a fingerprint %q", got.ReproFingerprint)
+	}
 	// Tables over the same runner render the healthy rows and surface the
 	// failures instead of aborting.
 	tab, terr := r.Table2()

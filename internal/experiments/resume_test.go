@@ -1,0 +1,152 @@
+package experiments
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"macroop/internal/config"
+	"macroop/internal/journal"
+)
+
+// TestKillAndResumeMatrixByteIdentical is the crash-consistency acceptance
+// test: a sweep interrupted mid-flight (context cancel after some cells
+// have journaled) and then resumed over the same journal must produce a
+// matrix byte-identical to an uninterrupted run, re-executing only the
+// cells the interruption left incomplete.
+func TestKillAndResumeMatrixByteIdentical(t *testing.T) {
+	benches := []string{"gzip", "mcf", "twolf", "vortex"}
+	cfgs := map[string]config.Machine{
+		"base":    config.Default().WithSched(config.SchedBase),
+		"2-cycle": config.Default().WithSched(config.SchedTwoCycle),
+	}
+	total := len(benches) * len(cfgs)
+	newRunner := func() *Runner {
+		r := NewRunner(5000)
+		r.Benchmarks = benches
+		r.Concurrency = 1 // serialize cells for a well-defined interrupt point
+		return r
+	}
+
+	// Reference: one uninterrupted sweep, no journal.
+	want, err := newRunner().RunMatrix(cfgs)
+	if err != nil {
+		t.Fatalf("reference sweep failed: %v", err)
+	}
+	wantJSON, err := json.Marshal(want)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Interrupted sweep: cancel as soon as two cells have journaled.
+	path := filepath.Join(t.TempDir(), "sweep.journal")
+	j, err := journal.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for j.Len() < 2 {
+			time.Sleep(100 * time.Microsecond)
+		}
+		cancel()
+	}()
+	interrupted := newRunner()
+	interrupted.Journal = j
+	if _, err := interrupted.RunMatrixContext(ctx, cfgs); err == nil {
+		t.Fatal("interrupted sweep reported full success")
+	}
+	<-done
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Reopen, as a fresh process would after a crash.
+	j2, err := journal.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j2.Close()
+	journaled := j2.Len()
+	if journaled < 2 || journaled >= total {
+		t.Fatalf("interrupt landed badly: %d of %d cells journaled", journaled, total)
+	}
+
+	// Resume: must re-run exactly the incomplete cells and reproduce the
+	// reference matrix byte-for-byte.
+	resumed := newRunner()
+	resumed.Journal = j2
+	got, err := resumed.RunMatrixContext(context.Background(), cfgs)
+	if err != nil {
+		t.Fatalf("resumed sweep failed: %v", err)
+	}
+	if n := resumed.ExecutedCells(); n != int64(total-journaled) {
+		t.Errorf("resume executed %d cells, want %d (only the incomplete ones)", n, total-journaled)
+	}
+	gotJSON, err := json.Marshal(got)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(gotJSON, wantJSON) {
+		t.Errorf("resumed matrix differs from uninterrupted run:\n got %s\nwant %s", gotJSON, wantJSON)
+	}
+
+	// A third sweep over the now-complete journal simulates nothing.
+	again := newRunner()
+	again.Journal = j2
+	if _, err := again.RunMatrixContext(context.Background(), cfgs); err != nil {
+		t.Fatalf("fully journaled sweep failed: %v", err)
+	}
+	if n := again.ExecutedCells(); n != 0 {
+		t.Errorf("fully journaled sweep executed %d cells, want 0", n)
+	}
+}
+
+// TestJournalInvalidatedByConfigChange: editing a configuration (or the
+// instruction budget) must not resume into stale results — the cell key
+// fingerprints the machine config and runner parameters.
+func TestJournalInvalidatedByConfigChange(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "sweep.journal")
+	j, err := journal.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j.Close()
+
+	r1 := NewRunner(2000)
+	r1.Benchmarks = []string{"gzip"}
+	r1.Journal = j
+	cfgs := map[string]config.Machine{"base": config.Default().WithSched(config.SchedBase)}
+	if _, err := r1.RunMatrix(cfgs); err != nil {
+		t.Fatal(err)
+	}
+
+	// Same journal, same config name, different machine: must re-run.
+	r2 := NewRunner(2000)
+	r2.Benchmarks = []string{"gzip"}
+	r2.Journal = j
+	altered := map[string]config.Machine{"base": config.Default().WithSched(config.SchedTwoCycle)}
+	if _, err := r2.RunMatrix(altered); err != nil {
+		t.Fatal(err)
+	}
+	if n := r2.ExecutedCells(); n != 1 {
+		t.Errorf("altered config executed %d cells, want 1 (stale record must not be reused)", n)
+	}
+
+	// Unchanged sweep still resumes from the journal.
+	r3 := NewRunner(2000)
+	r3.Benchmarks = []string{"gzip"}
+	r3.Journal = j
+	if _, err := r3.RunMatrix(cfgs); err != nil {
+		t.Fatal(err)
+	}
+	if n := r3.ExecutedCells(); n != 0 {
+		t.Errorf("unchanged sweep executed %d cells, want 0", n)
+	}
+}

@@ -1,12 +1,15 @@
 package fault
 
 import (
+	"context"
+	"encoding/json"
 	"fmt"
 	"strings"
 
 	"macroop/internal/checker"
 	"macroop/internal/config"
 	"macroop/internal/core"
+	"macroop/internal/journal"
 	"macroop/internal/program"
 	"macroop/internal/simerr"
 	"macroop/internal/workload"
@@ -29,6 +32,12 @@ type CampaignConfig struct {
 	// WatchdogCycles is the forward-progress window for each cell; keep it
 	// small (a few thousand cycles) so starvation faults are flagged fast.
 	WatchdogCycles int
+
+	// Journal, when set, makes the campaign crash-consistent: every
+	// finished cell's outcome is durably appended, already-journaled cells
+	// are skipped on re-run, and cells interrupted by ctx cancellation are
+	// left unjournaled so a resumed campaign re-runs exactly them.
+	Journal *journal.Journal
 }
 
 // DefaultCampaign returns the configuration the repository's own
@@ -83,6 +92,10 @@ func (o Outcome) String() string {
 // CampaignResult aggregates a campaign's outcomes.
 type CampaignResult struct {
 	Outcomes []Outcome
+	// Executed counts cells actually simulated by this run (cells
+	// reconstituted from the journal are not counted) — the observable
+	// the resume tests assert on.
+	Executed int
 }
 
 // Escapes returns the cells where a fault fired and was NOT detected —
@@ -121,10 +134,22 @@ func (r *CampaignResult) String() string {
 	return b.String()
 }
 
-// RunCampaign executes the full cross product. The returned error covers
-// only campaign setup (unknown benchmark, generation failure); detection
-// misses are data, reported in the result for the caller to assert on.
+// RunCampaign executes the full cross product. See RunCampaignContext.
 func RunCampaign(cfg CampaignConfig) (*CampaignResult, error) {
+	return RunCampaignContext(context.Background(), cfg)
+}
+
+// RunCampaignContext executes the full cross product. The returned error
+// covers only campaign setup (unknown benchmark, generation failure) and
+// interruption; detection misses are data, reported in the result for the
+// caller to assert on.
+//
+// With cfg.Journal set the campaign resumes: cells whose outcome is
+// already journaled are reconstituted instead of re-run, and every cell
+// finished by this run is journaled as it completes. Cancelling ctx stops
+// the campaign after the in-flight cell, leaves that cell unjournaled,
+// and returns the partial result together with ctx's error.
+func RunCampaignContext(ctx context.Context, cfg CampaignConfig) (*CampaignResult, error) {
 	if len(cfg.Faults) == 0 {
 		cfg.Faults = Kinds()
 	}
@@ -144,17 +169,97 @@ func RunCampaign(cfg CampaignConfig) (*CampaignResult, error) {
 	for _, bench := range cfg.Benchmarks {
 		for _, sm := range cfg.Scheds {
 			for _, fk := range cfg.Faults {
-				o := runCell(cfg, progs[bench], bench, sm, fk)
+				if rec, ok := journaledOutcome(cfg, bench, sm, fk); ok {
+					res.Outcomes = append(res.Outcomes, rec.outcome(bench, sm, fk))
+					continue
+				}
+				if ctx.Err() != nil {
+					return res, ctx.Err()
+				}
+				o := runCell(ctx, cfg, progs[bench], bench, sm, fk)
+				if ctx.Err() != nil {
+					// Interrupted mid-cell: the outcome is an artifact of
+					// cancellation, not a detection verdict. Leave it
+					// unjournaled and unreported so resume re-runs it.
+					return res, ctx.Err()
+				}
+				if err := journalOutcome(cfg, bench, sm, fk, o); err != nil {
+					return res, fmt.Errorf("fault: journal append: %w", err)
+				}
 				res.Outcomes = append(res.Outcomes, o)
+				res.Executed++
 			}
 		}
 	}
 	return res, nil
 }
 
+// outcomeRecord is the journaled form of one campaign cell's Outcome.
+// Bench/sched/fault live in the journal key, not the record.
+type outcomeRecord struct {
+	Fired       bool
+	Detected    bool
+	DetectedBy  string `json:",omitempty"` // simerr.Kind name
+	ErrMsg      string `json:",omitempty"`
+	Fingerprint string `json:",omitempty"`
+}
+
+// outcome rebuilds the in-memory Outcome, with a typed, classifiable
+// error standing in for the original.
+func (r *outcomeRecord) outcome(bench string, sm config.SchedModel, fk Kind) Outcome {
+	o := Outcome{Bench: bench, Sched: sm, Fault: fk, Fired: r.Fired, Detected: r.Detected}
+	if r.Detected {
+		if k, err := simerr.ParseKind(r.DetectedBy); err == nil {
+			o.DetectedBy = k
+		}
+		o.Err = simerr.Journaled(o.DetectedBy, r.ErrMsg, r.Fingerprint)
+	}
+	return o
+}
+
+// cellKey identifies a campaign cell across runs; the trailing
+// fingerprint covers the parameters that change what the cell computes,
+// so editing the campaign config invalidates stale journal entries.
+func cellKey(cfg CampaignConfig, bench string, sm config.SchedModel, fk Kind) string {
+	h := simerr.Fingerprint(fmt.Sprint(cfg.MaxInsts), fmt.Sprint(cfg.TriggerCommits), fmt.Sprint(cfg.WatchdogCycles))
+	return "fault|" + bench + "|" + sm.String() + "|" + fk.String() + "|" + h
+}
+
+func journaledOutcome(cfg CampaignConfig, bench string, sm config.SchedModel, fk Kind) (*outcomeRecord, bool) {
+	if cfg.Journal == nil {
+		return nil, false
+	}
+	data, ok := cfg.Journal.Get(cellKey(cfg, bench, sm, fk))
+	if !ok {
+		return nil, false
+	}
+	var rec outcomeRecord
+	if err := json.Unmarshal(data, &rec); err != nil {
+		return nil, false // undecodable record: re-run the cell
+	}
+	return &rec, true
+}
+
+func journalOutcome(cfg CampaignConfig, bench string, sm config.SchedModel, fk Kind, o Outcome) error {
+	if cfg.Journal == nil {
+		return nil
+	}
+	rec := outcomeRecord{Fired: o.Fired, Detected: o.Detected}
+	if o.Detected {
+		rec.DetectedBy = o.DetectedBy.String()
+		rec.ErrMsg = o.Err.Error()
+		rec.Fingerprint = simerr.FingerprintOf(o.Err)
+	}
+	data, err := json.Marshal(&rec)
+	if err != nil {
+		return err
+	}
+	return cfg.Journal.Append(cellKey(cfg, bench, sm, fk), data)
+}
+
 // runCell runs one benchmark × scheduler × fault combination with the
 // production checker attached behind the injector.
-func runCell(cfg CampaignConfig, prog *program.Program, bench string, sm config.SchedModel, fk Kind) Outcome {
+func runCell(ctx context.Context, cfg CampaignConfig, prog *program.Program, bench string, sm config.SchedModel, fk Kind) Outcome {
 	o := Outcome{Bench: bench, Sched: sm, Fault: fk}
 	m := config.Default().WithSched(sm).WithWatchdog(cfg.WatchdogCycles)
 	c, err := core.New(m, prog)
@@ -165,7 +270,7 @@ func runCell(cfg CampaignConfig, prog *program.Program, bench string, sm config.
 	chk := checker.New(prog, m.IQEntries, cfg.MaxInsts)
 	inj := NewInjector(fk, chk, c.Scheduler(), cfg.TriggerCommits, sm == config.SchedMOP)
 	c.SetHooks(inj)
-	_, err = c.Run(cfg.MaxInsts)
+	_, err = c.RunContext(ctx, cfg.MaxInsts)
 	o.Fired = inj.Fired()
 	o.Err = err
 	if err != nil {

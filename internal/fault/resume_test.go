@@ -1,0 +1,151 @@
+package fault
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"macroop/internal/config"
+	"macroop/internal/journal"
+	"macroop/internal/simerr"
+)
+
+func testCampaign(j *journal.Journal) CampaignConfig {
+	return CampaignConfig{
+		Benchmarks:     []string{"gzip"},
+		Scheds:         []config.SchedModel{config.SchedBase, config.SchedTwoCycle},
+		Faults:         []Kind{DroppedWakeup, CorruptedDestTag, SkippedCommit},
+		MaxInsts:       10_000,
+		TriggerCommits: 200,
+		WatchdogCycles: 2000,
+		Journal:        j,
+	}
+}
+
+// outcomeFacts flattens an Outcome into its comparable verdict: the
+// journaled error is a reconstituted stand-in for the original, so the
+// comparison goes through its kind and fingerprint, not error identity.
+func outcomeFacts(o Outcome) string {
+	fp := ""
+	if o.Err != nil {
+		fp = simerr.FingerprintOf(o.Err)
+	}
+	return fmt.Sprintf("%s/%s/%s fired=%v detected=%v by=%s fp=%s",
+		o.Bench, o.Sched, o.Fault, o.Fired, o.Detected, o.DetectedBy, fp)
+}
+
+// TestCampaignKillAndResume: a campaign interrupted mid-run resumes from
+// its journal with the same verdicts as an uninterrupted campaign,
+// re-running only the cells the interruption left unfinished.
+func TestCampaignKillAndResume(t *testing.T) {
+	// Uninterrupted reference, no journal.
+	ref, err := RunCampaign(testCampaign(nil))
+	if err != nil {
+		t.Fatalf("reference campaign: %v", err)
+	}
+	total := len(ref.Outcomes)
+	if total != 6 {
+		t.Fatalf("reference campaign ran %d cells, want 6", total)
+	}
+
+	path := filepath.Join(t.TempDir(), "campaign.journal")
+	j, err := journal.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for j.Len() < 2 {
+			time.Sleep(100 * time.Microsecond)
+		}
+		cancel()
+	}()
+	if _, err := RunCampaignContext(ctx, testCampaign(j)); !errors.Is(err, context.Canceled) {
+		t.Fatalf("interrupted campaign returned %v, want context.Canceled", err)
+	}
+	<-done
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Reopen, as a fresh process would after a crash.
+	j2, err := journal.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j2.Close()
+	journaled := j2.Len()
+	if journaled < 2 || journaled >= total {
+		t.Fatalf("interrupt landed badly: %d of %d cells journaled", journaled, total)
+	}
+
+	resumed, err := RunCampaignContext(context.Background(), testCampaign(j2))
+	if err != nil {
+		t.Fatalf("resumed campaign: %v", err)
+	}
+	if resumed.Executed != total-journaled {
+		t.Errorf("resume executed %d cells, want %d (only the unfinished ones)", resumed.Executed, total-journaled)
+	}
+	if len(resumed.Outcomes) != total {
+		t.Fatalf("resumed campaign has %d outcomes, want %d", len(resumed.Outcomes), total)
+	}
+	for i := range ref.Outcomes {
+		if got, want := outcomeFacts(resumed.Outcomes[i]), outcomeFacts(ref.Outcomes[i]); got != want {
+			t.Errorf("outcome %d diverged after resume:\n got %s\nwant %s", i, got, want)
+		}
+	}
+
+	// Fully journaled: a third run simulates nothing and agrees again.
+	again, err := RunCampaignContext(context.Background(), testCampaign(j2))
+	if err != nil {
+		t.Fatalf("fully journaled campaign: %v", err)
+	}
+	if again.Executed != 0 {
+		t.Errorf("fully journaled campaign executed %d cells, want 0", again.Executed)
+	}
+	for i := range ref.Outcomes {
+		if got, want := outcomeFacts(again.Outcomes[i]), outcomeFacts(ref.Outcomes[i]); got != want {
+			t.Errorf("journal-only outcome %d diverged:\n got %s\nwant %s", i, got, want)
+		}
+	}
+}
+
+// TestCampaignJournalInvalidatedByConfigChange: changing a campaign
+// parameter that affects cell behaviour must not reuse stale outcomes.
+func TestCampaignJournalInvalidatedByConfigChange(t *testing.T) {
+	j, err := journal.Open(filepath.Join(t.TempDir(), "campaign.journal"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j.Close()
+	cfg := testCampaign(j)
+	cfg.Scheds = []config.SchedModel{config.SchedBase}
+	cfg.Faults = []Kind{CorruptedDestTag}
+	if _, err := RunCampaign(cfg); err != nil {
+		t.Fatal(err)
+	}
+
+	altered := cfg
+	altered.TriggerCommits = 300
+	res, err := RunCampaign(altered)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Executed != 1 {
+		t.Errorf("altered campaign executed %d cells, want 1 (stale record must not be reused)", res.Executed)
+	}
+
+	same, err := RunCampaign(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if same.Executed != 0 {
+		t.Errorf("unchanged campaign executed %d cells, want 0", same.Executed)
+	}
+}

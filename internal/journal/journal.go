@@ -1,0 +1,280 @@
+// Package journal implements the crash-consistent, write-ahead result
+// journal behind resumable sweeps: an append-only file of checksummed
+// key/value records, fsync'd on every append, that survives a kill -9 at
+// any byte boundary. A sweep (experiments.RunMatrix, fault.RunCampaign)
+// appends one record per completed cell; a re-run with the same journal
+// path replays the intact records, skips those cells, and truncates any
+// torn final record before appending new ones.
+//
+// # File format
+//
+// A journal file is the 6-byte header "MOPJ1\n" followed by zero or more
+// frames:
+//
+//	uvarint(len(key)) | key | uvarint(len(value)) | value | 8-byte LE FNV-1a(key ++ value)
+//
+// Decoding stops at the first frame that is short, over-long, or fails
+// its checksum — everything before it is recovered, everything from it on
+// is discarded as a torn tail. A record is therefore durable exactly when
+// its fsync'd Append returned, which is the write-ahead property resume
+// relies on: a cell is either fully journaled or will be re-run.
+package journal
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"os"
+	"sort"
+	"sync"
+)
+
+// header identifies a journal file (format version 1).
+const header = "MOPJ1\n"
+
+// MaxRecordBytes bounds one frame's key+value size. It exists so a
+// corrupted length prefix reads as a torn tail instead of a gigantic
+// allocation.
+const MaxRecordBytes = 64 << 20
+
+// ErrNotJournal reports a file that exists but does not start with the
+// journal header — Open refuses to touch it rather than truncate
+// something that was never a journal.
+var ErrNotJournal = errors.New("journal: missing or corrupt file header")
+
+// Record is one journaled key/value entry.
+type Record struct {
+	Key  string
+	Data []byte
+}
+
+// Decode recovers every intact record from an encoded journal image. It
+// never fails on corrupt or truncated input: decoding stops at the first
+// damaged frame and clean reports the byte length of the intact prefix
+// (including the header). A missing or damaged header yields (nil, 0,
+// ErrNotJournal); torn or corrupt records after a good header are not an
+// error. Later records with a duplicate key are kept (last-wins is the
+// caller's index policy); Decode returns them all in file order.
+func Decode(data []byte) (recs []Record, clean int, err error) {
+	if len(data) < len(header) || string(data[:len(header)]) != header {
+		return nil, 0, ErrNotJournal
+	}
+	off := len(header)
+	for {
+		rec, next, ok := decodeFrame(data, off)
+		if !ok {
+			return recs, off, nil
+		}
+		recs = append(recs, rec)
+		off = next
+	}
+}
+
+// decodeFrame decodes one frame at off, reporting the offset past it.
+// ok=false means the remainder is torn or corrupt.
+func decodeFrame(data []byte, off int) (rec Record, next int, ok bool) {
+	keyLen, n := binary.Uvarint(data[off:])
+	if n <= 0 || keyLen > MaxRecordBytes {
+		return rec, 0, false
+	}
+	off += n
+	if uint64(len(data)-off) < keyLen {
+		return rec, 0, false
+	}
+	key := data[off : off+int(keyLen)]
+	off += int(keyLen)
+	valLen, n := binary.Uvarint(data[off:])
+	if n <= 0 || valLen > MaxRecordBytes {
+		return rec, 0, false
+	}
+	off += n
+	if uint64(len(data)-off) < valLen+8 {
+		return rec, 0, false
+	}
+	val := data[off : off+int(valLen)]
+	off += int(valLen)
+	sum := binary.LittleEndian.Uint64(data[off : off+8])
+	if sum != checksum(key, val) {
+		return rec, 0, false
+	}
+	return Record{Key: string(key), Data: append([]byte(nil), val...)}, off + 8, true
+}
+
+// checksum is FNV-1a over key then value.
+func checksum(key, val []byte) uint64 {
+	const (
+		offset = 14695981039346656037
+		prime  = 1099511628211
+	)
+	h := uint64(offset)
+	for _, b := range key {
+		h ^= uint64(b)
+		h *= prime
+	}
+	for _, b := range val {
+		h ^= uint64(b)
+		h *= prime
+	}
+	return h
+}
+
+// appendFrame encodes one record frame onto buf.
+func appendFrame(buf []byte, key string, val []byte) []byte {
+	buf = binary.AppendUvarint(buf, uint64(len(key)))
+	buf = append(buf, key...)
+	buf = binary.AppendUvarint(buf, uint64(len(val)))
+	buf = append(buf, val...)
+	return binary.LittleEndian.AppendUint64(buf, checksum([]byte(key), val))
+}
+
+// Load reads a journal file read-only and returns its intact records.
+// A missing file is an empty journal, not an error.
+func Load(path string) ([]Record, error) {
+	data, err := os.ReadFile(path)
+	if errors.Is(err, os.ErrNotExist) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	recs, _, err := Decode(data)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %s", err, path)
+	}
+	return recs, nil
+}
+
+// Journal is an open write-ahead journal: an append handle plus an
+// in-memory last-wins index of every durable record. It is safe for
+// concurrent use by the parallel cell workers of a sweep.
+type Journal struct {
+	path string
+
+	mu    sync.Mutex
+	f     *os.File
+	index map[string][]byte
+	n     int // records on disk (including superseded duplicates)
+}
+
+// Open opens (creating if absent) the journal at path, recovers every
+// intact record, and truncates any torn tail so subsequent appends start
+// on a clean frame boundary. An existing file that does not carry the
+// journal header is refused with ErrNotJournal.
+func Open(path string) (*Journal, error) {
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	j := &Journal{path: path, f: f, index: make(map[string][]byte)}
+	st, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	if st.Size() == 0 {
+		if _, err := f.WriteString(header); err != nil {
+			f.Close()
+			return nil, err
+		}
+		if err := f.Sync(); err != nil {
+			f.Close()
+			return nil, err
+		}
+		return j, nil
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	recs, clean, err := Decode(data)
+	if err != nil {
+		f.Close()
+		return nil, fmt.Errorf("%w: %s", err, path)
+	}
+	if clean < len(data) {
+		// Torn tail from a crash mid-append: cut back to the last intact
+		// frame so the journal is append-clean again.
+		if err := f.Truncate(int64(clean)); err != nil {
+			f.Close()
+			return nil, err
+		}
+	}
+	if _, err := f.Seek(int64(clean), 0); err != nil {
+		f.Close()
+		return nil, err
+	}
+	for _, r := range recs {
+		j.index[r.Key] = r.Data
+	}
+	j.n = len(recs)
+	return j, nil
+}
+
+// Path returns the journal's file path.
+func (j *Journal) Path() string { return j.path }
+
+// Append durably records one key/value entry: the frame is written and
+// fsync'd before Append returns, so a record observed by a later Open is
+// exactly a record whose Append completed. Appending an existing key
+// supersedes it (last wins).
+func (j *Journal) Append(key string, val []byte) error {
+	if len(key)+len(val) > MaxRecordBytes {
+		return fmt.Errorf("journal: record %q exceeds %d bytes", key, MaxRecordBytes)
+	}
+	frame := appendFrame(nil, key, val)
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.f == nil {
+		return fmt.Errorf("journal: append to closed journal %s", j.path)
+	}
+	if _, err := j.f.Write(frame); err != nil {
+		return err
+	}
+	if err := j.f.Sync(); err != nil {
+		return err
+	}
+	j.index[key] = append([]byte(nil), val...)
+	j.n++
+	return nil
+}
+
+// Get returns the most recent durable value for key.
+func (j *Journal) Get(key string) ([]byte, bool) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	v, ok := j.index[key]
+	return v, ok
+}
+
+// Len returns the number of distinct keys recovered or appended.
+func (j *Journal) Len() int {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return len(j.index)
+}
+
+// Keys returns every distinct key in sorted order.
+func (j *Journal) Keys() []string {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	ks := make([]string, 0, len(j.index))
+	for k := range j.index {
+		ks = append(ks, k)
+	}
+	sort.Strings(ks)
+	return ks
+}
+
+// Close releases the append handle. Records already appended stay
+// readable by a later Open.
+func (j *Journal) Close() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.f == nil {
+		return nil
+	}
+	err := j.f.Close()
+	j.f = nil
+	return err
+}

@@ -1,0 +1,238 @@
+package journal
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// write builds a journal with the given records and returns its path.
+func write(t *testing.T, recs ...Record) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "j.mopj")
+	j, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range recs {
+		if err := j.Append(r.Key, r.Data); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// TestAppendReopen: records appended in one session are all recovered by
+// the next Open, with last-wins indexing for duplicate keys.
+func TestAppendReopen(t *testing.T) {
+	path := write(t,
+		Record{"a", []byte("1")},
+		Record{"b", []byte("2")},
+		Record{"a", []byte("3")}, // supersedes the first "a"
+	)
+	j, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j.Close()
+	if got := j.Len(); got != 2 {
+		t.Fatalf("Len = %d, want 2", got)
+	}
+	if v, ok := j.Get("a"); !ok || string(v) != "3" {
+		t.Errorf(`Get("a") = %q, %v; want "3"`, v, ok)
+	}
+	if v, ok := j.Get("b"); !ok || string(v) != "2" {
+		t.Errorf(`Get("b") = %q, %v; want "2"`, v, ok)
+	}
+	if _, ok := j.Get("c"); ok {
+		t.Error(`Get("c") found a record that was never appended`)
+	}
+	// Appending after reopen extends the same file.
+	if err := j.Append("c", []byte("4")); err != nil {
+		t.Fatal(err)
+	}
+	recs, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 4 {
+		t.Fatalf("Load found %d records, want 4 (duplicates kept in file order)", len(recs))
+	}
+}
+
+// TestTornTailEveryOffset: truncating a valid journal at every possible
+// byte offset must recover exactly the records whose frames lie wholly
+// before the cut — never fewer, never a panic, never an error.
+func TestTornTailEveryOffset(t *testing.T) {
+	var want []Record
+	for i := 0; i < 5; i++ {
+		want = append(want, Record{fmt.Sprintf("cell-%d", i), []byte(fmt.Sprintf("payload %d", i))})
+	}
+	path := write(t, want...)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Frame boundaries: decode clean offsets incrementally.
+	bounds := []int{len(header)}
+	full, _, _ := Decode(data)
+	if len(full) != 5 {
+		t.Fatalf("full decode found %d records", len(full))
+	}
+	for i := range full {
+		frame := appendFrame(nil, full[i].Key, full[i].Data)
+		bounds = append(bounds, bounds[i]+len(frame))
+	}
+	for cut := 0; cut <= len(data); cut++ {
+		recs, clean, err := Decode(data[:cut])
+		if cut < len(header) {
+			if err == nil {
+				t.Fatalf("cut %d: headerless prefix decoded without error", cut)
+			}
+			continue
+		}
+		if err != nil {
+			t.Fatalf("cut %d: %v", cut, err)
+		}
+		// Count frames wholly before the cut.
+		wantN := 0
+		for _, b := range bounds[1:] {
+			if b <= cut {
+				wantN++
+			}
+		}
+		if len(recs) != wantN {
+			t.Fatalf("cut %d: recovered %d records, want %d", cut, len(recs), wantN)
+		}
+		if clean != bounds[wantN] {
+			t.Fatalf("cut %d: clean prefix %d, want %d", cut, clean, bounds[wantN])
+		}
+		for i, r := range recs {
+			if r.Key != want[i].Key || !bytes.Equal(r.Data, want[i].Data) {
+				t.Fatalf("cut %d: record %d = %+v, want %+v", cut, i, r, want[i])
+			}
+		}
+	}
+}
+
+// TestOpenTruncatesTornTail: Open on a journal with a torn final record
+// cuts the tail, keeps the intact prefix, and appends cleanly after it.
+func TestOpenTruncatesTornTail(t *testing.T) {
+	path := write(t, Record{"a", []byte("1")}, Record{"b", []byte("2")})
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Simulate a crash mid-append: half of record "b" is on disk.
+	torn := len(data) - 5
+	if err := os.WriteFile(path, data[:torn], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	j, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := j.Get("a"); !ok {
+		t.Error("intact record lost with the torn tail")
+	}
+	if _, ok := j.Get("b"); ok {
+		t.Error("torn record resurrected")
+	}
+	if err := j.Append("c", []byte("3")); err != nil {
+		t.Fatal(err)
+	}
+	j.Close()
+	recs, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 2 || recs[0].Key != "a" || recs[1].Key != "c" {
+		t.Fatalf("after truncate+append, records = %+v", recs)
+	}
+}
+
+// TestCorruptMiddleRecord: a bit flip inside an early record stops
+// recovery there — the damaged record and everything after it is
+// discarded rather than trusted.
+func TestCorruptMiddleRecord(t *testing.T) {
+	path := write(t, Record{"a", []byte("payload-a")}, Record{"b", []byte("payload-b")})
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	i := bytes.Index(data, []byte("payload-a"))
+	if i < 0 {
+		t.Fatal("payload not found")
+	}
+	data[i] ^= 0x01
+	recs, clean, err := Decode(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 0 {
+		t.Fatalf("recovered %d records past a corrupt frame, want 0", len(recs))
+	}
+	if clean != len(header) {
+		t.Fatalf("clean prefix %d, want header only (%d)", clean, len(header))
+	}
+}
+
+// TestOpenRefusesForeignFile: Open must not truncate a file that was
+// never a journal.
+func TestOpenRefusesForeignFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "notes.txt")
+	if err := os.WriteFile(path, []byte("important notes, not a journal"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(path); err == nil {
+		t.Fatal("Open accepted a non-journal file")
+	}
+	data, err := os.ReadFile(path)
+	if err != nil || string(data) != "important notes, not a journal" {
+		t.Fatalf("foreign file modified: %q, %v", data, err)
+	}
+}
+
+// TestLoadMissingFile: a journal that does not exist yet is an empty
+// journal, not an error — first runs start with no completed cells.
+func TestLoadMissingFile(t *testing.T) {
+	recs, err := Load(filepath.Join(t.TempDir(), "absent.mopj"))
+	if err != nil || recs != nil {
+		t.Fatalf("Load(absent) = %v, %v; want nil, nil", recs, err)
+	}
+}
+
+// TestConcurrentAppend: parallel cell workers share one journal.
+func TestConcurrentAppend(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "j.mopj")
+	j, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 32
+	done := make(chan error, n)
+	for i := 0; i < n; i++ {
+		go func(i int) {
+			done <- j.Append(fmt.Sprintf("k%02d", i), []byte{byte(i)})
+		}(i)
+	}
+	for i := 0; i < n; i++ {
+		if err := <-done; err != nil {
+			t.Fatal(err)
+		}
+	}
+	j.Close()
+	j2, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j2.Close()
+	if j2.Len() != n {
+		t.Fatalf("recovered %d keys, want %d", j2.Len(), n)
+	}
+}

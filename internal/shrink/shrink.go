@@ -1,0 +1,329 @@
+// Package shrink minimizes a failing simulation into a self-contained,
+// replayable repro bundle. Given a configuration that fails with a typed
+// simerr error (an injected fault, a corrupted functional source, or a
+// genuine bug), Minimize bisects the instruction budget, the fault
+// trigger point, and the set of active checker invariants down to the
+// smallest configuration that still fails with the same error kind, then
+// records the exact expected failure (kind + repro fingerprint) so that
+// `mopsim -repro bundle.json` can replay it deterministically and verify
+// nothing drifted.
+package shrink
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+
+	"macroop/internal/checker"
+	"macroop/internal/config"
+	"macroop/internal/core"
+	"macroop/internal/fault"
+	"macroop/internal/functional"
+	"macroop/internal/simerr"
+	"macroop/internal/workload"
+)
+
+// Version is the bundle format version written by this package.
+const Version = 1
+
+// FaultSpec describes a single-shot injected fault (internal/fault).
+type FaultSpec struct {
+	// Kind is the fault name as printed by fault.Kind.String.
+	Kind string
+	// TriggerCommits is how many commits pass cleanly before injection.
+	TriggerCommits int64
+}
+
+// Bundle is a self-contained failure reproduction: everything needed to
+// rebuild the simulation (benchmark, full machine config, budget,
+// checker setup, fault spec) plus the expected typed failure. Bundles
+// serialize to JSON and replay deterministically — the simulator has no
+// hidden state, so the same bundle always produces the same error.
+type Bundle struct {
+	Version   int
+	Benchmark string
+	// Machine is the complete machine configuration, including the
+	// scheduler model and watchdog window.
+	Machine config.Machine
+	// MaxInsts is the committed-instruction budget for the replay.
+	MaxInsts int64
+	// Check attaches the lockstep checker (required for event-surface
+	// faults; machine-surface faults are caught by the watchdog alone).
+	Check bool
+	// Invariants names the checker invariant groups left enabled
+	// (checker.ParseInvariants); empty means all.
+	Invariants []string `json:",omitempty"`
+	// Fault, when set, wraps the run with a single-shot fault injector.
+	Fault *FaultSpec `json:",omitempty"`
+	// CorruptAt, when set, corrupts the core's functional source at the
+	// given instruction index (checker.CorruptSource) — the -inject-fault
+	// path of mopsim.
+	CorruptAt *int64 `json:",omitempty"`
+
+	// ExpectKind and ExpectFingerprint pin the failure this bundle
+	// reproduces: the simerr kind name and simerr.FingerprintOf of the
+	// error observed when the bundle was minimized.
+	ExpectKind        string
+	ExpectFingerprint string
+
+	// OriginalMaxInsts records the budget before minimization (0 if the
+	// bundle was written by hand).
+	OriginalMaxInsts int64 `json:",omitempty"`
+	// Notes records what the minimizer did, for humans.
+	Notes []string `json:",omitempty"`
+}
+
+// New returns an unminimized bundle for the given failing configuration,
+// with the checker attached and all invariants active.
+func New(bench string, m config.Machine, maxInsts int64) *Bundle {
+	return &Bundle{Version: Version, Benchmark: bench, Machine: m, MaxInsts: maxInsts, Check: true}
+}
+
+// nopHooks terminates the injector middleware chain when no checker is
+// attached.
+type nopHooks struct{}
+
+func (nopHooks) OnCycle(int64, int) error         { return nil }
+func (nopHooks) OnIssue(*core.IssueEvent) error   { return nil }
+func (nopHooks) OnCommit(*core.CommitEvent) error { return nil }
+func (nopHooks) OnMOPFormed(int64, []int64) error { return nil }
+
+var _ core.Hooks = nopHooks{}
+
+// Replay rebuilds the simulation the bundle describes and runs it to
+// completion, returning whatever the run returns. It does not consult
+// ExpectKind/ExpectFingerprint — that is Verify's job.
+func (b *Bundle) Replay() (*core.Result, error) {
+	prof, err := workload.ByName(b.Benchmark)
+	if err != nil {
+		return nil, err
+	}
+	prog, err := workload.Generate(prof)
+	if err != nil {
+		return nil, err
+	}
+	var c *core.Core
+	if b.CorruptAt != nil {
+		src := &checker.CorruptSource{Src: functional.NewExecutor(prog), At: *b.CorruptAt}
+		c, err = core.NewFromSource(b.Machine, prog.Name, src)
+	} else {
+		c, err = core.New(b.Machine, prog)
+	}
+	if err != nil {
+		return nil, err
+	}
+	var hooks core.Hooks
+	if b.Check {
+		k := checker.New(prog, b.Machine.IQEntries, b.MaxInsts)
+		if len(b.Invariants) > 0 {
+			inv, err := checker.ParseInvariants(b.Invariants)
+			if err != nil {
+				return nil, err
+			}
+			k.SetInvariants(inv)
+		}
+		hooks = k
+	}
+	if b.Fault != nil {
+		fk, err := fault.ParseKind(b.Fault.Kind)
+		if err != nil {
+			return nil, err
+		}
+		if hooks == nil {
+			hooks = nopHooks{}
+		}
+		hooks = fault.NewInjector(fk, hooks, c.Scheduler(), b.Fault.TriggerCommits,
+			b.Machine.Sched == config.SchedMOP)
+	}
+	if hooks != nil {
+		c.SetHooks(hooks)
+	}
+	return c.Run(b.MaxInsts)
+}
+
+// Verify replays the bundle and checks that it fails with exactly the
+// recorded kind and fingerprint. nil means the repro still holds.
+func (b *Bundle) Verify() error {
+	_, err := b.Replay()
+	if err == nil {
+		return fmt.Errorf("shrink: bundle replayed clean, expected %s", b.ExpectKind)
+	}
+	k, _ := simerr.KindOf(err)
+	if k.String() != b.ExpectKind {
+		return fmt.Errorf("shrink: bundle failed with %s, expected %s (%v)", k, b.ExpectKind, err)
+	}
+	if fp := simerr.FingerprintOf(err); fp != b.ExpectFingerprint {
+		return fmt.Errorf("shrink: bundle fingerprint %s, expected %s (%v)", fp, b.ExpectFingerprint, err)
+	}
+	return nil
+}
+
+// Minimize shrinks the bundle to the smallest configuration that still
+// fails with the same error kind: it bisects the instruction budget, then
+// the fault trigger point (and corruption index), re-bisects the budget,
+// and finally strips whatever checker machinery the failure does not
+// need. The returned bundle has ExpectKind/ExpectFingerprint pinned from
+// a fresh replay of the minimized configuration; the input is not
+// modified.
+func Minimize(b *Bundle) (*Bundle, error) {
+	_, err := b.Replay()
+	if err == nil {
+		return nil, fmt.Errorf("shrink: configuration does not fail, nothing to minimize")
+	}
+	kind, _ := simerr.KindOf(err)
+
+	cur := *b
+	cur.Version = Version
+	cur.OriginalMaxInsts = b.MaxInsts
+	cur.Notes = append([]string(nil), b.Notes...)
+	if cur.Fault != nil {
+		f := *cur.Fault
+		cur.Fault = &f
+	}
+	note := func(format string, args ...any) {
+		cur.Notes = append(cur.Notes, fmt.Sprintf(format, args...))
+	}
+	fails := func(c Bundle) bool {
+		_, err := c.Replay()
+		if err == nil {
+			return false
+		}
+		k, _ := simerr.KindOf(err)
+		return k == kind
+	}
+
+	shrinkInsts := func() {
+		min := bisect(1, cur.MaxInsts, func(v int64) bool {
+			c := cur
+			c.MaxInsts = v
+			return fails(c)
+		})
+		if min != cur.MaxInsts {
+			note("maxInsts %d -> %d", cur.MaxInsts, min)
+			cur.MaxInsts = min
+		}
+	}
+
+	shrinkInsts()
+	if cur.Fault != nil && cur.Fault.TriggerCommits > 0 {
+		min := bisect(0, cur.Fault.TriggerCommits, func(v int64) bool {
+			c := cur
+			f := *cur.Fault
+			f.TriggerCommits = v
+			c.Fault = &f
+			return fails(c)
+		})
+		if min != cur.Fault.TriggerCommits {
+			note("fault trigger %d -> %d", cur.Fault.TriggerCommits, min)
+			cur.Fault.TriggerCommits = min
+			shrinkInsts() // an earlier fault usually needs a smaller budget
+		}
+	}
+	if cur.CorruptAt != nil && *cur.CorruptAt > 0 {
+		min := bisect(0, *cur.CorruptAt, func(v int64) bool {
+			c := cur
+			c.CorruptAt = &v
+			return fails(c)
+		})
+		if min != *cur.CorruptAt {
+			note("corruptAt %d -> %d", *cur.CorruptAt, min)
+			cur.CorruptAt = &min
+			shrinkInsts()
+		}
+	}
+
+	// Strip checker machinery the failure does not need: watchdog-caught
+	// failures may not need the checker at all; checker-caught failures
+	// may need only some invariant groups.
+	if cur.Check && kind != simerr.KindCheckFailed {
+		c := cur
+		c.Check = false
+		c.Invariants = nil
+		if fails(c) {
+			note("checker detached (failure is %s, not check-failed)", kind)
+			cur.Check = false
+			cur.Invariants = nil
+		}
+	}
+	if cur.Check && kind == simerr.KindCheckFailed {
+		inv := checker.InvAll
+		if len(cur.Invariants) > 0 {
+			if v, err := checker.ParseInvariants(cur.Invariants); err == nil {
+				inv = v
+			}
+		}
+		for bit := checker.Invariant(1); bit <= checker.InvAll; bit <<= 1 {
+			// Never strip the final group: an empty invariant list means
+			// "all" to Replay, so a check-failed repro keeps at least one.
+			if inv&bit == 0 || inv&^bit == 0 {
+				continue
+			}
+			c := cur
+			c.Invariants = (inv &^ bit).Names()
+			if fails(c) {
+				inv &^= bit
+			}
+		}
+		if names := inv.Names(); len(names) < len(checker.InvAll.Names()) {
+			note("invariants reduced to %v", names)
+			cur.Invariants = names
+		}
+	}
+
+	// Pin the minimized failure identity from a fresh replay.
+	_, ferr := cur.Replay()
+	if ferr == nil {
+		return nil, fmt.Errorf("shrink: minimized bundle replayed clean (non-monotone failure)")
+	}
+	fkind, _ := simerr.KindOf(ferr)
+	if fkind != kind {
+		return nil, fmt.Errorf("shrink: minimized bundle fails with %s, original failed with %s", fkind, kind)
+	}
+	cur.ExpectKind = kind.String()
+	cur.ExpectFingerprint = simerr.FingerprintOf(ferr)
+	return &cur, nil
+}
+
+// bisect returns the smallest v in [lo, hi] with fails(v), assuming
+// fails(hi) is already known true. The predicate need not be perfectly
+// monotone: the invariant "fails(hi)" is maintained, so the result always
+// fails even if some midpoints behave non-monotonically.
+func bisect(lo, hi int64, fails func(int64) bool) int64 {
+	for lo < hi {
+		mid := lo + (hi-lo)/2
+		if fails(mid) {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	return hi
+}
+
+// Save writes the bundle as indented JSON.
+func (b *Bundle) Save(path string) error {
+	data, err := json.MarshalIndent(b, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// Load reads a bundle written by Save (or by hand).
+func Load(path string) (*Bundle, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var b Bundle
+	if err := json.Unmarshal(data, &b); err != nil {
+		return nil, fmt.Errorf("shrink: %s: %w", path, err)
+	}
+	if b.Version != Version {
+		return nil, fmt.Errorf("shrink: %s: unsupported bundle version %d (want %d)", path, b.Version, Version)
+	}
+	if b.Benchmark == "" {
+		return nil, fmt.Errorf("shrink: %s: bundle names no benchmark", path)
+	}
+	return &b, nil
+}

@@ -1,0 +1,133 @@
+package shrink
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"macroop/internal/config"
+	"macroop/internal/fault"
+	"macroop/internal/simerr"
+)
+
+// TestMinimizeFaultRepros is the shrink acceptance test: every injected
+// fault kind, set up exactly like a default campaign cell (gzip/base,
+// 20k-instruction budget, trigger after 500 commits, 3000-cycle
+// watchdog), minimizes to a bundle at most a quarter of the original
+// budget that still replays — through a JSON round trip — to the same
+// typed error and fingerprint.
+func TestMinimizeFaultRepros(t *testing.T) {
+	for _, fk := range fault.Kinds() {
+		fk := fk
+		t.Run(fk.String(), func(t *testing.T) {
+			t.Parallel()
+			const origInsts = 20_000
+			b := New("gzip", config.Default().WithSched(config.SchedBase).WithWatchdog(3000), origInsts)
+			b.Fault = &FaultSpec{Kind: fk.String(), TriggerCommits: 500}
+			min, err := Minimize(b)
+			if err != nil {
+				t.Fatalf("Minimize: %v", err)
+			}
+			if min.MaxInsts > origInsts/4 {
+				t.Errorf("minimized MaxInsts = %d, want <= %d (25%% of original)", min.MaxInsts, origInsts/4)
+			}
+			if min.OriginalMaxInsts != origInsts {
+				t.Errorf("OriginalMaxInsts = %d, want %d", min.OriginalMaxInsts, origInsts)
+			}
+			wantKind := simerr.KindCheckFailed
+			if fk.MachineSurface() {
+				wantKind = simerr.KindDeadlock
+			}
+			if min.ExpectKind != wantKind.String() {
+				t.Errorf("ExpectKind = %s, want %s", min.ExpectKind, wantKind)
+			}
+			if min.ExpectFingerprint == "" {
+				t.Error("minimized bundle has no fingerprint")
+			}
+			// Machine-surface faults are watchdog-caught: the minimizer
+			// should have discovered the checker is not needed.
+			if fk.MachineSurface() && min.Check {
+				t.Error("machine-surface repro still carries the checker")
+			}
+			// The bundle must replay to the recorded failure after a JSON
+			// round trip — the `mopsim -repro` contract.
+			path := filepath.Join(t.TempDir(), "repro.json")
+			if err := min.Save(path); err != nil {
+				t.Fatal(err)
+			}
+			loaded, err := Load(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := loaded.Verify(); err != nil {
+				t.Error(err)
+			}
+			if b.MaxInsts != origInsts || b.ExpectKind != "" {
+				t.Errorf("Minimize mutated its input: %+v", b)
+			}
+		})
+	}
+}
+
+// TestMinimizeCorruptSource minimizes a functional-source corruption (the
+// mopsim -inject-fault path) and checks the invariant bisection leaves
+// only the differential group enabled.
+func TestMinimizeCorruptSource(t *testing.T) {
+	t.Parallel()
+	at := int64(500)
+	b := New("gzip", config.Default().WithSched(config.SchedBase).WithWatchdog(3000), 20_000)
+	b.CorruptAt = &at
+	min, err := Minimize(b)
+	if err != nil {
+		t.Fatalf("Minimize: %v", err)
+	}
+	if min.ExpectKind != simerr.KindCheckFailed.String() {
+		t.Errorf("ExpectKind = %s, want %s", min.ExpectKind, simerr.KindCheckFailed)
+	}
+	if min.MaxInsts > 5000 {
+		t.Errorf("minimized MaxInsts = %d, want <= 5000", min.MaxInsts)
+	}
+	if min.CorruptAt == nil || *min.CorruptAt > at {
+		t.Errorf("CorruptAt not minimized: %v", min.CorruptAt)
+	}
+	if len(min.Invariants) != 1 || min.Invariants[0] != "differential" {
+		t.Errorf("Invariants = %v, want [differential] (only the differential group sees the corruption)", min.Invariants)
+	}
+	if err := min.Verify(); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestMinimizeRejectsCleanRun: a configuration that does not fail is an
+// error, not an empty bundle.
+func TestMinimizeRejectsCleanRun(t *testing.T) {
+	t.Parallel()
+	if _, err := Minimize(New("gzip", config.Default(), 2000)); err == nil {
+		t.Fatal("Minimize accepted a clean configuration")
+	}
+}
+
+// TestLoadRejectsBadBundles: version and benchmark are validated.
+func TestLoadRejectsBadBundles(t *testing.T) {
+	t.Parallel()
+	dir := t.TempDir()
+	write := func(name, content string) string {
+		p := filepath.Join(dir, name)
+		if err := os.WriteFile(p, []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return p
+	}
+	if _, err := Load(write("v9.json", `{"Version":9,"Benchmark":"gzip"}`)); err == nil {
+		t.Error("Load accepted an unsupported version")
+	}
+	if _, err := Load(write("nobench.json", `{"Version":1}`)); err == nil {
+		t.Error("Load accepted a bundle with no benchmark")
+	}
+	if _, err := Load(write("garbage.json", `{`)); err == nil {
+		t.Error("Load accepted malformed JSON")
+	}
+	if _, err := Load(filepath.Join(dir, "missing.json")); err == nil {
+		t.Error("Load accepted a missing file")
+	}
+}

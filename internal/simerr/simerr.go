@@ -55,6 +55,17 @@ func (k Kind) String() string {
 	return fmt.Sprintf("kind(%d)", int(k))
 }
 
+// ParseKind resolves a kind name as printed by Kind.String (the form
+// journals and repro bundles store).
+func ParseKind(s string) (Kind, error) {
+	for k := KindInternal; k <= KindCancelled; k++ {
+		if k.String() == s {
+			return k, nil
+		}
+	}
+	return KindInternal, fmt.Errorf("simerr: unknown failure kind %q", s)
+}
+
 // Sentinel errors for errors.Is classification. A *Error or
 // *InternalError matches the sentinel of its kind.
 var (
@@ -197,6 +208,10 @@ func KindOf(err error) (Kind, bool) {
 	if errors.As(err, &ie) {
 		return KindInternal, true
 	}
+	var je *JournaledError
+	if errors.As(err, &je) {
+		return je.Kind, true
+	}
 	return KindInternal, false
 }
 
@@ -244,6 +259,53 @@ func Internal(ctx Context, value any, stack string) *InternalError {
 // Internalf builds an *InternalError from a formatted violation message.
 func Internalf(ctx Context, format string, args ...any) *InternalError {
 	return Internal(ctx, fmt.Sprintf(format, args...), "")
+}
+
+// JournaledError is a typed failure reconstituted from a journal or
+// repro bundle: the original rendered message and repro fingerprint,
+// still classifiable with errors.Is under the recorded kind's sentinel,
+// without pretending to carry live context the original run had.
+type JournaledError struct {
+	Kind        Kind
+	Msg         string // the original error's rendered Error() text
+	Fingerprint string
+}
+
+// Error implements the error interface, rendering the original message
+// verbatim.
+func (e *JournaledError) Error() string { return e.Msg }
+
+// Is matches the sentinel of the recorded kind.
+func (e *JournaledError) Is(target error) bool { return target == e.Kind.sentinel() }
+
+// Journaled reconstitutes a typed failure from its journaled kind,
+// rendered message and repro fingerprint.
+func Journaled(kind Kind, msg, fingerprint string) *JournaledError {
+	return &JournaledError{Kind: kind, Msg: msg, Fingerprint: fingerprint}
+}
+
+// FingerprintOf returns the repro fingerprint of a typed simulation
+// failure: the recorded fingerprint of an *InternalError or
+// *JournaledError, or a stable hash over kind, run identity, position and
+// message for a *Error. Untyped errors hash their rendered text. Two runs
+// of the deterministic simulator that fail the same way produce the same
+// fingerprint, which is what lets duplicate reports fold together and
+// lets a repro bundle assert it replayed the original failure.
+func FingerprintOf(err error) string {
+	var je *JournaledError
+	if errors.As(err, &je) {
+		return je.Fingerprint
+	}
+	var ie *InternalError
+	if errors.As(err, &ie) {
+		return ie.Fingerprint
+	}
+	var e *Error
+	if errors.As(err, &e) {
+		return Fingerprint(e.Kind.String(), e.Ctx.Benchmark, e.Ctx.Sched,
+			fmt.Sprintf("%d/%d", e.Ctx.Cycle, e.Ctx.Committed), e.Msg)
+	}
+	return Fingerprint("untyped", err.Error())
 }
 
 // Fingerprint hashes the given parts into a short stable hex identity

@@ -107,3 +107,63 @@ func TestInternalErrorFingerprintIgnoresCycle(t *testing.T) {
 		t.Error("fingerprint should fold duplicates across cycles")
 	}
 }
+
+// TestParseKindRoundTrips: every kind parses back from its printed name,
+// and unknown names are rejected.
+func TestParseKindRoundTrips(t *testing.T) {
+	for _, k := range []Kind{KindInternal, KindDeadlock, KindLivelock, KindCheckFailed, KindCancelled} {
+		got, err := ParseKind(k.String())
+		if err != nil || got != k {
+			t.Errorf("ParseKind(%q) = %v, %v; want %v", k.String(), got, err, k)
+		}
+	}
+	if _, err := ParseKind("no-such-kind"); err == nil {
+		t.Error("ParseKind accepted an unknown name")
+	}
+}
+
+// TestJournaledErrorClassifies: a reconstituted failure still matches its
+// kind's sentinel, renders its original message verbatim, and carries its
+// fingerprint through FingerprintOf and KindOf.
+func TestJournaledErrorClassifies(t *testing.T) {
+	orig := Deadlock(Context{Benchmark: "gzip", Sched: "base", Cycle: 9, Committed: 4}, "dump", "stuck")
+	fp := FingerprintOf(orig)
+	je := Journaled(KindDeadlock, orig.Error(), fp)
+	if !errors.Is(je, ErrDeadlock) {
+		t.Error("journaled deadlock does not match ErrDeadlock")
+	}
+	if errors.Is(je, ErrCheckFailed) {
+		t.Error("journaled deadlock matches the wrong sentinel")
+	}
+	if je.Error() != orig.Error() {
+		t.Errorf("message changed: %q != %q", je.Error(), orig.Error())
+	}
+	if FingerprintOf(je) != fp {
+		t.Errorf("fingerprint changed across journaling: %s != %s", FingerprintOf(je), fp)
+	}
+	if k, ok := KindOf(je); !ok || k != KindDeadlock {
+		t.Errorf("KindOf(journaled) = %v, %v", k, ok)
+	}
+}
+
+// TestFingerprintOfDeterministicAndDiscriminating: identical typed
+// failures fingerprint identically; different kinds or positions differ.
+func TestFingerprintOfDeterministicAndDiscriminating(t *testing.T) {
+	ctx := Context{Benchmark: "mcf", Sched: "macro-op", Cycle: 100, Committed: 42}
+	a := FingerprintOf(New(KindLivelock, ctx, "storm"))
+	b := FingerprintOf(New(KindLivelock, ctx, "storm"))
+	if a != b {
+		t.Errorf("identical failures fingerprint differently: %s %s", a, b)
+	}
+	if a == FingerprintOf(New(KindDeadlock, ctx, "storm")) {
+		t.Error("different kinds share a fingerprint")
+	}
+	ctx2 := ctx
+	ctx2.Committed = 43
+	if a == FingerprintOf(New(KindLivelock, ctx2, "storm")) {
+		t.Error("different failure positions share a fingerprint")
+	}
+	if FingerprintOf(errors.New("plain")) == "" {
+		t.Error("untyped error got no fingerprint")
+	}
+}

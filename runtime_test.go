@@ -35,6 +35,46 @@ func TestSimulateContextCancellation(t *testing.T) {
 	}
 }
 
+// TestPreCancelledContextStopsBeforeCycleZero: a context that is already
+// dead when the simulation starts must stop it before cycle 0, not after
+// the first poll window. Regression test: RunContext used to enter the
+// cycle loop and simulate up to ctxPollCycles (1024) cycles before the
+// first ctx.Err() check.
+func TestPreCancelledContextStopsBeforeCycleZero(t *testing.T) {
+	prog, err := macroop.GenerateBenchmark("gzip")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	for _, tc := range []struct {
+		name string
+		run  func() error
+	}{
+		{"SimulateContext", func() error {
+			_, err := macroop.SimulateContext(ctx, macroop.DefaultMachine(), prog, 1<<40)
+			return err
+		}},
+		{"SimulateCheckedContext", func() error {
+			_, _, err := macroop.SimulateCheckedContext(ctx, macroop.DefaultMachine(), prog, 1<<40)
+			return err
+		}},
+	} {
+		err := tc.run()
+		if !errors.Is(err, macroop.ErrCancelled) {
+			t.Fatalf("%s: want ErrCancelled, got %v", tc.name, err)
+		}
+		var se *simerr.Error
+		if !errors.As(err, &se) {
+			t.Fatalf("%s: not a *simerr.Error: %v", tc.name, err)
+		}
+		if se.Ctx.Cycle != 0 || se.Ctx.Committed != 0 {
+			t.Errorf("%s: pre-cancelled run reached cycle %d (%d committed); want cycle 0",
+				tc.name, se.Ctx.Cycle, se.Ctx.Committed)
+		}
+	}
+}
+
 // TestWatchdogFlagsStalledPipeline: a watchdog window shorter than the
 // pipeline fill latency reports a deadlock with a diagnostic dump — the
 // machine never gets to its first commit inside the window.
