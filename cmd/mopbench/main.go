@@ -1,0 +1,265 @@
+// Command mopbench measures simulator performance — not simulated-machine
+// performance — and records it in a machine-readable trajectory file so
+// perf regressions are visible across commits.
+//
+// Two sections are produced:
+//
+//   - configs: one steady-state measurement per scheduler model
+//     (baseline, 2-cycle, MOP-CAM, MOP-wired-OR, select-free) on one
+//     benchmark, reporting simulated uops/sec, cycles/sec, and — after a
+//     warm-up run that grows every pool and scratch buffer — allocations
+//     and bytes per simulated cycle. The steady-state cycle loop is
+//     required to be allocation-free; the run exits non-zero when any
+//     config exceeds -max-allocs-per-cycle.
+//   - table2: the end-to-end Table 2 experiment (every benchmark, base
+//     scheduler, two queue sizes), the same work BenchmarkTable2 does,
+//     reporting aggregate simulated uops/sec. This is the headline
+//     number tracked across PRs.
+//
+// Usage:
+//
+//	go run ./cmd/mopbench                  # full suite -> BENCH_core.json
+//	go run ./cmd/mopbench -short           # CI smoke (reduced budgets)
+//	go run ./cmd/mopbench -o /tmp/b.json   # write elsewhere
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"macroop/internal/config"
+	"macroop/internal/core"
+	"macroop/internal/experiments"
+	"macroop/internal/workload"
+)
+
+// ConfigResult is one steady-state measurement of the cycle loop.
+type ConfigResult struct {
+	Name           string  `json:"name"`
+	Benchmark      string  `json:"benchmark"`
+	Insts          int64   `json:"insts"`
+	Cycles         int64   `json:"cycles"`
+	WallSec        float64 `json:"wall_sec"`
+	UopsPerSec     float64 `json:"uops_per_sec"`
+	CyclesPerSec   float64 `json:"cycles_per_sec"`
+	AllocsPerCycle float64 `json:"allocs_per_cycle"`
+	BytesPerCycle  float64 `json:"bytes_per_cycle"`
+}
+
+// Table2Result is the end-to-end experiment measurement.
+type Table2Result struct {
+	InstsPerCell int64   `json:"insts_per_cell"`
+	Cells        int     `json:"cells"`
+	Committed    int64   `json:"committed"`
+	WallSec      float64 `json:"wall_sec"`
+	UopsPerSec   float64 `json:"uops_per_sec"`
+}
+
+// Report is the BENCH_core.json schema.
+type Report struct {
+	GoVersion string         `json:"go_version"`
+	Short     bool           `json:"short"`
+	Configs   []ConfigResult `json:"configs"`
+	Table2    Table2Result   `json:"table2"`
+}
+
+func schedConfigs() []struct {
+	name string
+	m    config.Machine
+} {
+	camMOP := config.DefaultMOP()
+	camMOP.Wakeup = config.WakeupCAM2Src
+	worMOP := config.DefaultMOP()
+	worMOP.Wakeup = config.WakeupWiredOR
+	return []struct {
+		name string
+		m    config.Machine
+	}{
+		{"baseline", config.Default()},
+		{"two-cycle", config.Default().WithSched(config.SchedTwoCycle)},
+		{"mop-cam", config.Default().WithMOP(camMOP)},
+		{"mop-wired-or", config.Default().WithMOP(worMOP)},
+		{"select-free", config.Default().WithSched(config.SchedSelectFreeScoreboard)},
+	}
+}
+
+// allocWindow is the number of bare cycles stepped between MemStats
+// snapshots for the allocs/cycle gate. Large enough that a per-cycle
+// leak dominates any measurement noise, small enough to stay inside the
+// region the warm-up leg has already paged in.
+const allocWindow = 20_000
+
+// allocWindows is how many alloc windows are sampled per config; the
+// minimum is reported.
+const allocWindows = 3
+
+func main() {
+	var (
+		out       = flag.String("o", "BENCH_core.json", "output file")
+		short     = flag.Bool("short", false, "reduced budgets for CI smoke runs")
+		insts     = flag.Int64("insts", 400_000, "per-config instruction budget (steady-state section)")
+		t2Insts   = flag.Int64("table2-insts", 120_000, "per-cell instruction budget (table2 section)")
+		bench     = flag.String("bench", "gzip", "benchmark for the steady-state section")
+		maxAllocs = flag.Float64("max-allocs-per-cycle", 0, "fail when any config allocates more than this per steady-state cycle")
+	)
+	flag.Parse()
+	if *short {
+		*insts = 100_000
+		*t2Insts = 30_000
+	}
+
+	rep := Report{GoVersion: runtime.Version(), Short: *short}
+
+	prof, err := workload.ByName(*bench)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	prog, err := workload.Generate(prof)
+	if err != nil {
+		fatalf("generate: %v", err)
+	}
+
+	failed := false
+	for _, sc := range schedConfigs() {
+		c, err := core.New(sc.m, prog)
+		if err != nil {
+			fatalf("%s: configure: %v", sc.name, err)
+		}
+		// Warm-up leg: grow every pool, ring, and scratch buffer (and the
+		// functional model's memory pages the warm window touches) before
+		// measuring. The returned result aliases the core's own struct, so
+		// snapshot the cumulative counters by value.
+		warm := *insts / 5
+		if warm < 30_000 {
+			warm = 30_000
+		}
+		if _, err := c.Run(warm); err != nil {
+			fatalf("%s: warmup: %v", sc.name, err)
+		}
+
+		// Allocation window: a bounded span of bare cycles right after
+		// warm-up, so the allocs/cycle gate covers exactly the steady-state
+		// cycle loop — the property the zero-alloc tests assert. An
+		// unmeasured settle leg first absorbs any last high-water-mark
+		// growth (a pool or scratch slice doubling once more as occupancy
+		// peaks just past the warm-up point).
+		if _, err := c.StepCycles(allocWindow); err != nil {
+			fatalf("%s: settle: %v", sc.name, err)
+		}
+		// Take the minimum over a few windows: the Go runtime itself makes
+		// a rare tiny allocation on a background thread (e.g. the scavenger
+		// re-arming its timer) that MemStats cannot distinguish from
+		// simulator work. A real per-cycle leak shows up in every window;
+		// one-off runtime noise cannot.
+		var winAllocs, winBytes uint64
+		var allocCycles int64
+		for w := 0; w < allocWindows; w++ {
+			var before, after runtime.MemStats
+			runtime.GC()
+			runtime.ReadMemStats(&before)
+			cycles, err := c.StepCycles(allocWindow)
+			if err != nil {
+				fatalf("%s: alloc window: %v", sc.name, err)
+			}
+			runtime.ReadMemStats(&after)
+			allocs, bytes := after.Mallocs-before.Mallocs, after.TotalAlloc-before.TotalAlloc
+			if w == 0 || allocs < winAllocs || (allocs == winAllocs && bytes < winBytes) {
+				winAllocs, winBytes, allocCycles = allocs, bytes, cycles
+			}
+		}
+
+		// Throughput leg: timed wall-clock run of *insts further
+		// instructions (Run's budget is cumulative).
+		preCycles, preInsts := c.Progress()
+		start := time.Now()
+		res, err := c.Run(preInsts + *insts)
+		wall := time.Since(start).Seconds()
+		if err != nil {
+			fatalf("%s: simulate: %v", sc.name, err)
+		}
+
+		measuredInsts := res.Committed - preInsts
+		measuredCycles := res.Cycles - preCycles
+		cr := ConfigResult{
+			Name:           sc.name,
+			Benchmark:      *bench,
+			Insts:          measuredInsts,
+			Cycles:         measuredCycles,
+			WallSec:        wall,
+			UopsPerSec:     float64(measuredInsts) / wall,
+			CyclesPerSec:   float64(measuredCycles) / wall,
+			AllocsPerCycle: float64(winAllocs) / float64(allocCycles),
+			BytesPerCycle:  float64(winBytes) / float64(allocCycles),
+		}
+		rep.Configs = append(rep.Configs, cr)
+		status := "ok"
+		if cr.AllocsPerCycle > *maxAllocs {
+			status = fmt.Sprintf("FAIL (> %.3f)", *maxAllocs)
+			failed = true
+		}
+		fmt.Printf("%-13s %8.0f kuops/s %9.0f kcycles/s %8.4f allocs/cycle %8.1f B/cycle  %s\n",
+			sc.name, cr.UopsPerSec/1e3, cr.CyclesPerSec/1e3, cr.AllocsPerCycle, cr.BytesPerCycle, status)
+	}
+
+	// End-to-end Table 2 sweep, the BenchmarkTable2 workload.
+	r := experiments.NewRunner(*t2Insts)
+	// Pre-generate programs so the measurement covers simulation only.
+	for _, b := range workload.Names() {
+		if _, err := r.Program(b); err != nil {
+			fatalf("generate %s: %v", b, err)
+		}
+	}
+	start := time.Now()
+	res, err := r.RunMatrix(map[string]config.Machine{
+		"iq32":  config.Default().WithSched(config.SchedBase),
+		"unres": config.Unrestricted().WithSched(config.SchedBase),
+	})
+	wall := time.Since(start).Seconds()
+	if err != nil {
+		fatalf("table2: %v", err)
+	}
+	var committed int64
+	cells := 0
+	for _, byCfg := range res {
+		for _, cell := range byCfg {
+			committed += cell.Committed
+			cells++
+		}
+	}
+	rep.Table2 = Table2Result{
+		InstsPerCell: *t2Insts,
+		Cells:        cells,
+		Committed:    committed,
+		WallSec:      wall,
+		UopsPerSec:   float64(committed) / wall,
+	}
+	fmt.Printf("table2        %8.0f kuops/s (%d cells, %.2fs wall)\n",
+		rep.Table2.UopsPerSec/1e3, cells, wall)
+
+	f, err := os.Create(*out)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(&rep); err != nil {
+		fatalf("write: %v", err)
+	}
+	if err := f.Close(); err != nil {
+		fatalf("write: %v", err)
+	}
+	fmt.Printf("wrote %s\n", *out)
+	if failed {
+		fmt.Fprintln(os.Stderr, "mopbench: allocs/cycle budget exceeded")
+		os.Exit(1)
+	}
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "mopbench: "+format+"\n", args...)
+	os.Exit(1)
+}

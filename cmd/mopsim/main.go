@@ -12,6 +12,7 @@
 //	mopsim -faults all -journal c.journal -resume     # continue after a crash
 //	mopsim -faults all -shrink                        # minimize detections to repros/
 //	mopsim -repro repros/gzip-base-dropped-wakeup.json  # replay a bundle
+//	mopsim -bench gzip -cpuprofile cpu.pprof          # profile the simulation
 //
 // Schedulers: base, 2cycle, mop, sf-squash, sf-scoreboard.
 package main
@@ -22,6 +23,9 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime"
+	"runtime/pprof"
+	rtrace "runtime/trace"
 	"strings"
 	"time"
 
@@ -57,8 +61,12 @@ func main() {
 		repro    = flag.String("repro", "", "replay a repro bundle (JSON, written by -shrink) and verify it still fails exactly as recorded; all other flags are ignored")
 		doShrink = flag.Bool("shrink", false, "minimize failures into replayable repro bundles: every detected campaign cell (with -faults), or the single failing run otherwise")
 		shrOut   = flag.String("shrink-out", "", "where -shrink writes bundles (default repro.json, or the repros/ directory for a campaign)")
+		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile of the run to this file (inspect with go tool pprof)")
+		memProf  = flag.String("memprofile", "", "write an allocation profile at exit to this file (inspect with go tool pprof -sample_index=alloc_objects)")
+		exeTrace = flag.String("exectrace", "", "write a runtime execution trace to this file (inspect with go tool trace); -trace prints the pipeline timeline instead")
 	)
 	flag.Parse()
+	defer startProfiling(*cpuProf, *memProf, *exeTrace)()
 
 	if *repro != "" {
 		replayBundle(*repro)
@@ -158,6 +166,54 @@ func main() {
 	if k != nil {
 		s := k.Summary()
 		fmt.Printf("  check: ok, %d commits cross-checked, checksum %016x\n", s.Commits, s.Checksum)
+	}
+}
+
+// startProfiling starts the requested CPU profile and execution trace and
+// returns the shutdown function that also writes the allocation profile.
+func startProfiling(cpu, mem, trace string) func() {
+	var stops []func()
+	if cpu != "" {
+		f, err := os.Create(cpu)
+		if err != nil {
+			fatalf("cpuprofile: %v", err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fatalf("cpuprofile: %v", err)
+		}
+		stops = append(stops, func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		})
+	}
+	if trace != "" {
+		f, err := os.Create(trace)
+		if err != nil {
+			fatalf("exectrace: %v", err)
+		}
+		if err := rtrace.Start(f); err != nil {
+			fatalf("exectrace: %v", err)
+		}
+		stops = append(stops, func() {
+			rtrace.Stop()
+			f.Close()
+		})
+	}
+	return func() {
+		for i := len(stops) - 1; i >= 0; i-- {
+			stops[i]()
+		}
+		if mem != "" {
+			f, err := os.Create(mem)
+			if err != nil {
+				fatalf("memprofile: %v", err)
+			}
+			runtime.GC() // settle the heap so the profile shows retained objects accurately
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fatalf("memprofile: %v", err)
+			}
+			f.Close()
+		}
 	}
 }
 

@@ -1,0 +1,52 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+
+	"macroop/internal/config"
+	"macroop/internal/workload"
+)
+
+// BenchmarkCycleLoop measures the steady-state cost of one pipeline cycle
+// (commit+issue+insert+fetch) per scheduler model, with allocations
+// reported so a regression in the zero-alloc property shows up as
+// allocs/op > 0.
+func BenchmarkCycleLoop(b *testing.B) {
+	prof, err := workload.ByName("gzip")
+	if err != nil {
+		b.Fatal(err)
+	}
+	prog, err := workload.Generate(prof)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for name, m := range map[string]config.Machine{
+		"base": config.Default(),
+		"mop":  config.Default().WithMOP(config.DefaultMOP()),
+	} {
+		b.Run(name, func(b *testing.B) {
+			c, err := New(m, prog)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := c.Run(30_000); err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				c.step()
+			}
+			b.StopTimer()
+			if c.srcErr != nil || c.hookErr != nil {
+				b.Fatalf("stepping failed: src=%v hook=%v", c.srcErr, c.hookErr)
+			}
+			committed := c.cnt.committed
+			if c.cycle > 0 {
+				b.ReportMetric(float64(committed)/float64(c.cycle), "insts/cycle")
+			}
+			_ = fmt.Sprintf("%d", committed) // keep the counter live
+		})
+	}
+}

@@ -39,12 +39,17 @@ type Core struct {
 	fetchDone     bool  // functional stream exhausted
 	stallUntil    int64 // IL1-miss stall
 	stallBranch   *uop  // mispredicted branch blocking fetch
-	pendingDyn    *functional.DynInst
+	pendingDyn    functional.DynInst
+	havePending   bool
 
 	ring [ringSize]*uop // fetched uops by streamIdx%ringSize
 
-	// Front-end delay line: fetched uops awaiting queue insertion.
-	feQueue []*uop
+	// Front-end delay line: fetched uops awaiting queue insertion. A
+	// fixed-capacity ring (FetchBufEntries slots) — the old slice-of-uops
+	// re-allocated on every append/advance cycle.
+	feq     []*uop
+	feqHead int
+	feqLen  int
 
 	// Rename state: architectural register -> producing entry/op.
 	rename [isa.NumRegs]prodRef
@@ -57,10 +62,35 @@ type Core struct {
 	robHead  int
 	robCount int
 
+	// uopFree pools retired uops for reuse (recycled when their ring slot
+	// is overwritten, i.e. well after any late reader is gone).
+	uopFree []*uop
+
+	// Per-call scratch for the rename path, reused every cycle. srcSpecs
+	// returns slices into specsBuf/prodsBuf (valid until its next call);
+	// groupBuf/dynsBuf/claimBuf back the insert-group, detector-feed, and
+	// chain-claim loops.
+	specsBuf [2]sched.SrcSpec
+	prodsBuf [2]prodRef
+	groupBuf []*uop
+	dynsBuf  []*functional.DynInst
+	claimBuf []*uop
+
 	tracer  Tracer
 	hooks   Hooks
 	hookErr error
 	srcErr  error // instruction-source fault (malformed stream, I/O error)
+
+	// cnt batches the per-event statistics counters written on the hot
+	// path; finishStats folds them into res. Counters are cumulative, so
+	// repeated Run calls on one core stay consistent.
+	cnt struct {
+		committed, fetched, opsIssued                                                int64
+		il1Misses, dl1Misses, branchMispredicts                                      int64
+		notCandidate, candNotGrouped, valueGenGrouped, nonValueGenGrouped            int64
+		indepGrouped, mopsFormed, depMOPsFormed, indepMOPsFormed, mopsDemoted        int64
+		formCtrlMiss, formCycleAborts, formMissedScope, filterDeletes                int64
+	}
 
 	res Result
 }
@@ -93,12 +123,16 @@ func NewFromSource(cfg config.Machine, name string, src functional.Source) (*Cor
 		return nil, err
 	}
 	c := &Core{
-		cfg:  cfg,
-		name: name,
-		src:  src,
-		pred: pred,
-		mem:  mem,
-		rob:  make([]*uop, cfg.ROBEntries),
+		cfg:      cfg,
+		name:     name,
+		src:      src,
+		pred:     pred,
+		mem:      mem,
+		rob:      make([]*uop, cfg.ROBEntries),
+		feq:      make([]*uop, cfg.FetchBufEntries),
+		groupBuf: make([]*uop, 0, cfg.Width),
+		dynsBuf:  make([]*functional.DynInst, 0, cfg.Width),
+		claimBuf: make([]*uop, 0, sched.MaxMOPOps),
 	}
 	c.sch = sched.New(sched.Config{
 		Model:         cfg.Sched,
@@ -169,10 +203,10 @@ func (c *Core) RunContext(ctx context.Context, maxInsts int64) (res *Result, err
 	}
 	watchdog := c.cfg.EffectiveWatchdog()
 	lastCommitCycle := c.cycle
-	lastCommitted := c.res.Committed
+	lastCommitted := c.cnt.committed
 	nextPoll := c.cycle + ctxPollCycles
-	for c.res.Committed < maxInsts {
-		if c.fetchDone && c.robCount == 0 && len(c.feQueue) == 0 {
+	for c.cnt.committed < maxInsts {
+		if c.fetchDone && c.robCount == 0 && c.feqLen == 0 {
 			break // program ended and pipeline drained
 		}
 		c.step()
@@ -188,8 +222,8 @@ func (c *Core) RunContext(ctx context.Context, maxInsts int64) (res *Result, err
 			}
 			return nil, serr
 		}
-		if c.res.Committed > lastCommitted {
-			lastCommitted = c.res.Committed
+		if c.cnt.committed > lastCommitted {
+			lastCommitted = c.cnt.committed
 			lastCommitCycle = c.cycle
 		} else if watchdog > 0 && c.cycle-lastCommitCycle > watchdog {
 			return nil, simerr.Deadlock(c.errCtx(), c.stateDump(),
@@ -211,13 +245,48 @@ func (c *Core) RunContext(ctx context.Context, maxInsts int64) (res *Result, err
 	return &c.res, nil
 }
 
+// StepCycles advances the machine by exactly n cycles (or until the
+// program ends and the pipeline drains), regardless of how many
+// instructions commit. It exists for steady-state measurement — a caller
+// that has already warmed the core can bracket a StepCycles window with
+// runtime.ReadMemStats to attribute allocations to the cycle loop alone,
+// excluding one-time costs like lazy memory-page growth during the rest
+// of the run. Returns the number of cycles actually stepped.
+func (c *Core) StepCycles(n int64) (int64, error) {
+	var stepped int64
+	for ; stepped < n; stepped++ {
+		if c.fetchDone && c.robCount == 0 && c.feqLen == 0 {
+			break
+		}
+		c.step()
+		if c.srcErr != nil {
+			return stepped, c.srcErr
+		}
+		if c.hookErr != nil {
+			return stepped, c.hookErr
+		}
+		if serr := c.sch.Err(); serr != nil {
+			return stepped, serr
+		}
+	}
+	return stepped, nil
+}
+
+// Progress reports the machine's cumulative cycle and committed-
+// instruction counters. Unlike Result, which is refreshed only when a
+// Run returns, these are live — callers interleaving StepCycles with
+// timed Run legs use them to delimit measurement windows.
+func (c *Core) Progress() (cycles, committed int64) {
+	return c.cycle, c.cnt.committed
+}
+
 // errCtx captures the machine's position for error reports.
 func (c *Core) errCtx() simerr.Context {
 	return simerr.Context{
 		Benchmark: c.name,
 		Sched:     c.cfg.Sched.String(),
 		Cycle:     c.cycle,
-		Committed: c.res.Committed,
+		Committed: c.cnt.committed,
 	}
 }
 
@@ -234,7 +303,7 @@ func (c *Core) fillCtx(ctx *simerr.Context) {
 		ctx.Cycle = c.cycle
 	}
 	if ctx.Committed == 0 {
-		ctx.Committed = c.res.Committed
+		ctx.Committed = c.cnt.committed
 	}
 }
 
@@ -244,7 +313,7 @@ func (c *Core) fillCtx(ctx *simerr.Context) {
 func (c *Core) stateDump() string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "cycle %d: ROB %d/%d, IQ %d occupied, fetch buffer %d, fetchDone=%v\n",
-		c.cycle, c.robCount, c.cfg.ROBEntries, c.sch.Occupied(), len(c.feQueue), c.fetchDone)
+		c.cycle, c.robCount, c.cfg.ROBEntries, c.sch.Occupied(), c.feqLen, c.fetchDone)
 	st := c.sch.Stats()
 	fmt.Fprintf(&b, "sched: %d grants, %d replays\n", st.Grants, st.Replays)
 	if c.robCount > 0 {
@@ -271,8 +340,54 @@ func (c *Core) step() {
 	c.issue()
 	c.insert()
 	c.fetch()
-	c.hookCycle()
+	if c.hooks != nil {
+		// Fast path: with no hooks attached (the common case for sweeps)
+		// the only cost per cycle is this one predictable branch.
+		c.hookCycle()
+	}
 	c.cycle++
+}
+
+// ringPut installs a freshly fetched uop in the recent-fetch ring,
+// recycling the uop whose slot it overwrites. By then the old uop is
+// ringSize fetches in the past — far beyond the in-flight window (ROB +
+// fetch buffer), so nothing can still reference it except a fetch stall
+// on a mispredicted branch (excluded explicitly).
+func (c *Core) ringPut(u *uop) {
+	idx := u.streamIdx % ringSize
+	if old := c.ring[idx]; old != nil && old.committed && old != c.stallBranch {
+		c.uopFree = append(c.uopFree, old)
+	}
+	c.ring[idx] = u
+}
+
+// allocUop pops the uop pool (or allocates on cold start) and returns a
+// zeroed uop.
+func (c *Core) allocUop() *uop {
+	if n := len(c.uopFree); n > 0 {
+		u := c.uopFree[n-1]
+		c.uopFree[n-1] = nil
+		c.uopFree = c.uopFree[:n-1]
+		*u = uop{}
+		return u
+	}
+	return new(uop)
+}
+
+// feqPush appends to the front-end delay line ring.
+func (c *Core) feqPush(u *uop) {
+	c.feq[(c.feqHead+c.feqLen)%len(c.feq)] = u
+	c.feqLen++
+}
+
+// feqFront returns the oldest queued uop (feqLen must be > 0).
+func (c *Core) feqFront() *uop { return c.feq[c.feqHead] }
+
+// feqPop removes the oldest queued uop.
+func (c *Core) feqPop() {
+	c.feq[c.feqHead] = nil
+	c.feqHead = (c.feqHead + 1) % len(c.feq)
+	c.feqLen--
 }
 
 // ---------------------------------------------------------------------
@@ -282,15 +397,18 @@ func (c *Core) step() {
 func (c *Core) issue() {
 	grants := c.sch.Tick(c.cycle)
 	for _, g := range grants {
-		u, ok := g.Entry.UserData.([]*uop)
-		if !ok || g.OpIdx >= len(u) {
+		// UserData holds the entry's head uop (a bare pointer, so storing
+		// it in the interface never allocates); members[0] is the head
+		// itself, later slots the attached chain members.
+		h, ok := g.Entry.UserData.(*uop)
+		if !ok || g.OpIdx >= len(h.members) {
 			continue
 		}
-		uo := u[g.OpIdx]
+		uo := h.members[g.OpIdx]
 		if uo == nil {
 			continue
 		}
-		c.res.OpsIssued++
+		c.cnt.opsIssued++
 		c.trace(uo, StageIssue, g.Cycle)
 		c.hookIssue(uo, g.Cycle)
 		if uo.isLoad() {
@@ -308,7 +426,7 @@ func (c *Core) issue() {
 				}
 				lat, hit := c.mem.Data(uo.d.MemAddr)
 				if !hit {
-					c.res.DL1Misses++
+					c.cnt.dl1Misses++
 				}
 				uo.memProbed = true
 				uo.memFillAt = g.Cycle + agen + int64(lat)
@@ -327,13 +445,20 @@ func (c *Core) fetch() {
 	if c.fetchDone {
 		return
 	}
-	// Mispredicted branch: fetch resumes after it finally resolves.
+	// Mispredicted branch: fetch resumes after it finally resolves. A
+	// committed branch's entry is already released, so retire snapshots
+	// the resolve cycle into branchResolveAt for us.
 	if b := c.stallBranch; b != nil {
-		if b.entry == nil || !b.entry.Final() {
+		var resolve int64
+		switch {
+		case b.committed:
+			resolve = b.branchResolveAt
+		case b.entry != nil && b.entry.Final():
+			// (chain members execute opIdx cycles after the MOP issues)
+			resolve = b.entry.Grant() + int64(c.cfg.ExecOffset) + int64(b.opIdx)
+		default:
 			return
 		}
-		resolve := b.entry.Grant() + int64(c.cfg.ExecOffset) + int64(b.opIdx)
-		// (chain members execute opIdx cycles after the MOP issues)
 		resume := maxI64(resolve+1, b.fetchCycle+int64(c.cfg.MinBranchPenalty))
 		if c.cycle < resume {
 			return
@@ -346,7 +471,7 @@ func (c *Core) fetch() {
 
 	var curLine uint64
 	haveLine := false
-	for n := 0; n < c.cfg.Width && len(c.feQueue) < c.cfg.FetchBufEntries; n++ {
+	for n := 0; n < c.cfg.Width && c.feqLen < c.cfg.FetchBufEntries; n++ {
 		d := c.peekDyn()
 		if d == nil {
 			c.fetchDone = true
@@ -358,7 +483,7 @@ func (c *Core) fetch() {
 		if !haveLine || line != curLine {
 			lat, hit := c.mem.Fetch(program.ByteAddr(d.PC))
 			if !hit {
-				c.res.IL1Misses++
+				c.cnt.il1Misses++
 				c.stallUntil = c.cycle + int64(lat-c.cfg.Mem.IL1.Latency)
 				if n == 0 {
 					return // group starts next cycle, after the fill
@@ -375,9 +500,9 @@ func (c *Core) fetch() {
 		if c.cfg.Sched == config.SchedMOP {
 			u.insertAt += int64(c.cfg.MOP.ExtraFormationStages)
 		}
-		c.ring[u.streamIdx%ringSize] = u
-		c.feQueue = append(c.feQueue, u)
-		c.res.Fetched++
+		c.ringPut(u)
+		c.feqPush(u)
+		c.cnt.fetched++
 
 		if u.isBranch() {
 			if c.predictBranch(u) {
@@ -398,7 +523,7 @@ func (c *Core) predictBranch(u *uop) bool {
 		c.pred.UpdateDirection(d.PC, d.Taken)
 		if pred != d.Taken {
 			u.mispredicted = true
-			c.res.BranchMispredicts++
+			c.cnt.branchMispredicts++
 			c.stallBranch = u
 			return true
 		}
@@ -418,7 +543,7 @@ func (c *Core) predictBranch(u *uop) bool {
 		c.pred.RecordTargetOutcome(true, target, d.NextPC)
 		if !ok || target != d.NextPC {
 			u.mispredicted = true
-			c.res.BranchMispredicts++
+			c.cnt.branchMispredicts++
 			c.stallBranch = u
 		}
 		return true
@@ -426,13 +551,14 @@ func (c *Core) predictBranch(u *uop) bool {
 	return false
 }
 
-// peekDyn returns the next fused dynamic instruction without consuming it.
+// peekDyn returns the next fused dynamic instruction without consuming
+// it. The returned pointer aliases the core's single pending-instruction
+// buffer: it is valid until the next peekDyn after a take.
 func (c *Core) peekDyn() *functional.DynInst {
-	if c.pendingDyn != nil {
-		return c.pendingDyn
+	if c.havePending {
+		return &c.pendingDyn
 	}
-	var d functional.DynInst
-	if err := c.src.Step(&d); err != nil {
+	if err := c.src.Step(&c.pendingDyn); err != nil {
 		if errors.Is(err, functional.ErrHalted) {
 			return nil
 		}
@@ -444,28 +570,33 @@ func (c *Core) peekDyn() *functional.DynInst {
 		}
 		return nil
 	}
-	c.pendingDyn = &d
-	return c.pendingDyn
+	c.havePending = true
+	return &c.pendingDyn
 }
 
 // takeDyn consumes the next fused dynamic instruction as a uop, merging a
 // following STD into its STA.
 func (c *Core) takeDyn() *uop {
 	d := c.peekDyn()
-	c.pendingDyn = nil
-	u := &uop{d: *d, streamIdx: c.nextStreamIdx, dataReg: isa.NoReg}
+	c.havePending = false
+	u := c.allocUop()
+	u.d = *d
+	u.streamIdx = c.nextStreamIdx
+	u.dataReg = isa.NoReg
 	c.nextStreamIdx++
-	if d.Inst.Op == isa.STA {
+	if u.d.Inst.Op == isa.STA {
+		// peekDyn reuses the pending buffer, so consult u.d (already
+		// copied) rather than d from here on.
 		std := c.peekDyn()
 		if std == nil || std.Inst.Op != isa.STD {
 			if c.srcErr == nil {
 				c.srcErr = simerr.New(simerr.KindInternal, c.errCtx(),
-					"STA at pc %d (stream index %d) not followed by STD", d.PC, u.streamIdx)
+					"STA at pc %d (stream index %d) not followed by STD", u.d.PC, u.streamIdx)
 			}
 			return u
 		}
 		u.dataReg = std.Inst.Src1
-		c.pendingDyn = nil
+		c.havePending = false
 	}
 	return u
 }
@@ -475,9 +606,9 @@ func (c *Core) takeDyn() *uop {
 
 func (c *Core) insert() {
 	inserted := 0
-	var group []*uop
-	for len(c.feQueue) > 0 && inserted < c.cfg.Width {
-		u := c.feQueue[0]
+	group := c.groupBuf[:0]
+	for c.feqLen > 0 && inserted < c.cfg.Width {
+		u := c.feqFront()
 		if u.insertAt > c.cycle {
 			break
 		}
@@ -490,7 +621,7 @@ func (c *Core) insert() {
 		if needsEntry && !c.sch.HasSpace(1) {
 			break
 		}
-		c.feQueue = c.feQueue[1:]
+		c.feqPop()
 		c.renameAndInsert(u)
 		c.robPush(u)
 		group = append(group, u)
@@ -510,22 +641,22 @@ func (c *Core) robPush(u *uop) {
 
 // srcSpecs builds the scheduler source list for u's register operands,
 // excluding x (the intra-MOP producer) when attaching a tail.
+// The returned slices are scratch (specsBuf/prodsBuf) valid until the
+// next srcSpecs call; callers copy what they keep.
 func (c *Core) srcSpecs(u *uop, exclude *sched.Entry) ([]sched.SrcSpec, []prodRef) {
-	var specs []sched.SrcSpec
-	var prods []prodRef
-	add := func(r isa.Reg) {
+	specs := c.specsBuf[:0]
+	prods := c.prodsBuf[:0]
+	for _, r := range [2]isa.Reg{u.d.Inst.Src1, u.d.Inst.Src2} {
 		if r == isa.NoReg || r == isa.R0 {
-			return
+			continue
 		}
 		p := c.rename[r]
 		if p.entry == exclude && exclude != nil {
-			return // satisfied inside the MOP; no tag broadcast needed
+			continue // satisfied inside the MOP; no tag broadcast needed
 		}
 		specs = append(specs, sched.SrcSpec{Prod: p.entry, ProdOp: p.opIdx})
 		prods = append(prods, p)
 	}
-	add(u.d.Inst.Src1)
-	add(u.d.Inst.Src2)
 	return specs, prods
 }
 
@@ -534,8 +665,29 @@ func (c *Core) loadAssumed() int { return c.mem.LoadAssumedLatency() }
 func (c *Core) finishStats() {
 	c.res.Cycles = c.cycle
 	if c.cycle > 0 {
-		c.res.IPC = float64(c.res.Committed) / float64(c.cycle)
+		c.res.IPC = float64(c.cnt.committed) / float64(c.cycle)
 	}
+	// Fold the hot-path counter block into the result (plain assignment:
+	// cnt is cumulative, so repeated Run calls on one core stay correct).
+	c.res.Committed = c.cnt.committed
+	c.res.Fetched = c.cnt.fetched
+	c.res.OpsIssued = c.cnt.opsIssued
+	c.res.IL1Misses = c.cnt.il1Misses
+	c.res.DL1Misses = c.cnt.dl1Misses
+	c.res.BranchMispredicts = c.cnt.branchMispredicts
+	c.res.NotCandidate = c.cnt.notCandidate
+	c.res.CandNotGrouped = c.cnt.candNotGrouped
+	c.res.ValueGenGrouped = c.cnt.valueGenGrouped
+	c.res.NonValueGenGrouped = c.cnt.nonValueGenGrouped
+	c.res.IndepGrouped = c.cnt.indepGrouped
+	c.res.MOPsFormed = c.cnt.mopsFormed
+	c.res.DepMOPsFormed = c.cnt.depMOPsFormed
+	c.res.IndepMOPsFormed = c.cnt.indepMOPsFormed
+	c.res.MOPsDemoted = c.cnt.mopsDemoted
+	c.res.FormCtrlMiss = c.cnt.formCtrlMiss
+	c.res.FormCycleAborts = c.cnt.formCycleAborts
+	c.res.FormMissedScope = c.cnt.formMissedScope
+	c.res.FilterDeletes = c.cnt.filterDeletes
 	c.res.SchedStats = c.sch.Stats()
 	if c.det != nil {
 		c.res.DetectStats = c.det.Stats()
@@ -597,7 +749,7 @@ func (c *Core) retire(u *uop) {
 	u.committed = true
 	c.trace(u, StageCommit, c.cycle)
 	c.hookCommit(u)
-	c.res.Committed++
+	c.cnt.committed++
 	if u.isStore() {
 		// Stores write memory at commit (Section 2.1); the tag fill keeps
 		// the data cache warm for later loads.
@@ -607,22 +759,41 @@ func (c *Core) retire(u *uop) {
 	if u.mopHead && c.cfg.Sched == config.SchedMOP && c.cfg.MOP.LastArrivingFilter {
 		c.lastArrivingFilter(u)
 	}
-	// Sever producer references so the retired window does not pin the
-	// whole dependence history in memory (the scheduler severs its own
-	// edges at finality; these are the core's rename-time records).
+	if u.mispredicted {
+		// Snapshot the resolve cycle before the entry reference is
+		// dropped: the fetch stage may still be stalled on this branch
+		// after its entry has been released and recycled.
+		u.branchResolveAt = u.entry.Grant() + int64(c.cfg.ExecOffset) + int64(u.opIdx)
+	}
+	// Drop every entry reference this uop retained at rename time, in
+	// reverse order of acquisition; the scheduler recycles an entry onto
+	// its free list when the last reference goes.
+	for _, p := range u.headProds {
+		if p.entry != nil {
+			c.sch.Release(p.entry)
+		}
+	}
+	for _, p := range u.tailProds {
+		if p.entry != nil {
+			c.sch.Release(p.entry)
+		}
+	}
+	if u.dataProd.entry != nil {
+		c.sch.Release(u.dataProd.entry)
+	}
 	u.headProds = nil
 	u.tailProds = nil
 	u.dataProd = prodRef{}
 	u.claimedBy = nil
-	if u.entry != nil && u.opIdx == u.entry.NumOps()-1 {
+	if u.opIdx == u.entry.NumOps()-1 {
 		// Last member of the entry to commit: no more grants can arrive,
-		// so the payload back-pointers can go too.
+		// so the payload back-pointer can go too.
 		u.entry.UserData = nil
 	}
-	u.members = nil
-	// u.entry stays: the fetch stage may still consult a committed
-	// branch's entry for resolution timing; final entries are leaf
-	// objects once their edges and payload are severed.
+	c.sch.Release(u.entry) // the member op's own reference
+	u.entry = nil
+	// u.members stays: its backing array is embedded in the uop and is
+	// zeroed wholesale when the pool reuses it.
 }
 
 func maxI64(a, b int64) int64 {

@@ -2,7 +2,6 @@ package core
 
 import (
 	"macroop/internal/config"
-	"macroop/internal/functional"
 	"macroop/internal/isa"
 )
 
@@ -26,7 +25,7 @@ func (c *Core) renameAndInsert(u *uop) {
 				if sp.Prod != nil && sp.Prod.DependsOn(h.entry) {
 					c.demote(h)
 					c.removePendingHead(h)
-					c.res.FormCycleAborts++
+					c.cnt.formCycleAborts++
 					break
 				}
 			}
@@ -40,18 +39,24 @@ func (c *Core) renameAndInsert(u *uop) {
 		last := h.attachedOps >= h.expectOps-1
 		c.sch.AttachOp(h.entry, u.schedOpInfo(c.loadAssumed()), specs, last)
 		u.entry, u.opIdx = h.entry, h.attachedOps
-		h.tailProds = append(h.tailProds, prods...)
+		// The head owns the member's producer references (released at the
+		// head's commit, after the last-arriving filter has read them).
+		for _, p := range prods {
+			if p.entry != nil {
+				p.entry.Retain()
+			}
+			h.tailProds = append(h.tailProds, p)
+		}
 		h.members = append(h.members, u)
-		h.entry.UserData = h.members
 		c.finishRename(u)
 		if last {
 			c.removePendingHead(h)
 			c.hookMOPFormed(h)
-			c.res.MOPsFormed++
+			c.cnt.mopsFormed++
 			if u.mopDep {
-				c.res.DepMOPsFormed++
+				c.cnt.depMOPsFormed++
 			} else {
-				c.res.IndepMOPsFormed++
+				c.cnt.indepMOPsFormed++
 			}
 		}
 		return
@@ -64,10 +69,17 @@ func (c *Core) renameAndInsert(u *uop) {
 	}
 	specs, prods := c.srcSpecs(u, nil)
 	e := c.sch.Insert(u.schedOpInfo(c.loadAssumed()), specs, pending)
-	u.members = []*uop{u}
-	e.UserData = u.members
+	u.members = append(u.membersArr[:0], u)
+	e.UserData = u // head back-pointer; a bare pointer in the interface never allocates
 	u.entry, u.opIdx = e, 0
-	u.headProds = prods
+	u.headProds = u.headProdsArr[:0]
+	u.tailProds = u.tailProdsArr[:0] // filled by attaching chain members
+	for _, p := range prods {
+		if p.entry != nil {
+			p.entry.Retain()
+		}
+		u.headProds = append(u.headProds, p)
+	}
 	if pending {
 		c.pendingHeads = append(c.pendingHeads, u)
 	}
@@ -80,8 +92,18 @@ func (c *Core) renameAndInsert(u *uop) {
 func (c *Core) finishRename(u *uop) {
 	if u.dataReg != isa.NoReg && u.dataReg != isa.R0 {
 		u.dataProd = c.rename[u.dataReg]
+		if u.dataProd.entry != nil {
+			u.dataProd.entry.Retain() // released at u's commit
+		}
 	}
 	if u.d.Inst.WritesReg() {
+		// Retain the new producer before releasing the displaced one: when
+		// both ops of a MOP write the same register they share one entry,
+		// and the swap must not drop its refcount to zero in between.
+		u.entry.Retain()
+		if old := c.rename[u.d.Inst.Dest].entry; old != nil {
+			c.sch.Release(old)
+		}
 		c.rename[u.d.Inst.Dest] = prodRef{entry: u.entry, opIdx: u.opIdx}
 	}
 }
@@ -93,7 +115,7 @@ func (c *Core) finishRename(u *uop) {
 // pending MOP head.
 func (c *Core) tryClaimTail(u *uop) bool {
 	maxOps := c.cfg.MOP.MaxMOPSize
-	members := []*uop{u}
+	members := append(c.claimBuf[:0], u)
 	cur := u
 	for len(members) < maxOps {
 		t, ok := c.nextChainMember(cur, len(members) == 1)
@@ -120,6 +142,7 @@ func (c *Core) tryClaimTail(u *uop) bool {
 	u.mopHead = true
 	u.expectOps = len(members)
 	u.tailPC = members[1].d.PC
+	c.claimBuf = members[:0]
 	return true
 }
 
@@ -135,28 +158,28 @@ func (c *Core) nextChainMember(cur *uop, countStats bool) (*uop, bool) {
 		// Tail not even fetched: it cannot be in this or the next insert
 		// group (Section 5.2.3's insertion policy).
 		if countStats {
-			c.res.FormMissedScope++
+			c.cnt.formMissedScope++
 		}
 		return nil, false
 	}
 	t := c.ring[tailIdx%ringSize]
 	if t == nil || t.streamIdx != tailIdx || t.inserted || t.claimedBy != nil || t.mopHead {
 		if countStats {
-			c.res.FormMissedScope++
+			c.cnt.formMissedScope++
 		}
 		return nil, false
 	}
 	if t.d.PC != tailPC {
 		// Different dynamic path than at detection time.
 		if countStats {
-			c.res.FormCtrlMiss++
+			c.cnt.formCtrlMiss++
 		}
 		return nil, false
 	}
 	ctrl, flowOK := c.controlClassBetween(cur.streamIdx, tailIdx)
 	if !flowOK || ctrl != ptr.Control {
 		if countStats {
-			c.res.FormCtrlMiss++
+			c.cnt.formCtrlMiss++
 		}
 		return nil, false
 	}
@@ -201,11 +224,15 @@ func (c *Core) controlClassBetween(from, to int64) (controlBit, ok bool) {
 // missed the same-or-next-group insertion window.
 func (c *Core) afterInsertGroup(group []*uop) {
 	if c.det != nil {
-		dyns := make([]*functional.DynInst, len(group))
-		for i, u := range group {
-			dyns[i] = &u.d
+		// The detector copies each DynInst into its own slot value before
+		// returning, so handing it scratch pointers into pooled uops is
+		// safe.
+		dyns := c.dynsBuf[:0]
+		for _, u := range group {
+			dyns = append(dyns, &u.d)
 		}
 		c.det.Observe(c.cycle, dyns)
+		c.dynsBuf = dyns[:0]
 	}
 	kept := c.pendingHeads[:0]
 	for _, h := range c.pendingHeads {
@@ -235,7 +262,7 @@ const pendingHeadTimeout = 40
 // arrived are unclaimed so they insert normally (Sections 5.2.3/5.3.2).
 func (c *Core) demote(h *uop) {
 	c.sch.CancelTail(h.entry)
-	c.res.MOPsDemoted++
+	c.cnt.mopsDemoted++
 	if h.attachedOps == 0 {
 		h.mopHead = false
 		h.mopDep = false
@@ -287,7 +314,7 @@ func (c *Core) lastArrivingFilter(h *uop) {
 	tailMax := arrival(h.tailProds)
 	if tailMax > headMax {
 		c.ptab.Delete(h.d.PC, h.tailPC)
-		c.res.FilterDeletes++
+		c.cnt.filterDeletes++
 	}
 }
 
@@ -296,14 +323,14 @@ func (c *Core) accountMOP(u *uop) {
 	op := u.op()
 	switch {
 	case !op.IsMOPCandidate():
-		c.res.NotCandidate++
+		c.cnt.notCandidate++
 	case u.grouped() && !u.mopDep:
-		c.res.IndepGrouped++
+		c.cnt.indepGrouped++
 	case u.grouped() && op.IsValueGenCandidate():
-		c.res.ValueGenGrouped++
+		c.cnt.valueGenGrouped++
 	case u.grouped():
-		c.res.NonValueGenGrouped++
+		c.cnt.nonValueGenGrouped++
 	default:
-		c.res.CandNotGrouped++
+		c.cnt.candNotGrouped++
 	}
 }

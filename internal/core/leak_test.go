@@ -77,8 +77,8 @@ func reachableEntries(c *Core) int {
 	for _, u := range c.rob {
 		addU(u)
 	}
-	for _, u := range c.feQueue {
-		addU(u)
+	for i := 0; i < c.feqLen; i++ {
+		addU(c.feq[(c.feqHead+i)%len(c.feq)])
 	}
 	for _, pr := range c.rename {
 		addE(pr.entry)
@@ -94,10 +94,8 @@ func reachableEntries(c *Core) int {
 			for _, r := range refs {
 				addE(r)
 			}
-			if us, ok := e.UserData.([]*uop); ok {
-				for _, u := range us {
-					addU(u)
-				}
+			if h, ok := e.UserData.(*uop); ok {
+				addU(h)
 			}
 			continue
 		}

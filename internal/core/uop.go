@@ -58,6 +58,19 @@ type uop struct {
 	tailProds   []prodRef
 	tailPC      int // for the last-arriving filter's pointer deletion
 
+	// Embedded backing arrays for the three per-uop slices above, so the
+	// steady-state rename path never allocates: members holds at most the
+	// MOP size; the head carries at most 2 own sources and 2 sources per
+	// attached member. The uop pool zeroes the whole struct on reuse.
+	membersArr   [sched.MaxMOPOps]*uop
+	headProdsArr [2]prodRef
+	tailProdsArr [2 * (sched.MaxMOPOps - 1)]prodRef
+
+	// branchResolveAt snapshots a mispredicted branch's resolve cycle at
+	// commit, so the fetch stage can compute the resume cycle without
+	// consulting the (released, possibly recycled) scheduler entry.
+	branchResolveAt int64
+
 	// Load memory-access memoization: the cache is probed once, on the
 	// first grant; a replayed load's data still arrives when the original
 	// miss fill completes.

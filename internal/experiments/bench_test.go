@@ -1,0 +1,30 @@
+package experiments
+
+import (
+	"testing"
+
+	"macroop/internal/config"
+)
+
+// BenchmarkMatrix measures an end-to-end experiment sweep: every
+// benchmark under the base and macro-op configurations, with generated
+// programs shared across cells and iterations.
+func BenchmarkMatrix(b *testing.B) {
+	r := NewRunner(10_000)
+	cfgs := map[string]config.Machine{
+		"base": config.Default(),
+		"mop":  config.Default().WithMOP(config.DefaultMOP()),
+	}
+	// Generate the programs outside the timed region.
+	for _, bench := range r.benchmarks() {
+		if _, err := r.Program(bench); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := r.RunMatrix(cfgs); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,76 @@
+package experiments
+
+import (
+	"sync"
+	"testing"
+
+	"macroop/internal/checker"
+	"macroop/internal/config"
+	"macroop/internal/core"
+)
+
+// TestSharedProgramConcurrentChecksums pins down the matrix-cell sharing
+// contract: every cell of one benchmark gets the same *program.Program
+// (generated once, never re-cloned), the program is immutable under
+// concurrent simulation, and two cells racing on it produce the identical
+// architectural checksum. Run under -race this also proves no cell
+// mutates shared program state.
+func TestSharedProgramConcurrentChecksums(t *testing.T) {
+	const bench = "gzip"
+	const insts = 30_000
+	r := NewRunner(insts)
+
+	cell := func(m config.Machine) (uint64, error) {
+		p, err := r.Program(bench)
+		if err != nil {
+			return 0, err
+		}
+		c, err := core.New(m, p)
+		if err != nil {
+			return 0, err
+		}
+		k := checker.New(p, m.IQEntries, insts)
+		c.SetHooks(k)
+		if _, err := c.Run(insts); err != nil {
+			return 0, err
+		}
+		return k.Checksum(), nil
+	}
+
+	cfgs := []config.Machine{
+		config.Default(),
+		config.Default().WithMOP(config.DefaultMOP()),
+	}
+	sums := make([]uint64, len(cfgs))
+	errs := make([]error, len(cfgs))
+	var wg sync.WaitGroup
+	for i, m := range cfgs {
+		wg.Add(1)
+		go func(i int, m config.Machine) {
+			defer wg.Done()
+			sums[i], errs[i] = cell(m)
+		}(i, m)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("cell %d: %v", i, err)
+		}
+	}
+	if sums[0] != sums[1] {
+		t.Errorf("concurrent cells on shared program diverged: %016x vs %016x", sums[0], sums[1])
+	}
+
+	// Both cells must have observed the same generated program instance.
+	p1, err := r.Program(bench)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, err := r.Program(bench)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p1 != p2 {
+		t.Error("Runner.Program returned distinct instances for one benchmark")
+	}
+}

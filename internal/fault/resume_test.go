@@ -6,12 +6,26 @@ import (
 	"fmt"
 	"path/filepath"
 	"testing"
-	"time"
 
 	"macroop/internal/config"
 	"macroop/internal/journal"
 	"macroop/internal/simerr"
 )
+
+// journalLenCtx reports cancellation as soon as the journal holds n
+// records, emulating a kill that lands right after the n-th cell commits.
+type journalLenCtx struct {
+	context.Context
+	j *journal.Journal
+	n int
+}
+
+func (c journalLenCtx) Err() error {
+	if c.j.Len() >= c.n {
+		return context.Canceled
+	}
+	return c.Context.Err()
+}
 
 func testCampaign(j *journal.Journal) CampaignConfig {
 	return CampaignConfig{
@@ -56,20 +70,13 @@ func TestCampaignKillAndResume(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	ctx, cancel := context.WithCancel(context.Background())
-	defer cancel()
-	done := make(chan struct{})
-	go func() {
-		defer close(done)
-		for j.Len() < 2 {
-			time.Sleep(100 * time.Microsecond)
-		}
-		cancel()
-	}()
+	// Cancel deterministically once two cells are journaled. A wall-clock
+	// race (goroutine + sleep) is too slow to reliably interrupt the
+	// campaign now that cells finish in well under a millisecond.
+	ctx := journalLenCtx{Context: context.Background(), j: j, n: 2}
 	if _, err := RunCampaignContext(ctx, testCampaign(j)); !errors.Is(err, context.Canceled) {
 		t.Fatalf("interrupted campaign returned %v, want context.Canceled", err)
 	}
-	<-done
 	if err := j.Close(); err != nil {
 		t.Fatal(err)
 	}

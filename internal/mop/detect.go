@@ -35,7 +35,7 @@ func newSlot(d *functional.DynInst) slot {
 	if d.Inst.WritesReg() {
 		s.dest = d.Inst.Dest
 	}
-	for _, r := range []isa.Reg{d.Inst.Src1, d.Inst.Src2} {
+	for _, r := range [2]isa.Reg{d.Inst.Src1, d.Inst.Src2} {
 		if r == isa.NoReg || r == isa.R0 {
 			continue
 		}
@@ -68,6 +68,17 @@ type Detector struct {
 	stats DetectStats
 
 	groups [][]slot // oldest first, at most cfg.ScopeGroups
+
+	// Per-step scratch, reused across Observe calls so detection never
+	// allocates in steady state: recycled group backings, the flattened
+	// window, the dependence matrix, head->tail requests, and the
+	// priority-decoder claim bits. (inducesCycle, behind the non-default
+	// PreciseCycleDetection flag, still allocates.)
+	slotFree [][]slot
+	winBuf   []*slot
+	depBuf   [][2]int
+	wantBuf  []int
+	claimBuf []bool
 }
 
 // NewDetector creates a detector installing into the given table.
@@ -85,49 +96,68 @@ func (d *Detector) Observe(cycle int64, group []*functional.DynInst) {
 		return
 	}
 	if len(d.groups) == d.cfg.ScopeGroups {
-		d.groups = d.groups[1:]
+		// Shift in place (keeping the groups backing array) and recycle
+		// the evicted group's slot storage.
+		d.slotFree = append(d.slotFree, d.groups[0][:0])
+		copy(d.groups, d.groups[1:])
+		d.groups = d.groups[:len(d.groups)-1]
 	}
-	slots := make([]slot, len(group))
-	for i, di := range group {
-		slots[i] = newSlot(di)
+	var slots []slot
+	if n := len(d.slotFree); n > 0 {
+		slots = d.slotFree[n-1]
+		d.slotFree = d.slotFree[:n-1]
+	}
+	for _, di := range group {
+		slots = append(slots, newSlot(di))
 	}
 	d.groups = append(d.groups, slots)
 	d.step(cycle)
 }
 
 // Reset clears the window (e.g. across a fetch redirect, when the
-// instructions straddling the window are no longer consecutive).
-func (d *Detector) Reset() { d.groups = d.groups[:0] }
+// instructions straddling the window are no longer consecutive). Group
+// backings are recycled, not dropped: redirects are frequent enough that
+// losing them would re-allocate the window continuously.
+func (d *Detector) Reset() {
+	for _, g := range d.groups {
+		d.slotFree = append(d.slotFree, g[:0])
+	}
+	d.groups = d.groups[:0]
+}
 
 // window flattens the current groups into a single program-order slice of
 // slot pointers.
 func (d *Detector) window() []*slot {
-	var w []*slot
+	w := d.winBuf[:0]
 	for gi := range d.groups {
 		for si := range d.groups[gi] {
 			w = append(w, &d.groups[gi][si])
 		}
 	}
+	d.winBuf = w
 	return w
 }
 
 // depMatrix computes direct register dependences within the window:
 // dep[j] holds, for each row j, the column index of the producer of each
 // of j's sources (or -1 when the producer is outside the window).
-func depMatrix(w []*slot) [][2]int {
-	dep := make([][2]int, len(w))
-	lastWriter := map[isa.Reg]int{}
+func (d *Detector) depMatrix(w []*slot) [][2]int {
+	dep := d.depBuf[:0]
+	var lastWriter [isa.NumRegs]int
+	for r := range lastWriter {
+		lastWriter[r] = -1
+	}
 	for j, s := range w {
-		dep[j] = [2]int{-1, -1}
+		row := [2]int{-1, -1}
 		for k := 0; k < s.nsrc; k++ {
-			if p, ok := lastWriter[s.srcs[k]]; ok {
-				dep[j][k] = p
-			}
+			row[k] = lastWriter[s.srcs[k]]
 		}
+		dep = append(dep, row)
 		if s.dest != isa.NoReg {
 			lastWriter[s.dest] = j
 		}
 	}
+	d.depBuf = dep
 	return dep
 }
 
@@ -143,14 +173,15 @@ func (d *Detector) step(cycle int64) {
 	if len(w) < 2 {
 		return
 	}
-	dep := depMatrix(w)
+	dep := d.depMatrix(w)
 
 	// Dependent-pair detection: each eligible head column scans its rows
 	// top to bottom and requests the first selectable tail.
-	want := make([]int, len(w)) // head index -> chosen tail index, -1 none
-	for i := range want {
-		want[i] = -1
+	want := d.wantBuf[:0] // head index -> chosen tail index, -1 none
+	for range w {
+		want = append(want, -1)
 	}
+	d.wantBuf = want
 	for i, h := range w {
 		if !d.headEligible(h) {
 			continue
@@ -201,7 +232,11 @@ func (d *Detector) step(cycle int64) {
 	// it is not examined again (Figure 9) — it neither serves a second
 	// head nor starts its own pair in the same step (unless the chained
 	// extension is enabled).
-	claimedTail := make([]bool, len(w))
+	claimedTail := d.claimBuf[:0]
+	for range w {
+		claimedTail = append(claimedTail, false)
+	}
+	d.claimBuf = claimedTail
 	for i := 0; i < len(w); i++ {
 		j := want[i]
 		if j < 0 {
@@ -246,25 +281,27 @@ func (d *Detector) tailEligible(s *slot) bool {
 // t would expose to the wakeup array: the head's sources plus the tail's
 // sources minus the intra-MOP edge (Section 5.2.2).
 func unionSources(h, t *slot) int {
-	var regs []isa.Reg
-	add := func(r isa.Reg) {
-		for _, x := range regs {
-			if x == r {
-				return
-			}
-		}
-		regs = append(regs, r)
-	}
+	var regs [4]isa.Reg // each slot exposes at most 2 distinct sources
+	n := 0
 	for k := 0; k < h.nsrc; k++ {
-		add(h.srcs[k])
+		regs[n] = h.srcs[k]
+		n++
 	}
+outer:
 	for k := 0; k < t.nsrc; k++ {
-		if t.srcs[k] == h.dest {
+		r := t.srcs[k]
+		if r == h.dest {
 			continue // satisfied inside the MOP; no tag needed
 		}
-		add(t.srcs[k])
+		for i := 0; i < n; i++ {
+			if regs[i] == r {
+				continue outer
+			}
+		}
+		regs[n] = r
+		n++
 	}
-	return len(regs)
+	return n
 }
 
 // controlClass classifies the control flow between head i and tail j

@@ -38,8 +38,18 @@ type tableEntry struct {
 // last-arriving-operand filter (Section 5.4.2) can delete an entry while
 // blacklisting the pair so detection picks an alternative tail.
 type PointerTable struct {
-	entries   map[int]tableEntry
-	blacklist map[int]map[int]bool // headPC -> banned tailPCs
+	// entries is indexed by head static PC. Static PCs are small dense
+	// program indices, so a slice (grown on demand, stable once every PC
+	// has been seen) replaces the map this used to be: under the
+	// install/delete churn of detection the map kept allocating overflow
+	// buckets, which showed up as a slow allocation trickle in the
+	// otherwise allocation-free cycle loop.
+	entries []tableEntry
+	live    int
+	// blacklist holds banned (headPC, tailPC) pairs under one combined
+	// key. A single pre-sized map keeps the last-arriving filter's bans
+	// from allocating per newly-banned head the way a map-of-maps did.
+	blacklist map[uint64]struct{}
 
 	installs int64
 	deletes  int64
@@ -48,15 +58,20 @@ type PointerTable struct {
 // NewPointerTable returns an empty table.
 func NewPointerTable() *PointerTable {
 	return &PointerTable{
-		entries:   make(map[int]tableEntry),
-		blacklist: make(map[int]map[int]bool),
+		blacklist: make(map[uint64]struct{}, 4096),
 	}
+}
+
+// pairKey packs a (headPC, tailPC) pair into one blacklist key.
+func pairKey(headPC, tailPC int) uint64 {
+	return uint64(uint32(headPC))<<32 | uint64(uint32(tailPC))
 }
 
 // Blacklisted reports whether the head→tail pair was banned by the
 // last-arriving filter.
 func (t *PointerTable) Blacklisted(headPC, tailPC int) bool {
-	return t.blacklist[headPC][tailPC]
+	_, banned := t.blacklist[pairKey(headPC, tailPC)]
+	return banned
 }
 
 // Install records a pointer for headPC, visible from cycle visibleAt.
@@ -69,18 +84,28 @@ func (t *PointerTable) Install(headPC, tailPC int, ptr Pointer, visibleAt int64)
 	if t.Blacklisted(headPC, tailPC) {
 		return
 	}
-	if old, ok := t.entries[headPC]; ok && old.valid && old.tailPC == tailPC && old.visibleAt <= visibleAt {
+	if headPC >= len(t.entries) {
+		t.entries = append(t.entries, make([]tableEntry, headPC+1-len(t.entries))...)
+	}
+	e := &t.entries[headPC]
+	if e.valid && e.tailPC == tailPC && e.visibleAt <= visibleAt {
 		return // already installed earlier; keep the earlier visibility
 	}
-	t.entries[headPC] = tableEntry{ptr: ptr, tailPC: tailPC, visibleAt: visibleAt, valid: true}
+	if !e.valid {
+		t.live++
+	}
+	*e = tableEntry{ptr: ptr, tailPC: tailPC, visibleAt: visibleAt, valid: true}
 	t.installs++
 }
 
 // Lookup returns the pointer for headPC if one is installed and already
 // visible at the given cycle.
 func (t *PointerTable) Lookup(headPC int, now int64) (Pointer, int, bool) {
-	e, ok := t.entries[headPC]
-	if !ok || !e.valid || now < e.visibleAt {
+	if headPC < 0 || headPC >= len(t.entries) {
+		return Pointer{}, 0, false
+	}
+	e := &t.entries[headPC]
+	if !e.valid || now < e.visibleAt {
 		return Pointer{}, 0, false
 	}
 	return e.ptr, e.tailPC, true
@@ -90,20 +115,18 @@ func (t *PointerTable) Lookup(headPC int, now int64) (Pointer, int, bool) {
 // removes the pointer for headPC and bans the pair so that subsequent
 // detection searches for an alternative tail (Section 5.4.2).
 func (t *PointerTable) Delete(headPC, tailPC int) {
-	if e, ok := t.entries[headPC]; ok && e.valid && e.tailPC == tailPC {
-		delete(t.entries, headPC)
-		t.deletes++
+	if headPC >= 0 && headPC < len(t.entries) {
+		if e := &t.entries[headPC]; e.valid && e.tailPC == tailPC {
+			e.valid = false
+			t.live--
+			t.deletes++
+		}
 	}
-	set := t.blacklist[headPC]
-	if set == nil {
-		set = make(map[int]bool)
-		t.blacklist[headPC] = set
-	}
-	set[tailPC] = true
+	t.blacklist[pairKey(headPC, tailPC)] = struct{}{}
 }
 
 // Len returns the number of currently valid pointers.
-func (t *PointerTable) Len() int { return len(t.entries) }
+func (t *PointerTable) Len() int { return t.live }
 
 // Installs returns the cumulative number of pointer installations.
 func (t *PointerTable) Installs() int64 { return t.installs }

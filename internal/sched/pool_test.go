@@ -1,0 +1,168 @@
+package sched
+
+import (
+	"testing"
+
+	"macroop/internal/config"
+)
+
+// finalize drives the scheduler until e is final (or maxCycle passes),
+// returning the cycle after the last tick.
+func finalize(t *testing.T, s *Scheduler, from, maxCycle int64, e *Entry, onGrant func(Grant)) int64 {
+	t.Helper()
+	for c := from; c <= maxCycle; c++ {
+		for _, g := range s.Tick(c) {
+			if onGrant != nil {
+				onGrant(g)
+			}
+		}
+		if e.Final() {
+			return c + 1
+		}
+	}
+	t.Fatalf("entry %d not final by cycle %d (state %v)", e.ID(), maxCycle, e.GetState())
+	return 0
+}
+
+// TestEntryRecycleNoStaleWakeups is the free-list counterpart of the
+// core's leak tests: an entry released and reused as a new instruction
+// must start with empty edge lists, a fresh identity, and a bumped
+// generation — and granting its new life must wake only new-life
+// consumers, never a consumer registered against the struct's previous
+// life.
+func TestEntryRecycleNoStaleWakeups(t *testing.T) {
+	s := New(testCfg(config.SchedBase))
+
+	// Previous life: P produces for C; C also waits on a slow load Q, so C
+	// is still live (waiting) when P is released.
+	q := load(s)
+	p := alu(s)
+	c := alu(s, p, q)
+	now := finalize(t, s, 1, 50, p, func(g Grant) {
+		if g.Entry == q {
+			// Long DL1 miss: Q's data arrives at cycle 30.
+			s.SetLoadResult(q, 0, 30, g.Cycle+4)
+		}
+	})
+	if c.Final() {
+		t.Fatal("consumer finalized before its load producer resolved")
+	}
+	if len(p.consumers) != 0 {
+		t.Fatalf("final producer still lists %d consumers; finality must sever them", len(p.consumers))
+	}
+
+	oldID, oldGen := p.ID(), p.Gen()
+	s.Release(p) // the member op's reference: the struct goes to the free list
+	if got := s.DebugFreeCount(); got != 1 {
+		t.Fatalf("free list holds %d entries after release, want 1", got)
+	}
+
+	// New life: the recycled struct returns as P2 with a consumer D.
+	p2 := alu(s)
+	if p2 != p {
+		t.Fatalf("expected the free list to hand back the released struct")
+	}
+	if s.DebugFreeCount() != 0 {
+		t.Fatal("allocation did not pop the free list")
+	}
+	if p2.ID() == oldID {
+		t.Fatal("recycled entry kept its previous-life ID")
+	}
+	if p2.Gen() == oldGen {
+		t.Fatal("recycled entry kept its previous-life generation")
+	}
+	if len(p2.srcs) != 0 || len(p2.consumers) != 0 {
+		t.Fatalf("recycled entry starts with %d srcs / %d consumers, want empty",
+			len(p2.srcs), len(p2.consumers))
+	}
+	d := alu(s, p2)
+
+	granted := map[*Entry]int64{}
+	for cyc := now; cyc <= 60; cyc++ {
+		for _, g := range s.Tick(cyc) {
+			granted[g.Entry] = g.Cycle
+		}
+	}
+	if _, ok := granted[p2]; !ok {
+		t.Fatal("recycled producer never granted in its new life")
+	}
+	if _, ok := granted[d]; !ok {
+		t.Fatal("new-life consumer never granted")
+	}
+	if granted[d] <= granted[p2] {
+		t.Fatalf("new-life consumer granted at %d, producer at %d", granted[d], granted[p2])
+	}
+	// C's wakeup must come from Q's actual readiness (cycle 30), not from
+	// the recycled struct's new-life broadcast.
+	if granted[c] <= granted[p2] {
+		t.Fatalf("previous-life consumer woke at %d, with the recycled entry's grant at %d — stale edge",
+			granted[c], granted[p2])
+	}
+	if granted[c] < 30 {
+		t.Fatalf("previous-life consumer granted at %d, before its load operand was ready at 30", granted[c])
+	}
+}
+
+// TestDeferredEventGenGuard: a deferred per-entry event (scoreboard check,
+// load-miss discovery) scheduled against one life of an Entry struct must
+// not fire into the next life after the struct is recycled.
+func TestDeferredEventGenGuard(t *testing.T) {
+	s := New(testCfg(config.SchedSelectFreeScoreboard))
+	p := alu(s)
+	finalize(t, s, 1, 20, p, nil)
+
+	// Forge a stale deferred event: scheduled against p's current life,
+	// firing at cycle 40, with p released (and recycled) in between.
+	s.sbEvents.push(s.now, 40, p)
+	s.loadEvents.push(s.now, 41, p)
+	s.Release(p)
+
+	p2 := alu(s)
+	if p2 != p {
+		t.Fatal("expected the free list to hand back the released struct")
+	}
+	granted := map[*Entry]int64{}
+	for cyc := s.now + 1; cyc <= 45; cyc++ {
+		for _, g := range s.Tick(cyc) {
+			granted[g.Entry] = g.Cycle
+		}
+	}
+	if err := s.Err(); err != nil {
+		t.Fatalf("stale deferred event corrupted the scheduler: %v", err)
+	}
+	if !p2.Final() {
+		t.Fatalf("recycled entry's new life did not complete (state %v)", p2.GetState())
+	}
+	if _, ok := granted[p2]; !ok {
+		t.Fatal("recycled entry never granted in its new life")
+	}
+}
+
+// TestReleaseRefcounting: Retain defers recycling until every holder lets
+// go, and unbalanced releases of live entries panic rather than corrupt
+// the free list.
+func TestReleaseRefcounting(t *testing.T) {
+	s := New(testCfg(config.SchedBase))
+	p := alu(s)
+	p.Retain() // e.g. a rename-table reference
+	finalize(t, s, 1, 20, p, nil)
+
+	s.Release(p)
+	if s.DebugFreeCount() != 0 {
+		t.Fatal("entry recycled while a retained reference was outstanding")
+	}
+	s.Release(p)
+	if s.DebugFreeCount() != 1 {
+		t.Fatal("entry not recycled after the last reference dropped")
+	}
+
+	// Releasing a non-final entry to zero must panic (typed internal
+	// error), not silently recycle a live entry.
+	q := alu(s)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("releasing a live entry to refcount zero did not panic")
+		}
+	}()
+	s.Release(q)
+}

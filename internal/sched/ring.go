@@ -1,0 +1,239 @@
+package sched
+
+import "macroop/internal/isa"
+
+// This file implements the cycle-keyed event rings that replace the
+// per-cycle map churn (futureGrants/futureFU/loadEvents/sbEvents used to
+// be map[int64]...; deleting and re-creating map buckets every cycle was
+// one of the top allocation sites of the whole simulator).
+//
+// Each ring is a power-of-two slice of slots indexed by cycle&mask. A
+// slot records which cycle it currently belongs to, so a stale slot
+// (whose cycle already passed) is re-claimed in place by the next push.
+// All scheduled cycles are near-future (MOP sequencing reaches now+7,
+// load discoveries now+ExecOffset+1, scoreboard checks now+delay), so the
+// initial size is already collision-free; rings still grow defensively if
+// a configuration ever schedules further out than the ring is long.
+//
+// Slot payload slices are reused across claims: truncated to length 0,
+// capacity kept. Stale pointers beyond the current length are never read
+// and only reference pooled objects, so they are not cleared on the hot
+// path.
+
+const eventRingInit = 64
+
+// slotCapFloor pre-sizes each slot's payload slice. Per-cycle event
+// bursts are bounded by machine width (a handful of grants, load
+// discoveries, or scoreboard checks per cycle), so a generous floor
+// means slots never grow in steady state — without it, each slot
+// converges to its own historical max burst by occasional capacity
+// doublings, a slow trickle of allocations that defeats the
+// zero-allocs-per-cycle property on long runs.
+const slotCapFloor = 32
+
+// ringIdx maps a cycle onto a power-of-two ring.
+func ringIdx(cyc int64, n int) int { return int(cyc & int64(n-1)) }
+
+// ringNeedsGrow reports whether scheduling cyc (relative to now) could
+// collide with another live cycle in an n-slot ring. Keeping every live
+// cycle within (now, now+n) guarantees distinct slots.
+func ringNeedsGrow(now, cyc int64, n int) bool { return cyc-now >= int64(n) }
+
+func grownRingLen(now, cyc int64, n int) int {
+	for ringNeedsGrow(now, cyc, n) {
+		n *= 2
+	}
+	return n
+}
+
+// ---------------------------------------------------------------------
+// grantRing: future Grant events (MOP op sequencing).
+
+type grantSlot struct {
+	cyc    int64
+	grants []Grant
+}
+
+type grantRing struct {
+	slots []grantSlot
+}
+
+func newGrantRing() grantRing { return grantRing{slots: newGrantSlots(eventRingInit)} }
+
+func newGrantSlots(n int) []grantSlot {
+	slots := make([]grantSlot, n)
+	for i := range slots {
+		slots[i].grants = make([]Grant, 0, slotCapFloor)
+	}
+	return slots
+}
+
+func (r *grantRing) push(now, cyc int64, g Grant) {
+	if ringNeedsGrow(now, cyc, len(r.slots)) {
+		r.grow(now, cyc)
+	}
+	s := &r.slots[ringIdx(cyc, len(r.slots))]
+	if s.cyc != cyc {
+		s.cyc = cyc
+		s.grants = s.grants[:0]
+	}
+	s.grants = append(s.grants, g)
+}
+
+// count returns how many grants are already scheduled for cyc.
+func (r *grantRing) count(cyc int64) int {
+	s := &r.slots[ringIdx(cyc, len(r.slots))]
+	if s.cyc != cyc {
+		return 0
+	}
+	return len(s.grants)
+}
+
+// take appends cyc's grants to dst and empties the slot.
+func (r *grantRing) take(cyc int64, dst []Grant) []Grant {
+	s := &r.slots[ringIdx(cyc, len(r.slots))]
+	if s.cyc != cyc {
+		return dst
+	}
+	dst = append(dst, s.grants...)
+	s.grants = s.grants[:0]
+	return dst
+}
+
+func (r *grantRing) grow(now, cyc int64) {
+	old := r.slots
+	r.slots = newGrantSlots(grownRingLen(now, cyc, len(old)))
+	for i := range old {
+		if old[i].cyc > now && len(old[i].grants) > 0 {
+			s := &r.slots[ringIdx(old[i].cyc, len(r.slots))]
+			s.cyc = old[i].cyc
+			s.grants = append(s.grants, old[i].grants...)
+		}
+	}
+}
+
+// ---------------------------------------------------------------------
+// fuRing: functional-unit reservations made by future MOP op grants.
+
+type fuSlot struct {
+	cyc int64
+	fu  [isa.NumClasses]int
+}
+
+type fuRing struct {
+	slots []fuSlot
+}
+
+func newFURing() fuRing { return fuRing{slots: make([]fuSlot, eventRingInit)} }
+
+func (r *fuRing) add(now, cyc int64, c isa.Class) {
+	if ringNeedsGrow(now, cyc, len(r.slots)) {
+		r.grow(now, cyc)
+	}
+	s := &r.slots[ringIdx(cyc, len(r.slots))]
+	if s.cyc != cyc {
+		s.cyc = cyc
+		s.fu = [isa.NumClasses]int{}
+	}
+	s.fu[c]++
+}
+
+// get returns the units of class c reserved for cyc.
+func (r *fuRing) get(cyc int64, c isa.Class) int {
+	s := &r.slots[ringIdx(cyc, len(r.slots))]
+	if s.cyc != cyc {
+		return 0
+	}
+	return s.fu[c]
+}
+
+// take returns cyc's reservation vector and clears the slot.
+func (r *fuRing) take(cyc int64) [isa.NumClasses]int {
+	s := &r.slots[ringIdx(cyc, len(r.slots))]
+	if s.cyc != cyc {
+		return [isa.NumClasses]int{}
+	}
+	out := s.fu
+	s.fu = [isa.NumClasses]int{}
+	return out
+}
+
+func (r *fuRing) grow(now, cyc int64) {
+	old := r.slots
+	r.slots = make([]fuSlot, grownRingLen(now, cyc, len(old)))
+	for i := range old {
+		if old[i].cyc > now {
+			s := &r.slots[ringIdx(old[i].cyc, len(r.slots))]
+			s.cyc = old[i].cyc
+			s.fu = old[i].fu
+		}
+	}
+}
+
+// ---------------------------------------------------------------------
+// entryRing: deferred per-entry events (load-miss discoveries, scoreboard
+// checks). Events carry the entry's generation at scheduling time: with
+// the Entry free list an entry may be released and reused before a
+// long-delay event fires, and a stale event must not touch its new life.
+
+type entryRef struct {
+	e   *Entry
+	gen uint32
+}
+
+type entrySlot struct {
+	cyc int64
+	evs []entryRef
+}
+
+type entryRing struct {
+	slots []entrySlot
+}
+
+func newEntryRing() entryRing { return entryRing{slots: newEntrySlots(eventRingInit)} }
+
+func newEntrySlots(n int) []entrySlot {
+	slots := make([]entrySlot, n)
+	for i := range slots {
+		slots[i].evs = make([]entryRef, 0, slotCapFloor)
+	}
+	return slots
+}
+
+func (r *entryRing) push(now, cyc int64, e *Entry) {
+	if ringNeedsGrow(now, cyc, len(r.slots)) {
+		r.grow(now, cyc)
+	}
+	s := &r.slots[ringIdx(cyc, len(r.slots))]
+	if s.cyc != cyc {
+		s.cyc = cyc
+		s.evs = s.evs[:0]
+	}
+	s.evs = append(s.evs, entryRef{e: e, gen: e.gen})
+}
+
+// take returns cyc's events and empties the slot. The returned slice is
+// valid until the slot's next push; event processing must not schedule
+// new events for the same cycle (it never does — all pushes target
+// strictly future cycles).
+func (r *entryRing) take(cyc int64) []entryRef {
+	s := &r.slots[ringIdx(cyc, len(r.slots))]
+	if s.cyc != cyc {
+		return nil
+	}
+	evs := s.evs
+	s.evs = s.evs[:0]
+	return evs
+}
+
+func (r *entryRing) grow(now, cyc int64) {
+	old := r.slots
+	r.slots = newEntrySlots(grownRingLen(now, cyc, len(old)))
+	for i := range old {
+		if old[i].cyc > now && len(old[i].evs) > 0 {
+			s := &r.slots[ringIdx(old[i].cyc, len(r.slots))]
+			s.cyc = old[i].cyc
+			s.evs = append(s.evs, old[i].evs...)
+		}
+	}
+}

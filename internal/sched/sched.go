@@ -120,6 +120,18 @@ type Entry struct {
 	// (Section 5.2.3); the entry does not request selection until then.
 	pendingTail bool
 
+	// gen counts reuses of this Entry struct through the scheduler's free
+	// list. Deferred events (entryRing) record the generation they were
+	// scheduled against so a stale event cannot touch a recycled entry's
+	// new life.
+	gen uint32
+	// refs counts external holders of this entry beyond the scheduler's
+	// own graph: one per member op (taken by Insert/AttachOp, dropped by
+	// the core at that op's commit) plus any Retain'd rename-table or
+	// producer-record reference. The entry returns to the free list when
+	// the count reaches zero after finality.
+	refs int32
+
 	srcs      []srcEdge
 	consumers []consRef
 
@@ -144,8 +156,20 @@ type Entry struct {
 	UserData any
 }
 
-// ID returns the entry's unique id.
+// ID returns the entry's unique id. Ids are unique across entry reuse:
+// a recycled Entry struct gets a fresh id for each life.
 func (e *Entry) ID() int64 { return e.id }
+
+// Gen returns the entry's reuse generation (incremented on each release
+// to the free list). Holders of long-lived references can compare it to
+// detect that the entry has moved on to a new life.
+func (e *Entry) Gen() uint32 { return e.gen }
+
+// Retain adds one reference to the entry, deferring its return to the
+// free list until a matching Scheduler.Release. The core retains entries
+// referenced from its rename table and producer records, which outlive
+// the producing op's commit.
+func (e *Entry) Retain() { e.refs++ }
 
 // State returns the entry lifecycle state.
 func (e *Entry) GetState() State { return e.state }
@@ -233,15 +257,25 @@ type Scheduler struct {
 	active   []*Entry // inserted and not yet final
 	occupied int
 
+	// free is the Entry free list: released entries (refs==0 after
+	// finality) waiting to be reused by Insert. Pooling keeps the
+	// steady-state cycle loop allocation-free.
+	free []*Entry
+
+	// Per-tick scratch, reused across Tick calls: the grant list returned
+	// by Tick (valid until the next Tick) and the requester list.
+	grantBuf []Grant
+	reqBuf   []*Entry
+
 	// Grants to emit for MOP tails in upcoming cycles (a MOP of N ops
 	// sequences over N cycles), plus the issue-slot and functional-unit
 	// resources they reserve, keyed by cycle.
-	futureGrants map[int64][]Grant
-	futureFU     map[int64][isa.NumClasses]int
+	futureGrants grantRing
+	futureFU     fuRing
 
 	// deferred events, keyed by cycle.
-	loadEvents map[int64][]*Entry // load miss discoveries
-	sbEvents   map[int64][]*Entry // scoreboard detections of invalid issues
+	loadEvents entryRing // load miss discoveries
+	sbEvents   entryRing // scoreboard detections of invalid issues
 
 	// err latches the first fatal scheduling failure (replay-storm
 	// livelock); the core polls it every cycle via Err.
@@ -267,10 +301,10 @@ func New(cfg Config) *Scheduler {
 	}
 	return &Scheduler{
 		cfg:          cfg,
-		loadEvents:   make(map[int64][]*Entry),
-		sbEvents:     make(map[int64][]*Entry),
-		futureGrants: make(map[int64][]Grant),
-		futureFU:     make(map[int64][isa.NumClasses]int),
+		loadEvents:   newEntryRing(),
+		sbEvents:     newEntryRing(),
+		futureGrants: newGrantRing(),
+		futureFU:     newFURing(),
 	}
 }
 
@@ -302,18 +336,24 @@ type SrcSpec struct {
 // MOP head whose tail will arrive via AttachTail (or be cancelled via
 // CancelTail).
 func (s *Scheduler) Insert(op OpInfo, srcs []SrcSpec, pendingTail bool) *Entry {
-	e := &Entry{
-		id:             s.nextID,
-		age:            s.nextAge,
-		numOps:         1,
-		pendingTail:    pendingTail,
-		earliestSelect: s.now + 1,
-		grant:          -1,
-		firstReq:       -1,
-	}
+	e := s.allocEntry()
+	e.id = s.nextID
+	e.age = s.nextAge
+	e.numOps = 1
+	e.isMOP = false
+	e.pendingTail = pendingTail
+	e.state = StateWaiting
+	e.grant = -1
+	e.earliestSelect = s.now + 1
+	e.everRequested = false
+	e.firstReq = -1
+	e.replays = 0
+	e.refs = 1 // the inserted op's own reference, dropped at its commit
 	e.ops[0] = op
 	for i := range e.actualReady {
 		e.actualReady[i] = never
+		e.loadDiscover[i] = 0
+		e.loadResolved[i] = false
 	}
 	s.nextID++
 	s.nextAge++
@@ -350,6 +390,7 @@ func (s *Scheduler) AttachOp(e *Entry, op OpInfo, srcs []SrcSpec, last bool) {
 	e.ops[e.numOps] = op
 	e.numOps++
 	e.isMOP = true
+	e.refs++ // the attached op's reference, dropped at its commit
 	if last {
 		e.pendingTail = false
 	}
@@ -365,6 +406,69 @@ func (s *Scheduler) AttachOp(e *Entry, op OpInfo, srcs []SrcSpec, last bool) {
 func (s *Scheduler) CancelTail(e *Entry) {
 	e.pendingTail = false
 }
+
+// allocEntry pops the free list, or allocates when the pool is empty
+// (cold start). Insert resets every scalar field; srcs/consumers were
+// already truncated (capacity kept) on release.
+func (s *Scheduler) allocEntry() *Entry {
+	if n := len(s.free); n > 0 {
+		e := s.free[n-1]
+		s.free[n-1] = nil
+		s.free = s.free[:n-1]
+		return e
+	}
+	// Pre-size the edge lists so pooled entries almost never grow them.
+	// Capacities only ratchet up per entry, but the pool hands entries
+	// back in LIFO order, so an under-sized entry picked as a popular
+	// producer would otherwise re-trigger amortized growth long into
+	// steady state (observed as ~1 allocation per few hundred cycles).
+	return &Entry{
+		srcs:      make([]srcEdge, 0, srcsCapFloor),
+		consumers: make([]consRef, 0, consumersCapFloor),
+	}
+}
+
+// srcsCapFloor covers a full MOP chain: MaxMOPOps ops with 2 sources each.
+const srcsCapFloor = 2 * MaxMOPOps
+
+// consumersCapFloor bounds a producer's consumer list in the common
+// configurations: every source edge is severed at the producer's finality
+// and consumers never outlive their producers, so a list can only reach
+// the number of live source edges — about two per occupant of a bounded
+// queue. Unbounded-queue runs can still exceed this and grow (amortized,
+// capacity retained).
+const consumersCapFloor = 64
+
+// Release drops one reference taken by Insert, AttachOp, or Entry.Retain.
+// When the last reference to a final entry drops, the entry is recycled
+// onto the free list: its generation bumps (invalidating any deferred
+// events still keyed to this life) and its edge lists are truncated with
+// their elements cleared, so the next life starts with empty lists and no
+// stale consumer can ever receive a wakeup from it.
+//
+// A released-to-zero entry must be final: every reference is held either
+// by a member op (which commits only after finality) or by a rename-time
+// producer record whose holders also outlive the producer's finality.
+func (s *Scheduler) Release(e *Entry) {
+	e.refs--
+	if e.refs > 0 {
+		return
+	}
+	if e.refs < 0 || e.state != StateFinal {
+		panic(simerr.Internalf(simerr.Context{Cycle: s.now},
+			"sched: bad release of entry %d (state %v, refs %d)", e.id, e.state, e.refs))
+	}
+	e.gen++
+	e.UserData = nil
+	clear(e.srcs)
+	e.srcs = e.srcs[:0]
+	clear(e.consumers)
+	e.consumers = e.consumers[:0]
+	s.free = append(s.free, e)
+}
+
+// DebugFreeCount reports the free-list size (tests only).
+func (s *Scheduler) DebugFreeCount() int { return len(s.free) }
 
 func (s *Scheduler) addSources(e *Entry, srcs []SrcSpec) {
 	for _, sp := range srcs {
@@ -460,38 +564,37 @@ func (s *Scheduler) SetLoadResult(e *Entry, opIdx int, actualReady, discover int
 		panic(simerr.Internalf(simerr.Context{Cycle: s.now}, "sched: load in MOP entry %d", e.id))
 	}
 	if actualReady > assumedReady {
-		s.loadEvents[discover] = append(s.loadEvents[discover], e)
+		s.loadEvents.push(s.now, discover, e)
 	}
 }
 
 // Tick advances one cycle: applies deferred replay/squash events, performs
 // wakeup and select per the model, and returns the ops granted this cycle
-// in issue order.
+// in issue order. The returned slice is scratch owned by the scheduler:
+// it is valid until the next Tick call.
 func (s *Scheduler) Tick(now int64) []Grant {
 	s.now = now
 
 	// MOP ops sequencing from earlier grants occupy slots first ("the
 	// selection logic does not select another instruction through the
 	// same issue slot in which a MOP is being sequenced").
-	grants := append([]Grant(nil), s.futureGrants[now]...)
+	grants := s.futureGrants.take(now, s.grantBuf[:0])
 	widthLeft := s.cfg.Width - len(grants)
-	fuUsed := s.futureFU[now]
-	delete(s.futureGrants, now)
-	delete(s.futureFU, now)
+	fuUsed := s.futureFU.take(now)
 
 	// Load-miss discoveries: selectively invalidate shadow issues.
-	if evs := s.loadEvents[now]; len(evs) > 0 {
-		for _, e := range evs {
-			s.fixupLoadMiss(e)
+	// Generation-guarded: an entry released and reused before its event
+	// fires must not have its new life touched.
+	for _, ev := range s.loadEvents.take(now) {
+		if ev.e.gen == ev.gen {
+			s.fixupLoadMiss(ev.e)
 		}
-		delete(s.loadEvents, now)
 	}
 	// Scoreboard detections of invalid select-free issues.
-	if evs := s.sbEvents[now]; len(evs) > 0 {
-		for _, e := range evs {
-			s.scoreboardCheck(e)
+	for _, ev := range s.sbEvents.take(now) {
+		if ev.e.gen == ev.gen {
+			s.scoreboardCheck(ev.e)
 		}
-		delete(s.sbEvents, now)
 	}
 
 	// Wakeup phase: in select-free mode, entries broadcast at request
@@ -539,6 +642,7 @@ func (s *Scheduler) Tick(now int64) []Grant {
 	}
 
 	s.finalize(now)
+	s.grantBuf = grants[:0] // keep any grown capacity for the next tick
 	return grants
 }
 
@@ -554,20 +658,21 @@ func (s *Scheduler) fuAvailable(c isa.Class, used [isa.NumClasses]int) bool {
 func (s *Scheduler) mopResourcesFree(e *Entry, now int64) bool {
 	for k := 1; k < e.numOps; k++ {
 		cyc := now + int64(k)
-		if len(s.futureGrants[cyc]) >= s.cfg.Width {
+		if s.futureGrants.count(cyc) >= s.cfg.Width {
 			return false
 		}
 		c := e.ops[k].FU
-		if c != isa.ClassNone && s.futureFU[cyc][c] >= s.cfg.FU[c] {
+		if c != isa.ClassNone && s.futureFU.get(cyc, c) >= s.cfg.FU[c] {
 			return false
 		}
 	}
 	return true
 }
 
-// collectRequesters returns schedulable entries in age order.
+// collectRequesters returns schedulable entries in age order. The
+// returned slice is scratch reused across ticks.
 func (s *Scheduler) collectRequesters() []*Entry {
-	var req []*Entry
+	req := s.reqBuf[:0]
 	for _, e := range s.active {
 		if e.state != StateWaiting || e.pendingTail {
 			continue
@@ -587,6 +692,7 @@ func (s *Scheduler) collectRequesters() []*Entry {
 		}
 	}
 	// active is maintained in age order (append-only); no sort needed.
+	s.reqBuf = req
 	return req
 }
 
@@ -604,11 +710,9 @@ func (s *Scheduler) grantEntry(e *Entry, now int64, grants *[]Grant) {
 	for k := 1; k < e.numOps; k++ {
 		// Sequence later ops in following cycles through the same slot.
 		cyc := now + int64(k)
-		s.futureGrants[cyc] = append(s.futureGrants[cyc], Grant{Entry: e, OpIdx: k, Cycle: cyc})
+		s.futureGrants.push(now, cyc, Grant{Entry: e, OpIdx: k, Cycle: cyc})
 		if c := e.ops[k].FU; c != isa.ClassNone {
-			fu := s.futureFU[cyc]
-			fu[c]++
-			s.futureFU[cyc] = fu
+			s.futureFU.add(now, cyc, c)
 		}
 		e.actualReady[k] = cyc + int64(e.ops[k].Latency)
 	}
@@ -623,7 +727,7 @@ func (s *Scheduler) grantEntry(e *Entry, now int64, grants *[]Grant) {
 		}
 		// Scoreboard mode checks operand validity a fixed delay later.
 		if s.cfg.Model == config.SchedSelectFreeScoreboard {
-			s.sbEvents[now+int64(s.cfg.ScoreboardDelay)] = append(s.sbEvents[now+int64(s.cfg.ScoreboardDelay)], e)
+			s.sbEvents.push(now, now+int64(s.cfg.ScoreboardDelay), e)
 		}
 	}
 }
@@ -897,11 +1001,16 @@ func (s *Scheduler) tryFinalize(e *Entry, now int64) bool {
 			edge.wake = edge.actual
 		}
 	}
-	e.consumers = nil
+	// Sever the graph so ancestors become collectable, but keep the list
+	// capacity for the entry's next life through the free list: clear the
+	// elements (dropping the Entry pointers) and truncate in place.
+	clear(e.consumers)
+	e.consumers = e.consumers[:0]
 	// This entry's own operand edges are final and never consulted again:
-	// drop them entirely (a rename-table or payload reference to a final
-	// entry must not pin the dependence history in memory).
-	e.srcs = nil
+	// drop them (a rename-table or payload reference to a final entry
+	// must not pin the dependence history in memory).
+	clear(e.srcs)
+	e.srcs = e.srcs[:0]
 	return true
 }
 
