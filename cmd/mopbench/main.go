@@ -18,9 +18,9 @@
 //
 // Usage:
 //
-//	go run ./cmd/mopbench                  # full suite -> BENCH_core.json
-//	go run ./cmd/mopbench -short           # CI smoke (reduced budgets)
-//	go run ./cmd/mopbench -o /tmp/b.json   # write elsewhere
+//	go run ./cmd/mopbench                   # full suite -> BENCH_core.json
+//	go run ./cmd/mopbench -short            # CI smoke (reduced budgets)
+//	go run ./cmd/mopbench -out /tmp/b.json  # write elsewhere (-o is an alias)
 package main
 
 import (
@@ -99,7 +99,8 @@ const allocWindows = 3
 
 func main() {
 	var (
-		out       = flag.String("o", "BENCH_core.json", "output file")
+		out       = flag.String("out", "BENCH_core.json", "output file for the JSON report")
+		outAlias  = flag.String("o", "", "alias for -out")
 		short     = flag.Bool("short", false, "reduced budgets for CI smoke runs")
 		insts     = flag.Int64("insts", 400_000, "per-config instruction budget (steady-state section)")
 		t2Insts   = flag.Int64("table2-insts", 120_000, "per-cell instruction budget (table2 section)")
@@ -107,6 +108,12 @@ func main() {
 		maxAllocs = flag.Float64("max-allocs-per-cycle", 0, "fail when any config allocates more than this per steady-state cycle")
 	)
 	flag.Parse()
+	if *outAlias != "" {
+		if ex := explicitly("out"); ex && *outAlias != *out {
+			fatalf("-o and -out disagree (%q vs %q); pass one of them", *outAlias, *out)
+		}
+		*out = *outAlias
+	}
 	if *short {
 		*insts = 100_000
 		*t2Insts = 30_000
@@ -257,6 +264,14 @@ func main() {
 		fmt.Fprintln(os.Stderr, "mopbench: allocs/cycle budget exceeded")
 		os.Exit(1)
 	}
+}
+
+// explicitly reports whether the named flag was set on the command line
+// (as opposed to holding its default).
+func explicitly(name string) bool {
+	found := false
+	flag.Visit(func(f *flag.Flag) { found = found || f.Name == name })
+	return found
 }
 
 func fatalf(format string, args ...any) {

@@ -1,0 +1,364 @@
+// Command mopctl is the client for cmd/mopserve: it submits simulation
+// jobs over the HTTP/JSON API and pretty-prints the results.
+//
+// Usage:
+//
+//	mopctl -addr http://127.0.0.1:8344 simulate -bench gzip -sched mop -insts 100000
+//	mopctl matrix -benchmarks gzip,mcf -scheds base,mop -insts 50000
+//	mopctl matrix -scheds base,2cycle,mop -stream        # NDJSON live progress
+//	mopctl job job-3                                     # job status
+//	mopctl jobs                                          # list jobs
+//	mopctl health
+//	mopctl metrics
+//
+// Queue-full rejections (503 + Retry-After) are retried automatically up
+// to -retries times.
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"macroop/internal/service"
+	"macroop/internal/stats"
+)
+
+func main() {
+	addr := flag.String("addr", envOr("MOPSERVE_ADDR", "http://127.0.0.1:8344"), "mopserve base URL (or $MOPSERVE_ADDR)")
+	retries := flag.Int("retries", 5, "attempts for queue-full (503) rejections, honouring Retry-After")
+	flag.Usage = usage
+	flag.Parse()
+	if flag.NArg() < 1 {
+		usage()
+		os.Exit(2)
+	}
+	c := &client{base: strings.TrimRight(*addr, "/"), retries: *retries}
+	cmd, args := flag.Arg(0), flag.Args()[1:]
+	switch cmd {
+	case "simulate":
+		c.simulate(args)
+	case "matrix":
+		c.matrix(args)
+	case "job":
+		c.job(args)
+	case "jobs":
+		c.jobs()
+	case "health":
+		c.health()
+	case "metrics":
+		c.metrics()
+	default:
+		fatalf("unknown command %q", cmd)
+	}
+}
+
+func usage() {
+	fmt.Fprintf(os.Stderr, `usage: mopctl [-addr URL] [-retries N] <command> [flags]
+
+commands:
+  simulate  run one cell synchronously   (-bench, -sched, -wakeup, -iq, -stages, -insts)
+  matrix    submit a batched sweep       (-benchmarks, -scheds, -insts, -wait, -stream)
+  job <id>  print one job's status and results
+  jobs      list jobs, newest first
+  health    check /healthz
+  metrics   dump /metrics
+`)
+}
+
+type client struct {
+	base    string
+	retries int
+}
+
+// post submits JSON, retrying 503 rejections with the server's
+// Retry-After hint (admission control pushes back; the client waits).
+func (c *client) post(path string, body any) *http.Response {
+	data, err := json.Marshal(body)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	for attempt := 1; ; attempt++ {
+		resp, err := http.Post(c.base+path, "application/json", bytes.NewReader(data))
+		if err != nil {
+			fatalf("%v", err)
+		}
+		if resp.StatusCode != http.StatusServiceUnavailable || attempt >= c.retries {
+			return resp
+		}
+		delay := time.Second
+		if ra, err := strconv.Atoi(resp.Header.Get("Retry-After")); err == nil && ra > 0 {
+			delay = time.Duration(ra) * time.Second
+		}
+		resp.Body.Close()
+		fmt.Fprintf(os.Stderr, "mopctl: server busy (503), retrying in %v (%d/%d)\n", delay, attempt, c.retries)
+		time.Sleep(delay)
+	}
+}
+
+func (c *client) get(path string) *http.Response {
+	resp, err := http.Get(c.base + path)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	return resp
+}
+
+// decode reads a JSON response, converting error envelopes into fatal
+// diagnostics that preserve the typed kind and repro fingerprint.
+func decode(resp *http.Response, v any) {
+	defer resp.Body.Close()
+	if resp.StatusCode >= 400 {
+		var e struct {
+			Error            string `json:"error"`
+			Kind             string `json:"kind"`
+			ReproFingerprint string `json:"repro_fingerprint"`
+		}
+		data, _ := io.ReadAll(resp.Body)
+		if json.Unmarshal(data, &e) == nil && e.Error != "" {
+			msg := fmt.Sprintf("server: %s (HTTP %d", e.Error, resp.StatusCode)
+			if e.Kind != "" {
+				msg += ", kind " + e.Kind
+			}
+			if e.ReproFingerprint != "" {
+				msg += ", repro fingerprint " + e.ReproFingerprint
+			}
+			fatalf("%s)", msg)
+		}
+		fatalf("server: HTTP %d: %s", resp.StatusCode, strings.TrimSpace(string(data)))
+	}
+	if err := json.NewDecoder(resp.Body).Decode(v); err != nil {
+		fatalf("decode response: %v", err)
+	}
+}
+
+func (c *client) simulate(args []string) {
+	fs := flag.NewFlagSet("simulate", flag.ExitOnError)
+	var (
+		bench  = fs.String("bench", "gzip", "benchmark name")
+		sched  = fs.String("sched", "base", "scheduler: base, 2cycle, mop, sf-squash, sf-scoreboard")
+		wakeup = fs.String("wakeup", "", "MOP wakeup style: 2src, wired-or (mop only)")
+		iq     = fs.Int("iq", -1, "issue queue entries (-1 = server default, 0 = unrestricted)")
+		stages = fs.Int("stages", -1, "extra MOP formation stages (-1 = default)")
+		insts  = fs.Int64("insts", 0, "committed-instruction budget (0 = server default)")
+	)
+	fs.Parse(args)
+	req := service.SimRequest{
+		Benchmark: *bench,
+		Config:    configSpec(*sched, *wakeup, *iq, *stages),
+		MaxInsts:  *insts,
+	}
+	var cr service.CellResult
+	decode(c.post("/v1/simulate", &req), &cr)
+	printCell(&cr)
+}
+
+func (c *client) matrix(args []string) {
+	fs := flag.NewFlagSet("matrix", flag.ExitOnError)
+	var (
+		benches = fs.String("benchmarks", "", "comma-separated benchmarks (empty = full suite)")
+		scheds  = fs.String("scheds", "base,mop", "comma-separated scheduler configs (base, 2cycle, mop, mop-2src, sf-squash, sf-scoreboard)")
+		insts   = fs.Int64("insts", 0, "per-cell committed-instruction budget (0 = server default)")
+		stream  = fs.Bool("stream", false, "stream per-cell results as they complete (NDJSON)")
+		async   = fs.Bool("async", false, "submit and print the job ID without waiting")
+	)
+	fs.Parse(args)
+	req := map[string]any{
+		"configs": schedConfigs(*scheds),
+		"wait":    !*stream && !*async,
+		"stream":  *stream,
+	}
+	if *benches != "" {
+		req["benchmarks"] = splitList(*benches)
+	}
+	if *insts > 0 {
+		req["max_insts"] = *insts
+	}
+	resp := c.post("/v1/matrix", req)
+	if *stream {
+		c.streamCells(resp)
+		return
+	}
+	var st service.JobStatus
+	decode(resp, &st)
+	if *async {
+		fmt.Printf("accepted %s (%d cells): poll with `mopctl job %s`\n", st.ID, st.Cells, st.ID)
+		return
+	}
+	printStatus(&st, true)
+	if st.Failed > 0 {
+		os.Exit(1)
+	}
+}
+
+func (c *client) streamCells(resp *http.Response) {
+	defer resp.Body.Close()
+	if resp.StatusCode >= 400 {
+		decode(resp, &struct{}{}) // renders the error envelope and exits
+	}
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 1<<20), 1<<24)
+	failed := false
+	for sc.Scan() {
+		line := bytes.TrimSpace(sc.Bytes())
+		if len(line) == 0 {
+			continue
+		}
+		// The stream is cell lines with a terminal job-status line.
+		var cr service.CellResult
+		if err := json.Unmarshal(line, &cr); err == nil && cr.Bench != "" {
+			printCell(&cr)
+			failed = failed || cr.Error != ""
+			continue
+		}
+		var st service.JobStatus
+		if err := json.Unmarshal(line, &st); err == nil && st.ID != "" {
+			fmt.Printf("%s: %s (%d/%d cells, %d failed, %d cache hits)\n",
+				st.ID, st.State, st.Completed, st.Cells, st.Failed, st.CacheHits)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		fatalf("stream: %v", err)
+	}
+	if failed {
+		os.Exit(1)
+	}
+}
+
+func (c *client) job(args []string) {
+	if len(args) != 1 {
+		fatalf("usage: mopctl job <id>")
+	}
+	var st service.JobStatus
+	decode(c.get("/v1/jobs/"+args[0]), &st)
+	printStatus(&st, true)
+}
+
+func (c *client) jobs() {
+	var sts []service.JobStatus
+	decode(c.get("/v1/jobs"), &sts)
+	t := stats.NewTable("jobs", "id", "state", "cells", "completed", "failed", "cache-hits", "created")
+	for i := range sts {
+		st := &sts[i]
+		t.AddRow(st.ID, string(st.State), st.Cells, st.Completed, st.Failed, st.CacheHits,
+			st.Created.Format(time.RFC3339))
+	}
+	fmt.Print(t)
+}
+
+func (c *client) health() {
+	resp := c.get("/healthz")
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(resp.Body)
+	fmt.Printf("%d %s", resp.StatusCode, body)
+	if resp.StatusCode != http.StatusOK {
+		os.Exit(1)
+	}
+}
+
+func (c *client) metrics() {
+	resp := c.get("/metrics")
+	defer resp.Body.Close()
+	io.Copy(os.Stdout, resp.Body)
+}
+
+// configSpec builds the wire config from CLI knobs; unset knobs stay
+// absent so the server applies its defaults.
+func configSpec(sched, wakeup string, iq, stages int) service.ConfigSpec {
+	spec := service.ConfigSpec{Sched: sched, Wakeup: wakeup}
+	if iq >= 0 {
+		spec.IQ = &iq
+	}
+	if stages >= 0 {
+		spec.Stages = &stages
+	}
+	return spec
+}
+
+// schedConfigs expands -scheds shorthand names into the config map.
+// "mop" is wired-OR macro-op scheduling; "mop-2src" selects the CAM
+// wakeup array.
+func schedConfigs(list string) map[string]service.ConfigSpec {
+	out := make(map[string]service.ConfigSpec)
+	for _, name := range splitList(list) {
+		switch name {
+		case "mop-2src":
+			out[name] = service.ConfigSpec{Sched: "mop", Wakeup: "2src"}
+		default:
+			out[name] = service.ConfigSpec{Sched: name}
+		}
+	}
+	return out
+}
+
+func splitList(s string) []string {
+	var out []string
+	for _, p := range strings.Split(s, ",") {
+		if p = strings.TrimSpace(p); p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+func printCell(cr *service.CellResult) {
+	if cr.Error != "" {
+		fmt.Printf("%-10s %-14s FAILED (%s): %s [repro %s]\n",
+			cr.Bench, cr.Config, cr.ErrorKind, cr.Error, cr.ReproFingerprint)
+		return
+	}
+	src := "ran"
+	switch {
+	case cr.Cached:
+		src = "cache"
+	case cr.Shared:
+		src = "shared"
+	}
+	fmt.Printf("%-10s %-14s IPC %6.3f  %9d insts %9d cycles  checksum %s  %7.1fms (%s)\n",
+		cr.Bench, cr.Config, cr.IPC, cr.Committed, cr.Cycles, cr.Checksum, cr.WallMS, src)
+}
+
+func printStatus(st *service.JobStatus, withResults bool) {
+	fmt.Printf("%s: %s (%d/%d cells, %d failed, %d cache hits)\n",
+		st.ID, st.State, st.Completed, st.Cells, st.Failed, st.CacheHits)
+	if !withResults || len(st.Results) == 0 {
+		return
+	}
+	t := stats.NewTable("results", "benchmark", "config", "IPC", "insts", "cycles", "checksum", "ms", "source")
+	for _, cr := range st.Results {
+		if cr.Error != "" {
+			t.AddRow(cr.Bench, cr.Config, "FAILED", cr.ErrorKind, "-", cr.ReproFingerprint, fmt.Sprintf("%.1f", cr.WallMS), "-")
+			continue
+		}
+		src := "ran"
+		switch {
+		case cr.Cached:
+			src = "cache"
+		case cr.Shared:
+			src = "shared"
+		}
+		t.AddRow(cr.Bench, cr.Config, cr.IPC, cr.Committed, cr.Cycles, cr.Checksum,
+			fmt.Sprintf("%.1f", cr.WallMS), src)
+	}
+	fmt.Print(t)
+}
+
+func envOr(key, def string) string {
+	if v := os.Getenv(key); v != "" {
+		return v
+	}
+	return def
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "mopctl: "+format+"\n", args...)
+	os.Exit(1)
+}

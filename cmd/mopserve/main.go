@@ -1,0 +1,110 @@
+// Command mopserve is the long-running simulation service: an HTTP/JSON
+// API over the checked simulator with a bounded job queue, a worker pool,
+// a content-addressed result cache with singleflight deduplication, live
+// Prometheus metrics, and journal-backed graceful drain/resume.
+//
+// Usage:
+//
+//	mopserve -addr :8344                       # serve
+//	mopserve -addr :8344 -journal serve.journal  # crash-consistent
+//	mopserve -workers 8 -queue 512 -cache 8192
+//
+// Endpoints:
+//
+//	POST /v1/simulate          {"benchmark":"gzip","config":{"sched":"mop"},"max_insts":100000}
+//	POST /v1/matrix            {"benchmarks":[...],"configs":{"name":{...}},"wait":true|"stream":true}
+//	GET  /v1/jobs, /v1/jobs/{id}, /v1/jobs/{id}/stream
+//	GET  /metrics, /healthz, /debug/pprof/
+//
+// SIGTERM/SIGINT begins a graceful drain: admission stops (healthz turns
+// 503, submits are rejected with Retry-After), in-flight cells finish and
+// are journaled, unfinished batches stay journaled for the next start to
+// resume, and the process exits 0. See cmd/mopctl for the client.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"macroop/internal/service"
+)
+
+func main() {
+	var (
+		addr         = flag.String("addr", ":8344", "listen address")
+		workers      = flag.Int("workers", 0, "worker pool size (0 = GOMAXPROCS)")
+		queue        = flag.Int("queue", 256, "admission bound: maximum admitted-but-unfinished cells")
+		cacheEntries = flag.Int("cache", 4096, "result cache entries")
+		jpath        = flag.String("journal", "", "write-ahead journal path; a restart with the same path warms the cache and resumes unfinished batches")
+		defInsts     = flag.Int64("default-insts", 200_000, "per-cell instruction budget when a request leaves max_insts unset")
+		maxInsts     = flag.Int64("max-insts", 5_000_000, "per-cell instruction budget cap")
+		cellTimeout  = flag.Duration("cell-timeout", 2*time.Minute, "wall-clock bound per cell")
+		drainGrace   = flag.Duration("drain-grace", 60*time.Second, "how long a drain waits for in-flight cells before hard-cancelling them")
+		retryAfter   = flag.Duration("retry-after", time.Second, "Retry-After hint attached to queue-full rejections")
+	)
+	flag.Parse()
+	logf := log.New(os.Stderr, "mopserve: ", log.LstdFlags).Printf
+
+	s, err := service.New(service.Options{
+		Workers:      *workers,
+		QueueDepth:   *queue,
+		CacheEntries: *cacheEntries,
+		DefaultInsts: *defInsts,
+		MaxInsts:     *maxInsts,
+		CellTimeout:  *cellTimeout,
+		JournalPath:  *jpath,
+		RetryAfter:   *retryAfter,
+		Logf:         logf,
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "mopserve: %v\n", err)
+		os.Exit(1)
+	}
+	s.Start()
+
+	srv := &http.Server{Addr: *addr, Handler: s.Handler()}
+	errc := make(chan error, 1)
+	go func() {
+		logf("listening on %s", *addr)
+		errc <- srv.ListenAndServe()
+	}()
+
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, syscall.SIGTERM, syscall.SIGINT)
+	select {
+	case sig := <-sigc:
+		logf("%v: draining (in-flight cells finish, queued batches stay journaled)", sig)
+	case err := <-errc:
+		fmt.Fprintf(os.Stderr, "mopserve: %v\n", err)
+		s.Close()
+		os.Exit(1)
+	}
+
+	// Drain order: stop admitting first (Drain flips healthz to 503 and
+	// rejects submits), finish in-flight cells, then close the HTTP
+	// server so waiting/streaming handlers have seen their jobs reach a
+	// terminal state before Shutdown reaps connections.
+	drainCtx, cancel := context.WithTimeout(context.Background(), *drainGrace)
+	defer cancel()
+	if err := s.Drain(drainCtx); err != nil {
+		logf("drain: %v (in-flight cells were cancelled; they resume on restart)", err)
+	}
+	shutCtx, cancel2 := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel2()
+	if err := srv.Shutdown(shutCtx); err != nil {
+		logf("http shutdown: %v", err)
+	}
+	if err := s.Close(); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		fmt.Fprintf(os.Stderr, "mopserve: close: %v\n", err)
+		os.Exit(1)
+	}
+	logf("drained cleanly")
+}

@@ -66,6 +66,7 @@ func main() {
 		exeTrace = flag.String("exectrace", "", "write a runtime execution trace to this file (inspect with go tool trace); -trace prints the pipeline timeline instead")
 	)
 	flag.Parse()
+	validateFlags(*sched, *repro, *faults)
 	defer startProfiling(*cpuProf, *memProf, *exeTrace)()
 
 	if *repro != "" {
@@ -76,9 +77,6 @@ func main() {
 	if *faults != "" {
 		runCampaign(*bench, *faults, *insts, *watchdog, openJournal(*jpath, *resume), *doShrink, *shrOut)
 		return
-	}
-	if *jpath != "" {
-		fatalf("-journal only applies to campaign mode (-faults); sweep journaling lives in moppaper -journal")
 	}
 
 	m := config.Default().WithIQ(*iq).WithWatchdog(*watchdog)
@@ -166,6 +164,59 @@ func main() {
 	if k != nil {
 		s := k.Summary()
 		fmt.Printf("  check: ok, %d commits cross-checked, checksum %016x\n", s.Commits, s.Checksum)
+	}
+}
+
+// validateFlags cross-checks flag combinations so misuse fails fast with
+// a pointed message instead of silently ignoring a flag (or worse,
+// silently changing what ran — an unchecked -inject-fault corrupts the
+// simulation with nothing watching for the divergence).
+func validateFlags(sched, repro, faults string) {
+	set := map[string]bool{}
+	flag.Visit(func(f *flag.Flag) { set[f.Name] = true })
+
+	if flag.NArg() > 0 {
+		fatalf("unexpected argument %q: mopsim takes flags only (did you mean -bench %s?)", flag.Arg(0), flag.Arg(0))
+	}
+	if repro != "" {
+		// Replay is self-contained: the bundle records the machine, budget
+		// and fault. Any other simulation flag would be silently ignored.
+		for name := range set {
+			switch name {
+			case "repro", "cpuprofile", "memprofile", "exectrace":
+			default:
+				fatalf("-%s conflicts with -repro: a repro bundle fixes the whole configuration", name)
+			}
+		}
+		return
+	}
+	if set["resume"] && !set["journal"] {
+		fatalf("-resume needs -journal: there is no journal to continue from")
+	}
+	if set["shrink-out"] && !set["shrink"] {
+		fatalf("-shrink-out needs -shrink: nothing would be written there")
+	}
+	if set["inject-fault"] && !set["check"] && faults == "" {
+		fatalf("-inject-fault needs -check: without the oracle the corruption runs silently and the timing numbers are garbage")
+	}
+	if faults != "" {
+		// A campaign sweeps every scheduler and drives the oracle itself.
+		for _, name := range []string{"sched", "wakeup", "iq", "stages", "detect-delay", "no-indep", "no-filter", "trace", "check", "inject-fault", "timeout"} {
+			if set[name] {
+				fatalf("-%s conflicts with -faults: the campaign sweeps all schedulers with the oracle attached", name)
+			}
+		}
+		return
+	}
+	if set["journal"] {
+		fatalf("-journal only applies to campaign mode (-faults); sweep journaling lives in moppaper -journal")
+	}
+	if sched != "mop" {
+		for _, name := range []string{"wakeup", "stages", "detect-delay", "no-indep", "no-filter"} {
+			if set[name] {
+				fatalf("-%s only applies to -sched mop (got -sched %s)", name, sched)
+			}
+		}
 	}
 }
 

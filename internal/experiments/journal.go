@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 
+	"macroop/internal/config"
 	"macroop/internal/core"
 	"macroop/internal/simerr"
 )
@@ -29,21 +30,31 @@ type cellRecord struct {
 	Fingerprint string `json:",omitempty"` // simerr.FingerprintOf the last error
 }
 
-// cellKey identifies one matrix cell across runs: benchmark, configuration
-// name, and a fingerprint over the full machine configuration plus the
-// runner parameters that change what the cell computes. A journal entry is
-// reused only when all of it matches, so editing a configuration (or the
-// instruction budget) invalidates stale cells instead of resuming into
-// wrong results.
-func (r *Runner) cellKey(j job) string {
-	cfgJSON, err := json.Marshal(j.m)
+// CellFingerprint is the content identity of one simulation cell: a
+// stable hash over the benchmark, the full machine configuration, the
+// instruction budget, and whether the differential oracle is attached —
+// everything that determines what the cell computes, and nothing it is
+// merely labelled with. Sweep journals key resume on it so edited
+// configurations invalidate stale records, and the simulation service
+// (internal/service) keys its content-addressed result cache on it so
+// overlapping requests that describe the same simulation share one
+// execution and one cached result.
+func CellFingerprint(bench string, m config.Machine, maxInsts int64, check bool) string {
+	cfgJSON, err := json.Marshal(m)
 	if err != nil {
 		// config.Machine is a plain value struct; Marshal cannot fail on
 		// it. Guard anyway so a future field type cannot corrupt resume.
-		cfgJSON = []byte(fmt.Sprintf("%+v", j.m))
+		cfgJSON = []byte(fmt.Sprintf("%+v", m))
 	}
-	h := simerr.Fingerprint(string(cfgJSON), fmt.Sprint(r.MaxInsts), fmt.Sprint(r.Check))
-	return "cell|" + j.bench + "|" + j.cfg + "|" + h
+	return simerr.Fingerprint(bench, string(cfgJSON), fmt.Sprint(maxInsts), fmt.Sprint(check))
+}
+
+// cellKey identifies one matrix cell across runs: benchmark, configuration
+// name, and the cell's content fingerprint. A journal entry is reused only
+// when all of it matches, so editing a configuration (or the instruction
+// budget) invalidates stale cells instead of resuming into wrong results.
+func (r *Runner) cellKey(j job) string {
+	return "cell|" + j.bench + "|" + j.cfg + "|" + CellFingerprint(j.bench, j.m, r.MaxInsts, r.Check)
 }
 
 // journaledCell looks up a durable outcome for the cell; a record that

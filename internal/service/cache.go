@@ -1,0 +1,117 @@
+package service
+
+import (
+	"container/list"
+	"sync"
+
+	"macroop/internal/core"
+)
+
+// cellRecord is one cached (and journaled) successful cell outcome: the
+// timing result plus the differential oracle's summary. The checksum is
+// the cache's self-verification handle — identical to what a direct
+// macroop.SimulateChecked of the same cell reports, which is what the
+// sustained-load test and the CI smoke assert.
+type cellRecord struct {
+	Bench    string
+	Result   *core.Result
+	Checksum uint64
+	Commits  int64
+}
+
+// resultCache is a bounded LRU of cell outcomes keyed by content
+// fingerprint. It is safe for concurrent use by the worker pool.
+type resultCache struct {
+	mu  sync.Mutex
+	cap int
+	m   map[string]*list.Element
+	lru *list.List // front = most recently used
+}
+
+type cacheEntry struct {
+	key string
+	rec *cellRecord
+}
+
+func newResultCache(capacity int) *resultCache {
+	if capacity <= 0 {
+		capacity = 4096
+	}
+	return &resultCache{cap: capacity, m: make(map[string]*list.Element), lru: list.New()}
+}
+
+// Get returns the cached record for the fingerprint, refreshing its LRU
+// position.
+func (c *resultCache) Get(fp string) (*cellRecord, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	e, ok := c.m[fp]
+	if !ok {
+		return nil, false
+	}
+	c.lru.MoveToFront(e)
+	return e.Value.(*cacheEntry).rec, true
+}
+
+// Put inserts (or refreshes) a record, evicting the least recently used
+// entry beyond capacity.
+func (c *resultCache) Put(fp string, rec *cellRecord) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if e, ok := c.m[fp]; ok {
+		e.Value.(*cacheEntry).rec = rec
+		c.lru.MoveToFront(e)
+		return
+	}
+	c.m[fp] = c.lru.PushFront(&cacheEntry{key: fp, rec: rec})
+	for c.lru.Len() > c.cap {
+		tail := c.lru.Back()
+		c.lru.Remove(tail)
+		delete(c.m, tail.Value.(*cacheEntry).key)
+	}
+}
+
+// Len reports the number of cached cells.
+func (c *resultCache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.lru.Len()
+}
+
+// flightGroup is a minimal singleflight: concurrent Do calls with the
+// same key share one execution of fn. Unlike a cache it holds only
+// in-flight calls — completed keys are immediately forgotten (the result
+// cache is the durable layer above it).
+type flightGroup struct {
+	mu sync.Mutex
+	m  map[string]*flightCall
+}
+
+type flightCall struct {
+	done chan struct{}
+	rec  *cellRecord
+	err  error
+}
+
+func newFlightGroup() *flightGroup { return &flightGroup{m: make(map[string]*flightCall)} }
+
+// Do executes fn once per key among concurrent callers. shared reports
+// whether this caller joined an execution another caller started.
+func (g *flightGroup) Do(key string, fn func() (*cellRecord, error)) (rec *cellRecord, shared bool, err error) {
+	g.mu.Lock()
+	if call, ok := g.m[key]; ok {
+		g.mu.Unlock()
+		<-call.done
+		return call.rec, true, call.err
+	}
+	call := &flightCall{done: make(chan struct{})}
+	g.m[key] = call
+	g.mu.Unlock()
+
+	call.rec, call.err = fn()
+	g.mu.Lock()
+	delete(g.m, key)
+	g.mu.Unlock()
+	close(call.done)
+	return call.rec, false, call.err
+}

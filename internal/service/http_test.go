@@ -1,0 +1,301 @@
+package service
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+func postJSON(t *testing.T, url string, body any) *http.Response {
+	t.Helper()
+	data, err := json.Marshal(body)
+	if err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(data))
+	if err != nil {
+		t.Fatalf("POST %s: %v", url, err)
+	}
+	return resp
+}
+
+func decodeBody[T any](t *testing.T, resp *http.Response) T {
+	t.Helper()
+	defer resp.Body.Close()
+	var v T
+	if err := json.NewDecoder(resp.Body).Decode(&v); err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	return v
+}
+
+func TestHTTPSimulateAndCache(t *testing.T) {
+	s := newTestService(t, Options{Workers: 2})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	req := SimRequest{Benchmark: "gzip", Config: ConfigSpec{Sched: "mop"}, MaxInsts: testInsts}
+	resp := postJSON(t, ts.URL+"/v1/simulate", req)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("cold simulate status %d", resp.StatusCode)
+	}
+	cold := decodeBody[CellResult](t, resp)
+	if cold.Checksum == "" || cold.Cached {
+		t.Fatalf("cold result = %+v, want checksum and cached=false", cold)
+	}
+
+	resp = postJSON(t, ts.URL+"/v1/simulate", req)
+	warm := decodeBody[CellResult](t, resp)
+	if !warm.Cached || warm.Checksum != cold.Checksum {
+		t.Fatalf("warm result cached=%v checksum=%s, want cache hit with checksum %s",
+			warm.Cached, warm.Checksum, cold.Checksum)
+	}
+}
+
+func TestHTTPValidationAndErrorMapping(t *testing.T) {
+	s := newTestService(t, Options{Workers: 1})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	// Unknown benchmark: 400 with a useful message.
+	resp := postJSON(t, ts.URL+"/v1/simulate", SimRequest{Benchmark: "nope"})
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("unknown benchmark status %d, want 400", resp.StatusCode)
+	}
+	eb := decodeBody[errorBody](t, resp)
+	if eb.Error == "" {
+		t.Error("400 body has no error message")
+	}
+
+	// Malformed JSON: 400.
+	r2, err := http.Post(ts.URL+"/v1/simulate", "application/json", strings.NewReader("{"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2.Body.Close()
+	if r2.StatusCode != http.StatusBadRequest {
+		t.Errorf("malformed body status %d, want 400", r2.StatusCode)
+	}
+
+	// Typed simulation failure: 500 with kind and repro fingerprint.
+	wd := 1
+	resp = postJSON(t, ts.URL+"/v1/simulate", SimRequest{
+		Benchmark: "gzip", Config: ConfigSpec{Sched: "base", Watchdog: &wd}, MaxInsts: testInsts,
+	})
+	if resp.StatusCode != http.StatusInternalServerError {
+		t.Errorf("deadlock status %d, want 500", resp.StatusCode)
+	}
+	eb = decodeBody[errorBody](t, resp)
+	if eb.Kind != "deadlock" || eb.ReproFingerprint == "" {
+		t.Errorf("deadlock body = %+v, want kind=deadlock with repro fingerprint", eb)
+	}
+
+	// Unknown job: 404.
+	r3, err := http.Get(ts.URL + "/v1/jobs/job-999")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r3.Body.Close()
+	if r3.StatusCode != http.StatusNotFound {
+		t.Errorf("unknown job status %d, want 404", r3.StatusCode)
+	}
+}
+
+func TestHTTPMatrixWaitAsyncAndStream(t *testing.T) {
+	s := newTestService(t, Options{Workers: 4})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	mat := map[string]any{
+		"benchmarks": []string{"gzip"},
+		"configs":    map[string]ConfigSpec{"base": {Sched: "base"}, "mop": {Sched: "mop"}},
+		"max_insts":  testInsts,
+	}
+
+	// wait mode: a single blocking response with full results.
+	waitReq := map[string]any{"wait": true}
+	for k, v := range mat {
+		waitReq[k] = v
+	}
+	resp := postJSON(t, ts.URL+"/v1/matrix", waitReq)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("wait matrix status %d", resp.StatusCode)
+	}
+	st := decodeBody[JobStatus](t, resp)
+	if st.State != JobDone || len(st.Results) != 2 || st.Failed != 0 {
+		t.Fatalf("wait matrix status %+v, want done with 2 results", st)
+	}
+
+	// async mode: 202 now, poll GET /v1/jobs/{id} to completion.
+	resp = postJSON(t, ts.URL+"/v1/matrix", mat)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("async matrix status %d, want 202", resp.StatusCode)
+	}
+	acc := decodeBody[JobStatus](t, resp)
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		r, err := http.Get(ts.URL + "/v1/jobs/" + acc.ID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := decodeBody[JobStatus](t, r)
+		if got.State == JobDone {
+			if got.CacheHits == 0 {
+				t.Error("repeat matrix reported no cache hits")
+			}
+			break
+		}
+		if got.State == JobFailed || time.Now().After(deadline) {
+			t.Fatalf("job %s state %s", acc.ID, got.State)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	// jobs listing knows the job.
+	r, err := http.Get(ts.URL + "/v1/jobs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	listing := decodeBody[[]JobStatus](t, r)
+	found := false
+	for _, js := range listing {
+		found = found || js.ID == acc.ID
+	}
+	if !found {
+		t.Errorf("GET /v1/jobs does not list %s", acc.ID)
+	}
+
+	// stream mode: one NDJSON line per cell, then a terminal status line.
+	streamReq := map[string]any{"stream": true}
+	for k, v := range mat {
+		streamReq[k] = v
+	}
+	resp = postJSON(t, ts.URL+"/v1/matrix", streamReq)
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "application/x-ndjson" {
+		t.Errorf("stream content type %q", ct)
+	}
+	var lines []string
+	sc := bufio.NewScanner(resp.Body)
+	for sc.Scan() {
+		lines = append(lines, sc.Text())
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatalf("stream read: %v", err)
+	}
+	if len(lines) != 3 {
+		t.Fatalf("stream lines = %d, want 2 cells + 1 status", len(lines))
+	}
+	var last JobStatus
+	if err := json.Unmarshal([]byte(lines[len(lines)-1]), &last); err != nil {
+		t.Fatalf("terminal stream line: %v", err)
+	}
+	if last.State != JobDone {
+		t.Errorf("terminal stream state %s, want done", last.State)
+	}
+}
+
+func TestHTTPMetricsAndHealth(t *testing.T) {
+	s := newTestService(t, Options{Workers: 2})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	// Generate one miss and one hit so the counters are non-trivial.
+	req := SimRequest{Benchmark: "gzip", Config: ConfigSpec{Sched: "base"}, MaxInsts: testInsts}
+	postJSON(t, ts.URL+"/v1/simulate", req).Body.Close()
+	postJSON(t, ts.URL+"/v1/simulate", req).Body.Close()
+
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	buf.ReadFrom(resp.Body)
+	resp.Body.Close()
+	text := buf.String()
+	for _, want := range []string{
+		"mopserve_queue_depth 0",
+		"mopserve_cache_hits_total 1",
+		"mopserve_cache_misses_total 1",
+		`mopserve_jobs_total{state="failed"} 0`,
+		`mopserve_cells_total{outcome="ok"} 2`,
+		"mopserve_uops_total",
+		"mopserve_cell_seconds_bucket",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("metrics missing %q", want)
+		}
+	}
+
+	hz, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	hz.Body.Close()
+	if hz.StatusCode != http.StatusOK {
+		t.Errorf("healthz status %d, want 200", hz.StatusCode)
+	}
+
+	// Drain flips healthz to 503 and rejects new work with Retry-After.
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := s.Drain(ctx); err != nil {
+		t.Fatalf("Drain: %v", err)
+	}
+	hz, err = http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	hz.Body.Close()
+	if hz.StatusCode != http.StatusServiceUnavailable {
+		t.Errorf("draining healthz status %d, want 503", hz.StatusCode)
+	}
+	resp = postJSON(t, ts.URL+"/v1/simulate", req)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Errorf("draining simulate status %d, want 503", resp.StatusCode)
+	}
+	if ra := resp.Header.Get("Retry-After"); ra == "" {
+		t.Error("503 without Retry-After header")
+	}
+}
+
+func TestHTTPQueueFullRetryAfter(t *testing.T) {
+	// No Start: the queue never drains, so the second matrix is rejected.
+	s, err := New(Options{Workers: 1, QueueDepth: 2, DefaultInsts: testInsts, RetryAfter: 3 * time.Second, Logf: t.Logf})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	mat := map[string]any{
+		"benchmarks": []string{"gzip"},
+		"configs":    map[string]ConfigSpec{"base": {Sched: "base"}, "mop": {Sched: "mop"}},
+		"max_insts":  testInsts,
+	}
+	resp := postJSON(t, ts.URL+"/v1/matrix", mat)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("first matrix status %d, want 202", resp.StatusCode)
+	}
+	resp = postJSON(t, ts.URL+"/v1/matrix", mat)
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("over-capacity matrix status %d, want 503", resp.StatusCode)
+	}
+	if got := resp.Header.Get("Retry-After"); got != "3" {
+		t.Errorf("Retry-After = %q, want 3", got)
+	}
+	eb := decodeBody[errorBody](t, resp)
+	if !strings.Contains(eb.Error, "queue full") {
+		t.Errorf("error body %q does not name the queue", eb.Error)
+	}
+}

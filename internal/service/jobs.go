@@ -1,0 +1,216 @@
+package service
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"macroop/internal/core"
+)
+
+// JobState is the lifecycle of a job.
+type JobState string
+
+// Job states. A drained server marks unfinished jobs interrupted; their
+// specs are already journaled, so a restarted server resumes them (cells
+// that completed before the drain replay from the journal-warmed cache).
+const (
+	JobQueued      JobState = "queued"
+	JobRunning     JobState = "running"
+	JobDone        JobState = "done"
+	JobFailed      JobState = "failed" // finished, but >=1 cell failed
+	JobInterrupted JobState = "interrupted"
+)
+
+// CellResult is the wire form of one finished cell.
+type CellResult struct {
+	Index  int    `json:"index"`
+	Bench  string `json:"benchmark"`
+	Config string `json:"config"`
+	// Cell is the content fingerprint identifying the simulation
+	// (experiments.CellFingerprint) — the cache key.
+	Cell string `json:"cell"`
+	// Cached reports a content-addressed cache hit; Shared reports the
+	// request coalesced into an identical in-flight execution.
+	Cached bool `json:"cached,omitempty"`
+	Shared bool `json:"shared,omitempty"`
+	// Checksum is the differential oracle's architectural checksum
+	// (%016x), identical to a direct macroop.SimulateChecked of the same
+	// cell. CheckedCommits is how many commits it covers.
+	Checksum       string `json:"checksum,omitempty"`
+	CheckedCommits int64  `json:"checked_commits,omitempty"`
+
+	IPC       float64      `json:"ipc,omitempty"`
+	Cycles    int64        `json:"cycles,omitempty"`
+	Committed int64        `json:"committed,omitempty"`
+	Result    *core.Result `json:"result,omitempty"`
+
+	Error            string `json:"error,omitempty"`
+	ErrorKind        string `json:"error_kind,omitempty"`
+	ReproFingerprint string `json:"repro_fingerprint,omitempty"`
+
+	WallMS float64 `json:"wall_ms"`
+}
+
+// JobStatus is the wire form of a job's progress.
+type JobStatus struct {
+	ID        string        `json:"id"`
+	State     JobState      `json:"state"`
+	Cells     int           `json:"cells"`
+	Completed int           `json:"completed"`
+	Failed    int           `json:"failed"`
+	CacheHits int           `json:"cache_hits"`
+	Created   time.Time     `json:"created"`
+	Results   []*CellResult `json:"results,omitempty"`
+}
+
+// Job tracks one admitted request (a single simulation or a matrix
+// batch) through the queue and worker pool.
+type Job struct {
+	id      string
+	cells   []CellSpec
+	created time.Time
+	// journaled jobs (batches accepted with a journal attached) resume
+	// after a restart; ad-hoc synchronous jobs do not.
+	journaled bool
+
+	mu        sync.Mutex
+	state     JobState
+	results   []*CellResult // by cell index; nil until finished
+	completed int
+	failed    int
+	hits      int
+	subs      []chan *CellResult
+	done      chan struct{}
+	// frozen is set for completed jobs reloaded from the journal: the
+	// job's terminal status survives a restart without re-running cells.
+	frozen *JobStatus
+}
+
+func newJob(id string, cells []CellSpec, journaled bool, created time.Time) *Job {
+	return &Job{
+		id:        id,
+		cells:     cells,
+		created:   created,
+		journaled: journaled,
+		state:     JobQueued,
+		results:   make([]*CellResult, len(cells)),
+		done:      make(chan struct{}),
+	}
+}
+
+// ID returns the job's identifier.
+func (j *Job) ID() string { return j.id }
+
+// Done is closed when the job reaches a terminal state (done, failed, or
+// interrupted by a drain).
+func (j *Job) Done() <-chan struct{} { return j.done }
+
+// record stores one finished cell, notifies subscribers, and reports
+// whether this was the job's last cell.
+func (j *Job) record(cr *CellResult) (finished bool) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.state == JobInterrupted || j.results[cr.Index] != nil {
+		return false // late completion after drain, or duplicate
+	}
+	j.results[cr.Index] = cr
+	j.completed++
+	if cr.Error != "" {
+		j.failed++
+	}
+	if cr.Cached {
+		j.hits++
+	}
+	if j.state == JobQueued {
+		j.state = JobRunning
+	}
+	for _, sub := range j.subs {
+		sub <- cr // never blocks: subscriber buffers hold every event
+	}
+	if j.completed == len(j.cells) {
+		if j.failed > 0 {
+			j.state = JobFailed
+		} else {
+			j.state = JobDone
+		}
+		close(j.done)
+		return true
+	}
+	return false
+}
+
+// interrupt marks an unfinished job as cut short by a drain and releases
+// its waiters. Terminal jobs are left untouched.
+func (j *Job) interrupt() {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	switch j.state {
+	case JobQueued, JobRunning:
+		j.state = JobInterrupted
+		close(j.done)
+	}
+}
+
+// subscribe returns a channel replaying every already-finished cell and
+// then delivering future ones. Its buffer holds the job's entire event
+// stream, so publishers never block on a slow or absent reader.
+func (j *Job) subscribe() chan *CellResult {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	ch := make(chan *CellResult, len(j.cells))
+	for _, cr := range j.results {
+		if cr != nil {
+			ch <- cr
+		}
+	}
+	switch j.state {
+	case JobQueued, JobRunning:
+		j.subs = append(j.subs, ch)
+	}
+	return ch
+}
+
+// Status snapshots the job, including (when withResults) the finished
+// cells in index order.
+func (j *Job) Status(withResults bool) *JobStatus {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.frozen != nil {
+		st := *j.frozen
+		if !withResults {
+			st.Results = nil
+		}
+		return &st
+	}
+	st := &JobStatus{
+		ID:        j.id,
+		State:     j.state,
+		Cells:     len(j.cells),
+		Completed: j.completed,
+		Failed:    j.failed,
+		CacheHits: j.hits,
+		Created:   j.created,
+	}
+	if withResults {
+		for _, cr := range j.results {
+			if cr != nil {
+				st.Results = append(st.Results, cr)
+			}
+		}
+	}
+	return st
+}
+
+// failedCells renders the job's cell failures for logs.
+func (j *Job) failedCells() string {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	s := ""
+	for _, cr := range j.results {
+		if cr != nil && cr.Error != "" {
+			s += fmt.Sprintf("\n  %s/%s: %s", cr.Bench, cr.Config, cr.Error)
+		}
+	}
+	return s
+}

@@ -1,0 +1,161 @@
+package service
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"runtime"
+	"sync"
+	"testing"
+	"time"
+
+	"macroop/internal/checker"
+	"macroop/internal/workload/workloadtest"
+)
+
+// TestSustainedLoad is the PR's acceptance scenario: >=32 concurrent
+// clients submitting overlapping matrix requests against one server,
+// with zero failed requests, a non-zero cache hit ratio, checksums
+// byte-identical to a direct checked simulation of the same cells, and
+// a graceful drain that leaves no orphaned goroutines. Run under -race.
+func TestSustainedLoad(t *testing.T) {
+	baseline := runtime.NumGoroutine()
+
+	benches := []string{"gzip", "mcf"}
+	specs := map[string]ConfigSpec{
+		"base":   {Sched: "base"},
+		"2cycle": {Sched: "2cycle"},
+		"mop":    {Sched: "mop"},
+	}
+
+	// Reference checksums straight from the checked simulator, bypassing
+	// the service entirely. Checksums are per-(benchmark, budget): every
+	// config of one benchmark must commit the identical architectural
+	// stream, so one direct run per benchmark pins all its cells.
+	wantSum := map[string]string{}
+	for _, b := range benches {
+		prog := workloadtest.ByName(t, b)
+		m, err := ConfigSpec{Sched: "base"}.Machine()
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, sum, err := checker.CheckedRun(m, prog, testInsts, testInsts)
+		if err != nil {
+			t.Fatalf("direct CheckedRun %s: %v", b, err)
+		}
+		wantSum[b] = fmt.Sprintf("%016x", sum.Checksum)
+	}
+
+	s, err := New(Options{
+		Workers:      8,
+		QueueDepth:   2048, // hold the whole burst: this test is about dedup, not rejection
+		DefaultInsts: testInsts,
+		Logf:         t.Logf,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Start()
+	ts := httptest.NewServer(s.Handler())
+
+	body, err := json.Marshal(map[string]any{
+		"benchmarks": benches,
+		"configs":    specs,
+		"max_insts":  testInsts,
+		"wait":       true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const (
+		clients        = 32
+		reqsPerClient  = 3
+		cellsPerMatrix = 6 // 2 benchmarks x 3 configs
+	)
+	var wg sync.WaitGroup
+	errs := make(chan error, clients*reqsPerClient)
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			for r := 0; r < reqsPerClient; r++ {
+				resp, err := http.Post(ts.URL+"/v1/matrix", "application/json", bytes.NewReader(body))
+				if err != nil {
+					errs <- fmt.Errorf("client %d req %d: %v", c, r, err)
+					return
+				}
+				var st JobStatus
+				err = json.NewDecoder(resp.Body).Decode(&st)
+				resp.Body.Close()
+				if err != nil {
+					errs <- fmt.Errorf("client %d req %d decode: %v", c, r, err)
+					return
+				}
+				if resp.StatusCode != http.StatusOK {
+					errs <- fmt.Errorf("client %d req %d status %d", c, r, resp.StatusCode)
+					return
+				}
+				if st.State != JobDone || st.Failed != 0 || len(st.Results) != cellsPerMatrix {
+					errs <- fmt.Errorf("client %d req %d: state %s, %d failed, %d results",
+						c, r, st.State, st.Failed, len(st.Results))
+					return
+				}
+				for _, cr := range st.Results {
+					if cr.Checksum != wantSum[cr.Bench] {
+						errs <- fmt.Errorf("client %d req %d: %s/%s checksum %s, direct run says %s",
+							c, r, cr.Bench, cr.Config, cr.Checksum, wantSum[cr.Bench])
+						return
+					}
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+	close(errs)
+	failed := 0
+	for err := range errs {
+		failed++
+		t.Error(err)
+	}
+	if failed > 0 {
+		t.Fatalf("%d/%d requests failed", failed, clients*reqsPerClient)
+	}
+
+	// 576 requested cells over 6 distinct ones: the cache plus
+	// singleflight must collapse them to exactly one execution each.
+	if got := s.Executions(); got != cellsPerMatrix {
+		t.Errorf("Executions = %d, want exactly %d (one per distinct cell)", got, cellsPerMatrix)
+	}
+	hits, misses, shared := s.CacheStats()
+	total := clients * reqsPerClient * cellsPerMatrix
+	if hits+shared+misses != int64(total) {
+		t.Errorf("hits(%d)+shared(%d)+misses(%d) = %d, want %d served cells",
+			hits, shared, misses, hits+shared+misses, total)
+	}
+	if hits == 0 {
+		t.Error("sustained load produced zero cache hits")
+	}
+	t.Logf("load: %d cells served, %d hits, %d coalesced, %d executed", total, hits, shared, s.Executions())
+
+	// Graceful drain, then the leak check: every worker, dispatcher and
+	// HTTP goroutine must be gone.
+	if err := s.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	ts.Close()
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		runtime.GC() // nudge finished goroutines off the scheduler
+		if n := runtime.NumGoroutine(); n <= baseline+2 {
+			break
+		} else if time.Now().After(deadline) {
+			buf := make([]byte, 1<<20)
+			t.Fatalf("goroutine leak after drain: %d alive, baseline %d\n%s",
+				n, baseline, buf[:runtime.Stack(buf, true)])
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}

@@ -1,0 +1,148 @@
+package service
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// latencyBuckets are the per-cell wall-clock histogram bounds in seconds.
+// Cells span ~1ms cache-warm smoke budgets to minutes-long full sweeps.
+var latencyBuckets = []float64{
+	0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10, 30, 60,
+}
+
+// histogram is a fixed-bucket latency histogram (one per scheduler
+// model). Prometheus buckets are cumulative; counts here are per-bucket
+// and accumulated at render time.
+type histogram struct {
+	counts []atomic.Int64 // len(latencyBuckets)+1, last = +Inf
+	sum    atomic.Int64   // microseconds, to stay integral under atomics
+	n      atomic.Int64
+}
+
+func newHistogram() *histogram {
+	return &histogram{counts: make([]atomic.Int64, len(latencyBuckets)+1)}
+}
+
+func (h *histogram) observe(seconds float64) {
+	i := sort.SearchFloat64s(latencyBuckets, seconds)
+	h.counts[i].Add(1)
+	h.sum.Add(int64(seconds * 1e6))
+	h.n.Add(1)
+}
+
+// metrics is the service's live instrumentation, rendered in Prometheus
+// text exposition format by Render. Everything is atomics or small
+// mutexed maps: recording on the worker hot path never blocks on I/O.
+type metrics struct {
+	queueDepth  func() int
+	workers     int
+	workersBusy atomic.Int64
+
+	cacheHits   atomic.Int64
+	cacheMisses atomic.Int64
+	sfShared    atomic.Int64
+
+	jobsAccepted  atomic.Int64
+	jobsCompleted atomic.Int64
+	jobsFailed    atomic.Int64
+	jobsRejected  atomic.Int64
+	jobsResumed   atomic.Int64
+
+	cellsOK     atomic.Int64
+	cellsFailed atomic.Int64
+
+	uops atomic.Int64 // committed simulated instructions
+
+	mu    sync.Mutex
+	hists map[string]*histogram // by scheduler model name
+}
+
+func newMetrics(queueDepth func() int, workers int) *metrics {
+	return &metrics{queueDepth: queueDepth, workers: workers, hists: make(map[string]*histogram)}
+}
+
+// observeCell records one executed (non-cached) cell's latency and
+// throughput under its scheduler model label.
+func (m *metrics) observeCell(sched string, seconds float64, committed int64) {
+	m.mu.Lock()
+	h := m.hists[sched]
+	if h == nil {
+		h = newHistogram()
+		m.hists[sched] = h
+	}
+	m.mu.Unlock()
+	h.observe(seconds)
+	m.uops.Add(committed)
+}
+
+// Render writes the Prometheus text exposition. Families render in a
+// fixed order and label sets sort, so output is deterministic and
+// greppable by the CI smoke.
+func (m *metrics) Render(w *strings.Builder) {
+	gauge := func(name, help string, v int64) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s gauge\n%s %d\n", name, help, name, name, v)
+	}
+	gauge("mopserve_queue_depth", "Cells admitted but not yet finished.", int64(m.queueDepth()))
+	gauge("mopserve_workers", "Size of the worker pool.", int64(m.workers))
+	gauge("mopserve_workers_busy", "Workers currently executing or awaiting a cell.", m.workersBusy.Load())
+
+	counter := func(name, help string, series ...[2]any) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n", name, help, name)
+		for _, s := range series {
+			fmt.Fprintf(w, "%s%s %d\n", name, s[0], s[1])
+		}
+	}
+	counter("mopserve_cache_hits_total", "Cell requests served from the content-addressed result cache.",
+		[2]any{"", m.cacheHits.Load()})
+	counter("mopserve_cache_misses_total", "Cell requests that required a simulation.",
+		[2]any{"", m.cacheMisses.Load()})
+	counter("mopserve_singleflight_shared_total", "Cell requests coalesced into an identical in-flight execution.",
+		[2]any{"", m.sfShared.Load()})
+	counter("mopserve_jobs_total", "Jobs by terminal or admission state.",
+		[2]any{`{state="accepted"}`, m.jobsAccepted.Load()},
+		[2]any{`{state="completed"}`, m.jobsCompleted.Load()},
+		[2]any{`{state="failed"}`, m.jobsFailed.Load()},
+		[2]any{`{state="rejected"}`, m.jobsRejected.Load()},
+		[2]any{`{state="resumed"}`, m.jobsResumed.Load()})
+	counter("mopserve_cells_total", "Finished cells by outcome (cached hits count as ok).",
+		[2]any{`{outcome="ok"}`, m.cellsOK.Load()},
+		[2]any{`{outcome="failed"}`, m.cellsFailed.Load()})
+	counter("mopserve_uops_total", "Committed simulated instructions (rate() of this is uops/sec).",
+		[2]any{"", m.uops.Load()})
+
+	m.mu.Lock()
+	scheds := make([]string, 0, len(m.hists))
+	for s := range m.hists {
+		scheds = append(scheds, s)
+	}
+	sort.Strings(scheds)
+	hists := make([]*histogram, len(scheds))
+	for i, s := range scheds {
+		hists[i] = m.hists[s]
+	}
+	m.mu.Unlock()
+
+	fmt.Fprintf(w, "# HELP mopserve_cell_seconds Wall-clock latency of executed (non-cached) cells.\n# TYPE mopserve_cell_seconds histogram\n")
+	for i, s := range scheds {
+		h := hists[i]
+		cum := int64(0)
+		for bi, bound := range latencyBuckets {
+			cum += h.counts[bi].Load()
+			fmt.Fprintf(w, "mopserve_cell_seconds_bucket{sched=%q,le=%q} %d\n", s, trimFloat(bound), cum)
+		}
+		cum += h.counts[len(latencyBuckets)].Load()
+		fmt.Fprintf(w, "mopserve_cell_seconds_bucket{sched=%q,le=\"+Inf\"} %d\n", s, cum)
+		fmt.Fprintf(w, "mopserve_cell_seconds_sum{sched=%q} %g\n", s, float64(h.sum.Load())/1e6)
+		fmt.Fprintf(w, "mopserve_cell_seconds_count{sched=%q} %d\n", s, h.n.Load())
+	}
+}
+
+// trimFloat renders a bucket bound the way Prometheus clients do
+// (no trailing zeros: 0.25, 1, 30).
+func trimFloat(f float64) string {
+	return strings.TrimRight(strings.TrimRight(fmt.Sprintf("%.4f", f), "0"), ".")
+}

@@ -1,0 +1,705 @@
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"runtime"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"macroop/internal/checker"
+	"macroop/internal/experiments"
+	"macroop/internal/journal"
+	"macroop/internal/simerr"
+)
+
+// Admission and lifecycle errors (the 503 family of the HTTP surface).
+var (
+	// ErrQueueFull: admitting the request would exceed the bounded queue.
+	// Clients should honour the Retry-After hint and resubmit.
+	ErrQueueFull = errors.New("service: queue full")
+	// ErrDraining: the server is finishing in-flight work before exit.
+	ErrDraining = errors.New("service: draining")
+	// ErrInterrupted: a drain cut the job short before its cells all
+	// finished; a restarted server with the same journal resumes it.
+	ErrInterrupted = errors.New("service: job interrupted by drain")
+)
+
+// Options configures a Service. The zero value is usable: every field
+// has a production default.
+type Options struct {
+	// Workers is the worker pool size (default GOMAXPROCS).
+	Workers int
+	// QueueDepth bounds admitted-but-unfinished cells; admission beyond
+	// it is rejected with ErrQueueFull (default 256).
+	QueueDepth int
+	// CacheEntries bounds the in-memory result cache (default 4096).
+	CacheEntries int
+	// DefaultInsts is the per-cell instruction budget when a request
+	// leaves it unset (default 200_000).
+	DefaultInsts int64
+	// MaxInsts caps any request's per-cell budget (default 5_000_000).
+	MaxInsts int64
+	// CellTimeout bounds one cell's wall clock (default 2m).
+	CellTimeout time.Duration
+	// JournalPath, when set, makes the service crash-consistent: cell
+	// results and batch specs are write-ahead journaled, and a restarted
+	// service warms its cache from the journal and resumes batches a
+	// drain (or crash) left unfinished.
+	JournalPath string
+	// RetryAfter is the hint attached to queue-full rejections
+	// (default 1s).
+	RetryAfter time.Duration
+	// Logf receives operational log lines (nil discards them).
+	Logf func(format string, args ...any)
+}
+
+func (o Options) withDefaults() Options {
+	if o.Workers <= 0 {
+		o.Workers = runtime.GOMAXPROCS(0)
+	}
+	if o.QueueDepth <= 0 {
+		o.QueueDepth = 256
+	}
+	if o.CacheEntries <= 0 {
+		o.CacheEntries = 4096
+	}
+	if o.DefaultInsts <= 0 {
+		o.DefaultInsts = 200_000
+	}
+	if o.MaxInsts <= 0 {
+		o.MaxInsts = 5_000_000
+	}
+	if o.CellTimeout <= 0 {
+		o.CellTimeout = 2 * time.Minute
+	}
+	if o.RetryAfter <= 0 {
+		o.RetryAfter = time.Second
+	}
+	if o.Logf == nil {
+		o.Logf = func(string, ...any) {}
+	}
+	return o
+}
+
+// task is one queued cell execution on behalf of a job.
+type task struct {
+	job  *Job
+	cell resolvedCell
+	idx  int
+}
+
+// Service is the batched, cached simulation service behind cmd/mopserve.
+type Service struct {
+	opts    Options
+	runner  *experiments.Runner // shared per-benchmark program futures
+	cache   *resultCache
+	flights *flightGroup
+	jnl     *journal.Journal
+	met     *metrics
+
+	queue   chan *task
+	pending atomic.Int64 // admitted, unfinished cells
+
+	mu      sync.Mutex
+	jobs    map[string]*Job
+	seq     int
+	resumed []*Job // journaled batches awaiting re-dispatch at Start
+	started bool
+
+	draining atomic.Bool
+	runCtx   context.Context // cancelled by Drain: pick up no new cells
+	stopRun  context.CancelFunc
+	hardCtx  context.Context // cancelled by Close: abort in-flight cells
+	stopHard context.CancelFunc
+	wg       sync.WaitGroup // workers + dispatchers
+	closeJnl sync.Once
+
+	executions atomic.Int64
+}
+
+// Journal key prefixes. cellres records double as the persistent layer
+// of the content-addressed cache; jobspec without a matching jobdone is
+// exactly an unfinished batch, which is what resume re-dispatches.
+const (
+	keyCell    = "cellres|"
+	keyJobSpec = "jobspec|"
+	keyJobDone = "jobdone|"
+)
+
+// New builds a Service, opening and replaying the journal when
+// configured. Call Start to spawn the worker pool.
+func New(opts Options) (*Service, error) {
+	opts = opts.withDefaults()
+	s := &Service{
+		opts:    opts,
+		runner:  experiments.NewRunner(0), // program cache only; budgets are per-cell
+		cache:   newResultCache(opts.CacheEntries),
+		flights: newFlightGroup(),
+		queue:   make(chan *task, opts.QueueDepth),
+		jobs:    make(map[string]*Job),
+	}
+	s.runCtx, s.stopRun = context.WithCancel(context.Background())
+	s.hardCtx, s.stopHard = context.WithCancel(context.Background())
+	s.met = newMetrics(func() int { return int(s.pending.Load()) }, opts.Workers)
+	if opts.JournalPath != "" {
+		j, err := journal.Open(opts.JournalPath)
+		if err != nil {
+			return nil, err
+		}
+		s.jnl = j
+		if err := s.replayJournal(); err != nil {
+			j.Close()
+			return nil, err
+		}
+	}
+	return s, nil
+}
+
+// replayJournal warms the cache from journaled cell results and
+// reconstructs jobs: finished batches reload frozen, unfinished ones
+// queue for re-dispatch at Start.
+func (s *Service) replayJournal() error {
+	var pendingSpecs []jobSpecRecord
+	for _, key := range s.jnl.Keys() {
+		data, _ := s.jnl.Get(key)
+		switch {
+		case strings.HasPrefix(key, keyCell):
+			var cj cellJSON
+			if err := json.Unmarshal(data, &cj); err != nil {
+				continue // damaged record: the cell simply re-runs
+			}
+			if rec := cj.record(); rec != nil {
+				s.cache.Put(key[len(keyCell):], rec)
+			}
+		case strings.HasPrefix(key, keyJobSpec):
+			var spec jobSpecRecord
+			if err := json.Unmarshal(data, &spec); err != nil {
+				continue
+			}
+			if n, err := strconv.Atoi(strings.TrimPrefix(spec.ID, "job-")); err == nil && n > s.seq {
+				s.seq = n
+			}
+			if done, ok := s.jnl.Get(keyJobDone + spec.ID); ok {
+				var st JobStatus
+				if err := json.Unmarshal(done, &st); err == nil {
+					j := newJob(spec.ID, spec.Cells, true, st.Created)
+					j.state = st.State
+					j.frozen = &st
+					close(j.done)
+					s.jobs[spec.ID] = j
+					continue
+				}
+			}
+			pendingSpecs = append(pendingSpecs, spec)
+		}
+	}
+	sort.Slice(pendingSpecs, func(i, k int) bool { return pendingSpecs[i].ID < pendingSpecs[k].ID })
+	for _, spec := range pendingSpecs {
+		j := newJob(spec.ID, spec.Cells, true, time.Now())
+		s.jobs[spec.ID] = j
+		s.resumed = append(s.resumed, j)
+	}
+	return nil
+}
+
+// Start spawns the worker pool and re-dispatches journaled batches that
+// never finished.
+func (s *Service) Start() {
+	s.mu.Lock()
+	if s.started {
+		s.mu.Unlock()
+		return
+	}
+	s.started = true
+	resumed := s.resumed
+	s.resumed = nil
+	s.mu.Unlock()
+
+	for i := 0; i < s.opts.Workers; i++ {
+		s.wg.Add(1)
+		go s.worker()
+	}
+	for _, j := range resumed {
+		cells, err := resolveAll(j.cells)
+		if err != nil {
+			// A journaled spec that no longer resolves (e.g. the workload
+			// set changed) cannot be resumed; surface and abandon it.
+			s.opts.Logf("service: resume %s: %v", j.id, err)
+			j.interrupt()
+			continue
+		}
+		s.met.jobsResumed.Add(1)
+		s.pending.Add(int64(len(cells)))
+		s.wg.Add(1)
+		go s.dispatch(j, cells)
+		s.opts.Logf("service: resuming %s (%d cells)", j.id, len(cells))
+	}
+}
+
+func resolveAll(specs []CellSpec) ([]resolvedCell, error) {
+	out := make([]resolvedCell, len(specs))
+	for i, c := range specs {
+		rc, err := c.resolve()
+		if err != nil {
+			return nil, err
+		}
+		out[i] = rc
+	}
+	return out, nil
+}
+
+// worker executes queued cells until drain.
+func (s *Service) worker() {
+	defer s.wg.Done()
+	for {
+		// Prefer the drain signal over racing it against a ready task.
+		select {
+		case <-s.runCtx.Done():
+			return
+		default:
+		}
+		select {
+		case <-s.runCtx.Done():
+			return
+		case t := <-s.queue:
+			s.met.workersBusy.Add(1)
+			cr := s.runTask(t)
+			s.finishCell(t, cr)
+			s.met.workersBusy.Add(-1)
+		}
+	}
+}
+
+// dispatch feeds one job's cells into the queue, stopping at drain
+// (undelivered cells stay journaled in the job's spec for resume).
+func (s *Service) dispatch(j *Job, cells []resolvedCell) {
+	defer s.wg.Done()
+	for i := range cells {
+		select {
+		case s.queue <- &task{job: j, cell: cells[i], idx: i}:
+		case <-s.runCtx.Done():
+			return
+		}
+	}
+}
+
+// runTask executes one cell (through cache and singleflight) and shapes
+// the wire result.
+func (s *Service) runTask(t *task) *CellResult {
+	start := time.Now()
+	cr := &CellResult{
+		Index:  t.idx,
+		Bench:  t.cell.Bench,
+		Config: t.cell.Name,
+		Cell:   t.cell.fp,
+	}
+	rec, cached, shared, err := s.executeCell(t.cell)
+	cr.WallMS = float64(time.Since(start).Microseconds()) / 1e3
+	if err != nil {
+		kind, _ := simerr.KindOf(err)
+		cr.Error = err.Error()
+		cr.ErrorKind = kind.String()
+		cr.ReproFingerprint = simerr.FingerprintOf(err)
+		return cr
+	}
+	cr.Cached, cr.Shared = cached, shared
+	cr.Checksum = fmt.Sprintf("%016x", rec.Checksum)
+	cr.CheckedCommits = rec.Commits
+	cr.IPC = rec.Result.IPC
+	cr.Cycles = rec.Result.Cycles
+	cr.Committed = rec.Result.Committed
+	cr.Result = rec.Result
+	return cr
+}
+
+// executeCell resolves one cell to its outcome: cache hit, coalesced
+// into an identical in-flight execution, or a fresh simulation under the
+// differential oracle. Fresh successes are cached and journaled before
+// any waiter observes them.
+func (s *Service) executeCell(c resolvedCell) (rec *cellRecord, cached, shared bool, err error) {
+	if rec, ok := s.cache.Get(c.fp); ok {
+		s.met.cacheHits.Add(1)
+		return rec, true, false, nil
+	}
+	ran := false
+	rec, shared, err = s.flights.Do(c.fp, func() (*cellRecord, error) {
+		if rec, ok := s.cache.Get(c.fp); ok {
+			return rec, nil // lost the lookup/insert race: still a hit
+		}
+		ran = true
+		s.met.cacheMisses.Add(1)
+		s.executions.Add(1)
+		ctx, cancel := context.WithTimeout(s.hardCtx, s.opts.CellTimeout)
+		defer cancel()
+		p, err := s.runner.Program(c.Bench)
+		if err != nil {
+			return nil, err
+		}
+		t0 := time.Now()
+		res, sum, err := checker.CheckedRunContext(ctx, c.m, p, c.Insts, c.Insts)
+		if err != nil {
+			return nil, err
+		}
+		s.met.observeCell(c.m.Sched.String(), time.Since(t0).Seconds(), res.Committed)
+		rec := &cellRecord{Bench: c.Bench, Result: res, Checksum: sum.Checksum, Commits: sum.Commits}
+		s.cache.Put(c.fp, rec)
+		s.journalCellResult(c.fp, rec)
+		return rec, nil
+	})
+	if shared {
+		s.met.sfShared.Add(1)
+	} else if err == nil && !ran {
+		cached = true
+		s.met.cacheHits.Add(1)
+	}
+	return rec, cached, shared, err
+}
+
+// finishCell records a completed cell on its job and handles job
+// completion: terminal metrics and the jobdone journal record.
+func (s *Service) finishCell(t *task, cr *CellResult) {
+	defer s.pending.Add(-1)
+	if cr.Error == "" {
+		s.met.cellsOK.Add(1)
+	} else {
+		s.met.cellsFailed.Add(1)
+	}
+	if !t.job.record(cr) {
+		return
+	}
+	st := t.job.Status(true)
+	if st.State == JobFailed {
+		s.met.jobsFailed.Add(1)
+		s.opts.Logf("service: %s finished with %d/%d failed cells%s",
+			t.job.id, st.Failed, st.Cells, t.job.failedCells())
+	} else {
+		s.met.jobsCompleted.Add(1)
+	}
+	if t.job.journaled {
+		s.journalJobDone(st)
+	}
+}
+
+// admit performs admission control for n new cells: the bounded queue
+// rejects rather than buffers unboundedly or blocks the caller.
+func (s *Service) admit(n int) error {
+	if s.draining.Load() {
+		s.met.jobsRejected.Add(1)
+		return ErrDraining
+	}
+	for {
+		cur := s.pending.Load()
+		if int(cur)+n > s.opts.QueueDepth {
+			s.met.jobsRejected.Add(1)
+			return ErrQueueFull
+		}
+		if s.pending.CompareAndSwap(cur, cur+int64(n)) {
+			return nil
+		}
+	}
+}
+
+// maxRetainedJobs bounds the in-memory job registry: once past it,
+// terminal ad-hoc (non-journaled) jobs are evicted oldest-first so a
+// long-lived server's registry cannot grow without bound.
+const maxRetainedJobs = 4096
+
+// newJob allocates the next job ID and registers the job.
+func (s *Service) newJob(cells []CellSpec, journaled bool) *Job {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.seq++
+	j := newJob(fmt.Sprintf("job-%d", s.seq), cells, journaled, time.Now())
+	s.jobs[j.id] = j
+	if len(s.jobs) > maxRetainedJobs {
+		s.pruneJobsLocked()
+	}
+	return j
+}
+
+// pruneJobsLocked evicts the oldest terminal non-journaled jobs down to
+// the retention bound. Journaled and still-running jobs always survive.
+func (s *Service) pruneJobsLocked() {
+	victims := make([]*Job, 0, len(s.jobs))
+	for _, j := range s.jobs {
+		if j.journaled {
+			continue
+		}
+		select {
+		case <-j.Done():
+			victims = append(victims, j)
+		default:
+		}
+	}
+	sort.Slice(victims, func(i, k int) bool { return victims[i].created.Before(victims[k].created) })
+	for _, j := range victims {
+		if len(s.jobs) <= maxRetainedJobs {
+			return
+		}
+		delete(s.jobs, j.id)
+	}
+}
+
+// Simulate runs one cell synchronously: admitted through the same
+// bounded queue and worker pool as batches, so a saturated server
+// rejects rather than piling up callers. The returned CellResult is
+// non-nil whenever the cell finished, even if the simulation itself
+// failed (err then carries the typed failure).
+func (s *Service) Simulate(ctx context.Context, req SimRequest) (*CellResult, error) {
+	insts := req.MaxInsts
+	if insts <= 0 {
+		insts = s.opts.DefaultInsts
+	}
+	if insts > s.opts.MaxInsts {
+		return nil, fmt.Errorf("max_insts %d exceeds the server limit %d", insts, s.opts.MaxInsts)
+	}
+	rc, err := CellSpec{Bench: req.Benchmark, Name: req.Config.Sched, Spec: req.Config, Insts: insts}.resolve()
+	if err != nil {
+		return nil, err
+	}
+	if err := s.admit(1); err != nil {
+		return nil, err
+	}
+	s.met.jobsAccepted.Add(1)
+	j := s.newJob([]CellSpec{rc.CellSpec}, false)
+	t := &task{job: j, cell: rc, idx: 0}
+	select {
+	case s.queue <- t:
+	case <-s.runCtx.Done():
+		s.pending.Add(-1)
+		j.interrupt()
+		return nil, ErrDraining
+	case <-ctx.Done():
+		s.pending.Add(-1)
+		j.interrupt()
+		return nil, simerr.Cancelled(simerr.Context{Benchmark: req.Benchmark}, ctx.Err())
+	}
+	select {
+	case <-j.Done():
+	case <-ctx.Done():
+		// The cell still runs and warms the cache; this caller is gone.
+		return nil, simerr.Cancelled(simerr.Context{Benchmark: req.Benchmark}, ctx.Err())
+	}
+	st := j.Status(true)
+	if st.State == JobInterrupted || len(st.Results) == 0 {
+		return nil, ErrInterrupted
+	}
+	cr := st.Results[0]
+	if cr.Error != "" {
+		kind, _ := simerr.ParseKind(cr.ErrorKind)
+		return cr, simerr.Journaled(kind, cr.Error, cr.ReproFingerprint)
+	}
+	return cr, nil
+}
+
+// SubmitMatrix admits a batched sweep and returns immediately; the job
+// runs on the worker pool. With a journal attached the batch is durable:
+// its spec is journaled before acceptance is reported, so a drain or
+// crash mid-sweep resumes it.
+func (s *Service) SubmitMatrix(req MatrixRequest) (*Job, error) {
+	cells, err := req.cells(s.opts.DefaultInsts, s.opts.MaxInsts)
+	if err != nil {
+		return nil, err
+	}
+	if err := s.admit(len(cells)); err != nil {
+		return nil, err
+	}
+	s.met.jobsAccepted.Add(1)
+	specs := make([]CellSpec, len(cells))
+	for i, c := range cells {
+		specs[i] = c.CellSpec
+	}
+	j := s.newJob(specs, s.jnl != nil)
+	if j.journaled {
+		s.journalJobSpec(j)
+	}
+	s.wg.Add(1)
+	go s.dispatch(j, cells)
+	return j, nil
+}
+
+// Job looks up a job by ID.
+func (s *Service) Job(id string) (*Job, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	return j, ok
+}
+
+// JobStatuses snapshots every known job, newest first.
+func (s *Service) JobStatuses() []*JobStatus {
+	s.mu.Lock()
+	jobs := make([]*Job, 0, len(s.jobs))
+	for _, j := range s.jobs {
+		jobs = append(jobs, j)
+	}
+	s.mu.Unlock()
+	out := make([]*JobStatus, len(jobs))
+	for i, j := range jobs {
+		out[i] = j.Status(false)
+	}
+	sort.Slice(out, func(i, k int) bool { return out[i].ID > out[k].ID })
+	return out
+}
+
+// Draining reports whether the service has begun (or finished) draining.
+func (s *Service) Draining() bool { return s.draining.Load() }
+
+// Drain gracefully stops the service: no new admissions, queued cells
+// are left for resume, in-flight cells run to completion. It returns
+// when the pool is idle; if ctx expires first, in-flight cells are
+// hard-cancelled (they fail typed-cancelled and their jobs resume on
+// restart). Unfinished jobs are marked interrupted so waiters return.
+func (s *Service) Drain(ctx context.Context) error {
+	s.draining.Store(true)
+	s.stopRun()
+	idle := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(idle)
+	}()
+	var err error
+	select {
+	case <-idle:
+	case <-ctx.Done():
+		err = ctx.Err()
+		s.stopHard()
+		<-idle
+	}
+	s.mu.Lock()
+	jobs := make([]*Job, 0, len(s.jobs))
+	for _, j := range s.jobs {
+		jobs = append(jobs, j)
+	}
+	s.mu.Unlock()
+	for _, j := range jobs {
+		j.interrupt()
+	}
+	return err
+}
+
+// Close drains (bounded by a short grace) and releases the journal.
+func (s *Service) Close() error {
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	err := s.Drain(ctx)
+	s.stopHard()
+	s.closeJnl.Do(func() {
+		if s.jnl != nil {
+			if cerr := s.jnl.Close(); cerr != nil && err == nil {
+				err = cerr
+			}
+		}
+	})
+	return err
+}
+
+// Executions reports how many cells were actually simulated (cache hits
+// and coalesced requests excluded) — the observable the singleflight and
+// sustained-load tests assert on.
+func (s *Service) Executions() int64 { return s.executions.Load() }
+
+// CacheStats reports content-addressed cache hits, misses, and requests
+// coalesced by singleflight.
+func (s *Service) CacheStats() (hits, misses, shared int64) {
+	return s.met.cacheHits.Load(), s.met.cacheMisses.Load(), s.met.sfShared.Load()
+}
+
+// QueueDepth reports admitted-but-unfinished cells.
+func (s *Service) QueueDepth() int { return int(s.pending.Load()) }
+
+// MetricsText renders the Prometheus exposition.
+func (s *Service) MetricsText() string {
+	var b strings.Builder
+	s.met.Render(&b)
+	return b.String()
+}
+
+// ---------------------------------------------------------------------
+// Journal encoding.
+
+// jobSpecRecord is the journaled form of an accepted batch.
+type jobSpecRecord struct {
+	ID    string     `json:"id"`
+	Cells []CellSpec `json:"cells"`
+}
+
+// cellJSON is the journaled form of one successful cell result. The
+// checksum is hex text: it is a uint64 and JSON numbers cannot carry 64
+// bits faithfully.
+type cellJSON struct {
+	Bench    string           `json:"bench"`
+	Result   *json.RawMessage `json:"result"`
+	Checksum string           `json:"checksum"`
+	Commits  int64            `json:"commits"`
+}
+
+func (cj *cellJSON) record() *cellRecord {
+	if cj.Result == nil {
+		return nil
+	}
+	rec := &cellRecord{Bench: cj.Bench, Commits: cj.Commits}
+	if err := json.Unmarshal(*cj.Result, &rec.Result); err != nil {
+		return nil
+	}
+	sum, err := strconv.ParseUint(cj.Checksum, 16, 64)
+	if err != nil {
+		return nil
+	}
+	rec.Checksum = sum
+	return rec
+}
+
+func (s *Service) journalCellResult(fp string, rec *cellRecord) {
+	if s.jnl == nil {
+		return
+	}
+	res, err := json.Marshal(rec.Result)
+	if err != nil {
+		s.opts.Logf("service: journal cell %s: %v", fp, err)
+		return
+	}
+	raw := json.RawMessage(res)
+	data, err := json.Marshal(&cellJSON{
+		Bench:    rec.Bench,
+		Result:   &raw,
+		Checksum: fmt.Sprintf("%016x", rec.Checksum),
+		Commits:  rec.Commits,
+	})
+	if err == nil {
+		err = s.jnl.Append(keyCell+fp, data)
+	}
+	if err != nil {
+		s.opts.Logf("service: journal cell %s: %v", fp, err)
+	}
+}
+
+func (s *Service) journalJobSpec(j *Job) {
+	data, err := json.Marshal(&jobSpecRecord{ID: j.id, Cells: j.cells})
+	if err == nil {
+		err = s.jnl.Append(keyJobSpec+j.id, data)
+	}
+	if err != nil {
+		s.opts.Logf("service: journal %s spec: %v", j.id, err)
+	}
+}
+
+func (s *Service) journalJobDone(st *JobStatus) {
+	if s.jnl == nil {
+		return
+	}
+	data, err := json.Marshal(st)
+	if err == nil {
+		err = s.jnl.Append(keyJobDone+st.ID, data)
+	}
+	if err != nil {
+		s.opts.Logf("service: journal %s done: %v", st.ID, err)
+	}
+}

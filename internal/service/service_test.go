@@ -1,0 +1,372 @@
+package service
+
+import (
+	"context"
+	"errors"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+
+	"macroop/internal/simerr"
+)
+
+// testInsts keeps cells small enough that a full test matrix runs in
+// well under a second while still exercising every pipeline stage.
+const testInsts = 3000
+
+func newTestService(t *testing.T, opts Options) *Service {
+	t.Helper()
+	if opts.Logf == nil {
+		opts.Logf = t.Logf
+	}
+	if opts.DefaultInsts == 0 {
+		opts.DefaultInsts = testInsts
+	}
+	s, err := New(opts)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	s.Start()
+	t.Cleanup(func() { s.Close() })
+	return s
+}
+
+// TestSingleflightConcurrentSameCell is the concurrency contract of the
+// content-addressed cache: N goroutines requesting the same cell at
+// once trigger exactly one execution, and every caller observes the
+// same architectural checksum. Run under -race.
+func TestSingleflightConcurrentSameCell(t *testing.T) {
+	s := newTestService(t, Options{Workers: 8})
+	const n = 32
+	req := SimRequest{Benchmark: "gzip", Config: ConfigSpec{Sched: "mop"}, MaxInsts: testInsts}
+
+	var wg sync.WaitGroup
+	sums := make([]string, n)
+	errs := make([]error, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			cr, err := s.Simulate(context.Background(), req)
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			sums[i] = cr.Checksum
+		}(i)
+	}
+	wg.Wait()
+
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("caller %d: %v", i, err)
+		}
+	}
+	for i := 1; i < n; i++ {
+		if sums[i] != sums[0] {
+			t.Fatalf("caller %d checksum %s != caller 0 checksum %s", i, sums[i], sums[0])
+		}
+	}
+	if sums[0] == "" {
+		t.Fatal("empty checksum")
+	}
+	if got := s.Executions(); got != 1 {
+		t.Fatalf("Executions = %d, want exactly 1 for %d identical concurrent requests", got, n)
+	}
+	hits, misses, shared := s.CacheStats()
+	if misses != 1 {
+		t.Errorf("cache misses = %d, want 1", misses)
+	}
+	if hits+shared != n-1 {
+		t.Errorf("hits(%d) + shared(%d) = %d, want %d (every other caller coalesced or hit)",
+			hits, shared, hits+shared, n-1)
+	}
+}
+
+// TestCacheHitSecondRequest: a repeated cell is served from the cache
+// with an identical checksum and no second execution.
+func TestCacheHitSecondRequest(t *testing.T) {
+	s := newTestService(t, Options{Workers: 2})
+	req := SimRequest{Benchmark: "gzip", Config: ConfigSpec{Sched: "base"}, MaxInsts: testInsts}
+
+	cold, err := s.Simulate(context.Background(), req)
+	if err != nil {
+		t.Fatalf("cold: %v", err)
+	}
+	if cold.Cached {
+		t.Error("cold request reported cached")
+	}
+	warm, err := s.Simulate(context.Background(), req)
+	if err != nil {
+		t.Fatalf("warm: %v", err)
+	}
+	if !warm.Cached {
+		t.Error("second identical request not served from cache")
+	}
+	if warm.Checksum != cold.Checksum {
+		t.Errorf("cached checksum %s != original %s", warm.Checksum, cold.Checksum)
+	}
+	if got := s.Executions(); got != 1 {
+		t.Errorf("Executions = %d, want 1", got)
+	}
+}
+
+// TestAdmissionControl: the bounded queue rejects overload with
+// ErrQueueFull rather than buffering unboundedly, and a draining
+// service rejects everything with ErrDraining.
+func TestAdmissionControl(t *testing.T) {
+	// No Start: nothing drains the queue, so admitted cells pin pending.
+	s, err := New(Options{Workers: 1, QueueDepth: 4, DefaultInsts: testInsts, Logf: t.Logf})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	defer s.Close()
+
+	okReq := MatrixRequest{
+		Benchmarks: []string{"gzip"},
+		Configs: map[string]ConfigSpec{
+			"a": {Sched: "base"}, "b": {Sched: "2cycle"},
+			"c": {Sched: "mop"}, "d": {Sched: "sf-squash"},
+		},
+	}
+	if _, err := s.SubmitMatrix(okReq); err != nil {
+		t.Fatalf("matrix filling the queue exactly: %v", err)
+	}
+	if got := s.QueueDepth(); got != 4 {
+		t.Fatalf("QueueDepth = %d, want 4", got)
+	}
+	if _, err := s.Simulate(context.Background(), SimRequest{Benchmark: "gzip"}); !errors.Is(err, ErrQueueFull) {
+		t.Fatalf("over-admission error = %v, want ErrQueueFull", err)
+	}
+	over := MatrixRequest{Benchmarks: []string{"gzip", "mcf"}, Configs: map[string]ConfigSpec{"a": {Sched: "base"}}}
+	if _, err := s.SubmitMatrix(over); !errors.Is(err, ErrQueueFull) {
+		t.Fatalf("oversized matrix error = %v, want ErrQueueFull", err)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := s.Drain(ctx); err != nil {
+		t.Fatalf("Drain: %v", err)
+	}
+	if !s.Draining() {
+		t.Error("Draining() = false after Drain")
+	}
+	if _, err := s.Simulate(context.Background(), SimRequest{Benchmark: "gzip"}); !errors.Is(err, ErrDraining) {
+		t.Fatalf("post-drain error = %v, want ErrDraining", err)
+	}
+}
+
+// TestRequestValidation: malformed requests fail fast with untyped
+// errors (the HTTP 400 family), before touching the queue.
+func TestRequestValidation(t *testing.T) {
+	s := newTestService(t, Options{Workers: 1, MaxInsts: 10_000})
+	ctx := context.Background()
+	cases := []struct {
+		name string
+		req  SimRequest
+	}{
+		{"unknown benchmark", SimRequest{Benchmark: "nope"}},
+		{"unknown scheduler", SimRequest{Benchmark: "gzip", Config: ConfigSpec{Sched: "warp"}}},
+		{"unknown wakeup", SimRequest{Benchmark: "gzip", Config: ConfigSpec{Sched: "mop", Wakeup: "psychic"}}},
+		{"mop knob on base", SimRequest{Benchmark: "gzip", Config: ConfigSpec{Sched: "base", Wakeup: "2src"}}},
+		{"budget over server cap", SimRequest{Benchmark: "gzip", MaxInsts: 20_000}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := s.Simulate(ctx, tc.req)
+			if err == nil {
+				t.Fatal("expected a validation error")
+			}
+			if _, typed := simerr.KindOf(err); typed {
+				t.Fatalf("validation error is typed (%v); should be plain", err)
+			}
+		})
+	}
+	if got := s.Executions(); got != 0 {
+		t.Errorf("Executions = %d after pure validation failures, want 0", got)
+	}
+}
+
+// TestTypedFailureSurface: a cell that deadlocks (provoked via an
+// absurdly small watchdog window) comes back as a typed simerr failure
+// carrying a repro fingerprint, and the kind maps to a stable HTTP
+// status.
+func TestTypedFailureSurface(t *testing.T) {
+	s := newTestService(t, Options{Workers: 1})
+	wd := 1
+	cr, err := s.Simulate(context.Background(), SimRequest{
+		Benchmark: "gzip",
+		Config:    ConfigSpec{Sched: "base", Watchdog: &wd},
+		MaxInsts:  testInsts,
+	})
+	if err == nil {
+		t.Fatal("watchdog=1 cell succeeded; expected deadlock")
+	}
+	kind, ok := simerr.KindOf(err)
+	if !ok {
+		t.Fatalf("failure not typed: %v", err)
+	}
+	if kind != simerr.KindDeadlock {
+		t.Fatalf("kind = %v, want deadlock", kind)
+	}
+	if fp := simerr.FingerprintOf(err); fp == "" {
+		t.Error("typed failure carries no repro fingerprint")
+	}
+	if cr == nil || cr.ErrorKind != "deadlock" {
+		t.Errorf("CellResult = %+v, want ErrorKind deadlock", cr)
+	}
+	if got := kind.HTTPStatus(); got != 500 {
+		t.Errorf("deadlock HTTPStatus = %d, want 500", got)
+	}
+	if got := simerr.KindCancelled.HTTPStatus(); got != StatusClientClosedRequest {
+		t.Errorf("cancelled HTTPStatus = %d, want %d", got, StatusClientClosedRequest)
+	}
+}
+
+// TestMatrixSharedChecksums: a matrix's per-benchmark checksums are
+// config-invariant (every scheduler commits the same architectural
+// stream), which is the cross-config property the differential oracle
+// guarantees.
+func TestMatrixSharedChecksums(t *testing.T) {
+	s := newTestService(t, Options{Workers: 4})
+	j, err := s.SubmitMatrix(MatrixRequest{
+		Benchmarks: []string{"gzip", "mcf"},
+		Configs: map[string]ConfigSpec{
+			"base": {Sched: "base"}, "mop": {Sched: "mop"}, "2cycle": {Sched: "2cycle"},
+		},
+		MaxInsts: testInsts,
+	})
+	if err != nil {
+		t.Fatalf("SubmitMatrix: %v", err)
+	}
+	select {
+	case <-j.Done():
+	case <-time.After(60 * time.Second):
+		t.Fatal("matrix did not finish")
+	}
+	st := j.Status(true)
+	if st.State != JobDone || st.Failed != 0 {
+		t.Fatalf("job state %s, %d failed", st.State, st.Failed)
+	}
+	if len(st.Results) != 6 {
+		t.Fatalf("results = %d, want 6", len(st.Results))
+	}
+	byBench := map[string]string{}
+	for _, cr := range st.Results {
+		if prev, ok := byBench[cr.Bench]; ok {
+			if cr.Checksum != prev {
+				t.Errorf("%s/%s checksum %s diverges from %s", cr.Bench, cr.Config, cr.Checksum, prev)
+			}
+		} else {
+			byBench[cr.Bench] = cr.Checksum
+		}
+	}
+}
+
+// TestJournalResume is the drain/resume contract: a batch accepted
+// before a shutdown finishes after a restart with the same journal, and
+// journaled cell results survive as a warm cache.
+func TestJournalResume(t *testing.T) {
+	jpath := filepath.Join(t.TempDir(), "svc.journal")
+	req := MatrixRequest{
+		Benchmarks: []string{"gzip"},
+		Configs:    map[string]ConfigSpec{"base": {Sched: "base"}, "mop": {Sched: "mop"}},
+		MaxInsts:   testInsts,
+	}
+
+	// Phase 1: accept the batch but never start workers — the shutdown
+	// happens with zero cells finished.
+	s1, err := New(Options{Workers: 2, DefaultInsts: testInsts, JournalPath: jpath, Logf: t.Logf})
+	if err != nil {
+		t.Fatalf("New(1): %v", err)
+	}
+	j1, err := s1.SubmitMatrix(req)
+	if err != nil {
+		t.Fatalf("SubmitMatrix: %v", err)
+	}
+	id := j1.ID()
+	if err := s1.Close(); err != nil {
+		t.Fatalf("Close(1): %v", err)
+	}
+	if st := j1.Status(false); st.State != JobInterrupted {
+		t.Fatalf("job state after drain = %s, want interrupted", st.State)
+	}
+
+	// Phase 2: a restart resumes the journaled batch to completion.
+	s2, err := New(Options{Workers: 2, DefaultInsts: testInsts, JournalPath: jpath, Logf: t.Logf})
+	if err != nil {
+		t.Fatalf("New(2): %v", err)
+	}
+	s2.Start()
+	j2, ok := s2.Job(id)
+	if !ok {
+		t.Fatalf("restarted service does not know %s", id)
+	}
+	select {
+	case <-j2.Done():
+	case <-time.After(60 * time.Second):
+		t.Fatal("resumed job did not finish")
+	}
+	st := j2.Status(true)
+	if st.State != JobDone || st.Failed != 0 {
+		t.Fatalf("resumed job state %s, %d failed", st.State, st.Failed)
+	}
+	sums := map[string]string{}
+	for _, cr := range st.Results {
+		sums[cr.Config] = cr.Checksum
+	}
+	if err := s2.Close(); err != nil {
+		t.Fatalf("Close(2): %v", err)
+	}
+
+	// Phase 3: another restart sees the job as terminal (no re-run) and
+	// serves its cells from the journal-warmed cache.
+	s3, err := New(Options{Workers: 2, DefaultInsts: testInsts, JournalPath: jpath, Logf: t.Logf})
+	if err != nil {
+		t.Fatalf("New(3): %v", err)
+	}
+	s3.Start()
+	defer s3.Close()
+	j3, ok := s3.Job(id)
+	if !ok {
+		t.Fatalf("third service does not know %s", id)
+	}
+	if st := j3.Status(false); st.State != JobDone {
+		t.Fatalf("reloaded job state = %s, want done (frozen)", st.State)
+	}
+	cr, err := s3.Simulate(context.Background(), SimRequest{Benchmark: "gzip", Config: ConfigSpec{Sched: "mop"}, MaxInsts: testInsts})
+	if err != nil {
+		t.Fatalf("Simulate on warmed cache: %v", err)
+	}
+	if !cr.Cached {
+		t.Error("journal-warmed cell not served from cache")
+	}
+	if cr.Checksum != sums["mop"] {
+		t.Errorf("warmed checksum %s != journaled run %s", cr.Checksum, sums["mop"])
+	}
+	if got := s3.Executions(); got != 0 {
+		t.Errorf("Executions = %d on fully warmed cache, want 0", got)
+	}
+}
+
+// TestResultCacheLRU pins the cache's bounded-eviction behaviour.
+func TestResultCacheLRU(t *testing.T) {
+	c := newResultCache(2)
+	a, b, d := &cellRecord{Checksum: 1}, &cellRecord{Checksum: 2}, &cellRecord{Checksum: 3}
+	c.Put("a", a)
+	c.Put("b", b)
+	if _, ok := c.Get("a"); !ok { // refresh a: b becomes LRU
+		t.Fatal("a missing")
+	}
+	c.Put("d", d) // evicts b
+	if _, ok := c.Get("b"); ok {
+		t.Error("b survived past capacity")
+	}
+	if got, ok := c.Get("a"); !ok || got.Checksum != 1 {
+		t.Error("refreshed entry a evicted")
+	}
+	if got, ok := c.Get("d"); !ok || got.Checksum != 3 {
+		t.Error("d missing")
+	}
+}

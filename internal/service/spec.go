@@ -1,0 +1,196 @@
+// Package service turns the simulator into a long-running system: a
+// bounded job queue with admission control, a worker pool executing
+// simulation cells under the lockstep differential oracle, a
+// content-addressed result cache with singleflight deduplication, live
+// Prometheus-format metrics, and journal-backed graceful drain/resume.
+// cmd/mopserve exposes it over HTTP; cmd/mopctl is the matching client.
+//
+// The unit of work is a cell — one (benchmark, machine configuration,
+// instruction budget) simulation, the same unit experiments.RunMatrix
+// sweeps over. A cell's identity is its content fingerprint
+// (experiments.CellFingerprint): two requests that describe the same
+// simulation hash to the same cell no matter how they spell it, which is
+// what makes the cache content-addressed and lets overlapping matrix
+// sweeps from different clients share executions.
+package service
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"macroop/internal/config"
+	"macroop/internal/experiments"
+	"macroop/internal/workload"
+)
+
+// ConfigSpec is the wire form of a machine configuration: a scheduler
+// model plus the knobs the CLIs expose. Absent optional fields take the
+// paper's Table 1 defaults, so {"sched":"base"} is a complete spec.
+type ConfigSpec struct {
+	// Sched selects the scheduling logic: base, 2cycle, mop, sf-squash,
+	// or sf-scoreboard (the cmd/mopsim names).
+	Sched string `json:"sched"`
+	// Wakeup selects the MOP wakeup array style: "2src" or "wired-or"
+	// (mop only; default wired-or).
+	Wakeup string `json:"wakeup,omitempty"`
+	// IQ is the issue queue size; nil defaults to 32, 0 is unrestricted.
+	IQ *int `json:"iq,omitempty"`
+	// Stages is the number of extra MOP formation stages (default 1).
+	Stages *int `json:"stages,omitempty"`
+	// DetectDelay is the MOP detection delay in cycles (default 3).
+	DetectDelay *int `json:"detect_delay,omitempty"`
+	// NoIndep disables independent-MOP grouping.
+	NoIndep bool `json:"no_indep,omitempty"`
+	// NoFilter disables the last-arriving operand filter.
+	NoFilter bool `json:"no_filter,omitempty"`
+	// Watchdog overrides the forward-progress watchdog window in cycles
+	// (0 selects the default, negative disables it).
+	Watchdog *int `json:"watchdog_cycles,omitempty"`
+}
+
+// Machine resolves the spec into a validated machine configuration.
+func (c ConfigSpec) Machine() (config.Machine, error) {
+	m := config.Default()
+	if c.IQ != nil {
+		m = m.WithIQ(*c.IQ)
+	}
+	if c.Watchdog != nil {
+		m = m.WithWatchdog(*c.Watchdog)
+	}
+	switch c.Sched {
+	case "base", "":
+		m = m.WithSched(config.SchedBase)
+	case "2cycle":
+		m = m.WithSched(config.SchedTwoCycle)
+	case "mop":
+		mc := config.DefaultMOP()
+		if c.Stages != nil {
+			mc.ExtraFormationStages = *c.Stages
+		}
+		if c.DetectDelay != nil {
+			mc.DetectionDelay = *c.DetectDelay
+		}
+		mc.GroupIndependent = !c.NoIndep
+		mc.LastArrivingFilter = !c.NoFilter
+		switch c.Wakeup {
+		case "2src":
+			mc.Wakeup = config.WakeupCAM2Src
+		case "wired-or", "":
+			mc.Wakeup = config.WakeupWiredOR
+		default:
+			return m, fmt.Errorf("unknown wakeup style %q (want 2src or wired-or)", c.Wakeup)
+		}
+		m = m.WithMOP(mc)
+	case "sf-squash":
+		m = m.WithSched(config.SchedSelectFreeSquashDep)
+	case "sf-scoreboard":
+		m = m.WithSched(config.SchedSelectFreeScoreboard)
+	default:
+		return m, fmt.Errorf("unknown scheduler %q (want base, 2cycle, mop, sf-squash or sf-scoreboard)", c.Sched)
+	}
+	if c.Sched != "mop" && (c.Wakeup != "" || c.Stages != nil || c.DetectDelay != nil || c.NoIndep || c.NoFilter) {
+		return m, fmt.Errorf("wakeup/stages/detect_delay/no_indep/no_filter only apply to sched %q", "mop")
+	}
+	return m, m.Validate()
+}
+
+// SimRequest is one single-cell simulation request (POST /v1/simulate).
+type SimRequest struct {
+	Benchmark string     `json:"benchmark"`
+	Config    ConfigSpec `json:"config"`
+	// MaxInsts is the committed-instruction budget; 0 takes the server's
+	// default. The server caps it at Options.MaxInsts.
+	MaxInsts int64 `json:"max_insts,omitempty"`
+}
+
+// MatrixRequest is a batched sweep (POST /v1/matrix): every benchmark
+// under every named configuration, the experiments.RunMatrix shape.
+type MatrixRequest struct {
+	// Benchmarks to sweep; empty means the full 12-benchmark suite.
+	Benchmarks []string `json:"benchmarks,omitempty"`
+	// Configs maps display names to machine specs.
+	Configs map[string]ConfigSpec `json:"configs"`
+	// MaxInsts is the per-cell instruction budget (0 = server default).
+	MaxInsts int64 `json:"max_insts,omitempty"`
+}
+
+// CellSpec is one fully resolved unit of work: the journaled form a
+// batch decomposes into.
+type CellSpec struct {
+	Bench string     `json:"bench"`
+	Name  string     `json:"name"` // display/config name within the batch
+	Spec  ConfigSpec `json:"spec"`
+	Insts int64      `json:"insts"`
+}
+
+// resolvedCell pairs a CellSpec with its validated machine and content
+// fingerprint.
+type resolvedCell struct {
+	CellSpec
+	m  config.Machine
+	fp string
+}
+
+// resolve validates the cell and computes its content fingerprint. The
+// fingerprint covers the full machine configuration, benchmark and
+// budget — the same identity experiments journals under — with the
+// differential oracle always attached (check=true).
+func (c CellSpec) resolve() (resolvedCell, error) {
+	if _, err := workload.ByName(c.Bench); err != nil {
+		return resolvedCell{}, err
+	}
+	m, err := c.Spec.Machine()
+	if err != nil {
+		return resolvedCell{}, fmt.Errorf("config %s: %w", c.Name, err)
+	}
+	if c.Insts <= 0 {
+		return resolvedCell{}, fmt.Errorf("cell %s/%s: non-positive instruction budget", c.Bench, c.Name)
+	}
+	return resolvedCell{
+		CellSpec: c,
+		m:        m,
+		fp:       experiments.CellFingerprint(c.Bench, m, c.Insts, true),
+	}, nil
+}
+
+// cells expands the matrix request into resolved cells, grouped by
+// benchmark so consecutive cells share one generated program (the
+// runner's per-benchmark program future): a sweep's cells for gzip all
+// dispatch together, then mcf's, and so on. Within a benchmark, cells
+// order by config name for determinism.
+func (r *MatrixRequest) cells(defaultInsts, maxInsts int64) ([]resolvedCell, error) {
+	if len(r.Configs) == 0 {
+		return nil, fmt.Errorf("matrix: no configs")
+	}
+	benches := r.Benchmarks
+	if len(benches) == 0 {
+		benches = workload.Names()
+	}
+	insts := r.MaxInsts
+	if insts <= 0 {
+		insts = defaultInsts
+	}
+	if insts > maxInsts {
+		return nil, fmt.Errorf("matrix: max_insts %d exceeds the server limit %d", insts, maxInsts)
+	}
+	names := make([]string, 0, len(r.Configs))
+	for name := range r.Configs {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	out := make([]resolvedCell, 0, len(benches)*len(names))
+	for _, b := range benches {
+		for _, name := range names {
+			rc, err := CellSpec{Bench: b, Name: name, Spec: r.Configs[name], Insts: insts}.resolve()
+			if err != nil {
+				return nil, fmt.Errorf("matrix: %w", err)
+			}
+			out = append(out, rc)
+		}
+	}
+	return out, nil
+}
+
+// benchList renders the benchmark list for error messages.
+func benchList() string { return strings.Join(workload.Names(), ", ") }

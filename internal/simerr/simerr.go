@@ -55,6 +55,19 @@ func (k Kind) String() string {
 	return fmt.Sprintf("kind(%d)", int(k))
 }
 
+// HTTPStatus maps the failure kind to its stable HTTP status code — the
+// wire contract of the simulation service (cmd/mopserve). Cancellation
+// reports 499 (the nginx "client closed request" convention: the caller
+// gave up, the simulator did not fail); every other kind is a server-side
+// simulation failure and reports 500, with the repro fingerprint carried
+// in the response body rather than the status line.
+func (k Kind) HTTPStatus() int {
+	if k == KindCancelled {
+		return 499
+	}
+	return 500
+}
+
 // ParseKind resolves a kind name as printed by Kind.String (the form
 // journals and repro bundles store).
 func ParseKind(s string) (Kind, error) {
