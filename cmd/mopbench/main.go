@@ -2,19 +2,22 @@
 // performance — and records it in a machine-readable trajectory file so
 // perf regressions are visible across commits.
 //
-// Two sections are produced:
+// Two sections are produced, each measured under both scheduler kernels
+// (the bit-parallel "bitset" default and the retained "entry" reference):
 //
 //   - configs: one steady-state measurement per scheduler model
 //     (baseline, 2-cycle, MOP-CAM, MOP-wired-OR, select-free) on one
 //     benchmark, reporting simulated uops/sec, cycles/sec, and — after a
 //     warm-up run that grows every pool and scratch buffer — allocations
 //     and bytes per simulated cycle. The steady-state cycle loop is
-//     required to be allocation-free; the run exits non-zero when any
-//     config exceeds -max-allocs-per-cycle.
+//     required to be allocation-free under either kernel; the run exits
+//     non-zero when any config exceeds -max-allocs-per-cycle.
 //   - table2: the end-to-end Table 2 experiment (every benchmark, base
 //     scheduler, two queue sizes), the same work BenchmarkTable2 does,
-//     reporting aggregate simulated uops/sec. This is the headline
-//     number tracked across PRs.
+//     reporting aggregate simulated uops/sec. The bitset kernel's number
+//     is the headline tracked across PRs; the entry kernel's rides along
+//     as the baseline, and the run exits non-zero if the bitset kernel
+//     falls below -min-kernel-speedup times it.
 //
 // Usage:
 //
@@ -34,12 +37,14 @@ import (
 	"macroop/internal/config"
 	"macroop/internal/core"
 	"macroop/internal/experiments"
+	"macroop/internal/program"
 	"macroop/internal/workload"
 )
 
 // ConfigResult is one steady-state measurement of the cycle loop.
 type ConfigResult struct {
 	Name           string  `json:"name"`
+	Kernel         string  `json:"kernel"`
 	Benchmark      string  `json:"benchmark"`
 	Insts          int64   `json:"insts"`
 	Cycles         int64   `json:"cycles"`
@@ -64,7 +69,11 @@ type Report struct {
 	GoVersion string         `json:"go_version"`
 	Short     bool           `json:"short"`
 	Configs   []ConfigResult `json:"configs"`
-	Table2    Table2Result   `json:"table2"`
+	// Table2 is the bitset (default) kernel; Table2Entry the reference
+	// kernel on identical work; KernelSpeedup their uops/sec ratio.
+	Table2        Table2Result `json:"table2"`
+	Table2Entry   Table2Result `json:"table2_entry"`
+	KernelSpeedup float64      `json:"kernel_speedup"`
 }
 
 func schedConfigs() []struct {
@@ -87,6 +96,8 @@ func schedConfigs() []struct {
 	}
 }
 
+var kernels = []config.SchedKernel{config.KernelBitset, config.KernelEntry}
+
 // allocWindow is the number of bare cycles stepped between MemStats
 // snapshots for the allocs/cycle gate. Large enough that a per-cycle
 // leak dominates any measurement noise, small enough to stay inside the
@@ -97,15 +108,120 @@ const allocWindow = 20_000
 // minimum is reported.
 const allocWindows = 3
 
+// measureConfig runs one (scheduler config, kernel) cell: warm-up,
+// allocation windows, then a timed throughput leg.
+func measureConfig(name, bench string, m config.Machine, prog *program.Program, insts int64) (ConfigResult, error) {
+	c, err := core.New(m, prog)
+	if err != nil {
+		return ConfigResult{}, fmt.Errorf("%s/%v: configure: %w", name, m.Kernel, err)
+	}
+	// Warm-up leg: grow every pool, ring, and scratch buffer (and the
+	// functional model's memory pages the warm window touches) before
+	// measuring. The returned result aliases the core's own struct, so
+	// snapshot the cumulative counters by value.
+	warm := insts / 5
+	if warm < 30_000 {
+		warm = 30_000
+	}
+	if _, err := c.Run(warm); err != nil {
+		return ConfigResult{}, fmt.Errorf("%s/%v: warmup: %w", name, m.Kernel, err)
+	}
+
+	// Allocation window: a bounded span of bare cycles right after
+	// warm-up, so the allocs/cycle gate covers exactly the steady-state
+	// cycle loop — the property the zero-alloc tests assert. An
+	// unmeasured settle leg first absorbs any last high-water-mark
+	// growth (a pool or scratch slice doubling once more as occupancy
+	// peaks just past the warm-up point).
+	if _, err := c.StepCycles(allocWindow); err != nil {
+		return ConfigResult{}, fmt.Errorf("%s/%v: settle: %w", name, m.Kernel, err)
+	}
+	// Take the minimum over a few windows: the Go runtime itself makes
+	// a rare tiny allocation on a background thread (e.g. the scavenger
+	// re-arming its timer) that MemStats cannot distinguish from
+	// simulator work. A real per-cycle leak shows up in every window;
+	// one-off runtime noise cannot.
+	var winAllocs, winBytes uint64
+	var allocCycles int64
+	for w := 0; w < allocWindows; w++ {
+		var before, after runtime.MemStats
+		runtime.GC()
+		runtime.ReadMemStats(&before)
+		cycles, err := c.StepCycles(allocWindow)
+		if err != nil {
+			return ConfigResult{}, fmt.Errorf("%s/%v: alloc window: %w", name, m.Kernel, err)
+		}
+		runtime.ReadMemStats(&after)
+		allocs, bytes := after.Mallocs-before.Mallocs, after.TotalAlloc-before.TotalAlloc
+		if w == 0 || allocs < winAllocs || (allocs == winAllocs && bytes < winBytes) {
+			winAllocs, winBytes, allocCycles = allocs, bytes, cycles
+		}
+	}
+
+	// Throughput leg: timed wall-clock run of insts further
+	// instructions (Run's budget is cumulative).
+	preCycles, preInsts := c.Progress()
+	start := time.Now()
+	res, err := c.Run(preInsts + insts)
+	wall := time.Since(start).Seconds()
+	if err != nil {
+		return ConfigResult{}, fmt.Errorf("%s/%v: simulate: %w", name, m.Kernel, err)
+	}
+
+	measuredInsts := res.Committed - preInsts
+	measuredCycles := res.Cycles - preCycles
+	return ConfigResult{
+		Name:           name,
+		Kernel:         m.Kernel.String(),
+		Benchmark:      bench,
+		Insts:          measuredInsts,
+		Cycles:         measuredCycles,
+		WallSec:        wall,
+		UopsPerSec:     float64(measuredInsts) / wall,
+		CyclesPerSec:   float64(measuredCycles) / wall,
+		AllocsPerCycle: float64(winAllocs) / float64(allocCycles),
+		BytesPerCycle:  float64(winBytes) / float64(allocCycles),
+	}, nil
+}
+
+// runTable2 runs the end-to-end Table 2 sweep under one kernel.
+func runTable2(r *experiments.Runner, k config.SchedKernel, insts int64) (Table2Result, error) {
+	start := time.Now()
+	res, err := r.RunMatrix(map[string]config.Machine{
+		"iq32":  config.Default().WithSched(config.SchedBase).WithKernel(k),
+		"unres": config.Unrestricted().WithSched(config.SchedBase).WithKernel(k),
+	})
+	wall := time.Since(start).Seconds()
+	if err != nil {
+		return Table2Result{}, fmt.Errorf("table2/%v: %w", k, err)
+	}
+	var committed int64
+	cells := 0
+	for _, byCfg := range res {
+		for _, cell := range byCfg {
+			committed += cell.Committed
+			cells++
+		}
+	}
+	return Table2Result{
+		InstsPerCell: insts,
+		Cells:        cells,
+		Committed:    committed,
+		WallSec:      wall,
+		UopsPerSec:   float64(committed) / wall,
+	}, nil
+}
+
 func main() {
 	var (
-		out       = flag.String("out", "BENCH_core.json", "output file for the JSON report")
-		outAlias  = flag.String("o", "", "alias for -out")
-		short     = flag.Bool("short", false, "reduced budgets for CI smoke runs")
-		insts     = flag.Int64("insts", 400_000, "per-config instruction budget (steady-state section)")
-		t2Insts   = flag.Int64("table2-insts", 120_000, "per-cell instruction budget (table2 section)")
-		bench     = flag.String("bench", "gzip", "benchmark for the steady-state section")
-		maxAllocs = flag.Float64("max-allocs-per-cycle", 0, "fail when any config allocates more than this per steady-state cycle")
+		out        = flag.String("out", "BENCH_core.json", "output file for the JSON report")
+		outAlias   = flag.String("o", "", "alias for -out")
+		short      = flag.Bool("short", false, "reduced budgets for CI smoke runs")
+		insts      = flag.Int64("insts", 400_000, "per-config instruction budget (steady-state section)")
+		t2Insts    = flag.Int64("table2-insts", 120_000, "per-cell instruction budget (table2 section)")
+		bench      = flag.String("bench", "gzip", "benchmark for the steady-state section")
+		maxAllocs  = flag.Float64("max-allocs-per-cycle", 0, "fail when any config allocates more than this per steady-state cycle")
+		minSpeedup = flag.Float64("min-kernel-speedup", 0.9, "fail when the bitset kernel's table2 uops/sec falls below this multiple of the entry kernel's (slack absorbs wall-clock noise)")
 	)
 	flag.Parse()
 	if *outAlias != "" {
@@ -132,120 +248,47 @@ func main() {
 
 	failed := false
 	for _, sc := range schedConfigs() {
-		c, err := core.New(sc.m, prog)
-		if err != nil {
-			fatalf("%s: configure: %v", sc.name, err)
-		}
-		// Warm-up leg: grow every pool, ring, and scratch buffer (and the
-		// functional model's memory pages the warm window touches) before
-		// measuring. The returned result aliases the core's own struct, so
-		// snapshot the cumulative counters by value.
-		warm := *insts / 5
-		if warm < 30_000 {
-			warm = 30_000
-		}
-		if _, err := c.Run(warm); err != nil {
-			fatalf("%s: warmup: %v", sc.name, err)
-		}
-
-		// Allocation window: a bounded span of bare cycles right after
-		// warm-up, so the allocs/cycle gate covers exactly the steady-state
-		// cycle loop — the property the zero-alloc tests assert. An
-		// unmeasured settle leg first absorbs any last high-water-mark
-		// growth (a pool or scratch slice doubling once more as occupancy
-		// peaks just past the warm-up point).
-		if _, err := c.StepCycles(allocWindow); err != nil {
-			fatalf("%s: settle: %v", sc.name, err)
-		}
-		// Take the minimum over a few windows: the Go runtime itself makes
-		// a rare tiny allocation on a background thread (e.g. the scavenger
-		// re-arming its timer) that MemStats cannot distinguish from
-		// simulator work. A real per-cycle leak shows up in every window;
-		// one-off runtime noise cannot.
-		var winAllocs, winBytes uint64
-		var allocCycles int64
-		for w := 0; w < allocWindows; w++ {
-			var before, after runtime.MemStats
-			runtime.GC()
-			runtime.ReadMemStats(&before)
-			cycles, err := c.StepCycles(allocWindow)
+		for _, k := range kernels {
+			cr, err := measureConfig(sc.name, *bench, sc.m.WithKernel(k), prog, *insts)
 			if err != nil {
-				fatalf("%s: alloc window: %v", sc.name, err)
+				fatalf("%v", err)
 			}
-			runtime.ReadMemStats(&after)
-			allocs, bytes := after.Mallocs-before.Mallocs, after.TotalAlloc-before.TotalAlloc
-			if w == 0 || allocs < winAllocs || (allocs == winAllocs && bytes < winBytes) {
-				winAllocs, winBytes, allocCycles = allocs, bytes, cycles
+			rep.Configs = append(rep.Configs, cr)
+			status := "ok"
+			if cr.AllocsPerCycle > *maxAllocs {
+				status = fmt.Sprintf("FAIL (> %.3f)", *maxAllocs)
+				failed = true
 			}
+			fmt.Printf("%-13s %-6s %8.0f kuops/s %9.0f kcycles/s %8.4f allocs/cycle %8.1f B/cycle  %s\n",
+				sc.name, cr.Kernel, cr.UopsPerSec/1e3, cr.CyclesPerSec/1e3, cr.AllocsPerCycle, cr.BytesPerCycle, status)
 		}
-
-		// Throughput leg: timed wall-clock run of *insts further
-		// instructions (Run's budget is cumulative).
-		preCycles, preInsts := c.Progress()
-		start := time.Now()
-		res, err := c.Run(preInsts + *insts)
-		wall := time.Since(start).Seconds()
-		if err != nil {
-			fatalf("%s: simulate: %v", sc.name, err)
-		}
-
-		measuredInsts := res.Committed - preInsts
-		measuredCycles := res.Cycles - preCycles
-		cr := ConfigResult{
-			Name:           sc.name,
-			Benchmark:      *bench,
-			Insts:          measuredInsts,
-			Cycles:         measuredCycles,
-			WallSec:        wall,
-			UopsPerSec:     float64(measuredInsts) / wall,
-			CyclesPerSec:   float64(measuredCycles) / wall,
-			AllocsPerCycle: float64(winAllocs) / float64(allocCycles),
-			BytesPerCycle:  float64(winBytes) / float64(allocCycles),
-		}
-		rep.Configs = append(rep.Configs, cr)
-		status := "ok"
-		if cr.AllocsPerCycle > *maxAllocs {
-			status = fmt.Sprintf("FAIL (> %.3f)", *maxAllocs)
-			failed = true
-		}
-		fmt.Printf("%-13s %8.0f kuops/s %9.0f kcycles/s %8.4f allocs/cycle %8.1f B/cycle  %s\n",
-			sc.name, cr.UopsPerSec/1e3, cr.CyclesPerSec/1e3, cr.AllocsPerCycle, cr.BytesPerCycle, status)
 	}
 
-	// End-to-end Table 2 sweep, the BenchmarkTable2 workload.
+	// End-to-end Table 2 sweep, the BenchmarkTable2 workload, once per
+	// kernel on identical pre-generated programs.
 	r := experiments.NewRunner(*t2Insts)
-	// Pre-generate programs so the measurement covers simulation only.
 	for _, b := range workload.Names() {
 		if _, err := r.Program(b); err != nil {
 			fatalf("generate %s: %v", b, err)
 		}
 	}
-	start := time.Now()
-	res, err := r.RunMatrix(map[string]config.Machine{
-		"iq32":  config.Default().WithSched(config.SchedBase),
-		"unres": config.Unrestricted().WithSched(config.SchedBase),
-	})
-	wall := time.Since(start).Seconds()
-	if err != nil {
-		fatalf("table2: %v", err)
+	if rep.Table2, err = runTable2(r, config.KernelBitset, *t2Insts); err != nil {
+		fatalf("%v", err)
 	}
-	var committed int64
-	cells := 0
-	for _, byCfg := range res {
-		for _, cell := range byCfg {
-			committed += cell.Committed
-			cells++
-		}
+	if rep.Table2Entry, err = runTable2(r, config.KernelEntry, *t2Insts); err != nil {
+		fatalf("%v", err)
 	}
-	rep.Table2 = Table2Result{
-		InstsPerCell: *t2Insts,
-		Cells:        cells,
-		Committed:    committed,
-		WallSec:      wall,
-		UopsPerSec:   float64(committed) / wall,
+	rep.KernelSpeedup = rep.Table2.UopsPerSec / rep.Table2Entry.UopsPerSec
+	fmt.Printf("table2 bitset %8.0f kuops/s (%d cells, %.2fs wall)\n",
+		rep.Table2.UopsPerSec/1e3, rep.Table2.Cells, rep.Table2.WallSec)
+	fmt.Printf("table2 entry  %8.0f kuops/s (%d cells, %.2fs wall)\n",
+		rep.Table2Entry.UopsPerSec/1e3, rep.Table2Entry.Cells, rep.Table2Entry.WallSec)
+	status := "ok"
+	if rep.KernelSpeedup < *minSpeedup {
+		status = fmt.Sprintf("FAIL (< %.2f)", *minSpeedup)
+		failed = true
 	}
-	fmt.Printf("table2        %8.0f kuops/s (%d cells, %.2fs wall)\n",
-		rep.Table2.UopsPerSec/1e3, cells, wall)
+	fmt.Printf("kernel speedup %.2fx  %s\n", rep.KernelSpeedup, status)
 
 	f, err := os.Create(*out)
 	if err != nil {
@@ -261,7 +304,7 @@ func main() {
 	}
 	fmt.Printf("wrote %s\n", *out)
 	if failed {
-		fmt.Fprintln(os.Stderr, "mopbench: allocs/cycle budget exceeded")
+		fmt.Fprintln(os.Stderr, "mopbench: perf gate failed (allocs/cycle or kernel speedup)")
 		os.Exit(1)
 	}
 }

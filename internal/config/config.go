@@ -50,6 +50,35 @@ func (m SchedModel) String() string {
 	return fmt.Sprintf("sched(%d)", int(m))
 }
 
+// SchedKernel selects the scheduler implementation. Both kernels are
+// cycle-exact models of the same five SchedModel variants; they differ
+// only in data layout and therefore in simulation throughput.
+type SchedKernel int
+
+// Scheduler kernels.
+const (
+	// KernelBitset is the bit-parallel structure-of-arrays kernel:
+	// entries live in parallel arrays indexed by an age-ring slot,
+	// wakeup is a bitmask broadcast over per-producer consumer masks,
+	// and select is a priority-decoder bit scan over the ready mask.
+	// This is the default.
+	KernelBitset SchedKernel = iota
+	// KernelEntry is the original pointer-linked entry kernel, retained
+	// as the reference model for differential testing.
+	KernelEntry
+)
+
+// String names the kernel as reported in benchmark output.
+func (k SchedKernel) String() string {
+	switch k {
+	case KernelBitset:
+		return "bitset"
+	case KernelEntry:
+		return "entry"
+	}
+	return fmt.Sprintf("kernel(%d)", int(k))
+}
+
 // WakeupStyle selects the wakeup array style for macro-op scheduling
 // (Section 2.2): CAM-style with two source comparators, or wired-OR-style
 // dependence vectors with no source-count restriction.
@@ -153,8 +182,9 @@ type Machine struct {
 	// built-in default of 10000).
 	ReplayStormLimit int
 
-	Sched SchedModel
-	MOP   MOPConfig
+	Sched  SchedModel
+	Kernel SchedKernel
+	MOP    MOPConfig
 
 	Branch branch.Config
 	Mem    cache.HierarchyConfig
@@ -221,6 +251,8 @@ func (m Machine) Validate() error {
 		return fmt.Errorf("config: MOP scope must be at least one group")
 	case m.MOP.DetectionDelay < 0 || m.MOP.ExtraFormationStages < 0:
 		return fmt.Errorf("config: negative MOP latencies")
+	case m.Kernel != KernelBitset && m.Kernel != KernelEntry:
+		return fmt.Errorf("config: unknown scheduler kernel %v", m.Kernel)
 	}
 	for _, c := range []cache.Config{m.Mem.IL1, m.Mem.DL1, m.Mem.L2} {
 		if err := c.Validate(); err != nil {
@@ -278,6 +310,12 @@ func (m Machine) FUCount(class int) int {
 // WithSched returns a copy using the given scheduler model.
 func (m Machine) WithSched(s SchedModel) Machine {
 	m.Sched = s
+	return m
+}
+
+// WithKernel returns a copy using the given scheduler kernel.
+func (m Machine) WithKernel(k SchedKernel) Machine {
+	m.Kernel = k
 	return m
 }
 

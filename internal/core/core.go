@@ -28,7 +28,7 @@ type Core struct {
 	src  functional.Source
 	pred *branch.Predictor
 	mem  *cache.Hierarchy
-	sch  *sched.Scheduler
+	sch  sched.Engine
 	det  *mop.Detector
 	ptab *mop.PointerTable
 
@@ -134,13 +134,16 @@ func NewFromSource(cfg config.Machine, name string, src functional.Source) (*Cor
 		dynsBuf:  make([]*functional.DynInst, 0, cfg.Width),
 		claimBuf: make([]*uop, 0, sched.MaxMOPOps),
 	}
-	c.sch = sched.New(sched.Config{
+	c.sch = sched.NewEngine(cfg.Kernel, sched.Config{
 		Model:         cfg.Sched,
 		Width:         cfg.Width,
 		IQEntries:     cfg.IQEntries,
 		FU:            fu,
 		ReplayPenalty: cfg.ReplayPenalty,
 		ReplayLimit:   cfg.ReplayStormLimit,
+		// Every non-final entry keeps at least one uncommitted op in the
+		// in-order ROB, so the ROB bounds the live entry window.
+		Window: cfg.ROBEntries,
 	})
 	if cfg.Sched == config.SchedMOP {
 		c.ptab = mop.NewPointerTable()
@@ -332,7 +335,7 @@ func (c *Core) stateDump() string {
 // Scheduler exposes the core's scheduler for diagnostic and
 // fault-injection use (internal/fault). Mutating it mid-run changes
 // simulated timing.
-func (c *Core) Scheduler() *sched.Scheduler { return c.sch }
+func (c *Core) Scheduler() sched.Engine { return c.sch }
 
 // step advances one clock cycle.
 func (c *Core) step() {

@@ -22,7 +22,7 @@ func (c *Core) renameAndInsert(u *uop) {
 		// covered by detection's conservative heuristic.
 		if h.expectOps > 2 {
 			for _, sp := range specs {
-				if sp.Prod != nil && sp.Prod.DependsOn(h.entry) {
+				if sp.Prod != nil && c.sch.DependsOn(sp.Prod, h.entry) {
 					c.demote(h)
 					c.removePendingHead(h)
 					c.cnt.formCycleAborts++

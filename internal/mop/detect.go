@@ -1,6 +1,8 @@
 package mop
 
 import (
+	"math/bits"
+
 	"macroop/internal/config"
 	"macroop/internal/functional"
 	"macroop/internal/isa"
@@ -72,13 +74,21 @@ type Detector struct {
 	// Per-step scratch, reused across Observe calls so detection never
 	// allocates in steady state: recycled group backings, the flattened
 	// window, the dependence matrix, head->tail requests, and the
-	// priority-decoder claim bits. (inducesCycle, behind the non-default
-	// PreciseCycleDetection flag, still allocates.)
+	// priority-decoder claim bits.
 	slotFree [][]slot
 	winBuf   []*slot
 	depBuf   [][2]int
 	wantBuf  []int
 	claimBuf []bool
+
+	// Column-bitset dependence matrix: colBits holds one n-bit row mask
+	// per window column (row i starts at i*wn), bit j meaning window row
+	// j directly consumes column i's result. wn is the words-per-mask
+	// for the current window. cycSeen/cycTodo are inducesCycle scratch.
+	colBits []uint64
+	wn      int
+	cycSeen []uint64
+	cycTodo []uint64
 }
 
 // NewDetector creates a detector installing into the given table.
@@ -138,10 +148,13 @@ func (d *Detector) window() []*slot {
 	return w
 }
 
-// depMatrix computes direct register dependences within the window:
-// dep[j] holds, for each row j, the column index of the producer of each
-// of j's sources (or -1 when the producer is outside the window).
-func (d *Detector) depMatrix(w []*slot) [][2]int {
+// depMatrixRef computes direct register dependences within the window as
+// the original triangle representation: dep[j] holds, for each row j, the
+// column index of the producer of each of j's sources (or -1 when the
+// producer is outside the window). Retained as the reference oracle the
+// bitset matrix is differentially tested against (FuzzBitMatrix); the
+// production scans in step use buildColBits.
+func (d *Detector) depMatrixRef(w []*slot) [][2]int {
 	dep := d.depBuf[:0]
 	var lastWriter [isa.NumRegs]int
 	for r := range lastWriter {
@@ -161,9 +174,49 @@ func (d *Detector) depMatrix(w []*slot) [][2]int {
 	return dep
 }
 
-// dependsOn reports whether row j directly depends on column i.
+// dependsOn reports whether row j directly depends on column i in the
+// triangle reference matrix.
 func dependsOn(dep [][2]int, j, i int) bool {
 	return dep[j][0] == i || dep[j][1] == i
+}
+
+// buildColBits computes the same dependence relation as depMatrixRef in
+// column-bitset form: for each producer column i, an n-bit mask of the
+// rows that directly consume it. The mark scan in step then walks only
+// set bits instead of testing every (head, row) pair. A duplicate edge
+// (two source registers with the same in-window producer) collapses to
+// one bit, which is exactly the boolean dependsOn relation.
+func (d *Detector) buildColBits(w []*slot) {
+	n := len(w)
+	wn := (n + 63) / 64
+	d.wn = wn
+	need := n * wn
+	if cap(d.colBits) < need {
+		d.colBits = make([]uint64, need)
+	} else {
+		d.colBits = d.colBits[:need]
+		clear(d.colBits)
+	}
+	var lastWriter [isa.NumRegs]int
+	for r := range lastWriter {
+		lastWriter[r] = -1
+	}
+	for j, s := range w {
+		for k := 0; k < s.nsrc; k++ {
+			if p := lastWriter[s.srcs[k]]; p >= 0 {
+				d.colBits[p*wn+j>>6] |= 1 << uint(j&63)
+			}
+		}
+		if s.dest != isa.NoReg {
+			lastWriter[s.dest] = j
+		}
+	}
+}
+
+// depBit reports whether row j directly depends on column i in the
+// bitset matrix built by the last buildColBits call.
+func (d *Detector) depBit(j, i int) bool {
+	return d.colBits[i*d.wn+j>>6]&(1<<uint(j&63)) != 0
 }
 
 // step runs one detection pass over the window: dependent pairs first,
@@ -173,58 +226,66 @@ func (d *Detector) step(cycle int64) {
 	if len(w) < 2 {
 		return
 	}
-	dep := d.depMatrix(w)
+	d.buildColBits(w)
 
-	// Dependent-pair detection: each eligible head column scans its rows
-	// top to bottom and requests the first selectable tail.
+	// Dependent-pair detection: each eligible head column scans its
+	// marks top to bottom and requests the first selectable tail. The
+	// column mask walk visits exactly the marked rows (in ascending row
+	// order, matching the reference triangle scan); rows without a mark
+	// for column i contribute nothing to the decision and are skipped
+	// wholesale.
 	want := d.wantBuf[:0] // head index -> chosen tail index, -1 none
 	for range w {
 		want = append(want, -1)
 	}
 	d.wantBuf = want
+	wn := d.wn
 	for i, h := range w {
 		if !d.headEligible(h) {
 			continue
 		}
 		seenMark := false
-		for j := i + 1; j < len(w); j++ {
-			t := w[j]
-			if !dependsOn(dep, j, i) {
-				continue
+		row := d.colBits[i*wn : (i+1)*wn]
+	marks:
+		for wi := 0; wi < wn; wi++ {
+			for m := row[wi]; m != 0; m &= m - 1 {
+				j := wi<<6 + bits.TrailingZeros64(m)
+				t := w[j]
+				// Row j carries a dependence mark for column i. The mark
+				// value is the consumer's source-operand count: "1" is
+				// selectable anywhere; "2" only as the first mark in the
+				// column (the hardware encoding of the Section 5.1.1
+				// cycle heuristic).
+				selectable := t.nsrc == 1 || !seenMark
+				seenMark = true
+				if !d.tailEligible(t) {
+					continue
+				}
+				if !selectable && !d.cfg.PreciseCycleDetection {
+					d.stats.CycleRejects++
+					continue
+				}
+				if d.cfg.PreciseCycleDetection && d.inducesCycle(i, j) {
+					d.stats.CycleRejects++
+					continue
+				}
+				if j-i > MaxOffset {
+					break marks
+				}
+				if _, ok := controlClass(w, i, j); !ok {
+					d.stats.ControlRejects++
+					continue
+				}
+				if d.cfg.Wakeup == config.WakeupCAM2Src && unionSources(h, t) > 2 {
+					d.stats.CAMRejects++
+					continue
+				}
+				if d.table.Blacklisted(h.pc, t.pc) {
+					continue
+				}
+				want[i] = j
+				break marks
 			}
-			// Row j carries a dependence mark for column i. The mark value
-			// is the consumer's source-operand count: "1" is selectable
-			// anywhere; "2" only as the first mark in the column (the
-			// hardware encoding of the Section 5.1.1 cycle heuristic).
-			selectable := t.nsrc == 1 || !seenMark
-			seenMark = true
-			if !d.tailEligible(t) {
-				continue
-			}
-			if !selectable && !d.cfg.PreciseCycleDetection {
-				d.stats.CycleRejects++
-				continue
-			}
-			if d.cfg.PreciseCycleDetection && d.inducesCycle(w, dep, i, j) {
-				d.stats.CycleRejects++
-				continue
-			}
-			if j-i > MaxOffset {
-				break
-			}
-			if _, ok := controlClass(w, i, j); !ok {
-				d.stats.ControlRejects++
-				continue
-			}
-			if d.cfg.Wakeup == config.WakeupCAM2Src && unionSources(h, t) > 2 {
-				d.stats.CAMRejects++
-				continue
-			}
-			if d.table.Blacklisted(h.pc, t.pc) {
-				continue
-			}
-			want[i] = j
-			break
 		}
 	}
 
@@ -258,7 +319,7 @@ func (d *Detector) step(cycle int64) {
 	}
 
 	if d.cfg.GroupIndependent {
-		d.pairIndependent(w, dep, cycle)
+		d.pairIndependent(w, cycle)
 	}
 }
 
@@ -335,12 +396,54 @@ func controlClass(w []*slot, i, j int) (controlBit, ok bool) {
 
 // inducesCycle is the precise alternative to the heuristic: grouping head
 // i with tail j deadlocks iff some window instruction x strictly between
-// them lies on a dependence path i →+ x →+ j once already-formed pairs in
-// the window are treated as merged nodes.
-func (d *Detector) inducesCycle(w []*slot, dep [][2]int, i, j int) bool {
+// them lies on a dependence path i →+ x →+ j. The search is a bitset BFS
+// over the column masks — frontier expansion never passes through j — and
+// runs allocation-free on the detector's scratch words.
+func (d *Detector) inducesCycle(i, j int) bool {
+	wn := d.wn
+	if cap(d.cycSeen) < wn {
+		d.cycSeen = make([]uint64, wn)
+		d.cycTodo = make([]uint64, wn)
+	}
+	seen := d.cycSeen[:wn]
+	todo := d.cycTodo[:wn]
+	jw, jb := j>>6, uint64(1)<<uint(j&63)
+	row := d.colBits[i*wn : (i+1)*wn]
+	copy(seen, row)
+	seen[jw] &^= jb
+	copy(todo, seen)
+	for {
+		// Pop any unexpanded reachable node x (≠ j by construction).
+		x := -1
+		for wi := 0; wi < wn; wi++ {
+			if todo[wi] != 0 {
+				x = wi<<6 + bits.TrailingZeros64(todo[wi])
+				todo[wi] &= todo[wi] - 1
+				break
+			}
+		}
+		if x < 0 {
+			return false
+		}
+		xr := d.colBits[x*wn : (x+1)*wn]
+		if xr[jw]&jb != 0 {
+			return true // i →+ x →+ j through x ≠ j
+		}
+		for wi := 0; wi < wn; wi++ {
+			nw := xr[wi] &^ seen[wi]
+			if wi == jw {
+				nw &^= jb
+			}
+			seen[wi] |= nw
+			todo[wi] |= nw
+		}
+	}
+}
+
+// inducesCycleRef is the retained triangle-matrix reference for
+// inducesCycle, compared against it by FuzzBitMatrix.
+func (d *Detector) inducesCycleRef(w []*slot, dep [][2]int, i, j int) bool {
 	n := len(w)
-	// adjacency including merged pairs: edges both ways between a formed
-	// head/tail pair approximate the atomic issue coupling.
 	adj := make([][]int, n)
 	for r := 0; r < n; r++ {
 		for k := 0; k < 2; k++ {
@@ -378,7 +481,7 @@ func (d *Detector) inducesCycle(w []*slot, dep [][2]int, i, j int) bool {
 // empty) source dependences, per Section 5.4.1. Both instructions must
 // read the same values, so shared source registers must have the same
 // in-window producer and must not be rewritten between the two.
-func (d *Detector) pairIndependent(w []*slot, dep [][2]int, cycle int64) {
+func (d *Detector) pairIndependent(w []*slot, cycle int64) {
 	for i := 0; i < len(w); i++ {
 		h := w[i]
 		if h.inval || h.head || h.tail {
@@ -389,10 +492,10 @@ func (d *Detector) pairIndependent(w []*slot, dep [][2]int, cycle int64) {
 			if t.inval || t.head || t.tail {
 				continue
 			}
-			if !sameSources(w, dep, i, j) {
+			if !sameSources(w, i, j) {
 				continue
 			}
-			if dependsOn(dep, j, i) {
+			if d.depBit(j, i) {
 				continue // actually dependent; handled above
 			}
 			ctrl, ok := controlClass(w, i, j)
@@ -414,8 +517,7 @@ func (d *Detector) pairIndependent(w []*slot, dep [][2]int, cycle int64) {
 // register sets reading identical values: for every shared register the
 // last writer before i and before j must be the same instruction (so no
 // instruction in [i, j) rewrites it).
-func sameSources(w []*slot, dep [][2]int, i, j int) bool {
-	_ = dep
+func sameSources(w []*slot, i, j int) bool {
 	a, b := w[i], w[j]
 	if a.nsrc != b.nsrc {
 		return false

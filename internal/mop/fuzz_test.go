@@ -1,0 +1,122 @@
+package mop
+
+import (
+	"testing"
+
+	"macroop/internal/config"
+	"macroop/internal/functional"
+	"macroop/internal/isa"
+)
+
+// fuzzOps is the opcode palette the fuzzer draws from: ALU candidates,
+// non-candidates, loads/stores, and every control-flow shape the window
+// rules care about (direct taken/not-taken, indirect).
+var fuzzOps = []isa.Op{
+	isa.ADD, isa.ADDI, isa.SUB, isa.MUL, isa.LUI, isa.MOVI,
+	isa.LD, isa.STA, isa.STD,
+	isa.BEQ, isa.JMP, isa.JAL, isa.JR,
+	isa.FADD, isa.DIV, isa.HALT,
+}
+
+// fuzzStream decodes the fuzz payload into a dynamic instruction stream:
+// each instruction consumes 4 bytes (op, dest, src1|taken bit, src2).
+// Registers are folded into a small set so dependences are dense.
+func fuzzStream(data []byte) []*functional.DynInst {
+	var insts []*functional.DynInst
+	for i := 0; i+4 <= len(data) && len(insts) < 96; i += 4 {
+		op := fuzzOps[int(data[i])%len(fuzzOps)]
+		reg := func(b byte) isa.Reg {
+			if b%8 == 7 {
+				return isa.NoReg
+			}
+			return isa.Reg(b % 8) // R0..R6: includes the zero register
+		}
+		d := &functional.DynInst{
+			Seq: int64(len(insts)),
+			PC:  int(data[i+1]%32) + 64*(len(insts)/32),
+			Inst: isa.Instruction{
+				Op:   op,
+				Dest: reg(data[i+1]),
+				Src1: reg(data[i+2] >> 1),
+				Src2: reg(data[i+3]),
+			},
+			Taken: op.IsControl() && data[i+2]&1 == 1,
+		}
+		if !d.Inst.WritesReg() {
+			d.Inst.Dest = isa.NoReg
+		}
+		insts = append(insts, d)
+	}
+	return insts
+}
+
+// FuzzBitMatrix drives the detector over random dependence graphs and
+// checks the bitset dependence matrix against the retained triangle
+// [][2]int reference on every window the sliding scope produces: exact
+// agreement on the direct-dependence relation and on the precise cycle
+// check, and no panics anywhere in detection (both heuristic and precise
+// cycle modes, both wakeup limits, with and without independent
+// grouping).
+func FuzzBitMatrix(f *testing.F) {
+	f.Add([]byte{0, 1, 2, 3, 0, 2, 4, 6, 1, 3, 2, 1, 9, 0, 1, 1})
+	f.Add([]byte{6, 1, 0, 0, 6, 2, 2, 0, 0, 3, 2, 4, 0, 4, 6, 6, 2, 5, 8, 10})
+	f.Add([]byte{12, 7, 7, 7, 12, 7, 7, 7, 0, 1, 1, 1})
+
+	cfgs := make([]config.MOPConfig, 0, 4)
+	for _, precise := range []bool{false, true} {
+		for _, wk := range []config.WakeupStyle{config.WakeupWiredOR, config.WakeupCAM2Src} {
+			c := config.DefaultMOP()
+			c.DetectionDelay = 0
+			c.PreciseCycleDetection = precise
+			c.Wakeup = wk
+			c.GroupIndependent = true
+			cfgs = append(cfgs, c)
+		}
+	}
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		insts := fuzzStream(data)
+		if len(insts) == 0 {
+			return
+		}
+		for _, cfg := range cfgs {
+			det := NewDetector(cfg, NewPointerTable())
+			cycle := int64(0)
+			for i := 0; i < len(insts); i += 4 {
+				end := i + 4
+				if end > len(insts) {
+					end = len(insts)
+				}
+				// Observe runs a full detection step (the production
+				// bitset path) on the grown window; never-panic is
+				// asserted implicitly.
+				det.Observe(cycle, insts[i:end])
+				cycle++
+
+				// Differential check on this window: triangle reference
+				// vs the bitset matrix the step just built.
+				w := det.window()
+				dep := det.depMatrixRef(w)
+				det.buildColBits(w)
+				for j := 0; j < len(w); j++ {
+					for c := 0; c < len(w); c++ {
+						ref := dependsOn(dep, j, c)
+						got := det.depBit(j, c)
+						if ref != got {
+							t.Fatalf("cfg %+v window %d: dep(%d,%d) ref=%v bit=%v", cfg, i, j, c, ref, got)
+						}
+					}
+				}
+				for hi := 0; hi < len(w); hi++ {
+					for tj := hi + 1; tj < len(w); tj++ {
+						ref := det.inducesCycleRef(w, dep, hi, tj)
+						got := det.inducesCycle(hi, tj)
+						if ref != got {
+							t.Fatalf("cfg %+v window %d: inducesCycle(%d,%d) ref=%v bit=%v", cfg, i, hi, tj, ref, got)
+						}
+					}
+				}
+			}
+		}
+	})
+}

@@ -1,6 +1,7 @@
 package sched
 
 import (
+	"fmt"
 	"testing"
 
 	"macroop/internal/config"
@@ -69,6 +70,59 @@ func BenchmarkWakeup(b *testing.B) {
 			s.Tick(cyc)
 		}
 		live = benchDrain(s, live)
+	}
+}
+
+// benchKernelChain measures one kernel draining serial dependence chains
+// of length win through an unrestricted queue: all win entries are
+// inserted at once, then ticked to finality. The entry-linked kernel
+// re-derives readiness for every live entry every cycle (O(win) per
+// tick, O(win^2) per chain); the bit kernel only touches entries whose
+// state changes, so the gap between the two grows with the window.
+func benchKernelChain(b *testing.B, k config.SchedKernel, win int) {
+	cfg := Config{Model: config.SchedBase, Width: 4, IQEntries: 0, ReplayPenalty: 2, Window: win}
+	for c := range cfg.FU {
+		cfg.FU[c] = 4
+	}
+	s := NewEngine(k, cfg)
+	cyc := int64(0)
+	ents := make([]*Entry, 0, win)
+	srcs := make([]SrcSpec, 1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ents = ents[:0]
+		var prev *Entry
+		for j := 0; j < win; j++ {
+			sp := srcs[:0]
+			if prev != nil {
+				srcs[0] = SrcSpec{Prod: prev}
+				sp = srcs[:1]
+			}
+			prev = s.Insert(OpInfo{FU: isa.ClassIntALU, Latency: 1}, sp, false)
+			ents = append(ents, prev)
+		}
+		for !prev.Final() {
+			cyc++
+			s.Tick(cyc)
+		}
+		for _, e := range ents {
+			s.Release(e)
+		}
+	}
+	b.ReportMetric(float64(b.N)*float64(win)/b.Elapsed().Seconds()/1e6, "Muops/s")
+}
+
+// BenchmarkKernelWindow compares the two kernels' tick cost as the live
+// window grows; the uops/sec ratio at each size is the kernel-level
+// speedup headline quoted in DESIGN.md section 12.
+func BenchmarkKernelWindow(b *testing.B) {
+	for _, win := range []int{32, 128, 512, 2048} {
+		for _, k := range []config.SchedKernel{config.KernelEntry, config.KernelBitset} {
+			b.Run(fmt.Sprintf("%v/win%d", k, win), func(b *testing.B) {
+				benchKernelChain(b, k, win)
+			})
+		}
 	}
 }
 

@@ -1,0 +1,69 @@
+package sched
+
+import "math/bits"
+
+// This file holds the priority-decoder primitives of the bitset kernel:
+// an allocation-free iterator over the set bits of a packed bitmask in
+// circular age order. Hardware analogy (paper, Figure 1): the ready mask
+// is the request vector entering the select logic, and scanning it with
+// bits.TrailingZeros64 from the oldest slot is the priority decoder that
+// picks the oldest requester first.
+//
+// Slots are assigned as age & (n-1) on a power-of-two ring, so ascending
+// age order is ascending bit position starting from the oldest live
+// slot's position and wrapping once. The iterator is a plain struct used
+// on the stack (no closures) to keep Tick allocation-free.
+
+// ageScan iterates the set bits of an n-bit mask (n = 64*len(mask)) in
+// circular order starting at bit position start. Each position is
+// visited at most once. Words are read lazily, one at a time: bits
+// cleared in a not-yet-visited word disappear from the scan, bits set
+// there appear; mutations to already-read words are not observed.
+type ageScan struct {
+	mask      []uint64
+	startWord int
+	startBit  uint
+	wi        int    // current word index
+	cur       uint64 // unconsumed bits of the current word
+	last      bool   // the wrapped partial start word is in cur
+}
+
+func newAgeScan(mask []uint64, start int) ageScan {
+	sc := ageScan{
+		mask:      mask,
+		startWord: start >> 6,
+		startBit:  uint(start & 63),
+	}
+	sc.wi = sc.startWord
+	sc.cur = mask[sc.wi] &^ (1<<sc.startBit - 1) // bits >= start
+	return sc
+}
+
+// next returns the next set bit position in circular age order.
+func (sc *ageScan) next() (int, bool) {
+	for {
+		if sc.cur != 0 {
+			b := bits.TrailingZeros64(sc.cur)
+			sc.cur &= sc.cur - 1
+			return sc.wi<<6 + b, true
+		}
+		if sc.last {
+			return 0, false
+		}
+		sc.wi++
+		if sc.wi >= len(sc.mask) {
+			sc.wi = 0
+		}
+		if sc.wi == sc.startWord {
+			// Wrapped: finish with the bits below start.
+			sc.last = true
+			sc.cur = sc.mask[sc.wi] & (1<<sc.startBit - 1)
+		} else {
+			sc.cur = sc.mask[sc.wi]
+		}
+	}
+}
+
+func bitSet(m []uint64, i int)       { m[i>>6] |= 1 << uint(i&63) }
+func bitClear(m []uint64, i int)     { m[i>>6] &^= 1 << uint(i&63) }
+func bitTest(m []uint64, i int) bool { return m[i>>6]&(1<<uint(i&63)) != 0 }

@@ -1,0 +1,296 @@
+package sched
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"macroop/internal/config"
+	"macroop/internal/isa"
+)
+
+// Lockstep differential test: the entry-linked reference kernel and the
+// bit-parallel kernel are driven with byte-identical call scripts —
+// inserts, MOP attaches/cancels, load results, releases — and must agree
+// every cycle on the grant stream, occupancy, operand validity, and
+// dependence queries, and at the end on all stats and entry states.
+// Because the script reacts only to outputs the kernels must agree on,
+// any divergence is pinpointed at the first cycle it occurs.
+
+// duoEntry pairs the two kernels' handles for one scripted instruction.
+type duoEntry struct {
+	a, b     *Entry
+	released bool
+	isLoad   bool
+	// missDelay is the load's extra latency beyond the assumed hit
+	// (decided at insert, applied at grant).
+	missDelay int64
+	attachBy  int64 // pending MOP head: cycle to attach or cancel by
+}
+
+type duo struct {
+	t      *testing.T
+	model  config.SchedModel
+	a, b   Engine
+	ents   []*duoEntry
+	ixA    map[*Entry]int
+	ixB    map[*Entry]int
+	rng    *rand.Rand
+	maxOps int
+}
+
+func newDuo(t *testing.T, model config.SchedModel, iq int, seed int64) *duo {
+	cfg := Config{Model: model, Width: 4, IQEntries: iq, ReplayPenalty: 2}
+	cfg.FU = [isa.NumClasses]int{2, 1, 2, 2, 1, 4}
+	// Deliberately no Window hint: the bitset kernel must size and (in
+	// unrestricted runs) grow its age ring on its own.
+	d := &duo{
+		t:      t,
+		model:  model,
+		a:      New(cfg),
+		b:      NewBit(cfg),
+		ixA:    map[*Entry]int{},
+		ixB:    map[*Entry]int{},
+		rng:    rand.New(rand.NewSource(seed)),
+		maxOps: 4,
+	}
+	return d
+}
+
+func (d *duo) fatalf(format string, args ...any) {
+	d.t.Helper()
+	d.t.Fatalf("[%v] %s", d.model, fmt.Sprintf(format, args...))
+}
+
+// candidates returns indices eligible as producers: recent, not released.
+func (d *duo) candidates() []int {
+	lo := len(d.ents) - 48
+	if lo < 0 {
+		lo = 0
+	}
+	var out []int
+	for i := lo; i < len(d.ents); i++ {
+		if !d.ents[i].released {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// pickSrcs draws up to two producers, skipping any that would close a
+// dependence cycle through excl (checking that both kernels agree on the
+// DependsOn answer).
+func (d *duo) pickSrcs(excl *duoEntry) (sa, sb []SrcSpec) {
+	cands := d.candidates()
+	n := d.rng.Intn(3) // 0..2 sources
+	for j := 0; j < n && len(cands) > 0; j++ {
+		de := d.ents[cands[d.rng.Intn(len(cands))]]
+		if de == excl {
+			continue
+		}
+		if excl != nil {
+			depA := d.a.DependsOn(de.a, excl.a)
+			depB := d.b.DependsOn(de.b, excl.b)
+			if depA != depB {
+				d.fatalf("DependsOn diverged for entry %d: ref=%v bit=%v", d.ixA[de.a], depA, depB)
+			}
+			if depA {
+				continue
+			}
+		}
+		op := 0
+		if k := de.a.NumOps(); k > 1 {
+			op = d.rng.Intn(k)
+		}
+		sa = append(sa, SrcSpec{Prod: de.a, ProdOp: op})
+		sb = append(sb, SrcSpec{Prod: de.b, ProdOp: op})
+	}
+	return sa, sb
+}
+
+func (d *duo) insertOne(now int64) {
+	var op OpInfo
+	pending := false
+	var missDelay int64
+	switch r := d.rng.Intn(10); {
+	case r < 5:
+		op = OpInfo{FU: isa.ClassIntALU, Latency: 1}
+	case r < 6:
+		op = OpInfo{FU: isa.ClassIntMul, Latency: 3}
+	case r < 8:
+		op = OpInfo{FU: isa.ClassMem, Latency: 3, IsLoad: true}
+		switch d.rng.Intn(4) {
+		case 0:
+			missDelay = 8
+		case 1:
+			missDelay = 40
+		}
+	case r < 9:
+		op = OpInfo{FU: isa.ClassNone, Latency: 1}
+	default:
+		op = OpInfo{FU: isa.ClassIntALU, Latency: 1}
+		pending = d.model == config.SchedMOP
+	}
+	op.Seq = int64(len(d.ents))
+	de := &duoEntry{isLoad: op.IsLoad, missDelay: missDelay}
+	if pending {
+		de.attachBy = now + 1 + int64(d.rng.Intn(3))
+	}
+	sa, sb := d.pickSrcs(nil)
+	de.a = d.a.Insert(op, sa, pending)
+	de.b = d.b.Insert(op, sb, pending)
+	d.ixA[de.a] = len(d.ents)
+	d.ixB[de.b] = len(d.ents)
+	d.ents = append(d.ents, de)
+}
+
+// settlePending attaches or cancels due MOP heads.
+func (d *duo) settlePending(now int64) {
+	for _, de := range d.ents {
+		if de.attachBy == 0 || de.attachBy > now || de.a.Final() {
+			continue
+		}
+		if !de.a.PendingTail() {
+			de.attachBy = 0
+			continue
+		}
+		if d.rng.Intn(10) == 0 {
+			d.a.CancelTail(de.a)
+			d.b.CancelTail(de.b)
+			de.attachBy = 0
+			continue
+		}
+		op := OpInfo{FU: isa.ClassIntALU, Latency: 1, Seq: int64(len(d.ents))}
+		sa, sb := d.pickSrcs(de)
+		last := de.a.NumOps()+1 >= d.maxOps || d.rng.Intn(3) != 0
+		d.a.AttachOp(de.a, op, sa, last)
+		d.b.AttachOp(de.b, op, sb, last)
+		if last {
+			de.attachBy = 0
+		} else {
+			de.attachBy = now + 1
+		}
+	}
+}
+
+func (d *duo) step(now int64) {
+	ga := d.a.Tick(now)
+	gb := d.b.Tick(now)
+	if len(ga) != len(gb) {
+		d.fatalf("cycle %d: grant count diverged: ref=%d bit=%d\nref=%v\nbit=%v",
+			now, len(ga), len(gb), d.describe(ga, d.ixA), d.describe(gb, d.ixB))
+	}
+	for i := range ga {
+		ia, ib := d.ixA[ga[i].Entry], d.ixB[gb[i].Entry]
+		if ia != ib || ga[i].OpIdx != gb[i].OpIdx || ga[i].Cycle != gb[i].Cycle {
+			d.fatalf("cycle %d: grant %d diverged: ref=(ent %d op %d @%d) bit=(ent %d op %d @%d)",
+				now, i, ia, ga[i].OpIdx, ga[i].Cycle, ib, gb[i].OpIdx, gb[i].Cycle)
+		}
+	}
+	// Feed back load results exactly as the core would: only validly
+	// issued loads probe the cache.
+	for i := range ga {
+		if ga[i].OpIdx != 0 {
+			continue
+		}
+		de := d.ents[d.ixA[ga[i].Entry]]
+		va, vb := d.a.OperandsValid(de.a), d.b.OperandsValid(de.b)
+		if va != vb {
+			d.fatalf("cycle %d: OperandsValid diverged for entry %d: ref=%v bit=%v", now, d.ixA[de.a], va, vb)
+		}
+		if de.isLoad && va {
+			actual := now + int64(de.a.Op(0).Latency) + de.missDelay
+			discover := now + 6
+			d.a.SetLoadResult(de.a, 0, actual, discover)
+			d.b.SetLoadResult(de.b, 0, actual, discover)
+		}
+	}
+	if oa, ob := d.a.Occupied(), d.b.Occupied(); oa != ob {
+		d.fatalf("cycle %d: occupancy diverged: ref=%d bit=%d", now, oa, ob)
+	}
+	if ha, hb := d.a.HasSpace(1), d.b.HasSpace(1); ha != hb {
+		d.fatalf("cycle %d: HasSpace diverged: ref=%v bit=%v", now, ha, hb)
+	}
+	if ea, eb := d.a.Err(), d.b.Err(); (ea == nil) != (eb == nil) {
+		d.fatalf("cycle %d: Err diverged: ref=%v bit=%v", now, ea, eb)
+	}
+
+	d.settlePending(now)
+	for j := d.rng.Intn(5); j > 0 && d.a.HasSpace(1); j-- {
+		d.insertOne(now)
+	}
+	d.releaseSettled()
+}
+
+// releaseSettled releases final entries old enough to have left the
+// producer-candidate window, like the core releasing at commit.
+func (d *duo) releaseSettled() {
+	lo := len(d.ents) - 48
+	for i := 0; i < lo; i++ {
+		de := d.ents[i]
+		if de.released || !de.a.Final() {
+			continue
+		}
+		if fa, fb := de.a.Final(), de.b.Final(); fa != fb {
+			d.fatalf("entry %d finality diverged: ref=%v bit=%v", i, fa, fb)
+		}
+		for r := 0; r < de.a.NumOps(); r++ {
+			d.a.Release(de.a)
+			d.b.Release(de.b)
+		}
+		de.released = true
+	}
+}
+
+func (d *duo) finish(cycles int64) {
+	for _, de := range d.ents {
+		if sa, sb := de.a.GetState(), de.b.GetState(); sa != sb {
+			d.fatalf("entry %d end state diverged: ref=%v bit=%v", d.ixA[de.a], sa, sb)
+		}
+		if de.a.Final() && de.a.Grant() != de.b.Grant() {
+			d.fatalf("entry %d final grant diverged: ref=%d bit=%d", d.ixA[de.a], de.a.Grant(), de.b.Grant())
+		}
+	}
+	if sa, sb := d.a.Stats(), d.b.Stats(); sa != sb {
+		d.fatalf("stats diverged after %d cycles:\nref=%+v\nbit=%+v", cycles, sa, sb)
+	}
+}
+
+func (d *duo) describe(gs []Grant, ix map[*Entry]int) string {
+	var out []string
+	for _, g := range gs {
+		out = append(out, fmt.Sprintf("(ent %d op %d @%d)", ix[g.Entry], g.OpIdx, g.Cycle))
+	}
+	return fmt.Sprintf("%v", out)
+}
+
+// TestKernelLockstep drives both kernels over every scheduling model,
+// with bounded and unrestricted queues, across several seeds.
+func TestKernelLockstep(t *testing.T) {
+	models := []config.SchedModel{
+		config.SchedBase,
+		config.SchedTwoCycle,
+		config.SchedMOP,
+		config.SchedSelectFreeSquashDep,
+		config.SchedSelectFreeScoreboard,
+	}
+	seeds := []int64{1, 2, 3, 4, 5, 6}
+	cycles := int64(1500)
+	if testing.Short() {
+		seeds = seeds[:2]
+		cycles = 600
+	}
+	for _, model := range models {
+		for _, iq := range []int{16, 0} {
+			for _, seed := range seeds {
+				t.Run(fmt.Sprintf("%v/iq%d/seed%d", model, iq, seed), func(t *testing.T) {
+					d := newDuo(t, model, iq, seed)
+					for now := int64(1); now <= cycles; now++ {
+						d.step(now)
+					}
+					d.finish(cycles)
+				})
+			}
+		}
+	}
+}

@@ -1,0 +1,56 @@
+package sched
+
+import "macroop/internal/config"
+
+// Engine is the scheduler contract the core (and the fault injector)
+// program against. Two implementations exist:
+//
+//   - *Scheduler (engine.go's KernelEntry): the original pointer-linked
+//     entry kernel, retained as the reference model;
+//   - *BitScheduler (KernelBitset): the bit-parallel structure-of-arrays
+//     kernel (bitkernel.go), the default.
+//
+// Both are cycle-exact models of the same five scheduling variants: for
+// any identical call sequence they produce identical grant streams,
+// stats, and entry states. internal/checker's differential tests and the
+// in-package lockstep test (differential_test.go) enforce this.
+type Engine interface {
+	// Queue construction.
+	Insert(op OpInfo, srcs []SrcSpec, pendingTail bool) *Entry
+	AttachTail(e *Entry, op OpInfo, srcs []SrcSpec)
+	AttachOp(e *Entry, op OpInfo, srcs []SrcSpec, last bool)
+	CancelTail(e *Entry)
+	Release(e *Entry)
+
+	// Cycle advance and feedback.
+	Tick(now int64) []Grant
+	SetLoadResult(e *Entry, opIdx int, actualReady, discover int64)
+	OperandsValid(e *Entry) bool
+	DependsOn(e, target *Entry) bool
+
+	// Introspection.
+	Err() error
+	Stats() Stats
+	Occupied() int
+	HasSpace(n int) bool
+	DumpActive(limit int) string
+	DebugActive() []*Entry
+
+	// Fault-injection surface (internal/fault).
+	FaultDeafen() bool
+	FaultSuppressReplay()
+	FaultReplaySuppressed() bool
+}
+
+var (
+	_ Engine = (*Scheduler)(nil)
+	_ Engine = (*BitScheduler)(nil)
+)
+
+// NewEngine constructs the scheduler kernel selected by k.
+func NewEngine(k config.SchedKernel, cfg Config) Engine {
+	if k == config.KernelEntry {
+		return New(cfg)
+	}
+	return NewBit(cfg)
+}

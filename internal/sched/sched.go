@@ -63,6 +63,13 @@ type Config struct {
 	// declares a livelock (replay storm) through Err instead of replaying
 	// further; 0 means DefaultReplayLimit.
 	ReplayLimit int
+	// Window is a hint for the maximum number of simultaneously live
+	// entries (the core passes its ROB size: every non-final entry keeps
+	// at least one uncommitted op in the in-order ROB, so the live age
+	// span never exceeds it). The bitset kernel sizes its age ring from
+	// it and grows on demand if the hint is exceeded; the entry kernel
+	// ignores it. 0 picks a default.
+	Window int
 }
 
 // DefaultReplayLimit is the per-entry replay-storm threshold used when
@@ -152,6 +159,11 @@ type Entry struct {
 
 	replays int
 
+	// slot is the entry's index into the bitset kernel's parallel arrays
+	// for its current life (BitScheduler only; the entry kernel leaves
+	// it untouched).
+	slot int
+
 	// UserData carries the core's per-entry payload (opaque here).
 	UserData any
 }
@@ -225,6 +237,9 @@ func (e *Entry) DependsOn(target *Entry) bool {
 	}
 	return walk(e)
 }
+
+// DependsOn implements Engine; see Entry.DependsOn.
+func (s *Scheduler) DependsOn(e, target *Entry) bool { return e.DependsOn(target) }
 
 // Grant is one op issue event reported by Tick.
 type Grant struct {
@@ -520,15 +535,23 @@ func (s *Scheduler) edgeAssumed(p *Entry, opIdx int) int {
 	return p.ops[opIdx].Latency
 }
 
-func (s *Scheduler) selectFree() bool {
-	return s.cfg.Model == config.SchedSelectFreeSquashDep || s.cfg.Model == config.SchedSelectFreeScoreboard
+func (s *Scheduler) selectFree() bool { return modelSelectFree(s.cfg.Model) }
+
+func modelSelectFree(m config.SchedModel) bool {
+	return m == config.SchedSelectFreeSquashDep || m == config.SchedSelectFreeScoreboard
 }
 
 // wakeFromGrant computes when a consumer becomes selectable given its
 // producer entry was granted at p.grant, per the scheduling model.
 func (s *Scheduler) wakeFromGrant(p *Entry, assumed int) int64 {
+	return wakeFromGrant(s.cfg.Model, p, assumed)
+}
+
+// wakeFromGrant is the model-shared broadcast timing rule, used
+// identically by both kernels.
+func wakeFromGrant(model config.SchedModel, p *Entry, assumed int) int64 {
 	g := p.grant
-	switch s.cfg.Model {
+	switch model {
 	case config.SchedBase:
 		return g + int64(assumed)
 	case config.SchedTwoCycle:
@@ -548,7 +571,7 @@ func (s *Scheduler) wakeFromGrant(p *Entry, assumed int) int64 {
 	case config.SchedSelectFreeScoreboard:
 		return g + int64(assumed)
 	}
-	panic(simerr.Internalf(simerr.Context{Cycle: s.now}, "sched: unknown model %v", s.cfg.Model))
+	panic(simerr.Internalf(simerr.Context{}, "sched: unknown model %v", model))
 }
 
 // SetLoadResult informs the scheduler of a load op's actual data
