@@ -6,13 +6,19 @@
 //	mopctl -addr http://127.0.0.1:8344 simulate -bench gzip -sched mop -insts 100000
 //	mopctl matrix -benchmarks gzip,mcf -scheds base,mop -insts 50000
 //	mopctl matrix -scheds base,2cycle,mop -stream        # NDJSON live progress
-//	mopctl job job-3                                     # job status
+//	mopctl job job-n1-3                                  # job status
 //	mopctl jobs                                          # list jobs
 //	mopctl health
 //	mopctl metrics
+//	mopctl -seeds http://h1:8344,http://h2:8344 ring     # cluster membership
 //
-// Queue-full rejections (503 + Retry-After) are retried automatically up
-// to -retries times.
+// mopctl is cluster-aware: -seeds lists several nodes and the client
+// rotates to the next seed when one stops answering; 307 redirects
+// carrying X-Mop-Owner (a cell routed to its owning shard) are followed
+// transparently. Busy rejections (503) are retried up to -max-retries
+// times with capped exponential backoff and jitter, honouring the
+// server's Retry-After hint; when the budget runs out the server's final
+// typed error (kind and repro fingerprint included) is what you see.
 package main
 
 import (
@@ -22,26 +28,38 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"math/rand"
 	"net/http"
 	"os"
 	"strconv"
 	"strings"
 	"time"
 
+	"macroop/internal/cluster"
 	"macroop/internal/service"
 	"macroop/internal/stats"
 )
 
 func main() {
 	addr := flag.String("addr", envOr("MOPSERVE_ADDR", "http://127.0.0.1:8344"), "mopserve base URL (or $MOPSERVE_ADDR)")
-	retries := flag.Int("retries", 5, "attempts for queue-full (503) rejections, honouring Retry-After")
+	seeds := flag.String("seeds", envOr("MOPSERVE_SEEDS", ""), "comma-separated cluster seed URLs; the client rotates to the next seed when one stops answering (overrides -addr)")
+	var maxRetries int
+	flag.IntVar(&maxRetries, "retries", 5, "alias for -max-retries")
+	flag.IntVar(&maxRetries, "max-retries", 5, "attempt budget for busy (503) rejections and unreachable seeds, with capped exponential backoff honouring Retry-After")
 	flag.Usage = usage
 	flag.Parse()
 	if flag.NArg() < 1 {
 		usage()
 		os.Exit(2)
 	}
-	c := &client{base: strings.TrimRight(*addr, "/"), retries: *retries}
+	list := splitList(*seeds)
+	if len(list) == 0 {
+		list = []string{*addr}
+	}
+	for i := range list {
+		list[i] = strings.TrimRight(list[i], "/")
+	}
+	c := &client{seeds: list, maxRetries: maxRetries}
 	cmd, args := flag.Arg(0), flag.Args()[1:]
 	switch cmd {
 	case "simulate":
@@ -56,60 +74,127 @@ func main() {
 		c.health()
 	case "metrics":
 		c.metrics()
+	case "ring":
+		c.ring()
 	default:
 		fatalf("unknown command %q", cmd)
 	}
 }
 
 func usage() {
-	fmt.Fprintf(os.Stderr, `usage: mopctl [-addr URL] [-retries N] <command> [flags]
+	fmt.Fprintf(os.Stderr, `usage: mopctl [-addr URL | -seeds URL,URL,...] [-max-retries N] <command> [flags]
 
 commands:
   simulate  run one cell synchronously   (-bench, -sched, -wakeup, -iq, -stages, -insts)
-  matrix    submit a batched sweep       (-benchmarks, -scheds, -insts, -wait, -stream)
+  matrix    submit a batched sweep       (-benchmarks, -scheds, -insts, -wait, -stream, -async)
   job <id>  print one job's status and results
   jobs      list jobs, newest first
   health    check /healthz
   metrics   dump /metrics
+  ring      print cluster membership and liveness
 `)
 }
 
 type client struct {
-	base    string
-	retries int
+	seeds      []string
+	cur        int
+	maxRetries int
 }
 
-// post submits JSON, retrying 503 rejections with the server's
-// Retry-After hint (admission control pushes back; the client waits).
+func (c *client) base() string { return c.seeds[c.cur] }
+
+func (c *client) rotate() { c.cur = (c.cur + 1) % len(c.seeds) }
+
+// noFollow keeps 307s visible so do can log the owning shard and re-POST
+// the body itself (http.Client only auto-follows GET-safe redirects).
+var noFollow = &http.Client{CheckRedirect: func(*http.Request, []*http.Request) error {
+	return http.ErrUseLastResponse
+}}
+
+// backoff computes the wait before the next attempt: the server's
+// Retry-After hint verbatim when present, otherwise capped exponential
+// (500ms doubling to 8s) with ±25% jitter so synchronized clients do not
+// retry in lockstep.
+func backoff(attempt int, retryAfter string) time.Duration {
+	if ra, err := strconv.Atoi(retryAfter); err == nil && ra > 0 {
+		return time.Duration(ra) * time.Second
+	}
+	d := 500 * time.Millisecond
+	for i := 1; i < attempt && d < 8*time.Second; i++ {
+		d *= 2
+	}
+	if d > 8*time.Second {
+		d = 8 * time.Second
+	}
+	return d + time.Duration(rand.Int63n(int64(d)/2)) - d/4
+}
+
+// do performs one logical request with the client's resilience policy:
+// unreachable seeds rotate to the next one, 503s back off and retry, and
+// 307s (a clustered node pointing at the cell's owning shard) are
+// followed. When the retry budget runs out, the final response — with
+// the server's typed error envelope — is returned for decode to surface.
+func (c *client) do(method, path string, body []byte) *http.Response {
+	url := c.base() + path
+	redirects := 0
+	for attempt := 1; ; attempt++ {
+		var rd io.Reader
+		if body != nil {
+			rd = bytes.NewReader(body)
+		}
+		req, err := http.NewRequest(method, url, rd)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		if body != nil {
+			req.Header.Set("Content-Type", "application/json")
+		}
+		resp, err := noFollow.Do(req)
+		switch {
+		case err != nil:
+			if attempt >= c.maxRetries {
+				fatalf("%v (after %d attempts across %d seed(s))", err, attempt, len(c.seeds))
+			}
+			c.rotate()
+			url = c.base() + path
+			d := backoff(attempt, "")
+			fmt.Fprintf(os.Stderr, "mopctl: %v; retrying against %s in %v (%d/%d)\n",
+				err, c.base(), d.Round(time.Millisecond), attempt, c.maxRetries)
+			time.Sleep(d)
+		case resp.StatusCode == http.StatusTemporaryRedirect:
+			loc := resp.Header.Get("Location")
+			owner := resp.Header.Get("X-Mop-Owner")
+			resp.Body.Close()
+			if loc == "" || redirects >= 4 {
+				fatalf("redirect loop or missing Location (owner %q)", owner)
+			}
+			redirects++
+			url = loc
+			if owner != "" {
+				fmt.Fprintf(os.Stderr, "mopctl: cell owned by shard %s; following redirect\n", owner)
+			}
+		case resp.StatusCode == http.StatusServiceUnavailable && attempt < c.maxRetries:
+			d := backoff(attempt, resp.Header.Get("Retry-After"))
+			resp.Body.Close()
+			fmt.Fprintf(os.Stderr, "mopctl: server busy (503), retrying in %v (%d/%d)\n",
+				d.Round(time.Millisecond), attempt, c.maxRetries)
+			time.Sleep(d)
+		default:
+			return resp
+		}
+	}
+}
+
 func (c *client) post(path string, body any) *http.Response {
 	data, err := json.Marshal(body)
 	if err != nil {
 		fatalf("%v", err)
 	}
-	for attempt := 1; ; attempt++ {
-		resp, err := http.Post(c.base+path, "application/json", bytes.NewReader(data))
-		if err != nil {
-			fatalf("%v", err)
-		}
-		if resp.StatusCode != http.StatusServiceUnavailable || attempt >= c.retries {
-			return resp
-		}
-		delay := time.Second
-		if ra, err := strconv.Atoi(resp.Header.Get("Retry-After")); err == nil && ra > 0 {
-			delay = time.Duration(ra) * time.Second
-		}
-		resp.Body.Close()
-		fmt.Fprintf(os.Stderr, "mopctl: server busy (503), retrying in %v (%d/%d)\n", delay, attempt, c.retries)
-		time.Sleep(delay)
-	}
+	return c.do(http.MethodPost, path, data)
 }
 
 func (c *client) get(path string) *http.Response {
-	resp, err := http.Get(c.base + path)
-	if err != nil {
-		fatalf("%v", err)
-	}
-	return resp
+	return c.do(http.MethodGet, path, nil)
 }
 
 // decode reads a JSON response, converting error envelopes into fatal
@@ -270,6 +355,24 @@ func (c *client) metrics() {
 	io.Copy(os.Stdout, resp.Body)
 }
 
+// ring prints the cluster's membership as the contacted node sees it:
+// liveness state, advertised load, and how stale each peer's last ack is.
+func (c *client) ring() {
+	var info cluster.RingInfo
+	decode(c.get("/cluster/v1/ring"), &info)
+	fmt.Printf("cluster as seen by %s (epoch %d)\n", info.Self, info.Epoch)
+	t := stats.NewTable("members", "node", "addr", "state", "queue", "draining", "last-ack")
+	for _, m := range info.Members {
+		age := time.Since(m.LastAck).Round(time.Millisecond)
+		self := ""
+		if m.ID == info.Self {
+			self = " (self)"
+		}
+		t.AddRow(m.ID+self, m.Addr, m.State, m.QueueDepth, m.Draining, age.String())
+	}
+	fmt.Print(t)
+}
+
 // configSpec builds the wire config from CLI knobs; unset knobs stay
 // absent so the server applies its defaults.
 func configSpec(sched, wakeup string, iq, stages int) service.ConfigSpec {
@@ -315,15 +418,22 @@ func printCell(cr *service.CellResult) {
 			cr.Bench, cr.Config, cr.ErrorKind, cr.Error, cr.ReproFingerprint)
 		return
 	}
-	src := "ran"
+	fmt.Printf("%-10s %-14s IPC %6.3f  %9d insts %9d cycles  checksum %s  %7.1fms (%s)\n",
+		cr.Bench, cr.Config, cr.IPC, cr.Committed, cr.Cycles, cr.Checksum, cr.WallMS, cellSource(cr))
+}
+
+// cellSource labels where a result came from: executed here, the local
+// cache, a coalesced in-flight execution, or the cell's owning shard.
+func cellSource(cr *service.CellResult) string {
 	switch {
 	case cr.Cached:
-		src = "cache"
+		return "cache"
 	case cr.Shared:
-		src = "shared"
+		return "shared"
+	case cr.PeerFilled:
+		return "peer"
 	}
-	fmt.Printf("%-10s %-14s IPC %6.3f  %9d insts %9d cycles  checksum %s  %7.1fms (%s)\n",
-		cr.Bench, cr.Config, cr.IPC, cr.Committed, cr.Cycles, cr.Checksum, cr.WallMS, src)
+	return "ran"
 }
 
 func printStatus(st *service.JobStatus, withResults bool) {
@@ -338,15 +448,8 @@ func printStatus(st *service.JobStatus, withResults bool) {
 			t.AddRow(cr.Bench, cr.Config, "FAILED", cr.ErrorKind, "-", cr.ReproFingerprint, fmt.Sprintf("%.1f", cr.WallMS), "-")
 			continue
 		}
-		src := "ran"
-		switch {
-		case cr.Cached:
-			src = "cache"
-		case cr.Shared:
-			src = "shared"
-		}
 		t.AddRow(cr.Bench, cr.Config, cr.IPC, cr.Committed, cr.Cycles, cr.Checksum,
-			fmt.Sprintf("%.1f", cr.WallMS), src)
+			fmt.Sprintf("%.1f", cr.WallMS), cellSource(cr))
 	}
 	fmt.Print(t)
 }

@@ -9,12 +9,21 @@
 //	mopserve -addr :8344 -journal serve.journal  # crash-consistent
 //	mopserve -workers 8 -queue 512 -cache 8192
 //
+// Cluster mode shards the cell keyspace by consistent hashing across a
+// static member set, with heartbeat failure detection, peer cache-fill,
+// work stealing, and journal-backed failover (see internal/cluster):
+//
+//	mopserve -addr :8344 -node n1 \
+//	  -peers n1=http://h1:8344,n2=http://h2:8344,n3=http://h3:8344 \
+//	  -cluster-dir /shared/journals
+//
 // Endpoints:
 //
 //	POST /v1/simulate          {"benchmark":"gzip","config":{"sched":"mop"},"max_insts":100000}
 //	POST /v1/matrix            {"benchmarks":[...],"configs":{"name":{...}},"wait":true|"stream":true}
 //	GET  /v1/jobs, /v1/jobs/{id}, /v1/jobs/{id}/stream
 //	GET  /metrics, /healthz, /debug/pprof/
+//	GET  /cluster/v1/ring, /cluster/v1/heartbeat   (cluster mode)
 //
 // SIGTERM/SIGINT begins a graceful drain: admission stops (healthz turns
 // 503, submits are rejected with Retry-After), in-flight cells finish and
@@ -31,11 +40,34 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"path/filepath"
+	"strings"
 	"syscall"
 	"time"
 
+	"macroop/internal/cluster"
 	"macroop/internal/service"
 )
+
+// parsePeers decodes "-peers id=url,id=url,..." into a member map.
+func parsePeers(spec string) (map[string]string, error) {
+	members := map[string]string{}
+	for _, part := range strings.Split(spec, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		id, url, ok := strings.Cut(part, "=")
+		if !ok || id == "" || url == "" {
+			return nil, fmt.Errorf("bad -peers entry %q (want id=url)", part)
+		}
+		if _, dup := members[id]; dup {
+			return nil, fmt.Errorf("duplicate -peers entry %q", id)
+		}
+		members[id] = url
+	}
+	return members, nil
+}
 
 func main() {
 	var (
@@ -43,34 +75,92 @@ func main() {
 		workers      = flag.Int("workers", 0, "worker pool size (0 = GOMAXPROCS)")
 		queue        = flag.Int("queue", 256, "admission bound: maximum admitted-but-unfinished cells")
 		cacheEntries = flag.Int("cache", 4096, "result cache entries")
+		cacheBytes   = flag.Int64("cache-bytes", 0, "result cache byte quota (0 = entry bound only)")
 		jpath        = flag.String("journal", "", "write-ahead journal path; a restart with the same path warms the cache and resumes unfinished batches")
 		defInsts     = flag.Int64("default-insts", 200_000, "per-cell instruction budget when a request leaves max_insts unset")
 		maxInsts     = flag.Int64("max-insts", 5_000_000, "per-cell instruction budget cap")
 		cellTimeout  = flag.Duration("cell-timeout", 2*time.Minute, "wall-clock bound per cell")
 		drainGrace   = flag.Duration("drain-grace", 60*time.Second, "how long a drain waits for in-flight cells before hard-cancelling them")
 		retryAfter   = flag.Duration("retry-after", time.Second, "Retry-After hint attached to queue-full rejections")
+
+		node        = flag.String("node", "", "cluster member ID of this node (enables cluster mode with -peers)")
+		peers       = flag.String("peers", "", "full cluster membership as id=url,id=url,... (must include -node)")
+		clusterDir  = flag.String("cluster-dir", "", "shared directory of per-node journals (<dir>/<node>.journal); enables journal-backed failover and overrides -journal")
+		vnodes      = flag.Int("vnodes", 0, "virtual nodes per member on the hash ring (0 = 64)")
+		hbInterval  = flag.Duration("hb-interval", 500*time.Millisecond, "heartbeat probe period")
+		suspectTO   = flag.Duration("suspect-after", 0, "silence before a peer turns suspect (0 = 4x hb-interval)")
+		deadTO      = flag.Duration("dead-after", 0, "silence before a peer is declared dead and failover runs (0 = 10x hb-interval)")
+		fillTimeout = flag.Duration("fill-timeout", 30*time.Second, "deadline for one peer cache-fill before degrading to local execution")
+		stealAt     = flag.Float64("steal-threshold", 0.75, "queue-depth fraction past which own cells are handed to the idlest peer (negative disables)")
 	)
 	flag.Parse()
 	logf := log.New(os.Stderr, "mopserve: ", log.LstdFlags).Printf
 
-	s, err := service.New(service.Options{
+	fail := func(err error) {
+		fmt.Fprintf(os.Stderr, "mopserve: %v\n", err)
+		os.Exit(1)
+	}
+
+	opts := service.Options{
 		Workers:      *workers,
 		QueueDepth:   *queue,
 		CacheEntries: *cacheEntries,
+		CacheBytes:   *cacheBytes,
 		DefaultInsts: *defInsts,
 		MaxInsts:     *maxInsts,
 		CellTimeout:  *cellTimeout,
 		JournalPath:  *jpath,
 		RetryAfter:   *retryAfter,
 		Logf:         logf,
-	})
+	}
+
+	var node1 *cluster.Node
+	if *node != "" || *peers != "" {
+		members, err := parsePeers(*peers)
+		if err != nil {
+			fail(err)
+		}
+		if *clusterDir != "" {
+			if err := os.MkdirAll(*clusterDir, 0o755); err != nil {
+				fail(err)
+			}
+			opts.JournalPath = filepath.Join(*clusterDir, *node+".journal")
+		}
+		node1, err = cluster.New(cluster.Config{
+			Self:    *node,
+			Members: members,
+			Timings: cluster.Timings{
+				HeartbeatInterval: *hbInterval,
+				SuspectAfter:      *suspectTO,
+				DeadAfter:         *deadTO,
+			},
+			Replicas:       *vnodes,
+			FillTimeout:    *fillTimeout,
+			StealThreshold: *stealAt,
+			JournalDir:     *clusterDir,
+			Logf:           logf,
+		})
+		if err != nil {
+			fail(err)
+		}
+		opts = node1.ServiceOptions(opts)
+	}
+
+	s, err := service.New(opts)
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "mopserve: %v\n", err)
-		os.Exit(1)
+		fail(err)
 	}
 	s.Start()
 
-	srv := &http.Server{Addr: *addr, Handler: s.Handler()}
+	handler := s.Handler()
+	if node1 != nil {
+		node1.Attach(s)
+		node1.Start()
+		handler = node1.Handler()
+		logf("cluster node %s of %d members (journals in %q)", *node, len(strings.Split(*peers, ",")), *clusterDir)
+	}
+
+	srv := &http.Server{Addr: *addr, Handler: handler}
 	errc := make(chan error, 1)
 	go func() {
 		logf("listening on %s", *addr)
@@ -84,14 +174,21 @@ func main() {
 		logf("%v: draining (in-flight cells finish, queued batches stay journaled)", sig)
 	case err := <-errc:
 		fmt.Fprintf(os.Stderr, "mopserve: %v\n", err)
+		if node1 != nil {
+			node1.Close()
+		}
 		s.Close()
 		os.Exit(1)
 	}
 
-	// Drain order: stop admitting first (Drain flips healthz to 503 and
+	// Drain order: stop the cluster prober (no failovers triggered from a
+	// half-dead node), stop admitting (Drain flips healthz to 503 and
 	// rejects submits), finish in-flight cells, then close the HTTP
 	// server so waiting/streaming handlers have seen their jobs reach a
 	// terminal state before Shutdown reaps connections.
+	if node1 != nil {
+		node1.Close()
+	}
 	drainCtx, cancel := context.WithTimeout(context.Background(), *drainGrace)
 	defer cancel()
 	if err := s.Drain(drainCtx); err != nil {

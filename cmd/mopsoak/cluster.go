@@ -1,0 +1,398 @@
+package main
+
+// Cluster chaos mode (-cluster): the end-to-end failover proof behind
+// the cluster-smoke CI job. It boots a real 3-node mopserve cluster as
+// child processes sharing a journal directory, submits a sweep through
+// mopctl, SIGKILLs the coordinating node once the journal shows partial
+// progress, and then requires the survivors to finish the job with
+// results byte-identical to an uninterrupted single-process reference —
+// re-simulating only the cells the dead node had not journaled.
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"syscall"
+	"time"
+
+	"macroop/internal/journal"
+	"macroop/internal/service"
+)
+
+// clusterInsts is sized so each cell takes long enough that the SIGKILL
+// reliably lands mid-sweep, while the 9-cell matrix stays CI-cheap.
+const clusterInsts = 150_000
+
+var (
+	clusterBenches = []string{"gzip", "mcf", "twolf"}
+	clusterScheds  = []string{"base", "2cycle", "mop"}
+)
+
+// proc is one mopserve child process.
+type proc struct {
+	id   string
+	base string // http://127.0.0.1:port
+	cmd  *exec.Cmd
+	done chan error
+}
+
+func (p *proc) kill9() {
+	_ = p.cmd.Process.Kill()
+	<-p.done
+}
+
+func soakCluster(dir, mopserveBin, mopctlBin string) bool {
+	total := len(clusterBenches) * len(clusterScheds)
+	fmt.Printf("mopsoak: cluster phase: reference sweep (%d cells)...\n", total)
+	ref, ok := referenceChecksums()
+	if !ok {
+		return false
+	}
+
+	cdir := filepath.Join(dir, "cluster")
+	if err := os.MkdirAll(cdir, 0o755); err != nil {
+		fatalf("%v", err)
+	}
+	members, err := clusterMembers([]string{"n1", "n2", "n3"})
+	if err != nil {
+		fatalf("%v", err)
+	}
+
+	// The coordinator runs a single worker so the sweep is slow enough to
+	// kill mid-flight; the survivors keep normal parallelism.
+	var procs []*proc
+	defer func() {
+		for _, p := range procs {
+			if p.cmd.ProcessState == nil {
+				p.kill9()
+			}
+		}
+	}()
+	for _, id := range []string{"n1", "n2", "n3"} {
+		workers := 2
+		if id == "n1" {
+			workers = 1
+		}
+		p, err := startNode(mopserveBin, id, members, cdir, workers)
+		if err != nil {
+			fmt.Printf("mopsoak: FAIL: start %s: %v\n", id, err)
+			return false
+		}
+		procs = append(procs, p)
+	}
+	for _, p := range procs {
+		if !waitHealthy(p, 30*time.Second) {
+			fmt.Printf("mopsoak: FAIL: %s never became healthy at %s\n", p.id, p.base)
+			return false
+		}
+	}
+	n1, survivors := procs[0], procs[1:]
+
+	// Submit the sweep through mopctl against the coordinator.
+	out, err := exec.Command(mopctlBin, "-seeds", n1.base, "matrix",
+		"-benchmarks", strings.Join(clusterBenches, ","),
+		"-scheds", strings.Join(clusterScheds, ","),
+		"-insts", strconv.Itoa(clusterInsts),
+		"-async").Output()
+	if err != nil {
+		if ee, ok := err.(*exec.ExitError); ok {
+			os.Stderr.Write(ee.Stderr)
+		}
+		fmt.Printf("mopsoak: FAIL: mopctl matrix: %v\n", err)
+		return false
+	}
+	fields := strings.Fields(string(out))
+	if len(fields) < 2 || fields[0] != "accepted" {
+		fmt.Printf("mopsoak: FAIL: unexpected mopctl output %q\n", out)
+		return false
+	}
+	jobID := fields[1]
+	fmt.Printf("mopsoak: submitted %s via mopctl; waiting for partial progress in %s's journal\n", jobID, n1.id)
+
+	// Kill -9 the coordinator once its journal holds at least two
+	// completed cells but before the job is done — a real mid-sweep crash.
+	jnlPath := filepath.Join(cdir, "n1.journal")
+	killAt := time.Now().Add(60 * time.Second)
+	for {
+		cells, jobDone := journalProgress(jnlPath, jobID)
+		if jobDone {
+			fmt.Printf("mopsoak: FAIL: sweep finished (%d cells) before the kill; raise clusterInsts\n", len(cells))
+			return false
+		}
+		if len(cells) >= 2 {
+			break
+		}
+		if time.Now().After(killAt) {
+			fmt.Printf("mopsoak: FAIL: journal never reached 2 cells (has %d)\n", len(cells))
+			return false
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	n1.kill9()
+	journaled, _ := journalProgress(jnlPath, jobID)
+	fmt.Printf("mopsoak: SIGKILLed %s with %d/%d cells journaled\n", n1.id, len(journaled), total)
+
+	// The survivors must detect the death, adopt the job from the dead
+	// node's journal, and drive it to completion.
+	final, adopter := awaitAdoptedJob(survivors, jobID, 120*time.Second)
+	if final == nil {
+		fmt.Printf("mopsoak: FAIL: job %s never completed on a survivor\n", jobID)
+		return false
+	}
+	ok = true
+	if final.State != service.JobDone || final.Failed != 0 || final.Completed != total {
+		fmt.Printf("mopsoak: FAIL: adopted job %s: state=%s completed=%d failed=%d\n",
+			jobID, final.State, final.Completed, final.Failed)
+		ok = false
+	}
+	for _, cr := range final.Results {
+		key := cr.Bench + "|" + cr.Config
+		if cr.Checksum != ref[key] {
+			fmt.Printf("mopsoak: FAIL: %s checksum %s != reference %s\n", key, cr.Checksum, ref[key])
+			ok = false
+		}
+	}
+
+	// Failover accounting, from the survivors' metrics: exactly one node
+	// adopted the job, every cell was either resumed from the journal or
+	// re-run, and nothing the dead node had completed was lost.
+	var failovers, jobs, resumed, rerun float64
+	for _, p := range survivors {
+		m := fetchMetrics(p.base)
+		failovers += metricValue(m, "mopserve_cluster_failovers_total")
+		jobs += metricValue(m, "mopserve_cluster_failover_jobs_total")
+		resumed += metricValue(m, `mopserve_cluster_failover_cells_total{disposition="resumed"}`)
+		rerun += metricValue(m, `mopserve_cluster_failover_cells_total{disposition="rerun"}`)
+	}
+	if failovers < 1 || jobs != 1 {
+		fmt.Printf("mopsoak: FAIL: failovers=%v adopted jobs=%v, want >=1 and exactly 1\n", failovers, jobs)
+		ok = false
+	}
+	if int(resumed+rerun) != total {
+		fmt.Printf("mopsoak: FAIL: resumed %v + rerun %v != %d cells\n", resumed, rerun, total)
+		ok = false
+	}
+	if int(resumed) < len(journaled) {
+		fmt.Printf("mopsoak: FAIL: resumed %v cells < %d the dead node had journaled (completed work was lost)\n",
+			resumed, len(journaled))
+		ok = false
+	}
+
+	// mopctl must see the degraded ring through a surviving seed.
+	ring, err := exec.Command(mopctlBin, "-seeds", adopter, "ring").CombinedOutput()
+	os.Stdout.Write(ring)
+	if err != nil || !strings.Contains(string(ring), "dead") {
+		fmt.Printf("mopsoak: FAIL: mopctl ring via survivor: err=%v (no dead member shown)\n", err)
+		ok = false
+	}
+
+	// Survivors must drain cleanly on SIGTERM.
+	for _, p := range survivors {
+		_ = p.cmd.Process.Signal(syscall.SIGTERM)
+	}
+	for _, p := range survivors {
+		select {
+		case <-p.done:
+			if code := p.cmd.ProcessState.ExitCode(); code != 0 {
+				fmt.Printf("mopsoak: FAIL: %s exited %d on SIGTERM\n", p.id, code)
+				ok = false
+			}
+		case <-time.After(30 * time.Second):
+			fmt.Printf("mopsoak: FAIL: %s did not exit on SIGTERM\n", p.id)
+			p.kill9()
+			ok = false
+		}
+	}
+	if ok {
+		fmt.Printf("mopsoak: cluster phase OK: %d cells journaled at the kill, %v resumed + %v re-run on the adopter, checksums identical\n",
+			len(journaled), resumed, rerun)
+	}
+	return ok
+}
+
+// referenceChecksums runs the sweep uninterrupted in-process and returns
+// bench|config -> architectural checksum.
+func referenceChecksums() (map[string]string, bool) {
+	cfgs := map[string]service.ConfigSpec{}
+	for _, s := range clusterScheds {
+		cfgs[s] = service.ConfigSpec{Sched: s}
+	}
+	svc, err := service.New(service.Options{Workers: 4})
+	if err != nil {
+		fmt.Printf("mopsoak: FAIL: reference service: %v\n", err)
+		return nil, false
+	}
+	svc.Start()
+	defer svc.Close()
+	j, err := svc.SubmitMatrix(service.MatrixRequest{
+		Benchmarks: clusterBenches,
+		Configs:    cfgs,
+		MaxInsts:   clusterInsts,
+	})
+	if err != nil {
+		fmt.Printf("mopsoak: FAIL: reference submit: %v\n", err)
+		return nil, false
+	}
+	<-j.Done()
+	st := j.Status(true)
+	if st.State != service.JobDone || st.Failed != 0 {
+		fmt.Printf("mopsoak: FAIL: reference sweep %s (%d failed)\n", st.State, st.Failed)
+		return nil, false
+	}
+	out := map[string]string{}
+	for _, cr := range st.Results {
+		out[cr.Bench+"|"+cr.Config] = cr.Checksum
+	}
+	return out, true
+}
+
+// clusterMembers binds a loopback port per node ID and returns the
+// member map mopserve expects. The listeners are closed immediately; the
+// children re-bind the same ports moments later.
+func clusterMembers(ids []string) (map[string]string, error) {
+	members := map[string]string{}
+	var ls []net.Listener
+	defer func() {
+		for _, l := range ls {
+			l.Close()
+		}
+	}()
+	for _, id := range ids {
+		l, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			return nil, err
+		}
+		ls = append(ls, l)
+		members[id] = "http://" + l.Addr().String()
+	}
+	return members, nil
+}
+
+func startNode(bin, id string, members map[string]string, cdir string, workers int) (*proc, error) {
+	var peers []string
+	for mid, url := range members {
+		peers = append(peers, mid+"="+url)
+	}
+	sort.Strings(peers)
+	cmd := exec.Command(bin,
+		"-addr", strings.TrimPrefix(members[id], "http://"),
+		"-node", id,
+		"-peers", strings.Join(peers, ","),
+		"-cluster-dir", cdir,
+		"-workers", strconv.Itoa(workers),
+		"-queue", "64",
+		// Fast failure detection so the soak converges in CI time.
+		"-hb-interval", "100ms",
+		"-suspect-after", "500ms",
+		"-dead-after", "1500ms",
+	)
+	cmd.Stdout, cmd.Stderr = os.Stdout, os.Stderr
+	if err := cmd.Start(); err != nil {
+		return nil, err
+	}
+	p := &proc{id: id, base: members[id], cmd: cmd, done: make(chan error, 1)}
+	go func() { p.done <- cmd.Wait() }()
+	return p, nil
+}
+
+func waitHealthy(p *proc, deadline time.Duration) bool {
+	end := time.Now().Add(deadline)
+	for time.Now().Before(end) {
+		resp, err := http.Get(p.base + "/healthz")
+		if err == nil {
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusOK {
+				return true
+			}
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	return false
+}
+
+// journalProgress reads a node's journal without opening it for append
+// (the node may be running, or freshly SIGKILLed with a torn tail) and
+// reports the distinct completed-cell fingerprints plus whether the job
+// has a done record.
+func journalProgress(jpath, jobID string) (cells map[string]bool, jobDone bool) {
+	cells = map[string]bool{}
+	recs, err := journal.Load(jpath)
+	if err != nil {
+		return cells, false
+	}
+	for _, r := range recs {
+		if strings.HasPrefix(r.Key, service.KeyCell) {
+			cells[strings.TrimPrefix(r.Key, service.KeyCell)] = true
+		}
+		if r.Key == service.KeyJobDone+jobID {
+			jobDone = true
+		}
+	}
+	return cells, jobDone
+}
+
+// awaitAdoptedJob polls the survivors until one of them reports the dead
+// node's job in a terminal state; returns that status and the adopter's
+// base URL.
+func awaitAdoptedJob(survivors []*proc, jobID string, deadline time.Duration) (*service.JobStatus, string) {
+	end := time.Now().Add(deadline)
+	for time.Now().Before(end) {
+		for _, p := range survivors {
+			resp, err := http.Get(p.base + "/v1/jobs/" + jobID)
+			if err != nil {
+				continue
+			}
+			var st service.JobStatus
+			decodeErr := json.NewDecoder(resp.Body).Decode(&st)
+			resp.Body.Close()
+			if resp.StatusCode != http.StatusOK || decodeErr != nil {
+				continue
+			}
+			switch st.State {
+			case service.JobDone, service.JobFailed, service.JobInterrupted:
+				return &st, p.base
+			}
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+	return nil, ""
+}
+
+func fetchMetrics(base string) string {
+	resp, err := http.Get(base + "/metrics")
+	if err != nil {
+		return ""
+	}
+	defer resp.Body.Close()
+	var sb strings.Builder
+	buf := make([]byte, 32<<10)
+	for {
+		n, err := resp.Body.Read(buf)
+		sb.Write(buf[:n])
+		if err != nil {
+			return sb.String()
+		}
+	}
+}
+
+// metricValue extracts one series from a Prometheus text exposition.
+func metricValue(body, series string) float64 {
+	for _, line := range strings.Split(body, "\n") {
+		rest, ok := strings.CutPrefix(line, series)
+		if !ok || !strings.HasPrefix(rest, " ") {
+			continue
+		}
+		v, err := strconv.ParseFloat(strings.TrimSpace(rest), 64)
+		if err == nil {
+			return v
+		}
+	}
+	return 0
+}

@@ -17,10 +17,18 @@
 //     couple of detections are minimized into repro bundles (uploaded as
 //     CI artifacts).
 //
+// A third mode (-cluster) is the cluster chaos harness: it boots a real
+// 3-node mopserve fleet sharing a journal directory, submits a sweep
+// through mopctl, SIGKILLs the coordinating node once its journal shows
+// partial progress, and requires the survivors to adopt and finish the
+// job with checksums identical to an uninterrupted reference — re-running
+// only the cells the dead node had not journaled.
+//
 // Usage:
 //
 //	mopsoak                      # random seed, journals in a temp dir
 //	mopsoak -seed 42 -kills 5 -bundles repros
+//	mopsoak -cluster -mopserve ./mopserve -mopctl ./mopctl
 package main
 
 import (
@@ -49,6 +57,10 @@ func main() {
 		bundles = flag.String("bundles", "repros", "directory for shrunken repro bundles of campaign detections")
 		work    = flag.String("work", "", "directory for the journals (default: a temp dir, removed afterwards)")
 
+		clusterMode = flag.Bool("cluster", false, "run the cluster chaos phase instead: boot a 3-node mopserve fleet, SIGKILL the coordinator mid-sweep, require journal-backed failover to finish the job")
+		mopserveBin = flag.String("mopserve", "", "path to the mopserve binary (-cluster)")
+		mopctlBin   = flag.String("mopctl", "", "path to the mopctl binary (-cluster)")
+
 		childMatrix   = flag.String("child-matrix", "", "internal: run the soak matrix sweep against this journal and exit")
 		childCampaign = flag.String("child-campaign", "", "internal: run the soak fault campaign against this journal and exit")
 	)
@@ -76,6 +88,17 @@ func main() {
 		}
 		defer os.RemoveAll(d)
 		dir = d
+	}
+
+	if *clusterMode {
+		if *mopserveBin == "" || *mopctlBin == "" {
+			fatalf("-cluster needs -mopserve and -mopctl binary paths")
+		}
+		if !soakCluster(dir, *mopserveBin, *mopctlBin) {
+			os.Exit(1)
+		}
+		fmt.Println("mopsoak: PASS")
+		return
 	}
 
 	ok := soakMatrix(rng, dir, *kills)

@@ -1,0 +1,505 @@
+package cluster
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"path/filepath"
+	"runtime"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"macroop/internal/journal"
+	"macroop/internal/service"
+	"macroop/internal/workload"
+)
+
+// testClusterInsts keeps cells fast while still exercising the full
+// pipeline; the chaos test overrides it upward so the kill lands
+// mid-sweep.
+const testClusterInsts = 3000
+
+// testLog funnels goroutine logging through a gate so probe loops that
+// outlive a test body (they are joined in cleanup) cannot call t.Logf
+// after the test completes.
+type testLog struct {
+	mu   sync.Mutex
+	t    *testing.T
+	done bool
+}
+
+func (l *testLog) logf(format string, args ...any) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if !l.done {
+		l.t.Logf(format, args...)
+	}
+}
+
+type testNode struct {
+	id   string
+	node *Node
+	svc  *service.Service
+	srv  *httptest.Server
+}
+
+// startCluster boots n in-process mopserve nodes with real HTTP between
+// them: per-node services and journals, fast failure-detector timings,
+// a shared journal directory for failover. Cleanup tears everything
+// down and asserts no goroutines leaked.
+func startCluster(t *testing.T, ids []string, tweak func(id string, cfg *Config, opts *service.Options)) map[string]*testNode {
+	t.Helper()
+	baseline := runtime.NumGoroutine()
+	dir := t.TempDir()
+	lg := &testLog{t: t}
+	t.Cleanup(func() {
+		lg.mu.Lock()
+		lg.done = true
+		lg.mu.Unlock()
+	})
+
+	listeners := make(map[string]net.Listener, len(ids))
+	members := make(map[string]string, len(ids))
+	for _, id := range ids {
+		l, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatalf("listen: %v", err)
+		}
+		listeners[id] = l
+		members[id] = "http://" + l.Addr().String()
+	}
+	nodes := make(map[string]*testNode, len(ids))
+	for _, id := range ids {
+		cfg := Config{
+			Self:    id,
+			Members: members,
+			Timings: Timings{
+				HeartbeatInterval: 25 * time.Millisecond,
+				SuspectAfter:      100 * time.Millisecond,
+				DeadAfter:         300 * time.Millisecond,
+			},
+			FillTimeout:    20 * time.Second,
+			JournalDir:     dir,
+			StealThreshold: -1, // tests opt in explicitly
+			Logf:           lg.logf,
+		}
+		opts := service.Options{
+			Workers:      4,
+			DefaultInsts: testClusterInsts,
+			JournalPath:  filepath.Join(dir, id+".journal"),
+			Logf:         lg.logf,
+		}
+		if tweak != nil {
+			tweak(id, &cfg, &opts)
+		}
+		n, err := New(cfg)
+		if err != nil {
+			t.Fatalf("cluster.New(%s): %v", id, err)
+		}
+		svc, err := service.New(n.ServiceOptions(opts))
+		if err != nil {
+			t.Fatalf("service.New(%s): %v", id, err)
+		}
+		n.Attach(svc)
+		svc.Start()
+		srv := httptest.NewUnstartedServer(n.Handler())
+		srv.Listener.Close()
+		srv.Listener = listeners[id]
+		srv.Start()
+		n.Start()
+		nodes[id] = &testNode{id: id, node: n, svc: svc, srv: srv}
+	}
+	t.Cleanup(func() {
+		for _, tn := range nodes {
+			tn.node.Close()
+			tn.srv.Close()
+			tn.svc.Close()
+		}
+		// Idle HTTP connections and worker teardown settle asynchronously.
+		deadline := time.Now().Add(10 * time.Second)
+		for runtime.NumGoroutine() > baseline+3 && time.Now().Before(deadline) {
+			time.Sleep(20 * time.Millisecond)
+		}
+		if g := runtime.NumGoroutine(); g > baseline+3 {
+			buf := make([]byte, 1<<20)
+			t.Errorf("goroutine leak: %d > baseline %d\n%s", g, baseline, buf[:runtime.Stack(buf, true)])
+		}
+	})
+	return nodes
+}
+
+// cellOwnedBy finds a cell (by varying the instruction budget) whose
+// fingerprint the ring assigns to the wanted node — ownership is
+// deterministic, so tests can place work on a chosen shard.
+func cellOwnedBy(t *testing.T, r *Ring, owner string, insts int64) service.CellSpec {
+	t.Helper()
+	for k := int64(0); k < 256; k++ {
+		c := service.CellSpec{Bench: "gzip", Name: "c", Insts: insts + k}
+		fp, err := c.Fingerprint()
+		if err != nil {
+			t.Fatalf("fingerprint: %v", err)
+		}
+		if o, _ := r.Owner(fp, nil); o == owner {
+			return c
+		}
+	}
+	t.Fatalf("no gzip cell owned by %s within 256 budgets", owner)
+	return service.CellSpec{}
+}
+
+// TestClusterPeerFillServesFromOwnerCache: a cell simulated on its
+// owning shard is later served to every other node over the peer
+// protocol — one execution cluster-wide, identical checksums.
+func TestClusterPeerFillServesFromOwnerCache(t *testing.T) {
+	ids := []string{"n1", "n2", "n3"}
+	nodes := startCluster(t, ids, nil)
+	ctx := context.Background()
+
+	cell := cellOwnedBy(t, nodes["n1"].node.Ring(), "n2", testClusterInsts)
+	req := service.SimRequest{Benchmark: cell.Bench, MaxInsts: cell.Insts}
+
+	ownerRes, err := nodes["n2"].svc.Simulate(ctx, req)
+	if err != nil {
+		t.Fatalf("owner simulate: %v", err)
+	}
+	if ownerRes.PeerFilled {
+		t.Fatal("owner's own cell must not peer-fill")
+	}
+	for _, other := range []string{"n1", "n3"} {
+		res, err := nodes[other].svc.Simulate(ctx, req)
+		if err != nil {
+			t.Fatalf("%s simulate: %v", other, err)
+		}
+		if !res.PeerFilled {
+			t.Errorf("%s: result not peer-filled", other)
+		}
+		if res.Checksum != ownerRes.Checksum {
+			t.Errorf("%s: checksum %s != owner %s", other, res.Checksum, ownerRes.Checksum)
+		}
+		if got := nodes[other].svc.Executions(); got != 0 {
+			t.Errorf("%s executed %d cells; the owner should have served all", other, got)
+		}
+	}
+	if got := nodes["n2"].svc.Executions(); got != 1 {
+		t.Errorf("cluster-wide executions = %d, want exactly 1 on the owner", got)
+	}
+	if hits := nodes["n1"].node.met.fillHit.Load() + nodes["n3"].node.met.fillHit.Load(); hits < 2 {
+		t.Errorf("peer-fill hit metric = %d, want >= 2", hits)
+	}
+}
+
+// TestClusterRedirectsSingleCellToOwner: POST /v1/simulate on a
+// non-owner answers 307 with X-Mop-Owner, and following the Location
+// serves the cell.
+func TestClusterRedirectsSingleCellToOwner(t *testing.T) {
+	ids := []string{"n1", "n2"}
+	nodes := startCluster(t, ids, nil)
+
+	cell := cellOwnedBy(t, nodes["n1"].node.Ring(), "n2", testClusterInsts)
+	body := fmt.Sprintf(`{"benchmark":%q,"max_insts":%d}`, cell.Bench, cell.Insts)
+	noFollow := &http.Client{CheckRedirect: func(*http.Request, []*http.Request) error {
+		return http.ErrUseLastResponse
+	}}
+
+	resp, err := noFollow.Post(nodes["n1"].srv.URL+"/v1/simulate", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatalf("post: %v", err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusTemporaryRedirect {
+		t.Fatalf("status %d, want 307", resp.StatusCode)
+	}
+	if got := resp.Header.Get("X-Mop-Owner"); got != "n2" {
+		t.Fatalf("X-Mop-Owner %q, want n2", got)
+	}
+	loc := resp.Header.Get("Location")
+	if !strings.HasPrefix(loc, nodes["n2"].srv.URL) {
+		t.Fatalf("Location %q does not point at n2 (%s)", loc, nodes["n2"].srv.URL)
+	}
+	if nodes["n1"].node.met.redirects.Load() == 0 {
+		t.Error("redirect metric did not count")
+	}
+
+	// A client that follows the redirect (re-POSTing per 307 semantics)
+	// lands on the owner and gets the result.
+	resp2, err := http.Post(loc, "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatalf("follow: %v", err)
+	}
+	defer resp2.Body.Close()
+	if resp2.StatusCode != http.StatusOK {
+		t.Fatalf("owner answered %d, want 200", resp2.StatusCode)
+	}
+	// The owner serves its own cell directly — no further redirect.
+	resp3, err := noFollow.Post(nodes["n2"].srv.URL+"/v1/simulate", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatalf("owner post: %v", err)
+	}
+	resp3.Body.Close()
+	if resp3.StatusCode != http.StatusOK {
+		t.Fatalf("owner redirected its own cell: %d", resp3.StatusCode)
+	}
+}
+
+// TestClusterBusyOwnerDegradesToLocal: a draining owner answers fills
+// with 503, and the requester executes locally instead of failing —
+// steal-by-backpressure.
+func TestClusterBusyOwnerDegradesToLocal(t *testing.T) {
+	ids := []string{"n1", "n2"}
+	nodes := startCluster(t, ids, nil)
+	ctx := context.Background()
+
+	cell := cellOwnedBy(t, nodes["n1"].node.Ring(), "n2", testClusterInsts)
+	if err := nodes["n2"].svc.Drain(ctx); err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+	res, err := nodes["n1"].svc.Simulate(ctx, service.SimRequest{Benchmark: cell.Bench, MaxInsts: cell.Insts})
+	if err != nil {
+		t.Fatalf("simulate against busy owner: %v", err)
+	}
+	if res.PeerFilled {
+		t.Error("result claims peer-filled; the owner was draining")
+	}
+	if res.Checksum == "" {
+		t.Error("local degrade produced no checksum")
+	}
+	if got := nodes["n1"].svc.Executions(); got != 1 {
+		t.Errorf("requester executions = %d, want 1 (local degrade)", got)
+	}
+	if nodes["n1"].node.met.fillBusy.Load() == 0 {
+		t.Error("busy outcome not counted")
+	}
+}
+
+// TestClusterStealsFromSaturatedNode: a node whose queue is past the
+// steal threshold hands its own cells to the idlest alive peer.
+func TestClusterStealsFromSaturatedNode(t *testing.T) {
+	ids := []string{"n1", "n2"}
+	nodes := startCluster(t, ids, func(id string, cfg *Config, opts *service.Options) {
+		cfg.StealThreshold = 0.001
+		if id == "n1" {
+			opts.Workers = 1
+		}
+	})
+	ring := nodes["n1"].node.Ring()
+
+	// Benches whose default-budget cells n1 owns: submitted to n1, they
+	// take the owner==self path and steal when the queue is deep.
+	var benches []string
+	for _, b := range workload.Names() {
+		fp, err := service.CellSpec{Bench: b, Name: "c", Insts: testClusterInsts}.Fingerprint()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if o, _ := ring.Owner(fp, nil); o == "n1" {
+			benches = append(benches, b)
+		}
+	}
+	if len(benches) < 2 {
+		t.Fatalf("ring assigns only %d of 12 benches to n1; balance test should have caught this", len(benches))
+	}
+	j, err := nodes["n1"].svc.SubmitMatrix(service.MatrixRequest{
+		Benchmarks: benches,
+		Configs:    map[string]service.ConfigSpec{"base": {Sched: "base"}},
+		MaxInsts:   testClusterInsts,
+	})
+	if err != nil {
+		t.Fatalf("submit: %v", err)
+	}
+	select {
+	case <-j.Done():
+	case <-time.After(60 * time.Second):
+		t.Fatal("job did not finish")
+	}
+	st := j.Status(false)
+	if st.Failed != 0 {
+		t.Fatalf("job failed %d cells", st.Failed)
+	}
+	if out := nodes["n1"].node.met.stealsOut.Load(); out == 0 {
+		t.Error("saturated node stole nothing")
+	}
+	if in := nodes["n2"].node.met.stealsIn.Load(); in == 0 {
+		t.Error("idle peer executed no stolen cells")
+	}
+}
+
+// TestClusterFailoverResumesFromJournal is the in-process chaos drill:
+// kill -9 the node coordinating a sweep, and assert the surviving
+// adopter (a) finishes the job, (b) produces checksums identical to a
+// single-node reference run, and (c) re-executes only cells the dead
+// node had not journaled as complete. Run under -race.
+func TestClusterFailoverResumesFromJournal(t *testing.T) {
+	const chaosInsts = 20_000
+	benches := workload.Names()[:6]
+	configs := map[string]service.ConfigSpec{"base": {Sched: "base"}, "2cycle": {Sched: "2cycle"}}
+	matrix := service.MatrixRequest{Benchmarks: benches, Configs: configs, MaxInsts: chaosInsts}
+
+	// Reference checksums from a plain single-node service.
+	ref, err := service.New(service.Options{Workers: 4, DefaultInsts: chaosInsts})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref.Start()
+	refJob, err := ref.SubmitMatrix(matrix)
+	if err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-refJob.Done():
+	case <-time.After(120 * time.Second):
+		t.Fatal("reference run did not finish")
+	}
+	want := map[string]string{}
+	for _, r := range refJob.Status(true).Results {
+		if r.Error != "" {
+			t.Fatalf("reference cell %s/%s failed: %s", r.Bench, r.Config, r.Error)
+		}
+		want[r.Bench+"|"+r.Config] = r.Checksum
+	}
+	ref.Close()
+
+	ids := []string{"n1", "n2", "n3"}
+	nodes := startCluster(t, ids, func(id string, cfg *Config, opts *service.Options) {
+		// Race-instrumented runs starve goroutines for hundreds of
+		// milliseconds; a hair-trigger DeadAfter would declare live nodes
+		// dead and adopt the job before the kill. Only genuine silence
+		// (the kill) should cross this bar.
+		cfg.Timings = Timings{
+			HeartbeatInterval: 50 * time.Millisecond,
+			SuspectAfter:      500 * time.Millisecond,
+			DeadAfter:         2 * time.Second,
+		}
+		if id == "n1" {
+			opts.Workers = 1 // serialize the coordinator so the kill lands mid-sweep
+		}
+	})
+	jnlPath := filepath.Join(nodes["n1"].node.cfg.JournalDir, "n1.journal")
+
+	// The job's cell fingerprints (deterministic, computable up front).
+	jobFPs := map[string]bool{}
+	for _, b := range benches {
+		for name, cs := range configs {
+			fp, err := service.CellSpec{Bench: b, Name: name, Spec: cs, Insts: chaosInsts}.Fingerprint()
+			if err != nil {
+				t.Fatal(err)
+			}
+			jobFPs[fp] = true
+		}
+	}
+	adopter, ok := nodes["n1"].node.Ring().Adopter("n1", func(id string) bool { return id != "n1" })
+	if !ok {
+		t.Fatal("no adopter for n1")
+	}
+
+	j, err := nodes["n1"].svc.SubmitMatrix(matrix)
+	if err != nil {
+		t.Fatalf("submit: %v", err)
+	}
+
+	// Wait until the coordinator has journaled a few completed cells but
+	// cannot have finished, then pull the plug.
+	deadline := time.Now().Add(60 * time.Second)
+	for {
+		recs, err := journal.Load(jnlPath)
+		if err != nil {
+			t.Fatalf("load journal: %v", err)
+		}
+		done := 0
+		for _, r := range recs {
+			if strings.HasPrefix(r.Key, service.KeyCell) {
+				done++
+			}
+		}
+		if done >= 3 {
+			break
+		}
+		select {
+		case <-j.Done():
+			t.Fatal("job finished before the kill; raise chaosInsts")
+		default:
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("coordinator journaled <3 cells in 60s")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	nodes["n1"].node.Kill()
+	nodes["n1"].srv.Close()
+
+	// D: what the dead node's journal says was complete — crash-durable
+	// work that must not re-execute.
+	recs, err := journal.Load(jnlPath)
+	if err != nil {
+		t.Fatalf("load dead journal: %v", err)
+	}
+	completed := map[string]bool{}
+	for _, r := range recs {
+		if strings.HasPrefix(r.Key, service.KeyCell) {
+			completed[strings.TrimPrefix(r.Key, service.KeyCell)] = true
+		}
+	}
+	preExec := nodes[adopter].svc.ExecutedFingerprints()
+
+	// The failure detector declares n1 dead; the deterministic adopter
+	// resumes the job from n1's journal.
+	var aj *service.Job
+	deadline = time.Now().Add(30 * time.Second)
+	for aj == nil {
+		if got, ok := nodes[adopter].svc.Job(j.ID()); ok {
+			aj = got
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("adopter %s never adopted job %s", adopter, j.ID())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	select {
+	case <-aj.Done():
+	case <-time.After(120 * time.Second):
+		t.Fatal("adopted job did not finish")
+	}
+	st := aj.Status(true)
+	if st.Failed != 0 {
+		t.Fatalf("adopted job failed %d cells: %+v", st.Failed, st)
+	}
+	if st.Completed != len(benches)*len(configs) {
+		t.Fatalf("adopted job completed %d of %d cells", st.Completed, len(benches)*len(configs))
+	}
+	for _, r := range st.Results {
+		if w := want[r.Bench+"|"+r.Config]; r.Checksum != w {
+			t.Errorf("cell %s/%s checksum %s, reference %s", r.Bench, r.Config, r.Checksum, w)
+		}
+	}
+
+	// No cell the dead node journaled as complete re-executed on the
+	// adopter after the failover.
+	postExec := nodes[adopter].svc.ExecutedFingerprints()
+	for fp := range jobFPs {
+		if completed[fp] && postExec[fp] > preExec[fp] {
+			t.Errorf("cell %s was journaled complete before the crash but re-executed", fp)
+		}
+	}
+	met := nodes[adopter].node.met
+	if met.adoptedJobs.Load() != 1 {
+		t.Errorf("adopted jobs metric = %d, want 1", met.adoptedJobs.Load())
+	}
+	resumed, rerun := met.cellsResumed.Load(), met.cellsRerun.Load()
+	if resumed+rerun != int64(len(benches)*len(configs)) {
+		t.Errorf("resumed %d + rerun %d != %d cells", resumed, rerun, len(benches)*len(configs))
+	}
+	inJob := 0
+	for fp := range completed {
+		if jobFPs[fp] {
+			inJob++
+		}
+	}
+	if resumed < int64(inJob) {
+		t.Errorf("resumed %d < %d journaled-complete job cells", resumed, inJob)
+	}
+	t.Logf("chaos: %d journaled complete at kill; adopter %s resumed %d, re-ran %d", inJob, adopter, resumed, rerun)
+}

@@ -1,0 +1,234 @@
+package cluster
+
+import (
+	"sort"
+	"sync"
+	"time"
+)
+
+// State is one peer's liveness as seen by this node.
+type State int8
+
+// The suspect → dead state machine. A missed heartbeat window makes a
+// peer suspect — it still owns its hash range (fills to it will time out
+// and degrade to local execution), because moving ownership on a hiccup
+// would thrash the ring. Only after DeadAfter of silence is the peer
+// declared dead: ownership re-computes without it and the failover path
+// adopts its unfinished jobs. An ack from a dead peer is a rejoin; both
+// transitions bump the membership epoch.
+const (
+	StateAlive State = iota
+	StateSuspect
+	StateDead
+)
+
+func (s State) String() string {
+	switch s {
+	case StateAlive:
+		return "alive"
+	case StateSuspect:
+		return "suspect"
+	case StateDead:
+		return "dead"
+	}
+	return "unknown"
+}
+
+// Timings configures the failure detector.
+type Timings struct {
+	// HeartbeatInterval is the probe period (default 500ms).
+	HeartbeatInterval time.Duration
+	// SuspectAfter is how long without an ack before a peer turns
+	// suspect (default 4 × HeartbeatInterval).
+	SuspectAfter time.Duration
+	// DeadAfter is how long without an ack before a peer is declared
+	// dead and failover runs (default 10 × HeartbeatInterval).
+	DeadAfter time.Duration
+}
+
+func (t Timings) withDefaults() Timings {
+	if t.HeartbeatInterval <= 0 {
+		t.HeartbeatInterval = 500 * time.Millisecond
+	}
+	if t.SuspectAfter <= 0 {
+		t.SuspectAfter = 4 * t.HeartbeatInterval
+	}
+	if t.DeadAfter <= t.SuspectAfter {
+		t.DeadAfter = 10 * t.HeartbeatInterval
+		if t.DeadAfter <= t.SuspectAfter {
+			t.DeadAfter = 2 * t.SuspectAfter
+		}
+	}
+	return t
+}
+
+// MemberInfo is one member's state snapshot (self included).
+type MemberInfo struct {
+	ID         string    `json:"id"`
+	Addr       string    `json:"addr"`
+	State      string    `json:"state"`
+	QueueDepth int       `json:"queue_depth"`
+	Draining   bool      `json:"draining"`
+	LastAck    time.Time `json:"last_ack"`
+}
+
+// Transition is one liveness change produced by a sweep or an ack.
+type Transition struct {
+	ID   string
+	From State
+	To   State
+}
+
+type peer struct {
+	addr     string
+	state    State
+	lastAck  time.Time
+	queue    int
+	draining bool
+}
+
+// Membership tracks peer liveness and the cluster epoch. It is a pure
+// state machine over observation timestamps — the prober goroutine in
+// Node feeds it acks and failures, and tests feed it synthetic clocks.
+//
+// The epoch counts liveness transitions (death or rejoin). Peer-protocol
+// frames carry it so two nodes whose membership views have diverged
+// refuse to serve each other stale fills; heartbeats max-merge it so a
+// restarted node (whose own counter reset to the transitions it has
+// since observed) converges back to the cluster's.
+type Membership struct {
+	self string
+
+	mu    sync.Mutex
+	peers map[string]*peer
+	epoch uint64
+}
+
+// NewMembership builds the detector for self among the addressed peers
+// (self's own entry, if present, is ignored). All peers start alive as
+// of now: a node that never comes up is detected dead one DeadAfter
+// after startup, like any other silence.
+func NewMembership(self string, addrs map[string]string, now time.Time) *Membership {
+	m := &Membership{self: self, peers: make(map[string]*peer)}
+	for id, addr := range addrs {
+		if id == self {
+			continue
+		}
+		m.peers[id] = &peer{addr: addr, state: StateAlive, lastAck: now}
+	}
+	return m
+}
+
+// ObserveAck records a successful heartbeat: the peer is alive as of
+// now, its advertised load is updated, and its epoch max-merges into
+// ours. A dead peer acking is a rejoin transition.
+func (m *Membership) ObserveAck(id string, now time.Time, epoch uint64, queue int, draining bool) (Transition, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	p, ok := m.peers[id]
+	if !ok {
+		return Transition{}, false
+	}
+	if epoch > m.epoch {
+		m.epoch = epoch
+	}
+	p.lastAck = now
+	p.queue = queue
+	p.draining = draining
+	if p.state == StateDead {
+		p.state = StateAlive
+		m.epoch++
+		return Transition{ID: id, From: StateDead, To: StateAlive}, true
+	}
+	from := p.state
+	p.state = StateAlive
+	if from != StateAlive {
+		return Transition{ID: id, From: from, To: StateAlive}, true
+	}
+	return Transition{}, false
+}
+
+// Sweep advances the suspect → dead machine against the clock, returning
+// every transition it caused. Deaths bump the epoch.
+func (m *Membership) Sweep(now time.Time, t Timings) []Transition {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	var out []Transition
+	for id, p := range m.peers {
+		silent := now.Sub(p.lastAck)
+		switch {
+		case p.state != StateDead && silent > t.DeadAfter:
+			out = append(out, Transition{ID: id, From: p.state, To: StateDead})
+			p.state = StateDead
+			m.epoch++
+		case p.state == StateAlive && silent > t.SuspectAfter:
+			out = append(out, Transition{ID: id, From: StateAlive, To: StateSuspect})
+			p.state = StateSuspect
+		}
+	}
+	return out
+}
+
+// Alive reports whether id participates in ring ownership: self always,
+// peers unless declared dead (suspects still own their range).
+func (m *Membership) Alive(id string) bool {
+	if id == m.self {
+		return true
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	p, ok := m.peers[id]
+	return ok && p.state != StateDead
+}
+
+// Epoch returns the current cluster epoch.
+func (m *Membership) Epoch() uint64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.epoch
+}
+
+// PeerAddr returns a peer's base URL.
+func (m *Membership) PeerAddr(id string) (string, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	p, ok := m.peers[id]
+	if !ok {
+		return "", false
+	}
+	return p.addr, true
+}
+
+// IdlestAlivePeer returns the alive, non-draining peer with the smallest
+// advertised queue depth — the steal target for a saturated node. ok is
+// false when no peer qualifies or the best is no idler than maxQueue.
+func (m *Membership) IdlestAlivePeer(maxQueue int) (string, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	best, bestQ := "", maxQueue
+	for id, p := range m.peers {
+		if p.state != StateAlive || p.draining {
+			continue
+		}
+		if p.queue < bestQ || (p.queue == bestQ && best == "" && p.queue < maxQueue) {
+			best, bestQ = id, p.queue
+		}
+	}
+	return best, best != ""
+}
+
+// Snapshot lists every peer's state, sorted by ID (self is not included;
+// the caller adds its own line).
+func (m *Membership) Snapshot() []MemberInfo {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]MemberInfo, 0, len(m.peers))
+	for id, p := range m.peers {
+		out = append(out, MemberInfo{
+			ID: id, Addr: p.addr, State: p.state.String(),
+			QueueDepth: p.queue, Draining: p.draining, LastAck: p.lastAck,
+		})
+	}
+	sort.Slice(out, func(i, k int) bool { return out[i].ID < out[k].ID })
+	return out
+}

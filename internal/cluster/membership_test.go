@@ -1,0 +1,123 @@
+package cluster
+
+import (
+	"testing"
+	"time"
+)
+
+var t0 = time.Date(2026, 8, 8, 12, 0, 0, 0, time.UTC)
+
+func testTimings() Timings {
+	return Timings{
+		HeartbeatInterval: 100 * time.Millisecond,
+		SuspectAfter:      400 * time.Millisecond,
+		DeadAfter:         time.Second,
+	}
+}
+
+// TestSuspectThenDead walks the failure detector through the full state
+// machine with a synthetic clock: silence makes a peer suspect (still
+// alive for ownership), more silence makes it dead (epoch bump), and an
+// ack from the dead peer is a rejoin (another epoch bump).
+func TestSuspectThenDead(t *testing.T) {
+	tm := testTimings()
+	m := NewMembership("n1", map[string]string{"n1": "u1", "n2": "u2", "n3": "u3"}, t0)
+
+	if tr := m.Sweep(t0.Add(tm.SuspectAfter/2), tm); len(tr) != 0 {
+		t.Fatalf("early sweep produced transitions: %v", tr)
+	}
+	// n3 keeps acking; n2 goes silent.
+	m.ObserveAck("n3", t0.Add(tm.SuspectAfter), 0, 0, false)
+
+	tr := m.Sweep(t0.Add(tm.SuspectAfter+time.Millisecond), tm)
+	if len(tr) != 1 || tr[0].ID != "n2" || tr[0].To != StateSuspect {
+		t.Fatalf("want n2 suspect, got %v", tr)
+	}
+	if !m.Alive("n2") {
+		t.Fatal("suspect peer must still own its range")
+	}
+	if m.Epoch() != 0 {
+		t.Fatalf("suspicion must not bump the epoch, got %d", m.Epoch())
+	}
+
+	m.ObserveAck("n3", t0.Add(tm.DeadAfter), 0, 0, false)
+	tr = m.Sweep(t0.Add(tm.DeadAfter+time.Millisecond), tm)
+	if len(tr) != 1 || tr[0].ID != "n2" || tr[0].From != StateSuspect || tr[0].To != StateDead {
+		t.Fatalf("want n2 suspect->dead, got %v", tr)
+	}
+	if m.Alive("n2") {
+		t.Fatal("dead peer still owns its range")
+	}
+	if m.Alive("n1") != true || !m.Alive("n3") {
+		t.Fatal("self and acking peer must stay alive")
+	}
+	if m.Epoch() != 1 {
+		t.Fatalf("death must bump the epoch, got %d", m.Epoch())
+	}
+
+	// Rejoin: the dead peer acks again.
+	tr2, changed := m.ObserveAck("n2", t0.Add(2*tm.DeadAfter), 0, 0, false)
+	if !changed || tr2.From != StateDead || tr2.To != StateAlive {
+		t.Fatalf("want dead->alive rejoin, got %v changed=%v", tr2, changed)
+	}
+	if m.Epoch() != 2 {
+		t.Fatalf("rejoin must bump the epoch, got %d", m.Epoch())
+	}
+	if !m.Alive("n2") {
+		t.Fatal("rejoined peer not alive")
+	}
+}
+
+// TestEpochMaxMerge: a restarted node converges to the cluster epoch by
+// max-merging what its peers advertise.
+func TestEpochMaxMerge(t *testing.T) {
+	m := NewMembership("n1", map[string]string{"n1": "u1", "n2": "u2"}, t0)
+	m.ObserveAck("n2", t0, 7, 0, false)
+	if m.Epoch() != 7 {
+		t.Fatalf("epoch did not max-merge: %d", m.Epoch())
+	}
+	m.ObserveAck("n2", t0, 3, 0, false)
+	if m.Epoch() != 7 {
+		t.Fatalf("epoch regressed on a lower advertisement: %d", m.Epoch())
+	}
+}
+
+// TestIdlestAlivePeer: the steal target is the least-loaded alive,
+// non-draining peer, and only when it is idler than the bar.
+func TestIdlestAlivePeer(t *testing.T) {
+	tm := testTimings()
+	m := NewMembership("n1", map[string]string{"n1": "u1", "n2": "u2", "n3": "u3", "n4": "u4"}, t0)
+	m.ObserveAck("n2", t0, 0, 5, false)
+	m.ObserveAck("n3", t0, 0, 1, false)
+	m.ObserveAck("n4", t0, 0, 0, true) // idlest but draining
+
+	id, ok := m.IdlestAlivePeer(10)
+	if !ok || id != "n3" {
+		t.Fatalf("want n3 (queue 1), got %q ok=%v", id, ok)
+	}
+	if _, ok := m.IdlestAlivePeer(1); ok {
+		t.Fatal("no peer is idler than bar 1; steal target reported anyway")
+	}
+
+	// Kill n3; the next-idlest alive peer wins.
+	m.Sweep(t0.Add(2*tm.DeadAfter), tm)
+	m.ObserveAck("n2", t0.Add(2*tm.DeadAfter), 0, 5, false)
+	id, ok = m.IdlestAlivePeer(10)
+	if !ok || id != "n2" {
+		t.Fatalf("want n2 after n3 died, got %q ok=%v", id, ok)
+	}
+}
+
+// TestSnapshotSorted: the membership snapshot is deterministic.
+func TestSnapshotSorted(t *testing.T) {
+	m := NewMembership("n2", map[string]string{"n1": "u1", "n2": "u2", "n3": "u3"}, t0)
+	snap := m.Snapshot()
+	if len(snap) != 2 || snap[0].ID != "n1" || snap[1].ID != "n3" {
+		t.Fatalf("unexpected snapshot %v", snap)
+	}
+	for _, mi := range snap {
+		if mi.State != "alive" {
+			t.Fatalf("peer %s starts %s, want alive", mi.ID, mi.State)
+		}
+	}
+}

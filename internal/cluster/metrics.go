@@ -1,0 +1,99 @@
+package cluster
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync/atomic"
+)
+
+// fillBuckets are the peer-fill latency histogram bounds in seconds:
+// fills are either a cache lookup on the owner (sub-millisecond plus a
+// round trip) or a remote execution (up to the fill deadline).
+var fillBuckets = []float64{0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10, 30}
+
+// clusterMetrics is the fleet-level instrumentation rendered after the
+// service's own families on /metrics.
+type clusterMetrics struct {
+	redirects atomic.Int64
+
+	// Requester-side fill outcomes.
+	fillHit     atomic.Int64 // owner served from its cache
+	fillRan     atomic.Int64 // owner executed for us
+	fillBusy    atomic.Int64 // owner saturated/draining -> we run it (steal-by-backpressure)
+	fillTimeout atomic.Int64 // owner too slow -> local execution
+	fillError   atomic.Int64 // transport/decode failure -> local execution
+	fillEpoch   atomic.Int64 // membership views diverged -> local execution
+
+	stealsOut atomic.Int64 // own cells handed to an idle peer
+	stealsIn  atomic.Int64 // cells executed on behalf of a saturated peer
+
+	failovers    atomic.Int64 // dead peers this node adopted
+	adoptedJobs  atomic.Int64
+	cellsWarmed  atomic.Int64 // dead peer's journaled cellres reconstituted
+	cellsResumed atomic.Int64 // adopted-job cells replayed without execution
+	cellsRerun   atomic.Int64 // adopted-job cells that had to re-execute
+
+	fillLatency [15]atomic.Int64 // len(fillBuckets)+1
+	fillSumUS   atomic.Int64
+	fillN       atomic.Int64
+}
+
+func (m *clusterMetrics) observeFill(seconds float64) {
+	i := sort.SearchFloat64s(fillBuckets, seconds)
+	m.fillLatency[i].Add(1)
+	m.fillSumUS.Add(int64(seconds * 1e6))
+	m.fillN.Add(1)
+}
+
+// render appends the cluster families to the Prometheus exposition.
+func (m *clusterMetrics) render(w *strings.Builder, self string, epoch uint64, members []MemberInfo) {
+	fmt.Fprintf(w, "# HELP mopserve_cluster_epoch Membership epoch (liveness transitions observed).\n# TYPE mopserve_cluster_epoch gauge\nmopserve_cluster_epoch %d\n", epoch)
+	fmt.Fprintf(w, "# HELP mopserve_cluster_member_state Ring member liveness (1 for the row matching the member's state).\n# TYPE mopserve_cluster_member_state gauge\n")
+	fmt.Fprintf(w, "mopserve_cluster_member_state{node=%q,state=\"alive\",self=\"true\"} 1\n", self)
+	for _, mi := range members {
+		fmt.Fprintf(w, "mopserve_cluster_member_state{node=%q,state=%q,self=\"false\"} 1\n", mi.ID, mi.State)
+	}
+	counter := func(name, help string, series ...[2]any) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n", name, help, name)
+		for _, s := range series {
+			fmt.Fprintf(w, "%s%s %d\n", name, s[0], s[1])
+		}
+	}
+	counter("mopserve_cluster_redirects_total", "Single-cell requests redirected (307) to their owning shard.",
+		[2]any{"", m.redirects.Load()})
+	counter("mopserve_cluster_peer_fills_total", "Peer cache-fill attempts by outcome (busy/timeout/error/epoch degrade to local execution).",
+		[2]any{`{outcome="hit"}`, m.fillHit.Load()},
+		[2]any{`{outcome="executed"}`, m.fillRan.Load()},
+		[2]any{`{outcome="busy"}`, m.fillBusy.Load()},
+		[2]any{`{outcome="timeout"}`, m.fillTimeout.Load()},
+		[2]any{`{outcome="error"}`, m.fillError.Load()},
+		[2]any{`{outcome="epoch"}`, m.fillEpoch.Load()})
+	counter("mopserve_cluster_steals_total", "Work-stealing transfers (out: own cell handed to an idle peer; in: executed for a saturated peer).",
+		[2]any{`{direction="out"}`, m.stealsOut.Load()},
+		[2]any{`{direction="in"}`, m.stealsIn.Load()})
+	counter("mopserve_cluster_failovers_total", "Dead peers whose hash range and jobs this node adopted.",
+		[2]any{"", m.failovers.Load()})
+	counter("mopserve_cluster_failover_jobs_total", "Unfinished jobs adopted from dead peers' journals.",
+		[2]any{"", m.adoptedJobs.Load()})
+	counter("mopserve_cluster_failover_cells_total", "Adopted cells by disposition (warmed: journaled records reconstituted; resumed: replayed without execution; rerun: re-executed).",
+		[2]any{`{disposition="warmed"}`, m.cellsWarmed.Load()},
+		[2]any{`{disposition="resumed"}`, m.cellsResumed.Load()},
+		[2]any{`{disposition="rerun"}`, m.cellsRerun.Load()})
+
+	fmt.Fprintf(w, "# HELP mopserve_cluster_fill_seconds Peer cache-fill round-trip latency.\n# TYPE mopserve_cluster_fill_seconds histogram\n")
+	cum := int64(0)
+	for i, bound := range fillBuckets {
+		cum += m.fillLatency[i].Load()
+		fmt.Fprintf(w, "mopserve_cluster_fill_seconds_bucket{le=%q} %d\n", trimFloat(bound), cum)
+	}
+	cum += m.fillLatency[len(fillBuckets)].Load()
+	fmt.Fprintf(w, "mopserve_cluster_fill_seconds_bucket{le=\"+Inf\"} %d\n", cum)
+	fmt.Fprintf(w, "mopserve_cluster_fill_seconds_sum %g\n", float64(m.fillSumUS.Load())/1e6)
+	fmt.Fprintf(w, "mopserve_cluster_fill_seconds_count %d\n", m.fillN.Load())
+}
+
+// trimFloat renders a bucket bound the way Prometheus clients do.
+func trimFloat(f float64) string {
+	return strings.TrimRight(strings.TrimRight(fmt.Sprintf("%.4f", f), "0"), ".")
+}

@@ -1,0 +1,656 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"macroop/internal/journal"
+	"macroop/internal/service"
+)
+
+// Config describes one node's view of the fleet. Membership is static:
+// every node is started with the full member map, and liveness (not
+// membership) is what heartbeats track.
+type Config struct {
+	// Self is this node's member ID. Must appear in Members.
+	Self string
+	// Members maps member IDs to base URLs (http://host:port).
+	Members map[string]string
+	// Replicas is the virtual-node count per member (0 = 64).
+	Replicas int
+	// Timings configures the failure detector.
+	Timings Timings
+	// FillTimeout bounds one peer cache-fill round trip, including the
+	// owner executing the cell (default 30s). On expiry the requester
+	// executes locally — a slow peer never stalls a sweep.
+	FillTimeout time.Duration
+	// FillRetries is the attempt budget per fill for transient transport
+	// errors (default 3). Busy and epoch rejections never retry.
+	FillRetries int
+	// FillBackoff is the base of the capped exponential backoff between
+	// fill attempts (default 100ms, doubling, capped at 2s).
+	FillBackoff time.Duration
+	// StealThreshold is the queue-depth fraction past which a node hands
+	// its own cells to the idlest alive peer (default 0.75; negative
+	// disables stealing).
+	StealThreshold float64
+	// JournalDir is the shared directory of per-node journals
+	// (<dir>/<id>.journal). It enables journal-backed failover: the
+	// adopter of a dead node reads that node's journal here. Empty
+	// disables adoption (ring re-ownership still happens).
+	JournalDir string
+	// Logf receives operational log lines (nil discards them).
+	Logf func(format string, args ...any)
+}
+
+const maxFillBackoff = 2 * time.Second
+
+func (c Config) withDefaults() (Config, error) {
+	if c.Self == "" {
+		return c, fmt.Errorf("cluster: missing self ID")
+	}
+	if _, ok := c.Members[c.Self]; !ok {
+		return c, fmt.Errorf("cluster: self %q not in member map", c.Self)
+	}
+	c.Timings = c.Timings.withDefaults()
+	if c.FillTimeout <= 0 {
+		c.FillTimeout = 30 * time.Second
+	}
+	if c.FillRetries <= 0 {
+		c.FillRetries = 3
+	}
+	if c.FillBackoff <= 0 {
+		c.FillBackoff = 100 * time.Millisecond
+	}
+	if c.StealThreshold == 0 {
+		c.StealThreshold = 0.75
+	}
+	if c.Logf == nil {
+		c.Logf = func(string, ...any) {}
+	}
+	return c, nil
+}
+
+// Node is the cluster layer around one service.Service: consistent-hash
+// routing, peer cache-fill, work stealing, failure detection, and
+// journal-backed failover.
+type Node struct {
+	cfg  Config
+	ring *Ring
+	mem  *Membership
+	met  *clusterMetrics
+	svc  *service.Service
+	hc   *http.Client
+
+	stop     chan struct{}
+	stopOnce sync.Once
+	wg       sync.WaitGroup
+}
+
+// New builds the node (ring + failure detector). Wire it to a service
+// with ServiceOptions and Attach, then call Start after service.Start.
+func New(cfg Config) (*Node, error) {
+	cfg, err := cfg.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	members := make([]string, 0, len(cfg.Members))
+	for id := range cfg.Members {
+		members = append(members, id)
+	}
+	ring, err := NewRing(members, cfg.Replicas)
+	if err != nil {
+		return nil, err
+	}
+	return &Node{
+		cfg:  cfg,
+		ring: ring,
+		mem:  NewMembership(cfg.Self, cfg.Members, time.Now()),
+		met:  &clusterMetrics{},
+		hc:   &http.Client{Transport: &http.Transport{MaxIdleConnsPerHost: 4}},
+		stop: make(chan struct{}),
+	}, nil
+}
+
+// ServiceOptions injects the cluster hooks into a service configuration:
+// node-scoped job IDs, the peer cache-fill hook, and cluster state on
+// /healthz.
+func (n *Node) ServiceOptions(base service.Options) service.Options {
+	base.NodeName = n.cfg.Self
+	base.PeerFill = n.peerFill
+	base.ClusterHealth = func() any { return n.healthInfo() }
+	if base.Logf != nil {
+		n.cfg.Logf = base.Logf
+	}
+	return base
+}
+
+// Attach binds the node to its started service.
+func (n *Node) Attach(svc *service.Service) { n.svc = svc }
+
+// Ring exposes the node's ring (for tests and tooling).
+func (n *Node) Ring() *Ring { return n.ring }
+
+// Membership exposes the node's failure detector.
+func (n *Node) Membership() *Membership { return n.mem }
+
+// Start spawns the heartbeat prober. Call after service.Start.
+func (n *Node) Start() {
+	n.wg.Add(1)
+	go n.probeLoop()
+}
+
+// Close stops the prober and waits for in-flight failovers. It does not
+// touch the service — the caller drains that separately.
+func (n *Node) Close() {
+	n.stopOnce.Do(func() { close(n.stop) })
+	n.wg.Wait()
+	n.closeIdle()
+}
+
+// Kill hard-stops the node and its service without draining — the
+// in-process stand-in for kill -9 in chaos tests.
+func (n *Node) Kill() {
+	n.stopOnce.Do(func() { close(n.stop) })
+	if n.svc != nil {
+		n.svc.Abort()
+	}
+	n.closeIdle()
+}
+
+func (n *Node) closeIdle() {
+	if tr, ok := n.hc.Transport.(*http.Transport); ok {
+		tr.CloseIdleConnections()
+	}
+}
+
+// ---------------------------------------------------------------------
+// HTTP surface.
+
+// heartbeatAck is the /cluster/v1/heartbeat response body.
+type heartbeatAck struct {
+	Node       string `json:"node"`
+	Epoch      uint64 `json:"epoch"`
+	QueueDepth int    `json:"queue_depth"`
+	Draining   bool   `json:"draining"`
+}
+
+// RingInfo is the /cluster/v1/ring response body — what a cluster-aware
+// client needs to discover the fleet from any seed node.
+type RingInfo struct {
+	Self    string       `json:"self"`
+	Epoch   uint64       `json:"epoch"`
+	Members []MemberInfo `json:"members"`
+}
+
+// Handler wraps the service's HTTP API with the cluster surface:
+//
+//	GET  /cluster/v1/heartbeat   liveness + load (the failure detector's probe)
+//	GET  /cluster/v1/ring        membership/ownership snapshot (client discovery)
+//	POST /cluster/v1/fill        peer cache-fill (checksummed wire frames)
+//	POST /v1/simulate            307 + X-Mop-Owner redirect to the owning shard
+//	GET  /metrics                service families + cluster families
+//
+// Everything else falls through to the service handler (matrix jobs run
+// on whichever node accepted them, with per-cell peer fill underneath).
+func (n *Node) Handler() http.Handler {
+	svcHandler := n.svc.Handler()
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /cluster/v1/heartbeat", n.handleHeartbeat)
+	mux.HandleFunc("GET /cluster/v1/ring", n.handleRing)
+	mux.HandleFunc("POST /cluster/v1/fill", n.handleFill)
+	mux.HandleFunc("POST /v1/simulate", n.routeSimulate)
+	mux.HandleFunc("GET /metrics", n.handleMetrics)
+	mux.Handle("/", svcHandler)
+	return mux
+}
+
+func (n *Node) handleHeartbeat(w http.ResponseWriter, r *http.Request) {
+	service.WriteJSON(w, http.StatusOK, heartbeatAck{
+		Node:       n.cfg.Self,
+		Epoch:      n.mem.Epoch(),
+		QueueDepth: n.svc.QueueDepth(),
+		Draining:   n.svc.Draining(),
+	})
+}
+
+func (n *Node) ringInfo() RingInfo {
+	members := n.mem.Snapshot()
+	members = append(members, MemberInfo{
+		ID: n.cfg.Self, Addr: n.cfg.Members[n.cfg.Self], State: StateAlive.String(),
+		QueueDepth: n.svc.QueueDepth(), Draining: n.svc.Draining(), LastAck: time.Now(),
+	})
+	sort.Slice(members, func(i, k int) bool { return members[i].ID < members[k].ID })
+	return RingInfo{Self: n.cfg.Self, Epoch: n.mem.Epoch(), Members: members}
+}
+
+func (n *Node) handleRing(w http.ResponseWriter, r *http.Request) {
+	service.WriteJSON(w, http.StatusOK, n.ringInfo())
+}
+
+// healthInfo is the "cluster" section of /healthz.
+func (n *Node) healthInfo() any {
+	info := n.ringInfo()
+	return struct {
+		RingInfo
+		JournalDir string `json:"journal_dir,omitempty"`
+		Failovers  int64  `json:"failovers"`
+		Redirects  int64  `json:"redirects"`
+	}{info, n.cfg.JournalDir, n.met.failovers.Load(), n.met.redirects.Load()}
+}
+
+// routeSimulate sends a single-cell request to its owning shard: a 307
+// redirect with X-Mop-Owner when another live node owns the cell's hash,
+// local handling otherwise. Matrix jobs are not redirected — the
+// accepting node coordinates and per-cell peer fill does the routing.
+func (n *Node) routeSimulate(w http.ResponseWriter, r *http.Request) {
+	var req service.SimRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		service.WriteJSON(w, http.StatusBadRequest, map[string]string{"error": "bad request body: " + err.Error()})
+		return
+	}
+	_, fp, err := n.svc.ResolveSim(req)
+	if err != nil {
+		n.svc.WriteError(w, err)
+		return
+	}
+	if owner, ok := n.ring.Owner(fp, n.mem.Alive); ok && owner != n.cfg.Self {
+		if addr, ok := n.mem.PeerAddr(owner); ok {
+			n.met.redirects.Add(1)
+			w.Header().Set("Location", strings.TrimRight(addr, "/")+"/v1/simulate")
+			w.Header().Set("X-Mop-Owner", owner)
+			service.WriteJSON(w, http.StatusTemporaryRedirect, map[string]string{
+				"owner": owner, "cell": fp,
+			})
+			return
+		}
+	}
+	cr, err := n.svc.Simulate(r.Context(), req)
+	if err != nil {
+		n.svc.WriteError(w, err)
+		return
+	}
+	service.WriteJSON(w, http.StatusOK, cr)
+}
+
+// handleFill serves a peer's cache-fill request: decode and verify the
+// frame (400 corrupt, 409 epoch mismatch), then resolve the cell through
+// the local cache/singleflight/execution path under normal admission
+// control (503 busy — the requester's cue to run it themselves).
+func (n *Node) handleFill(w http.ResponseWriter, r *http.Request) {
+	data, err := io.ReadAll(io.LimitReader(r.Body, MaxFrameBytes+64))
+	if err != nil {
+		http.Error(w, "read: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	epoch := n.mem.Epoch()
+	req, err := decodeFillRequest(data, epoch)
+	if err != nil {
+		if errors.Is(err, ErrEpochMismatch) {
+			http.Error(w, err.Error(), http.StatusConflict)
+			return
+		}
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	rec, cached, err := n.svc.ExecuteSpec(r.Context(), req.Spec)
+	switch {
+	case errors.Is(err, service.ErrQueueFull), errors.Is(err, service.ErrDraining):
+		w.Header().Set("Retry-After", "1")
+		http.Error(w, err.Error(), http.StatusServiceUnavailable)
+		return
+	case err != nil:
+		// A typed simulation failure re-fails identically on the
+		// requester, which then owns the full diagnostic; transport it as
+		// a bad gateway so the requester degrades.
+		http.Error(w, err.Error(), http.StatusBadGateway)
+		return
+	}
+	if req.Force && !cached {
+		n.met.stealsIn.Add(1)
+		n.cfg.Logf("cluster: executed %s/%s for saturated peer %s", req.Spec.Bench, req.Spec.Name, req.Origin)
+	}
+	frame, err := encodeFillResponse(epoch, cached, rec)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Write(frame)
+}
+
+func (n *Node) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	var b strings.Builder
+	b.WriteString(n.svc.MetricsText())
+	n.met.render(&b, n.cfg.Self, n.mem.Epoch(), n.mem.Snapshot())
+	io.WriteString(w, b.String())
+}
+
+// ---------------------------------------------------------------------
+// Peer cache-fill (requester side) and work stealing.
+
+// peerFill is the service's PeerFill hook: route a cache-missing cell to
+// its owning shard before executing locally. Runs inside the cell's
+// singleflight, so concurrent identical requests share one fetch.
+func (n *Node) peerFill(ctx context.Context, cell service.CellSpec, fp string) (*service.CachedResult, bool) {
+	owner, ok := n.ring.Owner(fp, n.mem.Alive)
+	if !ok {
+		return nil, false
+	}
+	if owner == n.cfg.Self {
+		return n.maybeSteal(ctx, cell)
+	}
+	addr, ok := n.mem.PeerAddr(owner)
+	if !ok {
+		return nil, false
+	}
+	rec, outcome := n.requestFill(ctx, addr, fillRequest{Origin: n.cfg.Self, Spec: cell})
+	n.countFill(outcome)
+	if rec == nil {
+		n.cfg.Logf("cluster: fill %s/%s from %s: %s; executing locally", cell.Bench, cell.Name, owner, outcome)
+		return nil, false
+	}
+	return rec, true
+}
+
+// maybeSteal hands one of this node's own cells to the idlest alive peer
+// when the local queue is past the steal threshold — hot shards shed
+// work to idle ones instead of queueing behind themselves.
+func (n *Node) maybeSteal(ctx context.Context, cell service.CellSpec) (*service.CachedResult, bool) {
+	if n.cfg.StealThreshold <= 0 {
+		return nil, false
+	}
+	depth, bound := n.svc.QueueDepth(), n.svc.QueueBound()
+	if float64(depth) < float64(bound)*n.cfg.StealThreshold {
+		return nil, false
+	}
+	peer, ok := n.mem.IdlestAlivePeer(depth / 2)
+	if !ok {
+		return nil, false
+	}
+	addr, ok := n.mem.PeerAddr(peer)
+	if !ok {
+		return nil, false
+	}
+	rec, outcome := n.requestFill(ctx, addr, fillRequest{Origin: n.cfg.Self, Force: true, Spec: cell})
+	if rec == nil {
+		n.cfg.Logf("cluster: steal %s/%s to %s: %s; executing locally", cell.Bench, cell.Name, peer, outcome)
+		return nil, false
+	}
+	n.met.stealsOut.Add(1)
+	return rec, true
+}
+
+// requestFill performs one fill conversation: bounded deadline, capped
+// exponential backoff on transient transport errors, immediate degrade
+// on busy (503) and epoch (409) answers. outcome is the metric label.
+func (n *Node) requestFill(ctx context.Context, addr string, req fillRequest) (*service.CachedResult, string) {
+	epoch := n.mem.Epoch()
+	body, err := encodeFillRequest(epoch, req)
+	if err != nil {
+		return nil, "error"
+	}
+	ctx, cancel := context.WithTimeout(ctx, n.cfg.FillTimeout)
+	defer cancel()
+	start := time.Now()
+	defer func() { n.met.observeFill(time.Since(start).Seconds()) }()
+	backoff := n.cfg.FillBackoff
+	for attempt := 1; ; attempt++ {
+		rec, cached, outcome, retryable := n.fillOnce(ctx, addr, body, epoch)
+		if rec != nil {
+			if cached {
+				return rec, "hit"
+			}
+			return rec, "executed"
+		}
+		if !retryable || attempt >= n.cfg.FillRetries {
+			return nil, outcome
+		}
+		select {
+		case <-ctx.Done():
+			return nil, "timeout"
+		case <-time.After(backoff):
+		}
+		if backoff *= 2; backoff > maxFillBackoff {
+			backoff = maxFillBackoff
+		}
+	}
+}
+
+func (n *Node) fillOnce(ctx context.Context, addr string, body []byte, epoch uint64) (rec *service.CachedResult, cached bool, outcome string, retryable bool) {
+	hreq, err := http.NewRequestWithContext(ctx, http.MethodPost,
+		strings.TrimRight(addr, "/")+"/cluster/v1/fill", bytes.NewReader(body))
+	if err != nil {
+		return nil, false, "error", false
+	}
+	hreq.Header.Set("Content-Type", "application/octet-stream")
+	resp, err := n.hc.Do(hreq)
+	if err != nil {
+		if ctx.Err() != nil {
+			return nil, false, "timeout", false
+		}
+		return nil, false, "error", true
+	}
+	defer resp.Body.Close()
+	switch resp.StatusCode {
+	case http.StatusOK:
+		data, err := io.ReadAll(io.LimitReader(resp.Body, MaxFrameBytes+64))
+		if err != nil {
+			return nil, false, "error", true
+		}
+		rec, cached, err := decodeFillResponse(data, epoch)
+		if err != nil {
+			if errors.Is(err, ErrEpochMismatch) {
+				return nil, false, "epoch", false
+			}
+			return nil, false, "error", false
+		}
+		return rec, cached, "", false
+	case http.StatusServiceUnavailable:
+		return nil, false, "busy", false
+	case http.StatusConflict:
+		return nil, false, "epoch", false
+	default:
+		return nil, false, "error", true
+	}
+}
+
+func (n *Node) countFill(outcome string) {
+	switch outcome {
+	case "hit":
+		n.met.fillHit.Add(1)
+	case "executed":
+		n.met.fillRan.Add(1)
+	case "busy":
+		n.met.fillBusy.Add(1)
+	case "timeout":
+		n.met.fillTimeout.Add(1)
+	case "epoch":
+		n.met.fillEpoch.Add(1)
+	default:
+		n.met.fillError.Add(1)
+	}
+}
+
+// ---------------------------------------------------------------------
+// Failure detection and failover.
+
+func (n *Node) probeLoop() {
+	defer n.wg.Done()
+	t := time.NewTicker(n.cfg.Timings.HeartbeatInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-n.stop:
+			return
+		case <-t.C:
+			n.probeAll()
+		}
+	}
+}
+
+// probeAll heartbeats every peer concurrently, then advances the
+// suspect → dead state machine and fires failover for fresh deaths.
+func (n *Node) probeAll() {
+	var pwg sync.WaitGroup
+	for id, addr := range n.cfg.Members {
+		if id == n.cfg.Self {
+			continue
+		}
+		pwg.Add(1)
+		go func(id, addr string) {
+			defer pwg.Done()
+			n.probeOne(id, addr)
+		}(id, addr)
+	}
+	pwg.Wait()
+	for _, tr := range n.mem.Sweep(time.Now(), n.cfg.Timings) {
+		switch tr.To {
+		case StateSuspect:
+			n.cfg.Logf("cluster: %s suspect (no heartbeat for %v)", tr.ID, n.cfg.Timings.SuspectAfter)
+		case StateDead:
+			n.cfg.Logf("cluster: %s declared dead (epoch %d)", tr.ID, n.mem.Epoch())
+			n.wg.Add(1)
+			go func(dead string) {
+				defer n.wg.Done()
+				n.failover(dead)
+			}(tr.ID)
+		}
+	}
+}
+
+func (n *Node) probeOne(id, addr string) {
+	timeout := n.cfg.Timings.SuspectAfter / 2
+	if timeout < n.cfg.Timings.HeartbeatInterval {
+		timeout = n.cfg.Timings.HeartbeatInterval
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), timeout)
+	defer cancel()
+	hreq, err := http.NewRequestWithContext(ctx, http.MethodGet,
+		strings.TrimRight(addr, "/")+"/cluster/v1/heartbeat", nil)
+	if err != nil {
+		return
+	}
+	resp, err := n.hc.Do(hreq)
+	if err != nil {
+		return
+	}
+	defer resp.Body.Close()
+	var ack heartbeatAck
+	if resp.StatusCode != http.StatusOK || json.NewDecoder(resp.Body).Decode(&ack) != nil {
+		return
+	}
+	if tr, changed := n.mem.ObserveAck(id, time.Now(), ack.Epoch, ack.QueueDepth, ack.Draining); changed && tr.From == StateDead {
+		n.cfg.Logf("cluster: %s rejoined (epoch %d)", id, n.mem.Epoch())
+	}
+}
+
+// ownershipRecord is the journaled form of a liveness transition: who
+// died, at which epoch, and who adopted its range and jobs. Every
+// survivor journals the transition; the adopter's record also carries
+// the recovery accounting.
+type ownershipRecord struct {
+	Epoch       uint64    `json:"epoch"`
+	Dead        string    `json:"dead"`
+	Adopter     string    `json:"adopter"`
+	Time        time.Time `json:"time"`
+	AdoptedJobs []string  `json:"adopted_jobs,omitempty"`
+	CellsWarmed int       `json:"cells_warmed,omitempty"`
+	CellsRerun  int       `json:"cells_rerun,omitempty"`
+}
+
+// failover handles one peer's death. Every survivor journals the epoch
+// transition; the deterministic adopter (same ring computation on every
+// survivor) additionally reads the dead node's journal from the shared
+// directory — tolerating a torn tail from the crash — warms every
+// journaled cell result into its own cache, and re-owns the dead node's
+// unfinished jobs so only cells the dead node had not journaled as
+// complete re-execute.
+func (n *Node) failover(dead string) {
+	epoch := n.mem.Epoch()
+	adopter, ok := n.ring.Adopter(dead, n.mem.Alive)
+	rec := ownershipRecord{Epoch: epoch, Dead: dead, Adopter: adopter, Time: time.Now().UTC()}
+	if !ok || adopter != n.cfg.Self {
+		n.appendOwnership(epoch, dead, rec)
+		return
+	}
+	n.met.failovers.Add(1)
+	if n.cfg.JournalDir == "" {
+		n.cfg.Logf("cluster: adopting %s's range (no journal dir; jobs cannot be resumed)", dead)
+		n.appendOwnership(epoch, dead, rec)
+		return
+	}
+	path := filepath.Join(n.cfg.JournalDir, dead+".journal")
+	recs, err := journal.Load(path)
+	if err != nil {
+		n.cfg.Logf("cluster: failover %s: reading %s: %v", dead, path, err)
+		n.appendOwnership(epoch, dead, rec)
+		return
+	}
+	// Last-wins index, the journal's own replay convention.
+	index := make(map[string][]byte, len(recs))
+	for _, r := range recs {
+		index[r.Key] = r.Data
+	}
+	warmed := 0
+	var unfinished []service.JobSpecRecord
+	for key, data := range index {
+		switch {
+		case strings.HasPrefix(key, service.KeyCell):
+			var cw service.CellWire
+			if json.Unmarshal(data, &cw) != nil {
+				continue // damaged record: that cell simply re-runs
+			}
+			if cr := cw.Record(); cr != nil {
+				if n.svc.WarmCache(key[len(service.KeyCell):], cr) {
+					warmed++
+				}
+			}
+		case strings.HasPrefix(key, service.KeyJobSpec):
+			var spec service.JobSpecRecord
+			if json.Unmarshal(data, &spec) != nil {
+				continue
+			}
+			if _, done := index[service.KeyJobDone+spec.ID]; done {
+				continue
+			}
+			unfinished = append(unfinished, spec)
+		}
+	}
+	n.met.cellsWarmed.Add(int64(warmed))
+	sort.Slice(unfinished, func(i, k int) bool { return unfinished[i].ID < unfinished[k].ID })
+	for _, spec := range unfinished {
+		j, resumed, rerun, err := n.svc.AdoptJob(spec.ID, spec.Cells)
+		if err != nil {
+			n.cfg.Logf("cluster: failover %s: adopt %s: %v", dead, spec.ID, err)
+			continue
+		}
+		n.met.adoptedJobs.Add(1)
+		n.met.cellsResumed.Add(int64(resumed))
+		n.met.cellsRerun.Add(int64(rerun))
+		rec.AdoptedJobs = append(rec.AdoptedJobs, j.ID())
+		rec.CellsRerun += rerun
+		n.cfg.Logf("cluster: adopted %s from %s: %d cells resume from journal, %d re-run",
+			j.ID(), dead, resumed, rerun)
+	}
+	rec.CellsWarmed = warmed
+	n.appendOwnership(epoch, dead, rec)
+	n.cfg.Logf("cluster: failover %s complete: %d cells warmed, %d jobs adopted", dead, warmed, len(rec.AdoptedJobs))
+}
+
+func (n *Node) appendOwnership(epoch uint64, dead string, rec ownershipRecord) {
+	if err := n.svc.AppendJournal(fmt.Sprintf("epoch|%020d|%s", epoch, dead), rec); err != nil {
+		n.cfg.Logf("cluster: journal ownership record: %v", err)
+	}
+}

@@ -1,0 +1,123 @@
+// Package cluster turns single-box mopserve nodes into a fault-tolerant
+// fleet. Cells route by consistent hashing on their content fingerprint
+// (experiments.CellFingerprint): each fingerprint has one owning shard,
+// and every node asks the owner for a cell's record (peer cache-fill)
+// before executing it locally. Heartbeat-based failure detection drives
+// a suspect → dead state machine; when a node is declared dead, its hash
+// range re-owns onto the surviving ring automatically (ownership is
+// always computed over live members) and a deterministic adopter resumes
+// its unfinished jobs from the shared journal convention — completed
+// cells replay from cellres records, only incomplete cells re-execute.
+// Every degradation is graceful: a slow peer times out into local
+// execution, a saturated owner answers busy and the requester steals the
+// work, a torn journal tail truncates to the last intact record.
+package cluster
+
+import (
+	"fmt"
+	"sort"
+)
+
+// defaultReplicas is the virtual-node count per member: enough points
+// that a three-node ring splits the keyspace within a few percent of
+// evenly, cheap enough that ring construction is trivial.
+const defaultReplicas = 64
+
+// point is one virtual node on the ring.
+type point struct {
+	h    uint64
+	node string
+}
+
+// Ring is a static-membership consistent-hash ring. Liveness is not ring
+// state: Owner takes an alive predicate, so the ring itself never
+// mutates and every node computes identical ownership from identical
+// membership views.
+type Ring struct {
+	members []string
+	points  []point
+}
+
+// NewRing builds a ring over the member IDs with the given virtual-node
+// count per member (0 selects the default).
+func NewRing(members []string, replicas int) (*Ring, error) {
+	if len(members) == 0 {
+		return nil, fmt.Errorf("cluster: ring needs at least one member")
+	}
+	if replicas <= 0 {
+		replicas = defaultReplicas
+	}
+	seen := map[string]bool{}
+	r := &Ring{members: append([]string(nil), members...)}
+	sort.Strings(r.members)
+	for _, m := range r.members {
+		if m == "" {
+			return nil, fmt.Errorf("cluster: empty member ID")
+		}
+		if seen[m] {
+			return nil, fmt.Errorf("cluster: duplicate member %q", m)
+		}
+		seen[m] = true
+		for i := 0; i < replicas; i++ {
+			r.points = append(r.points, point{h: hash64(fmt.Sprintf("%s|%d", m, i)), node: m})
+		}
+	}
+	sort.Slice(r.points, func(i, k int) bool {
+		if r.points[i].h != r.points[k].h {
+			return r.points[i].h < r.points[k].h
+		}
+		return r.points[i].node < r.points[k].node
+	})
+	return r, nil
+}
+
+// Members returns the ring's static membership, sorted.
+func (r *Ring) Members() []string { return append([]string(nil), r.members...) }
+
+// Owner maps a key to its owning member: the first alive node at or
+// after the key's hash, walking the ring clockwise. Because ownership is
+// computed over alive members, a dead node's range falls to its ring
+// successors with no explicit rebalance step — and keys owned by live
+// nodes never move when some other node dies (consistent hashing's
+// monotonicity). ok is false only when no member is alive.
+func (r *Ring) Owner(key string, alive func(string) bool) (owner string, ok bool) {
+	h := hash64(key)
+	start := sort.Search(len(r.points), func(i int) bool { return r.points[i].h >= h })
+	for i := 0; i < len(r.points); i++ {
+		p := r.points[(start+i)%len(r.points)]
+		if alive == nil || alive(p.node) {
+			return p.node, true
+		}
+	}
+	return "", false
+}
+
+// Adopter deterministically picks which surviving member adopts a dead
+// node's unfinished jobs: every survivor computes the same answer from
+// the same membership view, so exactly one node performs the failover.
+func (r *Ring) Adopter(dead string, alive func(string) bool) (string, bool) {
+	return r.Owner("adopt|"+dead, func(id string) bool { return id != dead && (alive == nil || alive(id)) })
+}
+
+// hash64 is FNV-1a over the key, finished with a splitmix64-style mixer.
+// FNV alone leaves the high bits poorly diffused on short, similar keys
+// (member|replica strings), which skews ring position ordering badly;
+// the finalizer avalanches every input bit across the word so virtual
+// nodes spread evenly. Speed and spread matter here, not crypto.
+func hash64(s string) uint64 {
+	const (
+		offset = 14695981039346656037
+		prime  = 1099511628211
+	)
+	h := uint64(offset)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= prime
+	}
+	h ^= h >> 30
+	h *= 0xbf58476d1ce4e5b9
+	h ^= h >> 27
+	h *= 0x94d049bb133111eb
+	h ^= h >> 31
+	return h
+}

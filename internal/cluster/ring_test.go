@@ -1,0 +1,127 @@
+package cluster
+
+import (
+	"fmt"
+	"testing"
+)
+
+func allAlive(string) bool { return true }
+
+func TestNewRingValidation(t *testing.T) {
+	if _, err := NewRing(nil, 0); err == nil {
+		t.Fatal("empty membership accepted")
+	}
+	if _, err := NewRing([]string{"a", ""}, 0); err == nil {
+		t.Fatal("empty member ID accepted")
+	}
+	if _, err := NewRing([]string{"a", "b", "a"}, 0); err == nil {
+		t.Fatal("duplicate member accepted")
+	}
+}
+
+// TestRingDeterministic: two rings over the same members (in any order)
+// agree on every key — the property that lets every node route without
+// coordination.
+func TestRingDeterministic(t *testing.T) {
+	r1, err := NewRing([]string{"n1", "n2", "n3"}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := NewRing([]string{"n3", "n1", "n2"}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 1000; i++ {
+		key := fmt.Sprintf("cell-%d", i)
+		o1, ok1 := r1.Owner(key, allAlive)
+		o2, ok2 := r2.Owner(key, allAlive)
+		if !ok1 || !ok2 || o1 != o2 {
+			t.Fatalf("key %s: ring1=%s ring2=%s", key, o1, o2)
+		}
+	}
+}
+
+// TestRingBalance: virtual nodes spread the keyspace across members
+// without pathological skew.
+func TestRingBalance(t *testing.T) {
+	r, err := NewRing([]string{"n1", "n2", "n3"}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const keys = 12000
+	counts := map[string]int{}
+	for i := 0; i < keys; i++ {
+		o, _ := r.Owner(fmt.Sprintf("cell-%d", i), allAlive)
+		counts[o]++
+	}
+	for id, c := range counts {
+		share := float64(c) / keys
+		if share < 0.15 || share > 0.55 {
+			t.Errorf("member %s owns %.1f%% of the keyspace", id, share*100)
+		}
+	}
+}
+
+// TestRingMonotonicOnDeath: when one member dies, only the dead
+// member's keys move — live members keep everything they owned.
+func TestRingMonotonicOnDeath(t *testing.T) {
+	r, err := NewRing([]string{"n1", "n2", "n3"}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	aliveSansN2 := func(id string) bool { return id != "n2" }
+	moved, reowned := 0, 0
+	for i := 0; i < 5000; i++ {
+		key := fmt.Sprintf("cell-%d", i)
+		before, _ := r.Owner(key, allAlive)
+		after, ok := r.Owner(key, aliveSansN2)
+		if !ok || after == "n2" {
+			t.Fatalf("key %s owned by dead member", key)
+		}
+		if before == "n2" {
+			reowned++
+			continue
+		}
+		if before != after {
+			moved++
+		}
+	}
+	if moved != 0 {
+		t.Errorf("%d live-owned keys moved when n2 died", moved)
+	}
+	if reowned == 0 {
+		t.Error("n2 owned no keys before dying; balance test should have caught this")
+	}
+}
+
+// TestRingNoneAlive: ownership is undefined only when nobody is alive.
+func TestRingNoneAlive(t *testing.T) {
+	r, _ := NewRing([]string{"n1", "n2"}, 0)
+	if _, ok := r.Owner("k", func(string) bool { return false }); ok {
+		t.Fatal("owner reported with no alive members")
+	}
+}
+
+// TestAdopterDeterministic: every survivor computes the same adopter,
+// and it is never the dead node itself.
+func TestAdopterDeterministic(t *testing.T) {
+	r, _ := NewRing([]string{"n1", "n2", "n3"}, 0)
+	aliveSans := func(dead string) func(string) bool {
+		return func(id string) bool { return id != dead }
+	}
+	for _, dead := range []string{"n1", "n2", "n3"} {
+		a1, ok1 := r.Adopter(dead, aliveSans(dead))
+		a2, ok2 := r.Adopter(dead, aliveSans(dead))
+		if !ok1 || !ok2 || a1 != a2 {
+			t.Fatalf("adopter of %s not deterministic: %s vs %s", dead, a1, a2)
+		}
+		if a1 == dead {
+			t.Fatalf("dead node %s adopted itself", dead)
+		}
+	}
+	// With a single survivor, the adopter is that survivor.
+	a, ok := r.Adopter("n1", func(id string) bool { return id == "n3" })
+	if !ok || a != "n3" {
+		t.Fatalf("single survivor n3 should adopt, got %q ok=%v", a, ok)
+	}
+}

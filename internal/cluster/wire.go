@@ -1,0 +1,209 @@
+package cluster
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+
+	"macroop/internal/service"
+)
+
+// The peer-protocol wire format. A frame is:
+//
+//	"MOPW1" | kind (1 byte) | epoch (8 bytes LE) | uvarint(len) | payload | 8-byte LE FNV-1a over everything before it
+//
+// The checksum makes a damaged frame (truncated body, bit flip, foreign
+// bytes on the port) a typed decode error instead of a misparse, and the
+// epoch in the header lets the receiver refuse to act on a request built
+// under a divergent membership view — the two rejection cases the fuzz
+// test pins. Payloads are JSON inside the checksummed envelope.
+const wireMagic = "MOPW1"
+
+// Frame kinds.
+const (
+	// FrameFillReq asks the owning shard for a cell's record.
+	FrameFillReq uint8 = 1
+	// FrameFillResp carries the record (or reports it was executed).
+	FrameFillResp uint8 = 2
+)
+
+// MaxFrameBytes bounds one frame so a corrupted length prefix reads as a
+// decode error instead of a gigantic allocation.
+const MaxFrameBytes = 8 << 20
+
+// Wire decode errors.
+var (
+	ErrBadMagic      = errors.New("cluster: not a peer-protocol frame")
+	ErrTruncated     = errors.New("cluster: truncated frame")
+	ErrChecksum      = errors.New("cluster: frame checksum mismatch")
+	ErrFrameTooBig   = errors.New("cluster: frame exceeds size bound")
+	ErrEpochMismatch = errors.New("cluster: membership epoch mismatch")
+)
+
+// Frame is one decoded peer-protocol message.
+type Frame struct {
+	Kind    uint8
+	Epoch   uint64
+	Payload []byte
+}
+
+// EncodeFrame serializes a frame.
+func EncodeFrame(kind uint8, epoch uint64, payload []byte) []byte {
+	buf := make([]byte, 0, len(wireMagic)+1+8+10+len(payload)+8)
+	buf = append(buf, wireMagic...)
+	buf = append(buf, kind)
+	buf = binary.LittleEndian.AppendUint64(buf, epoch)
+	buf = binary.AppendUvarint(buf, uint64(len(payload)))
+	buf = append(buf, payload...)
+	return binary.LittleEndian.AppendUint64(buf, fnv1a(buf))
+}
+
+// DecodeFrame parses and verifies one frame. It never panics on
+// arbitrary input: every malformation maps to a typed error. Trailing
+// bytes after the checksum are rejected as corruption (frames are
+// exactly one message).
+func DecodeFrame(data []byte) (Frame, error) {
+	if len(data) < len(wireMagic)+1+8 {
+		if len(data) >= len(wireMagic) && string(data[:len(wireMagic)]) == wireMagic {
+			return Frame{}, ErrTruncated
+		}
+		return Frame{}, ErrBadMagic
+	}
+	if string(data[:len(wireMagic)]) != wireMagic {
+		return Frame{}, ErrBadMagic
+	}
+	off := len(wireMagic)
+	kind := data[off]
+	off++
+	epoch := binary.LittleEndian.Uint64(data[off : off+8])
+	off += 8
+	plen, n := binary.Uvarint(data[off:])
+	if n <= 0 {
+		return Frame{}, ErrTruncated
+	}
+	if plen > MaxFrameBytes {
+		return Frame{}, ErrFrameTooBig
+	}
+	off += n
+	if uint64(len(data)-off) < plen+8 {
+		return Frame{}, ErrTruncated
+	}
+	payload := data[off : off+int(plen)]
+	off += int(plen)
+	sum := binary.LittleEndian.Uint64(data[off : off+8])
+	if sum != fnv1a(data[:off]) {
+		return Frame{}, ErrChecksum
+	}
+	if off+8 != len(data) {
+		return Frame{}, ErrChecksum
+	}
+	return Frame{Kind: kind, Epoch: epoch, Payload: append([]byte(nil), payload...)}, nil
+}
+
+// CheckEpoch rejects a frame built under a different membership view.
+// The caller degrades (local execution) and lets heartbeat max-merge
+// converge the epochs.
+func (f Frame) CheckEpoch(local uint64) error {
+	if f.Epoch != local {
+		return fmt.Errorf("%w: frame %d, local %d", ErrEpochMismatch, f.Epoch, local)
+	}
+	return nil
+}
+
+// fillRequest is the FrameFillReq payload.
+type fillRequest struct {
+	// Origin is the requesting node (for logs and steal metrics).
+	Origin string `json:"origin"`
+	// Force asks the receiver to execute even though it does not own the
+	// cell — the work-stealing path from a saturated node to an idle one.
+	Force bool `json:"force,omitempty"`
+	// Spec is the cell to resolve.
+	Spec service.CellSpec `json:"spec"`
+}
+
+// fillResponse is the FrameFillResp payload.
+type fillResponse struct {
+	// Cached reports the owner served the record without executing.
+	Cached bool `json:"cached"`
+	// Cell is the record, in the same serialized form the journal uses.
+	Cell service.CellWire `json:"cell"`
+}
+
+func encodeFillRequest(epoch uint64, req fillRequest) ([]byte, error) {
+	payload, err := json.Marshal(req)
+	if err != nil {
+		return nil, err
+	}
+	return EncodeFrame(FrameFillReq, epoch, payload), nil
+}
+
+func decodeFillRequest(data []byte, localEpoch uint64) (fillRequest, error) {
+	f, err := DecodeFrame(data)
+	if err != nil {
+		return fillRequest{}, err
+	}
+	if f.Kind != FrameFillReq {
+		return fillRequest{}, fmt.Errorf("cluster: unexpected frame kind %d (want fill request)", f.Kind)
+	}
+	if err := f.CheckEpoch(localEpoch); err != nil {
+		return fillRequest{}, err
+	}
+	var req fillRequest
+	if err := json.Unmarshal(f.Payload, &req); err != nil {
+		return fillRequest{}, fmt.Errorf("cluster: fill request payload: %w", err)
+	}
+	return req, nil
+}
+
+func encodeFillResponse(epoch uint64, cached bool, rec *service.CachedResult) ([]byte, error) {
+	cw, err := service.WireFromRecord(rec)
+	if err != nil {
+		return nil, err
+	}
+	payload, err := json.Marshal(fillResponse{Cached: cached, Cell: *cw})
+	if err != nil {
+		return nil, err
+	}
+	return EncodeFrame(FrameFillResp, epoch, payload), nil
+}
+
+// decodeFillResponse verifies and decodes a fill response. The record's
+// own integrity rides on the frame checksum plus the hex checksum field
+// inside CellWire — a payload that does not reconstitute is an error,
+// never a silent nil.
+func decodeFillResponse(data []byte, wantEpoch uint64) (rec *service.CachedResult, cached bool, err error) {
+	f, err := DecodeFrame(data)
+	if err != nil {
+		return nil, false, err
+	}
+	if f.Kind != FrameFillResp {
+		return nil, false, fmt.Errorf("cluster: unexpected frame kind %d (want fill response)", f.Kind)
+	}
+	if err := f.CheckEpoch(wantEpoch); err != nil {
+		return nil, false, err
+	}
+	var resp fillResponse
+	if err := json.Unmarshal(f.Payload, &resp); err != nil {
+		return nil, false, fmt.Errorf("cluster: fill response payload: %w", err)
+	}
+	rec = resp.Cell.Record()
+	if rec == nil || rec.Result == nil {
+		return nil, false, fmt.Errorf("cluster: fill response carries no reconstitutable record")
+	}
+	return rec, resp.Cached, nil
+}
+
+// fnv1a is FNV-1a over the frame bytes.
+func fnv1a(data []byte) uint64 {
+	const (
+		offset = 14695981039346656037
+		prime  = 1099511628211
+	)
+	h := uint64(offset)
+	for _, b := range data {
+		h ^= uint64(b)
+		h *= prime
+	}
+	return h
+}

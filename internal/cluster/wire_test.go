@@ -1,0 +1,136 @@
+package cluster
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"testing"
+
+	"macroop/internal/service"
+)
+
+func TestFrameRoundTrip(t *testing.T) {
+	payload := []byte(`{"hello":"world"}`)
+	data := EncodeFrame(FrameFillReq, 42, payload)
+	f, err := DecodeFrame(data)
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if f.Kind != FrameFillReq || f.Epoch != 42 || !bytes.Equal(f.Payload, payload) {
+		t.Fatalf("round trip mangled frame: %+v", f)
+	}
+	if err := f.CheckEpoch(42); err != nil {
+		t.Fatalf("matching epoch rejected: %v", err)
+	}
+	if err := f.CheckEpoch(43); !errors.Is(err, ErrEpochMismatch) {
+		t.Fatalf("divergent epoch accepted: %v", err)
+	}
+}
+
+// TestFrameRejectsCorruption: every way a frame can be damaged maps to
+// a typed error — wrong magic, any truncation point, any flipped byte,
+// trailing garbage, oversized length prefix.
+func TestFrameRejectsCorruption(t *testing.T) {
+	data := EncodeFrame(FrameFillResp, 7, []byte(`{"cached":true}`))
+
+	if _, err := DecodeFrame([]byte("HTTP/1.1 200 OK\r\n")); !errors.Is(err, ErrBadMagic) {
+		t.Fatalf("foreign bytes: %v", err)
+	}
+	for i := 0; i < len(data); i++ {
+		if _, err := DecodeFrame(data[:i]); err == nil {
+			t.Fatalf("truncation at %d accepted", i)
+		}
+	}
+	for i := 0; i < len(data); i++ {
+		mut := append([]byte(nil), data...)
+		mut[i] ^= 0x40
+		if _, err := DecodeFrame(mut); err == nil {
+			t.Fatalf("bit flip at %d accepted", i)
+		}
+	}
+	if _, err := DecodeFrame(append(append([]byte(nil), data...), 0x00)); !errors.Is(err, ErrChecksum) {
+		t.Fatalf("trailing byte: %v", err)
+	}
+
+	// A header whose length prefix exceeds the bound must be rejected
+	// before any allocation of that size.
+	huge := []byte(wireMagic)
+	huge = append(huge, FrameFillReq)
+	huge = binary.LittleEndian.AppendUint64(huge, 1)
+	huge = binary.AppendUvarint(huge, MaxFrameBytes+1)
+	if _, err := DecodeFrame(huge); !errors.Is(err, ErrFrameTooBig) {
+		t.Fatalf("oversized length prefix: %v", err)
+	}
+}
+
+// TestFillRequestEpochReject: a fill built under a divergent membership
+// view is refused with the typed epoch error, not served.
+func TestFillRequestEpochReject(t *testing.T) {
+	spec := service.CellSpec{Bench: "gzip", Name: "base", Insts: 1000}
+	data, err := encodeFillRequest(5, fillRequest{Origin: "n1", Spec: spec})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := decodeFillRequest(data, 5); err != nil {
+		t.Fatalf("matching epoch rejected: %v", err)
+	}
+	if _, err := decodeFillRequest(data, 6); !errors.Is(err, ErrEpochMismatch) {
+		t.Fatalf("want epoch mismatch, got %v", err)
+	}
+	// Wrong frame kind on the fill endpoint is an error too.
+	resp := EncodeFrame(FrameFillResp, 5, []byte(`{}`))
+	if _, err := decodeFillRequest(resp, 5); err == nil {
+		t.Fatal("response frame accepted as a request")
+	}
+}
+
+// TestFillResponseRejectsUnreconstitutable: a frame whose payload does
+// not carry a usable record is an error, never a silent nil.
+func TestFillResponseRejectsUnreconstitutable(t *testing.T) {
+	data := EncodeFrame(FrameFillResp, 1, []byte(`{"cached":true,"cell":{}}`))
+	if _, _, err := decodeFillResponse(data, 1); err == nil {
+		t.Fatal("empty record accepted")
+	}
+	data = EncodeFrame(FrameFillResp, 1, []byte(`not json`))
+	if _, _, err := decodeFillResponse(data, 1); err == nil {
+		t.Fatal("non-JSON payload accepted")
+	}
+}
+
+// FuzzDecodeFrame pins the decoder's safety contract: arbitrary bytes
+// never panic, anything that decodes obeys the size bound and decodes
+// identically a second time, and a frame re-encoded from the decoded
+// parts carries the same content.
+func FuzzDecodeFrame(f *testing.F) {
+	f.Add([]byte(nil))
+	f.Add([]byte(wireMagic))
+	f.Add(EncodeFrame(FrameFillReq, 0, nil))
+	f.Add(EncodeFrame(FrameFillReq, 42, []byte(`{"origin":"n1"}`)))
+	f.Add(EncodeFrame(FrameFillResp, 1<<63, []byte(`{"cached":true}`)))
+	valid := EncodeFrame(FrameFillReq, 7, []byte("payload"))
+	f.Add(valid[:len(valid)-1])
+	mut := append([]byte(nil), valid...)
+	mut[6] ^= 0xff
+	f.Add(mut)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		fr, err := DecodeFrame(data)
+		if err != nil {
+			return
+		}
+		if len(fr.Payload) > MaxFrameBytes {
+			t.Fatalf("decoded payload exceeds bound: %d", len(fr.Payload))
+		}
+		fr2, err2 := DecodeFrame(data)
+		if err2 != nil || fr2.Kind != fr.Kind || fr2.Epoch != fr.Epoch || !bytes.Equal(fr2.Payload, fr.Payload) {
+			t.Fatalf("decode not deterministic: %v", err2)
+		}
+		re, err3 := DecodeFrame(EncodeFrame(fr.Kind, fr.Epoch, fr.Payload))
+		if err3 != nil || re.Kind != fr.Kind || re.Epoch != fr.Epoch || !bytes.Equal(re.Payload, fr.Payload) {
+			t.Fatalf("re-encode round trip failed: %v", err3)
+		}
+		// The higher-level decoders must not panic either.
+		decodeFillRequest(data, fr.Epoch)
+		decodeFillResponse(data, fr.Epoch)
+	})
+}

@@ -3,46 +3,65 @@ package service
 import (
 	"container/list"
 	"sync"
+	"unsafe"
 
 	"macroop/internal/core"
 )
 
-// cellRecord is one cached (and journaled) successful cell outcome: the
+// CachedResult is one cached (and journaled) successful cell outcome: the
 // timing result plus the differential oracle's summary. The checksum is
 // the cache's self-verification handle — identical to what a direct
 // macroop.SimulateChecked of the same cell reports, which is what the
-// sustained-load test and the CI smoke assert.
-type cellRecord struct {
+// sustained-load test and the CI smoke assert. It is exported because the
+// cluster layer (internal/cluster) moves these records between nodes:
+// peer cache-fill responses and failover journal adoption both carry
+// exactly this value.
+type CachedResult struct {
 	Bench    string
 	Result   *core.Result
 	Checksum uint64
 	Commits  int64
 }
 
+// approxBytes estimates the record's memory footprint for the cache's
+// byte quota: the strings it owns plus the fixed-size structs.
+func (r *CachedResult) approxBytes(fp string) int {
+	n := len(fp) + len(r.Bench) + int(unsafe.Sizeof(*r)) + int(unsafe.Sizeof(cacheEntry{}))
+	if r.Result != nil {
+		n += int(unsafe.Sizeof(*r.Result)) + len(r.Result.Benchmark) + len(r.Result.ReproFingerprint)
+	}
+	return n
+}
+
 // resultCache is a bounded LRU of cell outcomes keyed by content
-// fingerprint. It is safe for concurrent use by the worker pool.
+// fingerprint, limited both by entry count and (when maxBytes > 0) by an
+// approximate byte quota. It is safe for concurrent use by the worker
+// pool.
 type resultCache struct {
-	mu  sync.Mutex
-	cap int
-	m   map[string]*list.Element
-	lru *list.List // front = most recently used
+	mu       sync.Mutex
+	cap      int
+	maxBytes int64
+	bytes    int64
+	m        map[string]*list.Element
+	lru      *list.List // front = most recently used
 }
 
 type cacheEntry struct {
-	key string
-	rec *cellRecord
+	key   string
+	rec   *CachedResult
+	bytes int64
 }
 
-func newResultCache(capacity int) *resultCache {
+func newResultCache(capacity int, maxBytes int64) *resultCache {
 	if capacity <= 0 {
 		capacity = 4096
 	}
-	return &resultCache{cap: capacity, m: make(map[string]*list.Element), lru: list.New()}
+	return &resultCache{cap: capacity, maxBytes: maxBytes, m: make(map[string]*list.Element), lru: list.New()}
 }
 
 // Get returns the cached record for the fingerprint, refreshing its LRU
 // position.
-func (c *resultCache) Get(fp string) (*cellRecord, bool) {
+func (c *resultCache) Get(fp string) (*CachedResult, bool) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	e, ok := c.m[fp]
@@ -53,21 +72,27 @@ func (c *resultCache) Get(fp string) (*cellRecord, bool) {
 	return e.Value.(*cacheEntry).rec, true
 }
 
-// Put inserts (or refreshes) a record, evicting the least recently used
-// entry beyond capacity.
-func (c *resultCache) Put(fp string, rec *cellRecord) {
+// Put inserts (or refreshes) a record, evicting least recently used
+// entries until both the entry bound and the byte quota hold.
+func (c *resultCache) Put(fp string, rec *CachedResult) {
+	size := int64(rec.approxBytes(fp))
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if e, ok := c.m[fp]; ok {
-		e.Value.(*cacheEntry).rec = rec
+		ent := e.Value.(*cacheEntry)
+		c.bytes += size - ent.bytes
+		ent.rec, ent.bytes = rec, size
 		c.lru.MoveToFront(e)
-		return
+	} else {
+		c.m[fp] = c.lru.PushFront(&cacheEntry{key: fp, rec: rec, bytes: size})
+		c.bytes += size
 	}
-	c.m[fp] = c.lru.PushFront(&cacheEntry{key: fp, rec: rec})
-	for c.lru.Len() > c.cap {
+	for c.lru.Len() > c.cap || (c.maxBytes > 0 && c.bytes > c.maxBytes && c.lru.Len() > 1) {
 		tail := c.lru.Back()
+		ent := tail.Value.(*cacheEntry)
 		c.lru.Remove(tail)
-		delete(c.m, tail.Value.(*cacheEntry).key)
+		delete(c.m, ent.key)
+		c.bytes -= ent.bytes
 	}
 }
 
@@ -76,6 +101,13 @@ func (c *resultCache) Len() int {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return c.lru.Len()
+}
+
+// Bytes reports the cache's approximate resident size.
+func (c *resultCache) Bytes() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.bytes
 }
 
 // flightGroup is a minimal singleflight: concurrent Do calls with the
@@ -89,7 +121,7 @@ type flightGroup struct {
 
 type flightCall struct {
 	done chan struct{}
-	rec  *cellRecord
+	rec  *CachedResult
 	err  error
 }
 
@@ -97,7 +129,7 @@ func newFlightGroup() *flightGroup { return &flightGroup{m: make(map[string]*fli
 
 // Do executes fn once per key among concurrent callers. shared reports
 // whether this caller joined an execution another caller started.
-func (g *flightGroup) Do(key string, fn func() (*cellRecord, error)) (rec *cellRecord, shared bool, err error) {
+func (g *flightGroup) Do(key string, fn func() (*CachedResult, error)) (rec *CachedResult, shared bool, err error) {
 	g.mu.Lock()
 	if call, ok := g.m[key]; ok {
 		g.mu.Unlock()

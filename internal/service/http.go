@@ -7,6 +7,7 @@ import (
 	"net/http"
 	"net/http/pprof"
 	"strconv"
+	"time"
 
 	"macroop/internal/simerr"
 )
@@ -52,7 +53,9 @@ func (s *Service) Handler() http.Handler {
 	return mux
 }
 
-func writeJSON(w http.ResponseWriter, status int, v any) {
+// WriteJSON writes an indented JSON response body. Exported for the
+// cluster router, which serves some service endpoints itself.
+func WriteJSON(w http.ResponseWriter, status int, v any) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)
 	enc := json.NewEncoder(w)
@@ -60,15 +63,20 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 	enc.Encode(v)
 }
 
-// writeError maps an error onto the stable status contract: admission
-// failures are 503 with a Retry-After hint, typed simulation failures
-// take their kind's status (cancelled → 499, everything else → 500)
-// with the repro fingerprint in the body, and anything untyped from
-// request validation is a 400.
+func writeJSON(w http.ResponseWriter, status int, v any) { WriteJSON(w, status, v) }
+
+// WriteError maps an error onto the stable status contract: admission
+// failures are 503 with a Retry-After hint (during a drain the hint is
+// the expected drain time, not the static queue hint), typed simulation
+// failures take their kind's status (cancelled → 499, everything else →
+// 500) with the repro fingerprint in the body, and anything untyped from
+// request validation is a 400. Exported for the cluster router.
+func (s *Service) WriteError(w http.ResponseWriter, err error) { s.writeError(w, err) }
+
 func (s *Service) writeError(w http.ResponseWriter, err error) {
 	switch {
 	case errors.Is(err, ErrQueueFull), errors.Is(err, ErrDraining), errors.Is(err, ErrInterrupted):
-		w.Header().Set("Retry-After", strconv.Itoa(int(s.opts.RetryAfter.Seconds()+0.5)))
+		w.Header().Set("Retry-After", retryAfterSeconds(s.retryAfter(err)))
 		writeJSON(w, http.StatusServiceUnavailable, errorBody{Error: err.Error()})
 	default:
 		if kind, ok := simerr.KindOf(err); ok {
@@ -205,12 +213,26 @@ func (s *Service) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	w.Write([]byte(s.MetricsText()))
 }
 
-func (s *Service) handleHealthz(w http.ResponseWriter, r *http.Request) {
-	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-	if s.Draining() {
-		w.WriteHeader(http.StatusServiceUnavailable)
-		w.Write([]byte("draining\n"))
-		return
+// retryAfterSeconds renders a Retry-After header value, rounding up and
+// never below one second.
+func retryAfterSeconds(d time.Duration) string {
+	secs := int(d.Seconds() + 0.999)
+	if secs < 1 {
+		secs = 1
 	}
-	w.Write([]byte("ok\n"))
+	return strconv.Itoa(secs)
+}
+
+// handleHealthz reports drain, queue, cache, and (when clustered) ring
+// and ownership state as JSON. A draining server answers 503 with a
+// Retry-After reflecting the expected drain time, so a client told to
+// come back learns when the restart should have happened.
+func (s *Service) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	h := s.Health()
+	status := http.StatusOK
+	if h.Draining {
+		status = http.StatusServiceUnavailable
+		w.Header().Set("Retry-After", retryAfterSeconds(s.retryAfter(ErrDraining)))
+	}
+	writeJSON(w, status, h)
 }

@@ -31,9 +31,12 @@ type CellResult struct {
 	// (experiments.CellFingerprint) — the cache key.
 	Cell string `json:"cell"`
 	// Cached reports a content-addressed cache hit; Shared reports the
-	// request coalesced into an identical in-flight execution.
-	Cached bool `json:"cached,omitempty"`
-	Shared bool `json:"shared,omitempty"`
+	// request coalesced into an identical in-flight execution; PeerFilled
+	// reports the record came from the cell's owning shard over the peer
+	// protocol rather than a local execution.
+	Cached     bool `json:"cached,omitempty"`
+	Shared     bool `json:"shared,omitempty"`
+	PeerFilled bool `json:"peer_filled,omitempty"`
 	// Checksum is the differential oracle's architectural checksum
 	// (%016x), identical to a direct macroop.SimulateChecked of the same
 	// cell. CheckedCommits is how many commits it covers.

@@ -79,6 +79,22 @@ func (m *metrics) observeCell(sched string, seconds float64, committed int64) {
 	m.uops.Add(committed)
 }
 
+// avgCellSeconds reports the mean executed-cell latency across every
+// scheduler model; 0 with no samples. The drain-ETA estimate uses it.
+func (m *metrics) avgCellSeconds() float64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	var sum, n int64
+	for _, h := range m.hists {
+		sum += h.sum.Load()
+		n += h.n.Load()
+	}
+	if n == 0 {
+		return 0
+	}
+	return float64(sum) / 1e6 / float64(n)
+}
+
 // Render writes the Prometheus text exposition. Families render in a
 // fixed order and label sets sort, so output is deterministic and
 // greppable by the CI smoke.

@@ -1,0 +1,264 @@
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"path/filepath"
+	"strconv"
+	"testing"
+	"time"
+
+	"macroop/internal/journal"
+)
+
+// TestResultCacheByteQuota pins the cache's second bound: even far below
+// the entry cap, the approximate resident size stays under the byte
+// quota by evicting least recently used records.
+func TestResultCacheByteQuota(t *testing.T) {
+	probe := &CachedResult{Bench: "gzip", Checksum: 1}
+	one := int64(probe.approxBytes("fp-000"))
+	quota := 4*one + one/2 // room for four records, not five
+	c := newResultCache(1000, quota)
+
+	for i := 0; i < 16; i++ {
+		c.Put(fmt.Sprintf("fp-%03d", i), &CachedResult{Bench: "gzip", Checksum: uint64(i)})
+		if got := c.Bytes(); got > quota {
+			t.Fatalf("after %d puts: %d resident bytes > quota %d", i+1, got, quota)
+		}
+	}
+	if n := c.Len(); n != 4 {
+		t.Fatalf("cache holds %d entries under a 4-record quota", n)
+	}
+	// Eviction is LRU: the newest records survive.
+	if _, ok := c.Get("fp-015"); !ok {
+		t.Error("most recent record evicted")
+	}
+	if _, ok := c.Get("fp-000"); ok {
+		t.Error("oldest record survived the quota")
+	}
+	// A single oversized record is still cached (the quota degrades to
+	// one-entry residency, never to a cache that caches nothing).
+	big := &CachedResult{Bench: string(make([]byte, int(quota)))}
+	c.Put("huge", big)
+	if _, ok := c.Get("huge"); !ok {
+		t.Error("oversized record not cached at all")
+	}
+	if n := c.Len(); n != 1 {
+		t.Errorf("oversized record should evict down to single residency, got %d entries", n)
+	}
+}
+
+// TestServiceCacheBytesOption wires the quota through Options: a tiny
+// CacheBytes keeps the resident size bounded while the service keeps
+// answering correctly (evicted cells simply re-execute).
+func TestServiceCacheBytesOption(t *testing.T) {
+	// A 1-byte quota is below any single record, so the cache must stay
+	// at single residency — each new cell evicts the previous one.
+	s := newTestService(t, Options{Workers: 2, CacheBytes: 1})
+	ctx := context.Background()
+	for i := 0; i < 6; i++ {
+		if _, err := s.Simulate(ctx, SimRequest{Benchmark: "gzip", MaxInsts: testInsts + int64(i)}); err != nil {
+			t.Fatalf("simulate %d: %v", i, err)
+		}
+		if h := s.Health(); h.CacheCells != 1 {
+			t.Fatalf("after %d distinct cells: %d resident, want single residency under the quota", i+1, h.CacheCells)
+		}
+	}
+	// The still-resident (latest) cell is a hit; an evicted one re-runs.
+	res, err := s.Simulate(ctx, SimRequest{Benchmark: "gzip", MaxInsts: testInsts + 5})
+	if err != nil || !res.Cached {
+		t.Errorf("latest cell not cached (err=%v)", err)
+	}
+	res, err = s.Simulate(ctx, SimRequest{Benchmark: "gzip", MaxInsts: testInsts})
+	if err != nil || res.Cached {
+		t.Errorf("evicted cell served from cache (err=%v)", err)
+	}
+}
+
+// TestJournalReplayRobustness: replay must tolerate every damaged-record
+// shape a crash (or a failed-over peer) can leave behind — a cellres
+// that does not parse, a jobdone referencing a job with no spec, and a
+// jobspec whose cells no longer resolve — while still warming everything
+// intact.
+func TestJournalReplayRobustness(t *testing.T) {
+	jpath := filepath.Join(t.TempDir(), "svc.journal")
+
+	// Seed a journal with one real completed cell.
+	s1, err := New(Options{Workers: 2, DefaultInsts: testInsts, JournalPath: jpath, Logf: t.Logf})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s1.Start()
+	cr, err := s1.Simulate(context.Background(), SimRequest{Benchmark: "gzip", MaxInsts: testInsts})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s1.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Damage it: a cellres that is not JSON, a jobdone for a job the
+	// journal has no spec for, and a jobspec naming an unknown benchmark.
+	jnl, err := journal.Open(jpath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := jnl.Append(KeyCell+"feedfacedeadbeef", []byte("{torn")); err != nil {
+		t.Fatal(err)
+	}
+	if err := jnl.Append(KeyJobDone+"job-ghost-9", []byte(`{"id":"job-ghost-9","state":"done"}`)); err != nil {
+		t.Fatal(err)
+	}
+	spec, _ := json.Marshal(JobSpecRecord{ID: "job-x-5", Cells: []CellSpec{
+		{Bench: "no-such-benchmark", Name: "base", Insts: testInsts},
+	}})
+	if err := jnl.Append(KeyJobSpec+"job-x-5", spec); err != nil {
+		t.Fatal(err)
+	}
+	jnl.Close()
+
+	// Replay: the service comes up serving, the intact cell is warm, the
+	// damaged records are skipped, and the unresolvable job surfaces as
+	// interrupted rather than wedging startup.
+	s2, err := New(Options{Workers: 2, DefaultInsts: testInsts, JournalPath: jpath, Logf: t.Logf})
+	if err != nil {
+		t.Fatalf("replay with damaged records failed New: %v", err)
+	}
+	s2.Start()
+	defer s2.Close()
+
+	got, err := s2.Simulate(context.Background(), SimRequest{Benchmark: "gzip", MaxInsts: testInsts})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Cached || got.Checksum != cr.Checksum {
+		t.Errorf("intact cell not warmed: cached=%v checksum %s vs %s", got.Cached, got.Checksum, cr.Checksum)
+	}
+	if _, ok := s2.Job("job-ghost-9"); ok {
+		t.Error("jobdone without a spec materialized a job")
+	}
+	j, ok := s2.Job("job-x-5")
+	if !ok {
+		t.Fatal("unresolvable jobspec vanished instead of surfacing")
+	}
+	if st := j.Status(false); st.State != JobInterrupted {
+		t.Errorf("unresolvable job state %s, want interrupted", st.State)
+	}
+	if got := s2.Executions(); got != 0 {
+		t.Errorf("replay triggered %d executions", got)
+	}
+}
+
+// TestAdoptJob pins the failover building block: adopting a job re-runs
+// only cells absent from the cache, and re-adopting the same ID is a
+// no-op.
+func TestAdoptJob(t *testing.T) {
+	s := newTestService(t, Options{Workers: 2, NodeName: "n9"})
+	ctx := context.Background()
+
+	warm, err := s.Simulate(ctx, SimRequest{Benchmark: "gzip", MaxInsts: testInsts})
+	if err != nil {
+		t.Fatal(err)
+	}
+	preExec := s.Executions()
+
+	cells := []CellSpec{
+		{Bench: "gzip", Name: "base", Insts: testInsts},
+		{Bench: "mcf", Name: "base", Insts: testInsts},
+	}
+	j, resumed, rerun, err := s.AdoptJob("job-dead-7", cells)
+	if err != nil {
+		t.Fatalf("AdoptJob: %v", err)
+	}
+	if resumed != 1 || rerun != 1 {
+		t.Fatalf("resumed=%d rerun=%d, want 1/1", resumed, rerun)
+	}
+	select {
+	case <-j.Done():
+	case <-time.After(60 * time.Second):
+		t.Fatal("adopted job did not finish")
+	}
+	st := j.Status(true)
+	if st.State != JobDone || st.Failed != 0 {
+		t.Fatalf("adopted job %s, %d failed", st.State, st.Failed)
+	}
+	for _, r := range st.Results {
+		if r.Bench == "gzip" && r.Checksum != warm.Checksum {
+			t.Errorf("adopted gzip checksum %s != warmed %s", r.Checksum, warm.Checksum)
+		}
+	}
+	if got := s.Executions() - preExec; got != 1 {
+		t.Errorf("adoption executed %d cells, want 1 (only the cold one)", got)
+	}
+
+	// Same ID again: the existing job is returned untouched.
+	j2, resumed2, rerun2, err := s.AdoptJob("job-dead-7", cells)
+	if err != nil || j2 != j || resumed2 != 0 || rerun2 != 0 {
+		t.Errorf("re-adopt: j2==j %v resumed=%d rerun=%d err=%v", j2 == j, resumed2, rerun2, err)
+	}
+	// Adopted IDs must not collide with locally minted ones.
+	local, err := s.SubmitMatrix(MatrixRequest{
+		Benchmarks: []string{"gzip"},
+		Configs:    map[string]ConfigSpec{"base": {Sched: "base"}},
+		MaxInsts:   testInsts,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if local.ID() == j.ID() {
+		t.Errorf("local job reused adopted ID %s", local.ID())
+	}
+	<-local.Done()
+}
+
+// TestHealthzJSONBody: /healthz is a structured status document, and
+// during a drain it answers 503 with a Retry-After reflecting the
+// expected drain time.
+func TestHealthzJSONBody(t *testing.T) {
+	s := newTestService(t, Options{Workers: 3})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	if _, err := s.Simulate(context.Background(), SimRequest{Benchmark: "gzip", MaxInsts: testInsts}); err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var h HealthStatus
+	if err := json.NewDecoder(resp.Body).Decode(&h); err != nil {
+		t.Fatalf("healthz is not JSON: %v", err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || h.Status != "ok" || h.Draining {
+		t.Fatalf("healthy body %+v (status %d)", h, resp.StatusCode)
+	}
+	if h.Workers != 3 || h.CacheCells != 1 || h.CacheBytes <= 0 {
+		t.Errorf("healthz fields off: %+v", h)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := s.Drain(ctx); err != nil {
+		t.Fatal(err)
+	}
+	resp, err = http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&h); err != nil {
+		t.Fatalf("draining healthz is not JSON: %v", err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable || h.Status != "draining" || !h.Draining {
+		t.Fatalf("draining body %+v (status %d)", h, resp.StatusCode)
+	}
+	ra, err := strconv.Atoi(resp.Header.Get("Retry-After"))
+	if err != nil || ra < 1 {
+		t.Errorf("draining Retry-After %q, want a positive integer", resp.Header.Get("Retry-After"))
+	}
+}

@@ -41,6 +41,9 @@ type Options struct {
 	QueueDepth int
 	// CacheEntries bounds the in-memory result cache (default 4096).
 	CacheEntries int
+	// CacheBytes additionally bounds the result cache's approximate
+	// resident size; 0 means no byte quota (the entry bound still holds).
+	CacheBytes int64
 	// DefaultInsts is the per-cell instruction budget when a request
 	// leaves it unset (default 200_000).
 	DefaultInsts int64
@@ -56,6 +59,20 @@ type Options struct {
 	// RetryAfter is the hint attached to queue-full rejections
 	// (default 1s).
 	RetryAfter time.Duration
+	// NodeName, when set, namespaces job IDs as job-<node>-<seq> so jobs
+	// stay unique across a cluster and a peer can adopt a dead node's
+	// jobs under their original IDs without colliding with its own.
+	NodeName string
+	// PeerFill, when set, is consulted before a cache-missing cell is
+	// executed locally: the cluster layer asks the cell's owning shard
+	// for the record. Returning ok=false (peer slow, busy, dead, or this
+	// node owns the cell) degrades to local execution. The hook runs
+	// inside the cell's singleflight, so concurrent identical requests
+	// share one peer fetch.
+	PeerFill func(ctx context.Context, cell CellSpec, fp string) (*CachedResult, bool)
+	// ClusterHealth, when set, is embedded in the /healthz JSON body as
+	// the "cluster" field (ring, membership, ownership state).
+	ClusterHealth func() any
 	// Logf receives operational log lines (nil discards them).
 	Logf func(format string, args ...any)
 }
@@ -113,6 +130,9 @@ type Service struct {
 	resumed []*Job // journaled batches awaiting re-dispatch at Start
 	started bool
 
+	execMu  sync.Mutex
+	execFPs map[string]int // fingerprint -> local execution count
+
 	draining atomic.Bool
 	runCtx   context.Context // cancelled by Drain: pick up no new cells
 	stopRun  context.CancelFunc
@@ -126,11 +146,13 @@ type Service struct {
 
 // Journal key prefixes. cellres records double as the persistent layer
 // of the content-addressed cache; jobspec without a matching jobdone is
-// exactly an unfinished batch, which is what resume re-dispatches.
+// exactly an unfinished batch, which is what resume re-dispatches. They
+// are exported because the cluster's failover path reads a dead peer's
+// journal under the same convention to re-own its unfinished jobs.
 const (
-	keyCell    = "cellres|"
-	keyJobSpec = "jobspec|"
-	keyJobDone = "jobdone|"
+	KeyCell    = "cellres|"
+	KeyJobSpec = "jobspec|"
+	KeyJobDone = "jobdone|"
 )
 
 // New builds a Service, opening and replaying the journal when
@@ -140,10 +162,11 @@ func New(opts Options) (*Service, error) {
 	s := &Service{
 		opts:    opts,
 		runner:  experiments.NewRunner(0), // program cache only; budgets are per-cell
-		cache:   newResultCache(opts.CacheEntries),
+		cache:   newResultCache(opts.CacheEntries, opts.CacheBytes),
 		flights: newFlightGroup(),
 		queue:   make(chan *task, opts.QueueDepth),
 		jobs:    make(map[string]*Job),
+		execFPs: make(map[string]int),
 	}
 	s.runCtx, s.stopRun = context.WithCancel(context.Background())
 	s.hardCtx, s.stopHard = context.WithCancel(context.Background())
@@ -162,31 +185,48 @@ func New(opts Options) (*Service, error) {
 	return s, nil
 }
 
+// jobSeq extracts the numeric sequence from a job ID ("job-7" or
+// "job-<node>-7"); -1 if it does not parse.
+func jobSeq(id string) int {
+	i := strings.LastIndexByte(id, '-')
+	if i < 0 {
+		return -1
+	}
+	n, err := strconv.Atoi(id[i+1:])
+	if err != nil {
+		return -1
+	}
+	return n
+}
+
 // replayJournal warms the cache from journaled cell results and
 // reconstructs jobs: finished batches reload frozen, unfinished ones
-// queue for re-dispatch at Start.
+// queue for re-dispatch at Start. Damaged or stale records never fail
+// the replay — a cellres that does not decode simply re-runs, a jobdone
+// whose jobspec is missing is ignored, and a jobspec whose cells no
+// longer resolve is surfaced and abandoned at Start.
 func (s *Service) replayJournal() error {
-	var pendingSpecs []jobSpecRecord
+	var pendingSpecs []JobSpecRecord
 	for _, key := range s.jnl.Keys() {
 		data, _ := s.jnl.Get(key)
 		switch {
-		case strings.HasPrefix(key, keyCell):
-			var cj cellJSON
-			if err := json.Unmarshal(data, &cj); err != nil {
+		case strings.HasPrefix(key, KeyCell):
+			var cw CellWire
+			if err := json.Unmarshal(data, &cw); err != nil {
 				continue // damaged record: the cell simply re-runs
 			}
-			if rec := cj.record(); rec != nil {
-				s.cache.Put(key[len(keyCell):], rec)
+			if rec := cw.Record(); rec != nil {
+				s.cache.Put(key[len(KeyCell):], rec)
 			}
-		case strings.HasPrefix(key, keyJobSpec):
-			var spec jobSpecRecord
+		case strings.HasPrefix(key, KeyJobSpec):
+			var spec JobSpecRecord
 			if err := json.Unmarshal(data, &spec); err != nil {
 				continue
 			}
-			if n, err := strconv.Atoi(strings.TrimPrefix(spec.ID, "job-")); err == nil && n > s.seq {
+			if n := jobSeq(spec.ID); n > s.seq {
 				s.seq = n
 			}
-			if done, ok := s.jnl.Get(keyJobDone + spec.ID); ok {
+			if done, ok := s.jnl.Get(KeyJobDone + spec.ID); ok {
 				var st JobStatus
 				if err := json.Unmarshal(done, &st); err == nil {
 					j := newJob(spec.ID, spec.Cells, true, st.Created)
@@ -300,7 +340,7 @@ func (s *Service) runTask(t *task) *CellResult {
 		Config: t.cell.Name,
 		Cell:   t.cell.fp,
 	}
-	rec, cached, shared, err := s.executeCell(t.cell)
+	rec, how, err := s.executeCell(s.hardCtx, t.cell)
 	cr.WallMS = float64(time.Since(start).Microseconds()) / 1e3
 	if err != nil {
 		kind, _ := simerr.KindOf(err)
@@ -309,7 +349,9 @@ func (s *Service) runTask(t *task) *CellResult {
 		cr.ReproFingerprint = simerr.FingerprintOf(err)
 		return cr
 	}
-	cr.Cached, cr.Shared = cached, shared
+	cr.Cached = how == srcCached
+	cr.Shared = how == srcShared
+	cr.PeerFilled = how == srcPeer
 	cr.Checksum = fmt.Sprintf("%016x", rec.Checksum)
 	cr.CheckedCommits = rec.Commits
 	cr.IPC = rec.Result.IPC
@@ -319,47 +361,77 @@ func (s *Service) runTask(t *task) *CellResult {
 	return cr
 }
 
+// cellSource says where a finished cell's record came from.
+type cellSource int
+
+const (
+	srcRan cellSource = iota
+	srcCached
+	srcShared
+	srcPeer
+)
+
 // executeCell resolves one cell to its outcome: cache hit, coalesced
-// into an identical in-flight execution, or a fresh simulation under the
-// differential oracle. Fresh successes are cached and journaled before
-// any waiter observes them.
-func (s *Service) executeCell(c resolvedCell) (rec *cellRecord, cached, shared bool, err error) {
+// into an identical in-flight execution, a peer cache-fill from the
+// owning shard, or a fresh simulation under the differential oracle.
+// Fresh and peer-filled successes are cached and journaled before any
+// waiter observes them. noFill cells (peer-fill requests served for
+// another node) never chain a further fill.
+func (s *Service) executeCell(ctx context.Context, c resolvedCell) (rec *CachedResult, how cellSource, err error) {
 	if rec, ok := s.cache.Get(c.fp); ok {
 		s.met.cacheHits.Add(1)
-		return rec, true, false, nil
+		return rec, srcCached, nil
 	}
-	ran := false
-	rec, shared, err = s.flights.Do(c.fp, func() (*cellRecord, error) {
+	how = srcCached // refined below by the flight outcome
+	var ran, filled bool
+	rec, shared, err := s.flights.Do(c.fp, func() (*CachedResult, error) {
 		if rec, ok := s.cache.Get(c.fp); ok {
 			return rec, nil // lost the lookup/insert race: still a hit
+		}
+		cellCtx, cancel := context.WithTimeout(ctx, s.opts.CellTimeout)
+		defer cancel()
+		if s.opts.PeerFill != nil && !c.noFill {
+			if rec, ok := s.opts.PeerFill(cellCtx, c.CellSpec, c.fp); ok && rec != nil {
+				filled = true
+				s.cache.Put(c.fp, rec)
+				s.journalCellResult(c.fp, rec)
+				return rec, nil
+			}
 		}
 		ran = true
 		s.met.cacheMisses.Add(1)
 		s.executions.Add(1)
-		ctx, cancel := context.WithTimeout(s.hardCtx, s.opts.CellTimeout)
-		defer cancel()
+		s.execMu.Lock()
+		s.execFPs[c.fp]++
+		s.execMu.Unlock()
 		p, err := s.runner.Program(c.Bench)
 		if err != nil {
 			return nil, err
 		}
 		t0 := time.Now()
-		res, sum, err := checker.CheckedRunContext(ctx, c.m, p, c.Insts, c.Insts)
+		res, sum, err := checker.CheckedRunContext(cellCtx, c.m, p, c.Insts, c.Insts)
 		if err != nil {
 			return nil, err
 		}
 		s.met.observeCell(c.m.Sched.String(), time.Since(t0).Seconds(), res.Committed)
-		rec := &cellRecord{Bench: c.Bench, Result: res, Checksum: sum.Checksum, Commits: sum.Commits}
+		rec := &CachedResult{Bench: c.Bench, Result: res, Checksum: sum.Checksum, Commits: sum.Commits}
 		s.cache.Put(c.fp, rec)
 		s.journalCellResult(c.fp, rec)
 		return rec, nil
 	})
-	if shared {
+	switch {
+	case shared:
+		how = srcShared
 		s.met.sfShared.Add(1)
-	} else if err == nil && !ran {
-		cached = true
+	case ran:
+		how = srcRan
+	case filled:
+		how = srcPeer
+	case err == nil:
+		how = srcCached
 		s.met.cacheHits.Add(1)
 	}
-	return rec, cached, shared, err
+	return rec, how, err
 }
 
 // finishCell records a completed cell on its job and handles job
@@ -416,7 +488,11 @@ func (s *Service) newJob(cells []CellSpec, journaled bool) *Job {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.seq++
-	j := newJob(fmt.Sprintf("job-%d", s.seq), cells, journaled, time.Now())
+	id := fmt.Sprintf("job-%d", s.seq)
+	if s.opts.NodeName != "" {
+		id = fmt.Sprintf("job-%s-%d", s.opts.NodeName, s.seq)
+	}
+	j := newJob(id, cells, journaled, time.Now())
 	s.jobs[j.id] = j
 	if len(s.jobs) > maxRetainedJobs {
 		s.pruneJobsLocked()
@@ -453,14 +529,7 @@ func (s *Service) pruneJobsLocked() {
 // non-nil whenever the cell finished, even if the simulation itself
 // failed (err then carries the typed failure).
 func (s *Service) Simulate(ctx context.Context, req SimRequest) (*CellResult, error) {
-	insts := req.MaxInsts
-	if insts <= 0 {
-		insts = s.opts.DefaultInsts
-	}
-	if insts > s.opts.MaxInsts {
-		return nil, fmt.Errorf("max_insts %d exceeds the server limit %d", insts, s.opts.MaxInsts)
-	}
-	rc, err := CellSpec{Bench: req.Benchmark, Name: req.Config.Sched, Spec: req.Config, Insts: insts}.resolve()
+	rc, err := s.resolveSim(req)
 	if err != nil {
 		return nil, err
 	}
@@ -499,6 +568,31 @@ func (s *Service) Simulate(ctx context.Context, req SimRequest) (*CellResult, er
 	return cr, nil
 }
 
+// resolveSim applies the server's instruction-budget defaults and caps
+// to a single-cell request and resolves it.
+func (s *Service) resolveSim(req SimRequest) (resolvedCell, error) {
+	insts := req.MaxInsts
+	if insts <= 0 {
+		insts = s.opts.DefaultInsts
+	}
+	if insts > s.opts.MaxInsts {
+		return resolvedCell{}, fmt.Errorf("max_insts %d exceeds the server limit %d", insts, s.opts.MaxInsts)
+	}
+	return CellSpec{Bench: req.Benchmark, Name: req.Config.Sched, Spec: req.Config, Insts: insts}.resolve()
+}
+
+// ResolveSim applies the server's budget defaults to a single-cell
+// request and returns the resolved spec plus its content fingerprint.
+// The cluster router uses it to compute a request's owning shard without
+// executing anything.
+func (s *Service) ResolveSim(req SimRequest) (CellSpec, string, error) {
+	rc, err := s.resolveSim(req)
+	if err != nil {
+		return CellSpec{}, "", err
+	}
+	return rc.CellSpec, rc.fp, nil
+}
+
 // SubmitMatrix admits a batched sweep and returns immediately; the job
 // runs on the worker pool. With a journal attached the batch is durable:
 // its spec is journaled before acceptance is reported, so a drain or
@@ -523,6 +617,91 @@ func (s *Service) SubmitMatrix(req MatrixRequest) (*Job, error) {
 	s.wg.Add(1)
 	go s.dispatch(j, cells)
 	return j, nil
+}
+
+// AdoptJob re-owns a job under its original (foreign) ID — the failover
+// path: a peer died with this jobspec journaled but unfinished, and this
+// node resumes it. Adoption is recovery work, so it bypasses queue
+// admission (the cells were admitted once already, on the dead node);
+// cells whose records were warmed into the cache replay instantly, and
+// only the rest re-execute. resumed/rerun report that split. Adopting an
+// ID this node already knows is a no-op returning the existing job.
+func (s *Service) AdoptJob(id string, cells []CellSpec) (j *Job, resumed, rerun int, err error) {
+	if s.draining.Load() {
+		return nil, 0, 0, ErrDraining
+	}
+	rcs, err := resolveAll(cells)
+	if err != nil {
+		return nil, 0, 0, err
+	}
+	s.mu.Lock()
+	if existing, ok := s.jobs[id]; ok {
+		s.mu.Unlock()
+		return existing, 0, 0, nil
+	}
+	j = newJob(id, cells, s.jnl != nil, time.Now())
+	s.jobs[id] = j
+	s.mu.Unlock()
+	for _, rc := range rcs {
+		if _, ok := s.cache.Get(rc.fp); ok {
+			resumed++
+		} else {
+			rerun++
+		}
+	}
+	if j.journaled {
+		s.journalJobSpec(j)
+	}
+	s.met.jobsResumed.Add(1)
+	s.pending.Add(int64(len(rcs)))
+	s.wg.Add(1)
+	go s.dispatch(j, rcs)
+	return j, resumed, rerun, nil
+}
+
+// WarmCache inserts a record under its fingerprint (journaling it for
+// durability) unless one is already cached. It reports whether the
+// record was new. Failover uses it to reconstitute a dead peer's
+// completed cells; the peer-fill path uses the same insertion implicitly
+// via executeCell.
+func (s *Service) WarmCache(fp string, rec *CachedResult) bool {
+	if _, ok := s.cache.Get(fp); ok {
+		return false
+	}
+	s.cache.Put(fp, rec)
+	s.journalCellResult(fp, rec)
+	return true
+}
+
+// CachedByFingerprint looks a record up by content fingerprint — the
+// fast path when serving a peer's cache-fill request.
+func (s *Service) CachedByFingerprint(fp string) (*CachedResult, bool) {
+	return s.cache.Get(fp)
+}
+
+// ExecuteSpec resolves one cell and produces its record on behalf of a
+// peer's cache-fill request: cache hit, coalesced into an in-flight
+// execution, or executed locally under normal admission control (so a
+// saturated node answers busy and the requester degrades to local
+// execution — that is the work-stealing backpressure signal). Fill
+// service never chains a further peer fill: the cell is resolved here
+// or not at all.
+func (s *Service) ExecuteSpec(ctx context.Context, spec CellSpec) (rec *CachedResult, cached bool, err error) {
+	rc, err := spec.resolve()
+	if err != nil {
+		return nil, false, err
+	}
+	rc.noFill = true
+	if rec, ok := s.cache.Get(rc.fp); ok {
+		s.met.cacheHits.Add(1)
+		return rec, true, nil
+	}
+	if err := s.admit(1); err != nil {
+		return nil, false, err
+	}
+	defer s.pending.Add(-1)
+	rec, how, err := s.executeCell(ctx, rc)
+	return rec, how == srcCached || how == srcShared, err
 }
 
 // Job looks up a job by ID.
@@ -551,6 +730,80 @@ func (s *Service) JobStatuses() []*JobStatus {
 
 // Draining reports whether the service has begun (or finished) draining.
 func (s *Service) Draining() bool { return s.draining.Load() }
+
+// HealthStatus is the /healthz JSON body: enough live state for an
+// operator (or the cluster-aware client) to see drain progress and, when
+// clustered, ring and ownership state.
+type HealthStatus struct {
+	Status          string  `json:"status"` // ok | draining
+	Draining        bool    `json:"draining"`
+	QueueDepth      int     `json:"queue_depth"`
+	Workers         int     `json:"workers"`
+	CacheCells      int     `json:"cache_cells"`
+	CacheBytes      int64   `json:"cache_bytes"`
+	Jobs            int     `json:"jobs"`
+	DrainETASeconds float64 `json:"drain_eta_seconds,omitempty"`
+	Cluster         any     `json:"cluster,omitempty"`
+}
+
+// Health snapshots the service for /healthz.
+func (s *Service) Health() HealthStatus {
+	s.mu.Lock()
+	jobs := len(s.jobs)
+	s.mu.Unlock()
+	h := HealthStatus{
+		Status:     "ok",
+		Draining:   s.draining.Load(),
+		QueueDepth: int(s.pending.Load()),
+		Workers:    s.opts.Workers,
+		CacheCells: s.cache.Len(),
+		CacheBytes: s.cache.Bytes(),
+		Jobs:       jobs,
+	}
+	if h.Draining {
+		h.Status = "draining"
+		h.DrainETASeconds = s.DrainETA().Seconds()
+	}
+	if s.opts.ClusterHealth != nil {
+		h.Cluster = s.opts.ClusterHealth()
+	}
+	return h
+}
+
+// DrainETA estimates how long until in-flight work finishes: pending
+// cells times the observed mean cell latency, divided across the worker
+// pool. With no latency samples yet it assumes one second per cell. The
+// estimate backs the Retry-After hint during a drain, replacing the
+// static queue hint: a client told to come back learns when the restart
+// is actually expected to have happened.
+func (s *Service) DrainETA() time.Duration {
+	pending := s.pending.Load()
+	if pending <= 0 {
+		return 0
+	}
+	avg := s.met.avgCellSeconds()
+	if avg <= 0 {
+		avg = 1
+	}
+	eta := time.Duration(float64(pending) * avg / float64(s.opts.Workers) * float64(time.Second))
+	if eta < time.Second {
+		eta = time.Second
+	}
+	return eta
+}
+
+// retryAfter is the Retry-After hint for a rejected request: during a
+// drain it reflects the expected drain time; for queue-full it is the
+// configured static hint.
+func (s *Service) retryAfter(err error) time.Duration {
+	if errors.Is(err, ErrDraining) || errors.Is(err, ErrInterrupted) {
+		if eta := s.DrainETA(); eta > 0 {
+			return eta
+		}
+		return s.opts.RetryAfter
+	}
+	return s.opts.RetryAfter
+}
 
 // Drain gracefully stops the service: no new admissions, queued cells
 // are left for resume, in-flight cells run to completion. It returns
@@ -601,10 +854,39 @@ func (s *Service) Close() error {
 	return err
 }
 
+// Abort hard-stops the service without draining — the in-process stand-in
+// for kill -9 in cluster chaos tests. The journal is closed first, so
+// nothing that happens after Abort is durable: exactly the visibility a
+// crashed process leaves behind. In-flight cells fail typed-cancelled;
+// worker goroutines exit; no cleanup runs.
+func (s *Service) Abort() {
+	s.draining.Store(true)
+	s.closeJnl.Do(func() {
+		if s.jnl != nil {
+			s.jnl.Close()
+		}
+	})
+	s.stopRun()
+	s.stopHard()
+}
+
 // Executions reports how many cells were actually simulated (cache hits
 // and coalesced requests excluded) — the observable the singleflight and
 // sustained-load tests assert on.
 func (s *Service) Executions() int64 { return s.executions.Load() }
+
+// ExecutedFingerprints snapshots the per-fingerprint local execution
+// counts — the chaos tests' precise observable for "failover re-ran only
+// cells the dead node had not journaled as complete".
+func (s *Service) ExecutedFingerprints() map[string]int {
+	s.execMu.Lock()
+	defer s.execMu.Unlock()
+	out := make(map[string]int, len(s.execFPs))
+	for k, v := range s.execFPs {
+		out[k] = v
+	}
+	return out
+}
 
 // CacheStats reports content-addressed cache hits, misses, and requests
 // coalesced by singleflight.
@@ -614,6 +896,10 @@ func (s *Service) CacheStats() (hits, misses, shared int64) {
 
 // QueueDepth reports admitted-but-unfinished cells.
 func (s *Service) QueueDepth() int { return int(s.pending.Load()) }
+
+// QueueBound reports the admission limit (Options.QueueDepth) — the
+// cluster's steal heuristic compares depth against it.
+func (s *Service) QueueBound() int { return s.opts.QueueDepth }
 
 // MetricsText renders the Prometheus exposition.
 func (s *Service) MetricsText() string {
@@ -625,31 +911,36 @@ func (s *Service) MetricsText() string {
 // ---------------------------------------------------------------------
 // Journal encoding.
 
-// jobSpecRecord is the journaled form of an accepted batch.
-type jobSpecRecord struct {
+// JobSpecRecord is the journaled form of an accepted batch. Exported so
+// the cluster failover path can decode a dead peer's jobspec records and
+// adopt its unfinished jobs.
+type JobSpecRecord struct {
 	ID    string     `json:"id"`
 	Cells []CellSpec `json:"cells"`
 }
 
-// cellJSON is the journaled form of one successful cell result. The
+// CellWire is the serialized form of one successful cell result — both
+// the journaled cellres record and the peer-fill response payload. The
 // checksum is hex text: it is a uint64 and JSON numbers cannot carry 64
 // bits faithfully.
-type cellJSON struct {
+type CellWire struct {
 	Bench    string           `json:"bench"`
 	Result   *json.RawMessage `json:"result"`
 	Checksum string           `json:"checksum"`
 	Commits  int64            `json:"commits"`
 }
 
-func (cj *cellJSON) record() *cellRecord {
-	if cj.Result == nil {
+// Record decodes the wire form back into a cache record; nil if the
+// payload is damaged or incomplete.
+func (cw *CellWire) Record() *CachedResult {
+	if cw.Result == nil {
 		return nil
 	}
-	rec := &cellRecord{Bench: cj.Bench, Commits: cj.Commits}
-	if err := json.Unmarshal(*cj.Result, &rec.Result); err != nil {
+	rec := &CachedResult{Bench: cw.Bench, Commits: cw.Commits}
+	if err := json.Unmarshal(*cw.Result, &rec.Result); err != nil {
 		return nil
 	}
-	sum, err := strconv.ParseUint(cj.Checksum, 16, 64)
+	sum, err := strconv.ParseUint(cw.Checksum, 16, 64)
 	if err != nil {
 		return nil
 	}
@@ -657,24 +948,33 @@ func (cj *cellJSON) record() *cellRecord {
 	return rec
 }
 
-func (s *Service) journalCellResult(fp string, rec *cellRecord) {
-	if s.jnl == nil {
-		return
-	}
+// WireFromRecord encodes a cache record for the journal or the peer
+// protocol.
+func WireFromRecord(rec *CachedResult) (*CellWire, error) {
 	res, err := json.Marshal(rec.Result)
 	if err != nil {
-		s.opts.Logf("service: journal cell %s: %v", fp, err)
-		return
+		return nil, err
 	}
 	raw := json.RawMessage(res)
-	data, err := json.Marshal(&cellJSON{
+	return &CellWire{
 		Bench:    rec.Bench,
 		Result:   &raw,
 		Checksum: fmt.Sprintf("%016x", rec.Checksum),
 		Commits:  rec.Commits,
-	})
+	}, nil
+}
+
+func (s *Service) journalCellResult(fp string, rec *CachedResult) {
+	if s.jnl == nil {
+		return
+	}
+	cw, err := WireFromRecord(rec)
+	var data []byte
 	if err == nil {
-		err = s.jnl.Append(keyCell+fp, data)
+		data, err = json.Marshal(cw)
+	}
+	if err == nil {
+		err = s.jnl.Append(KeyCell+fp, data)
 	}
 	if err != nil {
 		s.opts.Logf("service: journal cell %s: %v", fp, err)
@@ -682,9 +982,12 @@ func (s *Service) journalCellResult(fp string, rec *cellRecord) {
 }
 
 func (s *Service) journalJobSpec(j *Job) {
-	data, err := json.Marshal(&jobSpecRecord{ID: j.id, Cells: j.cells})
+	if s.jnl == nil {
+		return
+	}
+	data, err := json.Marshal(&JobSpecRecord{ID: j.id, Cells: j.cells})
 	if err == nil {
-		err = s.jnl.Append(keyJobSpec+j.id, data)
+		err = s.jnl.Append(KeyJobSpec+j.id, data)
 	}
 	if err != nil {
 		s.opts.Logf("service: journal %s spec: %v", j.id, err)
@@ -697,9 +1000,23 @@ func (s *Service) journalJobDone(st *JobStatus) {
 	}
 	data, err := json.Marshal(st)
 	if err == nil {
-		err = s.jnl.Append(keyJobDone+st.ID, data)
+		err = s.jnl.Append(KeyJobDone+st.ID, data)
 	}
 	if err != nil {
 		s.opts.Logf("service: journal %s done: %v", st.ID, err)
 	}
+}
+
+// AppendJournal durably records an arbitrary cluster-level key/value
+// entry (ownership and epoch records) in the node's journal. With no
+// journal attached it is a no-op.
+func (s *Service) AppendJournal(key string, v any) error {
+	if s.jnl == nil {
+		return nil
+	}
+	data, err := json.Marshal(v)
+	if err != nil {
+		return err
+	}
+	return s.jnl.Append(key, data)
 }

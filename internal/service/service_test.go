@@ -352,8 +352,8 @@ func TestJournalResume(t *testing.T) {
 
 // TestResultCacheLRU pins the cache's bounded-eviction behaviour.
 func TestResultCacheLRU(t *testing.T) {
-	c := newResultCache(2)
-	a, b, d := &cellRecord{Checksum: 1}, &cellRecord{Checksum: 2}, &cellRecord{Checksum: 3}
+	c := newResultCache(2, 0)
+	a, b, d := &CachedResult{Checksum: 1}, &CachedResult{Checksum: 2}, &CachedResult{Checksum: 3}
 	c.Put("a", a)
 	c.Put("b", b)
 	if _, ok := c.Get("a"); !ok { // refresh a: b becomes LRU

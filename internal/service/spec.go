@@ -130,6 +130,21 @@ type resolvedCell struct {
 	CellSpec
 	m  config.Machine
 	fp string
+	// noFill marks a cell that must resolve on this node (a peer-fill
+	// request being served): the peer-fill hook is skipped so fills never
+	// chain node-to-node.
+	noFill bool
+}
+
+// Fingerprint validates the cell and returns its content fingerprint —
+// the cluster routing key (consistent hashing maps it onto an owning
+// shard).
+func (c CellSpec) Fingerprint() (string, error) {
+	rc, err := c.resolve()
+	if err != nil {
+		return "", err
+	}
+	return rc.fp, nil
 }
 
 // resolve validates the cell and computes its content fingerprint. The
