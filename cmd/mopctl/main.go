@@ -360,7 +360,8 @@ func (c *client) metrics() {
 func (c *client) ring() {
 	var info cluster.RingInfo
 	decode(c.get("/cluster/v1/ring"), &info)
-	fmt.Printf("cluster as seen by %s (epoch %d)\n", info.Self, info.Epoch)
+	fmt.Printf("cluster as seen by %s (epoch %d, membership v%d, replication %d)\n",
+		info.Self, info.Epoch, info.Version, info.Replication)
 	t := stats.NewTable("members", "node", "addr", "state", "queue", "draining", "last-ack")
 	for _, m := range info.Members {
 		age := time.Since(m.LastAck).Round(time.Millisecond)
@@ -371,6 +372,32 @@ func (c *client) ring() {
 		t.AddRow(m.ID+self, m.Addr, m.State, m.QueueDepth, m.Draining, age.String())
 	}
 	fmt.Print(t)
+	if len(info.Samples) == 0 {
+		return
+	}
+	fmt.Println()
+	rt := stats.NewTable("replica sets (sampled keys)", "key", "primary", "replicas", "health")
+	degraded := 0
+	for _, s := range info.Samples {
+		primary, rest := "-", "-"
+		if len(s.Replicas) > 0 {
+			primary = s.Replicas[0]
+		}
+		if len(s.Replicas) > 1 {
+			rest = strings.Join(s.Replicas[1:], ",")
+		}
+		health := "ok"
+		if s.Degraded {
+			health = fmt.Sprintf("DEGRADED (%d/%d alive)", len(s.Replicas), info.Replication)
+			degraded++
+		}
+		rt.AddRow(s.Key, primary, rest, health)
+	}
+	fmt.Print(rt)
+	if degraded > 0 {
+		fmt.Printf("\n%d of %d sampled replica sets are below R=%d — records there have fewer live copies than configured\n",
+			degraded, len(info.Samples), info.Replication)
+	}
 }
 
 // configSpec builds the wire config from CLI knobs; unset knobs stay

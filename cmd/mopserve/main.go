@@ -9,12 +9,21 @@
 //	mopserve -addr :8344 -journal serve.journal  # crash-consistent
 //	mopserve -workers 8 -queue 512 -cache 8192
 //
-// Cluster mode shards the cell keyspace by consistent hashing across a
-// static member set, with heartbeat failure detection, peer cache-fill,
-// work stealing, and journal-backed failover (see internal/cluster):
+// Cluster mode shards the cell keyspace by consistent hashing with
+// replicated ownership (R=2 by default: the primary executes and
+// write-through-replicates each record to its successors), heartbeat
+// failure detection, peer cache-fill with replica fallback, work
+// stealing, an anti-entropy repair loop, and journal-backed failover
+// (see internal/cluster):
 //
 //	mopserve -addr :8344 -node n1 \
 //	  -peers n1=http://h1:8344,n2=http://h2:8344,n3=http://h3:8344 \
+//	  -cluster-dir /shared/journals -replication 2
+//
+// A new node joins a live fleet without restarting anyone:
+//
+//	mopserve -addr :8345 -node n4 \
+//	  -join http://h1:8344 -advertise http://h4:8345 \
 //	  -cluster-dir /shared/journals
 //
 // Endpoints:
@@ -83,10 +92,14 @@ func main() {
 		drainGrace   = flag.Duration("drain-grace", 60*time.Second, "how long a drain waits for in-flight cells before hard-cancelling them")
 		retryAfter   = flag.Duration("retry-after", time.Second, "Retry-After hint attached to queue-full rejections")
 
-		node        = flag.String("node", "", "cluster member ID of this node (enables cluster mode with -peers)")
+		node        = flag.String("node", "", "cluster member ID of this node (enables cluster mode with -peers or -join)")
 		peers       = flag.String("peers", "", "full cluster membership as id=url,id=url,... (must include -node)")
+		join        = flag.String("join", "", "base URL of any live fleet member to join through (alternative to a full -peers list; requires -advertise)")
+		advertise   = flag.String("advertise", "", "base URL peers reach this node at (required with -join; defaults to the -peers entry for -node otherwise)")
 		clusterDir  = flag.String("cluster-dir", "", "shared directory of per-node journals (<dir>/<node>.journal); enables journal-backed failover and overrides -journal")
 		vnodes      = flag.Int("vnodes", 0, "virtual nodes per member on the hash ring (0 = 64)")
+		replication = flag.Int("replication", 2, "replica-set size R: the primary write-through-replicates each record to R-1 successors (1 = single-owner)")
+		repairEvery = flag.Duration("repair-interval", 30*time.Second, "anti-entropy period: offer cell digests to replica peers and repair holes (0 disables)")
 		hbInterval  = flag.Duration("hb-interval", 500*time.Millisecond, "heartbeat probe period")
 		suspectTO   = flag.Duration("suspect-after", 0, "silence before a peer turns suspect (0 = 4x hb-interval)")
 		deadTO      = flag.Duration("dead-after", 0, "silence before a peer is declared dead and failover runs (0 = 10x hb-interval)")
@@ -115,10 +128,21 @@ func main() {
 	}
 
 	var node1 *cluster.Node
-	if *node != "" || *peers != "" {
+	if *node != "" || *peers != "" || *join != "" {
 		members, err := parsePeers(*peers)
 		if err != nil {
 			fail(err)
+		}
+		if *join != "" {
+			// Join mode: the member map starts as just this node; the
+			// handshake with the live fleet fills in the rest.
+			if *peers != "" {
+				fail(errors.New("-join and -peers are mutually exclusive"))
+			}
+			if *advertise == "" {
+				fail(errors.New("-join requires -advertise (the URL peers reach this node at)"))
+			}
+			members = map[string]string{*node: *advertise}
 		}
 		if *clusterDir != "" {
 			if err := os.MkdirAll(*clusterDir, 0o755); err != nil {
@@ -127,14 +151,17 @@ func main() {
 			opts.JournalPath = filepath.Join(*clusterDir, *node+".journal")
 		}
 		node1, err = cluster.New(cluster.Config{
-			Self:    *node,
-			Members: members,
+			Self:     *node,
+			Members:  members,
+			JoinAddr: *join,
 			Timings: cluster.Timings{
 				HeartbeatInterval: *hbInterval,
 				SuspectAfter:      *suspectTO,
 				DeadAfter:         *deadTO,
 			},
 			Replicas:       *vnodes,
+			Replication:    *replication,
+			RepairInterval: *repairEvery,
 			FillTimeout:    *fillTimeout,
 			StealThreshold: *stealAt,
 			JournalDir:     *clusterDir,
@@ -157,7 +184,11 @@ func main() {
 		node1.Attach(s)
 		node1.Start()
 		handler = node1.Handler()
-		logf("cluster node %s of %d members (journals in %q)", *node, len(strings.Split(*peers, ",")), *clusterDir)
+		if *join != "" {
+			logf("cluster node %s joining fleet via %s (replication %d, journals in %q)", *node, *join, *replication, *clusterDir)
+		} else {
+			logf("cluster node %s of %d members (replication %d, journals in %q)", *node, len(strings.Split(*peers, ",")), *replication, *clusterDir)
+		}
 	}
 
 	srv := &http.Server{Addr: *addr, Handler: handler}

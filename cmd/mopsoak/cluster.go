@@ -1,12 +1,16 @@
 package main
 
 // Cluster chaos mode (-cluster): the end-to-end failover proof behind
-// the cluster-smoke CI job. It boots a real 3-node mopserve cluster as
+// the cluster-smoke CI job. It boots a real 5-node R=2 mopserve fleet as
 // child processes sharing a journal directory, submits a sweep through
 // mopctl, SIGKILLs the coordinating node once the journal shows partial
-// progress, and then requires the survivors to finish the job with
-// results byte-identical to an uninterrupted single-process reference —
-// re-simulating only the cells the dead node had not journaled.
+// progress, and requires the survivors to finish the job with results
+// byte-identical to an uninterrupted single-process reference —
+// re-simulating only the cells the dead node had not journaled. It then
+// rolling-restarts one survivor with a wiped disk through the -join
+// handshake (no other member restarts) and requires the anti-entropy
+// loop to repair the holes: mopserve_cluster_repair_total must go
+// positive across the fleet.
 
 import (
 	"encoding/json"
@@ -22,6 +26,7 @@ import (
 	"syscall"
 	"time"
 
+	"macroop/internal/cluster"
 	"macroop/internal/journal"
 	"macroop/internal/service"
 )
@@ -33,6 +38,7 @@ const clusterInsts = 150_000
 var (
 	clusterBenches = []string{"gzip", "mcf", "twolf"}
 	clusterScheds  = []string{"base", "2cycle", "mop"}
+	clusterIDs     = []string{"n1", "n2", "n3", "n4", "n5"}
 )
 
 // proc is one mopserve child process.
@@ -60,7 +66,7 @@ func soakCluster(dir, mopserveBin, mopctlBin string) bool {
 	if err := os.MkdirAll(cdir, 0o755); err != nil {
 		fatalf("%v", err)
 	}
-	members, err := clusterMembers([]string{"n1", "n2", "n3"})
+	members, err := clusterMembers(clusterIDs)
 	if err != nil {
 		fatalf("%v", err)
 	}
@@ -75,7 +81,7 @@ func soakCluster(dir, mopserveBin, mopctlBin string) bool {
 			}
 		}
 	}()
-	for _, id := range []string{"n1", "n2", "n3"} {
+	for _, id := range clusterIDs {
 		workers := 2
 		if id == "n1" {
 			workers = 1
@@ -185,11 +191,76 @@ func soakCluster(dir, mopserveBin, mopctlBin string) bool {
 		ok = false
 	}
 
-	// mopctl must see the degraded ring through a surviving seed.
+	// Rolling restart: the last survivor drains cleanly on SIGTERM, loses
+	// its disk, and rejoins the live fleet through the -join handshake —
+	// no other member restarts.
+	last := survivors[len(survivors)-1]
+	_ = last.cmd.Process.Signal(syscall.SIGTERM)
+	select {
+	case <-last.done:
+		if code := last.cmd.ProcessState.ExitCode(); code != 0 {
+			fmt.Printf("mopsoak: FAIL: %s exited %d on SIGTERM before the rolling restart\n", last.id, code)
+			return false
+		}
+	case <-time.After(30 * time.Second):
+		fmt.Printf("mopsoak: FAIL: %s did not exit on SIGTERM\n", last.id)
+		last.kill9()
+		return false
+	}
+	if err := os.Remove(filepath.Join(cdir, last.id+".journal")); err != nil {
+		fmt.Printf("mopsoak: FAIL: wipe %s journal: %v\n", last.id, err)
+		return false
+	}
+	rejoined, err := startNode(mopserveBin, last.id, members, cdir, 2,
+		"-join", survivors[0].base, "-advertise", members[last.id])
+	if err != nil {
+		fmt.Printf("mopsoak: FAIL: restart %s with -join: %v\n", last.id, err)
+		return false
+	}
+	procs = append(procs, rejoined)
+	survivors[len(survivors)-1] = rejoined
+	if !waitHealthy(rejoined, 30*time.Second) {
+		fmt.Printf("mopsoak: FAIL: rejoined %s never became healthy\n", rejoined.id)
+		return false
+	}
+	if !awaitMembers(rejoined, len(clusterIDs), 30*time.Second) {
+		fmt.Printf("mopsoak: FAIL: rejoined %s never converged to %d known members\n", rejoined.id, len(clusterIDs))
+		ok = false
+	} else {
+		fmt.Printf("mopsoak: %s rejoined via -join with a wiped disk, no other member restarted\n", rejoined.id)
+	}
+
+	// Anti-entropy must backfill the holes the dead n1 and the wiped
+	// rejoiner left: surviving holders push the records to the promoted
+	// replicas, so the repair counter goes positive fleet-wide.
+	repairDeadline := time.Now().Add(90 * time.Second)
+	var repairs float64
+	for {
+		repairs = 0
+		for _, p := range survivors {
+			repairs += metricValue(fetchMetrics(p.base), "mopserve_cluster_repair_total")
+		}
+		if repairs > 0 {
+			break
+		}
+		if time.Now().After(repairDeadline) {
+			fmt.Printf("mopsoak: FAIL: mopserve_cluster_repair_total stayed 0 across the fleet\n")
+			ok = false
+			break
+		}
+		time.Sleep(250 * time.Millisecond)
+	}
+
+	// mopctl must see the degraded ring and the replica sets through a
+	// surviving seed.
 	ring, err := exec.Command(mopctlBin, "-seeds", adopter, "ring").CombinedOutput()
 	os.Stdout.Write(ring)
 	if err != nil || !strings.Contains(string(ring), "dead") {
 		fmt.Printf("mopsoak: FAIL: mopctl ring via survivor: err=%v (no dead member shown)\n", err)
+		ok = false
+	}
+	if !strings.Contains(string(ring), "replica sets") {
+		fmt.Printf("mopsoak: FAIL: mopctl ring shows no replica-set table\n")
 		ok = false
 	}
 
@@ -211,8 +282,8 @@ func soakCluster(dir, mopserveBin, mopctlBin string) bool {
 		}
 	}
 	if ok {
-		fmt.Printf("mopsoak: cluster phase OK: %d cells journaled at the kill, %v resumed + %v re-run on the adopter, checksums identical\n",
-			len(journaled), resumed, rerun)
+		fmt.Printf("mopsoak: cluster phase OK: %d cells journaled at the kill, %v resumed + %v re-run on the adopter, %v holes repaired by anti-entropy, checksums identical\n",
+			len(journaled), resumed, rerun, repairs)
 	}
 	return ok
 }
@@ -275,24 +346,40 @@ func clusterMembers(ids []string) (map[string]string, error) {
 	return members, nil
 }
 
-func startNode(bin, id string, members map[string]string, cdir string, workers int) (*proc, error) {
-	var peers []string
-	for mid, url := range members {
-		peers = append(peers, mid+"="+url)
-	}
-	sort.Strings(peers)
-	cmd := exec.Command(bin,
+// startNode boots one mopserve child. Extra args come last so a caller
+// can switch the node into join mode ("-join", seed, "-advertise", url)
+// — when they do, the full -peers list is omitted (the two are mutually
+// exclusive; the handshake supplies the membership).
+func startNode(bin, id string, members map[string]string, cdir string, workers int, extra ...string) (*proc, error) {
+	args := []string{
 		"-addr", strings.TrimPrefix(members[id], "http://"),
 		"-node", id,
-		"-peers", strings.Join(peers, ","),
 		"-cluster-dir", cdir,
 		"-workers", strconv.Itoa(workers),
 		"-queue", "64",
+		"-replication", "2",
+		"-repair-interval", "2s",
 		// Fast failure detection so the soak converges in CI time.
 		"-hb-interval", "100ms",
 		"-suspect-after", "500ms",
 		"-dead-after", "1500ms",
-	)
+	}
+	joining := false
+	for _, a := range extra {
+		if a == "-join" {
+			joining = true
+		}
+	}
+	if !joining {
+		var peers []string
+		for mid, url := range members {
+			peers = append(peers, mid+"="+url)
+		}
+		sort.Strings(peers)
+		args = append(args, "-peers", strings.Join(peers, ","))
+	}
+	args = append(args, extra...)
+	cmd := exec.Command(bin, args...)
 	cmd.Stdout, cmd.Stderr = os.Stdout, os.Stderr
 	if err := cmd.Start(); err != nil {
 		return nil, err
@@ -300,6 +387,25 @@ func startNode(bin, id string, members map[string]string, cdir string, workers i
 	p := &proc{id: id, base: members[id], cmd: cmd, done: make(chan error, 1)}
 	go func() { p.done <- cmd.Wait() }()
 	return p, nil
+}
+
+// awaitMembers polls a node's ring view until it knows the wanted
+// member count — how the soak observes a join converging.
+func awaitMembers(p *proc, want int, deadline time.Duration) bool {
+	end := time.Now().Add(deadline)
+	for time.Now().Before(end) {
+		resp, err := http.Get(p.base + "/cluster/v1/ring")
+		if err == nil {
+			var info cluster.RingInfo
+			decodeErr := json.NewDecoder(resp.Body).Decode(&info)
+			resp.Body.Close()
+			if decodeErr == nil && len(info.Members) >= want {
+				return true
+			}
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+	return false
 }
 
 func waitHealthy(p *proc, deadline time.Duration) bool {

@@ -18,11 +18,13 @@
 //     CI artifacts).
 //
 // A third mode (-cluster) is the cluster chaos harness: it boots a real
-// 3-node mopserve fleet sharing a journal directory, submits a sweep
+// 5-node R=2 mopserve fleet sharing a journal directory, submits a sweep
 // through mopctl, SIGKILLs the coordinating node once its journal shows
 // partial progress, and requires the survivors to adopt and finish the
 // job with checksums identical to an uninterrupted reference — re-running
-// only the cells the dead node had not journaled.
+// only the cells the dead node had not journaled. It then rolling-restarts
+// one survivor with a wiped disk through the -join handshake and requires
+// the anti-entropy loop to repair the holes (repair_total > 0).
 //
 // Usage:
 //
@@ -57,7 +59,7 @@ func main() {
 		bundles = flag.String("bundles", "repros", "directory for shrunken repro bundles of campaign detections")
 		work    = flag.String("work", "", "directory for the journals (default: a temp dir, removed afterwards)")
 
-		clusterMode = flag.Bool("cluster", false, "run the cluster chaos phase instead: boot a 3-node mopserve fleet, SIGKILL the coordinator mid-sweep, require journal-backed failover to finish the job")
+		clusterMode = flag.Bool("cluster", false, "run the cluster chaos phase instead: boot a 5-node R=2 mopserve fleet, SIGKILL the coordinator mid-sweep, rolling-restart a survivor through -join, require failover, identical checksums, and anti-entropy repairs")
 		mopserveBin = flag.String("mopserve", "", "path to the mopserve binary (-cluster)")
 		mopctlBin   = flag.String("mopctl", "", "path to the mopctl binary (-cluster)")
 

@@ -85,6 +85,7 @@ func startCluster(t *testing.T, ids []string, tweak func(id string, cfg *Config,
 			FillTimeout:    20 * time.Second,
 			JournalDir:     dir,
 			StealThreshold: -1, // tests opt in explicitly
+			Replication:    1,  // single-owner semantics; R>1 tests opt in
 			Logf:           lg.logf,
 		}
 		opts := service.Options{

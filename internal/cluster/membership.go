@@ -87,29 +87,37 @@ type peer struct {
 	draining bool
 }
 
-// Membership tracks peer liveness and the cluster epoch. It is a pure
-// state machine over observation timestamps — the prober goroutine in
-// Node feeds it acks and failures, and tests feed it synthetic clocks.
+// Membership tracks peer liveness, the cluster epoch, and the membership
+// version. It is a pure state machine over observation timestamps — the
+// prober goroutine in Node feeds it acks and failures, and tests feed it
+// synthetic clocks.
 //
-// The epoch counts liveness transitions (death or rejoin). Peer-protocol
-// frames carry it so two nodes whose membership views have diverged
-// refuse to serve each other stale fills; heartbeats max-merge it so a
-// restarted node (whose own counter reset to the transitions it has
-// since observed) converges back to the cluster's.
+// The epoch counts view transitions (death, rejoin, or a membership
+// change). Peer-protocol frames carry it so two nodes whose membership
+// views have diverged refuse to serve each other stale fills; heartbeats
+// max-merge it so a restarted node (whose own counter reset to the
+// transitions it has since observed) converges back to the cluster's.
+//
+// The version counts membership changes only (members added). It is
+// stamped on heartbeats so an existing fleet notices a join it has not
+// seen yet and pulls the new member from the ack's member map — one
+// heartbeat round is enough for a join to reach everyone.
 type Membership struct {
-	self string
+	self     string
+	selfAddr string
 
-	mu    sync.Mutex
-	peers map[string]*peer
-	epoch uint64
+	mu      sync.Mutex
+	peers   map[string]*peer
+	epoch   uint64
+	version uint64
 }
 
 // NewMembership builds the detector for self among the addressed peers
-// (self's own entry, if present, is ignored). All peers start alive as
-// of now: a node that never comes up is detected dead one DeadAfter
-// after startup, like any other silence.
+// (self's own entry carries self's advertised address). All peers start
+// alive as of now: a node that never comes up is detected dead one
+// DeadAfter after startup, like any other silence.
 func NewMembership(self string, addrs map[string]string, now time.Time) *Membership {
-	m := &Membership{self: self, peers: make(map[string]*peer)}
+	m := &Membership{self: self, selfAddr: addrs[self], peers: make(map[string]*peer)}
 	for id, addr := range addrs {
 		if id == self {
 			continue
@@ -117,6 +125,79 @@ func NewMembership(self string, addrs map[string]string, now time.Time) *Members
 		m.peers[id] = &peer{addr: addr, state: StateAlive, lastAck: now}
 	}
 	return m
+}
+
+// AddPeer admits a previously unknown member into the view (a join, or a
+// member learned from a peer's heartbeat). It reports whether the view
+// changed; a change bumps both the membership version and the epoch, so
+// fills built against the pre-join ring are refused until views merge.
+// Re-adding a known member only refreshes its address.
+func (m *Membership) AddPeer(id, addr string, now time.Time) bool {
+	if id == "" || addr == "" || id == m.self {
+		return false
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if p, ok := m.peers[id]; ok {
+		p.addr = addr
+		return false
+	}
+	m.peers[id] = &peer{addr: addr, state: StateAlive, lastAck: now}
+	m.version++
+	m.epoch++
+	return true
+}
+
+// Members returns the full member map (self included) — the ring's input
+// and the join handshake's snapshot payload.
+func (m *Membership) Members() map[string]string {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make(map[string]string, len(m.peers)+1)
+	out[m.self] = m.selfAddr
+	for id, p := range m.peers {
+		out[id] = p.addr
+	}
+	return out
+}
+
+// MemberIDs returns every member ID (self included), sorted.
+func (m *Membership) MemberIDs() []string {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	ids := make([]string, 0, len(m.peers)+1)
+	ids = append(ids, m.self)
+	for id := range m.peers {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	return ids
+}
+
+// Version returns the membership version (members added to this view).
+func (m *Membership) Version() uint64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.version
+}
+
+// MergeEpoch max-merges a peer's advertised cluster epoch — the join
+// handshake's way of adopting the fleet's epoch in one step.
+func (m *Membership) MergeEpoch(e uint64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if e > m.epoch {
+		m.epoch = e
+	}
+}
+
+// MergeVersion max-merges a peer's advertised membership version.
+func (m *Membership) MergeVersion(v uint64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if v > m.version {
+		m.version = v
+	}
 }
 
 // ObserveAck records a successful heartbeat: the peer is alive as of

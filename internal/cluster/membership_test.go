@@ -108,6 +108,69 @@ func TestIdlestAlivePeer(t *testing.T) {
 	}
 }
 
+// TestAddPeerVersioning: admitting a member bumps both the membership
+// version and the epoch exactly once; re-adding only refreshes the
+// address; self and blank entries are rejected.
+func TestAddPeerVersioning(t *testing.T) {
+	m := NewMembership("n1", map[string]string{"n1": "u1", "n2": "u2"}, t0)
+	if m.Version() != 0 {
+		t.Fatalf("fresh membership has version %d", m.Version())
+	}
+	if !m.AddPeer("n3", "u3", t0) {
+		t.Fatal("new peer not admitted")
+	}
+	if m.Version() != 1 || m.Epoch() != 1 {
+		t.Fatalf("admit did not bump version/epoch: v=%d e=%d", m.Version(), m.Epoch())
+	}
+	if !m.Alive("n3") {
+		t.Fatal("admitted peer not alive")
+	}
+	if m.AddPeer("n3", "u3-moved", t0) {
+		t.Fatal("re-admit reported a view change")
+	}
+	if m.Version() != 1 || m.Epoch() != 1 {
+		t.Fatalf("re-admit bumped version/epoch: v=%d e=%d", m.Version(), m.Epoch())
+	}
+	if addr, _ := m.PeerAddr("n3"); addr != "u3-moved" {
+		t.Fatalf("re-admit did not refresh address: %s", addr)
+	}
+	for _, bad := range []struct{ id, addr string }{{"", "u"}, {"nx", ""}, {"n1", "u1"}} {
+		if m.AddPeer(bad.id, bad.addr, t0) {
+			t.Fatalf("bad peer %+v admitted", bad)
+		}
+	}
+	ids := m.MemberIDs()
+	if len(ids) != 3 || ids[0] != "n1" || ids[1] != "n2" || ids[2] != "n3" {
+		t.Fatalf("member IDs %v", ids)
+	}
+	members := m.Members()
+	if members["n1"] != "u1" || members["n3"] != "u3-moved" || len(members) != 3 {
+		t.Fatalf("member map %v", members)
+	}
+}
+
+// TestVersionAndEpochMerge: advertised versions and epochs max-merge and
+// never regress.
+func TestVersionAndEpochMerge(t *testing.T) {
+	m := NewMembership("n1", map[string]string{"n1": "u1", "n2": "u2"}, t0)
+	m.MergeVersion(5)
+	if m.Version() != 5 {
+		t.Fatalf("version did not merge: %d", m.Version())
+	}
+	m.MergeVersion(2)
+	if m.Version() != 5 {
+		t.Fatalf("version regressed: %d", m.Version())
+	}
+	m.MergeEpoch(9)
+	if m.Epoch() != 9 {
+		t.Fatalf("epoch did not merge: %d", m.Epoch())
+	}
+	m.MergeEpoch(1)
+	if m.Epoch() != 9 {
+		t.Fatalf("epoch regressed: %d", m.Epoch())
+	}
+}
+
 // TestSnapshotSorted: the membership snapshot is deterministic.
 func TestSnapshotSorted(t *testing.T) {
 	m := NewMembership("n2", map[string]string{"n1": "u1", "n2": "u2", "n3": "u3"}, t0)

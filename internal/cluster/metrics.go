@@ -21,12 +21,21 @@ type clusterMetrics struct {
 	fillHit     atomic.Int64 // owner served from its cache
 	fillRan     atomic.Int64 // owner executed for us
 	fillBusy    atomic.Int64 // owner saturated/draining -> we run it (steal-by-backpressure)
+	fillMiss    atomic.Int64 // probed replica does not hold the record
 	fillTimeout atomic.Int64 // owner too slow -> local execution
 	fillError   atomic.Int64 // transport/decode failure -> local execution
 	fillEpoch   atomic.Int64 // membership views diverged -> local execution
 
 	stealsOut atomic.Int64 // own cells handed to an idle peer
 	stealsIn  atomic.Int64 // cells executed on behalf of a saturated peer
+
+	// Replication and anti-entropy.
+	replSent    atomic.Int64 // records pushed to replica peers (write-through + repair)
+	replRecv    atomic.Int64 // records accepted from replica peers
+	replDropped atomic.Int64 // write-through pushes shed by a full queue
+	replErrors  atomic.Int64 // pushes that failed in transport
+	repairs     atomic.Int64 // incoming repair pushes that filled a real hole
+	joins       atomic.Int64 // members admitted (handshake or heartbeat discovery)
 
 	failovers    atomic.Int64 // dead peers this node adopted
 	adoptedJobs  atomic.Int64
@@ -47,8 +56,9 @@ func (m *clusterMetrics) observeFill(seconds float64) {
 }
 
 // render appends the cluster families to the Prometheus exposition.
-func (m *clusterMetrics) render(w *strings.Builder, self string, epoch uint64, members []MemberInfo) {
+func (m *clusterMetrics) render(w *strings.Builder, self string, epoch, version uint64, members []MemberInfo) {
 	fmt.Fprintf(w, "# HELP mopserve_cluster_epoch Membership epoch (liveness transitions observed).\n# TYPE mopserve_cluster_epoch gauge\nmopserve_cluster_epoch %d\n", epoch)
+	fmt.Fprintf(w, "# HELP mopserve_cluster_membership_version Membership version (members admitted to this view).\n# TYPE mopserve_cluster_membership_version gauge\nmopserve_cluster_membership_version %d\n", version)
 	fmt.Fprintf(w, "# HELP mopserve_cluster_member_state Ring member liveness (1 for the row matching the member's state).\n# TYPE mopserve_cluster_member_state gauge\n")
 	fmt.Fprintf(w, "mopserve_cluster_member_state{node=%q,state=\"alive\",self=\"true\"} 1\n", self)
 	for _, mi := range members {
@@ -62,13 +72,23 @@ func (m *clusterMetrics) render(w *strings.Builder, self string, epoch uint64, m
 	}
 	counter("mopserve_cluster_redirects_total", "Single-cell requests redirected (307) to their owning shard.",
 		[2]any{"", m.redirects.Load()})
-	counter("mopserve_cluster_peer_fills_total", "Peer cache-fill attempts by outcome (busy/timeout/error/epoch degrade to local execution).",
+	counter("mopserve_cluster_peer_fills_total", "Peer cache-fill attempts by outcome (busy/miss/timeout/error/epoch degrade to the next replica or local execution).",
 		[2]any{`{outcome="hit"}`, m.fillHit.Load()},
 		[2]any{`{outcome="executed"}`, m.fillRan.Load()},
 		[2]any{`{outcome="busy"}`, m.fillBusy.Load()},
+		[2]any{`{outcome="miss"}`, m.fillMiss.Load()},
 		[2]any{`{outcome="timeout"}`, m.fillTimeout.Load()},
 		[2]any{`{outcome="error"}`, m.fillError.Load()},
 		[2]any{`{outcome="epoch"}`, m.fillEpoch.Load()})
+	counter("mopserve_cluster_replication_total", "Write-through/repair record movement (sent: pushed to replicas; received: accepted from peers; dropped: shed by a full queue; error: push failed).",
+		[2]any{`{event="sent"}`, m.replSent.Load()},
+		[2]any{`{event="received"}`, m.replRecv.Load()},
+		[2]any{`{event="dropped"}`, m.replDropped.Load()},
+		[2]any{`{event="error"}`, m.replErrors.Load()})
+	counter("mopserve_cluster_repair_total", "Records the anti-entropy loop repaired into this node (holes filled and journaled).",
+		[2]any{"", m.repairs.Load()})
+	counter("mopserve_cluster_joins_total", "Members this node admitted into its view (join handshake or heartbeat discovery).",
+		[2]any{"", m.joins.Load()})
 	counter("mopserve_cluster_steals_total", "Work-stealing transfers (out: own cell handed to an idle peer; in: executed for a saturated peer).",
 		[2]any{`{direction="out"}`, m.stealsOut.Load()},
 		[2]any{`{direction="in"}`, m.stealsIn.Load()})

@@ -7,27 +7,46 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math/rand"
 	"net/http"
+	"net/url"
 	"path/filepath"
 	"sort"
+	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"macroop/internal/journal"
 	"macroop/internal/service"
+	"macroop/internal/workload"
 )
 
-// Config describes one node's view of the fleet. Membership is static:
-// every node is started with the full member map, and liveness (not
-// membership) is what heartbeats track.
+// Config describes one node's view of the fleet. Membership is dynamic:
+// the member map seeds the initial view, a node started with JoinAddr
+// enters a live fleet through the join handshake, and new members
+// propagate through membership-version-stamped heartbeats.
 type Config struct {
 	// Self is this node's member ID. Must appear in Members.
 	Self string
-	// Members maps member IDs to base URLs (http://host:port).
+	// Members maps member IDs to base URLs (http://host:port). A joining
+	// node may carry only its own entry; the handshake fills in the rest.
 	Members map[string]string
 	// Replicas is the virtual-node count per member (0 = 64).
 	Replicas int
+	// Replication is the replica-set size R: each cell fingerprint has an
+	// ordered set of R distinct members, the first of which (the primary)
+	// executes and write-through-replicates the record to the rest
+	// (default 2; 1 restores single-owner PR-7 behaviour).
+	Replication int
+	// JoinAddr, when set, is the base URL of any live fleet member; this
+	// node joins through it instead of assuming Members is complete.
+	JoinAddr string
+	// RepairInterval is the anti-entropy period: each round this node
+	// offers cell-fingerprint digests to its replica peers and pushes the
+	// records they are missing (0 disables the loop).
+	RepairInterval time.Duration
 	// Timings configures the failure detector.
 	Timings Timings
 	// FillTimeout bounds one peer cache-fill round trip, including the
@@ -63,6 +82,9 @@ func (c Config) withDefaults() (Config, error) {
 		return c, fmt.Errorf("cluster: self %q not in member map", c.Self)
 	}
 	c.Timings = c.Timings.withDefaults()
+	if c.Replication <= 0 {
+		c.Replication = 2
+	}
 	if c.FillTimeout <= 0 {
 		c.FillTimeout = 30 * time.Second
 	}
@@ -82,15 +104,18 @@ func (c Config) withDefaults() (Config, error) {
 }
 
 // Node is the cluster layer around one service.Service: consistent-hash
-// routing, peer cache-fill, work stealing, failure detection, and
-// journal-backed failover.
+// routing with replica sets, peer cache-fill, write-through replication,
+// anti-entropy repair, work stealing, failure detection, dynamic joins,
+// and journal-backed failover.
 type Node struct {
 	cfg  Config
-	ring *Ring
+	ring atomic.Pointer[Ring] // rebuilt on every membership change
 	mem  *Membership
 	met  *clusterMetrics
 	svc  *service.Service
 	hc   *http.Client
+
+	repl chan replItem // write-through replication queue
 
 	stop     chan struct{}
 	stopOnce sync.Once
@@ -104,31 +129,44 @@ func New(cfg Config) (*Node, error) {
 	if err != nil {
 		return nil, err
 	}
-	members := make([]string, 0, len(cfg.Members))
-	for id := range cfg.Members {
-		members = append(members, id)
-	}
-	ring, err := NewRing(members, cfg.Replicas)
-	if err != nil {
-		return nil, err
-	}
-	return &Node{
+	n := &Node{
 		cfg:  cfg,
-		ring: ring,
 		mem:  NewMembership(cfg.Self, cfg.Members, time.Now()),
 		met:  &clusterMetrics{},
 		hc:   &http.Client{Transport: &http.Transport{MaxIdleConnsPerHost: 4}},
+		repl: make(chan replItem, replQueueDepth),
 		stop: make(chan struct{}),
-	}, nil
+	}
+	if err := n.rebuildRing(); err != nil {
+		return nil, err
+	}
+	return n, nil
+}
+
+// rebuildRing recomputes the ring over the current member view. Called
+// at construction and whenever membership grows (a join, or a member
+// learned from a peer's heartbeat).
+func (n *Node) rebuildRing() error {
+	r, err := NewRing(n.mem.MemberIDs(), n.cfg.Replicas)
+	if err != nil {
+		return err
+	}
+	n.ring.Store(r)
+	return nil
 }
 
 // ServiceOptions injects the cluster hooks into a service configuration:
-// node-scoped job IDs, the peer cache-fill hook, and cluster state on
+// node-scoped job IDs, the peer cache-fill hook, epoch stamping,
+// write-through replication of fresh executions, and cluster state on
 // /healthz.
 func (n *Node) ServiceOptions(base service.Options) service.Options {
 	base.NodeName = n.cfg.Self
 	base.PeerFill = n.peerFill
 	base.ClusterHealth = func() any { return n.healthInfo() }
+	base.Epoch = n.mem.Epoch
+	if n.cfg.Replication > 1 {
+		base.OnExecuted = n.enqueueReplication
+	}
 	if base.Logf != nil {
 		n.cfg.Logf = base.Logf
 	}
@@ -138,16 +176,35 @@ func (n *Node) ServiceOptions(base service.Options) service.Options {
 // Attach binds the node to its started service.
 func (n *Node) Attach(svc *service.Service) { n.svc = svc }
 
-// Ring exposes the node's ring (for tests and tooling).
-func (n *Node) Ring() *Ring { return n.ring }
+// Ring exposes the node's current ring (for tests and tooling).
+func (n *Node) Ring() *Ring { return n.ring.Load() }
 
 // Membership exposes the node's failure detector.
 func (n *Node) Membership() *Membership { return n.mem }
 
-// Start spawns the heartbeat prober. Call after service.Start.
+// selfAddr is this node's advertised base URL.
+func (n *Node) selfAddr() string { return n.cfg.Members[n.cfg.Self] }
+
+// Start spawns the background loops: the join handshake (when
+// configured), the heartbeat prober, the replication workers, and the
+// anti-entropy repair loop. Call after service.Start.
 func (n *Node) Start() {
+	if n.cfg.JoinAddr != "" {
+		n.wg.Add(1)
+		go n.joinLoop()
+	}
 	n.wg.Add(1)
 	go n.probeLoop()
+	if n.cfg.Replication > 1 {
+		for i := 0; i < replWorkers; i++ {
+			n.wg.Add(1)
+			go n.replWorker()
+		}
+		if n.cfg.RepairInterval > 0 {
+			n.wg.Add(1)
+			go n.repairLoop()
+		}
+	}
 }
 
 // Close stops the prober and waits for in-flight failovers. It does not
@@ -177,27 +234,46 @@ func (n *Node) closeIdle() {
 // ---------------------------------------------------------------------
 // HTTP surface.
 
-// heartbeatAck is the /cluster/v1/heartbeat response body.
+// heartbeatAck is the /cluster/v1/heartbeat response body. It carries
+// the responder's membership version and full member map so one
+// heartbeat round is enough for a join to propagate: a prober whose
+// version is behind merges the unknown members out of the ack.
 type heartbeatAck struct {
-	Node       string `json:"node"`
-	Epoch      uint64 `json:"epoch"`
-	QueueDepth int    `json:"queue_depth"`
-	Draining   bool   `json:"draining"`
+	Node       string            `json:"node"`
+	Epoch      uint64            `json:"epoch"`
+	Version    uint64            `json:"version"`
+	QueueDepth int               `json:"queue_depth"`
+	Draining   bool              `json:"draining"`
+	Members    map[string]string `json:"members,omitempty"`
+}
+
+// RingSample is one sampled ring key's replica set: who serves it, and
+// whether the set is degraded (fewer than R alive members remain).
+type RingSample struct {
+	Key      string   `json:"key"`
+	Replicas []string `json:"replicas"`
+	Degraded bool     `json:"degraded,omitempty"`
 }
 
 // RingInfo is the /cluster/v1/ring response body — what a cluster-aware
 // client needs to discover the fleet from any seed node.
 type RingInfo struct {
-	Self    string       `json:"self"`
-	Epoch   uint64       `json:"epoch"`
-	Members []MemberInfo `json:"members"`
+	Self        string       `json:"self"`
+	Epoch       uint64       `json:"epoch"`
+	Version     uint64       `json:"version"`
+	Replication int          `json:"replication"`
+	Members     []MemberInfo `json:"members"`
+	Samples     []RingSample `json:"samples,omitempty"`
 }
 
 // Handler wraps the service's HTTP API with the cluster surface:
 //
-//	GET  /cluster/v1/heartbeat   liveness + load (the failure detector's probe)
-//	GET  /cluster/v1/ring        membership/ownership snapshot (client discovery)
-//	POST /cluster/v1/fill        peer cache-fill (checksummed wire frames)
+//	GET  /cluster/v1/heartbeat   liveness + load + membership version (the failure detector's probe)
+//	GET  /cluster/v1/ring        membership/ownership snapshot with sampled replica sets
+//	POST /cluster/v1/fill        peer cache-fill (checksummed wire frames; probe = cache-only)
+//	POST /cluster/v1/join        membership handshake for a freshly started node
+//	POST /cluster/v1/replicate   write-through / repair record push from a replica peer
+//	POST /cluster/v1/digest      anti-entropy fingerprint-digest exchange
 //	POST /v1/simulate            307 + X-Mop-Owner redirect to the owning shard
 //	GET  /metrics                service families + cluster families
 //
@@ -209,29 +285,67 @@ func (n *Node) Handler() http.Handler {
 	mux.HandleFunc("GET /cluster/v1/heartbeat", n.handleHeartbeat)
 	mux.HandleFunc("GET /cluster/v1/ring", n.handleRing)
 	mux.HandleFunc("POST /cluster/v1/fill", n.handleFill)
+	mux.HandleFunc("POST /cluster/v1/join", n.handleJoin)
+	mux.HandleFunc("POST /cluster/v1/replicate", n.handleReplicate)
+	mux.HandleFunc("POST /cluster/v1/digest", n.handleDigest)
 	mux.HandleFunc("POST /v1/simulate", n.routeSimulate)
 	mux.HandleFunc("GET /metrics", n.handleMetrics)
 	mux.Handle("/", svcHandler)
 	return mux
 }
 
+// handleHeartbeat acks a probe. The prober identifies itself with
+// from/addr/v query parameters: an unknown prober is admitted on the
+// spot (heartbeats self-heal membership in both directions), and its
+// advertised membership version max-merges into ours.
 func (n *Node) handleHeartbeat(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	if from, fa := q.Get("from"), q.Get("addr"); from != "" && fa != "" {
+		if n.mem.AddPeer(from, fa, time.Now()) {
+			if err := n.rebuildRing(); err == nil {
+				n.met.joins.Add(1)
+				n.cfg.Logf("cluster: learned member %s (%s) from its heartbeat (epoch %d)", from, fa, n.mem.Epoch())
+			}
+		}
+	}
+	if v, err := strconv.ParseUint(q.Get("v"), 10, 64); err == nil {
+		n.mem.MergeVersion(v)
+	}
 	service.WriteJSON(w, http.StatusOK, heartbeatAck{
 		Node:       n.cfg.Self,
 		Epoch:      n.mem.Epoch(),
+		Version:    n.mem.Version(),
 		QueueDepth: n.svc.QueueDepth(),
 		Draining:   n.svc.Draining(),
+		Members:    n.mem.Members(),
 	})
 }
 
 func (n *Node) ringInfo() RingInfo {
 	members := n.mem.Snapshot()
 	members = append(members, MemberInfo{
-		ID: n.cfg.Self, Addr: n.cfg.Members[n.cfg.Self], State: StateAlive.String(),
+		ID: n.cfg.Self, Addr: n.selfAddr(), State: StateAlive.String(),
 		QueueDepth: n.svc.QueueDepth(), Draining: n.svc.Draining(), LastAck: time.Now(),
 	})
 	sort.Slice(members, func(i, k int) bool { return members[i].ID < members[k].ID })
-	return RingInfo{Self: n.cfg.Self, Epoch: n.mem.Epoch(), Members: members}
+	ring := n.Ring()
+	samples := make([]RingSample, 0, len(workload.Names()))
+	for _, bench := range workload.Names() {
+		set := ring.Replicas(bench, n.cfg.Replication, n.mem.Alive)
+		samples = append(samples, RingSample{
+			Key:      bench,
+			Replicas: set,
+			Degraded: len(set) < n.cfg.Replication,
+		})
+	}
+	return RingInfo{
+		Self:        n.cfg.Self,
+		Epoch:       n.mem.Epoch(),
+		Version:     n.mem.Version(),
+		Replication: n.cfg.Replication,
+		Members:     members,
+		Samples:     samples,
+	}
 }
 
 func (n *Node) handleRing(w http.ResponseWriter, r *http.Request) {
@@ -264,7 +378,7 @@ func (n *Node) routeSimulate(w http.ResponseWriter, r *http.Request) {
 		n.svc.WriteError(w, err)
 		return
 	}
-	if owner, ok := n.ring.Owner(fp, n.mem.Alive); ok && owner != n.cfg.Self {
+	if owner, ok := n.Ring().Owner(fp, n.mem.Alive); ok && owner != n.cfg.Self {
 		if addr, ok := n.mem.PeerAddr(owner); ok {
 			n.met.redirects.Add(1)
 			w.Header().Set("Location", strings.TrimRight(addr, "/")+"/v1/simulate")
@@ -286,7 +400,10 @@ func (n *Node) routeSimulate(w http.ResponseWriter, r *http.Request) {
 // handleFill serves a peer's cache-fill request: decode and verify the
 // frame (400 corrupt, 409 epoch mismatch), then resolve the cell through
 // the local cache/singleflight/execution path under normal admission
-// control (503 busy — the requester's cue to run it themselves).
+// control (503 busy — the requester's cue to run it themselves). A probe
+// request is a cache-only lookup: a miss answers 404 and never executes,
+// so a new primary can ask the surviving replicas for a record before
+// re-running the cell.
 func (n *Node) handleFill(w http.ResponseWriter, r *http.Request) {
 	data, err := io.ReadAll(io.LimitReader(r.Body, MaxFrameBytes+64))
 	if err != nil {
@@ -301,6 +418,26 @@ func (n *Node) handleFill(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	if req.Probe {
+		fp, err := n.svc.FingerprintCell(req.Spec)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		rec, ok := n.svc.CachedByFingerprint(fp)
+		if !ok {
+			http.Error(w, "probe miss", http.StatusNotFound)
+			return
+		}
+		frame, err := encodeFillResponse(epoch, true, rec)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		w.Header().Set("Content-Type", "application/octet-stream")
+		w.Write(frame)
 		return
 	}
 	rec, cached, err := n.svc.ExecuteSpec(r.Context(), req.Spec)
@@ -333,35 +470,75 @@ func (n *Node) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	var b strings.Builder
 	b.WriteString(n.svc.MetricsText())
-	n.met.render(&b, n.cfg.Self, n.mem.Epoch(), n.mem.Snapshot())
+	n.met.render(&b, n.cfg.Self, n.mem.Epoch(), n.mem.Version(), n.mem.Snapshot())
 	io.WriteString(w, b.String())
 }
 
 // ---------------------------------------------------------------------
 // Peer cache-fill (requester side) and work stealing.
 
-// peerFill is the service's PeerFill hook: route a cache-missing cell to
-// its owning shard before executing locally. Runs inside the cell's
-// singleflight, so concurrent identical requests share one fetch.
+// peerFill is the service's PeerFill hook: route a cache-missing cell
+// through its replica set before executing locally. Runs inside the
+// cell's singleflight, so concurrent identical requests share one fetch.
+//
+// As primary, this node probes the other replicas for a record that
+// survived a previous primary (cache-only, never executes remotely)
+// before falling through to stealing or local execution — that is what
+// keeps completed cells from re-running after a failover promotes a cold
+// primary. As a non-primary, it asks the primary to fill (executing if
+// needed), then probes the remaining replicas, and degrades to local
+// execution when the whole set is unreachable — a single SIGKILL never
+// fails a client request. One FillTimeout bounds the whole chain.
 func (n *Node) peerFill(ctx context.Context, cell service.CellSpec, fp string) (*service.CachedResult, bool) {
-	owner, ok := n.ring.Owner(fp, n.mem.Alive)
-	if !ok {
+	set := n.Ring().Replicas(fp, n.cfg.Replication, n.mem.Alive)
+	if len(set) == 0 {
 		return nil, false
 	}
-	if owner == n.cfg.Self {
+	ctx, cancel := context.WithTimeout(ctx, n.cfg.FillTimeout)
+	defer cancel()
+	if set[0] == n.cfg.Self {
+		for _, id := range set[1:] {
+			rec, outcome := n.fillFrom(ctx, id, fillRequest{Origin: n.cfg.Self, Probe: true, Spec: cell})
+			n.countFill(outcome)
+			if rec != nil {
+				return rec, true
+			}
+			if ctx.Err() != nil {
+				return nil, false
+			}
+		}
 		return n.maybeSteal(ctx, cell)
 	}
-	addr, ok := n.mem.PeerAddr(owner)
+	for _, id := range set {
+		if id == n.cfg.Self {
+			continue // we are a replica and already missed locally
+		}
+		req := fillRequest{Origin: n.cfg.Self, Spec: cell}
+		if id != set[0] {
+			req.Probe = true // only the primary executes on our behalf
+		}
+		rec, outcome := n.fillFrom(ctx, id, req)
+		n.countFill(outcome)
+		if rec != nil {
+			return rec, true
+		}
+		if ctx.Err() != nil {
+			break
+		}
+		n.cfg.Logf("cluster: fill %s/%s from %s: %s", cell.Bench, cell.Name, id, outcome)
+	}
+	n.cfg.Logf("cluster: replica set for %s/%s exhausted; executing locally", cell.Bench, cell.Name)
+	return nil, false
+}
+
+// fillFrom resolves a member's address and runs one fill conversation
+// against it.
+func (n *Node) fillFrom(ctx context.Context, id string, req fillRequest) (*service.CachedResult, string) {
+	addr, ok := n.mem.PeerAddr(id)
 	if !ok {
-		return nil, false
+		return nil, "error"
 	}
-	rec, outcome := n.requestFill(ctx, addr, fillRequest{Origin: n.cfg.Self, Spec: cell})
-	n.countFill(outcome)
-	if rec == nil {
-		n.cfg.Logf("cluster: fill %s/%s from %s: %s; executing locally", cell.Bench, cell.Name, owner, outcome)
-		return nil, false
-	}
-	return rec, true
+	return n.requestFill(ctx, addr, req)
 }
 
 // maybeSteal hands one of this node's own cells to the idlest alive peer
@@ -392,17 +569,17 @@ func (n *Node) maybeSteal(ctx context.Context, cell service.CellSpec) (*service.
 	return rec, true
 }
 
-// requestFill performs one fill conversation: bounded deadline, capped
-// exponential backoff on transient transport errors, immediate degrade
-// on busy (503) and epoch (409) answers. outcome is the metric label.
+// requestFill performs one fill conversation: capped exponential backoff
+// on transient transport errors, immediate degrade on busy (503), probe
+// miss (404), and epoch (409) answers. The caller bounds the deadline
+// (peerFill spends one FillTimeout across the whole replica chain).
+// outcome is the metric label.
 func (n *Node) requestFill(ctx context.Context, addr string, req fillRequest) (*service.CachedResult, string) {
 	epoch := n.mem.Epoch()
 	body, err := encodeFillRequest(epoch, req)
 	if err != nil {
 		return nil, "error"
 	}
-	ctx, cancel := context.WithTimeout(ctx, n.cfg.FillTimeout)
-	defer cancel()
 	start := time.Now()
 	defer func() { n.met.observeFill(time.Since(start).Seconds()) }()
 	backoff := n.cfg.FillBackoff
@@ -459,6 +636,8 @@ func (n *Node) fillOnce(ctx context.Context, addr string, body []byte, epoch uin
 		return rec, cached, "", false
 	case http.StatusServiceUnavailable:
 		return nil, false, "busy", false
+	case http.StatusNotFound:
+		return nil, false, "miss", false
 	case http.StatusConflict:
 		return nil, false, "epoch", false
 	default:
@@ -474,6 +653,8 @@ func (n *Node) countFill(outcome string) {
 		n.met.fillRan.Add(1)
 	case "busy":
 		n.met.fillBusy.Add(1)
+	case "miss":
+		n.met.fillMiss.Add(1)
 	case "timeout":
 		n.met.fillTimeout.Add(1)
 	case "epoch":
@@ -486,13 +667,20 @@ func (n *Node) countFill(outcome string) {
 // ---------------------------------------------------------------------
 // Failure detection and failover.
 
+// probeLoop heartbeats on a jittered period: each interval is drawn
+// uniformly from ±10% around HeartbeatInterval, so a fleet restarted in
+// lockstep (rolling restart, shared supervisor) de-synchronizes instead
+// of bursting every probe at the failure detector simultaneously.
 func (n *Node) probeLoop() {
 	defer n.wg.Done()
-	t := time.NewTicker(n.cfg.Timings.HeartbeatInterval)
-	defer t.Stop()
+	rng := rand.New(rand.NewSource(int64(hash64(n.cfg.Self)) ^ time.Now().UnixNano()))
 	for {
+		iv := n.cfg.Timings.HeartbeatInterval
+		d := time.Duration(float64(iv) * (0.9 + 0.2*rng.Float64()))
+		t := time.NewTimer(d)
 		select {
 		case <-n.stop:
+			t.Stop()
 			return
 		case <-t.C:
 			n.probeAll()
@@ -500,11 +688,13 @@ func (n *Node) probeLoop() {
 	}
 }
 
-// probeAll heartbeats every peer concurrently, then advances the
-// suspect → dead state machine and fires failover for fresh deaths.
+// probeAll heartbeats every currently known peer concurrently, then
+// advances the suspect → dead state machine and fires failover for
+// fresh deaths. The member set is the live membership view, not the
+// startup config, so joined members are probed too.
 func (n *Node) probeAll() {
 	var pwg sync.WaitGroup
-	for id, addr := range n.cfg.Members {
+	for id, addr := range n.mem.Members() {
 		if id == n.cfg.Self {
 			continue
 		}
@@ -537,8 +727,13 @@ func (n *Node) probeOne(id, addr string) {
 	}
 	ctx, cancel := context.WithTimeout(context.Background(), timeout)
 	defer cancel()
+	q := url.Values{
+		"from": {n.cfg.Self},
+		"addr": {n.selfAddr()},
+		"v":    {strconv.FormatUint(n.mem.Version(), 10)},
+	}
 	hreq, err := http.NewRequestWithContext(ctx, http.MethodGet,
-		strings.TrimRight(addr, "/")+"/cluster/v1/heartbeat", nil)
+		strings.TrimRight(addr, "/")+"/cluster/v1/heartbeat?"+q.Encode(), nil)
 	if err != nil {
 		return
 	}
@@ -551,6 +746,21 @@ func (n *Node) probeOne(id, addr string) {
 	if resp.StatusCode != http.StatusOK || json.NewDecoder(resp.Body).Decode(&ack) != nil {
 		return
 	}
+	// Merge members we have not seen yet out of the ack before recording
+	// it: one heartbeat round spreads a join across the whole fleet.
+	changed := false
+	for mid, maddr := range ack.Members {
+		if n.mem.AddPeer(mid, maddr, time.Now()) {
+			changed = true
+			n.cfg.Logf("cluster: learned member %s (%s) from %s's heartbeat (epoch %d)", mid, maddr, id, n.mem.Epoch())
+		}
+	}
+	if changed {
+		if err := n.rebuildRing(); err != nil {
+			n.cfg.Logf("cluster: ring rebuild: %v", err)
+		}
+	}
+	n.mem.MergeVersion(ack.Version)
 	if tr, changed := n.mem.ObserveAck(id, time.Now(), ack.Epoch, ack.QueueDepth, ack.Draining); changed && tr.From == StateDead {
 		n.cfg.Logf("cluster: %s rejoined (epoch %d)", id, n.mem.Epoch())
 	}
@@ -579,7 +789,7 @@ type ownershipRecord struct {
 // complete re-execute.
 func (n *Node) failover(dead string) {
 	epoch := n.mem.Epoch()
-	adopter, ok := n.ring.Adopter(dead, n.mem.Alive)
+	adopter, ok := n.Ring().Adopter(dead, n.mem.Alive)
 	rec := ownershipRecord{Epoch: epoch, Dead: dead, Adopter: adopter, Time: time.Now().UTC()}
 	if !ok || adopter != n.cfg.Self {
 		n.appendOwnership(epoch, dead, rec)
@@ -598,11 +808,10 @@ func (n *Node) failover(dead string) {
 		n.appendOwnership(epoch, dead, rec)
 		return
 	}
-	// Last-wins index, the journal's own replay convention.
-	index := make(map[string][]byte, len(recs))
-	for _, r := range recs {
-		index[r.Key] = r.Data
-	}
+	// Epoch-aware index: newest-epoch-wins for cellres duplicates (a
+	// replicated record can appear from two source epochs), last-wins
+	// for everything else — the same policy the service's own replay uses.
+	index := service.IndexRecords(recs)
 	warmed := 0
 	var unfinished []service.JobSpecRecord
 	for key, data := range index {

@@ -1,0 +1,412 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"io"
+	"net/http"
+	"strings"
+	"time"
+
+	"macroop/internal/service"
+)
+
+// Write-through replication and anti-entropy repair. The primary of a
+// cell executes it once, then pushes the record to the other members of
+// the cell's replica set; a periodic digest exchange finds and fills the
+// holes replication missed (a partition while the push was in flight, a
+// replica that joined after the record was made, a promotion after a
+// death). Both paths land records through service.WarmCache, so every
+// replicated record is journaled on the replica — that is what makes a
+// double failure survivable.
+
+const (
+	// replQueueDepth bounds the replication backlog. Replication is
+	// best-effort (anti-entropy repairs what a full queue drops), so the
+	// queue sheds rather than blocking the worker that executed the cell.
+	replQueueDepth = 256
+	// replWorkers is the number of concurrent replication pushers.
+	replWorkers = 2
+	// replTimeout bounds one replicate or digest round trip.
+	replTimeout = 10 * time.Second
+	// maxDigestFPs caps the fingerprints offered to one peer per
+	// anti-entropy round, bounding round cost on a huge cache; the next
+	// rounds cover the rest (the cache snapshot is unordered, so coverage
+	// rotates).
+	maxDigestFPs = 4096
+	// joinTimeout bounds one join handshake attempt.
+	joinTimeout = 5 * time.Second
+)
+
+// replItem is one queued write-through replication: a freshly executed
+// record to push to the cell's replica peers.
+type replItem struct {
+	fp  string
+	rec *service.CachedResult
+}
+
+// enqueueReplication is the service's OnExecuted hook: it runs on the
+// worker goroutine that just executed a cell, so it never blocks — a
+// full queue drops the push and leaves the hole to anti-entropy.
+func (n *Node) enqueueReplication(fp string, rec *service.CachedResult) {
+	select {
+	case n.repl <- replItem{fp: fp, rec: rec}:
+	default:
+		n.met.replDropped.Add(1)
+	}
+}
+
+// replWorker drains the replication queue, pushing each record to every
+// other alive member of its replica set.
+func (n *Node) replWorker() {
+	defer n.wg.Done()
+	for {
+		select {
+		case <-n.stop:
+			return
+		case item := <-n.repl:
+			n.replicateOut(item.fp, item.rec, false)
+		}
+	}
+}
+
+// replicateOut pushes one record to the other members of its replica
+// set. repair marks anti-entropy pushes (counted by the receiver).
+func (n *Node) replicateOut(fp string, rec *service.CachedResult, repair bool) {
+	set := n.Ring().Replicas(fp, n.cfg.Replication, n.mem.Alive)
+	for _, id := range set {
+		if id == n.cfg.Self {
+			continue
+		}
+		if n.pushRecord(id, fp, rec, repair) {
+			n.met.replSent.Add(1)
+		} else {
+			n.met.replErrors.Add(1)
+		}
+	}
+}
+
+// pushRecord sends one replicate frame to one member.
+func (n *Node) pushRecord(id, fp string, rec *service.CachedResult, repair bool) bool {
+	addr, ok := n.mem.PeerAddr(id)
+	if !ok {
+		return false
+	}
+	cw, err := service.WireFromRecord(rec)
+	if err != nil {
+		return false
+	}
+	frame, err := encodeReplicate(n.mem.Epoch(), replicateMsg{
+		Origin: n.cfg.Self, FP: fp, Repair: repair, Cell: *cw,
+	})
+	if err != nil {
+		return false
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), replTimeout)
+	defer cancel()
+	hreq, err := http.NewRequestWithContext(ctx, http.MethodPost,
+		strings.TrimRight(addr, "/")+"/cluster/v1/replicate", bytes.NewReader(frame))
+	if err != nil {
+		return false
+	}
+	hreq.Header.Set("Content-Type", "application/octet-stream")
+	resp, err := n.hc.Do(hreq)
+	if err != nil {
+		return false
+	}
+	defer resp.Body.Close()
+	io.Copy(io.Discard, resp.Body)
+	return resp.StatusCode == http.StatusNoContent || resp.StatusCode == http.StatusOK
+}
+
+// handleReplicate accepts a record pushed by a replica peer: verify the
+// frame (400 corrupt, 409 epoch mismatch), warm and journal the record.
+// Repair pushes that actually filled a hole count toward
+// mopserve_cluster_repair_total — the CI smoke's proof that anti-entropy
+// is doing work.
+func (n *Node) handleReplicate(w http.ResponseWriter, r *http.Request) {
+	data, err := io.ReadAll(io.LimitReader(r.Body, MaxFrameBytes+64))
+	if err != nil {
+		http.Error(w, "read: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	msg, rec, err := decodeReplicate(data, n.mem.Epoch())
+	if err != nil {
+		if errors.Is(err, ErrEpochMismatch) {
+			http.Error(w, err.Error(), http.StatusConflict)
+			return
+		}
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	n.met.replRecv.Add(1)
+	if n.svc.WarmCache(msg.FP, rec) && msg.Repair {
+		n.met.repairs.Add(1)
+		n.cfg.Logf("cluster: repaired %s from %s (anti-entropy)", msg.FP, msg.Origin)
+	}
+	w.WriteHeader(http.StatusNoContent)
+}
+
+// ---------------------------------------------------------------------
+// Anti-entropy.
+
+// repairLoop periodically exchanges cell-fingerprint digests with
+// replica peers and pushes the records they are missing.
+func (n *Node) repairLoop() {
+	defer n.wg.Done()
+	t := time.NewTicker(n.cfg.RepairInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-n.stop:
+			return
+		case <-t.C:
+			n.repairRound()
+		}
+	}
+}
+
+// repairRound offers, for every cached fingerprint whose replica set
+// this node belongs to, the fingerprint to the set's other members, and
+// repairs whatever they report missing.
+func (n *Node) repairRound() {
+	fps := n.svc.CacheFingerprints()
+	if len(fps) == 0 {
+		return
+	}
+	ring := n.Ring()
+	offers := make(map[string][]string)
+	for _, fp := range fps {
+		set := ring.Replicas(fp, n.cfg.Replication, n.mem.Alive)
+		selfIn := false
+		for _, id := range set {
+			if id == n.cfg.Self {
+				selfIn = true
+				break
+			}
+		}
+		if !selfIn {
+			// Not our range: holding the record is fine (cache), but we
+			// are not responsible for its replication.
+			continue
+		}
+		for _, id := range set {
+			if id != n.cfg.Self && len(offers[id]) < maxDigestFPs {
+				offers[id] = append(offers[id], fp)
+			}
+		}
+	}
+	for id, peerFPs := range offers {
+		select {
+		case <-n.stop:
+			return
+		default:
+		}
+		n.repairPeer(id, peerFPs)
+	}
+}
+
+// repairPeer runs one digest exchange with one replica peer and pushes
+// the records it is missing.
+func (n *Node) repairPeer(id string, fps []string) {
+	addr, ok := n.mem.PeerAddr(id)
+	if !ok {
+		return
+	}
+	epoch := n.mem.Epoch()
+	frame, err := encodeDigestRequest(epoch, digestRequest{Origin: n.cfg.Self, FPs: fps})
+	if err != nil {
+		return
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), replTimeout)
+	defer cancel()
+	hreq, err := http.NewRequestWithContext(ctx, http.MethodPost,
+		strings.TrimRight(addr, "/")+"/cluster/v1/digest", bytes.NewReader(frame))
+	if err != nil {
+		return
+	}
+	hreq.Header.Set("Content-Type", "application/octet-stream")
+	resp, err := n.hc.Do(hreq)
+	if err != nil {
+		return
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		io.Copy(io.Discard, resp.Body)
+		return
+	}
+	data, err := io.ReadAll(io.LimitReader(resp.Body, MaxFrameBytes+64))
+	if err != nil {
+		return
+	}
+	dresp, err := decodeDigestResponse(data, epoch)
+	if err != nil {
+		return
+	}
+	for _, fp := range dresp.Missing {
+		rec, ok := n.svc.CachedByFingerprint(fp)
+		if !ok {
+			continue // evicted since the snapshot; a later round re-offers
+		}
+		if n.pushRecord(id, fp, rec, true) {
+			n.met.replSent.Add(1)
+		} else {
+			n.met.replErrors.Add(1)
+		}
+	}
+	if len(dresp.Missing) > 0 {
+		n.cfg.Logf("cluster: anti-entropy pushed %d records to %s", len(dresp.Missing), id)
+	}
+}
+
+// handleDigest answers a replica peer's anti-entropy offer with the
+// subset of fingerprints this node does not hold.
+func (n *Node) handleDigest(w http.ResponseWriter, r *http.Request) {
+	data, err := io.ReadAll(io.LimitReader(r.Body, MaxFrameBytes+64))
+	if err != nil {
+		http.Error(w, "read: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	epoch := n.mem.Epoch()
+	req, err := decodeDigestRequest(data, epoch)
+	if err != nil {
+		if errors.Is(err, ErrEpochMismatch) {
+			http.Error(w, err.Error(), http.StatusConflict)
+			return
+		}
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	var missing []string
+	for _, fp := range req.FPs {
+		if _, ok := n.svc.CachedByFingerprint(fp); !ok {
+			missing = append(missing, fp)
+		}
+	}
+	frame, err := encodeDigestResponse(epoch, digestResponse{Missing: missing})
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Write(frame)
+}
+
+// ---------------------------------------------------------------------
+// Dynamic membership: the join handshake.
+
+// joinLoop runs the join handshake against the configured seed until it
+// succeeds (capped backoff) — a node started with -join before its seed
+// is listening simply keeps trying.
+func (n *Node) joinLoop() {
+	defer n.wg.Done()
+	backoff := 200 * time.Millisecond
+	for {
+		if n.tryJoin() {
+			return
+		}
+		select {
+		case <-n.stop:
+			return
+		case <-time.After(backoff):
+		}
+		if backoff *= 2; backoff > 2*time.Second {
+			backoff = 2 * time.Second
+		}
+	}
+}
+
+// tryJoin performs one handshake: announce self to the seed, adopt the
+// returned ring snapshot (members, epoch, version), and rebuild the
+// ring. Heartbeats take over from there — the rest of the fleet learns
+// this node from the seed's acks within one round.
+func (n *Node) tryJoin() bool {
+	frame, err := encodeJoinRequest(joinRequest{ID: n.cfg.Self, Addr: n.selfAddr()})
+	if err != nil {
+		n.cfg.Logf("cluster: join: %v", err)
+		return false
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), joinTimeout)
+	defer cancel()
+	hreq, err := http.NewRequestWithContext(ctx, http.MethodPost,
+		strings.TrimRight(n.cfg.JoinAddr, "/")+"/cluster/v1/join", bytes.NewReader(frame))
+	if err != nil {
+		n.cfg.Logf("cluster: join: %v", err)
+		return false
+	}
+	hreq.Header.Set("Content-Type", "application/octet-stream")
+	resp, err := n.hc.Do(hreq)
+	if err != nil {
+		return false
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		io.Copy(io.Discard, resp.Body)
+		return false
+	}
+	data, err := io.ReadAll(io.LimitReader(resp.Body, MaxFrameBytes+64))
+	if err != nil {
+		return false
+	}
+	jr, err := decodeJoinResponse(data)
+	if err != nil {
+		n.cfg.Logf("cluster: join response: %v", err)
+		return false
+	}
+	if jr.Replication != n.cfg.Replication {
+		n.cfg.Logf("cluster: join: fleet runs replication %d, we are configured for %d", jr.Replication, n.cfg.Replication)
+	}
+	changed := false
+	for id, addr := range jr.Members {
+		if n.mem.AddPeer(id, addr, time.Now()) {
+			changed = true
+		}
+	}
+	n.mem.MergeVersion(jr.Version)
+	n.mem.MergeEpoch(jr.Epoch)
+	if changed {
+		if err := n.rebuildRing(); err != nil {
+			n.cfg.Logf("cluster: ring rebuild after join: %v", err)
+		}
+	}
+	n.cfg.Logf("cluster: joined fleet via %s: %d members, epoch %d, version %d",
+		n.cfg.JoinAddr, len(jr.Members), n.mem.Epoch(), n.mem.Version())
+	return true
+}
+
+// handleJoin admits a fresh node into the fleet and answers with the
+// ring snapshot it needs. The join frame is deliberately not
+// epoch-checked — the joiner cannot know the cluster epoch yet.
+func (n *Node) handleJoin(w http.ResponseWriter, r *http.Request) {
+	data, err := io.ReadAll(io.LimitReader(r.Body, MaxFrameBytes+64))
+	if err != nil {
+		http.Error(w, "read: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	req, err := decodeJoinRequest(data)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	if n.mem.AddPeer(req.ID, req.Addr, time.Now()) {
+		if err := n.rebuildRing(); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		n.met.joins.Add(1)
+		n.cfg.Logf("cluster: %s (%s) joined (epoch %d, version %d)", req.ID, req.Addr, n.mem.Epoch(), n.mem.Version())
+	}
+	frame, err := encodeJoinResponse(n.mem.Epoch(), joinResponse{
+		Members:     n.mem.Members(),
+		Epoch:       n.mem.Epoch(),
+		Version:     n.mem.Version(),
+		Replication: n.cfg.Replication,
+	})
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Write(frame)
+}

@@ -1,16 +1,23 @@
 // Package cluster turns single-box mopserve nodes into a fault-tolerant
 // fleet. Cells route by consistent hashing on their content fingerprint
-// (experiments.CellFingerprint): each fingerprint has one owning shard,
-// and every node asks the owner for a cell's record (peer cache-fill)
-// before executing it locally. Heartbeat-based failure detection drives
-// a suspect → dead state machine; when a node is declared dead, its hash
-// range re-owns onto the surviving ring automatically (ownership is
-// always computed over live members) and a deterministic adopter resumes
-// its unfinished jobs from the shared journal convention — completed
-// cells replay from cellres records, only incomplete cells re-execute.
-// Every degradation is graceful: a slow peer times out into local
-// execution, a saturated owner answers busy and the requester steals the
-// work, a torn journal tail truncates to the last intact record.
+// (experiments.CellFingerprint): each fingerprint has an ordered replica
+// set of R distinct members (the first is the primary), the primary
+// executes and write-through-replicates the record to its successors,
+// and every node resolves a cell primary → replicas → local execution so
+// no single death stalls a request. Membership is dynamic: a new node
+// joins a live fleet with a handshake, receives a ring snapshot, and
+// propagates through membership-version-stamped heartbeats; heartbeat
+// failure detection drives a suspect → dead state machine, and when a
+// node is declared dead its hash range re-owns onto the surviving ring
+// automatically (ownership is always computed over live members) while a
+// deterministic adopter resumes its unfinished jobs from the shared
+// journal convention — completed cells replay from cellres records, only
+// incomplete cells re-execute. A periodic anti-entropy pass exchanges
+// cell-fingerprint digests between replica peers and repairs holes left
+// by missed replication or a cold join. Every degradation is graceful: a
+// slow peer times out into local execution, a saturated owner answers
+// busy and the requester steals the work, a torn journal tail truncates
+// to the last intact record.
 package cluster
 
 import (
@@ -81,15 +88,46 @@ func (r *Ring) Members() []string { return append([]string(nil), r.members...) }
 // nodes never move when some other node dies (consistent hashing's
 // monotonicity). ok is false only when no member is alive.
 func (r *Ring) Owner(key string, alive func(string) bool) (owner string, ok bool) {
+	set := r.Replicas(key, 1, alive)
+	if len(set) == 0 {
+		return "", false
+	}
+	return set[0], true
+}
+
+// Replicas maps a key to its ordered replica set: the first n distinct
+// members passing the alive predicate at or after the key's hash,
+// walking the ring clockwise past virtual-node collisions. The first
+// element is the primary (identical to Owner); the rest are the
+// successors that hold the key's replicated records. The same
+// monotonicity as Owner holds per slot: a death never moves a key
+// between surviving set members, it only promotes the next survivor
+// into the vacated slot. Fewer than n members are returned when fewer
+// pass the predicate.
+func (r *Ring) Replicas(key string, n int, alive func(string) bool) []string {
+	if n <= 0 || len(r.points) == 0 {
+		return nil
+	}
 	h := hash64(key)
 	start := sort.Search(len(r.points), func(i int) bool { return r.points[i].h >= h })
-	for i := 0; i < len(r.points); i++ {
+	var set []string
+	for i := 0; i < len(r.points) && len(set) < n; i++ {
 		p := r.points[(start+i)%len(r.points)]
-		if alive == nil || alive(p.node) {
-			return p.node, true
+		if alive != nil && !alive(p.node) {
+			continue
+		}
+		dup := false
+		for _, m := range set {
+			if m == p.node {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			set = append(set, p.node)
 		}
 	}
-	return "", false
+	return set
 }
 
 // Adopter deterministically picks which surviving member adopts a dead

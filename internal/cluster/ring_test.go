@@ -94,6 +94,89 @@ func TestRingMonotonicOnDeath(t *testing.T) {
 	}
 }
 
+// TestRingReplicaSets: the replica set is ordered, distinct, agrees
+// with Owner on its first slot, and shrinks when fewer members pass the
+// predicate.
+func TestRingReplicaSets(t *testing.T) {
+	r, err := NewRing([]string{"n1", "n2", "n3", "n4"}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2000; i++ {
+		key := fmt.Sprintf("cell-%d", i)
+		set := r.Replicas(key, 2, allAlive)
+		if len(set) != 2 {
+			t.Fatalf("key %s: replica set %v, want 2 distinct members", key, set)
+		}
+		if set[0] == set[1] {
+			t.Fatalf("key %s: duplicate member in set %v", key, set)
+		}
+		owner, _ := r.Owner(key, allAlive)
+		if set[0] != owner {
+			t.Fatalf("key %s: primary %s != owner %s", key, set[0], owner)
+		}
+	}
+	if set := r.Replicas("k", 10, allAlive); len(set) != 4 {
+		t.Fatalf("oversized n returned %v, want all 4 members", set)
+	}
+	if set := r.Replicas("k", 2, func(id string) bool { return id == "n3" }); len(set) != 1 || set[0] != "n3" {
+		t.Fatalf("single survivor set %v, want [n3]", set)
+	}
+	if set := r.Replicas("k", 0, allAlive); set != nil {
+		t.Fatalf("n=0 returned %v", set)
+	}
+}
+
+// TestRingReplicaPromotionOnDeath: a death never moves a key between
+// surviving replica-set members — it only promotes the next survivor
+// into the vacated slot. That is what keeps replicated records findable
+// across a failover.
+func TestRingReplicaPromotionOnDeath(t *testing.T) {
+	r, err := NewRing([]string{"n1", "n2", "n3", "n4"}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	aliveSansN2 := func(id string) bool { return id != "n2" }
+	promoted := 0
+	for i := 0; i < 5000; i++ {
+		key := fmt.Sprintf("cell-%d", i)
+		before := r.Replicas(key, 2, allAlive)
+		after := r.Replicas(key, 2, aliveSansN2)
+		if len(after) != 2 {
+			t.Fatalf("key %s: post-death set %v", key, after)
+		}
+		for _, id := range after {
+			if id == "n2" {
+				t.Fatalf("key %s: dead member in set %v", key, after)
+			}
+		}
+		// Every surviving member of the old set is still in the new set.
+		for _, id := range before {
+			if id == "n2" {
+				promoted++
+				continue
+			}
+			found := false
+			for _, nid := range after {
+				if nid == id {
+					found = true
+					break
+				}
+			}
+			if !found {
+				t.Fatalf("key %s: survivor %s evicted from set (%v -> %v)", key, id, before, after)
+			}
+		}
+		// The primary only changes when the old primary was the dead node.
+		if before[0] != "n2" && after[0] != before[0] {
+			t.Fatalf("key %s: live primary moved %s -> %s", key, before[0], after[0])
+		}
+	}
+	if promoted == 0 {
+		t.Error("n2 was in no replica sets before dying; balance test should have caught this")
+	}
+}
+
 // TestRingNoneAlive: ownership is undefined only when nobody is alive.
 func TestRingNoneAlive(t *testing.T) {
 	r, _ := NewRing([]string{"n1", "n2"}, 0)

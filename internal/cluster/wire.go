@@ -26,6 +26,24 @@ const (
 	FrameFillReq uint8 = 1
 	// FrameFillResp carries the record (or reports it was executed).
 	FrameFillResp uint8 = 2
+	// FrameJoinReq is the membership handshake: a fresh node announces
+	// its ID and address to any live member. It is the one frame that is
+	// not epoch-checked — a joiner cannot know the cluster epoch yet.
+	FrameJoinReq uint8 = 3
+	// FrameJoinResp answers a join with a ring snapshot: the full member
+	// map plus the epoch and membership version to adopt.
+	FrameJoinResp uint8 = 4
+	// FrameReplicate pushes one cell record from the executing primary to
+	// a replica (write-through replication), or from an anti-entropy
+	// repair pass to a peer with a hole.
+	FrameReplicate uint8 = 5
+	// FrameDigestReq offers a compact digest of cell fingerprints this
+	// node holds that the receiver should also hold (it is in their
+	// replica set).
+	FrameDigestReq uint8 = 6
+	// FrameDigestResp answers a digest with the fingerprints the receiver
+	// is missing — the sender repairs each with a FrameReplicate.
+	FrameDigestResp uint8 = 7
 )
 
 // MaxFrameBytes bounds one frame so a corrupted length prefix reads as a
@@ -118,6 +136,11 @@ type fillRequest struct {
 	// Force asks the receiver to execute even though it does not own the
 	// cell — the work-stealing path from a saturated node to an idle one.
 	Force bool `json:"force,omitempty"`
+	// Probe asks the receiver to answer from its cache only, never
+	// execute — the lookup a fresh primary sends its replicas before
+	// running a cell itself, so a record that survived a failover on a
+	// replica is found instead of re-executed. A miss answers 404.
+	Probe bool `json:"probe,omitempty"`
 	// Spec is the cell to resolve.
 	Spec service.CellSpec `json:"spec"`
 }
@@ -192,6 +215,188 @@ func decodeFillResponse(data []byte, wantEpoch uint64) (rec *service.CachedResul
 		return nil, false, fmt.Errorf("cluster: fill response carries no reconstitutable record")
 	}
 	return rec, resp.Cached, nil
+}
+
+// joinRequest is the FrameJoinReq payload: a fresh node announcing
+// itself to any live member.
+type joinRequest struct {
+	ID   string `json:"id"`
+	Addr string `json:"addr"`
+}
+
+// joinResponse is the FrameJoinResp payload: the ring snapshot the
+// joiner adopts.
+type joinResponse struct {
+	Members     map[string]string `json:"members"`
+	Epoch       uint64            `json:"epoch"`
+	Version     uint64            `json:"version"`
+	Replication int               `json:"replication"`
+}
+
+func encodeJoinRequest(req joinRequest) ([]byte, error) {
+	payload, err := json.Marshal(req)
+	if err != nil {
+		return nil, err
+	}
+	// Join frames carry epoch 0: the joiner has no view yet, and the
+	// receiver deliberately skips the epoch check for this kind.
+	return EncodeFrame(FrameJoinReq, 0, payload), nil
+}
+
+func decodeJoinRequest(data []byte) (joinRequest, error) {
+	f, err := DecodeFrame(data)
+	if err != nil {
+		return joinRequest{}, err
+	}
+	if f.Kind != FrameJoinReq {
+		return joinRequest{}, fmt.Errorf("cluster: unexpected frame kind %d (want join request)", f.Kind)
+	}
+	var req joinRequest
+	if err := json.Unmarshal(f.Payload, &req); err != nil {
+		return joinRequest{}, fmt.Errorf("cluster: join request payload: %w", err)
+	}
+	if req.ID == "" || req.Addr == "" {
+		return joinRequest{}, fmt.Errorf("cluster: join request missing id or addr")
+	}
+	return req, nil
+}
+
+func encodeJoinResponse(epoch uint64, resp joinResponse) ([]byte, error) {
+	payload, err := json.Marshal(resp)
+	if err != nil {
+		return nil, err
+	}
+	return EncodeFrame(FrameJoinResp, epoch, payload), nil
+}
+
+// decodeJoinResponse is not epoch-checked either: the snapshot inside is
+// exactly what teaches the joiner the cluster's epoch.
+func decodeJoinResponse(data []byte) (joinResponse, error) {
+	f, err := DecodeFrame(data)
+	if err != nil {
+		return joinResponse{}, err
+	}
+	if f.Kind != FrameJoinResp {
+		return joinResponse{}, fmt.Errorf("cluster: unexpected frame kind %d (want join response)", f.Kind)
+	}
+	var resp joinResponse
+	if err := json.Unmarshal(f.Payload, &resp); err != nil {
+		return joinResponse{}, fmt.Errorf("cluster: join response payload: %w", err)
+	}
+	if len(resp.Members) == 0 {
+		return joinResponse{}, fmt.Errorf("cluster: join response carries no members")
+	}
+	return resp, nil
+}
+
+// replicateMsg is the FrameReplicate payload: one cell record pushed to
+// a replica, either write-through after a fresh execution or from an
+// anti-entropy repair.
+type replicateMsg struct {
+	Origin string           `json:"origin"`
+	FP     string           `json:"fp"`
+	Repair bool             `json:"repair,omitempty"`
+	Cell   service.CellWire `json:"cell"`
+}
+
+func encodeReplicate(epoch uint64, msg replicateMsg) ([]byte, error) {
+	payload, err := json.Marshal(msg)
+	if err != nil {
+		return nil, err
+	}
+	return EncodeFrame(FrameReplicate, epoch, payload), nil
+}
+
+// decodeReplicate verifies and decodes a replication push. The record
+// must reconstitute — a damaged payload is an error, never a silent nil.
+func decodeReplicate(data []byte, localEpoch uint64) (replicateMsg, *service.CachedResult, error) {
+	f, err := DecodeFrame(data)
+	if err != nil {
+		return replicateMsg{}, nil, err
+	}
+	if f.Kind != FrameReplicate {
+		return replicateMsg{}, nil, fmt.Errorf("cluster: unexpected frame kind %d (want replicate)", f.Kind)
+	}
+	if err := f.CheckEpoch(localEpoch); err != nil {
+		return replicateMsg{}, nil, err
+	}
+	var msg replicateMsg
+	if err := json.Unmarshal(f.Payload, &msg); err != nil {
+		return replicateMsg{}, nil, fmt.Errorf("cluster: replicate payload: %w", err)
+	}
+	if msg.FP == "" {
+		return replicateMsg{}, nil, fmt.Errorf("cluster: replicate carries no fingerprint")
+	}
+	rec := msg.Cell.Record()
+	if rec == nil || rec.Result == nil {
+		return replicateMsg{}, nil, fmt.Errorf("cluster: replicate carries no reconstitutable record")
+	}
+	return msg, rec, nil
+}
+
+// digestRequest is the FrameDigestReq payload: the fingerprints the
+// sender holds that the receiver, as a replica, should hold too.
+type digestRequest struct {
+	Origin string   `json:"origin"`
+	FPs    []string `json:"fps"`
+}
+
+// digestResponse is the FrameDigestResp payload: the offered
+// fingerprints the receiver is missing.
+type digestResponse struct {
+	Missing []string `json:"missing"`
+}
+
+func encodeDigestRequest(epoch uint64, req digestRequest) ([]byte, error) {
+	payload, err := json.Marshal(req)
+	if err != nil {
+		return nil, err
+	}
+	return EncodeFrame(FrameDigestReq, epoch, payload), nil
+}
+
+func decodeDigestRequest(data []byte, localEpoch uint64) (digestRequest, error) {
+	f, err := DecodeFrame(data)
+	if err != nil {
+		return digestRequest{}, err
+	}
+	if f.Kind != FrameDigestReq {
+		return digestRequest{}, fmt.Errorf("cluster: unexpected frame kind %d (want digest request)", f.Kind)
+	}
+	if err := f.CheckEpoch(localEpoch); err != nil {
+		return digestRequest{}, err
+	}
+	var req digestRequest
+	if err := json.Unmarshal(f.Payload, &req); err != nil {
+		return digestRequest{}, fmt.Errorf("cluster: digest request payload: %w", err)
+	}
+	return req, nil
+}
+
+func encodeDigestResponse(epoch uint64, resp digestResponse) ([]byte, error) {
+	payload, err := json.Marshal(resp)
+	if err != nil {
+		return nil, err
+	}
+	return EncodeFrame(FrameDigestResp, epoch, payload), nil
+}
+
+func decodeDigestResponse(data []byte, wantEpoch uint64) (digestResponse, error) {
+	f, err := DecodeFrame(data)
+	if err != nil {
+		return digestResponse{}, err
+	}
+	if f.Kind != FrameDigestResp {
+		return digestResponse{}, fmt.Errorf("cluster: unexpected frame kind %d (want digest response)", f.Kind)
+	}
+	if err := f.CheckEpoch(wantEpoch); err != nil {
+		return digestResponse{}, err
+	}
+	var resp digestResponse
+	if err := json.Unmarshal(f.Payload, &resp); err != nil {
+		return digestResponse{}, fmt.Errorf("cluster: digest response payload: %w", err)
+	}
+	return resp, nil
 }
 
 // fnv1a is FNV-1a over the frame bytes.

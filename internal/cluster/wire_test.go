@@ -6,6 +6,7 @@ import (
 	"errors"
 	"testing"
 
+	"macroop/internal/core"
 	"macroop/internal/service"
 )
 
@@ -97,6 +98,124 @@ func TestFillResponseRejectsUnreconstitutable(t *testing.T) {
 	}
 }
 
+// TestJoinFrameRoundTrip: the join handshake survives its wire trip,
+// and the request is deliberately exempt from epoch checking (a joiner
+// cannot know the cluster epoch yet).
+func TestJoinFrameRoundTrip(t *testing.T) {
+	data, err := encodeJoinRequest(joinRequest{ID: "n4", Addr: "http://127.0.0.1:9999"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	req, err := decodeJoinRequest(data)
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if req.ID != "n4" || req.Addr != "http://127.0.0.1:9999" {
+		t.Fatalf("round trip mangled request: %+v", req)
+	}
+	if _, err := decodeJoinRequest(EncodeFrame(FrameJoinReq, 0, []byte(`{"id":"","addr":""}`))); err == nil {
+		t.Fatal("empty id/addr accepted")
+	}
+
+	resp := joinResponse{
+		Members:     map[string]string{"n1": "http://a", "n2": "http://b"},
+		Epoch:       7,
+		Version:     3,
+		Replication: 2,
+	}
+	rdata, err := encodeJoinResponse(7, resp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := decodeJoinResponse(rdata)
+	if err != nil {
+		t.Fatalf("decode response: %v", err)
+	}
+	if got.Epoch != 7 || got.Version != 3 || got.Replication != 2 || len(got.Members) != 2 {
+		t.Fatalf("round trip mangled response: %+v", got)
+	}
+	if _, err := decodeJoinResponse(EncodeFrame(FrameJoinResp, 0, []byte(`{"members":{}}`))); err == nil {
+		t.Fatal("memberless snapshot accepted")
+	}
+	// Wrong kinds are typed errors on both decoders.
+	if _, err := decodeJoinRequest(rdata); err == nil {
+		t.Fatal("response frame accepted as a request")
+	}
+	if _, err := decodeJoinResponse(data); err == nil {
+		t.Fatal("request frame accepted as a response")
+	}
+}
+
+// TestReplicateFrame: a record push round-trips, divergent epochs are
+// refused, and a damaged record payload is an error, never a silent nil.
+func TestReplicateFrame(t *testing.T) {
+	rec := &service.CachedResult{Bench: "gzip", Checksum: 0xdeadbeef, Commits: 42, SourceEpoch: 3, Result: &core.Result{}}
+	cw, err := service.WireFromRecord(rec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := encodeReplicate(3, replicateMsg{Origin: "n1", FP: "fp-1", Repair: true, Cell: *cw})
+	if err != nil {
+		t.Fatal(err)
+	}
+	msg, got, err := decodeReplicate(data, 3)
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if msg.Origin != "n1" || msg.FP != "fp-1" || !msg.Repair {
+		t.Fatalf("round trip mangled message: %+v", msg)
+	}
+	if got.Checksum != rec.Checksum || got.SourceEpoch != 3 {
+		t.Fatalf("record mangled: %+v", got)
+	}
+	if _, _, err := decodeReplicate(data, 4); !errors.Is(err, ErrEpochMismatch) {
+		t.Fatalf("want epoch mismatch, got %v", err)
+	}
+	if _, _, err := decodeReplicate(EncodeFrame(FrameReplicate, 1, []byte(`{"fp":"x","cell":{}}`)), 1); err == nil {
+		t.Fatal("unreconstitutable record accepted")
+	}
+	if _, _, err := decodeReplicate(EncodeFrame(FrameReplicate, 1, []byte(`{"origin":"n1","cell":{}}`)), 1); err == nil {
+		t.Fatal("missing fingerprint accepted")
+	}
+}
+
+// TestDigestFrames: the anti-entropy exchange round-trips and is
+// epoch-guarded in both directions.
+func TestDigestFrames(t *testing.T) {
+	data, err := encodeDigestRequest(5, digestRequest{Origin: "n1", FPs: []string{"a", "b"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	req, err := decodeDigestRequest(data, 5)
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if req.Origin != "n1" || len(req.FPs) != 2 {
+		t.Fatalf("round trip mangled request: %+v", req)
+	}
+	if _, err := decodeDigestRequest(data, 6); !errors.Is(err, ErrEpochMismatch) {
+		t.Fatalf("want epoch mismatch, got %v", err)
+	}
+
+	rdata, err := encodeDigestResponse(5, digestResponse{Missing: []string{"b"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := decodeDigestResponse(rdata, 5)
+	if err != nil {
+		t.Fatalf("decode response: %v", err)
+	}
+	if len(resp.Missing) != 1 || resp.Missing[0] != "b" {
+		t.Fatalf("round trip mangled response: %+v", resp)
+	}
+	if _, err := decodeDigestResponse(rdata, 4); !errors.Is(err, ErrEpochMismatch) {
+		t.Fatalf("want epoch mismatch, got %v", err)
+	}
+	if _, err := decodeDigestRequest(rdata, 5); err == nil {
+		t.Fatal("response frame accepted as a request")
+	}
+}
+
 // FuzzDecodeFrame pins the decoder's safety contract: arbitrary bytes
 // never panic, anything that decodes obeys the size bound and decodes
 // identically a second time, and a frame re-encoded from the decoded
@@ -107,6 +226,11 @@ func FuzzDecodeFrame(f *testing.F) {
 	f.Add(EncodeFrame(FrameFillReq, 0, nil))
 	f.Add(EncodeFrame(FrameFillReq, 42, []byte(`{"origin":"n1"}`)))
 	f.Add(EncodeFrame(FrameFillResp, 1<<63, []byte(`{"cached":true}`)))
+	f.Add(EncodeFrame(FrameJoinReq, 0, []byte(`{"id":"n4","addr":"http://x"}`)))
+	f.Add(EncodeFrame(FrameJoinResp, 3, []byte(`{"members":{"n1":"http://a"},"epoch":3,"version":1,"replication":2}`)))
+	f.Add(EncodeFrame(FrameReplicate, 9, []byte(`{"origin":"n1","fp":"f","repair":true,"cell":{"bench":"gzip","result":{},"checksum":"00000000deadbeef"}}`)))
+	f.Add(EncodeFrame(FrameDigestReq, 2, []byte(`{"origin":"n2","fps":["a","b","c"]}`)))
+	f.Add(EncodeFrame(FrameDigestResp, 2, []byte(`{"missing":["b"]}`)))
 	valid := EncodeFrame(FrameFillReq, 7, []byte("payload"))
 	f.Add(valid[:len(valid)-1])
 	mut := append([]byte(nil), valid...)
@@ -132,5 +256,10 @@ func FuzzDecodeFrame(f *testing.F) {
 		// The higher-level decoders must not panic either.
 		decodeFillRequest(data, fr.Epoch)
 		decodeFillResponse(data, fr.Epoch)
+		decodeJoinRequest(data)
+		decodeJoinResponse(data)
+		decodeReplicate(data, fr.Epoch)
+		decodeDigestRequest(data, fr.Epoch)
+		decodeDigestResponse(data, fr.Epoch)
 	})
 }

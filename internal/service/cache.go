@@ -21,6 +21,11 @@ type CachedResult struct {
 	Result   *core.Result
 	Checksum uint64
 	Commits  int64
+	// SourceEpoch is the cluster epoch under which the record was first
+	// executed (0 when unclustered). Replicated records carry it so a
+	// replay that finds the same cell journaled from two epochs keeps the
+	// newest-epoch one deterministically.
+	SourceEpoch uint64
 }
 
 // approxBytes estimates the record's memory footprint for the cache's
@@ -94,6 +99,18 @@ func (c *resultCache) Put(fp string, rec *CachedResult) {
 		delete(c.m, ent.key)
 		c.bytes -= ent.bytes
 	}
+}
+
+// Keys snapshots every cached fingerprint (unordered). The anti-entropy
+// pass digests these to offer records to replica peers.
+func (c *resultCache) Keys() []string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]string, 0, len(c.m))
+	for k := range c.m {
+		out = append(out, k)
+	}
+	return out
 }
 
 // Len reports the number of cached cells.

@@ -6,11 +6,13 @@ import (
 	"fmt"
 	"net/http"
 	"net/http/httptest"
+	"os"
 	"path/filepath"
 	"strconv"
 	"testing"
 	"time"
 
+	"macroop/internal/core"
 	"macroop/internal/journal"
 )
 
@@ -149,6 +151,122 @@ func TestJournalReplayRobustness(t *testing.T) {
 	}
 	if got := s2.Executions(); got != 0 {
 		t.Errorf("replay triggered %d executions", got)
+	}
+}
+
+// TestReplayNewestEpochWins: replicated cellres records for the same
+// fingerprint can land in one journal from two source epochs (a
+// write-through push from the old primary interleaved with a repair from
+// the post-failover one). Replay must deterministically keep the
+// newest-epoch record in either append order, and a torn tail after the
+// duplicates must not change the outcome.
+func TestReplayNewestEpochWins(t *testing.T) {
+	rc, err := CellSpec{Bench: "gzip", Insts: testInsts}.resolve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	mk := func(epoch uint64) []byte {
+		cw, err := WireFromRecord(&CachedResult{
+			Bench:       "gzip",
+			Checksum:    0x1000 + epoch,
+			Commits:     int64(epoch),
+			SourceEpoch: epoch,
+			Result:      &core.Result{},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		data, err := json.Marshal(cw)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return data
+	}
+	for _, tc := range []struct {
+		name   string
+		epochs []uint64
+	}{
+		{"newest-last", []uint64{3, 9}},
+		{"newest-first", []uint64{9, 3}},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			jpath := filepath.Join(t.TempDir(), "svc.journal")
+			jnl, err := journal.Open(jpath)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, e := range tc.epochs {
+				if err := jnl.Append(KeyCell+rc.fp, mk(e)); err != nil {
+					t.Fatal(err)
+				}
+			}
+			jnl.Close()
+			// A crash mid-append leaves a torn tail after the duplicates.
+			f, err := os.OpenFile(jpath, os.O_APPEND|os.O_WRONLY, 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, err := f.Write([]byte{0xff, 0x07, 0x41}); err != nil {
+				t.Fatal(err)
+			}
+			f.Close()
+
+			s, err := New(Options{Workers: 2, DefaultInsts: testInsts, JournalPath: jpath, Logf: t.Logf})
+			if err != nil {
+				t.Fatalf("replay: %v", err)
+			}
+			s.Start()
+			defer s.Close()
+			res, err := s.Simulate(context.Background(), SimRequest{Benchmark: "gzip", MaxInsts: testInsts})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !res.Cached {
+				t.Fatal("duplicated cell not warmed from the journal")
+			}
+			if want := fmt.Sprintf("%016x", 0x1000+uint64(9)); res.Checksum != want {
+				t.Errorf("replay kept checksum %s, want the epoch-9 record %s", res.Checksum, want)
+			}
+			if got := s.Executions(); got != 0 {
+				t.Errorf("replay triggered %d executions", got)
+			}
+		})
+	}
+}
+
+// TestIndexRecordsEpochPolicy pins the index primitive itself: damaged
+// duplicates never displace an intact record, same-epoch duplicates
+// resolve last-wins, and non-cell keys are plain last-wins.
+func TestIndexRecordsEpochPolicy(t *testing.T) {
+	cell := func(epoch uint64, commits int64) []byte {
+		cw, err := WireFromRecord(&CachedResult{
+			Bench: "gzip", Checksum: epoch, Commits: commits,
+			SourceEpoch: epoch, Result: &core.Result{},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		data, _ := json.Marshal(cw)
+		return data
+	}
+	key := KeyCell + "fp-1"
+	idx := IndexRecords([]journal.Record{
+		{Key: key, Data: cell(5, 1)},
+		{Key: key, Data: []byte("{torn")}, // damaged duplicate: ignored
+		{Key: key, Data: cell(2, 2)},      // older epoch: ignored
+		{Key: key, Data: cell(5, 3)},      // same epoch: last wins
+		{Key: "other", Data: []byte("a")},
+		{Key: "other", Data: []byte("b")}, // non-cell: plain last-wins
+	})
+	var cw CellWire
+	if err := json.Unmarshal(idx[key], &cw); err != nil {
+		t.Fatal(err)
+	}
+	if cw.Epoch != 5 || cw.Commits != 3 {
+		t.Errorf("index kept epoch=%d commits=%d, want the later epoch-5 record", cw.Epoch, cw.Commits)
+	}
+	if string(idx["other"]) != "b" {
+		t.Errorf("non-cell key resolved to %q, want last-wins", idx["other"])
 	}
 }
 

@@ -73,6 +73,14 @@ type Options struct {
 	// ClusterHealth, when set, is embedded in the /healthz JSON body as
 	// the "cluster" field (ring, membership, ownership state).
 	ClusterHealth func() any
+	// Epoch, when set, supplies the cluster epoch stamped on freshly
+	// executed records (CachedResult.SourceEpoch); nil means epoch 0.
+	Epoch func() uint64
+	// OnExecuted, when set, observes every freshly executed (not cached,
+	// coalesced, peer-filled, or warmed) cell record after it is cached
+	// and journaled. The cluster layer hangs write-through replication
+	// off it. It must not block: it runs on the worker goroutine.
+	OnExecuted func(fp string, rec *CachedResult)
 	// Logf receives operational log lines (nil discards them).
 	Logf func(format string, args ...any)
 }
@@ -199,16 +207,59 @@ func jobSeq(id string) int {
 	return n
 }
 
+// IndexRecords builds the authoritative key → value index from a
+// journal's file-order records. For most keys the policy is last-wins
+// (a re-appended key supersedes the older frame). Cell-result keys are
+// the exception: replication and repair can land the same cell from two
+// different cluster epochs in one journal, and there newest SourceEpoch
+// wins regardless of file order (epoch ties fall back to file order, so
+// the result is deterministic for any interleaving). A cellres whose
+// payload does not decode never displaces one that does. Exported
+// because the cluster failover path indexes a dead peer's journal under
+// the same policy.
+func IndexRecords(recs []journal.Record) map[string][]byte {
+	idx := make(map[string][]byte, len(recs))
+	epochs := make(map[string]uint64)
+	for _, r := range recs {
+		if !strings.HasPrefix(r.Key, KeyCell) {
+			idx[r.Key] = r.Data
+			continue
+		}
+		var cw CellWire
+		if err := json.Unmarshal(r.Data, &cw); err != nil || cw.Record() == nil {
+			continue // damaged cellres: keep whatever intact record we have
+		}
+		if prev, ok := idx[r.Key]; ok && prev != nil && cw.Epoch < epochs[r.Key] {
+			continue // older-epoch duplicate: the newer record stands
+		}
+		idx[r.Key] = r.Data
+		epochs[r.Key] = cw.Epoch
+	}
+	return idx
+}
+
 // replayJournal warms the cache from journaled cell results and
 // reconstructs jobs: finished batches reload frozen, unfinished ones
-// queue for re-dispatch at Start. Damaged or stale records never fail
-// the replay — a cellres that does not decode simply re-runs, a jobdone
-// whose jobspec is missing is ignored, and a jobspec whose cells no
-// longer resolve is surfaced and abandoned at Start.
+// queue for re-dispatch at Start. The file is re-read via journal.Load
+// so duplicate cellres keys (replicated records from different source
+// epochs) resolve newest-epoch-wins via IndexRecords. Damaged or stale
+// records never fail the replay — a cellres that does not decode simply
+// re-runs, a jobdone whose jobspec is missing is ignored, and a jobspec
+// whose cells no longer resolve is surfaced and abandoned at Start.
 func (s *Service) replayJournal() error {
+	recs, err := journal.Load(s.jnl.Path())
+	if err != nil {
+		return err
+	}
+	idx := IndexRecords(recs)
+	keys := make([]string, 0, len(idx))
+	for k := range idx {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
 	var pendingSpecs []JobSpecRecord
-	for _, key := range s.jnl.Keys() {
-		data, _ := s.jnl.Get(key)
+	for _, key := range keys {
+		data := idx[key]
 		switch {
 		case strings.HasPrefix(key, KeyCell):
 			var cw CellWire
@@ -415,8 +466,14 @@ func (s *Service) executeCell(ctx context.Context, c resolvedCell) (rec *CachedR
 		}
 		s.met.observeCell(c.m.Sched.String(), time.Since(t0).Seconds(), res.Committed)
 		rec := &CachedResult{Bench: c.Bench, Result: res, Checksum: sum.Checksum, Commits: sum.Commits}
+		if s.opts.Epoch != nil {
+			rec.SourceEpoch = s.opts.Epoch()
+		}
 		s.cache.Put(c.fp, rec)
 		s.journalCellResult(c.fp, rec)
+		if s.opts.OnExecuted != nil {
+			s.opts.OnExecuted(c.fp, rec)
+		}
 		return rec, nil
 	})
 	switch {
@@ -581,6 +638,16 @@ func (s *Service) resolveSim(req SimRequest) (resolvedCell, error) {
 	return CellSpec{Bench: req.Benchmark, Name: req.Config.Sched, Spec: req.Config, Insts: insts}.resolve()
 }
 
+// FingerprintCell resolves a cell spec to its content fingerprint — the
+// cluster layer's handle for probe fills and replica-set computation.
+func (s *Service) FingerprintCell(spec CellSpec) (string, error) {
+	rc, err := spec.resolve()
+	if err != nil {
+		return "", err
+	}
+	return rc.fp, nil
+}
+
 // ResolveSim applies the server's budget defaults to a single-cell
 // request and returns the resolved spec plus its content fingerprint.
 // The cluster router uses it to compute a request's owning shard without
@@ -672,6 +739,11 @@ func (s *Service) WarmCache(fp string, rec *CachedResult) bool {
 	s.journalCellResult(fp, rec)
 	return true
 }
+
+// CacheFingerprints snapshots every cached cell fingerprint (unordered).
+// The cluster's anti-entropy pass digests these to offer records to
+// replica peers.
+func (s *Service) CacheFingerprints() []string { return s.cache.Keys() }
 
 // CachedByFingerprint looks a record up by content fingerprint — the
 // fast path when serving a peer's cache-fill request.
@@ -928,6 +1000,9 @@ type CellWire struct {
 	Result   *json.RawMessage `json:"result"`
 	Checksum string           `json:"checksum"`
 	Commits  int64            `json:"commits"`
+	// Epoch is the cluster epoch the record was executed under; replay
+	// keeps the newest-epoch record when duplicates interleave.
+	Epoch uint64 `json:"epoch,omitempty"`
 }
 
 // Record decodes the wire form back into a cache record; nil if the
@@ -936,7 +1011,7 @@ func (cw *CellWire) Record() *CachedResult {
 	if cw.Result == nil {
 		return nil
 	}
-	rec := &CachedResult{Bench: cw.Bench, Commits: cw.Commits}
+	rec := &CachedResult{Bench: cw.Bench, Commits: cw.Commits, SourceEpoch: cw.Epoch}
 	if err := json.Unmarshal(*cw.Result, &rec.Result); err != nil {
 		return nil
 	}
@@ -961,6 +1036,7 @@ func WireFromRecord(rec *CachedResult) (*CellWire, error) {
 		Result:   &raw,
 		Checksum: fmt.Sprintf("%016x", rec.Checksum),
 		Commits:  rec.Commits,
+		Epoch:    rec.SourceEpoch,
 	}, nil
 }
 
