@@ -2,28 +2,48 @@
 // performance — and records it in a machine-readable trajectory file so
 // perf regressions are visible across commits.
 //
-// Two sections are produced, each measured under both scheduler kernels
-// (the bit-parallel "bitset" default and the retained "entry" reference):
+// Two sections are produced, each measured across both scheduler kernels
+// (the bit-parallel "bitset" default and the retained "entry" reference)
+// and both core layouts (the "soa" uop-arena default and the retained
+// pointer-linked "entry" reference):
 //
 //   - configs: one steady-state measurement per scheduler model
 //     (baseline, 2-cycle, MOP-CAM, MOP-wired-OR, select-free) on one
-//     benchmark, reporting simulated uops/sec, cycles/sec, and — after a
+//     benchmark, reporting simulated uops/sec, cycles/sec, a per-stage
+//     wall-time breakdown from a separate accounting leg, and — after a
 //     warm-up run that grows every pool and scratch buffer — allocations
-//     and bytes per simulated cycle. The steady-state cycle loop is
-//     required to be allocation-free under either kernel; the run exits
-//     non-zero when any config exceeds -max-allocs-per-cycle.
+//     and bytes per simulated cycle. Throughput legs run interleaved
+//     round-robin across all cells, best of -config-reps per cell, so a
+//     transient host slowdown cannot land on one cell and skew the
+//     cross-cell ratios the regression gate compares. The steady-state
+//     cycle loop is required to be allocation-free under every
+//     kernel×layout; the run exits non-zero when any config exceeds
+//     -max-allocs-per-cycle.
 //   - table2: the end-to-end Table 2 experiment (every benchmark, base
 //     scheduler, two queue sizes), the same work BenchmarkTable2 does,
-//     reporting aggregate simulated uops/sec. The bitset kernel's number
-//     is the headline tracked across PRs; the entry kernel's rides along
-//     as the baseline, and the run exits non-zero if the bitset kernel
-//     falls below -min-kernel-speedup times it.
+//     reporting aggregate simulated uops/sec. The bitset-kernel/soa-layout
+//     number is the headline tracked across PRs; the entry kernel and the
+//     entry layout ride along as baselines, and the run exits non-zero if
+//     the headline falls below -min-kernel-speedup (resp.
+//     -min-layout-speedup) times them.
+//
+// When -baseline names a previous report, the reports are compared using
+// same-work normalization: each optimized configs cell is divided by its
+// own model's reference-implementation corner (entry kernel, entry
+// layout) from the same report, and the table2 section is compared via
+// its recorded kernel/layout speedup ratios. Host speed and instruction
+// budgets cancel out of every ratio, so a -short CI run gates cleanly
+// against a committed full-budget baseline; any cell whose normalized
+// throughput drops more than -max-regress fails the run. Cells absent
+// from the baseline (new models, schema growth) are skipped.
 //
 // Usage:
 //
 //	go run ./cmd/mopbench                   # full suite -> BENCH_core.json
 //	go run ./cmd/mopbench -short            # CI smoke (reduced budgets)
 //	go run ./cmd/mopbench -out /tmp/b.json  # write elsewhere (-o is an alias)
+//	go run ./cmd/mopbench -short -baseline BENCH_core.json   # regression gate
+//	go run ./cmd/mopbench -cpuprofile cpu.prof -memprofile mem.prof
 package main
 
 import (
@@ -32,6 +52,8 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"runtime/debug"
+	"runtime/pprof"
 	"time"
 
 	"macroop/internal/config"
@@ -43,16 +65,18 @@ import (
 
 // ConfigResult is one steady-state measurement of the cycle loop.
 type ConfigResult struct {
-	Name           string  `json:"name"`
-	Kernel         string  `json:"kernel"`
-	Benchmark      string  `json:"benchmark"`
-	Insts          int64   `json:"insts"`
-	Cycles         int64   `json:"cycles"`
-	WallSec        float64 `json:"wall_sec"`
-	UopsPerSec     float64 `json:"uops_per_sec"`
-	CyclesPerSec   float64 `json:"cycles_per_sec"`
-	AllocsPerCycle float64 `json:"allocs_per_cycle"`
-	BytesPerCycle  float64 `json:"bytes_per_cycle"`
+	Name           string              `json:"name"`
+	Kernel         string              `json:"kernel"`
+	Layout         string              `json:"layout"`
+	Benchmark      string              `json:"benchmark"`
+	Insts          int64               `json:"insts"`
+	Cycles         int64               `json:"cycles"`
+	WallSec        float64             `json:"wall_sec"`
+	UopsPerSec     float64             `json:"uops_per_sec"`
+	CyclesPerSec   float64             `json:"cycles_per_sec"`
+	AllocsPerCycle float64             `json:"allocs_per_cycle"`
+	BytesPerCycle  float64             `json:"bytes_per_cycle"`
+	Stages         core.StageBreakdown `json:"stage_breakdown"`
 }
 
 // Table2Result is the end-to-end experiment measurement.
@@ -69,11 +93,15 @@ type Report struct {
 	GoVersion string         `json:"go_version"`
 	Short     bool           `json:"short"`
 	Configs   []ConfigResult `json:"configs"`
-	// Table2 is the bitset (default) kernel; Table2Entry the reference
-	// kernel on identical work; KernelSpeedup their uops/sec ratio.
-	Table2        Table2Result `json:"table2"`
-	Table2Entry   Table2Result `json:"table2_entry"`
-	KernelSpeedup float64      `json:"kernel_speedup"`
+	// Table2 is the default bitset kernel on the default soa layout.
+	// Table2Entry swaps in the reference kernel, Table2EntryLayout the
+	// reference core layout, each on identical work; the speedups are the
+	// corresponding uops/sec ratios against Table2.
+	Table2            Table2Result `json:"table2"`
+	Table2Entry       Table2Result `json:"table2_entry"`
+	Table2EntryLayout Table2Result `json:"table2_entry_layout"`
+	KernelSpeedup     float64      `json:"kernel_speedup"`
+	LayoutSpeedup     float64      `json:"layout_speedup"`
 }
 
 func schedConfigs() []struct {
@@ -98,6 +126,20 @@ func schedConfigs() []struct {
 
 var kernels = []config.SchedKernel{config.KernelBitset, config.KernelEntry}
 
+var layouts = []config.CoreLayout{config.LayoutSoA, config.LayoutEntry}
+
+// refKernel/refLayout identify the reference-implementation corner used
+// as the denominator of the cross-report regression gate: the retained
+// entry kernel on the retained entry layout. Dividing each optimized
+// cell by its own model's reference corner (measured in the same
+// process, on the same work) cancels both host speed and instruction
+// budgets, so reports from different machines and budget modes remain
+// comparable.
+var (
+	refKernel = config.KernelEntry.String()
+	refLayout = config.LayoutEntry.String()
+)
+
 // allocWindow is the number of bare cycles stepped between MemStats
 // snapshots for the allocs/cycle gate. Large enough that a per-cycle
 // leak dominates any measurement noise, small enough to stay inside the
@@ -108,12 +150,30 @@ const allocWindow = 20_000
 // minimum is reported.
 const allocWindows = 3
 
-// measureConfig runs one (scheduler config, kernel) cell: warm-up,
-// allocation windows, then a timed throughput leg.
-func measureConfig(name, bench string, m config.Machine, prog *program.Program, insts int64) (ConfigResult, error) {
+// stageWindow is the number of cycles run with per-stage wall-time
+// accounting on. The accounting leg is separate from (and precedes) the
+// throughput leg because bracketing every stage with clock reads roughly
+// doubles the cost of a cycle.
+const stageWindow = 60_000
+
+// cell is one (scheduler config, kernel, layout) measurement in flight:
+// the live warmed core plus everything measured so far. Cells stay alive
+// across the whole configs section so their timed throughput legs can be
+// interleaved (see run).
+type cell struct {
+	m     config.Machine
+	c     *core.Core
+	insts int64
+	res   ConfigResult
+}
+
+// prepareConfig runs one cell's untimed legs — warm-up, allocation
+// windows, stage-accounting window — and returns the live cell ready for
+// timed throughput legs.
+func prepareConfig(name, bench string, m config.Machine, prog *program.Program, insts int64) (*cell, error) {
 	c, err := core.New(m, prog)
 	if err != nil {
-		return ConfigResult{}, fmt.Errorf("%s/%v: configure: %w", name, m.Kernel, err)
+		return nil, fmt.Errorf("%s/%v/%v: configure: %w", name, m.Kernel, m.Layout, err)
 	}
 	// Warm-up leg: grow every pool, ring, and scratch buffer (and the
 	// functional model's memory pages the warm window touches) before
@@ -124,7 +184,7 @@ func measureConfig(name, bench string, m config.Machine, prog *program.Program, 
 		warm = 30_000
 	}
 	if _, err := c.Run(warm); err != nil {
-		return ConfigResult{}, fmt.Errorf("%s/%v: warmup: %w", name, m.Kernel, err)
+		return nil, fmt.Errorf("%s/%v/%v: warmup: %w", name, m.Kernel, m.Layout, err)
 	}
 
 	// Allocation window: a bounded span of bare cycles right after
@@ -134,7 +194,7 @@ func measureConfig(name, bench string, m config.Machine, prog *program.Program, 
 	// growth (a pool or scratch slice doubling once more as occupancy
 	// peaks just past the warm-up point).
 	if _, err := c.StepCycles(allocWindow); err != nil {
-		return ConfigResult{}, fmt.Errorf("%s/%v: settle: %w", name, m.Kernel, err)
+		return nil, fmt.Errorf("%s/%v/%v: settle: %w", name, m.Kernel, m.Layout, err)
 	}
 	// Take the minimum over a few windows: the Go runtime itself makes
 	// a rare tiny allocation on a background thread (e.g. the scavenger
@@ -149,7 +209,7 @@ func measureConfig(name, bench string, m config.Machine, prog *program.Program, 
 		runtime.ReadMemStats(&before)
 		cycles, err := c.StepCycles(allocWindow)
 		if err != nil {
-			return ConfigResult{}, fmt.Errorf("%s/%v: alloc window: %w", name, m.Kernel, err)
+			return nil, fmt.Errorf("%s/%v/%v: alloc window: %w", name, m.Kernel, m.Layout, err)
 		}
 		runtime.ReadMemStats(&after)
 		allocs, bytes := after.Mallocs-before.Mallocs, after.TotalAlloc-before.TotalAlloc
@@ -158,42 +218,101 @@ func measureConfig(name, bench string, m config.Machine, prog *program.Program, 
 		}
 	}
 
-	// Throughput leg: timed wall-clock run of insts further
-	// instructions (Run's budget is cumulative).
-	preCycles, preInsts := c.Progress()
-	start := time.Now()
-	res, err := c.Run(preInsts + insts)
-	wall := time.Since(start).Seconds()
-	if err != nil {
-		return ConfigResult{}, fmt.Errorf("%s/%v: simulate: %w", name, m.Kernel, err)
+	// Stage-accounting leg: attribute wall time to pipeline stages over a
+	// bounded cycle window, then switch accounting back off so the timed
+	// throughput leg below runs the unbracketed cycle loop.
+	c.SetStageAccounting(true)
+	if _, err := c.StepCycles(stageWindow); err != nil {
+		return nil, fmt.Errorf("%s/%v/%v: stage window: %w", name, m.Kernel, m.Layout, err)
 	}
+	stages := c.StageBreakdown()
+	c.SetStageAccounting(false)
 
-	measuredInsts := res.Committed - preInsts
-	measuredCycles := res.Cycles - preCycles
-	return ConfigResult{
-		Name:           name,
-		Kernel:         m.Kernel.String(),
-		Benchmark:      bench,
-		Insts:          measuredInsts,
-		Cycles:         measuredCycles,
-		WallSec:        wall,
-		UopsPerSec:     float64(measuredInsts) / wall,
-		CyclesPerSec:   float64(measuredCycles) / wall,
-		AllocsPerCycle: float64(winAllocs) / float64(allocCycles),
-		BytesPerCycle:  float64(winBytes) / float64(allocCycles),
+	return &cell{
+		m:     m,
+		c:     c,
+		insts: insts,
+		res: ConfigResult{
+			Name:           name,
+			Kernel:         m.Kernel.String(),
+			Layout:         m.Layout.String(),
+			Benchmark:      bench,
+			AllocsPerCycle: float64(winAllocs) / float64(allocCycles),
+			BytesPerCycle:  float64(winBytes) / float64(allocCycles),
+			Stages:         stages,
+		},
 	}, nil
 }
 
-// runTable2 runs the end-to-end Table 2 sweep under one kernel.
-func runTable2(r *experiments.Runner, k config.SchedKernel, insts int64) (Table2Result, error) {
+// measureThroughput runs one timed wall-clock leg of the cell's
+// instruction budget (Run's budget is cumulative) and keeps it if it
+// beats the cell's best leg so far. Cells are measured by the caller in
+// interleaved rounds for the same reason runTable2Corners interleaves
+// its corners: the regression gate compares cells as ratios, and a
+// transient host slowdown landing entirely on one back-to-back leg
+// corrupts the ratio; best-of-N over interleaved legs cancels it.
+func (cl *cell) measureThroughput() error {
+	preCycles, preInsts := cl.c.Progress()
+	start := time.Now()
+	res, err := cl.c.Run(preInsts + cl.insts)
+	wall := time.Since(start).Seconds()
+	if err != nil {
+		return fmt.Errorf("%s/%v/%v: simulate: %w", cl.res.Name, cl.m.Kernel, cl.m.Layout, err)
+	}
+	measuredInsts := res.Committed - preInsts
+	measuredCycles := res.Cycles - preCycles
+	if ups := float64(measuredInsts) / wall; ups > cl.res.UopsPerSec {
+		cl.res.Insts = measuredInsts
+		cl.res.Cycles = measuredCycles
+		cl.res.WallSec = wall
+		cl.res.UopsPerSec = ups
+		cl.res.CyclesPerSec = float64(measuredCycles) / wall
+	}
+	return nil
+}
+
+// runTable2Corners measures the three table2 corners (default, reference
+// kernel, reference layout) interleaved round-robin, keeping each
+// corner's best of reps repetitions. Interleaving matters on busy hosts:
+// the corners' throughputs are compared as ratios (kernel/layout
+// speedups), and running each corner once back-to-back lets a transient
+// host slowdown land entirely on one corner and corrupt the ratio by
+// 2x. Best-of-N of interleaved runs cancels such transients instead.
+func runTable2Corners(r *experiments.Runner, insts int64, reps int) (soa, entryK, entryL Table2Result, err error) {
+	corners := []struct {
+		k   config.SchedKernel
+		l   config.CoreLayout
+		dst *Table2Result
+	}{
+		{config.KernelBitset, config.LayoutSoA, &soa},
+		{config.KernelEntry, config.LayoutSoA, &entryK},
+		{config.KernelBitset, config.LayoutEntry, &entryL},
+	}
+	for rep := 0; rep < reps; rep++ {
+		for _, c := range corners {
+			res, rerr := runTable2(r, c.k, c.l, insts)
+			if rerr != nil {
+				err = rerr
+				return
+			}
+			if rep == 0 || res.UopsPerSec > c.dst.UopsPerSec {
+				*c.dst = res
+			}
+		}
+	}
+	return
+}
+
+// runTable2 runs the end-to-end Table 2 sweep under one kernel×layout.
+func runTable2(r *experiments.Runner, k config.SchedKernel, l config.CoreLayout, insts int64) (Table2Result, error) {
 	start := time.Now()
 	res, err := r.RunMatrix(map[string]config.Machine{
-		"iq32":  config.Default().WithSched(config.SchedBase).WithKernel(k),
-		"unres": config.Unrestricted().WithSched(config.SchedBase).WithKernel(k),
+		"iq32":  config.Default().WithSched(config.SchedBase).WithKernel(k).WithLayout(l),
+		"unres": config.Unrestricted().WithSched(config.SchedBase).WithKernel(k).WithLayout(l),
 	})
 	wall := time.Since(start).Seconds()
 	if err != nil {
-		return Table2Result{}, fmt.Errorf("table2/%v: %w", k, err)
+		return Table2Result{}, fmt.Errorf("table2/%v/%v: %w", k, l, err)
 	}
 	var committed int64
 	cells := 0
@@ -212,16 +331,82 @@ func runTable2(r *experiments.Runner, k config.SchedKernel, insts int64) (Table2
 	}, nil
 }
 
+// refUops finds the reference-implementation corner (entry kernel, entry
+// layout) of the named config in a report — 0 if the report predates the
+// layout dimension or lacks the row.
+func refUops(rep *Report, name string) float64 {
+	for i := range rep.Configs {
+		c := &rep.Configs[i]
+		if c.Name == name && c.Kernel == refKernel && c.Layout == refLayout {
+			return c.UopsPerSec
+		}
+	}
+	return 0
+}
+
+// gateRegressions compares the two reports cell by cell using same-work
+// normalization: each configs cell is divided by the same model's
+// reference-implementation corner (entry kernel, entry layout) from its
+// own report, and the table2 section is compared via its recorded
+// kernel/layout speedup ratios. Both cells of every ratio measure the
+// same simulated work in the same process, so host speed and instruction
+// budgets cancel — what is gated is precisely the optimized
+// implementations' advantage over the retained references, the thing a
+// perf PR can silently lose. Returns one message per cell whose
+// normalized throughput dropped more than maxRegress; cells missing from
+// the baseline are skipped, so schema growth never trips the gate.
+func gateRegressions(rep, base *Report, maxRegress float64) []string {
+	var fails []string
+	check := func(cell string, now, then float64) {
+		if then <= 0 || now <= 0 {
+			return
+		}
+		if now < (1-maxRegress)*then {
+			fails = append(fails, fmt.Sprintf("%s: normalized %.3f vs baseline %.3f (-%.1f%%)",
+				cell, now, then, 100*(1-now/then)))
+		}
+	}
+	baseCells := make(map[string]float64, len(base.Configs))
+	for i := range base.Configs {
+		c := &base.Configs[i]
+		baseCells[c.Name+"/"+c.Kernel+"/"+c.Layout] = c.UopsPerSec
+	}
+	for i := range rep.Configs {
+		c := &rep.Configs[i]
+		if c.Kernel == refKernel && c.Layout == refLayout {
+			continue // the reference corner itself is each ratio's denominator
+		}
+		newRef, oldRef := refUops(rep, c.Name), refUops(base, c.Name)
+		if newRef <= 0 || oldRef <= 0 {
+			continue // old-schema baseline: nothing comparable
+		}
+		key := c.Name + "/" + c.Kernel + "/" + c.Layout
+		if bv := baseCells[key]; bv > 0 {
+			check(key, c.UopsPerSec/newRef, bv/oldRef)
+		}
+	}
+	check("table2 kernel_speedup", rep.KernelSpeedup, base.KernelSpeedup)
+	check("table2 layout_speedup", rep.LayoutSpeedup, base.LayoutSpeedup)
+	return fails
+}
+
 func main() {
 	var (
 		out        = flag.String("out", "BENCH_core.json", "output file for the JSON report")
 		outAlias   = flag.String("o", "", "alias for -out")
 		short      = flag.Bool("short", false, "reduced budgets for CI smoke runs")
 		insts      = flag.Int64("insts", 400_000, "per-config instruction budget (steady-state section)")
+		cfgReps    = flag.Int("config-reps", 3, "interleaved throughput legs per config cell (best-of-N, stabilizes cell ratios on busy hosts)")
 		t2Insts    = flag.Int64("table2-insts", 120_000, "per-cell instruction budget (table2 section)")
+		t2Reps     = flag.Int("table2-reps", 3, "interleaved repetitions per table2 corner (best-of-N, stabilizes the speedup ratios on busy hosts)")
 		bench      = flag.String("bench", "gzip", "benchmark for the steady-state section")
 		maxAllocs  = flag.Float64("max-allocs-per-cycle", 0, "fail when any config allocates more than this per steady-state cycle")
-		minSpeedup = flag.Float64("min-kernel-speedup", 0.9, "fail when the bitset kernel's table2 uops/sec falls below this multiple of the entry kernel's (slack absorbs wall-clock noise)")
+		minKSpeed  = flag.Float64("min-kernel-speedup", 0.9, "fail when the bitset kernel's table2 uops/sec falls below this multiple of the entry kernel's (slack absorbs wall-clock noise)")
+		minLSpeed  = flag.Float64("min-layout-speedup", 0.9, "fail when the soa layout's table2 uops/sec falls below this multiple of the entry layout's (slack absorbs wall-clock noise)")
+		baseline   = flag.String("baseline", "", "previous report to gate normalized per-cell regressions against")
+		maxRegress = flag.Float64("max-regress", 0.15, "with -baseline: fail when any cell's reference-normalized uops/sec drops more than this fraction")
+		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile of the whole run to this file")
+		memprofile = flag.String("memprofile", "", "write a heap profile (after the run) to this file")
 	)
 	flag.Parse()
 	if *outAlias != "" {
@@ -233,11 +418,75 @@ func main() {
 	if *short {
 		*insts = 100_000
 		*t2Insts = 30_000
+		// Short throughput legs are cheap, so buy back their extra noise
+		// with more best-of-N repetitions (unless reps were set by hand).
+		if !explicitly("config-reps") {
+			*cfgReps = 5
+		}
+		if !explicitly("table2-reps") {
+			*t2Reps = 5
+		}
 	}
 
-	rep := Report{GoVersion: runtime.Version(), Short: *short}
+	// Load the baseline before anything can overwrite it: -out often
+	// points at the same file the baseline was committed as.
+	var base *Report
+	if *baseline != "" {
+		raw, err := os.ReadFile(*baseline)
+		if err != nil {
+			fatalf("baseline: %v", err)
+		}
+		base = &Report{}
+		if err := json.Unmarshal(raw, base); err != nil {
+			fatalf("baseline %s: %v", *baseline, err)
+		}
+	}
 
-	prof, err := workload.ByName(*bench)
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fatalf("cpuprofile: %v", err)
+		}
+	}
+
+	// The steady-state loop is allocation-free, so GC work is pure
+	// measurement noise: collections only re-scan the long-lived arenas.
+	// Raising the GC target makes throughput numbers noticeably more
+	// stable without hiding leaks (the alloc windows force explicit GCs
+	// and count mallocs, not collections).
+	debug.SetGCPercent(400)
+
+	failed := run(base, *out, *short, *insts, *cfgReps, *t2Insts, *t2Reps, *bench, *maxAllocs, *minKSpeed, *minLSpeed, *maxRegress)
+
+	if *cpuprofile != "" {
+		pprof.StopCPUProfile()
+		fmt.Printf("wrote %s\n", *cpuprofile)
+	}
+	if *memprofile != "" {
+		f, err := os.Create(*memprofile)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		runtime.GC()
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			fatalf("memprofile: %v", err)
+		}
+		f.Close()
+		fmt.Printf("wrote %s\n", *memprofile)
+	}
+	if failed {
+		os.Exit(1)
+	}
+}
+
+// run executes the whole suite and returns whether any gate failed.
+func run(base *Report, out string, short bool, insts int64, cfgReps int, t2Insts int64, t2Reps int, bench string, maxAllocs, minKSpeed, minLSpeed, maxRegress float64) bool {
+	rep := Report{GoVersion: runtime.Version(), Short: short}
+
+	prof, err := workload.ByName(bench)
 	if err != nil {
 		fatalf("%v", err)
 	}
@@ -247,50 +496,84 @@ func main() {
 	}
 
 	failed := false
+	var cells []*cell
 	for _, sc := range schedConfigs() {
 		for _, k := range kernels {
-			cr, err := measureConfig(sc.name, *bench, sc.m.WithKernel(k), prog, *insts)
-			if err != nil {
+			for _, l := range layouts {
+				cl, err := prepareConfig(sc.name, bench, sc.m.WithKernel(k).WithLayout(l), prog, insts)
+				if err != nil {
+					fatalf("%v", err)
+				}
+				cells = append(cells, cl)
+			}
+		}
+	}
+	// Timed throughput legs, interleaved round-robin across all cells,
+	// best of cfgReps per cell (see measureThroughput for why).
+	for r := 0; r < cfgReps; r++ {
+		for _, cl := range cells {
+			if err := cl.measureThroughput(); err != nil {
 				fatalf("%v", err)
 			}
-			rep.Configs = append(rep.Configs, cr)
-			status := "ok"
-			if cr.AllocsPerCycle > *maxAllocs {
-				status = fmt.Sprintf("FAIL (> %.3f)", *maxAllocs)
-				failed = true
-			}
-			fmt.Printf("%-13s %-6s %8.0f kuops/s %9.0f kcycles/s %8.4f allocs/cycle %8.1f B/cycle  %s\n",
-				sc.name, cr.Kernel, cr.UopsPerSec/1e3, cr.CyclesPerSec/1e3, cr.AllocsPerCycle, cr.BytesPerCycle, status)
 		}
+	}
+	for _, cl := range cells {
+		cr := cl.res
+		rep.Configs = append(rep.Configs, cr)
+		status := "ok"
+		if cr.AllocsPerCycle > maxAllocs {
+			status = fmt.Sprintf("FAIL (> %.3f)", maxAllocs)
+			failed = true
+		}
+		fmt.Printf("%-13s %-6s %-5s %8.0f kuops/s %9.0f kcycles/s %7.4f allocs/cycle %6.1f B/cycle  sched %2.0f%% insert %2.0f%% fetch %2.0f%%  %s\n",
+			cr.Name, cr.Kernel, cr.Layout, cr.UopsPerSec/1e3, cr.CyclesPerSec/1e3,
+			cr.AllocsPerCycle, cr.BytesPerCycle,
+			100*cr.Stages.Sched, 100*cr.Stages.Insert, 100*cr.Stages.Fetch, status)
 	}
 
 	// End-to-end Table 2 sweep, the BenchmarkTable2 workload, once per
-	// kernel on identical pre-generated programs.
-	r := experiments.NewRunner(*t2Insts)
+	// kernel×layout corner on identical pre-generated programs.
+	r := experiments.NewRunner(t2Insts)
 	for _, b := range workload.Names() {
 		if _, err := r.Program(b); err != nil {
 			fatalf("generate %s: %v", b, err)
 		}
 	}
-	if rep.Table2, err = runTable2(r, config.KernelBitset, *t2Insts); err != nil {
-		fatalf("%v", err)
-	}
-	if rep.Table2Entry, err = runTable2(r, config.KernelEntry, *t2Insts); err != nil {
+	if rep.Table2, rep.Table2Entry, rep.Table2EntryLayout, err = runTable2Corners(r, t2Insts, t2Reps); err != nil {
 		fatalf("%v", err)
 	}
 	rep.KernelSpeedup = rep.Table2.UopsPerSec / rep.Table2Entry.UopsPerSec
-	fmt.Printf("table2 bitset %8.0f kuops/s (%d cells, %.2fs wall)\n",
+	rep.LayoutSpeedup = rep.Table2.UopsPerSec / rep.Table2EntryLayout.UopsPerSec
+	fmt.Printf("table2 bitset/soa    %8.0f kuops/s (%d cells, %.2fs wall)\n",
 		rep.Table2.UopsPerSec/1e3, rep.Table2.Cells, rep.Table2.WallSec)
-	fmt.Printf("table2 entry  %8.0f kuops/s (%d cells, %.2fs wall)\n",
+	fmt.Printf("table2 entry-kernel  %8.0f kuops/s (%d cells, %.2fs wall)\n",
 		rep.Table2Entry.UopsPerSec/1e3, rep.Table2Entry.Cells, rep.Table2Entry.WallSec)
-	status := "ok"
-	if rep.KernelSpeedup < *minSpeedup {
-		status = fmt.Sprintf("FAIL (< %.2f)", *minSpeedup)
+	fmt.Printf("table2 entry-layout  %8.0f kuops/s (%d cells, %.2fs wall)\n",
+		rep.Table2EntryLayout.UopsPerSec/1e3, rep.Table2EntryLayout.Cells, rep.Table2EntryLayout.WallSec)
+	kStatus, lStatus := "ok", "ok"
+	if rep.KernelSpeedup < minKSpeed {
+		kStatus = fmt.Sprintf("FAIL (< %.2f)", minKSpeed)
 		failed = true
 	}
-	fmt.Printf("kernel speedup %.2fx  %s\n", rep.KernelSpeedup, status)
+	if rep.LayoutSpeedup < minLSpeed {
+		lStatus = fmt.Sprintf("FAIL (< %.2f)", minLSpeed)
+		failed = true
+	}
+	fmt.Printf("kernel speedup %.2fx  %s\nlayout speedup %.2fx  %s\n",
+		rep.KernelSpeedup, kStatus, rep.LayoutSpeedup, lStatus)
 
-	f, err := os.Create(*out)
+	if base != nil {
+		fails := gateRegressions(&rep, base, maxRegress)
+		for _, m := range fails {
+			fmt.Printf("regression %s\n", m)
+			failed = true
+		}
+		if len(fails) == 0 {
+			fmt.Printf("baseline gate ok (max regress %.0f%%)\n", 100*maxRegress)
+		}
+	}
+
+	f, err := os.Create(out)
 	if err != nil {
 		fatalf("%v", err)
 	}
@@ -302,11 +585,11 @@ func main() {
 	if err := f.Close(); err != nil {
 		fatalf("write: %v", err)
 	}
-	fmt.Printf("wrote %s\n", *out)
+	fmt.Printf("wrote %s\n", out)
 	if failed {
-		fmt.Fprintln(os.Stderr, "mopbench: perf gate failed (allocs/cycle or kernel speedup)")
-		os.Exit(1)
+		fmt.Fprintln(os.Stderr, "mopbench: perf gate failed (allocs/cycle, speedup, or baseline regression)")
 	}
+	return failed
 }
 
 // explicitly reports whether the named flag was set on the command line

@@ -1,0 +1,95 @@
+package checker_test
+
+import (
+	"runtime"
+	"sync"
+	"testing"
+
+	"macroop/internal/checker"
+	"macroop/internal/config"
+	"macroop/internal/workload"
+)
+
+// TestLayoutDifferential runs the golden matrix over the full
+// kernel×layout grid — {entry, bitset} scheduler kernels × {entry, soa}
+// core layouts — and requires byte-identical checker Record lines for
+// every corner of every cell. TestKernelDifferential already pins the two
+// kernels against each other on the default layout; this adds the layout
+// axis, so together the four corners are proven observationally
+// equivalent: same checksums, same cycle counts, same replay/MOP
+// statistics on every benchmark and scheduling model.
+func TestLayoutDifferential(t *testing.T) {
+	benches := workload.Names()
+	cfgs := goldenConfigs()
+	if testing.Short() {
+		benches = benches[:3]
+		cfgs = cfgs[:3]
+	}
+	type corner struct {
+		kernel config.SchedKernel
+		layout config.CoreLayout
+	}
+	corners := []corner{
+		{config.KernelBitset, config.LayoutSoA}, // the default: reference corner
+		{config.KernelBitset, config.LayoutEntry},
+		{config.KernelEntry, config.LayoutSoA},
+		{config.KernelEntry, config.LayoutEntry},
+	}
+
+	type key struct {
+		cfg, bench string
+		c          corner
+	}
+	lines := make(map[key]string)
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, runtime.NumCPU())
+	for _, gc := range cfgs {
+		for _, b := range benches {
+			for _, cr := range corners {
+				wg.Add(1)
+				go func(gc goldenConfig, b string, cr corner) {
+					defer wg.Done()
+					sem <- struct{}{}
+					defer func() { <-sem }()
+					prof, err := workload.ByName(b)
+					if err != nil {
+						t.Errorf("%s/%s/%v/%v: %v", gc.name, b, cr.kernel, cr.layout, err)
+						return
+					}
+					prog, err := workload.Generate(prof)
+					if err != nil {
+						t.Errorf("%s/%s/%v/%v: generate: %v", gc.name, b, cr.kernel, cr.layout, err)
+						return
+					}
+					m := gc.m.WithKernel(cr.kernel).WithLayout(cr.layout)
+					res, sum, err := checker.CheckedRun(m, prog, goldenInsts, goldenInsts)
+					if err != nil {
+						t.Errorf("%s/%s/%v/%v: %v", gc.name, b, cr.kernel, cr.layout, err)
+						return
+					}
+					mu.Lock()
+					lines[key{gc.name, b, cr}] = checker.RecordOf(sum, res).Line()
+					mu.Unlock()
+				}(gc, b, cr)
+			}
+		}
+	}
+	wg.Wait()
+	if t.Failed() {
+		return
+	}
+
+	for _, gc := range cfgs {
+		for _, b := range benches {
+			ref := lines[key{gc.name, b, corners[0]}]
+			for _, cr := range corners[1:] {
+				if got := lines[key{gc.name, b, cr}]; got != ref {
+					t.Errorf("%s/%s: %v/%v diverged from %v/%v:\n  ref: %s\n  got: %s",
+						gc.name, b, cr.kernel, cr.layout,
+						corners[0].kernel, corners[0].layout, ref, got)
+				}
+			}
+		}
+	}
+}

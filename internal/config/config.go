@@ -79,6 +79,37 @@ func (k SchedKernel) String() string {
 	return fmt.Sprintf("kernel(%d)", int(k))
 }
 
+// CoreLayout selects the data layout of the core pipeline (fetch ring,
+// front-end queue, rename/MOP formation, ROB). Both layouts are
+// cycle-exact models of the same machine; they differ only in how the
+// in-flight instruction window is stored and therefore in simulation
+// throughput — the core-side counterpart of SchedKernel.
+type CoreLayout int
+
+// Core pipeline layouts.
+const (
+	// LayoutSoA is the structure-of-arrays uop arena: in-flight
+	// instructions are uint32 handles into parallel arrays with
+	// generation-guarded free-list recycling, and the ROB, fetch ring,
+	// and front-end queue are index rings over the arena. This is the
+	// default.
+	LayoutSoA CoreLayout = iota
+	// LayoutEntry is the original pointer-linked uop layout, retained as
+	// the reference model for differential testing.
+	LayoutEntry
+)
+
+// String names the layout as reported in benchmark output.
+func (l CoreLayout) String() string {
+	switch l {
+	case LayoutSoA:
+		return "soa"
+	case LayoutEntry:
+		return "entry"
+	}
+	return fmt.Sprintf("layout(%d)", int(l))
+}
+
 // WakeupStyle selects the wakeup array style for macro-op scheduling
 // (Section 2.2): CAM-style with two source comparators, or wired-OR-style
 // dependence vectors with no source-count restriction.
@@ -184,6 +215,7 @@ type Machine struct {
 
 	Sched  SchedModel
 	Kernel SchedKernel
+	Layout CoreLayout
 	MOP    MOPConfig
 
 	Branch branch.Config
@@ -253,6 +285,8 @@ func (m Machine) Validate() error {
 		return fmt.Errorf("config: negative MOP latencies")
 	case m.Kernel != KernelBitset && m.Kernel != KernelEntry:
 		return fmt.Errorf("config: unknown scheduler kernel %v", m.Kernel)
+	case m.Layout != LayoutSoA && m.Layout != LayoutEntry:
+		return fmt.Errorf("config: unknown core layout %v", m.Layout)
 	}
 	for _, c := range []cache.Config{m.Mem.IL1, m.Mem.DL1, m.Mem.L2} {
 		if err := c.Validate(); err != nil {
@@ -316,6 +350,12 @@ func (m Machine) WithSched(s SchedModel) Machine {
 // WithKernel returns a copy using the given scheduler kernel.
 func (m Machine) WithKernel(k SchedKernel) Machine {
 	m.Kernel = k
+	return m
+}
+
+// WithLayout returns a copy using the given core pipeline layout.
+func (m Machine) WithLayout(l CoreLayout) Machine {
+	m.Layout = l
 	return m
 }
 

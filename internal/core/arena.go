@@ -1,0 +1,252 @@
+package core
+
+import (
+	"macroop/internal/functional"
+	"macroop/internal/isa"
+	"macroop/internal/sched"
+)
+
+// nilHandle is the "no uop" sentinel for arena handles.
+const nilHandle = ^uint32(0)
+
+// uopRef is a generation-guarded arena handle. Rings and claim links
+// store refs rather than bare handles so a recycled slot is detectable:
+// a ref is live only while its generation matches the slot's.
+type uopRef struct {
+	idx uint32
+	gen uint32
+}
+
+// nilRef is the zero reference. (The zero *value* of uopRef would be
+// {0, 0} — a plausible live handle — so every ref-valued slot must be
+// initialised to nilRef explicitly.)
+var nilRef = uopRef{idx: nilHandle}
+
+// Per-handle flag bits (uopArena.flags).
+const (
+	fMispredicted uint16 = 1 << iota
+	fInserted
+	fMOPHead
+	fMOPTail
+	fMOPDep
+	fMemProbed
+	fCommitted
+)
+
+// Per-handle metadata word (uopArena.meta), packed once at fetch so hot
+// predicates never re-derive from the isa.Op table:
+//
+//	bit 0-6   opcode/instruction predicates
+//	bit 8-15  raw op latency (pre loadAssumed)
+//	bit 16-23 functional-unit class
+const (
+	metaLoad uint32 = 1 << iota
+	metaStore
+	metaBranch // any control-flow op
+	metaIndirect
+	metaWritesReg
+	metaMOPCand
+	metaValueGen
+)
+
+const (
+	metaLatShift = 8
+	metaFUShift  = 16
+)
+
+// opMetaTab memoizes the opcode-dependent meta bits per isa.Op so
+// packMeta is two loads instead of a chain of predicate calls per fetch.
+// Only metaWritesReg depends on the instruction, not the opcode.
+var opMetaTab = func() [isa.NumOps]uint32 {
+	var tab [isa.NumOps]uint32
+	for i := range tab {
+		op := isa.Op(i)
+		m := uint32(op.Latency())<<metaLatShift | uint32(op.FUClass())<<metaFUShift
+		if op.IsLoad() {
+			m |= metaLoad
+		}
+		if op == isa.STA {
+			m |= metaStore
+		}
+		if op.IsControl() {
+			m |= metaBranch
+		}
+		if op.IsIndirect() {
+			m |= metaIndirect
+		}
+		if op.IsMOPCandidate() {
+			m |= metaMOPCand
+		}
+		if op.IsValueGenCandidate() {
+			m |= metaValueGen
+		}
+		tab[i] = m
+	}
+	return tab
+}()
+
+// packMeta memoizes the hot per-instruction predicates into one word.
+func packMeta(inst isa.Instruction) uint32 {
+	m := opMetaTab[inst.Op]
+	if inst.WritesReg() {
+		m |= metaWritesReg
+	}
+	return m
+}
+
+// Strides of the fixed per-handle segments in the shared members /
+// headProds / tailProds arrays (the SoA equivalent of the uop struct's
+// embedded backing arrays).
+const (
+	memberStride   = sched.MaxMOPOps
+	headProdStride = 2
+	tailProdStride = 2 * (sched.MaxMOPOps - 1)
+)
+
+// uopArena holds every in-flight instruction as parallel arrays indexed
+// by uint32 handle. Handles recycle through a free list; each recycle
+// bumps the slot's generation so stale uopRefs are detectable. alloc
+// resets only the fields whose stale values could be misread (everything
+// else is guarded by counts or written before first read), which is far
+// cheaper than zeroing the ~400-byte AoS uop struct per fetch.
+type uopArena struct {
+	d         []functional.DynInst
+	streamIdx []int64 // fused-stream position (STDs not counted)
+
+	fetchCycle      []int64
+	insertAt        []int64 // earliest queue-insert cycle
+	insertedCycle   []int64
+	branchResolveAt []int64 // mispredict resolve cycle, snapshotted at commit
+	memFillAt       []int64 // load fill cycle, memoized at first grant
+	commitAt        []int64 // commit-ready cycle, memoized once final (0 = unknown)
+
+	dataReg  []isa.Reg // fused store-data register (NoReg otherwise)
+	dataProd []prodRef
+
+	entry []*sched.Entry
+	opIdx []int32
+
+	claimedBy []uopRef // MOP tail: the claiming head (nilRef otherwise)
+	flags     []uint16
+	meta      []uint32
+
+	expectOps   []uint8
+	attachedOps []uint8
+	tailPC      []int32 // for the last-arriving filter's pointer deletion
+
+	// Fixed-stride segments: handle h owns members[h*memberStride:...],
+	// etc. Valid prefixes are nMembers/nHeadProds/nTailProds long; slots
+	// beyond the count are stale and must not be read.
+	nMembers   []uint8
+	members    []uint32
+	nHeadProds []uint8
+	headProds  []prodRef
+	nTailProds []uint8
+	tailProds  []prodRef
+
+	gen  []uint32
+	free []uint32
+
+	// Lifetime accounting for the leak check: every handle allocated
+	// during a run must be freed (or still ring-resident) at end-of-run.
+	allocs, frees int64
+}
+
+// newUopArena sizes the arena for cap concurrent uops. The caller picks
+// cap to cover the worst-case live set (fetch ring + ROB + fetch buffer
+// + a stalled branch) so the steady-state loop never grows.
+func newUopArena(capHint int) *uopArena {
+	a := &uopArena{}
+	a.grow(capHint)
+	return a
+}
+
+// grow appends n fresh slots and pushes their handles on the free list.
+// Growing mid-run allocates (and would trip the zero-allocs gate), so
+// initial sizing matters; grow exists as a correctness backstop.
+func (a *uopArena) grow(n int) {
+	old := len(a.gen)
+	a.d = append(a.d, make([]functional.DynInst, n)...)
+	a.streamIdx = append(a.streamIdx, make([]int64, n)...)
+	a.fetchCycle = append(a.fetchCycle, make([]int64, n)...)
+	a.insertAt = append(a.insertAt, make([]int64, n)...)
+	a.insertedCycle = append(a.insertedCycle, make([]int64, n)...)
+	a.branchResolveAt = append(a.branchResolveAt, make([]int64, n)...)
+	a.memFillAt = append(a.memFillAt, make([]int64, n)...)
+	a.commitAt = append(a.commitAt, make([]int64, n)...)
+	a.dataReg = append(a.dataReg, make([]isa.Reg, n)...)
+	a.dataProd = append(a.dataProd, make([]prodRef, n)...)
+	a.entry = append(a.entry, make([]*sched.Entry, n)...)
+	a.opIdx = append(a.opIdx, make([]int32, n)...)
+	a.claimedBy = append(a.claimedBy, make([]uopRef, n)...)
+	a.flags = append(a.flags, make([]uint16, n)...)
+	a.meta = append(a.meta, make([]uint32, n)...)
+	a.expectOps = append(a.expectOps, make([]uint8, n)...)
+	a.attachedOps = append(a.attachedOps, make([]uint8, n)...)
+	a.tailPC = append(a.tailPC, make([]int32, n)...)
+	a.nMembers = append(a.nMembers, make([]uint8, n)...)
+	a.members = append(a.members, make([]uint32, n*memberStride)...)
+	a.nHeadProds = append(a.nHeadProds, make([]uint8, n)...)
+	a.headProds = append(a.headProds, make([]prodRef, n*headProdStride)...)
+	a.nTailProds = append(a.nTailProds, make([]uint8, n)...)
+	a.tailProds = append(a.tailProds, make([]prodRef, n*tailProdStride)...)
+	a.gen = append(a.gen, make([]uint32, n)...)
+	if cap(a.free) < len(a.gen) {
+		nf := make([]uint32, len(a.free), len(a.gen))
+		copy(nf, a.free)
+		a.free = nf
+	}
+	// Push in reverse so cold-start allocation walks slots 0, 1, 2, ...
+	for i := old + n - 1; i >= old; i-- {
+		a.claimedBy[i] = nilRef
+		a.free = append(a.free, uint32(i))
+	}
+}
+
+// alloc pops a free handle and resets the fields a fresh uop must see as
+// zero. The caller fills d/streamIdx/dataReg/meta and the cycle stamps.
+func (a *uopArena) alloc() uint32 {
+	if len(a.free) == 0 {
+		a.grow(len(a.gen))
+	}
+	h := a.free[len(a.free)-1]
+	a.free = a.free[:len(a.free)-1]
+	a.allocs++
+	a.commitAt[h] = 0
+	a.dataProd[h] = prodRef{}
+	a.entry[h] = nil
+	a.opIdx[h] = 0
+	a.claimedBy[h] = nilRef
+	a.flags[h] = 0
+	a.expectOps[h] = 0
+	a.attachedOps[h] = 0
+	a.nMembers[h] = 0
+	a.nHeadProds[h] = 0
+	a.nTailProds[h] = 0
+	return h
+}
+
+// release returns h to the free list and bumps its generation, making
+// every outstanding uopRef to it stale.
+func (a *uopArena) release(h uint32) {
+	a.gen[h]++
+	a.entry[h] = nil
+	a.frees++
+	a.free = append(a.free, h)
+}
+
+// valid reports whether r still names the allocation it was created for.
+func (a *uopArena) valid(r uopRef) bool {
+	return r.idx != nilHandle && a.gen[r.idx] == r.gen
+}
+
+// ref builds the current-generation reference to a live handle.
+func (a *uopArena) ref(h uint32) uopRef { return uopRef{idx: h, gen: a.gen[h]} }
+
+// packUser encodes a handle for sched.Entry.UserIdx. Zero means unset,
+// so the index is biased by one; the generation rides along as an extra
+// staleness guard.
+func packUser(h, gen uint32) uint64 { return uint64(h+1)<<32 | uint64(gen) }
+
+// unpackUser decodes packUser's encoding (v must be non-zero).
+func unpackUser(v uint64) (h, gen uint32) { return uint32(v>>32) - 1, uint32(v) }

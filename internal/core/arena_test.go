@@ -1,0 +1,147 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"macroop/internal/config"
+	"macroop/internal/workload"
+)
+
+// TestArenaGenerationGuard exercises the usurper hazard the generation
+// field exists for: a handle is released and immediately recycled (the
+// free list is LIFO, so the next alloc reuses the same slot), and a ref
+// taken in the previous life must not validate against the new tenant.
+func TestArenaGenerationGuard(t *testing.T) {
+	a := newUopArena(4)
+	if a.valid(nilRef) {
+		t.Fatal("nilRef reports valid")
+	}
+	h := a.alloc()
+	r := a.ref(h)
+	if !a.valid(r) {
+		t.Fatal("fresh ref reports stale")
+	}
+	a.release(h)
+	if a.valid(r) {
+		t.Fatal("ref to a released handle still validates")
+	}
+	h2 := a.alloc()
+	if h2 != h {
+		t.Fatalf("expected LIFO recycle of handle %d, got %d", h, h2)
+	}
+	if a.valid(r) {
+		t.Fatal("stale ref validates against the usurper generation")
+	}
+	if !a.valid(a.ref(h2)) {
+		t.Fatal("usurper's own ref reports stale")
+	}
+
+	// The packed Entry.UserIdx encoding must round-trip handle and
+	// generation (zero is reserved for "unset", hence the bias).
+	if v := packUser(h2, a.gen[h2]); v == 0 {
+		t.Fatal("packUser returned the reserved zero value")
+	} else if hh, g := unpackUser(v); hh != h2 || g != a.gen[h2] {
+		t.Fatalf("packUser round-trip: got (%d,%d), want (%d,%d)", hh, g, h2, a.gen[h2])
+	}
+}
+
+// TestArenaRandomLifecycle drives a random alloc/release schedule and
+// checks the arena's bookkeeping invariants at every step: live refs
+// validate, refs from any earlier life do not, and the outstanding count
+// (allocs-frees) always equals capacity minus free-list length.
+func TestArenaRandomLifecycle(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	a := newUopArena(8)
+	var live []uint32
+	refs := make(map[uint32]uopRef)
+	var stale []uopRef
+	for step := 0; step < 20_000; step++ {
+		if len(live) == 0 || rng.Intn(2) == 0 {
+			h := a.alloc()
+			if _, ok := refs[h]; ok {
+				t.Fatalf("step %d: alloc returned live handle %d", step, h)
+			}
+			live = append(live, h)
+			refs[h] = a.ref(h)
+		} else {
+			i := rng.Intn(len(live))
+			h := live[i]
+			live[i] = live[len(live)-1]
+			live = live[:len(live)-1]
+			stale = append(stale, refs[h])
+			delete(refs, h)
+			a.release(h)
+		}
+		if len(stale) > 64 {
+			stale = stale[len(stale)-64:]
+		}
+		if out := a.allocs - a.frees; out != int64(len(live)) {
+			t.Fatalf("step %d: allocs-frees=%d, live=%d", step, out, len(live))
+		}
+		if got := len(a.gen) - len(a.free); got != len(live) {
+			t.Fatalf("step %d: cap-free=%d, live=%d", step, got, len(live))
+		}
+	}
+	for h, r := range refs {
+		if !a.valid(r) {
+			t.Fatalf("live handle %d reports stale", h)
+		}
+	}
+	for _, r := range stale {
+		if a.valid(r) {
+			t.Fatalf("released-life ref {%d,%d} still validates", r.idx, r.gen)
+		}
+	}
+}
+
+// TestArenaNoHandleLeak runs the soa core over real workloads and checks
+// that the arena never grows past its warmed-up capacity: a uop whose
+// handle is not released at retirement (or ring eviction) would push
+// steady-state occupancy up until the arena is forced to grow, so a
+// stable capacity across long legs is exactly the no-leak property. The
+// outstanding-count consistency invariant rides along.
+func TestArenaNoHandleLeak(t *testing.T) {
+	prof, err := workload.ByName("gzip")
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog, err := workload.Generate(prof)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tc := range []struct {
+		name string
+		m    config.Machine
+	}{
+		{"base", config.Default()},
+		{"mop", config.Default().WithMOP(config.DefaultMOP())},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			c, err := New(tc.m, prog)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sc, ok := c.eng.(*soaCore)
+			if !ok {
+				t.Fatal("default layout is not the soa core")
+			}
+			if _, err := c.Run(60_000); err != nil {
+				t.Fatal(err)
+			}
+			capWarm := len(sc.ar.gen)
+			for leg := int64(1); leg <= 3; leg++ {
+				if _, err := c.Run(60_000 + leg*60_000); err != nil {
+					t.Fatal(err)
+				}
+				if got := len(sc.ar.gen); got != capWarm {
+					t.Fatalf("leg %d: arena grew %d -> %d handles: leaked uops force growth", leg, capWarm, got)
+				}
+				out := sc.ar.allocs - sc.ar.frees
+				if out != int64(len(sc.ar.gen)-len(sc.ar.free)) {
+					t.Fatalf("leg %d: allocs-frees=%d but cap-free=%d", leg, out, len(sc.ar.gen)-len(sc.ar.free))
+				}
+			}
+		})
+	}
+}

@@ -22,8 +22,10 @@ func BenchmarkCycleLoop(b *testing.B) {
 		b.Fatal(err)
 	}
 	for name, m := range map[string]config.Machine{
-		"base": config.Default(),
-		"mop":  config.Default().WithMOP(config.DefaultMOP()),
+		"base":       config.Default(),
+		"mop":        config.Default().WithMOP(config.DefaultMOP()),
+		"base-entry": config.Default().WithLayout(config.LayoutEntry),
+		"mop-entry":  config.Default().WithMOP(config.DefaultMOP()).WithLayout(config.LayoutEntry),
 	} {
 		b.Run(name, func(b *testing.B) {
 			c, err := New(m, prog)
@@ -39,12 +41,12 @@ func BenchmarkCycleLoop(b *testing.B) {
 				c.step()
 			}
 			b.StopTimer()
-			if c.srcErr != nil || c.hookErr != nil {
-				b.Fatalf("stepping failed: src=%v hook=%v", c.srcErr, c.hookErr)
+			if err := c.eng.runErr(); err != nil {
+				b.Fatalf("stepping failed: %v", err)
 			}
-			committed := c.cnt.committed
-			if c.cycle > 0 {
-				b.ReportMetric(float64(committed)/float64(c.cycle), "insts/cycle")
+			cycles, committed := c.Progress()
+			if cycles > 0 {
+				b.ReportMetric(float64(committed)/float64(cycles), "insts/cycle")
 			}
 			_ = fmt.Sprintf("%d", committed) // keep the counter live
 		})

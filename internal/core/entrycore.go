@@ -1,10 +1,8 @@
 package core
 
 import (
-	"context"
 	"errors"
 	"fmt"
-	"runtime/debug"
 	"strings"
 
 	"macroop/internal/branch"
@@ -20,9 +18,12 @@ import (
 
 const ringSize = 256 // recently fetched uops kept for MOP formation checks
 
-// Core is one simulated processor running one program (or a recorded
-// trace; see NewFromSource).
-type Core struct {
+// entryCore is the pointer-linked reference implementation of the core
+// pipeline (config.LayoutEntry): in-flight instructions are heap-pooled
+// *uop structs linked by pointers. It is retained as the differential
+// reference for the structure-of-arrays layout (soacore.go), exactly as
+// the entry scheduler kernel is retained for the bitset kernel.
+type entryCore struct {
 	cfg  config.Machine
 	name string
 	src  functional.Source
@@ -78,6 +79,7 @@ type Core struct {
 
 	tracer  Tracer
 	hooks   Hooks
+	clock   *stageClock // per-stage wall-time accounting (nil = off)
 	hookErr error
 	srcErr  error // instruction-source fault (malformed stream, I/O error)
 
@@ -85,31 +87,19 @@ type Core struct {
 	// path; finishStats folds them into res. Counters are cumulative, so
 	// repeated Run calls on one core stay consistent.
 	cnt struct {
-		committed, fetched, opsIssued                                                int64
-		il1Misses, dl1Misses, branchMispredicts                                      int64
-		notCandidate, candNotGrouped, valueGenGrouped, nonValueGenGrouped            int64
-		indepGrouped, mopsFormed, depMOPsFormed, indepMOPsFormed, mopsDemoted        int64
-		formCtrlMiss, formCycleAborts, formMissedScope, filterDeletes                int64
+		committed, fetched, opsIssued                                         int64
+		il1Misses, dl1Misses, branchMispredicts                               int64
+		notCandidate, candNotGrouped, valueGenGrouped, nonValueGenGrouped     int64
+		indepGrouped, mopsFormed, depMOPsFormed, indepMOPsFormed, mopsDemoted int64
+		formCtrlMiss, formCycleAborts, formMissedScope, filterDeletes         int64
 	}
 
 	res Result
 }
 
-// New builds a core for the given machine configuration and program.
-func New(cfg config.Machine, prog *program.Program) (*Core, error) {
-	if err := prog.Validate(); err != nil {
-		return nil, err
-	}
-	return NewFromSource(cfg, prog.Name, functional.NewExecutor(prog))
-}
-
-// NewFromSource builds a core driven by an arbitrary dynamic instruction
-// source — the functional executor for execution-driven runs, or a
-// tracefile.Reader for trace-driven ones.
-func NewFromSource(cfg config.Machine, name string, src functional.Source) (*Core, error) {
-	if err := cfg.Validate(); err != nil {
-		return nil, err
-	}
+// newEntryCore builds the pointer-linked reference core. The caller
+// (core.NewFromSource) has already validated cfg.
+func newEntryCore(cfg config.Machine, name string, src functional.Source) (*entryCore, error) {
 	var fu [isa.NumClasses]int
 	for c := range fu {
 		fu[c] = cfg.FUCount(c)
@@ -122,7 +112,7 @@ func NewFromSource(cfg config.Machine, name string, src functional.Source) (*Cor
 	if err != nil {
 		return nil, err
 	}
-	c := &Core{
+	c := &entryCore{
 		cfg:      cfg,
 		name:     name,
 		src:      src,
@@ -153,138 +143,32 @@ func NewFromSource(cfg config.Machine, name string, src functional.Source) (*Cor
 	return c, nil
 }
 
-// Run simulates until maxInsts instructions commit (or the program ends)
-// and returns the results.
-func (c *Core) Run(maxInsts int64) (*Result, error) {
-	return c.RunContext(context.Background(), maxInsts)
+// engine interface: the layout-independent run loop (pipeline.go) drives
+// the layout-specific machinery through these accessors.
+
+func (c *entryCore) drained() bool {
+	return c.fetchDone && c.robCount == 0 && c.feqLen == 0
 }
 
-// ctxPollCycles is how often RunContext polls the context for
-// cancellation. 1024 cycles keeps the check off the per-cycle hot path
-// while bounding the response latency to well under a millisecond of
-// wall time.
-const ctxPollCycles = 1024
-
-// RunContext simulates until maxInsts instructions commit, the program
-// ends, ctx is cancelled, or the machine stops making forward progress.
-//
-// Every abnormal outcome is a typed error from internal/simerr:
-//
-//   - ErrCancelled when ctx is cancelled (checked every ctxPollCycles);
-//   - ErrDeadlock when no instruction commits within the watchdog window
-//     (config.Machine.WatchdogCycles), with a pipeline state dump;
-//   - ErrLivelock when a scheduler entry exceeds the replay-storm limit;
-//   - ErrCheckFailed when an attached verification hook rejects a commit;
-//   - ErrInternal for residual panics, recovered here so a simulator bug
-//     in one run cannot take down the whole process.
-func (c *Core) RunContext(ctx context.Context, maxInsts int64) (res *Result, err error) {
-	defer func() {
-		if r := recover(); r != nil {
-			if ie, ok := r.(*simerr.InternalError); ok {
-				// Typed panic from a subsystem: keep its context if set,
-				// fill ours in where missing.
-				if ie.Ctx == (simerr.Context{}) {
-					ie.Ctx = c.errCtx()
-				} else {
-					c.fillCtx(&ie.Ctx)
-				}
-				res, err = nil, ie
-				return
-			}
-			res, err = nil, simerr.Internal(c.errCtx(), r, string(debug.Stack()))
-		}
-	}()
-	// An already-expired context stops the run before cycle 0 — without
-	// this, a cancelled sweep cell would still burn a full poll window
-	// (ctxPollCycles cycles) before noticing.
-	if cerr := ctx.Err(); cerr != nil {
-		return nil, simerr.Cancelled(c.errCtx(), cerr)
-	}
-	maxCycles := maxInsts * 1000
-	if maxCycles <= 0 {
-		maxCycles = 1 << 40
-	}
-	watchdog := c.cfg.EffectiveWatchdog()
-	lastCommitCycle := c.cycle
-	lastCommitted := c.cnt.committed
-	nextPoll := c.cycle + ctxPollCycles
-	for c.cnt.committed < maxInsts {
-		if c.fetchDone && c.robCount == 0 && c.feqLen == 0 {
-			break // program ended and pipeline drained
-		}
-		c.step()
-		if c.srcErr != nil {
-			return nil, c.srcErr
-		}
-		if c.hookErr != nil {
-			return nil, c.hookErr
-		}
-		if serr := c.sch.Err(); serr != nil {
-			if e, ok := serr.(*simerr.Error); ok {
-				c.fillCtx(&e.Ctx)
-			}
-			return nil, serr
-		}
-		if c.cnt.committed > lastCommitted {
-			lastCommitted = c.cnt.committed
-			lastCommitCycle = c.cycle
-		} else if watchdog > 0 && c.cycle-lastCommitCycle > watchdog {
-			return nil, simerr.Deadlock(c.errCtx(), c.stateDump(),
-				"no commit for %d cycles (watchdog window %d)",
-				c.cycle-lastCommitCycle, watchdog)
-		}
-		if c.cycle >= nextPoll {
-			nextPoll = c.cycle + ctxPollCycles
-			if cerr := ctx.Err(); cerr != nil {
-				return nil, simerr.Cancelled(c.errCtx(), cerr)
-			}
-		}
-		if c.cycle > maxCycles {
-			return nil, simerr.Deadlock(c.errCtx(), c.stateDump(),
-				"exceeded cycle budget %d for %d insts", maxCycles, maxInsts)
-		}
-	}
-	c.finishStats()
-	return &c.res, nil
-}
-
-// StepCycles advances the machine by exactly n cycles (or until the
-// program ends and the pipeline drains), regardless of how many
-// instructions commit. It exists for steady-state measurement — a caller
-// that has already warmed the core can bracket a StepCycles window with
-// runtime.ReadMemStats to attribute allocations to the cycle loop alone,
-// excluding one-time costs like lazy memory-page growth during the rest
-// of the run. Returns the number of cycles actually stepped.
-func (c *Core) StepCycles(n int64) (int64, error) {
-	var stepped int64
-	for ; stepped < n; stepped++ {
-		if c.fetchDone && c.robCount == 0 && c.feqLen == 0 {
-			break
-		}
-		c.step()
-		if c.srcErr != nil {
-			return stepped, c.srcErr
-		}
-		if c.hookErr != nil {
-			return stepped, c.hookErr
-		}
-		if serr := c.sch.Err(); serr != nil {
-			return stepped, serr
-		}
-	}
-	return stepped, nil
-}
-
-// Progress reports the machine's cumulative cycle and committed-
-// instruction counters. Unlike Result, which is refreshed only when a
-// Run returns, these are live — callers interleaving StepCycles with
-// timed Run legs use them to delimit measurement windows.
-func (c *Core) Progress() (cycles, committed int64) {
+func (c *entryCore) progress() (cycles, committed int64) {
 	return c.cycle, c.cnt.committed
 }
 
+// runErr reports a pending instruction-source or hook error.
+func (c *entryCore) runErr() error {
+	if c.srcErr != nil {
+		return c.srcErr
+	}
+	return c.hookErr
+}
+
+func (c *entryCore) scheduler() sched.Engine     { return c.sch }
+func (c *entryCore) setTracer(t Tracer)          { c.tracer = t }
+func (c *entryCore) setHooks(h Hooks)            { c.hooks = h }
+func (c *entryCore) setStageClock(k *stageClock) { c.clock = k }
+
 // errCtx captures the machine's position for error reports.
-func (c *Core) errCtx() simerr.Context {
+func (c *entryCore) errCtx() simerr.Context {
 	return simerr.Context{
 		Benchmark: c.name,
 		Sched:     c.cfg.Sched.String(),
@@ -295,7 +179,7 @@ func (c *Core) errCtx() simerr.Context {
 
 // fillCtx completes an error context produced by a subsystem that only
 // knows the cycle (e.g. the scheduler) with the run's identity.
-func (c *Core) fillCtx(ctx *simerr.Context) {
+func (c *entryCore) fillCtx(ctx *simerr.Context) {
 	if ctx.Benchmark == "" {
 		ctx.Benchmark = c.name
 	}
@@ -313,7 +197,7 @@ func (c *Core) fillCtx(ctx *simerr.Context) {
 // stateDump renders the pipeline state for deadlock diagnostics: ROB and
 // issue-queue occupancy, the age of the stuck ROB head, replay counts,
 // and the oldest unissued scheduler entries.
-func (c *Core) stateDump() string {
+func (c *entryCore) stateDump() string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "cycle %d: ROB %d/%d, IQ %d occupied, fetch buffer %d, fetchDone=%v\n",
 		c.cycle, c.robCount, c.cfg.ROBEntries, c.sch.Occupied(), c.feqLen, c.fetchDone)
@@ -332,13 +216,12 @@ func (c *Core) stateDump() string {
 	return b.String()
 }
 
-// Scheduler exposes the core's scheduler for diagnostic and
-// fault-injection use (internal/fault). Mutating it mid-run changes
-// simulated timing.
-func (c *Core) Scheduler() sched.Engine { return c.sch }
-
 // step advances one clock cycle.
-func (c *Core) step() {
+func (c *entryCore) step() {
+	if c.clock != nil {
+		c.stepTimed()
+		return
+	}
 	c.commit()
 	c.issue()
 	c.insert()
@@ -351,12 +234,34 @@ func (c *Core) step() {
 	c.cycle++
 }
 
+// stepTimed is step with per-stage wall-time accounting. It is a
+// separate copy so the untimed loop pays only one nil check per cycle.
+func (c *entryCore) stepTimed() {
+	k := c.clock
+	t0 := k.now()
+	c.commit()
+	t1 := k.now()
+	grants := c.sch.Tick(c.cycle)
+	t2 := k.now()
+	c.applyGrants(grants)
+	t3 := k.now()
+	c.insert()
+	t4 := k.now()
+	c.fetch()
+	t5 := k.now()
+	if c.hooks != nil {
+		c.hookCycle()
+	}
+	c.cycle++
+	k.add(t0, t1, t2, t3, t4, t5)
+}
+
 // ringPut installs a freshly fetched uop in the recent-fetch ring,
 // recycling the uop whose slot it overwrites. By then the old uop is
 // ringSize fetches in the past — far beyond the in-flight window (ROB +
 // fetch buffer), so nothing can still reference it except a fetch stall
 // on a mispredicted branch (excluded explicitly).
-func (c *Core) ringPut(u *uop) {
+func (c *entryCore) ringPut(u *uop) {
 	idx := u.streamIdx % ringSize
 	if old := c.ring[idx]; old != nil && old.committed && old != c.stallBranch {
 		c.uopFree = append(c.uopFree, old)
@@ -366,7 +271,7 @@ func (c *Core) ringPut(u *uop) {
 
 // allocUop pops the uop pool (or allocates on cold start) and returns a
 // zeroed uop.
-func (c *Core) allocUop() *uop {
+func (c *entryCore) allocUop() *uop {
 	if n := len(c.uopFree); n > 0 {
 		u := c.uopFree[n-1]
 		c.uopFree[n-1] = nil
@@ -378,16 +283,16 @@ func (c *Core) allocUop() *uop {
 }
 
 // feqPush appends to the front-end delay line ring.
-func (c *Core) feqPush(u *uop) {
+func (c *entryCore) feqPush(u *uop) {
 	c.feq[(c.feqHead+c.feqLen)%len(c.feq)] = u
 	c.feqLen++
 }
 
 // feqFront returns the oldest queued uop (feqLen must be > 0).
-func (c *Core) feqFront() *uop { return c.feq[c.feqHead] }
+func (c *entryCore) feqFront() *uop { return c.feq[c.feqHead] }
 
 // feqPop removes the oldest queued uop.
-func (c *Core) feqPop() {
+func (c *entryCore) feqPop() {
 	c.feq[c.feqHead] = nil
 	c.feqHead = (c.feqHead + 1) % len(c.feq)
 	c.feqLen--
@@ -397,8 +302,12 @@ func (c *Core) feqPop() {
 // Issue (scheduling) stage: drive the scheduler and apply per-grant
 // consequences (cache probes for loads, branch resolution bookkeeping).
 
-func (c *Core) issue() {
-	grants := c.sch.Tick(c.cycle)
+func (c *entryCore) issue() {
+	c.applyGrants(c.sch.Tick(c.cycle))
+}
+
+// applyGrants applies the per-grant consequences of one scheduler tick.
+func (c *entryCore) applyGrants(grants []sched.Grant) {
 	for _, g := range grants {
 		// UserData holds the entry's head uop (a bare pointer, so storing
 		// it in the interface never allocates); members[0] is the head
@@ -444,7 +353,7 @@ func (c *Core) issue() {
 // ---------------------------------------------------------------------
 // Fetch stage.
 
-func (c *Core) fetch() {
+func (c *entryCore) fetch() {
 	if c.fetchDone {
 		return
 	}
@@ -517,7 +426,7 @@ func (c *Core) fetch() {
 
 // predictBranch runs fetch-time prediction for u, updates predictor state,
 // and reports whether the fetch group must end (redirect or mispredict).
-func (c *Core) predictBranch(u *uop) bool {
+func (c *entryCore) predictBranch(u *uop) bool {
 	op := u.op()
 	d := &u.d
 	switch {
@@ -557,7 +466,7 @@ func (c *Core) predictBranch(u *uop) bool {
 // peekDyn returns the next fused dynamic instruction without consuming
 // it. The returned pointer aliases the core's single pending-instruction
 // buffer: it is valid until the next peekDyn after a take.
-func (c *Core) peekDyn() *functional.DynInst {
+func (c *entryCore) peekDyn() *functional.DynInst {
 	if c.havePending {
 		return &c.pendingDyn
 	}
@@ -579,7 +488,7 @@ func (c *Core) peekDyn() *functional.DynInst {
 
 // takeDyn consumes the next fused dynamic instruction as a uop, merging a
 // following STD into its STA.
-func (c *Core) takeDyn() *uop {
+func (c *entryCore) takeDyn() *uop {
 	d := c.peekDyn()
 	c.havePending = false
 	u := c.allocUop()
@@ -607,7 +516,7 @@ func (c *Core) takeDyn() *uop {
 // ---------------------------------------------------------------------
 // Queue-insert stage (rename + MOP formation + issue queue insertion).
 
-func (c *Core) insert() {
+func (c *entryCore) insert() {
 	inserted := 0
 	group := c.groupBuf[:0]
 	for c.feqLen > 0 && inserted < c.cfg.Width {
@@ -636,7 +545,7 @@ func (c *Core) insert() {
 }
 
 // robPush appends to the ROB ring.
-func (c *Core) robPush(u *uop) {
+func (c *entryCore) robPush(u *uop) {
 	c.rob[(c.robHead+c.robCount)%len(c.rob)] = u
 	c.robCount++
 	u.inserted = true
@@ -646,7 +555,7 @@ func (c *Core) robPush(u *uop) {
 // excluding x (the intra-MOP producer) when attaching a tail.
 // The returned slices are scratch (specsBuf/prodsBuf) valid until the
 // next srcSpecs call; callers copy what they keep.
-func (c *Core) srcSpecs(u *uop, exclude *sched.Entry) ([]sched.SrcSpec, []prodRef) {
+func (c *entryCore) srcSpecs(u *uop, exclude *sched.Entry) ([]sched.SrcSpec, []prodRef) {
 	specs := c.specsBuf[:0]
 	prods := c.prodsBuf[:0]
 	for _, r := range [2]isa.Reg{u.d.Inst.Src1, u.d.Inst.Src2} {
@@ -663,9 +572,9 @@ func (c *Core) srcSpecs(u *uop, exclude *sched.Entry) ([]sched.SrcSpec, []prodRe
 	return specs, prods
 }
 
-func (c *Core) loadAssumed() int { return c.mem.LoadAssumedLatency() }
+func (c *entryCore) loadAssumed() int { return c.mem.LoadAssumedLatency() }
 
-func (c *Core) finishStats() {
+func (c *entryCore) finishStats() *Result {
 	c.res.Cycles = c.cycle
 	if c.cycle > 0 {
 		c.res.IPC = float64(c.cnt.committed) / float64(c.cycle)
@@ -705,12 +614,13 @@ func (c *Core) finishStats() {
 		c.res.PointerInstalls = c.ptab.Installs()
 		c.res.PointerDeletes = c.ptab.Deletes()
 	}
+	return &c.res
 }
 
 // ---------------------------------------------------------------------
 // Commit stage.
 
-func (c *Core) commit() {
+func (c *entryCore) commit() {
 	for n := 0; n < c.cfg.Width && c.robCount > 0; n++ {
 		u := c.rob[c.robHead]
 		if !c.committable(u) {
@@ -724,7 +634,7 @@ func (c *Core) commit() {
 }
 
 // committable reports whether the ROB head has fully completed.
-func (c *Core) committable(u *uop) bool {
+func (c *entryCore) committable(u *uop) bool {
 	if u.entry == nil || !u.entry.Final() {
 		return false
 	}
@@ -737,7 +647,7 @@ func (c *Core) committable(u *uop) bool {
 // commitReadyAt returns the earliest cycle u may commit: its own result's
 // availability, and for a fused store also the store-data producer's. The
 // entry (and data producer, if any) must already be final.
-func (c *Core) commitReadyAt(u *uop) int64 {
+func (c *entryCore) commitReadyAt(u *uop) int64 {
 	done := u.entry.ActualReady(u.opIdx) + int64(c.cfg.ExecOffset)
 	if u.isStore() && u.dataProd.entry != nil {
 		p := u.dataProd
@@ -748,7 +658,7 @@ func (c *Core) commitReadyAt(u *uop) int64 {
 
 // retire commits one instruction: stores write the data cache, MOP
 // statistics and the last-arriving filter run here.
-func (c *Core) retire(u *uop) {
+func (c *entryCore) retire(u *uop) {
 	u.committed = true
 	c.trace(u, StageCommit, c.cycle)
 	c.hookCommit(u)

@@ -59,11 +59,8 @@ type Hooks interface {
 	OnCycle(cycle int64, iqOccupied int) error
 }
 
-// SetHooks installs a verification hook set (nil to detach).
-func (c *Core) SetHooks(h Hooks) { c.hooks = h }
-
 // hookIssue forwards a grant to the hooks, capturing the first error.
-func (c *Core) hookIssue(u *uop, cycle int64) {
+func (c *entryCore) hookIssue(u *uop, cycle int64) {
 	if c.hooks == nil || c.hookErr != nil {
 		return
 	}
@@ -78,7 +75,7 @@ func (c *Core) hookIssue(u *uop, cycle int64) {
 // hookCommit forwards a retirement to the hooks. It must run before
 // retire severs the uop's producer references, while commitReadyAt can
 // still see the store-data producer.
-func (c *Core) hookCommit(u *uop) {
+func (c *entryCore) hookCommit(u *uop) {
 	if c.hooks == nil || c.hookErr != nil {
 		return
 	}
@@ -96,7 +93,7 @@ func (c *Core) hookCommit(u *uop) {
 }
 
 // hookMOPFormed reports a closed (or demoted-but-nonempty) macro-op.
-func (c *Core) hookMOPFormed(h *uop) {
+func (c *entryCore) hookMOPFormed(h *uop) {
 	if c.hooks == nil || c.hookErr != nil {
 		return
 	}
@@ -107,7 +104,7 @@ func (c *Core) hookMOPFormed(h *uop) {
 	c.hookErr = c.hooks.OnMOPFormed(h.entry.ID(), seqs)
 }
 
-func (c *Core) hookCycle() {
+func (c *entryCore) hookCycle() {
 	if c.hooks == nil || c.hookErr != nil {
 		return
 	}

@@ -1,0 +1,230 @@
+package core
+
+import (
+	"context"
+	"runtime/debug"
+
+	"macroop/internal/config"
+	"macroop/internal/functional"
+	"macroop/internal/program"
+	"macroop/internal/sched"
+	"macroop/internal/simerr"
+)
+
+// engine is the layout-specific half of the pipeline: one clock step plus
+// the accessors the shared run loop and the test/diagnostic surface need.
+type engine interface {
+	step()
+	drained() bool
+	progress() (cycles, committed int64)
+	runErr() error
+	scheduler() sched.Engine
+	errCtx() simerr.Context
+	fillCtx(*simerr.Context)
+	stateDump() string
+	finishStats() *Result
+	setTracer(Tracer)
+	setHooks(Hooks)
+	setStageClock(*stageClock)
+}
+
+// Core simulates one machine configuration over one instruction stream.
+type Core struct {
+	cfg   config.Machine
+	eng   engine
+	clock *stageClock // non-nil iff stage accounting is on
+}
+
+// New builds a core over prog with an embedded functional reference
+// stream.
+func New(cfg config.Machine, prog *program.Program) (*Core, error) {
+	return NewFromSource(cfg, prog.Name, functional.NewExecutor(prog))
+}
+
+// NewFromSource builds a core that fetches from an arbitrary dynamic
+// instruction source (a functional simulator, a trace reader, ...).
+func NewFromSource(cfg config.Machine, name string, src functional.Source) (*Core, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	var (
+		eng engine
+		err error
+	)
+	if cfg.Layout == config.LayoutEntry {
+		eng, err = newEntryCore(cfg, name, src)
+	} else {
+		eng, err = newSoaCore(cfg, name, src)
+	}
+	if err != nil {
+		return nil, err
+	}
+	return &Core{cfg: cfg, eng: eng}, nil
+}
+
+// SetTracer attaches t to receive per-uop stage events. Pass nil to
+// detach. Tracing is off the hot path: with no tracer the per-event cost
+// is a nil check.
+func (c *Core) SetTracer(t Tracer) { c.eng.setTracer(t) }
+
+// SetHooks attaches h to receive issue/commit/MOP-formation/cycle
+// events. Pass nil to detach.
+func (c *Core) SetHooks(h Hooks) { c.eng.setHooks(h) }
+
+// SetStageAccounting toggles per-stage wall-time accounting. When on,
+// every cycle brackets each pipeline stage with monotonic clock reads —
+// roughly doubling the cost of a cycle — so throughput measurement and
+// stage attribution should run in separate legs. Toggling resets the
+// accumulated breakdown.
+func (c *Core) SetStageAccounting(on bool) {
+	if on {
+		c.clock = &stageClock{}
+	} else {
+		c.clock = nil
+	}
+	c.eng.setStageClock(c.clock)
+}
+
+// StageBreakdown returns the per-stage time split accumulated since
+// stage accounting was last enabled. Zero value if accounting is off.
+func (c *Core) StageBreakdown() StageBreakdown {
+	if c.clock == nil {
+		return StageBreakdown{}
+	}
+	return c.clock.breakdown()
+}
+
+// Scheduler exposes the core's scheduler for diagnostic and
+// fault-injection use (internal/fault). Mutating it mid-run changes
+// simulated timing.
+func (c *Core) Scheduler() sched.Engine { return c.eng.scheduler() }
+
+// Progress reports the machine's cumulative cycle and committed-
+// instruction counters. Unlike Result, which is refreshed only when a
+// Run returns, these are live — callers interleaving StepCycles with
+// timed Run legs use them to delimit measurement windows.
+func (c *Core) Progress() (cycles, committed int64) { return c.eng.progress() }
+
+// step advances one clock cycle (test hook).
+func (c *Core) step() { c.eng.step() }
+
+// Run simulates until maxInsts instructions commit (or the program ends)
+// and returns the results.
+func (c *Core) Run(maxInsts int64) (*Result, error) {
+	return c.RunContext(context.Background(), maxInsts)
+}
+
+// ctxPollCycles is how often RunContext polls the context for
+// cancellation. 1024 cycles keeps the check off the per-cycle hot path
+// while bounding the response latency to well under a millisecond of
+// wall time.
+const ctxPollCycles = 1024
+
+// RunContext simulates until maxInsts instructions commit, the program
+// ends, ctx is cancelled, or the machine stops making forward progress.
+//
+// Every abnormal outcome is a typed error from internal/simerr:
+//
+//   - ErrCancelled when ctx is cancelled (checked every ctxPollCycles);
+//   - ErrDeadlock when no instruction commits within the watchdog window
+//     (config.Machine.WatchdogCycles), with a pipeline state dump;
+//   - ErrLivelock when a scheduler entry exceeds the replay-storm limit;
+//   - ErrCheckFailed when an attached verification hook rejects a commit;
+//   - ErrInternal for residual panics, recovered here so a simulator bug
+//     in one run cannot take down the whole process.
+func (c *Core) RunContext(ctx context.Context, maxInsts int64) (res *Result, err error) {
+	e := c.eng
+	defer func() {
+		if r := recover(); r != nil {
+			if ie, ok := r.(*simerr.InternalError); ok {
+				// Typed panic from a subsystem: keep its context if set,
+				// fill ours in where missing.
+				if ie.Ctx == (simerr.Context{}) {
+					ie.Ctx = e.errCtx()
+				} else {
+					e.fillCtx(&ie.Ctx)
+				}
+				res, err = nil, ie
+				return
+			}
+			res, err = nil, simerr.Internal(e.errCtx(), r, string(debug.Stack()))
+		}
+	}()
+	// An already-expired context stops the run before cycle 0 — without
+	// this, a cancelled sweep cell would still burn a full poll window
+	// (ctxPollCycles cycles) before noticing.
+	if cerr := ctx.Err(); cerr != nil {
+		return nil, simerr.Cancelled(e.errCtx(), cerr)
+	}
+	maxCycles := maxInsts * 1000
+	if maxCycles <= 0 {
+		maxCycles = 1 << 40
+	}
+	watchdog := c.cfg.EffectiveWatchdog()
+	sch := e.scheduler()
+	cycle, committed := e.progress()
+	lastCommitCycle := cycle
+	lastCommitted := committed
+	nextPoll := cycle + ctxPollCycles
+	for committed < maxInsts {
+		if e.drained() {
+			break // program ended and pipeline drained
+		}
+		e.step()
+		cycle, committed = e.progress()
+		if rerr := e.runErr(); rerr != nil {
+			return nil, rerr
+		}
+		if serr := sch.Err(); serr != nil {
+			if se, ok := serr.(*simerr.Error); ok {
+				e.fillCtx(&se.Ctx)
+			}
+			return nil, serr
+		}
+		if committed > lastCommitted {
+			lastCommitted = committed
+			lastCommitCycle = cycle
+		} else if watchdog > 0 && cycle-lastCommitCycle > watchdog {
+			return nil, simerr.Deadlock(e.errCtx(), e.stateDump(),
+				"no commit for %d cycles (watchdog window %d)",
+				cycle-lastCommitCycle, watchdog)
+		}
+		if cycle >= nextPoll {
+			nextPoll = cycle + ctxPollCycles
+			if cerr := ctx.Err(); cerr != nil {
+				return nil, simerr.Cancelled(e.errCtx(), cerr)
+			}
+		}
+		if cycle > maxCycles {
+			return nil, simerr.Deadlock(e.errCtx(), e.stateDump(),
+				"exceeded cycle budget %d for %d insts", maxCycles, maxInsts)
+		}
+	}
+	return e.finishStats(), nil
+}
+
+// StepCycles advances the machine by exactly n cycles (or until the
+// program ends and the pipeline drains), regardless of how many
+// instructions commit. It exists for steady-state measurement — a caller
+// that has already warmed the core can bracket a StepCycles window with
+// runtime.ReadMemStats to attribute allocations to the cycle loop alone,
+// excluding one-time costs like lazy memory-page growth during the rest
+// of the run. Returns the number of cycles actually stepped.
+func (c *Core) StepCycles(n int64) (int64, error) {
+	e := c.eng
+	sch := e.scheduler()
+	var stepped int64
+	for ; stepped < n; stepped++ {
+		if e.drained() {
+			break
+		}
+		e.step()
+		if rerr := e.runErr(); rerr != nil {
+			return stepped, rerr
+		}
+		if serr := sch.Err(); serr != nil {
+			return stepped, serr
+		}
+	}
+	return stepped, nil
+}

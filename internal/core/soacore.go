@@ -1,0 +1,762 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+
+	"macroop/internal/branch"
+	"macroop/internal/cache"
+	"macroop/internal/config"
+	"macroop/internal/functional"
+	"macroop/internal/isa"
+	"macroop/internal/mop"
+	"macroop/internal/program"
+	"macroop/internal/sched"
+	"macroop/internal/simerr"
+)
+
+// ringMask indexes the recent-fetch ring (ringSize is a power of two).
+const ringMask = ringSize - 1
+
+// soaCore is the structure-of-arrays implementation of the core pipeline
+// (config.LayoutSoA, the default): in-flight instructions are uint32
+// handles into a uopArena, and every pipeline structure (fetch ring,
+// front-end delay line, ROB, pending-head list) is an index ring over
+// it. It is cycle-exact with entryCore — the golden net and the layout
+// differential test hold the two byte-identical.
+type soaCore struct {
+	cfg  config.Machine
+	name string
+	src  functional.Source
+	pred *branch.Predictor
+	mem  *cache.Hierarchy
+	sch  sched.Engine
+	det  *mop.Detector
+	ptab *mop.PointerTable
+
+	ar uopArena
+
+	cycle int64
+
+	// Fetch state.
+	nextStreamIdx int64
+	fetchDone     bool   // functional stream exhausted
+	stallUntil    int64  // IL1-miss stall
+	stallBranch   uopRef // mispredicted branch blocking fetch
+	pendingDyn    functional.DynInst
+	havePending   bool
+
+	ring [ringSize]uopRef // fetched uops by streamIdx&ringMask
+
+	// Front-end delay line: fetched uops awaiting queue insertion. The
+	// ring is sized to the next power of two above FetchBufEntries so
+	// indexing is a mask, not a division; occupancy is still bounded by
+	// cfg.FetchBufEntries.
+	feq     []uint32
+	feqMask int
+	feqHead int
+	feqLen  int
+
+	// Rename state: architectural register -> producing entry/op.
+	rename [isa.NumRegs]prodRef
+
+	// MOP formation state.
+	pendingHeads []uopRef
+
+	// ROB: power-of-two ring, occupancy bounded by cfg.ROBEntries.
+	rob      []uint32
+	robMask  int
+	robHead  int
+	robCount int
+
+	// Per-call scratch, reused every cycle (see entryCore).
+	specsBuf [2]sched.SrcSpec
+	prodsBuf [2]prodRef
+	groupBuf []uint32
+	dynsBuf  []*functional.DynInst
+	claimBuf []uint32
+
+	tracer  Tracer
+	hooks   Hooks
+	clock   *stageClock
+	hookErr error
+	srcErr  error
+
+	cnt struct {
+		committed, fetched, opsIssued                                         int64
+		il1Misses, dl1Misses, branchMispredicts                               int64
+		notCandidate, candNotGrouped, valueGenGrouped, nonValueGenGrouped     int64
+		indepGrouped, mopsFormed, depMOPsFormed, indepMOPsFormed, mopsDemoted int64
+		formCtrlMiss, formCycleAborts, formMissedScope, filterDeletes         int64
+	}
+
+	res Result
+}
+
+// nextPow2 rounds n up to a power of two (n >= 1).
+func nextPow2(n int) int {
+	p := 1
+	for p < n {
+		p <<= 1
+	}
+	return p
+}
+
+// newSoaCore builds the SoA-layout core. The caller (core.NewFromSource)
+// has already validated cfg.
+func newSoaCore(cfg config.Machine, name string, src functional.Source) (*soaCore, error) {
+	var fu [isa.NumClasses]int
+	for c := range fu {
+		fu[c] = cfg.FUCount(c)
+	}
+	pred, err := branch.New(cfg.Branch)
+	if err != nil {
+		return nil, err
+	}
+	mem, err := cache.NewHierarchy(cfg.Mem)
+	if err != nil {
+		return nil, err
+	}
+	c := &soaCore{
+		cfg:      cfg,
+		name:     name,
+		src:      src,
+		pred:     pred,
+		mem:      mem,
+		groupBuf: make([]uint32, 0, cfg.Width),
+		dynsBuf:  make([]*functional.DynInst, 0, cfg.Width),
+		claimBuf: make([]uint32, 0, sched.MaxMOPOps),
+	}
+	robCap := nextPow2(cfg.ROBEntries)
+	c.rob = make([]uint32, robCap)
+	c.robMask = robCap - 1
+	feqCap := nextPow2(cfg.FetchBufEntries)
+	c.feq = make([]uint32, feqCap)
+	c.feqMask = feqCap - 1
+	// Worst-case live set: every fetch-ring slot plus ROB and fetch-
+	// buffer residents that have been overwritten in the ring, plus a
+	// stalled branch. Sizing the arena to the sum means the steady-state
+	// loop never grows it.
+	c.ar.grow(ringSize + cfg.ROBEntries + cfg.FetchBufEntries + 2)
+	for i := range c.ring {
+		c.ring[i] = nilRef
+	}
+	c.stallBranch = nilRef
+	c.sch = sched.NewEngine(cfg.Kernel, sched.Config{
+		Model:         cfg.Sched,
+		Width:         cfg.Width,
+		IQEntries:     cfg.IQEntries,
+		FU:            fu,
+		ReplayPenalty: cfg.ReplayPenalty,
+		ReplayLimit:   cfg.ReplayStormLimit,
+		Window:        cfg.ROBEntries,
+	})
+	if cfg.Sched == config.SchedMOP {
+		c.ptab = mop.NewPointerTable()
+		c.det = mop.NewDetector(cfg.MOP, c.ptab)
+	}
+	c.res.Benchmark = name
+	return c, nil
+}
+
+// engine interface accessors (see pipeline.go).
+
+func (c *soaCore) drained() bool {
+	return c.fetchDone && c.robCount == 0 && c.feqLen == 0
+}
+
+func (c *soaCore) progress() (cycles, committed int64) {
+	return c.cycle, c.cnt.committed
+}
+
+func (c *soaCore) runErr() error {
+	if c.srcErr != nil {
+		return c.srcErr
+	}
+	return c.hookErr
+}
+
+func (c *soaCore) scheduler() sched.Engine     { return c.sch }
+func (c *soaCore) setTracer(t Tracer)          { c.tracer = t }
+func (c *soaCore) setHooks(h Hooks)            { c.hooks = h }
+func (c *soaCore) setStageClock(k *stageClock) { c.clock = k }
+
+func (c *soaCore) errCtx() simerr.Context {
+	return simerr.Context{
+		Benchmark: c.name,
+		Sched:     c.cfg.Sched.String(),
+		Cycle:     c.cycle,
+		Committed: c.cnt.committed,
+	}
+}
+
+func (c *soaCore) fillCtx(ctx *simerr.Context) {
+	if ctx.Benchmark == "" {
+		ctx.Benchmark = c.name
+	}
+	if ctx.Sched == "" {
+		ctx.Sched = c.cfg.Sched.String()
+	}
+	if ctx.Cycle == 0 {
+		ctx.Cycle = c.cycle
+	}
+	if ctx.Committed == 0 {
+		ctx.Committed = c.cnt.committed
+	}
+}
+
+func (c *soaCore) stateDump() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "cycle %d: ROB %d/%d, IQ %d occupied, fetch buffer %d, fetchDone=%v\n",
+		c.cycle, c.robCount, c.cfg.ROBEntries, c.sch.Occupied(), c.feqLen, c.fetchDone)
+	st := c.sch.Stats()
+	fmt.Fprintf(&b, "sched: %d grants, %d replays\n", st.Grants, st.Replays)
+	if c.robCount > 0 {
+		u := c.rob[c.robHead]
+		fmt.Fprintf(&b, "ROB head: seq %d pc %d op %v, fetched cycle %d (age %d)",
+			c.ar.streamIdx[u], c.ar.d[u].PC, c.ar.d[u].Inst.Op, c.ar.fetchCycle[u],
+			c.cycle-c.ar.fetchCycle[u])
+		if e := c.ar.entry[u]; e != nil {
+			fmt.Fprintf(&b, ", entry %d final=%v", e.ID(), e.Final())
+		}
+		b.WriteByte('\n')
+	}
+	b.WriteString(c.sch.DumpActive(8))
+	return b.String()
+}
+
+// step advances one clock cycle.
+func (c *soaCore) step() {
+	if c.clock != nil {
+		c.stepTimed()
+		return
+	}
+	c.commit()
+	c.applyGrants(c.sch.Tick(c.cycle))
+	c.insert()
+	c.fetch()
+	if c.hooks != nil {
+		c.hookCycle()
+	}
+	c.cycle++
+}
+
+// stepTimed is step with per-stage wall-time accounting.
+func (c *soaCore) stepTimed() {
+	k := c.clock
+	t0 := k.now()
+	c.commit()
+	t1 := k.now()
+	grants := c.sch.Tick(c.cycle)
+	t2 := k.now()
+	c.applyGrants(grants)
+	t3 := k.now()
+	c.insert()
+	t4 := k.now()
+	c.fetch()
+	t5 := k.now()
+	if c.hooks != nil {
+		c.hookCycle()
+	}
+	c.cycle++
+	k.add(t0, t1, t2, t3, t4, t5)
+}
+
+// ringPut installs a freshly fetched uop in the recent-fetch ring,
+// releasing the handle whose slot it overwrites (if retired — a live
+// handle still sits in the ROB or fetch buffer and is released at its
+// own retire; a fetch-stalling branch is released when the stall
+// clears).
+func (c *soaCore) ringPut(h uint32) {
+	idx := int(c.ar.streamIdx[h]) & ringMask
+	if old := c.ring[idx]; old.idx != nilHandle &&
+		c.ar.flags[old.idx]&fCommitted != 0 && old != c.stallBranch {
+		c.ar.release(old.idx)
+	}
+	c.ring[idx] = c.ar.ref(h)
+}
+
+// feqPush appends to the front-end delay line ring.
+func (c *soaCore) feqPush(h uint32) {
+	c.feq[(c.feqHead+c.feqLen)&c.feqMask] = h
+	c.feqLen++
+}
+
+// feqFront returns the oldest queued uop (feqLen must be > 0).
+func (c *soaCore) feqFront() uint32 { return c.feq[c.feqHead] }
+
+// feqPop removes the oldest queued uop.
+func (c *soaCore) feqPop() {
+	c.feqHead = (c.feqHead + 1) & c.feqMask
+	c.feqLen--
+}
+
+// schedOpInfo builds the scheduler's view of a uop from its memoized
+// metadata word.
+func (c *soaCore) schedOpInfo(h uint32) sched.OpInfo {
+	m := c.ar.meta[h]
+	lat := int(m >> metaLatShift & 0xff)
+	isLoad := m&metaLoad != 0
+	if isLoad {
+		lat += c.loadAssumed() // agen + assumed DL1 hit
+	}
+	return sched.OpInfo{
+		Seq:     c.ar.d[h].Seq,
+		FU:      isa.Class(m >> metaFUShift & 0xff),
+		Latency: lat,
+		IsLoad:  isLoad,
+	}
+}
+
+// grouped reports whether the uop ended up inside a MOP.
+func (c *soaCore) grouped(h uint32) bool {
+	e := c.ar.entry[h]
+	return e != nil && e.IsMOP()
+}
+
+// ---------------------------------------------------------------------
+// Issue (scheduling) stage.
+
+// applyGrants applies the per-grant consequences of one scheduler tick.
+func (c *soaCore) applyGrants(grants []sched.Grant) {
+	ar := &c.ar
+	for _, g := range grants {
+		// UserIdx holds the entry's packed head-uop handle (an integer,
+		// so storing it never allocates); member slot 0 is the head
+		// itself, later slots the attached chain members.
+		v := g.Entry.UserIdx
+		if v == 0 {
+			continue
+		}
+		h, gen := unpackUser(v)
+		if ar.gen[h] != gen || g.OpIdx >= int(ar.nMembers[h]) {
+			continue
+		}
+		uo := ar.members[int(h)*memberStride+g.OpIdx]
+		c.cnt.opsIssued++
+		if c.tracer != nil {
+			c.trace(uo, StageIssue, g.Cycle)
+		}
+		if c.hooks != nil {
+			c.hookIssue(uo, g.Cycle)
+		}
+		if m := ar.meta[uo]; m&metaLoad != 0 {
+			// Probe the data hierarchy on the first grant only (issue
+			// order is deterministic); if the load replays, its data
+			// still arrives when the original access completes.
+			agen := int64(m >> metaLatShift & 0xff)
+			if ar.flags[uo]&fMemProbed == 0 {
+				if !c.sch.OperandsValid(g.Entry) {
+					// Invalidly issued: no cache access happens; this
+					// grant will be rescinded and the load reissued.
+					continue
+				}
+				lat, hit := c.mem.Data(ar.d[uo].MemAddr)
+				if !hit {
+					c.cnt.dl1Misses++
+				}
+				ar.flags[uo] |= fMemProbed
+				ar.memFillAt[uo] = g.Cycle + agen + int64(lat)
+			}
+			actual := maxI64(g.Cycle+agen+int64(c.loadAssumed()), ar.memFillAt[uo])
+			discover := g.Cycle + int64(c.cfg.ExecOffset) + 1
+			c.sch.SetLoadResult(g.Entry, g.OpIdx, actual, discover)
+		}
+	}
+}
+
+// ---------------------------------------------------------------------
+// Fetch stage.
+
+func (c *soaCore) fetch() {
+	if c.fetchDone {
+		return
+	}
+	ar := &c.ar
+	// Mispredicted branch: fetch resumes after it finally resolves. A
+	// committed branch's entry is already released, so retire snapshots
+	// the resolve cycle into branchResolveAt for us. The handle stays
+	// allocated for as long as it is the active stall (ringPut and
+	// retire both exclude it).
+	if b := c.stallBranch; b.idx != nilHandle {
+		h := b.idx
+		var resolve int64
+		switch {
+		case ar.flags[h]&fCommitted != 0:
+			resolve = ar.branchResolveAt[h]
+		case ar.entry[h] != nil && ar.entry[h].Final():
+			// (chain members execute opIdx cycles after the MOP issues)
+			resolve = ar.entry[h].Grant() + int64(c.cfg.ExecOffset) + int64(ar.opIdx[h])
+		default:
+			return
+		}
+		resume := maxI64(resolve+1, ar.fetchCycle[h]+int64(c.cfg.MinBranchPenalty))
+		if c.cycle < resume {
+			return
+		}
+		c.stallBranch = nilRef
+		// The branch may have been overwritten in the ring while it was
+		// the active stall (ringPut skipped the release); if it is
+		// retired and gone from the ring, nothing references it anymore.
+		if ar.flags[h]&fCommitted != 0 && c.ring[int(ar.streamIdx[h])&ringMask] != b {
+			ar.release(h)
+		}
+	}
+	if c.cycle < c.stallUntil {
+		return
+	}
+
+	var curLine uint64
+	haveLine := false
+	for n := 0; n < c.cfg.Width && c.feqLen < c.cfg.FetchBufEntries; n++ {
+		d := c.peekDyn()
+		if d == nil {
+			c.fetchDone = true
+			return
+		}
+		// Instruction cache: one line access per group; crossing into a
+		// new line probes again, and a miss cuts the group.
+		line := program.ByteAddr(d.PC) / uint64(c.cfg.Mem.IL1.LineBytes)
+		if !haveLine || line != curLine {
+			lat, hit := c.mem.Fetch(program.ByteAddr(d.PC))
+			if !hit {
+				c.cnt.il1Misses++
+				c.stallUntil = c.cycle + int64(lat-c.cfg.Mem.IL1.Latency)
+				if n == 0 {
+					return // group starts next cycle, after the fill
+				}
+				break
+			}
+			curLine, haveLine = line, true
+		}
+
+		u := c.takeDyn()
+		ar.fetchCycle[u] = c.cycle
+		if c.tracer != nil {
+			c.trace(u, StageFetch, c.cycle)
+		}
+		ar.insertAt[u] = c.cycle + int64(c.cfg.FrontLatency)
+		if c.cfg.Sched == config.SchedMOP {
+			ar.insertAt[u] += int64(c.cfg.MOP.ExtraFormationStages)
+		}
+		c.ringPut(u)
+		c.feqPush(u)
+		c.cnt.fetched++
+
+		if ar.meta[u]&metaBranch != 0 {
+			if c.predictBranch(u) {
+				break // taken (or mispredicted): group ends
+			}
+		}
+	}
+}
+
+// predictBranch runs fetch-time prediction for u, updates predictor state,
+// and reports whether the fetch group must end (redirect or mispredict).
+func (c *soaCore) predictBranch(u uint32) bool {
+	d := &c.ar.d[u]
+	op := d.Inst.Op
+	switch {
+	case op.IsCondBranch():
+		pred := c.pred.PredictDirection(d.PC)
+		c.pred.UpdateDirection(d.PC, d.Taken)
+		if pred != d.Taken {
+			c.ar.flags[u] |= fMispredicted
+			c.cnt.branchMispredicts++
+			c.stallBranch = c.ar.ref(u)
+			return true
+		}
+		if d.Taken {
+			c.pred.UpdateTarget(d.PC, d.NextPC)
+		}
+		return d.Taken
+	case op.IsDirectJump():
+		// Direct targets are available from predecode; JAL pushes the RAS.
+		if op == isa.JAL {
+			c.pred.PushRAS(d.PC + 1)
+		}
+		c.pred.UpdateTarget(d.PC, d.NextPC)
+		return true
+	case op.IsIndirect():
+		target, ok := c.pred.PopRAS()
+		c.pred.RecordTargetOutcome(true, target, d.NextPC)
+		if !ok || target != d.NextPC {
+			c.ar.flags[u] |= fMispredicted
+			c.cnt.branchMispredicts++
+			c.stallBranch = c.ar.ref(u)
+		}
+		return true
+	}
+	return false
+}
+
+// peekDyn returns the next fused dynamic instruction without consuming
+// it (see entryCore.peekDyn).
+func (c *soaCore) peekDyn() *functional.DynInst {
+	if c.havePending {
+		return &c.pendingDyn
+	}
+	if err := c.src.Step(&c.pendingDyn); err != nil {
+		if errors.Is(err, functional.ErrHalted) {
+			return nil
+		}
+		if c.srcErr == nil {
+			e := simerr.New(simerr.KindInternal, c.errCtx(),
+				"instruction source fault at stream index %d: %v", c.nextStreamIdx, err)
+			e.Err = err
+			c.srcErr = e
+		}
+		return nil
+	}
+	c.havePending = true
+	return &c.pendingDyn
+}
+
+// takeDyn consumes the next fused dynamic instruction as a uop handle,
+// merging a following STD into its STA and memoizing the hot predicates
+// into the metadata word.
+func (c *soaCore) takeDyn() uint32 {
+	d := c.peekDyn()
+	c.havePending = false
+	ar := &c.ar
+	u := ar.alloc()
+	ar.d[u] = *d
+	ar.streamIdx[u] = c.nextStreamIdx
+	ar.dataReg[u] = isa.NoReg
+	ar.meta[u] = packMeta(d.Inst)
+	c.nextStreamIdx++
+	if ar.d[u].Inst.Op == isa.STA {
+		// peekDyn reuses the pending buffer, so consult the arena copy
+		// (already made) rather than d from here on.
+		std := c.peekDyn()
+		if std == nil || std.Inst.Op != isa.STD {
+			if c.srcErr == nil {
+				c.srcErr = simerr.New(simerr.KindInternal, c.errCtx(),
+					"STA at pc %d (stream index %d) not followed by STD",
+					ar.d[u].PC, ar.streamIdx[u])
+			}
+			return u
+		}
+		ar.dataReg[u] = std.Inst.Src1
+		c.havePending = false
+	}
+	return u
+}
+
+// ---------------------------------------------------------------------
+// Queue-insert stage (rename + MOP formation + issue queue insertion).
+
+func (c *soaCore) insert() {
+	inserted := 0
+	group := c.groupBuf[:0]
+	for c.feqLen > 0 && inserted < c.cfg.Width {
+		u := c.feqFront()
+		if c.ar.insertAt[u] > c.cycle {
+			break
+		}
+		if c.robCount >= c.cfg.ROBEntries {
+			break
+		}
+		// A claimed tail shares its head's entry; everything else needs a
+		// fresh one.
+		needsEntry := c.ar.claimedBy[u].idx == nilHandle
+		if needsEntry && !c.sch.HasSpace(1) {
+			break
+		}
+		c.feqPop()
+		c.renameAndInsert(u)
+		c.robPush(u)
+		group = append(group, u)
+		inserted++
+	}
+	if len(group) > 0 {
+		c.afterInsertGroup(group)
+	}
+	c.groupBuf = group[:0]
+}
+
+// robPush appends to the ROB ring.
+func (c *soaCore) robPush(u uint32) {
+	c.rob[(c.robHead+c.robCount)&c.robMask] = u
+	c.robCount++
+	c.ar.flags[u] |= fInserted
+}
+
+// srcSpecs builds the scheduler source list for u's register operands,
+// excluding exclude (the intra-MOP producer) when attaching a tail.
+// The returned slices are scratch valid until the next srcSpecs call.
+func (c *soaCore) srcSpecs(u uint32, exclude *sched.Entry) ([]sched.SrcSpec, []prodRef) {
+	specs := c.specsBuf[:0]
+	prods := c.prodsBuf[:0]
+	inst := &c.ar.d[u].Inst
+	for _, r := range [2]isa.Reg{inst.Src1, inst.Src2} {
+		if r == isa.NoReg || r == isa.R0 {
+			continue
+		}
+		p := c.rename[r]
+		if p.entry == exclude && exclude != nil {
+			continue // satisfied inside the MOP; no tag broadcast needed
+		}
+		specs = append(specs, sched.SrcSpec{Prod: p.entry, ProdOp: p.opIdx})
+		prods = append(prods, p)
+	}
+	return specs, prods
+}
+
+func (c *soaCore) loadAssumed() int { return c.mem.LoadAssumedLatency() }
+
+func (c *soaCore) finishStats() *Result {
+	c.res.Cycles = c.cycle
+	if c.cycle > 0 {
+		c.res.IPC = float64(c.cnt.committed) / float64(c.cycle)
+	}
+	c.res.Committed = c.cnt.committed
+	c.res.Fetched = c.cnt.fetched
+	c.res.OpsIssued = c.cnt.opsIssued
+	c.res.IL1Misses = c.cnt.il1Misses
+	c.res.DL1Misses = c.cnt.dl1Misses
+	c.res.BranchMispredicts = c.cnt.branchMispredicts
+	c.res.NotCandidate = c.cnt.notCandidate
+	c.res.CandNotGrouped = c.cnt.candNotGrouped
+	c.res.ValueGenGrouped = c.cnt.valueGenGrouped
+	c.res.NonValueGenGrouped = c.cnt.nonValueGenGrouped
+	c.res.IndepGrouped = c.cnt.indepGrouped
+	c.res.MOPsFormed = c.cnt.mopsFormed
+	c.res.DepMOPsFormed = c.cnt.depMOPsFormed
+	c.res.IndepMOPsFormed = c.cnt.indepMOPsFormed
+	c.res.MOPsDemoted = c.cnt.mopsDemoted
+	c.res.FormCtrlMiss = c.cnt.formCtrlMiss
+	c.res.FormCycleAborts = c.cnt.formCycleAborts
+	c.res.FormMissedScope = c.cnt.formMissedScope
+	c.res.FilterDeletes = c.cnt.filterDeletes
+	c.res.SchedStats = c.sch.Stats()
+	if c.det != nil {
+		c.res.DetectStats = c.det.Stats()
+	}
+	condSeen, condHit, _, _, rasSeen, rasHit := c.pred.Stats()
+	c.res.CondBranches, c.res.CondCorrect = condSeen, condHit
+	c.res.Returns, c.res.ReturnsCorrect = rasSeen, rasHit
+	c.res.IL1MissRate = c.mem.IL1().MissRate()
+	c.res.DL1MissRate = c.mem.DL1().MissRate()
+	c.res.L2MissRate = c.mem.L2().MissRate()
+	if c.ptab != nil {
+		c.res.PointerInstalls = c.ptab.Installs()
+		c.res.PointerDeletes = c.ptab.Deletes()
+	}
+	return &c.res
+}
+
+// ---------------------------------------------------------------------
+// Commit stage.
+
+func (c *soaCore) commit() {
+	for n := 0; n < c.cfg.Width && c.robCount > 0; n++ {
+		u := c.rob[c.robHead]
+		if !c.committable(u) {
+			return
+		}
+		c.retire(u)
+		c.robHead = (c.robHead + 1) & c.robMask
+		c.robCount--
+	}
+}
+
+// committable reports whether the ROB head has fully completed. The
+// commit-ready cycle is immutable once the entry (and a store's data
+// producer) are final — actual-ready times cannot change after finality
+// — so it is memoized and a blocked ROB head re-checks with one compare.
+func (c *soaCore) committable(u uint32) bool {
+	ar := &c.ar
+	if ca := ar.commitAt[u]; ca != 0 {
+		return c.cycle >= ca
+	}
+	e := ar.entry[u]
+	if e == nil || !e.Final() {
+		return false
+	}
+	if ar.meta[u]&metaStore != 0 && ar.dataProd[u].entry != nil && !ar.dataProd[u].entry.Final() {
+		return false
+	}
+	ca := c.commitReadyAt(u)
+	ar.commitAt[u] = ca
+	return c.cycle >= ca
+}
+
+// commitReadyAt returns the earliest cycle u may commit (see
+// entryCore.commitReadyAt).
+func (c *soaCore) commitReadyAt(u uint32) int64 {
+	ar := &c.ar
+	done := ar.entry[u].ActualReady(int(ar.opIdx[u])) + int64(c.cfg.ExecOffset)
+	if ar.meta[u]&metaStore != 0 && ar.dataProd[u].entry != nil {
+		p := ar.dataProd[u]
+		done = maxI64(done, p.entry.ActualReady(p.opIdx)+int64(c.cfg.ExecOffset))
+	}
+	return done
+}
+
+// retire commits one instruction: stores write the data cache, MOP
+// statistics and the last-arriving filter run here. The handle is
+// released once nothing can still read it — immediately, unless it is
+// still fetch-ring resident (released when its slot is overwritten) or
+// the active fetch stall (released when the stall clears).
+func (c *soaCore) retire(u uint32) {
+	ar := &c.ar
+	ar.flags[u] |= fCommitted
+	if c.tracer != nil {
+		c.trace(u, StageCommit, c.cycle)
+	}
+	if c.hooks != nil {
+		c.hookCommit(u)
+	}
+	c.cnt.committed++
+	if ar.meta[u]&metaStore != 0 {
+		// Stores write memory at commit (Section 2.1); the tag fill keeps
+		// the data cache warm for later loads.
+		c.mem.DL1().Touch(ar.d[u].MemAddr)
+	}
+	c.accountMOP(u)
+	if ar.flags[u]&fMOPHead != 0 && c.cfg.Sched == config.SchedMOP && c.cfg.MOP.LastArrivingFilter {
+		c.lastArrivingFilter(u)
+	}
+	e := ar.entry[u]
+	if ar.flags[u]&fMispredicted != 0 {
+		// Snapshot the resolve cycle before the entry reference is
+		// dropped: the fetch stage may still be stalled on this branch
+		// after its entry has been released and recycled.
+		ar.branchResolveAt[u] = e.Grant() + int64(c.cfg.ExecOffset) + int64(ar.opIdx[u])
+	}
+	// Drop every entry reference this uop retained at rename time, in
+	// reverse order of acquisition; the scheduler recycles an entry onto
+	// its free list when the last reference goes.
+	hb := int(u) * headProdStride
+	for i := 0; i < int(ar.nHeadProds[u]); i++ {
+		if p := ar.headProds[hb+i]; p.entry != nil {
+			c.sch.Release(p.entry)
+		}
+	}
+	tb := int(u) * tailProdStride
+	for i := 0; i < int(ar.nTailProds[u]); i++ {
+		if p := ar.tailProds[tb+i]; p.entry != nil {
+			c.sch.Release(p.entry)
+		}
+	}
+	if ar.dataProd[u].entry != nil {
+		c.sch.Release(ar.dataProd[u].entry)
+	}
+	ar.nHeadProds[u] = 0
+	ar.nTailProds[u] = 0
+	ar.dataProd[u] = prodRef{}
+	ar.claimedBy[u] = nilRef
+	if int(ar.opIdx[u]) == e.NumOps()-1 {
+		// Last member of the entry to commit: no more grants can arrive,
+		// so the payload back-link can go too.
+		e.UserIdx = 0
+	}
+	c.sch.Release(e) // the member op's own reference
+	ar.entry[u] = nil
+	r := ar.ref(u)
+	if c.ring[int(ar.streamIdx[u])&ringMask] != r && r != c.stallBranch {
+		ar.release(u)
+	}
+}

@@ -1,0 +1,453 @@
+package core
+
+import (
+	"macroop/internal/config"
+	"macroop/internal/isa"
+)
+
+// renameAndInsert performs the rename-stage work for one uop: MOP
+// formation (claiming a tail via the MOP pointer, or joining the head's
+// entry as the tail), dependence translation into entry/op references,
+// and issue queue insertion. Cycle-exact port of the entry layout's
+// form.go — every branch and counter mirrors it.
+func (c *soaCore) renameAndInsert(u uint32) {
+	ar := &c.ar
+	ar.insertedCycle[u] = c.cycle
+	if c.tracer != nil {
+		c.trace(u, StageInsert, c.cycle)
+	}
+
+	// Member side of a formed MOP: join the head's entry. The claim ref
+	// is generation-guarded: a stale claim (head retired and recycled)
+	// fails valid() exactly where the entry layout sees h.entry == nil.
+	if r := ar.claimedBy[u]; r.idx != nilHandle && ar.valid(r) &&
+		ar.entry[r.idx] != nil && ar.entry[r.idx].PendingTail() {
+		h := r.idx
+		he := ar.entry[h]
+		specs, prods := c.srcSpecs(u, he)
+		// Chain links beyond a pair need a transitive cycle check: one of
+		// this member's producers may itself (transitively) wait on the
+		// merged entry, which would deadlock. The pair case is already
+		// covered by detection's conservative heuristic.
+		if ar.expectOps[h] > 2 {
+			for _, sp := range specs {
+				if sp.Prod != nil && c.sch.DependsOn(sp.Prod, he) {
+					c.demote(h)
+					c.removePendingHead(r)
+					c.cnt.formCycleAborts++
+					break
+				}
+			}
+			if ar.claimedBy[u].idx == nilHandle {
+				// demote unclaimed us: insert as a normal instruction.
+				c.renameAndInsert(u)
+				return
+			}
+		}
+		ar.attachedOps[h]++
+		last := ar.attachedOps[h] >= ar.expectOps[h]-1
+		c.sch.AttachOp(he, c.schedOpInfo(u), specs, last)
+		ar.entry[u], ar.opIdx[u] = he, int32(ar.attachedOps[h])
+		// The head owns the member's producer references (released at the
+		// head's commit, after the last-arriving filter has read them).
+		tb := int(h) * tailProdStride
+		for _, p := range prods {
+			if p.entry != nil {
+				p.entry.Retain()
+			}
+			ar.tailProds[tb+int(ar.nTailProds[h])] = p
+			ar.nTailProds[h]++
+		}
+		ar.members[int(h)*memberStride+int(ar.nMembers[h])] = u
+		ar.nMembers[h]++
+		c.finishRename(u)
+		if last {
+			c.removePendingHead(r)
+			if c.hooks != nil {
+				c.hookMOPFormed(h)
+			}
+			c.cnt.mopsFormed++
+			if ar.flags[u]&fMOPDep != 0 {
+				c.cnt.depMOPsFormed++
+			} else {
+				c.cnt.indepMOPsFormed++
+			}
+		}
+		return
+	}
+	ar.claimedBy[u] = nilRef // stale claim (head was demoted): insert normally
+
+	pending := false
+	if c.cfg.Sched == config.SchedMOP {
+		pending = c.tryClaimTail(u)
+	}
+	specs, prods := c.srcSpecs(u, nil)
+	e := c.sch.Insert(c.schedOpInfo(u), specs, pending)
+	ar.members[int(u)*memberStride] = u
+	ar.nMembers[u] = 1
+	e.UserIdx = packUser(u, ar.gen[u]) // head back-link; an integer, so no allocation
+	ar.entry[u], ar.opIdx[u] = e, 0
+	hb := int(u) * headProdStride
+	for _, p := range prods {
+		if p.entry != nil {
+			p.entry.Retain()
+		}
+		ar.headProds[hb+int(ar.nHeadProds[u])] = p
+		ar.nHeadProds[u]++
+	}
+	if pending {
+		c.pendingHeads = append(c.pendingHeads, ar.ref(u))
+	}
+	c.finishRename(u)
+}
+
+// finishRename records the store-data producer and updates the rename
+// table with this uop's destination (dependence translation: both MOP ops
+// map to the same entry, Figure 10).
+func (c *soaCore) finishRename(u uint32) {
+	ar := &c.ar
+	if dr := ar.dataReg[u]; dr != isa.NoReg && dr != isa.R0 {
+		ar.dataProd[u] = c.rename[dr]
+		if ar.dataProd[u].entry != nil {
+			ar.dataProd[u].entry.Retain() // released at u's commit
+		}
+	}
+	if ar.meta[u]&metaWritesReg != 0 {
+		// Retain the new producer before releasing the displaced one: when
+		// both ops of a MOP write the same register they share one entry,
+		// and the swap must not drop its refcount to zero in between.
+		e := ar.entry[u]
+		e.Retain()
+		dest := ar.d[u].Inst.Dest
+		if old := c.rename[dest].entry; old != nil {
+			c.sch.Release(old)
+		}
+		c.rename[dest] = prodRef{entry: e, opIdx: int(ar.opIdx[u])}
+	}
+}
+
+// tryClaimTail consults the MOP pointer for u and, when the designated
+// tail is already fetched and the control flow matches the pointer,
+// claims it; with the chained-MOP extension enabled it keeps following
+// pointers up to MaxMOPSize members. Returns whether u was inserted as a
+// pending MOP head.
+func (c *soaCore) tryClaimTail(u uint32) bool {
+	ar := &c.ar
+	maxOps := c.cfg.MOP.MaxMOPSize
+	members := append(c.claimBuf[:0], u)
+	cur := u
+	for len(members) < maxOps {
+		t, ok := c.nextChainMember(cur, len(members) == 1)
+		if !ok {
+			break
+		}
+		members = append(members, t)
+		cur = t
+	}
+	if len(members) < 2 {
+		c.claimBuf = members[:0]
+		return false
+	}
+	ur := ar.ref(u)
+	for i, t := range members[1:] {
+		ar.claimedBy[t] = ur
+		ar.flags[t] |= fMOPTail
+		prev := members[i] // the member t's pointer hung off
+		pInst := &ar.d[prev].Inst
+		tInst := &ar.d[t].Inst
+		dep := pInst.WritesReg() &&
+			(tInst.Src1 == pInst.Dest || tInst.Src2 == pInst.Dest)
+		if dep {
+			ar.flags[t] |= fMOPDep
+		} else {
+			ar.flags[t] &^= fMOPDep
+		}
+		if i == 0 {
+			if dep {
+				ar.flags[u] |= fMOPDep
+			} else {
+				ar.flags[u] &^= fMOPDep
+			}
+		}
+	}
+	ar.flags[u] |= fMOPHead
+	ar.expectOps[u] = uint8(len(members))
+	ar.tailPC[u] = int32(ar.d[members[1]].PC)
+	c.claimBuf = members[:0]
+	return true
+}
+
+// nextChainMember resolves one MOP pointer link from cur, validating the
+// insertion-window and control-flow constraints.
+func (c *soaCore) nextChainMember(cur uint32, countStats bool) (uint32, bool) {
+	ar := &c.ar
+	ptr, tailPC, ok := c.ptab.Lookup(ar.d[cur].PC, c.cycle)
+	if !ok {
+		return nilHandle, false
+	}
+	tailIdx := ar.streamIdx[cur] + int64(ptr.Offset)
+	if tailIdx >= c.nextStreamIdx {
+		// Tail not even fetched: it cannot be in this or the next insert
+		// group (Section 5.2.3's insertion policy).
+		if countStats {
+			c.cnt.formMissedScope++
+		}
+		return nilHandle, false
+	}
+	tr := c.ring[int(tailIdx)&ringMask]
+	if tr.idx == nilHandle || !ar.valid(tr) {
+		if countStats {
+			c.cnt.formMissedScope++
+		}
+		return nilHandle, false
+	}
+	t := tr.idx
+	if ar.streamIdx[t] != tailIdx || ar.flags[t]&fInserted != 0 ||
+		ar.claimedBy[t].idx != nilHandle || ar.flags[t]&fMOPHead != 0 {
+		if countStats {
+			c.cnt.formMissedScope++
+		}
+		return nilHandle, false
+	}
+	if ar.d[t].PC != tailPC {
+		// Different dynamic path than at detection time.
+		if countStats {
+			c.cnt.formCtrlMiss++
+		}
+		return nilHandle, false
+	}
+	ctrl, flowOK := c.controlClassBetween(ar.streamIdx[cur], tailIdx)
+	if !flowOK || ctrl != ptr.Control {
+		if countStats {
+			c.cnt.formCtrlMiss++
+		}
+		return nilHandle, false
+	}
+	return t, true
+}
+
+// controlClassBetween reclassifies the control flow between two fused
+// stream positions with the same rules as MOP detection: no indirect
+// jumps, at most one control instruction if any is taken; the returned
+// bit records a single taken direct control.
+func (c *soaCore) controlClassBetween(from, to int64) (controlBit, ok bool) {
+	ar := &c.ar
+	nControl, nTaken := 0, 0
+	for i := from; i < to; i++ {
+		x := c.ring[int(i)&ringMask]
+		if x.idx == nilHandle || !ar.valid(x) || ar.streamIdx[x.idx] != i {
+			return false, false // fell out of the formation window
+		}
+		m := ar.meta[x.idx]
+		if m&metaBranch == 0 {
+			continue
+		}
+		if m&metaIndirect != 0 {
+			return false, false
+		}
+		nControl++
+		if ar.d[x.idx].Taken {
+			nTaken++
+		}
+	}
+	switch {
+	case nTaken == 0:
+		return false, true
+	case nTaken == 1 && nControl == 1:
+		return true, true
+	default:
+		return false, false
+	}
+}
+
+// afterInsertGroup runs once per non-empty insert group: it feeds the MOP
+// detector with the renamed group and demotes pending heads whose tail
+// missed the same-or-next-group insertion window.
+func (c *soaCore) afterInsertGroup(group []uint32) {
+	ar := &c.ar
+	if c.det != nil {
+		// The detector copies each DynInst into its own slot value before
+		// returning, so handing it scratch pointers into arena slots is
+		// safe.
+		dyns := c.dynsBuf[:0]
+		for _, u := range group {
+			dyns = append(dyns, &ar.d[u])
+		}
+		c.det.Observe(c.cycle, dyns)
+		c.dynsBuf = dyns[:0]
+	}
+	kept := c.pendingHeads[:0]
+	for _, hr := range c.pendingHeads {
+		// A stale ref means the head retired and its slot was recycled —
+		// the entry layout's "h.entry == nil" drop case.
+		if !ar.valid(hr) {
+			continue
+		}
+		h := hr.idx
+		if ar.entry[h] == nil || !ar.entry[h].PendingTail() {
+			continue // tail attached (or otherwise settled)
+		}
+		// See entryCore.afterInsertGroup: the demotion here is a safety
+		// net against pathological front-end disruptions.
+		if c.cycle-ar.insertedCycle[h] > pendingHeadTimeout {
+			c.demote(h)
+			continue
+		}
+		kept = append(kept, hr)
+	}
+	c.pendingHeads = kept
+}
+
+// demote cancels a pending MOP head: the entry proceeds with whatever
+// members were attached (possibly just the head), and members that never
+// arrived are unclaimed so they insert normally (Sections 5.2.3/5.3.2).
+func (c *soaCore) demote(h uint32) {
+	ar := &c.ar
+	c.sch.CancelTail(ar.entry[h])
+	c.cnt.mopsDemoted++
+	if ar.attachedOps[h] == 0 {
+		ar.flags[h] &^= fMOPHead | fMOPDep
+	} else {
+		// The entry proceeds as a smaller multi-op group: report it so
+		// commit-side atomicity checks know its final membership.
+		if c.hooks != nil {
+			c.hookMOPFormed(h)
+		}
+	}
+	// Unclaim chain members still waiting in the ring.
+	hr := ar.ref(h)
+	for i := 0; i < ringSize; i++ {
+		t := c.ring[i]
+		if t.idx == nilHandle {
+			continue
+		}
+		if ar.claimedBy[t.idx] == hr && ar.flags[t.idx]&fInserted == 0 {
+			ar.claimedBy[t.idx] = nilRef
+			ar.flags[t.idx] &^= fMOPTail | fMOPDep
+		}
+	}
+}
+
+func (c *soaCore) removePendingHead(h uopRef) {
+	for i, x := range c.pendingHeads {
+		if x == h {
+			c.pendingHeads = append(c.pendingHeads[:i], c.pendingHeads[i+1:]...)
+			return
+		}
+	}
+}
+
+// lastArrivingFilter implements Section 5.4.2: if the committed MOP's
+// issue was triggered by a tail-side operand arriving after every
+// head-side operand, the pointer is deleted (and the pair blacklisted) so
+// detection finds an alternative pairing.
+func (c *soaCore) lastArrivingFilter(h uint32) {
+	ar := &c.ar
+	e := ar.entry[h]
+	if e == nil || !e.IsMOP() || e.NumOps() != 2 {
+		return
+	}
+	arrival := func(prods []prodRef) int64 {
+		var m int64
+		for _, p := range prods {
+			if p.entry == nil {
+				continue
+			}
+			if a := p.entry.ActualReady(p.opIdx); a > m && a < (1<<61) {
+				m = a
+			}
+		}
+		return m
+	}
+	hb := int(h) * headProdStride
+	tb := int(h) * tailProdStride
+	headMax := arrival(ar.headProds[hb : hb+int(ar.nHeadProds[h])])
+	tailMax := arrival(ar.tailProds[tb : tb+int(ar.nTailProds[h])])
+	if tailMax > headMax {
+		c.ptab.Delete(ar.d[h].PC, int(ar.tailPC[h]))
+		c.cnt.filterDeletes++
+	}
+}
+
+// accountMOP classifies a committed instruction for Figure 13.
+func (c *soaCore) accountMOP(u uint32) {
+	m := c.ar.meta[u]
+	switch {
+	case m&metaMOPCand == 0:
+		c.cnt.notCandidate++
+	case c.grouped(u) && c.ar.flags[u]&fMOPDep == 0:
+		c.cnt.indepGrouped++
+	case c.grouped(u) && m&metaValueGen != 0:
+		c.cnt.valueGenGrouped++
+	case c.grouped(u):
+		c.cnt.nonValueGenGrouped++
+	default:
+		c.cnt.candNotGrouped++
+	}
+}
+
+// ---------------------------------------------------------------------
+// Hook and trace forwarding (handle-typed twins of hooks.go/trace.go).
+
+func (c *soaCore) trace(u uint32, stage Stage, cycle int64) {
+	if c.tracer == nil {
+		return
+	}
+	d := &c.ar.d[u]
+	c.tracer.Event(d.Seq, d.PC, d.Inst.String(), stage, cycle)
+}
+
+// hookIssue forwards a grant to the hooks, capturing the first error.
+func (c *soaCore) hookIssue(u uint32, cycle int64) {
+	if c.hooks == nil || c.hookErr != nil {
+		return
+	}
+	c.hookErr = c.hooks.OnIssue(&IssueEvent{
+		Cycle:   cycle,
+		Seq:     c.ar.d[u].Seq,
+		EntryID: c.ar.entry[u].ID(),
+		OpIdx:   int(c.ar.opIdx[u]),
+	})
+}
+
+// hookCommit forwards a retirement to the hooks. It must run before
+// retire severs the uop's producer references, while commitReadyAt can
+// still see the store-data producer.
+func (c *soaCore) hookCommit(u uint32) {
+	if c.hooks == nil || c.hookErr != nil {
+		return
+	}
+	e := c.ar.entry[u]
+	c.hookErr = c.hooks.OnCommit(&CommitEvent{
+		Cycle:      c.cycle,
+		Dyn:        &c.ar.d[u],
+		DataReg:    c.ar.dataReg[u],
+		EntryID:    e.ID(),
+		OpIdx:      int(c.ar.opIdx[u]),
+		NumOps:     e.NumOps(),
+		IsMOP:      e.IsMOP(),
+		EntryFinal: e.Final(),
+		ReadyAt:    c.commitReadyAt(u),
+	})
+}
+
+// hookMOPFormed reports a closed (or demoted-but-nonempty) macro-op.
+func (c *soaCore) hookMOPFormed(h uint32) {
+	if c.hooks == nil || c.hookErr != nil {
+		return
+	}
+	ar := &c.ar
+	mb := int(h) * memberStride
+	seqs := make([]int64, ar.nMembers[h])
+	for i := range seqs {
+		seqs[i] = ar.d[ar.members[mb+i]].Seq
+	}
+	c.hookErr = c.hooks.OnMOPFormed(ar.entry[h].ID(), seqs)
+}
+
+func (c *soaCore) hookCycle() {
+	if c.hooks == nil || c.hookErr != nil {
+		return
+	}
+	c.hookErr = c.hooks.OnCycle(c.cycle, c.sch.Occupied())
+}

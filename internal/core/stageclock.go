@@ -1,0 +1,52 @@
+package core
+
+import "time"
+
+// stageClock accumulates wall time per pipeline stage. The timed step
+// brackets each stage with monotonic clock reads and hands the six
+// timestamps to add; breakdown folds the sums into fractions.
+type stageClock struct {
+	commit, sched, execute, insert, fetch time.Duration
+	cycles                                int64
+}
+
+// StageBreakdown is the wall-time split of the cycle loop across
+// pipeline stages, as fractions of the total accounted time. "Sched" is
+// the scheduler kernel tick; "Execute" is grant application (cache
+// probes, load-result writeback); "Insert" covers rename + MOP formation
+// + queue insertion.
+type StageBreakdown struct {
+	Cycles  int64   `json:"cycles"`
+	Commit  float64 `json:"commit"`
+	Sched   float64 `json:"sched"`
+	Execute float64 `json:"execute"`
+	Insert  float64 `json:"insert"`
+	Fetch   float64 `json:"fetch"`
+}
+
+func (k *stageClock) now() time.Time { return time.Now() }
+
+func (k *stageClock) add(t0, t1, t2, t3, t4, t5 time.Time) {
+	k.commit += t1.Sub(t0)
+	k.sched += t2.Sub(t1)
+	k.execute += t3.Sub(t2)
+	k.insert += t4.Sub(t3)
+	k.fetch += t5.Sub(t4)
+	k.cycles++
+}
+
+func (k *stageClock) breakdown() StageBreakdown {
+	total := k.commit + k.sched + k.execute + k.insert + k.fetch
+	if total <= 0 {
+		return StageBreakdown{Cycles: k.cycles}
+	}
+	f := func(d time.Duration) float64 { return float64(d) / float64(total) }
+	return StageBreakdown{
+		Cycles:  k.cycles,
+		Commit:  f(k.commit),
+		Sched:   f(k.sched),
+		Execute: f(k.execute),
+		Insert:  f(k.insert),
+		Fetch:   f(k.fetch),
+	}
+}

@@ -25,10 +25,7 @@ type Tracer interface {
 	Event(seq int64, pc int, text string, stage Stage, cycle int64)
 }
 
-// SetTracer installs a tracer (nil to disable).
-func (c *Core) SetTracer(t Tracer) { c.tracer = t }
-
-func (c *Core) trace(u *uop, stage Stage, cycle int64) {
+func (c *entryCore) trace(u *uop, stage Stage, cycle int64) {
 	if c.tracer == nil {
 		return
 	}

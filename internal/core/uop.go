@@ -12,6 +12,14 @@
 // stall fetch until the branch resolves plus the minimum recovery time;
 // wrong-path instructions are not injected (their cache pollution is the
 // one second-order effect this model omits — see DESIGN.md).
+//
+// Two data layouts implement the same cycle-exact machine. The default
+// (config.LayoutSoA, soacore.go) keeps in-flight instructions as uint32
+// handles into a structure-of-arrays arena (arena.go); the reference
+// (config.LayoutEntry, entrycore.go) links the heap-pooled *uop structs
+// below by pointer. Core (pipeline.go) is a thin wrapper holding
+// whichever engine the config selects plus the layout-independent run
+// loop.
 package core
 
 import (

@@ -99,10 +99,6 @@ type BitScheduler struct {
 	// reset freely on slot claim and free.
 	recheckAt []int64
 
-	// candDirty records whether setCand ran since settleFinal last reset
-	// it: a settle pass only needs repeating when it added candidates.
-	candDirty bool
-
 	// cons holds one n-bit consumer mask per producer slot (row p starts
 	// at p*words): bit c means live entry at slot c has at least one
 	// non-final edge from producer p.
@@ -290,11 +286,13 @@ func (k *BitScheduler) Insert(op OpInfo, srcs []SrcSpec, pendingTail bool) *Entr
 	e.replays = 0
 	e.refs = 1 // the inserted op's own reference, dropped at its commit
 	e.ops[0] = op
-	for i := range e.actualReady {
-		e.actualReady[i] = never
-		e.loadDiscover[i] = 0
-		e.loadResolved[i] = false
-	}
+	// Per-op result state is initialised lazily, one index per op as it
+	// is added (here and in AttachOp): no reader ever indexes past
+	// numOps-1, so clearing all MaxMOPOps slots of a pooled entry per
+	// insert is wasted work.
+	e.actualReady[0] = never
+	e.loadDiscover[0] = 0
+	e.loadResolved[0] = false
 	k.nextID++
 	k.nextAge++
 
@@ -336,6 +334,9 @@ func (k *BitScheduler) AttachOp(e *Entry, op OpInfo, srcs []SrcSpec, last bool) 
 		panic(simerr.Internalf(simerr.Context{Cycle: k.now}, "sched: MOP op overflow on entry %d", e.id))
 	}
 	e.ops[e.numOps] = op
+	e.actualReady[e.numOps] = never
+	e.loadDiscover[e.numOps] = 0
+	e.loadResolved[e.numOps] = false
 	e.numOps++
 	e.isMOP = true
 	e.refs++ // the attached op's reference, dropped at its commit
@@ -378,6 +379,7 @@ func (k *BitScheduler) Release(e *Entry) {
 	}
 	e.gen++
 	e.UserData = nil
+	e.UserIdx = 0
 	k.free = append(k.free, e)
 }
 
@@ -481,7 +483,6 @@ func (k *BitScheduler) refreshReady(e *Entry) {
 // tick's settle phase.
 func (k *BitScheduler) setCand(s int) {
 	bitSet(k.cand, s)
-	k.candDirty = true
 }
 
 // SetLoadResult informs the scheduler of a load op's actual timing; see
@@ -514,99 +515,123 @@ func (k *BitScheduler) SetLoadResult(e *Entry, opIdx int, actualReady, discover 
 func (k *BitScheduler) Tick(now int64) []Grant {
 	k.now = now
 
-	// MOP ops sequencing from earlier grants occupy slots first.
-	grants := k.futureGrants.take(now, k.grantBuf[:0])
+	// MOP ops sequencing from earlier grants occupy slots first. The
+	// pending-count pre-checks keep the empty-ring common case (every
+	// cycle outside MOP bursts and miss recovery) free of slot probes
+	// and, for the FU vector, of a by-value array copy.
+	grants := k.grantBuf[:0]
+	if k.futureGrants.n > 0 {
+		grants = k.futureGrants.take(now, grants)
+	}
 	widthLeft := k.cfg.Width - len(grants)
-	fuUsed := k.futureFU.take(now)
+	var fuUsed [isa.NumClasses]int
+	if k.futureFU.n > 0 {
+		fuUsed = k.futureFU.take(now)
+	}
 
 	// Deferred readiness re-checks land first so the ready mask is
 	// current before this cycle's replay/scoreboard events adjust it.
-	for _, ev := range k.readyEvents.take(now) {
-		if ev.e.gen == ev.gen {
-			if s := ev.e.slot; k.ent[s] == ev.e && k.recheckAt[s] == now {
-				k.recheckAt[s] = 0 // the covering event is firing: re-arm
+	if k.readyEvents.n > 0 {
+		for _, ev := range k.readyEvents.take(now) {
+			if ev.e.gen == ev.gen {
+				if s := ev.e.slot; k.ent[s] == ev.e && k.recheckAt[s] == now {
+					k.recheckAt[s] = 0 // the covering event is firing: re-arm
+				}
+				k.refreshReady(ev.e)
 			}
-			k.refreshReady(ev.e)
 		}
 	}
 	// Load-miss discoveries: selectively invalidate shadow issues.
-	for _, ev := range k.loadEvents.take(now) {
-		if ev.e.gen == ev.gen {
-			k.fixupLoadMiss(ev.e)
+	if k.loadEvents.n > 0 {
+		for _, ev := range k.loadEvents.take(now) {
+			if ev.e.gen == ev.gen {
+				k.fixupLoadMiss(ev.e)
+			}
 		}
 	}
 	// Scoreboard detections of invalid select-free issues.
-	for _, ev := range k.sbEvents.take(now) {
-		if ev.e.gen == ev.gen {
-			k.scoreboardCheck(ev.e)
+	if k.sbEvents.n > 0 {
+		for _, ev := range k.sbEvents.take(now) {
+			if ev.e.gen == ev.gen {
+				k.scoreboardCheck(ev.e)
+			}
 		}
 	}
 	// Load discoveries enabling finality.
-	for _, ev := range k.finalEvents.take(now) {
-		if ev.e.gen == ev.gen && k.ent[ev.e.slot] == ev.e {
-			k.setCand(ev.e.slot)
+	if k.finalEvents.n > 0 {
+		for _, ev := range k.finalEvents.take(now) {
+			if ev.e.gen == ev.gen && k.ent[ev.e.slot] == ev.e {
+				k.setCand(ev.e.slot)
+			}
 		}
 	}
 
 	// Snapshot the request vector: the reference kernel collects its
 	// requester list before any broadcast of this cycle, so mid-select
-	// wake updates must not change who requests this cycle.
-	copy(k.snap, k.ready)
-	start := k.startPos()
+	// wake updates must not change who requests this cycle. The OR fold
+	// rides along so a requester-free cycle skips the scan phases.
+	var reqAny uint64
+	for i, w := range k.ready {
+		k.snap[i] = w
+		reqAny |= w
+	}
+	if reqAny != 0 {
+		start := k.startPos()
 
-	// Wakeup phase: select-free entries broadcast at request time,
-	// before knowing whether selection succeeds.
-	if k.selectFree() {
+		// Wakeup phase: select-free entries broadcast at request time,
+		// before knowing whether selection succeeds.
+		if k.selectFree() {
+			sc := newAgeScan(k.snap, start)
+			for {
+				s, ok := sc.next()
+				if !ok {
+					break
+				}
+				e := k.ent[s]
+				if e.firstReq < 0 {
+					e.firstReq = now
+					k.broadcastSpeculative(e)
+				}
+			}
+		}
+
+		// Select phase: priority-decoder scan, oldest first, bounded by
+		// width and functional units.
 		sc := newAgeScan(k.snap, start)
-		for {
+		for widthLeft > 0 {
 			s, ok := sc.next()
 			if !ok {
 				break
 			}
 			e := k.ent[s]
-			if e.firstReq < 0 {
-				e.firstReq = now
-				k.broadcastSpeculative(e)
+			fu0 := e.ops[0].FU
+			if fu0 != isa.ClassNone && fuUsed[fu0] >= k.cfg.FU[fu0] {
+				continue
 			}
-		}
-	}
-
-	// Select phase: priority-decoder scan, oldest first, bounded by
-	// width and functional units.
-	sc := newAgeScan(k.snap, start)
-	for widthLeft > 0 {
-		s, ok := sc.next()
-		if !ok {
-			break
-		}
-		e := k.ent[s]
-		fu0 := e.ops[0].FU
-		if fu0 != isa.ClassNone && fuUsed[fu0] >= k.cfg.FU[fu0] {
-			continue
-		}
-		if e.numOps > 1 && !k.mopResourcesFree(e, now) {
-			continue
-		}
-		widthLeft--
-		if fu0 != isa.ClassNone {
-			fuUsed[fu0]++
-		}
-		k.grantEntry(e, now, &grants)
-	}
-
-	// Select-free collision victims: requested this cycle, not granted.
-	if k.selectFree() {
-		sc := newAgeScan(k.snap, start)
-		for {
-			s, ok := sc.next()
-			if !ok {
-				break
+			if e.numOps > 1 && !k.mopResourcesFree(e, now) {
+				continue
 			}
-			e := k.ent[s]
-			if e.state != StateIssued && e.firstReq == now {
-				k.stats.CollisionVict++
-				if k.cfg.Model == config.SchedSelectFreeSquashDep {
-					k.squashDependents(e)
+			widthLeft--
+			if fu0 != isa.ClassNone {
+				fuUsed[fu0]++
+			}
+			k.grantEntry(e, now, &grants)
+		}
+
+		// Select-free collision victims: requested this cycle, not granted.
+		if k.selectFree() {
+			sc := newAgeScan(k.snap, start)
+			for {
+				s, ok := sc.next()
+				if !ok {
+					break
+				}
+				e := k.ent[s]
+				if e.state != StateIssued && e.firstReq == now {
+					k.stats.CollisionVict++
+					if k.cfg.Model == config.SchedSelectFreeSquashDep {
+						k.squashDependents(e)
+					}
 				}
 			}
 		}
@@ -716,35 +741,71 @@ func (it *consEdges) next() (*Entry, int, bool) {
 	}
 }
 
-// wakeConsumers sets consumer wake times from this entry's grant.
+// wakeConsumers sets consumer wake times from this entry's grant. This
+// is the conventional-wakeup broadcast on the per-grant hot path, so it
+// walks the consumer mask inline and re-derives each consumer's
+// readiness once after all of its matching edges are woken, not once per
+// edge: refreshReady computes from the edges' current state, so only the
+// re-check event traffic differs (and those events are idempotent,
+// self-guarded no-ops). A matching edge (eProd == s) is never final —
+// severing and final insertion both set eProd to -1 — so only the deaf
+// flag needs consulting.
 func (k *BitScheduler) wakeConsumers(e *Entry) {
-	it := k.consumers(e.slot)
-	for {
-		c, ei, ok := it.next()
-		if !ok {
-			break
+	s := e.slot
+	ps := int32(s)
+	row := s * k.words
+	for wi := 0; wi < k.words; wi++ {
+		m := k.cons[row+wi]
+		for m != 0 {
+			b := bits.TrailingZeros64(m)
+			m &= m - 1
+			cs := wi<<6 + b
+			base := cs * edgeStride
+			touched := false
+			for i := 0; i < int(k.nsrc[cs]); i++ {
+				ei := base + i
+				if k.eProd[ei] != ps || k.eFlags[ei]&edgeDeaf != 0 {
+					continue
+				}
+				k.eWake[ei] = wakeFromGrant(k.cfg.Model, e, int(k.eAssumed[ei]))
+				touched = true
+			}
+			if touched {
+				k.refreshReady(k.ent[cs])
+			}
 		}
-		if k.eFlags[ei]&(edgeFinal|edgeDeaf) != 0 {
-			continue
-		}
-		k.eWake[ei] = wakeFromGrant(k.cfg.Model, e, int(k.eAssumed[ei]))
-		k.refreshReady(c)
 	}
 }
 
 // broadcastSpeculative wakes consumers at request time (select-free).
+// Same batched walk as wakeConsumers: one refreshReady per consumer
+// after all of its matching edges are updated, and no edgeFinal check
+// because a matching edge is never final.
 func (k *BitScheduler) broadcastSpeculative(e *Entry) {
-	it := k.consumers(e.slot)
-	for {
-		c, ei, ok := it.next()
-		if !ok {
-			break
+	s := e.slot
+	ps := int32(s)
+	row := s * k.words
+	wake := e.firstReq
+	for wi := 0; wi < k.words; wi++ {
+		m := k.cons[row+wi]
+		for m != 0 {
+			b := bits.TrailingZeros64(m)
+			m &= m - 1
+			cs := wi<<6 + b
+			base := cs * edgeStride
+			touched := false
+			for i := 0; i < int(k.nsrc[cs]); i++ {
+				ei := base + i
+				if k.eProd[ei] != ps || k.eFlags[ei]&edgeDeaf != 0 {
+					continue
+				}
+				k.eWake[ei] = wake + int64(k.eAssumed[ei])
+				touched = true
+			}
+			if touched {
+				k.refreshReady(k.ent[cs])
+			}
 		}
-		if k.eFlags[ei]&(edgeFinal|edgeDeaf) != 0 {
-			continue
-		}
-		k.eWake[ei] = e.firstReq + int64(k.eAssumed[ei])
-		k.refreshReady(c)
 	}
 }
 
@@ -913,7 +974,7 @@ func (k *BitScheduler) invalidate(e *Entry, now int64) {
 	}
 	grantWas := e.grant
 	e.grant = -1
-	for i := range e.actualReady {
+	for i := 0; i < e.numOps; i++ {
 		e.actualReady[i] = never
 		e.loadResolved[i] = false
 	}
@@ -941,27 +1002,52 @@ func (k *BitScheduler) invalidate(e *Entry, now int64) {
 
 // settleFinal drains the finality-candidate bitmap, looping because a
 // producer's finality can make its (younger, possibly already-passed on
-// a wrapped ring) consumers finalizable in the same cycle.
+// a wrapped ring) consumers finalizable in the same cycle: a candidate
+// set during a pass in a word the scan already moved past survives the
+// pass and is caught by the next one. Each pass clears every bit it
+// visits, so an empty mask means the settle is complete — the common
+// cycle with no candidates exits on the first OR fold without touching
+// the scan machinery.
 func (k *BitScheduler) settleFinal(now int64) {
 	for {
-		// A pass must repeat only when it added candidates: ageScan may
-		// have already moved past the new bit's word (or cached the word
-		// it landed in). If nothing was added, every candidate bit was
-		// visited and cleared, so the mask is drained.
-		k.candDirty = false
-		sc := newAgeScan(k.cand, k.startPos())
-		for {
-			s, ok := sc.next()
-			if !ok {
-				break
-			}
-			bitClear(k.cand, s)
-			if e := k.ent[s]; e != nil {
-				k.tryFinalizeSlot(e, now)
-			}
+		var any uint64
+		for _, w := range k.cand {
+			any |= w
 		}
-		if !k.candDirty {
+		if any == 0 {
 			return
+		}
+		// Inline circular bit walk with ageScan's lazy-read semantics:
+		// each word is snapshotted when the cursor reaches it and its
+		// snapshot bits cleared up front, so a candidate added to the
+		// current word or behind the cursor survives to the next pass,
+		// while one added ahead is picked up in this pass.
+		start := k.startPos()
+		sw := start >> 6
+		sb := uint(start & 63)
+		words := k.words
+		for j := 0; j <= words; j++ {
+			wi := sw + j
+			if wi >= words {
+				wi -= words
+			}
+			m := k.cand[wi]
+			if j == 0 {
+				m &^= 1<<sb - 1
+			} else if j == words {
+				m &= 1<<sb - 1
+			}
+			if m == 0 {
+				continue
+			}
+			k.cand[wi] &^= m
+			for m != 0 {
+				b := bits.TrailingZeros64(m)
+				m &= m - 1
+				if e := k.ent[wi<<6+b]; e != nil {
+					k.tryFinalizeSlot(e, now)
+				}
+			}
 		}
 	}
 }
@@ -996,7 +1082,10 @@ func (k *BitScheduler) tryFinalizeSlot(e *Entry, now int64) bool {
 	}
 	e.state = StateFinal
 	// Sever consumer edges: pin their wake/actual times, then clear the
-	// consumer mask and free the slot.
+	// consumer mask and free the slot. A matching edge (eProd == s) is
+	// never already final (every final-setting site clears eProd to -1),
+	// so the producer match alone identifies the edges to sever.
+	ps := int32(s)
 	row := s * k.words
 	for wi := 0; wi < k.words; wi++ {
 		m := k.cons[row+wi]
@@ -1009,7 +1098,7 @@ func (k *BitScheduler) tryFinalizeSlot(e *Entry, now int64) bool {
 			cbase := cs * edgeStride
 			for i := 0; i < int(k.nsrc[cs]); i++ {
 				ei := cbase + i
-				if k.eProd[ei] != int32(s) || k.eFlags[ei]&edgeFinal != 0 {
+				if k.eProd[ei] != ps {
 					continue
 				}
 				k.eFlags[ei] |= edgeFinal

@@ -56,6 +56,11 @@ type grantSlot struct {
 
 type grantRing struct {
 	slots []grantSlot
+	// n counts outstanding future grants so per-cycle takes can skip the
+	// slot probe entirely when nothing is scheduled (the common case
+	// outside MOP sequencing). It may overcount after a grow drops
+	// already-passed slots; that only costs a redundant probe.
+	n int
 }
 
 func newGrantRing() grantRing { return grantRing{slots: newGrantSlots(eventRingInit)} }
@@ -78,10 +83,14 @@ func (r *grantRing) push(now, cyc int64, g Grant) {
 		s.grants = s.grants[:0]
 	}
 	s.grants = append(s.grants, g)
+	r.n++
 }
 
 // count returns how many grants are already scheduled for cyc.
 func (r *grantRing) count(cyc int64) int {
+	if r.n == 0 {
+		return 0
+	}
 	s := &r.slots[ringIdx(cyc, len(r.slots))]
 	if s.cyc != cyc {
 		return 0
@@ -91,11 +100,15 @@ func (r *grantRing) count(cyc int64) int {
 
 // take appends cyc's grants to dst and empties the slot.
 func (r *grantRing) take(cyc int64, dst []Grant) []Grant {
+	if r.n == 0 {
+		return dst
+	}
 	s := &r.slots[ringIdx(cyc, len(r.slots))]
 	if s.cyc != cyc {
 		return dst
 	}
 	dst = append(dst, s.grants...)
+	r.n -= len(s.grants)
 	s.grants = s.grants[:0]
 	return dst
 }
@@ -117,11 +130,15 @@ func (r *grantRing) grow(now, cyc int64) {
 
 type fuSlot struct {
 	cyc int64
+	cnt int // total reservations in fu, so take can maintain fuRing.n
 	fu  [isa.NumClasses]int
 }
 
 type fuRing struct {
 	slots []fuSlot
+	// n counts outstanding reservations, same fast-empty role (and the
+	// same harmless overcount after grow) as grantRing.n.
+	n int
 }
 
 func newFURing() fuRing { return fuRing{slots: make([]fuSlot, eventRingInit)} }
@@ -133,13 +150,19 @@ func (r *fuRing) add(now, cyc int64, c isa.Class) {
 	s := &r.slots[ringIdx(cyc, len(r.slots))]
 	if s.cyc != cyc {
 		s.cyc = cyc
+		s.cnt = 0
 		s.fu = [isa.NumClasses]int{}
 	}
 	s.fu[c]++
+	s.cnt++
+	r.n++
 }
 
 // get returns the units of class c reserved for cyc.
 func (r *fuRing) get(cyc int64, c isa.Class) int {
+	if r.n == 0 {
+		return 0
+	}
 	s := &r.slots[ringIdx(cyc, len(r.slots))]
 	if s.cyc != cyc {
 		return 0
@@ -149,11 +172,16 @@ func (r *fuRing) get(cyc int64, c isa.Class) int {
 
 // take returns cyc's reservation vector and clears the slot.
 func (r *fuRing) take(cyc int64) [isa.NumClasses]int {
+	if r.n == 0 {
+		return [isa.NumClasses]int{}
+	}
 	s := &r.slots[ringIdx(cyc, len(r.slots))]
 	if s.cyc != cyc {
 		return [isa.NumClasses]int{}
 	}
 	out := s.fu
+	r.n -= s.cnt
+	s.cnt = 0
 	s.fu = [isa.NumClasses]int{}
 	return out
 }
@@ -165,6 +193,7 @@ func (r *fuRing) grow(now, cyc int64) {
 		if old[i].cyc > now {
 			s := &r.slots[ringIdx(old[i].cyc, len(r.slots))]
 			s.cyc = old[i].cyc
+			s.cnt = old[i].cnt
 			s.fu = old[i].fu
 		}
 	}
@@ -188,6 +217,10 @@ type entrySlot struct {
 
 type entryRing struct {
 	slots []entrySlot
+	// n counts outstanding events; a zero count lets the per-cycle take
+	// skip the slot probe. Overcounts harmlessly after a grow drops
+	// passed slots.
+	n int
 }
 
 func newEntryRing() entryRing { return entryRing{slots: newEntrySlots(eventRingInit)} }
@@ -210,6 +243,7 @@ func (r *entryRing) push(now, cyc int64, e *Entry) {
 		s.evs = s.evs[:0]
 	}
 	s.evs = append(s.evs, entryRef{e: e, gen: e.gen})
+	r.n++
 }
 
 // take returns cyc's events and empties the slot. The returned slice is
@@ -217,11 +251,15 @@ func (r *entryRing) push(now, cyc int64, e *Entry) {
 // new events for the same cycle (it never does — all pushes target
 // strictly future cycles).
 func (r *entryRing) take(cyc int64) []entryRef {
+	if r.n == 0 {
+		return nil
+	}
 	s := &r.slots[ringIdx(cyc, len(r.slots))]
 	if s.cyc != cyc {
 		return nil
 	}
 	evs := s.evs
+	r.n -= len(evs)
 	s.evs = s.evs[:0]
 	return evs
 }

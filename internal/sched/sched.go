@@ -117,16 +117,14 @@ type consRef struct {
 
 // Entry is one issue queue entry: a single instruction, or a macro-op of
 // two instructions sharing the entry (Section 3.1).
+//
+// Field order is deliberate: the scalars the scheduling loop touches per
+// entry per cycle (state, grant, slot, refs, and the core's per-grant
+// UserIdx read) are grouped ahead of the MaxMOPOps-sized arrays, so the
+// hot accesses share the struct's first cache line instead of straddling
+// the ~200 bytes of op storage.
 type Entry struct {
-	id     int64
-	age    int64
-	ops    [MaxMOPOps]OpInfo
-	numOps int
-	isMOP  bool
-	// pendingTail marks a MOP head waiting for its tail to be inserted
-	// (Section 5.2.3); the entry does not request selection until then.
-	pendingTail bool
-
+	state State
 	// gen counts reuses of this Entry struct through the scheduler's free
 	// list. Deferred events (entryRing) record the generation they were
 	// scheduled against so a stale event cannot touch a recycled entry's
@@ -139,14 +137,33 @@ type Entry struct {
 	// the count reaches zero after finality.
 	refs int32
 
-	srcs      []srcEdge
-	consumers []consRef
-
-	state          State
 	grant          int64 // cycle op0 was granted (most recent)
 	earliestSelect int64
-	everRequested  bool
 	firstReq       int64 // select-free: cycle of first selection request
+
+	// slot is the entry's index into the bitset kernel's parallel arrays
+	// for its current life (BitScheduler only; the entry kernel leaves
+	// it untouched).
+	slot int
+
+	// UserIdx carries an index-valued per-entry payload (the SoA core
+	// layout's packed head-uop handle; opaque here). Unlike UserData,
+	// storing an integer here never allocates. Zero means unset; both
+	// kernels clear it when the entry is recycled.
+	UserIdx uint64
+
+	numOps        int
+	isMOP         bool
+	everRequested bool
+	// pendingTail marks a MOP head waiting for its tail to be inserted
+	// (Section 5.2.3); the entry does not request selection until then.
+	pendingTail bool
+
+	id      int64
+	age     int64
+	replays int
+
+	ops [MaxMOPOps]OpInfo
 
 	// actualReady[i] is when op i's result is actually available to a
 	// consumer issuing at that cycle or later. For non-loads it follows
@@ -157,12 +174,8 @@ type Entry struct {
 	loadDiscover [MaxMOPOps]int64
 	loadResolved [MaxMOPOps]bool
 
-	replays int
-
-	// slot is the entry's index into the bitset kernel's parallel arrays
-	// for its current life (BitScheduler only; the entry kernel leaves
-	// it untouched).
-	slot int
+	srcs      []srcEdge
+	consumers []consRef
 
 	// UserData carries the core's per-entry payload (opaque here).
 	UserData any
@@ -475,6 +488,7 @@ func (s *Scheduler) Release(e *Entry) {
 	}
 	e.gen++
 	e.UserData = nil
+	e.UserIdx = 0
 	clear(e.srcs)
 	e.srcs = e.srcs[:0]
 	clear(e.consumers)
