@@ -6,6 +6,7 @@
 //	mopctl -addr http://127.0.0.1:8344 simulate -bench gzip -sched mop -insts 100000
 //	mopctl matrix -benchmarks gzip,mcf -scheds base,mop -insts 50000
 //	mopctl matrix -scheds base,2cycle,mop -stream        # NDJSON live progress
+//	mopctl gap -benchmarks gzip,mcf -window 32           # heuristic-vs-optimum report
 //	mopctl job job-n1-3                                  # job status
 //	mopctl jobs                                          # list jobs
 //	mopctl health
@@ -36,6 +37,7 @@ import (
 	"time"
 
 	"macroop/internal/cluster"
+	"macroop/internal/experiments"
 	"macroop/internal/service"
 	"macroop/internal/stats"
 )
@@ -66,6 +68,8 @@ func main() {
 		c.simulate(args)
 	case "matrix":
 		c.matrix(args)
+	case "gap":
+		c.gap(args)
 	case "job":
 		c.job(args)
 	case "jobs":
@@ -87,6 +91,7 @@ func usage() {
 commands:
   simulate  run one cell synchronously   (-bench, -sched, -wakeup, -iq, -stages, -insts)
   matrix    submit a batched sweep       (-benchmarks, -scheds, -insts, -wait, -stream, -async)
+  gap       heuristic-vs-optimum report  (-benchmarks, -window, -stride, -max-windows, -budget)
   job <id>  print one job's status and results
   jobs      list jobs, newest first
   health    check /healthz
@@ -280,6 +285,52 @@ func (c *client) matrix(args []string) {
 	}
 	printStatus(&st, true)
 	if st.Failed > 0 {
+		os.Exit(1)
+	}
+}
+
+// gap requests a heuristic-vs-optimum gap report (POST /v1/gap) and
+// renders it as the paper-style table. The shared do() policy applies:
+// busy servers (503) are retried with Retry-After-honouring backoff, and
+// a clustered node's 307 owner redirect is followed. A report carrying
+// admissibility violations exits non-zero: it means the oracle found a
+// "optimal" schedule worse than a heuristic, which must never happen.
+func (c *client) gap(args []string) {
+	fs := flag.NewFlagSet("gap", flag.ExitOnError)
+	var (
+		benches    = fs.String("benchmarks", "", "comma-separated benchmarks (empty = full suite)")
+		sched      = fs.String("sched", "base", "machine config supplying the window model (scheduler choice does not matter; all heuristics are replayed)")
+		window     = fs.Int("window", 0, "uop window size, 4..64 (0 = server default, 32)")
+		stride     = fs.Int("stride", 0, "start-to-start window distance (0 = window size)")
+		maxWindows = fs.Int("max-windows", 0, "windows per benchmark (0 = server default, 8)")
+		budget     = fs.Int64("budget", 0, "branch-and-bound node budget per window (0 = server default)")
+	)
+	fs.Parse(args)
+	req := service.GapRequest{
+		Benchmarks: splitList(*benches),
+		Config:     service.ConfigSpec{Sched: *sched},
+		Window:     *window,
+		Stride:     *stride,
+		MaxWindows: *maxWindows,
+		NodeBudget: *budget,
+	}
+	var gr service.GapResponse
+	decode(c.post("/v1/gap", &req), &gr)
+	if gr.Report == nil {
+		fatalf("server returned no gap report (fingerprint %s)", gr.Fingerprint)
+	}
+	fmt.Print(experiments.GapTable(gr.Report))
+	opt, total := gr.Report.OptimalWindows()
+	src := "ran"
+	switch {
+	case gr.Cached:
+		src = "cache"
+	case gr.Shared:
+		src = "shared"
+	}
+	fmt.Printf("%d/%d windows proven optimal, %d violations, fingerprint %s, %.1fms (%s)\n",
+		opt, total, gr.Report.Violations(), gr.Fingerprint, gr.WallMS, src)
+	if gr.Report.Violations() > 0 {
 		os.Exit(1)
 	}
 }

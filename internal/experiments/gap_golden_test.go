@@ -1,0 +1,50 @@
+package experiments
+
+import (
+	"context"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"macroop/internal/config"
+	"macroop/internal/optsched"
+)
+
+// TestGapTableGolden locks the rendered gap table on a small, fast,
+// fully deterministic slice of the pipeline: three benchmarks, two
+// 12-uop windows each, a node budget ample enough to prove optimality.
+// Any drift — a heuristic model change, a solver change, a rendering
+// change — shows up as a golden diff to be reviewed (and regenerated
+// with -update if intended).
+func TestGapTableGolden(t *testing.T) {
+	r := NewRunner(0)
+	rep, err := r.Gap(context.Background(), []string{"gzip", "mcf", "vortex"},
+		config.Default(), optsched.GapSpec{Window: 12, MaxWindows: 2, NodeBudget: 50_000})
+	if err != nil {
+		t.Fatalf("Gap: %v", err)
+	}
+	if v := rep.Violations(); v != 0 {
+		t.Fatalf("%d admissibility violations", v)
+	}
+	if opt, total := rep.OptimalWindows(); total != 6 || opt != total {
+		t.Fatalf("optimal windows %d/%d, want 6/6 at this budget", opt, total)
+	}
+	got := GapTable(rep).String()
+
+	golden := filepath.Join("testdata", "gap.golden")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("read golden (run with -update to regenerate): %v", err)
+	}
+	if got != string(want) {
+		t.Errorf("gap table drifted from golden:\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+}

@@ -1,0 +1,239 @@
+package optsched
+
+import (
+	"context"
+	"testing"
+
+	"macroop/internal/config"
+	"macroop/internal/isa"
+)
+
+// tu builds a test uop from an opcode and its producer indices, with the
+// default machine's window-model latency.
+func tu(op isa.Op, deps ...int32) Uop {
+	return Uop{Op: op, Class: op.FUClass(), Lat: uopLat(op, config.Default()), Deps: deps}
+}
+
+// twin wraps uops into a window.
+func twin(uops ...Uop) *Window {
+	return &Window{Bench: "test", Uops: uops}
+}
+
+func defRes() Resources { return ResourcesFrom(config.Default()) }
+
+// solveAll runs every heuristic plus the exact solver and validates each
+// schedule, returning (heuristic cycles indexed by Heuristic, outcome).
+func solveAll(t *testing.T, w *Window, res Resources, budget int64) ([NumHeuristics]int, Outcome) {
+	t.Helper()
+	if err := w.Validate(); err != nil {
+		t.Fatalf("window invalid: %v", err)
+	}
+	var cycles [NumHeuristics]int
+	best := Schedule{}
+	for _, h := range Heuristics() {
+		s := RunHeuristic(w, res, h)
+		if err := ValidateSchedule(w, res, s.Issue); err != nil {
+			t.Fatalf("%v schedule infeasible: %v", h, err)
+		}
+		if s.Cycles != makespan(w, s.Issue) {
+			t.Fatalf("%v reports %d cycles, makespan is %d", h, s.Cycles, makespan(w, s.Issue))
+		}
+		cycles[h] = s.Cycles
+		if best.Issue == nil || s.Cycles < best.Cycles {
+			best = s
+		}
+	}
+	out, err := Solver{NodeBudget: budget}.Solve(context.Background(), w, res, best)
+	if err != nil {
+		t.Fatalf("Solve: %v", err)
+	}
+	if err := ValidateSchedule(w, res, out.Issue); err != nil {
+		t.Fatalf("exact schedule infeasible: %v", err)
+	}
+	if got := makespan(w, out.Issue); got != out.Cycles {
+		t.Fatalf("outcome reports %d cycles, schedule makespan is %d", out.Cycles, got)
+	}
+	if out.Bound > out.Cycles {
+		t.Fatalf("lower bound %d exceeds best found %d", out.Bound, out.Cycles)
+	}
+	if out.Optimal != (out.Bound == out.Cycles) {
+		t.Fatalf("Optimal=%v inconsistent with Bound=%d Cycles=%d", out.Optimal, out.Bound, out.Cycles)
+	}
+	for _, h := range Heuristics() {
+		if out.Cycles > cycles[h] {
+			t.Fatalf("admissibility violation: exact %d > %v %d", out.Cycles, h, cycles[h])
+		}
+	}
+	return cycles, out
+}
+
+func TestSerialChain(t *testing.T) {
+	// add -> add -> add -> add: base issues back to back (makespan 5),
+	// the 2-cycle loop leaves a bubble per edge (8), macro-op fusion
+	// recovers the intra-pair bubbles (6), the optimum equals base.
+	w := twin(tu(isa.ADD), tu(isa.ADD, 0), tu(isa.ADD, 1), tu(isa.ADD, 2))
+	cycles, out := solveAll(t, w, defRes(), 0)
+	if cycles[HeurBase] != 5 || cycles[HeurTwoCycle] != 8 || cycles[HeurMOP] != 6 {
+		t.Errorf("chain cycles = base %d, 2-cycle %d, mop %d; want 5, 8, 6",
+			cycles[HeurBase], cycles[HeurTwoCycle], cycles[HeurMOP])
+	}
+	if !out.Optimal || out.Cycles != 5 {
+		t.Errorf("exact = %d (optimal %v), want proven 5", out.Cycles, out.Optimal)
+	}
+}
+
+func TestWidthBound(t *testing.T) {
+	// Eight independent adds on a 4-wide machine: two full issue groups,
+	// makespan 3, for every model (no dependences to stretch).
+	uops := make([]Uop, 8)
+	for i := range uops {
+		uops[i] = tu(isa.ADD)
+	}
+	w := twin(uops...)
+	cycles, out := solveAll(t, w, defRes(), 0)
+	if !out.Optimal || out.Cycles != 3 {
+		t.Errorf("exact = %d (optimal %v), want proven 3", out.Cycles, out.Optimal)
+	}
+	for _, h := range []Heuristic{HeurBase, HeurTwoCycle, HeurMOP} {
+		if cycles[h] != 3 {
+			t.Errorf("%v = %d, want 3", h, cycles[h])
+		}
+	}
+	// Select-free arbitration losers pay the replay penalty: the second
+	// issue group re-requests at cycle 3, not 2.
+	if cycles[HeurSelectFree] != 4 {
+		t.Errorf("select-free = %d, want 4", cycles[HeurSelectFree])
+	}
+}
+
+func TestUnitBound(t *testing.T) {
+	// Four independent muls but only two integer-mul units: two issue
+	// cycles, last mul finishes at 2+3 = 5.
+	w := twin(tu(isa.MUL), tu(isa.MUL), tu(isa.MUL), tu(isa.MUL))
+	_, out := solveAll(t, w, defRes(), 0)
+	if !out.Optimal || out.Cycles != 5 {
+		t.Errorf("exact = %d (optimal %v), want proven 5", out.Cycles, out.Optimal)
+	}
+}
+
+func TestPriorityMatters(t *testing.T) {
+	// A long-latency chain competing with filler: the optimum must start
+	// the critical op first even though age order favors the fillers.
+	// div (20) feeding an add, plus six independent adds: critical path
+	// 1+20+1 = issue div at 1, dependent add at 21 -> makespan 22.
+	uops := []Uop{tu(isa.DIV)}
+	for i := 0; i < 6; i++ {
+		uops = append(uops, tu(isa.ADD))
+	}
+	uops = append(uops, tu(isa.ADD, 0))
+	w := twin(uops...)
+	_, out := solveAll(t, w, defRes(), 0)
+	if !out.Optimal || out.Cycles != 22 {
+		t.Errorf("exact = %d (optimal %v), want proven 22", out.Cycles, out.Optimal)
+	}
+}
+
+func TestSelectFreePenalty(t *testing.T) {
+	// Five adds contending for a width of 1: base retries every cycle
+	// (makespan 6); select-free losers pay the 2-cycle replay penalty,
+	// re-requesting on odd cycles only (makespan still bounded, >= base).
+	res := defRes()
+	res.Width = 1
+	w := twin(tu(isa.ADD), tu(isa.ADD), tu(isa.ADD), tu(isa.ADD), tu(isa.ADD))
+	cycles, _ := solveAll(t, w, res, 0)
+	if cycles[HeurBase] != 6 {
+		t.Errorf("base = %d, want 6", cycles[HeurBase])
+	}
+	if cycles[HeurSelectFree] < cycles[HeurBase] {
+		t.Errorf("select-free %d beat base %d under pure contention", cycles[HeurSelectFree], cycles[HeurBase])
+	}
+}
+
+func TestBudgetDegradesToCertifiedBound(t *testing.T) {
+	// A contended window with a tiny node budget must return the seeded
+	// heuristic schedule plus a certified bound, never hang or panic.
+	uops := make([]Uop, 24)
+	for i := range uops {
+		if i%3 == 0 && i > 0 {
+			uops[i] = tu(isa.MUL, int32(i-1))
+		} else {
+			uops[i] = tu(isa.ADD)
+		}
+	}
+	w := twin(uops...)
+	res := defRes()
+	seed := RunHeuristic(w, res, HeurBase)
+	out, err := Solver{NodeBudget: 3}.Solve(context.Background(), w, res, seed)
+	if err != nil {
+		t.Fatalf("Solve: %v", err)
+	}
+	if out.Cycles > seed.Cycles {
+		t.Errorf("budget-cut result %d worse than seed %d", out.Cycles, seed.Cycles)
+	}
+	if out.Bound > out.Cycles {
+		t.Errorf("bound %d above best %d", out.Bound, out.Cycles)
+	}
+	if out.Bound < 1 {
+		t.Errorf("bound %d is not a meaningful lower bound", out.Bound)
+	}
+	if err := ValidateSchedule(w, res, out.Issue); err != nil {
+		t.Errorf("budget-cut schedule infeasible: %v", err)
+	}
+}
+
+func TestSolveCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	uops := make([]Uop, 40)
+	for i := range uops {
+		uops[i] = tu(isa.ADD)
+	}
+	w := twin(uops...)
+	res := defRes()
+	seed := RunHeuristic(w, res, HeurBase)
+	out, err := Solver{}.Solve(ctx, w, res, seed)
+	if err == nil {
+		// The ctx check runs every 1024 nodes; a search this small can
+		// legitimately finish first. A non-nil error must be ctx's.
+		return
+	}
+	if err != context.Canceled {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if out.Cycles != seed.Cycles && out.Cycles > seed.Cycles {
+		t.Errorf("cancelled result %d worse than seed %d", out.Cycles, seed.Cycles)
+	}
+}
+
+func TestEmptySeedFallsBack(t *testing.T) {
+	w := twin(tu(isa.ADD), tu(isa.ADD, 0))
+	out, err := Solver{}.Solve(context.Background(), w, defRes(), Schedule{})
+	if err != nil {
+		t.Fatalf("Solve: %v", err)
+	}
+	if !out.Optimal || out.Cycles != 3 {
+		t.Errorf("exact = %d (optimal %v), want proven 3", out.Cycles, out.Optimal)
+	}
+}
+
+func TestValidateScheduleRejects(t *testing.T) {
+	w := twin(tu(isa.ADD), tu(isa.ADD, 0))
+	res := defRes()
+	for name, issue := range map[string][]int{
+		"short":          {1},
+		"zero cycle":     {0, 2},
+		"dep violation":  {1, 1},
+		"width overflow": nil, // built below
+	} {
+		if name == "width overflow" {
+			wide := twin(tu(isa.ADD), tu(isa.ADD), tu(isa.ADD), tu(isa.ADD), tu(isa.ADD))
+			if err := ValidateSchedule(wide, res, []int{1, 1, 1, 1, 1}); err == nil {
+				t.Errorf("%s: accepted", name)
+			}
+			continue
+		}
+		if err := ValidateSchedule(w, res, issue); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}

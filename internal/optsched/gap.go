@@ -1,0 +1,121 @@
+package optsched
+
+import (
+	"context"
+	"math"
+
+	"macroop/internal/config"
+	"macroop/internal/program"
+)
+
+// GapSpec bounds one heuristic-vs-optimum gap run over a benchmark.
+type GapSpec struct {
+	Window     int   // uops per window (default 32, clamped to [MinWindow, MaxWindow])
+	Stride     int   // uops between window starts (default Window)
+	MaxWindows int   // windows per benchmark (default 8)
+	NodeBudget int64 // exact-search node budget per window (default DefaultNodeBudget)
+}
+
+// WithDefaults resolves zero fields to the pipeline defaults.
+func (s GapSpec) WithDefaults() GapSpec {
+	if s.Window == 0 {
+		s.Window = 32
+	}
+	if s.Window < MinWindow {
+		s.Window = MinWindow
+	}
+	if s.Window > MaxWindow {
+		s.Window = MaxWindow
+	}
+	if s.Stride <= 0 {
+		s.Stride = s.Window
+	}
+	if s.MaxWindows <= 0 {
+		s.MaxWindows = 8
+	}
+	if s.NodeBudget <= 0 {
+		s.NodeBudget = DefaultNodeBudget
+	}
+	return s
+}
+
+// BenchGap aggregates one benchmark's windows: summed cycles for the
+// exact schedule (upper bound), its certified lower bound, and each
+// heuristic replay over the identical windows. Violations counts
+// admissibility failures — any schedule failing ValidateSchedule, or an
+// exact result exceeding a heuristic on the same window — and must be
+// zero on every run; a non-zero count means the oracle itself is broken.
+type BenchGap struct {
+	Bench          string           `json:"bench"`
+	Windows        int              `json:"windows"`
+	OptimalWindows int              `json:"optimal_windows"` // proven-optimal windows
+	OptCycles      int64            `json:"opt_cycles"`      // summed best-found makespans
+	BoundCycles    int64            `json:"bound_cycles"`    // summed certified lower bounds
+	Nodes          int64            `json:"nodes"`           // summed search nodes
+	Violations     int              `json:"violations"`
+	Heur           map[string]int64 `json:"heuristic_cycles"` // heuristic name -> summed makespans
+}
+
+// GapPct returns the heuristic's cycle overhead over the optimum in
+// percent (the headline number of the gap table).
+func (g BenchGap) GapPct(h Heuristic) float64 {
+	if g.OptCycles == 0 {
+		return 0
+	}
+	return float64(g.Heur[h.String()]-g.OptCycles) / float64(g.OptCycles) * 100
+}
+
+// RunGap extracts windows from the benchmark program, replays all four
+// heuristics over each, solves each window exactly (seeded with the best
+// heuristic schedule), and aggregates. Cancelling the context returns
+// the partial aggregate plus ctx.Err().
+func RunGap(ctx context.Context, p *program.Program, m config.Machine, spec GapSpec) (BenchGap, error) {
+	spec = spec.WithDefaults()
+	res := ResourcesFrom(m)
+	g := BenchGap{Bench: p.Name, Heur: make(map[string]int64, int(NumHeuristics))}
+	for _, h := range Heuristics() {
+		g.Heur[h.String()] = 0
+	}
+	solver := Solver{NodeBudget: spec.NodeBudget}
+
+	wins := Extract(p, m, ExtractSpec{Window: spec.Window, Stride: spec.Stride, MaxWindows: spec.MaxWindows})
+	for wi := range wins {
+		w := &wins[wi]
+		if err := ctx.Err(); err != nil {
+			return g, err
+		}
+		var scheds [NumHeuristics]Schedule
+		best := Schedule{Cycles: math.MaxInt}
+		for _, h := range Heuristics() {
+			s := RunHeuristic(w, res, h)
+			if err := ValidateSchedule(w, res, s.Issue); err != nil {
+				g.Violations++
+			}
+			scheds[h] = s
+			if s.Cycles < best.Cycles {
+				best = s
+			}
+		}
+		out, err := solver.Solve(ctx, w, res, best)
+		if err != nil {
+			return g, err
+		}
+		if err := ValidateSchedule(w, res, out.Issue); err != nil {
+			g.Violations++
+		}
+		g.Windows++
+		if out.Optimal {
+			g.OptimalWindows++
+		}
+		g.OptCycles += int64(out.Cycles)
+		g.BoundCycles += int64(out.Bound)
+		g.Nodes += out.Nodes
+		for _, h := range Heuristics() {
+			g.Heur[h.String()] += int64(scheds[h].Cycles)
+			if out.Cycles > scheds[h].Cycles {
+				g.Violations++
+			}
+		}
+	}
+	return g, nil
+}

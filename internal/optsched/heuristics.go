@@ -1,0 +1,270 @@
+package optsched
+
+import (
+	"fmt"
+
+	"macroop/internal/isa"
+)
+
+// Heuristic identifies one of the paper's scheduling-loop models replayed
+// deterministically over the window model.
+type Heuristic int
+
+// The four heuristics compared against the optimum, in display order.
+const (
+	HeurBase Heuristic = iota
+	HeurTwoCycle
+	HeurMOP
+	HeurSelectFree
+	NumHeuristics
+)
+
+var heurNames = [NumHeuristics]string{"base", "2-cycle", "macro-op", "select-free"}
+
+// String names the heuristic as in the paper's figures (matching
+// config.SchedModel naming).
+func (h Heuristic) String() string {
+	if h >= 0 && h < NumHeuristics {
+		return heurNames[h]
+	}
+	return fmt.Sprintf("heur(%d)", int(h))
+}
+
+// Heuristics returns the four heuristics in display order.
+func Heuristics() []Heuristic {
+	return []Heuristic{HeurBase, HeurTwoCycle, HeurMOP, HeurSelectFree}
+}
+
+// Schedule is a complete issue-time assignment for one window.
+type Schedule struct {
+	Issue  []int // per-uop issue cycle, >= 1
+	Cycles int   // makespan: the cycle by which every result is available
+}
+
+// mopScope is the macro-op pairing scope in instructions (the paper's
+// 2-group × 4-wide = 8-instruction detection scope).
+const mopScope = 8
+
+// effLat is a uop's effective completion latency: at least one cycle
+// (STD's architectural latency is 0 but its slot still spans a cycle).
+func effLat(u *Uop) int {
+	if u.Lat < 1 {
+		return 1
+	}
+	return u.Lat
+}
+
+// edgeLat is the producer->consumer wakeup latency of producer d under
+// heuristic h: the base (and select-free) scheduling loops wake
+// dependents a full producer latency later; the 2-cycle loop (and the
+// macro-op loop built on it) cannot wake a dependent sooner than two
+// cycles after a single-cycle producer.
+func edgeLat(w *Window, d int, h Heuristic) int {
+	l := effLat(&w.Uops[d])
+	if (h == HeurTwoCycle || h == HeurMOP) && l < 2 {
+		return 2
+	}
+	return l
+}
+
+// normalized clamps a resource vector so every class has at least one
+// unit and the width is at least one — both the heuristics and the exact
+// solver schedule against the same normalized vector, which is what
+// keeps the admissibility invariant meaningful on degenerate configs.
+func (r Resources) normalized() Resources {
+	if r.Width < 1 {
+		r.Width = 1
+	}
+	for c := range r.Units {
+		if r.Units[c] < 1 {
+			r.Units[c] = 1
+		}
+	}
+	if r.ReplayPenalty < 1 {
+		r.ReplayPenalty = 1
+	}
+	return r
+}
+
+// makespan computes the completion cycle of a full issue assignment.
+func makespan(w *Window, issue []int) int {
+	m := 0
+	for i := range w.Uops {
+		if f := issue[i] + effLat(&w.Uops[i]); f > m {
+			m = f
+		}
+	}
+	return m
+}
+
+// RunHeuristic replays heuristic h over the window as a deterministic
+// age-ordered list scheduler: every uop is present from cycle 0 and
+// selectable from cycle 1, capacity is the normalized resource vector,
+// and ties are broken by program order (oldest first), mirroring the
+// age-based select of internal/sched. The returned schedule is always
+// feasible in the relaxed base-latency model (ValidateSchedule passes),
+// because the 2-cycle, macro-op, and select-free loops only ever delay
+// issue relative to base constraints — this is the property that makes
+// the exact solver admissible against every heuristic.
+func RunHeuristic(w *Window, res Resources, h Heuristic) Schedule {
+	res = res.normalized()
+	n := len(w.Uops)
+	issue := make([]int, n)
+	nextTry := make([]int, n) // select-free replay gate; 0 = free
+
+	// Macro-op pairing: greedy in program order, one pair per uop, head
+	// is a value-generating single-cycle candidate, tail is a candidate
+	// within scope whose only in-window dependence is the head (the
+	// conservative cycle-free condition: no third producer can force the
+	// forced tail slot to violate a dependence).
+	pairTail := make([]int, n)
+	pairHead := make([]int, n)
+	for i := range pairTail {
+		pairTail[i], pairHead[i] = -1, -1
+	}
+	if h == HeurMOP {
+		for head := 0; head < n; head++ {
+			if pairHead[head] >= 0 || pairTail[head] >= 0 || !w.Uops[head].Op.IsValueGenCandidate() {
+				continue
+			}
+			for tail := head + 1; tail < n && tail < head+mopScope; tail++ {
+				if pairHead[tail] >= 0 || !w.Uops[tail].Op.IsMOPCandidate() || len(w.Uops[tail].Deps) == 0 {
+					continue
+				}
+				only := true
+				for _, d := range w.Uops[tail].Deps {
+					if int(d) != head {
+						only = false
+						break
+					}
+				}
+				if only {
+					pairTail[head], pairHead[tail] = tail, head
+					break
+				}
+			}
+		}
+	}
+
+	// forcedAt[i] > 0 pins a MOP tail to issue exactly one cycle after
+	// its head, with capacity reserved at the head's issue (pend*).
+	forcedAt := make([]int, n)
+	pendW := 0
+	var pendU [isa.NumClasses]int
+
+	remaining := n
+	for t := 1; remaining > 0; t++ {
+		widthLeft := res.Width - pendW
+		var unitLeft [isa.NumClasses]int
+		for c := range unitLeft {
+			unitLeft[c] = res.Units[c] - pendU[c]
+		}
+		pendW = 0
+		for c := range pendU {
+			pendU[c] = 0
+		}
+
+		for i := 0; i < n; i++ {
+			if issue[i] != 0 {
+				continue
+			}
+			u := &w.Uops[i]
+			if forcedAt[i] == t {
+				// Reserved MOP tail: issues unconditionally this cycle.
+				issue[i] = t
+				remaining--
+				continue
+			}
+			if forcedAt[i] != 0 {
+				continue // pinned to a later cycle
+			}
+			ready := t >= nextTry[i]
+			for _, d := range u.Deps {
+				dj := int(d)
+				if issue[dj] == 0 || t < issue[dj]+edgeLat(w, dj, h) {
+					ready = false
+					break
+				}
+			}
+			if !ready {
+				continue
+			}
+			if !consumes(u.Class) {
+				// STD: occupies neither an issue slot nor a unit.
+				issue[i] = t
+				remaining--
+				continue
+			}
+			if widthLeft < 1 || unitLeft[u.Class] < 1 {
+				if h == HeurSelectFree {
+					// Speculatively woken but lost arbitration: squash
+					// and re-request after the replay penalty.
+					nextTry[i] = t + res.ReplayPenalty
+				}
+				continue
+			}
+			widthLeft--
+			unitLeft[u.Class]--
+			issue[i] = t
+			remaining--
+			if tail := pairTail[i]; tail >= 0 {
+				tc := w.Uops[tail].Class
+				if pendW < res.Width && pendU[tc] < res.Units[tc] {
+					pendW++
+					pendU[tc]++
+					forcedAt[tail] = t + 1
+				} else {
+					// No room to guarantee the fused slot: delete the
+					// MOP pointer and let the tail schedule normally.
+					pairTail[i], pairHead[tail] = -1, -1
+				}
+			}
+		}
+	}
+	return Schedule{Issue: issue, Cycles: makespan(w, issue)}
+}
+
+// ValidateSchedule checks that an issue assignment is feasible in the
+// relaxed base-latency window model: every uop issues at cycle >= 1, no
+// earlier than each producer's issue plus the producer's effective
+// latency, and no cycle exceeds the issue width or any unit count
+// (ClassNone uops are exempt from capacity). Every heuristic schedule
+// and every exact-solver schedule must pass; the gap pipeline counts a
+// violation of this check as an admissibility violation.
+func ValidateSchedule(w *Window, res Resources, issue []int) error {
+	res = res.normalized()
+	if len(issue) != len(w.Uops) {
+		return fmt.Errorf("optsched: schedule has %d issue slots for %d uops", len(issue), len(w.Uops))
+	}
+	width := make(map[int]int)
+	units := make(map[int]*[isa.NumClasses]int)
+	for i := range w.Uops {
+		u := &w.Uops[i]
+		if issue[i] < 1 {
+			return fmt.Errorf("optsched: uop %d issues at cycle %d (< 1)", i, issue[i])
+		}
+		for _, d := range u.Deps {
+			dj := int(d)
+			if need := issue[dj] + effLat(&w.Uops[dj]); issue[i] < need {
+				return fmt.Errorf("optsched: uop %d issues at %d before producer %d completes at %d", i, issue[i], dj, need)
+			}
+		}
+		if !consumes(u.Class) {
+			continue
+		}
+		width[issue[i]]++
+		if width[issue[i]] > res.Width {
+			return fmt.Errorf("optsched: cycle %d issues %d uops (width %d)", issue[i], width[issue[i]], res.Width)
+		}
+		cu := units[issue[i]]
+		if cu == nil {
+			cu = new([isa.NumClasses]int)
+			units[issue[i]] = cu
+		}
+		cu[u.Class]++
+		if cu[u.Class] > res.Units[u.Class] {
+			return fmt.Errorf("optsched: cycle %d issues %d uops of class %d (%d units)", issue[i], cu[u.Class], u.Class, res.Units[u.Class])
+		}
+	}
+	return nil
+}

@@ -30,6 +30,7 @@ const StatusClientClosedRequest = 499
 //
 //	POST /v1/simulate       one cell, synchronous
 //	POST /v1/matrix         batched sweep (async; wait/stream modes)
+//	POST /v1/gap            heuristic-vs-optimum gap report, synchronous
 //	GET  /v1/jobs           job summaries, newest first
 //	GET  /v1/jobs/{id}      one job's status and finished cells
 //	GET  /v1/jobs/{id}/stream  NDJSON replay+live stream of cell results
@@ -40,6 +41,7 @@ func (s *Service) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/simulate", s.handleSimulate)
 	mux.HandleFunc("POST /v1/matrix", s.handleMatrix)
+	mux.HandleFunc("POST /v1/gap", s.handleGap)
 	mux.HandleFunc("GET /v1/jobs", s.handleJobs)
 	mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
 	mux.HandleFunc("GET /v1/jobs/{id}/stream", s.handleJobStream)

@@ -55,6 +55,11 @@ type metrics struct {
 	cellsOK     atomic.Int64
 	cellsFailed atomic.Int64
 
+	gapRequests atomic.Int64
+	gapHits     atomic.Int64
+	gapRuns     atomic.Int64
+	gapShared   atomic.Int64
+
 	uops atomic.Int64 // committed simulated instructions
 
 	mu    sync.Mutex
@@ -129,6 +134,11 @@ func (m *metrics) Render(w *strings.Builder) {
 		[2]any{`{outcome="failed"}`, m.cellsFailed.Load()})
 	counter("mopserve_uops_total", "Committed simulated instructions (rate() of this is uops/sec).",
 		[2]any{"", m.uops.Load()})
+	counter("mopserve_gap_total", "Gap-report requests by how they resolved.",
+		[2]any{`{state="requested"}`, m.gapRequests.Load()},
+		[2]any{`{state="cache_hit"}`, m.gapHits.Load()},
+		[2]any{`{state="executed"}`, m.gapRuns.Load()},
+		[2]any{`{state="shared"}`, m.gapShared.Load()})
 
 	m.mu.Lock()
 	scheds := make([]string, 0, len(m.hists))

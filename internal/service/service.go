@@ -122,12 +122,14 @@ type task struct {
 
 // Service is the batched, cached simulation service behind cmd/mopserve.
 type Service struct {
-	opts    Options
-	runner  *experiments.Runner // shared per-benchmark program futures
-	cache   *resultCache
-	flights *flightGroup
-	jnl     *journal.Journal
-	met     *metrics
+	opts       Options
+	runner     *experiments.Runner // shared per-benchmark program futures
+	cache      *resultCache
+	flights    *flightGroup
+	gaps       *gapCache
+	gapFlights *gapFlight
+	jnl        *journal.Journal
+	met        *metrics
 
 	queue   chan *task
 	pending atomic.Int64 // admitted, unfinished cells
@@ -161,6 +163,9 @@ const (
 	KeyCell    = "cellres|"
 	KeyJobSpec = "jobspec|"
 	KeyJobDone = "jobdone|"
+	// KeyGap records finished gap reports (POST /v1/gap) under their
+	// content fingerprint; replay warms the gap cache from them.
+	KeyGap = "gapres|"
 )
 
 // New builds a Service, opening and replaying the journal when
@@ -168,13 +173,15 @@ const (
 func New(opts Options) (*Service, error) {
 	opts = opts.withDefaults()
 	s := &Service{
-		opts:    opts,
-		runner:  experiments.NewRunner(0), // program cache only; budgets are per-cell
-		cache:   newResultCache(opts.CacheEntries, opts.CacheBytes),
-		flights: newFlightGroup(),
-		queue:   make(chan *task, opts.QueueDepth),
-		jobs:    make(map[string]*Job),
-		execFPs: make(map[string]int),
+		opts:       opts,
+		runner:     experiments.NewRunner(0), // program cache only; budgets are per-cell
+		cache:      newResultCache(opts.CacheEntries, opts.CacheBytes),
+		flights:    newFlightGroup(),
+		gaps:       newGapCache(gapCacheEntries),
+		gapFlights: newGapFlight(),
+		queue:      make(chan *task, opts.QueueDepth),
+		jobs:       make(map[string]*Job),
+		execFPs:    make(map[string]int),
 	}
 	s.runCtx, s.stopRun = context.WithCancel(context.Background())
 	s.hardCtx, s.stopHard = context.WithCancel(context.Background())
@@ -269,6 +276,12 @@ func (s *Service) replayJournal() error {
 			if rec := cw.Record(); rec != nil {
 				s.cache.Put(key[len(KeyCell):], rec)
 			}
+		case strings.HasPrefix(key, KeyGap):
+			var rep experiments.GapReport
+			if err := json.Unmarshal(data, &rep); err != nil {
+				continue // damaged record: the analysis simply re-runs
+			}
+			s.gaps.Put(key[len(KeyGap):], &rep)
 		case strings.HasPrefix(key, KeyJobSpec):
 			var spec JobSpecRecord
 			if err := json.Unmarshal(data, &spec); err != nil {
